@@ -1,0 +1,74 @@
+//! Shared convergence accounting for the baselines.
+//!
+//! Table 1's CI column needs a convergence criterion comparable across
+//! methods. For the RL baselines we declare convergence when a validation
+//! batch of simulated rollouts achieves 100% safe-control *and* 100%
+//! goal-reaching — the same empirical property the table's SC/GR columns
+//! measure.
+
+use dwv_dynamics::{eval::rates, Controller, NnController, ReachAvoidProblem};
+
+/// Periodic empirical convergence check.
+#[derive(Debug, Clone)]
+pub struct ConvergenceChecker {
+    problem: ReachAvoidProblem,
+    /// Validation rollouts per check.
+    pub n_samples: usize,
+    /// RNG seed for the validation batch.
+    pub seed: u64,
+}
+
+impl ConvergenceChecker {
+    /// Creates a checker with a 100-rollout validation batch.
+    #[must_use]
+    pub fn new(problem: &ReachAvoidProblem) -> Self {
+        Self {
+            problem: problem.clone(),
+            n_samples: 100,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Whether the controller empirically reach-avoids on the validation
+    /// batch.
+    #[must_use]
+    pub fn converged<C: Controller + ?Sized>(&self, controller: &C) -> bool {
+        rates(&self.problem, controller, self.n_samples, self.seed).is_perfect()
+    }
+}
+
+/// The outcome of a baseline training run.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    /// The trained policy.
+    pub controller: NnController,
+    /// Training iteration (episodes for DDPG, model rollouts for SVG) at
+    /// which the convergence criterion first held; `None` when the budget
+    /// ran out first.
+    pub convergence_episode: Option<usize>,
+    /// Iterations actually executed.
+    pub episodes_run: usize,
+}
+
+impl TrainOutcome {
+    /// Whether training converged within its budget.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.convergence_episode.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwv_dynamics::acc;
+    use dwv_dynamics::LinearController;
+
+    #[test]
+    fn known_good_controller_converges() {
+        let p = acc::reach_avoid_problem();
+        let c = ConvergenceChecker::new(&p);
+        assert!(c.converged(&LinearController::new(2, 1, vec![0.5867, -2.0])));
+        assert!(!c.converged(&LinearController::zeros(2, 1)));
+    }
+}

@@ -1,0 +1,350 @@
+//! Deep deterministic policy gradient (DDPG), the model-free baseline.
+//!
+//! Lillicrap et al., ICLR 2016 — actor/critic MLPs, experience replay, soft
+//! target networks and Ornstein–Uhlenbeck exploration noise, trained on the
+//! paper's distance-shaped reward. DDPG follows the open-loop
+//! *design-then-verify* process: no verifier is consulted during training;
+//! the trained policy is verified afterwards (usually unsuccessfully —
+//! Table 1's `Unknown`/`Unsafe` rows).
+
+use crate::convergence::{ConvergenceChecker, TrainOutcome};
+use crate::reward::Reward;
+use dwv_dynamics::{simulate::Simulator, Controller, NnController, ReachAvoidProblem};
+use dwv_nn::{Activation, Adam, Network, Optimizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// DDPG hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct DdpgConfig {
+    /// Actor/critic hidden sizes.
+    pub hidden: Vec<usize>,
+    /// Actor output scale (Tanh output × scale).
+    pub action_scale: f64,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Actor learning rate.
+    pub actor_lr: f64,
+    /// Critic learning rate.
+    pub critic_lr: f64,
+    /// Soft target-update coefficient τ.
+    pub tau: f64,
+    /// Replay capacity.
+    pub replay_capacity: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Gradient updates per environment step.
+    pub updates_per_step: usize,
+    /// OU noise stiffness.
+    pub ou_theta: f64,
+    /// OU noise scale.
+    pub ou_sigma: f64,
+    /// Convergence check cadence (episodes).
+    pub check_every: usize,
+}
+
+impl Default for DdpgConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![32, 32],
+            action_scale: 1.0,
+            gamma: 0.99,
+            actor_lr: 1e-3,
+            critic_lr: 1e-3,
+            tau: 0.01,
+            replay_capacity: 100_000,
+            batch_size: 32,
+            updates_per_step: 1,
+            ou_theta: 0.15,
+            ou_sigma: 0.2,
+            check_every: 10,
+        }
+    }
+}
+
+/// One replay transition.
+#[derive(Debug, Clone)]
+struct Transition {
+    s: Vec<f64>,
+    a: Vec<f64>,
+    r: f64,
+    s2: Vec<f64>,
+    done: bool,
+}
+
+/// The DDPG agent.
+///
+/// # Example
+///
+/// ```no_run
+/// use dwv_baselines::{Ddpg, DdpgConfig};
+/// use dwv_dynamics::oscillator;
+///
+/// let problem = oscillator::reach_avoid_problem();
+/// let mut agent = Ddpg::new(&problem, DdpgConfig::default(), 0);
+/// let outcome = agent.train(500);
+/// println!("converged: {:?}", outcome.convergence_episode);
+/// ```
+pub struct Ddpg {
+    problem: ReachAvoidProblem,
+    config: DdpgConfig,
+    reward: Reward,
+    actor: Network,
+    critic: Network,
+    actor_target: Network,
+    critic_target: Network,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    replay: Vec<Transition>,
+    replay_head: usize,
+    rng: StdRng,
+    checker: ConvergenceChecker,
+}
+
+impl Ddpg {
+    /// Creates an agent (deterministic in `seed`).
+    #[must_use]
+    pub fn new(problem: &ReachAvoidProblem, config: DdpgConfig, seed: u64) -> Self {
+        let n = problem.n_state();
+        let m = problem.n_input();
+        let mut actor_sizes = vec![n];
+        actor_sizes.extend_from_slice(&config.hidden);
+        actor_sizes.push(m);
+        let mut critic_sizes = vec![n + m];
+        critic_sizes.extend_from_slice(&config.hidden);
+        critic_sizes.push(1);
+        let actor = Network::new(&actor_sizes, Activation::ReLU, Activation::Tanh, seed);
+        let critic = Network::new(&critic_sizes, Activation::ReLU, Activation::Identity, seed ^ 0xAB);
+        let actor_opt = Adam::new(actor.num_params(), config.actor_lr);
+        let critic_opt = Adam::new(critic.num_params(), config.critic_lr);
+        Self {
+            reward: Reward::for_problem(problem),
+            checker: ConvergenceChecker::new(problem),
+            problem: problem.clone(),
+            actor_target: actor.clone(),
+            critic_target: critic.clone(),
+            actor,
+            critic,
+            actor_opt,
+            critic_opt,
+            replay: Vec::new(),
+            replay_head: 0,
+            rng: StdRng::seed_from_u64(seed ^ 0xDD96),
+            config,
+        }
+    }
+
+    /// The current policy as a controller.
+    #[must_use]
+    pub fn policy(&self) -> NnController {
+        NnController::with_output_scale(self.actor.clone(), self.config.action_scale)
+    }
+
+    /// Trains for up to `max_episodes` episodes, checking convergence
+    /// periodically; stops early on convergence.
+    pub fn train(&mut self, max_episodes: usize) -> TrainOutcome {
+        let sim = Simulator::new(self.problem.dynamics.clone(), self.problem.delta);
+        let mut converged_at = None;
+        let mut episodes = 0;
+        for ep in 1..=max_episodes {
+            episodes = ep;
+            self.run_episode(&sim);
+            if ep % self.config.check_every == 0 && self.checker.converged(&self.policy()) {
+                converged_at = Some(ep);
+                break;
+            }
+        }
+        TrainOutcome {
+            controller: self.policy(),
+            convergence_episode: converged_at,
+            episodes_run: episodes,
+        }
+    }
+
+    fn run_episode(&mut self, sim: &Simulator) {
+        let mut x: Vec<f64> = (0..self.problem.x0.dim())
+            .map(|i| {
+                let iv = self.problem.x0.interval(i);
+                self.rng.gen_range(iv.lo()..=iv.hi())
+            })
+            .collect();
+        let m = self.problem.n_input();
+        let mut noise = vec![0.0f64; m];
+        let h = self.problem.delta / 10.0;
+        for step in 0..self.problem.horizon_steps {
+            // OU noise.
+            for nz in noise.iter_mut() {
+                *nz += -self.config.ou_theta * *nz
+                    + self.config.ou_sigma * self.rng.gen_range(-1.0..1.0);
+            }
+            let mut a = self.policy().control(&x);
+            for (ai, nz) in a.iter_mut().zip(&noise) {
+                *ai = (*ai + nz * self.config.action_scale)
+                    .clamp(-self.config.action_scale, self.config.action_scale);
+            }
+            // One zero-order-hold period.
+            let mut x2 = x.clone();
+            for _ in 0..10 {
+                x2 = sim.rk4_step(&x2, &a, h);
+            }
+            let r = self.reward.reward(&x2);
+            let done = step + 1 == self.problem.horizon_steps;
+            self.push_replay(Transition {
+                s: x.clone(),
+                a,
+                r,
+                s2: x2.clone(),
+                done,
+            });
+            for _ in 0..self.config.updates_per_step {
+                self.update();
+            }
+            x = x2;
+        }
+    }
+
+    fn push_replay(&mut self, t: Transition) {
+        if self.replay.len() < self.config.replay_capacity {
+            self.replay.push(t);
+        } else {
+            self.replay[self.replay_head] = t;
+            self.replay_head = (self.replay_head + 1) % self.config.replay_capacity;
+        }
+    }
+
+    /// One mini-batch actor/critic update.
+    fn update(&mut self) {
+        if self.replay.len() < self.config.batch_size {
+            return;
+        }
+        let b = self.config.batch_size;
+        let scale = self.config.action_scale;
+        let mut critic_grad = vec![0.0; self.critic.num_params()];
+        let mut actor_grad = vec![0.0; self.actor.num_params()];
+        for _ in 0..b {
+            let t = &self.replay[self.rng.gen_range(0..self.replay.len())];
+            // Critic target y = r + γ(1 − done)·Q'(s', μ'(s')).
+            let a2: Vec<f64> = self
+                .actor_target
+                .forward(&t.s2)
+                .into_iter()
+                .map(|v| v * scale)
+                .collect();
+            let q2 = self.critic_target.forward(&concat(&t.s2, &a2))[0];
+            let y = t.r + if t.done { 0.0 } else { self.config.gamma * q2 };
+            let sa = concat(&t.s, &t.a);
+            let q = self.critic.forward(&sa)[0];
+            let dq = 2.0 * (q - y) / b as f64;
+            let (cg, _) = self.critic.gradient(&sa, &[dq]);
+            add_into(&mut critic_grad, &cg);
+            // Actor: ascend Q(s, μ(s)): dQ/da chains into the actor.
+            let a_pi: Vec<f64> = self
+                .actor
+                .forward(&t.s)
+                .into_iter()
+                .map(|v| v * scale)
+                .collect();
+            let sa_pi = concat(&t.s, &a_pi);
+            let (_, d_in) = self.critic.gradient(&sa_pi, &[1.0]);
+            let dq_da = &d_in[t.s.len()..];
+            // μ output is tanh×scale: chain the scale; descend −Q.
+            let d_out: Vec<f64> = dq_da.iter().map(|g| -g * scale / b as f64).collect();
+            let (ag, _) = self.actor.gradient(&t.s, &d_out);
+            add_into(&mut actor_grad, &ag);
+        }
+        let mut cp = self.critic.params();
+        self.critic_opt.step(&mut cp, &critic_grad);
+        self.critic.set_params(&cp);
+        let mut ap = self.actor.params();
+        self.actor_opt.step(&mut ap, &actor_grad);
+        self.actor.set_params(&ap);
+        // Soft target updates.
+        soft_update(&mut self.actor_target, &self.actor, self.config.tau);
+        soft_update(&mut self.critic_target, &self.critic, self.config.tau);
+    }
+}
+
+fn concat(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut v = Vec::with_capacity(a.len() + b.len());
+    v.extend_from_slice(a);
+    v.extend_from_slice(b);
+    v
+}
+
+fn add_into(acc: &mut [f64], g: &[f64]) {
+    for (a, b) in acc.iter_mut().zip(g) {
+        *a += b;
+    }
+}
+
+fn soft_update(target: &mut Network, source: &Network, tau: f64) {
+    let tp = target.params();
+    let sp = source.params();
+    let mixed: Vec<f64> = tp
+        .iter()
+        .zip(&sp)
+        .map(|(t, s)| (1.0 - tau) * t + tau * s)
+        .collect();
+    target.set_params(&mixed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwv_dynamics::oscillator;
+
+    fn small_config() -> DdpgConfig {
+        DdpgConfig {
+            hidden: vec![16, 16],
+            check_every: 5,
+            ..DdpgConfig::default()
+        }
+    }
+
+    #[test]
+    fn replay_ring_buffer_wraps() {
+        let p = oscillator::reach_avoid_problem();
+        let mut agent = Ddpg::new(
+            &p,
+            DdpgConfig {
+                replay_capacity: 50,
+                ..small_config()
+            },
+            0,
+        );
+        let sim = Simulator::new(p.dynamics.clone(), p.delta);
+        for _ in 0..3 {
+            agent.run_episode(&sim); // 35 steps each → wraps at 50
+        }
+        assert_eq!(agent.replay.len(), 50);
+    }
+
+    #[test]
+    fn training_changes_the_policy() {
+        let p = oscillator::reach_avoid_problem();
+        let mut agent = Ddpg::new(&p, small_config(), 1);
+        let before = agent.policy().params();
+        let _ = agent.train(3);
+        let after = agent.policy().params();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let p = oscillator::reach_avoid_problem();
+        let mut a = Ddpg::new(&p, small_config(), 7);
+        let mut b = Ddpg::new(&p, small_config(), 7);
+        let _ = a.train(2);
+        let _ = b.train(2);
+        assert_eq!(a.policy().params(), b.policy().params());
+    }
+
+    #[test]
+    fn outcome_reports_budget_exhaustion() {
+        let p = oscillator::reach_avoid_problem();
+        let mut agent = Ddpg::new(&p, small_config(), 2);
+        let out = agent.train(2);
+        assert_eq!(out.episodes_run, 2);
+        assert!(!out.converged());
+    }
+}

@@ -1,0 +1,42 @@
+//! Design-then-verify baselines: DDPG and SVG.
+//!
+//! The paper compares Design-while-Verify against two reinforcement-learning
+//! baselines that follow the conventional open-loop *design-then-verify*
+//! process (§4):
+//!
+//! * [`Ddpg`] — model-free deep deterministic policy gradient [Lillicrap et
+//!   al., ICLR'16]: actor/critic MLPs, replay buffer, soft target updates,
+//!   Ornstein–Uhlenbeck exploration noise;
+//! * [`Svg`] — model-based stochastic value gradients [Heess et al.,
+//!   NIPS'15]: back-propagation of the reward through the known dynamics
+//!   over a finite horizon (Jacobians by central differences);
+//! * [`reward`] — the paper's reward: minimize the Euclidean distance to the
+//!   goal-set center while maximizing the distance to the unsafe-set center.
+//!
+//! Both baselines report *convergence iterations* with the same convergence
+//! criterion used for Table 1 (simulated safe-control and goal-reaching on a
+//! validation batch), so the CI column is comparable to Algorithm 1's.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use dwv_baselines::{Ddpg, DdpgConfig};
+//! use dwv_dynamics::oscillator;
+//!
+//! let problem = oscillator::reach_avoid_problem();
+//! let mut agent = Ddpg::new(&problem, DdpgConfig::default(), 0);
+//! let outcome = agent.train(2_000);
+//! println!("converged after {:?} episodes", outcome.convergence_episode);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod convergence;
+mod ddpg;
+pub mod reward;
+mod svg;
+
+pub use convergence::{ConvergenceChecker, TrainOutcome};
+pub use ddpg::{Ddpg, DdpgConfig};
+pub use svg::{Svg, SvgConfig};

@@ -1,0 +1,124 @@
+//! The baselines' reward function.
+//!
+//! Per the paper (§4): "The reward functions in DDPG and SVG are designed to
+//! minimize the Euclidean distance to the goal set center and maximize the
+//! distance to the unsafe set center."
+
+use dwv_dynamics::ReachAvoidProblem;
+
+/// The reward `r(x) = −‖x − g_c‖ + λ·min(‖x − u_c‖, cap)`.
+///
+/// The unsafe-distance term is capped so that running arbitrarily far from
+/// the unsafe center cannot dominate goal progress (without a cap the reward
+/// is unbounded above and both baselines diverge to infinity — an honest
+/// hazard of the paper's reward shape that we tame the standard way).
+#[derive(Debug, Clone)]
+pub struct Reward {
+    goal_center: Vec<f64>,
+    unsafe_center: Vec<f64>,
+    /// Weight λ of the unsafe-distance term.
+    pub unsafe_weight: f64,
+    /// Cap on the unsafe-distance term.
+    pub unsafe_cap: f64,
+}
+
+impl Reward {
+    /// Builds the paper's reward for a problem.
+    #[must_use]
+    pub fn for_problem(problem: &ReachAvoidProblem) -> Self {
+        Self {
+            goal_center: problem.goal_region.anchor(&problem.universe),
+            unsafe_center: problem.unsafe_region.anchor(&problem.universe),
+            unsafe_weight: 0.2,
+            unsafe_cap: 2.0 * problem
+                .universe
+                .radii()
+                .iter()
+                .fold(0.0f64, |m, &r| m.max(r)),
+        }
+    }
+
+    /// The reward at a state.
+    #[must_use]
+    pub fn reward(&self, x: &[f64]) -> f64 {
+        -dist(x, &self.goal_center) + self.unsafe_weight * dist(x, &self.unsafe_center).min(self.unsafe_cap)
+    }
+
+    /// The reward gradient `∂r/∂x` (used by SVG's backprop through the
+    /// model; smooth except exactly at the centers, where we return 0).
+    #[must_use]
+    pub fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        let dg = dist(x, &self.goal_center);
+        let du = dist(x, &self.unsafe_center);
+        (0..x.len())
+            .map(|i| {
+                let mut g = 0.0;
+                if dg > 1e-9 {
+                    g -= (x[i] - self.goal_center[i]) / dg;
+                }
+                if du > 1e-9 && du < self.unsafe_cap {
+                    g += self.unsafe_weight * (x[i] - self.unsafe_center[i]) / du;
+                }
+                g
+            })
+            .collect()
+    }
+
+    /// The goal anchor.
+    #[must_use]
+    pub fn goal_center(&self) -> &[f64] {
+        &self.goal_center
+    }
+}
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwv_dynamics::acc;
+
+    #[test]
+    fn reward_highest_at_goal_center() {
+        let p = acc::reach_avoid_problem();
+        let r = Reward::for_problem(&p);
+        let at_goal = r.reward(r.goal_center().to_vec().as_slice());
+        let away = r.reward(&[123.0, 50.0]);
+        assert!(at_goal > away);
+    }
+
+    #[test]
+    fn reward_penalizes_unsafe_proximity() {
+        let p = acc::reach_avoid_problem();
+        let r = Reward::for_problem(&p);
+        // Same distance to goal along the s axis, nearer/farther from unsafe.
+        let near_unsafe = r.reward(&[130.0, 40.0]);
+        let far_unsafe = r.reward(&[170.0, 40.0]);
+        // 130 and 170 are both 20 from goal center s=150; 170 is farther
+        // from the unsafe anchor.
+        assert!(far_unsafe > near_unsafe);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let p = acc::reach_avoid_problem();
+        let r = Reward::for_problem(&p);
+        let x = [130.0, 45.0];
+        let g = r.gradient(&x);
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut xp = x;
+            xp[i] += h;
+            let mut xm = x;
+            xm[i] -= h;
+            let fd = (r.reward(&xp) - r.reward(&xm)) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-6, "dim {i}: {} vs {fd}", g[i]);
+        }
+    }
+}

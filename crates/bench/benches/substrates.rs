@@ -1,0 +1,94 @@
+//! Micro-benchmarks of the substrate layers: how the verifier cost
+//! decomposes into geometry, polynomial arithmetic, Taylor-model flow steps,
+//! network abstraction and optimal transport.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dwv_dynamics::NnController;
+use dwv_geom::ConvexPolygon;
+use dwv_interval::IntervalBox;
+use dwv_metrics::ot;
+use dwv_nn::{Activation, Network};
+use dwv_poly::Polynomial;
+use dwv_reach::{NnAbstraction, TaylorAbstraction};
+use dwv_taylor::{unit_domain, OdeIntegrator, OdeRhs, TmVector};
+use std::hint::black_box;
+
+fn bench_substrates(c: &mut Criterion) {
+    // Polygon clipping (the linear verifier's kernel).
+    {
+        let a = ConvexPolygon::from_box(&IntervalBox::from_bounds(&[(0.0, 2.0), (0.0, 2.0)]));
+        let b = ConvexPolygon::from_box(&IntervalBox::from_bounds(&[(1.0, 3.0), (1.0, 3.0)]));
+        c.bench_function("geom_polygon_intersect", |bch| {
+            bch.iter(|| black_box(a.intersect(&b)))
+        });
+    }
+    // Polynomial multiplication (the TM arithmetic kernel).
+    {
+        let x = Polynomial::var(3, 0);
+        let y = Polynomial::var(3, 1);
+        let z = Polynomial::var(3, 2);
+        let p = x.clone() * y.clone() + z.clone() * z.clone() - x.clone() + y.clone() * z;
+        let q = p.clone() * p.clone();
+        c.bench_function("poly_mul_deg4", |bch| {
+            bch.iter(|| black_box(p.clone() * q.clone()))
+        });
+    }
+    // One validated flow step of the Van der Pol field.
+    {
+        let rhs = vdp_rhs();
+        let x0 = TmVector::from_box(&IntervalBox::from_bounds(&[(-0.51, -0.49), (0.49, 0.51)]));
+        let u = TmVector::new(vec![dwv_taylor::TaylorModel::constant(2, 0.1)]);
+        let integ = OdeIntegrator::with_order(3);
+        c.bench_function("taylor_flow_step_vdp", |bch| {
+            bch.iter(|| black_box(integ.flow_step(&x0, &u, &rhs, 0.1, &unit_domain(2))))
+        });
+    }
+    // POLAR abstraction of a 2-8-1 network.
+    {
+        let ctrl = NnController::new(Network::new(
+            &[2, 8, 1],
+            Activation::ReLU,
+            Activation::Tanh,
+            3,
+        ));
+        let state = TmVector::from_box(&IntervalBox::from_bounds(&[(-0.51, -0.49), (0.49, 0.51)]));
+        let abs = TaylorAbstraction::default();
+        c.bench_function("polar_abstraction_2_8_1", |bch| {
+            bch.iter(|| black_box(abs.abstract_network(&ctrl, &state, &unit_domain(2))))
+        });
+    }
+    // Exact OT on 32-point clouds (the Wasserstein metric's kernel).
+    {
+        let xs: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64 * 0.1, 0.0]).collect();
+        let ys: Vec<Vec<f64>> = (0..32).map(|i| vec![1.0, i as f64 * 0.1]).collect();
+        let cost = ot::euclidean_cost(&xs, &ys);
+        c.bench_function("ot_hungarian_32", |bch| {
+            bch.iter(|| black_box(ot::hungarian(&cost)))
+        });
+    }
+    // Network forward + backward (the baselines' kernel).
+    {
+        let net = Network::new(&[4, 32, 32, 1], Activation::ReLU, Activation::Identity, 3);
+        let x = [0.1, -0.2, 0.3, -0.4];
+        c.bench_function("nn_forward_backward_4_32_32_1", |bch| {
+            bch.iter(|| black_box(net.gradient(&x, &[1.0])))
+        });
+    }
+}
+
+fn vdp_rhs() -> OdeRhs {
+    let x1 = Polynomial::var(3, 0);
+    let x2 = Polynomial::var(3, 1);
+    let u = Polynomial::var(3, 2);
+    OdeRhs::new(
+        2,
+        1,
+        vec![
+            x2.clone(),
+            x2.clone() - x1.clone() * x1.clone() * x2 - x1 + u,
+        ],
+    )
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Table 2: verifier cost per learning iteration, as Criterion benchmarks.
+//!
+//! The paper's Table 2 reports the average wall-clock of one learning
+//! iteration for each system/verifier pairing. An iteration's cost is
+//! dominated by its verifier calls, so we benchmark one full verifier
+//! invocation per pairing on a representative controller. Expected shape
+//! (not absolute values): `ACC(Flow*) ≪ {Os,3D}(POLAR) < {Os,3D}(ReachNN)`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dwv_dynamics::{LinearController, NnController};
+use dwv_nn::{Activation, Network};
+use dwv_reach::{
+    BernsteinAbstraction, DependencyTracking, LinearReach, TaylorAbstraction, TaylorReach,
+    TaylorReachConfig,
+};
+use std::hint::black_box;
+
+fn nn_controller(n: usize, scale: f64) -> NnController {
+    NnController::with_output_scale(
+        Network::new(&[n, 8, 1], Activation::ReLU, Activation::Tanh, 3),
+        scale,
+    )
+}
+
+fn box_cfg() -> TaylorReachConfig {
+    TaylorReachConfig {
+        dependency: DependencyTracking::BoxReinit,
+        ..TaylorReachConfig::default()
+    }
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_verifier_call");
+    g.sample_size(20);
+
+    let acc = dwv_dynamics::acc::reach_avoid_problem();
+    let linear = LinearReach::for_problem(&acc).expect("affine");
+    let gain = LinearController::new(2, 1, vec![0.5867, -2.0]);
+    g.bench_function("acc_flowstar", |b| {
+        b.iter(|| black_box(linear.reach(&gain).expect("stable")))
+    });
+
+    let osc = dwv_dynamics::oscillator::reach_avoid_problem();
+    let osc_ctrl = nn_controller(2, 1.0);
+    let osc_polar = TaylorReach::new(&osc, TaylorAbstraction::with_order(2), box_cfg());
+    g.bench_function("oscillator_polar", |b| {
+        b.iter(|| black_box(osc_polar.reach(&osc_ctrl)))
+    });
+    let osc_bern = TaylorReach::new(&osc, BernsteinAbstraction::with_degree(2), box_cfg());
+    g.bench_function("oscillator_reachnn", |b| {
+        b.iter(|| black_box(osc_bern.reach(&osc_ctrl)))
+    });
+
+    let td = dwv_dynamics::three_dim::reach_avoid_problem();
+    let td_ctrl = nn_controller(3, 2.0);
+    let td_polar = TaylorReach::new(&td, TaylorAbstraction::with_order(2), box_cfg());
+    g.bench_function("three_dim_polar", |b| {
+        b.iter(|| black_box(td_polar.reach(&td_ctrl)))
+    });
+    let td_bern = TaylorReach::new(&td, BernsteinAbstraction::with_degree(2), box_cfg());
+    g.bench_function("three_dim_reachnn", |b| {
+        b.iter(|| black_box(td_bern.reach(&td_ctrl)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

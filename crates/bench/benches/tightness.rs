@@ -1,0 +1,37 @@
+//! §4 tightness discussion: per-call cost of tight vs loose verification.
+//!
+//! The paper observes that tighter reachable-set computation costs more per
+//! verifier call but can reduce the number of learning iterations. This
+//! bench quantifies the per-call side on the oscillator across the three
+//! tightness presets (the iteration side is measured by
+//! `repro tightness`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dwv_dynamics::NnController;
+use dwv_nn::{Activation, Network};
+use dwv_reach::{TaylorAbstraction, TaylorReach, TaylorReachConfig};
+use std::hint::black_box;
+
+fn bench_tightness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tightness_per_call");
+    g.sample_size(15);
+    let osc = dwv_dynamics::oscillator::reach_avoid_problem();
+    let ctrl = NnController::new(Network::new(
+        &[2, 8, 1],
+        Activation::ReLU,
+        Activation::Tanh,
+        3,
+    ));
+    for (name, cfg) in [
+        ("loose", TaylorReachConfig::loose()),
+        ("default", TaylorReachConfig::default()),
+        ("tight", TaylorReachConfig::tight()),
+    ] {
+        let verifier = TaylorReach::new(&osc, TaylorAbstraction::with_order(2), cfg);
+        g.bench_function(name, |b| b.iter(|| black_box(verifier.reach(&ctrl))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tightness);
+criterion_main!(benches);

@@ -1,0 +1,310 @@
+//! Individual experiment runners shared by the tables, figures and benches.
+
+use crate::report::RowResult;
+use dwv_baselines::{Ddpg, DdpgConfig, Svg, SvgConfig};
+use dwv_core::{
+    AbstractionKind, Algorithm1, Algorithm2, GradientEstimator, LearnConfig, LearnOutcome,
+    MetricKind, Verdict,
+};
+use dwv_dynamics::{eval::rates, Controller, LinearController, NnController, ReachAvoidProblem};
+use dwv_reach::{
+    BernsteinAbstraction, DependencyTracking, Flowpipe, LinearReach, ReachError,
+    TaylorAbstraction, TaylorReach, TaylorReachConfig,
+};
+
+/// Which benchmark system an NN experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NnSetup {
+    /// Van der Pol oscillator (output scale 1).
+    Oscillator,
+    /// 3-D numerical system (output scale 2).
+    ThreeDim,
+}
+
+impl NnSetup {
+    /// The problem instance.
+    #[must_use]
+    pub fn problem(self) -> ReachAvoidProblem {
+        match self {
+            NnSetup::Oscillator => dwv_dynamics::oscillator::reach_avoid_problem(),
+            NnSetup::ThreeDim => dwv_dynamics::three_dim::reach_avoid_problem(),
+        }
+    }
+
+    /// The controller output scale used in all experiments.
+    #[must_use]
+    pub fn output_scale(self) -> f64 {
+        match self {
+            NnSetup::Oscillator => 1.0,
+            NnSetup::ThreeDim => 2.0,
+        }
+    }
+}
+
+/// The tuned learning configuration for NN experiments (shared so Table 1,
+/// Table 2 and the figures agree).
+#[must_use]
+pub fn default_nn_config(
+    setup: NnSetup,
+    metric: MetricKind,
+    abstraction: AbstractionKind,
+    seed: u64,
+) -> LearnConfig {
+    LearnConfig::builder()
+        .metric(metric)
+        .max_updates(300)
+        .perturbation(0.02)
+        .estimator(GradientEstimator::Spsa { samples: 2 })
+        .seed(seed)
+        .nn_hidden(vec![8])
+        .nn_output_scale(setup.output_scale())
+        .abstraction(abstraction)
+        .verifier(TaylorReachConfig {
+            dependency: DependencyTracking::BoxReinit,
+            ..TaylorReachConfig::default()
+        })
+        .build()
+}
+
+/// The tuned configuration for the ACC linear experiments.
+#[must_use]
+pub fn default_linear_config(metric: MetricKind, seed: u64) -> LearnConfig {
+    LearnConfig::builder()
+        .metric(metric)
+        .max_updates(200)
+        .perturbation(0.01)
+        .estimator(GradientEstimator::Coordinate)
+        .seed(seed)
+        .build()
+}
+
+/// The outcome of one "Ours" run: learned controller, learning stats and
+/// the initial-set search result.
+pub struct OursResult<C> {
+    /// The learning outcome (controller, CI, trace).
+    pub outcome: LearnOutcome<C>,
+    /// `X_I` coverage fraction from Algorithm 2 (`None` when learning did
+    /// not produce a reach-avoid candidate).
+    pub xi_coverage: Option<f64>,
+    /// The final verdict after Algorithm 2: `reach-avoid` only when safety
+    /// holds for all of `X₀` *and* `X_I` is non-empty.
+    pub verdict: Verdict,
+}
+
+/// Runs Ours(metric, Flow\*) on the ACC system: Algorithm 1 with the exact
+/// linear verifier, then Algorithm 2.
+///
+/// # Panics
+///
+/// Panics if the ACC problem loses its affine parts (cannot happen).
+#[must_use]
+pub fn run_ours_linear(metric: MetricKind, seed: u64) -> OursResult<LinearController> {
+    let problem = dwv_dynamics::acc::reach_avoid_problem();
+    let config = default_linear_config(metric, seed);
+    let outcome = Algorithm1::new(problem.clone(), config)
+        .learn_linear()
+        .expect("ACC is affine");
+    let (xi_coverage, verdict) = finish_linear(&problem, &outcome);
+    OursResult {
+        outcome,
+        xi_coverage,
+        verdict,
+    }
+}
+
+fn finish_linear(
+    problem: &ReachAvoidProblem,
+    outcome: &LearnOutcome<LinearController>,
+) -> (Option<f64>, Verdict) {
+    if !outcome.verified.is_reach_avoid() {
+        return (None, outcome.verified);
+    }
+    let (a, b, c) = problem.dynamics.linear_parts().expect("affine");
+    let controller = outcome.controller.clone();
+    let search = Algorithm2::new(problem).with_max_rounds(4).search(|cell| {
+        LinearReach::new(&a, &b, &c, cell.clone(), problem.delta, problem.horizon_steps)
+            .reach(&controller)
+    });
+    let verdict = if search.is_empty() {
+        Verdict::Unknown
+    } else {
+        Verdict::ReachAvoid
+    };
+    (Some(search.coverage), verdict)
+}
+
+/// Runs Ours(metric, abstraction) on an NN benchmark: Algorithm 1 with the
+/// Taylor-model verifier, then Algorithm 2 with the same abstraction.
+#[must_use]
+pub fn run_ours_nn(
+    setup: NnSetup,
+    metric: MetricKind,
+    abstraction: AbstractionKind,
+    seed: u64,
+) -> OursResult<NnController> {
+    let problem = setup.problem();
+    let config = default_nn_config(setup, metric, abstraction, seed);
+    let verifier_cfg = config.verifier.clone();
+    let outcome = Algorithm1::new(problem.clone(), config).learn_nn();
+    if !outcome.verified.is_reach_avoid() {
+        let verdict = outcome.verified;
+        return OursResult {
+            outcome,
+            xi_coverage: None,
+            verdict,
+        };
+    }
+    let controller = outcome.controller.clone();
+    let search = Algorithm2::new(&problem).with_max_rounds(4).search(|cell| {
+        nn_reach(&problem, abstraction, &verifier_cfg, cell.clone(), &controller)
+    });
+    let verdict = if search.is_empty() {
+        Verdict::Unknown
+    } else {
+        Verdict::ReachAvoid
+    };
+    OursResult {
+        outcome,
+        xi_coverage: Some(search.coverage),
+        verdict,
+    }
+}
+
+fn nn_reach(
+    problem: &ReachAvoidProblem,
+    abstraction: AbstractionKind,
+    cfg: &TaylorReachConfig,
+    cell: dwv_interval::IntervalBox,
+    controller: &NnController,
+) -> Result<Flowpipe, ReachError> {
+    match abstraction {
+        AbstractionKind::Polar { order } => {
+            TaylorReach::new(problem, TaylorAbstraction::with_order(order), cfg.clone())
+                .with_initial_set(cell)
+                .reach(controller)
+        }
+        AbstractionKind::Bernstein { degree } => {
+            TaylorReach::new(problem, BernsteinAbstraction::with_degree(degree), cfg.clone())
+                .with_initial_set(cell)
+                .reach(controller)
+        }
+    }
+}
+
+/// Post-hoc verification of an externally trained NN controller (the
+/// *design-then-verify* step applied to the baselines), using the POLAR
+/// abstraction.
+#[must_use]
+pub fn verify_nn_posthoc(problem: &ReachAvoidProblem, controller: &NnController) -> Verdict {
+    let attempt = TaylorReach::new(
+        problem,
+        TaylorAbstraction::default(),
+        TaylorReachConfig {
+            dependency: DependencyTracking::BoxReinit,
+            ..TaylorReachConfig::default()
+        },
+    )
+    .reach(controller);
+    dwv_core::judge(problem, controller, &attempt, 500, 0xBEEF)
+}
+
+/// The DDPG training budget used for Table 1 (episodes).
+#[must_use]
+pub fn ddpg_budget() -> usize {
+    2_000
+}
+
+/// Trains DDPG and assembles its Table-1 row inputs.
+#[must_use]
+pub fn run_ddpg(problem: &ReachAvoidProblem, seed: u64) -> (NnController, Option<usize>) {
+    let cfg = DdpgConfig {
+        // Matching control authority with the learned controllers.
+        action_scale: action_scale_for(problem),
+        ..DdpgConfig::default()
+    };
+    let mut agent = Ddpg::new(problem, cfg, seed);
+    let out = agent.train(ddpg_budget());
+    (out.controller, out.convergence_episode)
+}
+
+/// Trains SVG and assembles its Table-1 row inputs.
+#[must_use]
+pub fn run_svg(problem: &ReachAvoidProblem, seed: u64) -> (NnController, Option<usize>) {
+    let cfg = SvgConfig {
+        action_scale: action_scale_for(problem),
+        ..SvgConfig::default()
+    };
+    let mut agent = Svg::new(problem, cfg, seed);
+    let out = agent.train(600);
+    (out.controller, out.convergence_episode)
+}
+
+fn action_scale_for(problem: &ReachAvoidProblem) -> f64 {
+    match problem.dynamics.name() {
+        "acc" => 12.0,
+        "three-dim" => 2.0,
+        _ => 1.0,
+    }
+}
+
+/// Builds a Table-1 row from per-seed runs of a method; SC/GR are the mean
+/// empirical rates over the provided controllers (500 rollouts each).
+#[must_use]
+pub fn row_from_runs(
+    method: &str,
+    problem: &ReachAvoidProblem,
+    controllers: &[&dyn Controller],
+    ci: Vec<Option<usize>>,
+    verdict: &str,
+    secs_per_iteration: f64,
+) -> RowResult {
+    assert!(!controllers.is_empty(), "need at least one controller");
+    let mut sc = 0.0;
+    let mut gr = 0.0;
+    for c in controllers {
+        let r = rates(problem, *c, 500, 0x5C);
+        sc += r.safe_rate;
+        gr += r.goal_rate;
+    }
+    RowResult {
+        method: method.to_string(),
+        ci,
+        sc: sc / controllers.len() as f64,
+        gr: gr / controllers.len() as f64,
+        verdict: verdict.to_string(),
+        secs_per_iteration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acc_geometric_pipeline_end_to_end() {
+        let res = run_ours_linear(MetricKind::Geometric, 7);
+        assert!(res.verdict.is_reach_avoid(), "got {}", res.verdict);
+        let cov = res.xi_coverage.expect("coverage computed");
+        assert!(cov > 0.5, "X_I coverage too small: {cov}");
+    }
+
+    #[test]
+    fn three_dim_polar_pipeline_end_to_end() {
+        let res = run_ours_nn(
+            NnSetup::ThreeDim,
+            MetricKind::Geometric,
+            AbstractionKind::Polar { order: 2 },
+            3,
+        );
+        assert!(res.verdict.is_reach_avoid(), "got {}", res.verdict);
+    }
+
+    #[test]
+    fn svg_runs_and_reports() {
+        let p = dwv_dynamics::oscillator::reach_avoid_problem();
+        let (ctrl, _conv) = run_svg(&p, 1);
+        // The trained policy must at least be evaluable.
+        let r = rates(&p, &ctrl, 20, 1);
+        assert!((0.0..=1.0).contains(&r.goal_rate));
+    }
+}

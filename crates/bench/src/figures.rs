@@ -1,0 +1,210 @@
+//! Figures 4–8 as CSV series.
+//!
+//! The paper's figures are plots; this module regenerates the *data* behind
+//! each as CSV text (written to `target/repro/` by the `repro` binary):
+//!
+//! * Fig. 4 — `d^u_θ`, `d^g_θ` per iteration for ACC with the geometric
+//!   metric;
+//! * Fig. 5 — `W(r,u)`, `W(r,g)` per iteration for the oscillator with the
+//!   Wasserstein metric;
+//! * Figs. 6–8 — reach-set flowpipes of Ours(G), Ours(W) and the baselines,
+//!   with goal/unsafe rectangles, plus the `X_I` found by Algorithm 2 and
+//!   (Fig. 8) flowpipe-divergence events for hard-to-verify baseline
+//!   controllers.
+
+use crate::experiments::{run_ddpg, run_ours_linear, run_ours_nn, run_svg, NnSetup};
+use dwv_core::{AbstractionKind, MetricKind};
+use dwv_dynamics::{NnController, ReachAvoidProblem};
+use dwv_reach::{
+    DependencyTracking, Flowpipe, LinearReach, TaylorAbstraction, TaylorReach, TaylorReachConfig,
+};
+
+/// Fig. 4: learning curves for ACC with the geometric metric.
+#[must_use]
+pub fn fig4() -> String {
+    let res = run_ours_linear(MetricKind::Geometric, 7);
+    let mut csv = String::from("figure,iteration,d_unsafe,d_goal,reach_avoid\n");
+    for r in res.outcome.trace.records() {
+        csv.push_str(&format!(
+            "fig4,{},{},{},{}\n",
+            r.iteration, r.unsafe_metric, r.goal_metric, r.reach_avoid
+        ));
+    }
+    csv
+}
+
+/// Fig. 5: learning curves for the oscillator with the Wasserstein metric.
+#[must_use]
+pub fn fig5() -> String {
+    let res = run_ours_nn(
+        NnSetup::Oscillator,
+        MetricKind::Wasserstein,
+        AbstractionKind::Polar { order: 2 },
+        3,
+    );
+    let mut csv = String::from("figure,iteration,w_unsafe,w_goal,reach_avoid\n");
+    for r in res.outcome.trace.records() {
+        csv.push_str(&format!(
+            "fig5,{},{},{},{}\n",
+            r.iteration, r.unsafe_metric, r.goal_metric, r.reach_avoid
+        ));
+    }
+    csv
+}
+
+/// Serializes a flowpipe as CSV rows `method,step,t0,t1,lo…,hi…`.
+fn flowpipe_csv(method: &str, fp: &Flowpipe) -> String {
+    let mut out = String::new();
+    for (k, s) in fp.steps().iter().enumerate() {
+        let mut row = format!("{method},{k},{},{}", s.t0, s.t1);
+        for i in 0..s.enclosure.dim() {
+            row.push_str(&format!(
+                ",{},{}",
+                s.enclosure.interval(i).lo(),
+                s.enclosure.interval(i).hi()
+            ));
+        }
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+fn regions_csv(problem: &ReachAvoidProblem) -> String {
+    let mut out = String::new();
+    for (name, region) in [
+        ("goal", &problem.goal_region),
+        ("unsafe", &problem.unsafe_region),
+    ] {
+        let boxed = region.clipped_box(&problem.universe).or_else(|| {
+            // Half-space regions (the ACC unsafe set): clip to the universe
+            // polygon and report its bounding box.
+            (region.dim() == 2)
+                .then(|| region.to_polygon(&problem.universe).map(|p| p.bounding_box()))
+                .flatten()
+        });
+        if let Some(b) = boxed {
+            let mut row = format!("{name},-,-,-");
+            for i in 0..b.dim() {
+                row.push_str(&format!(",{},{}", b.interval(i).lo(), b.interval(i).hi()));
+            }
+            out.push_str(&row);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Fig. 6: ACC reach sets for Ours(G), Ours(W), SVG and DDPG.
+#[must_use]
+pub fn fig6() -> String {
+    let problem = dwv_dynamics::acc::reach_avoid_problem();
+    let mut csv = String::from("method,step,t0,t1,bounds...\n");
+    csv.push_str(&regions_csv(&problem));
+    for metric in [MetricKind::Geometric, MetricKind::Wasserstein] {
+        let res = run_ours_linear(metric, 7);
+        if let Some(fp) = &res.outcome.flowpipe {
+            csv.push_str(&flowpipe_csv(&format!("ours-{metric}"), fp));
+        }
+    }
+    for (name, ctrl) in baseline_controllers(&problem) {
+        // Verify the baseline NN policy with the Taylor-model verifier.
+        let attempt = TaylorReach::new(
+            &problem,
+            TaylorAbstraction::default(),
+            TaylorReachConfig {
+                dependency: DependencyTracking::BoxReinit,
+                ..TaylorReachConfig::default()
+            },
+        )
+        .reach(&ctrl);
+        match attempt {
+            Ok(fp) => csv.push_str(&flowpipe_csv(&name, &fp)),
+            Err(e) => csv.push_str(&format!("{name},diverged,-,-,{e}\n")),
+        }
+    }
+    csv
+}
+
+/// Fig. 7: oscillator reach sets and `X_I`.
+#[must_use]
+pub fn fig7() -> String {
+    nn_figure(NnSetup::Oscillator)
+}
+
+/// Fig. 8: 3-D system reach sets; divergence events are reported inline
+/// (the paper's "NAN occurs for the DDPG controller after 3 steps").
+#[must_use]
+pub fn fig8() -> String {
+    nn_figure(NnSetup::ThreeDim)
+}
+
+fn nn_figure(setup: NnSetup) -> String {
+    let problem = setup.problem();
+    let mut csv = String::from("method,step,t0,t1,bounds...\n");
+    csv.push_str(&regions_csv(&problem));
+    for metric in [MetricKind::Geometric, MetricKind::Wasserstein] {
+        let res = run_ours_nn(setup, metric, AbstractionKind::Polar { order: 2 }, 3);
+        if let Some(fp) = &res.outcome.flowpipe {
+            csv.push_str(&flowpipe_csv(&format!("ours-{metric}"), fp));
+        }
+        if let Some(cov) = res.xi_coverage {
+            csv.push_str(&format!("ours-{metric}-XI,coverage,-,-,{cov}\n"));
+        }
+    }
+    for (name, ctrl) in baseline_controllers(&problem) {
+        let attempt = TaylorReach::new(
+            &problem,
+            TaylorAbstraction::default(),
+            TaylorReachConfig {
+                dependency: DependencyTracking::BoxReinit,
+                ..TaylorReachConfig::default()
+            },
+        )
+        .reach(&ctrl);
+        match attempt {
+            Ok(fp) => csv.push_str(&flowpipe_csv(&name, &fp)),
+            Err(e) => csv.push_str(&format!("{name},diverged,-,-,{e}\n")),
+        }
+    }
+    csv
+}
+
+fn baseline_controllers(problem: &ReachAvoidProblem) -> Vec<(String, NnController)> {
+    let (svg, _) = run_svg(problem, 3);
+    let (ddpg, _) = run_ddpg(problem, 3);
+    vec![("svg".to_string(), svg), ("ddpg".to_string(), ddpg)]
+}
+
+/// Fig. 6 needs ACC reach sets from the *linear* verifier for "Ours"; this
+/// helper re-exports a flowpipe for a given gain (used by integration
+/// tests).
+#[must_use]
+pub fn acc_flowpipe(gains: &[f64]) -> Flowpipe {
+    let problem = dwv_dynamics::acc::reach_avoid_problem();
+    let verifier = LinearReach::for_problem(&problem).expect("affine");
+    verifier
+        .reach(&dwv_dynamics::LinearController::new(2, 1, gains.to_vec()))
+        .expect("stable gains")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flowpipe_csv_row_count() {
+        let fp = acc_flowpipe(&[0.5867, -2.0]);
+        let csv = flowpipe_csv("m", &fp);
+        assert_eq!(csv.lines().count(), fp.len());
+        assert!(csv.starts_with("m,0,"));
+    }
+
+    #[test]
+    fn regions_csv_lists_goal_and_unsafe() {
+        let p = dwv_dynamics::acc::reach_avoid_problem();
+        let csv = regions_csv(&p);
+        assert!(csv.contains("goal"));
+        assert!(csv.contains("unsafe"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Result-row formatting shared by the tables.
+
+/// One row of a Table-1-style comparison.
+#[derive(Debug, Clone)]
+pub struct RowResult {
+    /// Method label ("SVG", "DDPG", "Ours(W, Flow*)", …).
+    pub method: String,
+    /// Convergence iterations across seeds (`None` entries = not converged
+    /// within budget).
+    pub ci: Vec<Option<usize>>,
+    /// Safe-control rate over 500 simulated rollouts.
+    pub sc: f64,
+    /// Goal-reaching rate over 500 simulated rollouts.
+    pub gr: f64,
+    /// Verified result label ("reach-avoid", "Unsafe", "Unknown").
+    pub verdict: String,
+    /// Mean wall-clock seconds per learning iteration (Table 2 input).
+    pub secs_per_iteration: f64,
+}
+
+impl RowResult {
+    /// Renders the row in Table 1's format.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{:<22} {:>14} {:>7.1}% {:>7.1}% {:>12}",
+            self.method,
+            fmt_ci(&self.ci),
+            self.sc * 100.0,
+            self.gr * 100.0,
+            self.verdict
+        )
+    }
+}
+
+/// Formats a CI sample as `mean(±std)` with `K` suffixes, or `>cap` when no
+/// run converged.
+#[must_use]
+pub fn fmt_ci(ci: &[Option<usize>]) -> String {
+    let converged: Vec<f64> = ci.iter().flatten().map(|&v| v as f64).collect();
+    if converged.is_empty() {
+        return "n/c".to_string();
+    }
+    let mean = converged.iter().sum::<f64>() / converged.len() as f64;
+    let var = converged
+        .iter()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / converged.len() as f64;
+    let std = var.sqrt();
+    let fmt_v = |v: f64| {
+        if v >= 1000.0 {
+            format!("{:.1}K", v / 1000.0)
+        } else {
+            format!("{v:.0}")
+        }
+    };
+    if ci.len() > converged.len() {
+        format!("{}(±{})*", fmt_v(mean), fmt_v(std))
+    } else {
+        format!("{}(±{})", fmt_v(mean), fmt_v(std))
+    }
+}
+
+/// Table header matching Table 1's columns.
+#[must_use]
+pub fn header() -> String {
+    format!(
+        "{:<22} {:>14} {:>8} {:>8} {:>12}",
+        "method", "CI", "SC", "GR", "Verified"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ci_cases() {
+        assert_eq!(fmt_ci(&[Some(10), Some(12), Some(14)]), "12(±2)");
+        assert_eq!(fmt_ci(&[None, None]), "n/c");
+        assert!(fmt_ci(&[Some(13_600), Some(13_600)]).starts_with("13.6K"));
+        // Partial convergence is flagged with an asterisk.
+        assert!(fmt_ci(&[Some(10), None]).ends_with('*'));
+    }
+
+    #[test]
+    fn row_renders_all_fields() {
+        let r = RowResult {
+            method: "Ours(G, Flow*)".into(),
+            ci: vec![Some(60), Some(64)],
+            sc: 1.0,
+            gr: 1.0,
+            verdict: "reach-avoid".into(),
+            secs_per_iteration: 0.01,
+        };
+        let s = r.render();
+        assert!(s.contains("Ours(G, Flow*)"));
+        assert!(s.contains("100.0%"));
+        assert!(s.contains("reach-avoid"));
+    }
+}

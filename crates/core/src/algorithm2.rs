@@ -1,0 +1,372 @@
+//! Algorithm 2: reach-avoid initial-set (`X_I`) searching.
+//!
+//! Once Algorithm 1 has learned a controller, safety holds for all of `X₀`
+//! (the flowpipe over-approximates every trajectory), but *goal-reaching* is
+//! not yet guaranteed — `d^g > 0` only says the over-approximation touches
+//! the goal. Algorithm 2 restores the formal guarantee: partition `X₀` into
+//! cells `X_p`, recompute the flowpipe per cell, and keep every cell for
+//! which some step's enclosure lies *entirely inside* `X_g`
+//! (`Ψ(f, X_p, κ_θ)|_t ⊆ X_g`). The union of kept cells is `X_I ⊆ X₀`, for
+//! which Theorem 2's reach-avoid guarantee holds.
+
+use dwv_geom::Region;
+use dwv_interval::IntervalBox;
+use dwv_reach::{Flowpipe, ReachError};
+use std::fmt;
+
+/// The result of an `X_I` search.
+#[derive(Debug, Clone)]
+pub struct InitialSetSearch {
+    /// The verified cells whose union is `X_I`.
+    pub cells: Vec<IntervalBox>,
+    /// Volume fraction of `X₀` covered by `X_I`.
+    pub coverage: f64,
+    /// Number of verifier invocations spent.
+    pub verifier_calls: usize,
+    /// Cells that could not be verified within the refinement budget.
+    pub unverified: Vec<IntervalBox>,
+}
+
+impl InitialSetSearch {
+    /// Whether the whole initial set was verified (`X_I = X₀`, the paper's
+    /// best case, reported in Figs. 6–8).
+    #[must_use]
+    pub fn covers_everything(&self) -> bool {
+        self.unverified.is_empty() && !self.cells.is_empty()
+    }
+
+    /// Whether `X_I` is empty (no goal-reaching guarantee anywhere).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The tightest box around `X_I` (for reporting; `X_I` itself is the
+    /// cell union).
+    #[must_use]
+    pub fn bounding_box(&self) -> Option<IntervalBox> {
+        let mut it = self.cells.iter();
+        let first = it.next()?.clone();
+        Some(it.fold(first, |acc, c| acc.hull(c)))
+    }
+}
+
+impl fmt::Display for InitialSetSearch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "X_I: {} cells, {:.1}% of X0 ({} verifier calls)",
+            self.cells.len(),
+            self.coverage * 100.0,
+            self.verifier_calls
+        )
+    }
+}
+
+/// How Algorithm 2 partitions the initial set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// Adaptive: unverified cells are bisected along their widest dimension
+    /// each round (usually far fewer verifier calls than uniform grids).
+    #[default]
+    AdaptiveBisection,
+    /// The paper's literal scheme: each round re-partitions the *remaining*
+    /// space uniformly with an increasing per-dimension count
+    /// (`P = 1, 2, 4, …`), keeping every verified cell.
+    UniformRefinement,
+}
+
+/// Algorithm 2: partition refinement of `X₀`.
+///
+/// Starting from `X₀` as a single cell, each round verifies every pending
+/// cell; cells whose flowpipe has a step enclosure inside the goal are
+/// accepted, the rest are refined per the configured [`SearchStrategy`], up
+/// to `max_rounds` of refinement.
+///
+/// # Example
+///
+/// ```no_run
+/// use dwv_core::Algorithm2;
+/// use dwv_dynamics::acc;
+/// use dwv_reach::LinearReach;
+/// use dwv_dynamics::LinearController;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let problem = acc::reach_avoid_problem();
+/// let controller = LinearController::new(2, 1, vec![0.5867, -2.0]);
+/// let search = Algorithm2::new(&problem).search(|cell| {
+///     let v = LinearReach::new(
+///         &problem.dynamics.linear_parts().unwrap().0,
+///         &problem.dynamics.linear_parts().unwrap().1,
+///         &problem.dynamics.linear_parts().unwrap().2,
+///         cell.clone(), problem.delta, problem.horizon_steps);
+///     v.reach(&controller)
+/// });
+/// println!("{search}");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Algorithm2 {
+    x0: IntervalBox,
+    goal: Region,
+    unsafe_region: Region,
+    /// Maximum refinement rounds (each round bisects pending cells once).
+    pub max_rounds: usize,
+    /// Also require per-cell safety (no step intersects the unsafe set) —
+    /// defensive double-check on top of the X₀-wide safety from Algorithm 1.
+    pub require_safety: bool,
+    /// The partitioning scheme.
+    pub strategy: SearchStrategy,
+}
+
+impl Algorithm2 {
+    /// Creates the search for a problem.
+    #[must_use]
+    pub fn new(problem: &dwv_dynamics::ReachAvoidProblem) -> Self {
+        Self {
+            x0: problem.x0.clone(),
+            goal: problem.goal_region.clone(),
+            unsafe_region: problem.unsafe_region.clone(),
+            max_rounds: 4,
+            require_safety: true,
+            strategy: SearchStrategy::default(),
+        }
+    }
+
+    /// Sets the refinement budget.
+    #[must_use]
+    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Sets the partitioning scheme.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Runs the search with a per-cell verification oracle.
+    ///
+    /// `verify(cell)` must compute the flowpipe of the *learned* controller
+    /// from the initial set `cell`.
+    #[must_use]
+    pub fn search<V>(&self, mut verify: V) -> InitialSetSearch
+    where
+        V: FnMut(&IntervalBox) -> Result<Flowpipe, ReachError>,
+    {
+        let (accepted, pending, calls) = match self.strategy {
+            SearchStrategy::AdaptiveBisection => self.search_adaptive(&mut verify),
+            SearchStrategy::UniformRefinement => self.search_uniform(&mut verify),
+        };
+        let covered: f64 = accepted.iter().map(IntervalBox::volume).sum();
+        let total = self.x0.volume();
+        InitialSetSearch {
+            cells: accepted,
+            coverage: if total > 0.0 { covered / total } else { 0.0 },
+            verifier_calls: calls,
+            unverified: pending,
+        }
+    }
+
+    fn search_adaptive<V>(
+        &self,
+        verify: &mut V,
+    ) -> (Vec<IntervalBox>, Vec<IntervalBox>, usize)
+    where
+        V: FnMut(&IntervalBox) -> Result<Flowpipe, ReachError>,
+    {
+        let mut pending = vec![self.x0.clone()];
+        let mut accepted: Vec<IntervalBox> = Vec::new();
+        let mut calls = 0usize;
+        for round in 0..=self.max_rounds {
+            let mut next = Vec::new();
+            for cell in pending {
+                calls += 1;
+                let ok = match verify(&cell) {
+                    Ok(fp) => self.cell_verified(&fp),
+                    Err(_) => false,
+                };
+                if ok {
+                    accepted.push(cell);
+                } else if round < self.max_rounds {
+                    let dim = cell
+                        .widest_dim()
+                        .map(|(d, _)| d)
+                        .unwrap_or(0);
+                    let (a, b) = cell.bisect(dim);
+                    next.push(a);
+                    next.push(b);
+                } else {
+                    next.push(cell);
+                }
+            }
+            pending = next;
+            if pending.is_empty() {
+                break;
+            }
+        }
+        (accepted, pending, calls)
+    }
+
+    /// The paper's literal scheme: round `r` partitions `X₀` uniformly into
+    /// `2^r` cells per dimension and verifies every cell not already covered
+    /// by an accepted cell from an earlier (coarser) round.
+    fn search_uniform<V>(
+        &self,
+        verify: &mut V,
+    ) -> (Vec<IntervalBox>, Vec<IntervalBox>, usize)
+    where
+        V: FnMut(&IntervalBox) -> Result<Flowpipe, ReachError>,
+    {
+        let n = self.x0.dim();
+        let mut accepted: Vec<IntervalBox> = Vec::new();
+        let mut pending: Vec<IntervalBox> = Vec::new();
+        let mut calls = 0usize;
+        for round in 0..=self.max_rounds {
+            let per_dim = 1usize << round;
+            let cells = self.x0.partition(&vec![per_dim; n]);
+            pending = Vec::new();
+            for cell in cells {
+                // Skip anything already certified at a coarser level.
+                if accepted.iter().any(|a| a.contains(&cell)) {
+                    continue;
+                }
+                calls += 1;
+                let ok = match verify(&cell) {
+                    Ok(fp) => self.cell_verified(&fp),
+                    Err(_) => false,
+                };
+                if ok {
+                    accepted.push(cell);
+                } else {
+                    pending.push(cell);
+                }
+            }
+            if pending.is_empty() {
+                break;
+            }
+        }
+        (accepted, pending, calls)
+    }
+
+    /// Whether a cell's flowpipe formally reaches the goal: some step's
+    /// enclosure is contained in `X_g` (and, when `require_safety`, no step
+    /// meets `X_u`).
+    fn cell_verified(&self, fp: &Flowpipe) -> bool {
+        let reaches = fp
+            .iter()
+            .any(|s| self.goal.contains_box(&s.end_box));
+        if !reaches {
+            return false;
+        }
+        if self.require_safety {
+            let safe = fp
+                .iter()
+                .all(|s| !self.unsafe_region.intersects_box(&s.enclosure));
+            if !safe {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwv_dynamics::acc;
+    use dwv_dynamics::LinearController;
+    use dwv_reach::LinearReach;
+
+    fn acc_verify(
+        problem: &dwv_dynamics::ReachAvoidProblem,
+        controller: &LinearController,
+        cell: &IntervalBox,
+    ) -> Result<Flowpipe, ReachError> {
+        let (a, b, c) = problem.dynamics.linear_parts().unwrap();
+        LinearReach::new(&a, &b, &c, cell.clone(), problem.delta, problem.horizon_steps)
+            .reach(controller)
+    }
+
+    #[test]
+    fn acc_full_initial_set_verified() {
+        let p = acc::reach_avoid_problem();
+        let k = LinearController::new(2, 1, vec![0.5867, -2.0]);
+        let search = Algorithm2::new(&p).search(|cell| acc_verify(&p, &k, cell));
+        assert!(
+            search.coverage > 0.99,
+            "expected (near-)full coverage, got {search}"
+        );
+        assert!(!search.is_empty());
+        let bb = search.bounding_box().unwrap();
+        assert!(p.x0.inflate(1e-9).contains(&bb));
+    }
+
+    #[test]
+    fn hopeless_controller_gives_empty_xi() {
+        let p = acc::reach_avoid_problem();
+        let k = LinearController::zeros(2, 1);
+        let search = Algorithm2::new(&p)
+            .with_max_rounds(2)
+            .search(|cell| acc_verify(&p, &k, cell));
+        assert!(search.is_empty());
+        assert_eq!(search.coverage, 0.0);
+        assert!(!search.covers_everything());
+        assert!(!search.unverified.is_empty());
+    }
+
+    #[test]
+    fn refinement_splits_cells() {
+        // A controller that works from part of X0 only would need splitting;
+        // here we just check the call accounting on the hopeless case.
+        let p = acc::reach_avoid_problem();
+        let k = LinearController::zeros(2, 1);
+        let search = Algorithm2::new(&p)
+            .with_max_rounds(2)
+            .search(|cell| acc_verify(&p, &k, cell));
+        // Rounds: 1 + 2 + 4 cells verified.
+        assert_eq!(search.verifier_calls, 7);
+    }
+
+    #[test]
+    fn uniform_strategy_matches_adaptive_coverage() {
+        let p = acc::reach_avoid_problem();
+        let k = LinearController::new(2, 1, vec![0.5867, -2.0]);
+        let adaptive = Algorithm2::new(&p).search(|cell| acc_verify(&p, &k, cell));
+        let uniform = Algorithm2::new(&p)
+            .with_strategy(SearchStrategy::UniformRefinement)
+            .search(|cell| acc_verify(&p, &k, cell));
+        assert!((adaptive.coverage - uniform.coverage).abs() < 0.26,
+            "coverages differ too much: {} vs {}", adaptive.coverage, uniform.coverage);
+        assert!(uniform.coverage > 0.7);
+    }
+
+    #[test]
+    fn uniform_strategy_skips_covered_cells() {
+        // A controller verified from the whole X0 needs exactly one call.
+        let p = acc::reach_avoid_problem();
+        let k = LinearController::new(2, 1, vec![0.5867, -2.0]);
+        let uniform = Algorithm2::new(&p)
+            .with_strategy(SearchStrategy::UniformRefinement)
+            .search(|cell| acc_verify(&p, &k, cell));
+        if uniform.coverage > 0.99 && uniform.cells.len() == 1 {
+            assert_eq!(uniform.verifier_calls, 1);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = InitialSetSearch {
+            cells: vec![IntervalBox::from_bounds(&[(0.0, 1.0)])],
+            coverage: 0.5,
+            verifier_calls: 3,
+            unverified: vec![],
+        };
+        let txt = format!("{s}");
+        assert!(txt.contains("50.0%"));
+        assert!(s.covers_everything());
+    }
+}

@@ -1,0 +1,148 @@
+//! One-stop verification reports.
+//!
+//! [`VerificationReport`] bundles everything a user wants to know about a
+//! learned (or externally supplied) controller: the formal verdict, the
+//! certified initial set from Algorithm 2, empirical rates, and — when the
+//! controller fails — a concrete counterexample. Examples and downstream
+//! tooling render it with `Display`.
+
+use crate::algorithm2::InitialSetSearch;
+use crate::counterexample::{find_counterexample, Counterexample};
+use crate::verdict::{judge, Verdict};
+use crate::Algorithm2;
+use dwv_dynamics::{eval::rates, eval::RateReport, Controller, ReachAvoidProblem};
+use dwv_interval::IntervalBox;
+use dwv_reach::{Flowpipe, ReachError};
+use std::fmt;
+
+/// A complete assessment of one controller against one problem.
+#[derive(Debug, Clone)]
+pub struct VerificationReport {
+    /// The formal verdict (Table 1 semantics).
+    pub verdict: Verdict,
+    /// Algorithm 2's certified initial set (present when the flowpipe
+    /// verified reach-avoid and the search ran).
+    pub initial_set: Option<InitialSetSearch>,
+    /// Empirical SC/GR rates over simulated rollouts.
+    pub rates: RateReport,
+    /// A concrete violation, when one was found by simulation.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl VerificationReport {
+    /// Whether the controller carries a formal reach-avoid guarantee for a
+    /// non-empty initial set.
+    #[must_use]
+    pub fn is_certified(&self) -> bool {
+        self.verdict.is_reach_avoid()
+            && self
+                .initial_set
+                .as_ref()
+                .is_some_and(|s| !s.is_empty())
+    }
+}
+
+impl fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "verdict        : {}", self.verdict)?;
+        match &self.initial_set {
+            Some(s) => writeln!(f, "certified X_I  : {s}")?,
+            None => writeln!(f, "certified X_I  : (not computed)")?,
+        }
+        writeln!(
+            f,
+            "simulated      : SC {:.1}%  GR {:.1}%  ({} rollouts)",
+            self.rates.safe_rate * 100.0,
+            self.rates.goal_rate * 100.0,
+            self.rates.n_samples
+        )?;
+        match &self.counterexample {
+            Some(c) => writeln!(f, "counterexample : {c}"),
+            None => writeln!(f, "counterexample : none found"),
+        }
+    }
+}
+
+/// Builds a full report for a controller: post-hoc verification, Algorithm-2
+/// search over the flowpipe oracle, 500-rollout rates and counterexample
+/// search.
+///
+/// `verify(cell)` must compute the controller's flowpipe from the initial
+/// set `cell` (as in [`Algorithm2::search`]); the whole-`X₀` flowpipe is
+/// `verify(&problem.x0)`.
+#[must_use]
+pub fn assess<C, V>(problem: &ReachAvoidProblem, controller: &C, mut verify: V) -> VerificationReport
+where
+    C: Controller + ?Sized,
+    V: FnMut(&IntervalBox) -> Result<Flowpipe, ReachError>,
+{
+    let attempt = verify(&problem.x0);
+    let verdict = judge(problem, controller, &attempt, 500, 0x0A55E55);
+    let initial_set = if verdict.is_reach_avoid() {
+        Some(
+            Algorithm2::new(problem)
+                .with_max_rounds(4)
+                .search(|cell| verify(cell)),
+        )
+    } else {
+        None
+    };
+    let rates = rates(problem, controller, 500, 0x0A55E55);
+    let counterexample = if rates.is_perfect() {
+        None
+    } else {
+        find_counterexample(problem, controller, 200, 0x0A55E55)
+    };
+    VerificationReport {
+        verdict,
+        initial_set,
+        rates,
+        counterexample,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwv_dynamics::{acc, LinearController};
+    use dwv_reach::LinearReach;
+
+    fn acc_oracle(
+        problem: &ReachAvoidProblem,
+        k: &LinearController,
+    ) -> impl FnMut(&IntervalBox) -> Result<Flowpipe, ReachError> {
+        let (a, b, c) = problem.dynamics.linear_parts().expect("affine");
+        let k = k.clone();
+        let delta = problem.delta;
+        let steps = problem.horizon_steps;
+        move |cell: &IntervalBox| {
+            LinearReach::new(&a, &b, &c, cell.clone(), delta, steps).reach(&k)
+        }
+    }
+
+    #[test]
+    fn certified_report_for_good_controller() {
+        let p = acc::reach_avoid_problem();
+        let k = LinearController::new(2, 1, vec![0.5867, -2.0]);
+        let report = assess(&p, &k, acc_oracle(&p, &k));
+        assert!(report.is_certified(), "{report}");
+        assert!(report.counterexample.is_none());
+        assert!(report.rates.is_perfect());
+        let text = format!("{report}");
+        assert!(text.contains("reach-avoid"));
+        assert!(text.contains("X_I"));
+    }
+
+    #[test]
+    fn failing_report_carries_counterexample() {
+        let p = acc::reach_avoid_problem();
+        let k = LinearController::zeros(2, 1);
+        let report = assess(&p, &k, acc_oracle(&p, &k));
+        assert!(!report.is_certified());
+        assert_eq!(report.verdict, Verdict::Unsafe);
+        assert!(report.counterexample.is_some());
+        assert!(report.initial_set.is_none());
+        let text = format!("{report}");
+        assert!(text.contains("counterexample"));
+    }
+}

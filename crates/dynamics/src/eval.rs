@@ -1,0 +1,126 @@
+//! Monte-Carlo estimation of the paper's SC / GR rates.
+//!
+//! Table 1 reports the *safe control rate* (SC) and *goal-reaching rate*
+//! (GR): the fraction of trajectories, from initial states sampled uniformly
+//! in `X₀`, that stay clear of `X_u` for the whole horizon and that visit
+//! `X_g` within it (the paper uses 500 samples; so do we by default).
+
+use crate::simulate::Simulator;
+use crate::system::{Controller, ReachAvoidProblem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SC / GR estimates from simulated rollouts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateReport {
+    /// Fraction of trajectories that never enter the unsafe region.
+    pub safe_rate: f64,
+    /// Fraction of trajectories that reach the goal region within the
+    /// horizon.
+    pub goal_rate: f64,
+    /// Fraction that do both (the empirical reach-avoid rate).
+    pub reach_avoid_rate: f64,
+    /// Number of sampled initial states.
+    pub n_samples: usize,
+}
+
+impl RateReport {
+    /// Whether both rates are 100%.
+    #[must_use]
+    pub fn is_perfect(&self) -> bool {
+        self.safe_rate >= 1.0 && self.goal_rate >= 1.0
+    }
+}
+
+/// Estimates SC and GR for `controller` on `problem` from `n_samples`
+/// uniformly sampled initial states (deterministic in `seed`).
+///
+/// Safety is checked on every integrator sub-step (Definition 1 quantifies
+/// over all `t`); goal-reaching is checked at sub-step resolution too.
+///
+/// # Example
+///
+/// ```
+/// use dwv_dynamics::{acc, eval::rates, LinearController};
+///
+/// let p = acc::reach_avoid_problem();
+/// let bad = LinearController::zeros(2, 1); // no braking: will go unsafe
+/// let r = rates(&p, &bad, 100, 7);
+/// assert!(r.safe_rate < 1.0);
+/// ```
+#[must_use]
+pub fn rates<C: Controller + ?Sized>(
+    problem: &ReachAvoidProblem,
+    controller: &C,
+    n_samples: usize,
+    seed: u64,
+) -> RateReport {
+    assert!(n_samples > 0, "need at least one sample");
+    let sim = Simulator::new(problem.dynamics.clone(), problem.delta);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut safe = 0usize;
+    let mut goal = 0usize;
+    let mut both = 0usize;
+    for _ in 0..n_samples {
+        let x0: Vec<f64> = (0..problem.x0.dim())
+            .map(|i| {
+                let iv = problem.x0.interval(i);
+                rng.gen_range(iv.lo()..=iv.hi())
+            })
+            .collect();
+        let traj = sim.rollout(&x0, controller, problem.horizon_steps);
+        let is_safe = traj
+            .fine_states
+            .iter()
+            .all(|x| !problem.unsafe_region.contains_point(x));
+        let reaches = traj
+            .fine_states
+            .iter()
+            .any(|x| problem.goal_region.contains_point(x));
+        safe += usize::from(is_safe);
+        goal += usize::from(reaches);
+        both += usize::from(is_safe && reaches);
+    }
+    RateReport {
+        safe_rate: safe as f64 / n_samples as f64,
+        goal_rate: goal as f64 / n_samples as f64,
+        reach_avoid_rate: both as f64 / n_samples as f64,
+        n_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acc;
+    use crate::system::LinearController;
+
+    #[test]
+    fn uncontrolled_acc_is_unsafe() {
+        // v ≈ 50 > v_f: with no braking the gap closes below 120.
+        let p = acc::reach_avoid_problem();
+        let k = LinearController::zeros(2, 1);
+        let r = rates(&p, &k, 50, 1);
+        assert!(r.safe_rate < 0.5, "expected mostly unsafe, got {r:?}");
+        assert!(!r.is_perfect());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let p = acc::reach_avoid_problem();
+        let k = LinearController::new(2, 1, vec![0.5, -2.0]);
+        let a = rates(&p, &k, 30, 9);
+        let b = rates(&p, &k, 30, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rates_bounded() {
+        let p = acc::reach_avoid_problem();
+        let k = LinearController::new(2, 1, vec![0.2, -1.0]);
+        let r = rates(&p, &k, 20, 3);
+        assert!((0.0..=1.0).contains(&r.safe_rate));
+        assert!((0.0..=1.0).contains(&r.goal_rate));
+        assert!(r.reach_avoid_rate <= r.safe_rate.min(r.goal_rate));
+    }
+}

@@ -1,0 +1,357 @@
+//! Small dense linear algebra for system discretization.
+//!
+//! The verifiers need the zero-order-hold discretization of continuous LTI
+//! systems: `A_d = e^{Aδ}`, `B_d = ∫₀^δ e^{At} B dt` (paper §3.1). State
+//! dimensions in the benchmarks are ≤ 3, so a simple dense implementation is
+//! appropriate — no external linear-algebra crate is needed.
+
+/// A dense row-major matrix.
+///
+/// # Example
+///
+/// ```
+/// use dwv_dynamics::linalg::Matrix;
+///
+/// let a = Matrix::from_rows(vec![vec![0.0, 1.0], vec![-1.0, 0.0]]);
+/// let e = a.expm();
+/// // e^{A} for the rotation generator is a rotation by 1 radian.
+/// assert!((e.get(0, 0) - 1.0f64.cos()).abs() < 1e-9);
+/// assert!((e.get(0, 1) - 1.0f64.sin()).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// The `n × n` zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths or the matrix is empty.
+    #[must_use]
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "rows must have equal lengths"
+        );
+        let r = rows.len();
+        Self {
+            rows: r,
+            cols,
+            data: rows.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+
+    /// Scalar multiple.
+    #[must_use]
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions mismatch.
+    #[must_use]
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out.data[i * rhs.cols + j] += a * rhs.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != ncols`.
+    #[must_use]
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "vector length mismatch");
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self.get(i, j) * v[j]).sum())
+            .collect()
+    }
+
+    /// The max-row-sum (infinity) norm.
+    #[must_use]
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self.get(i, j).abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Matrix exponential by scaling-and-squaring with a Taylor series.
+    ///
+    /// Accurate to near machine precision for the well-conditioned, small
+    /// matrices produced by benchmark discretization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    #[must_use]
+    pub fn expm(&self) -> Matrix {
+        assert_eq!(self.rows, self.cols, "expm requires a square matrix");
+        // Scale so the norm is below 0.5, square back afterwards.
+        let norm = self.norm_inf();
+        let s = if norm > 0.5 {
+            (norm / 0.5).log2().ceil() as u32
+        } else {
+            0
+        };
+        let a = self.scale(0.5f64.powi(s as i32));
+        // Taylor series to order 18 (overkill for ‖A‖ ≤ 0.5).
+        let mut term = Matrix::identity(self.rows);
+        let mut acc = Matrix::identity(self.rows);
+        for k in 1..=18 {
+            term = term.matmul(&a).scale(1.0 / k as f64);
+            acc = acc.add(&term);
+        }
+        for _ in 0..s {
+            acc = acc.matmul(&acc);
+        }
+        acc
+    }
+
+    /// Horizontal concatenation `[self | rhs]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on row-count mismatch.
+    #[must_use]
+    pub fn hcat(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "row count mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(i, j, self.get(i, j));
+            }
+            for j in 0..rhs.cols {
+                out.set(i, self.cols + j, rhs.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// The sub-matrix `rows × cols` starting at `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds the matrix bounds.
+    #[must_use]
+    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix {
+        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of range");
+        let mut out = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                out.set(i, j, self.get(r0 + i, c0 + j));
+            }
+        }
+        out
+    }
+}
+
+/// Zero-order-hold discretization of `ẋ = Ax + Bu` with period `delta`:
+/// returns `(A_d, B_d)` with `A_d = e^{Aδ}` and `B_d = ∫₀^δ e^{At} B dt`.
+///
+/// Computed via the augmented-matrix trick:
+/// `exp(δ·[[A, B],[0, 0]]) = [[A_d, B_d],[0, I]]`.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b`'s row count differs from `a`'s.
+#[must_use]
+pub fn discretize(a: &Matrix, b: &Matrix, delta: f64) -> (Matrix, Matrix) {
+    assert_eq!(a.nrows(), a.ncols(), "A must be square");
+    assert_eq!(b.nrows(), a.nrows(), "B row count must match A");
+    let n = a.nrows();
+    let m = b.ncols();
+    let mut aug = Matrix::zeros(n + m, n + m);
+    for i in 0..n {
+        for j in 0..n {
+            aug.set(i, j, a.get(i, j) * delta);
+        }
+        for j in 0..m {
+            aug.set(i, n + j, b.get(i, j) * delta);
+        }
+    }
+    let e = aug.expm();
+    (e.block(0, 0, n, n), e.block(0, n, n, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_matmul() {
+        let i = Matrix::identity(3);
+        let a = Matrix::from_rows(vec![
+            vec![1.0, 2.0, 0.0],
+            vec![0.0, 1.0, -1.0],
+            vec![3.0, 0.0, 1.0],
+        ]);
+        assert_eq!(i.matmul(&a), a);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matvec_values() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn expm_of_zero_is_identity() {
+        let z = Matrix::zeros(2, 2);
+        assert_eq!(z.expm(), Matrix::identity(2));
+    }
+
+    #[test]
+    fn expm_diagonal() {
+        let a = Matrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, -2.0]]);
+        let e = a.expm();
+        assert!((e.get(0, 0) - 1.0f64.exp()).abs() < 1e-10);
+        assert!((e.get(1, 1) - (-2.0f64).exp()).abs() < 1e-10);
+        assert!(e.get(0, 1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expm_rotation() {
+        let a = Matrix::from_rows(vec![vec![0.0, -2.0], vec![2.0, 0.0]]);
+        let e = a.expm();
+        assert!((e.get(0, 0) - 2.0f64.cos()).abs() < 1e-9);
+        assert!((e.get(1, 0) - 2.0f64.sin()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discretize_acc_matches_series() {
+        // ACC: A = [[0, -1], [0, -0.2]], B = [[0], [1]], δ = 0.1.
+        let a = Matrix::from_rows(vec![vec![0.0, -1.0], vec![0.0, -0.2]]);
+        let b = Matrix::from_rows(vec![vec![0.0], vec![1.0]]);
+        let (ad, bd) = discretize(&a, &b, 0.1);
+        // Check A_d against a dense Taylor series of e^{Aδ}.
+        let mut truth = Matrix::identity(2);
+        let mut term = Matrix::identity(2);
+        for k in 1..=20 {
+            term = term.matmul(&a).scale(0.1 / k as f64);
+            truth = truth.add(&term);
+        }
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((ad.get(i, j) - truth.get(i, j)).abs() < 1e-10);
+            }
+        }
+        // B_d ≈ ∫₀^δ e^{At}B dt by numerical quadrature.
+        let quad = |row: usize| {
+            let steps = 10_000;
+            let mut acc = 0.0;
+            for i in 0..steps {
+                let t = 0.1 * (i as f64 + 0.5) / steps as f64;
+                let eat = a.scale(t).expm();
+                acc += eat.get(row, 1) * 1.0 * (0.1 / steps as f64);
+            }
+            acc
+        };
+        assert!((bd.get(0, 0) - quad(0)).abs() < 1e-6);
+        assert!((bd.get(1, 0) - quad(1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn block_and_hcat() {
+        let a = Matrix::identity(2);
+        let b = Matrix::from_rows(vec![vec![5.0], vec![6.0]]);
+        let c = a.hcat(&b);
+        assert_eq!(c.ncols(), 3);
+        assert_eq!(c.block(0, 2, 2, 1), b);
+    }
+}

@@ -1,0 +1,180 @@
+//! Closed-loop simulation with zero-order-hold control.
+
+use crate::system::{Controller, Dynamics};
+use std::sync::Arc;
+
+/// A simulated closed-loop trajectory.
+///
+/// `states[k]` is the state at control boundary `t = k·δ`;
+/// `fine_states` additionally records every RK4 sub-step (used for safety
+/// checks, which per Definition 1 must hold for *all* `t`, not only at
+/// sampling instants). `inputs[k]` is the input held during `[kδ, (k+1)δ)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    /// States at control boundaries (length = steps + 1).
+    pub states: Vec<Vec<f64>>,
+    /// Held inputs per control period (length = steps).
+    pub inputs: Vec<Vec<f64>>,
+    /// All integrator sub-step states, including the boundaries.
+    pub fine_states: Vec<Vec<f64>>,
+}
+
+/// RK4 closed-loop simulator with zero-order hold.
+///
+/// # Example
+///
+/// ```
+/// use dwv_dynamics::{acc, LinearController, simulate::Simulator};
+///
+/// let p = acc::reach_avoid_problem();
+/// let sim = Simulator::new(p.dynamics.clone(), p.delta);
+/// let k = LinearController::new(2, 1, vec![0.1, -1.0]);
+/// let traj = sim.rollout(&[123.0, 50.0], &k, 10);
+/// assert_eq!(traj.states.len(), 11);
+/// assert_eq!(traj.inputs.len(), 10);
+/// ```
+#[derive(Clone)]
+pub struct Simulator {
+    dynamics: Arc<dyn Dynamics>,
+    delta: f64,
+    substeps: usize,
+}
+
+impl Simulator {
+    /// Creates a simulator with the default 10 RK4 sub-steps per control
+    /// period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta <= 0`.
+    #[must_use]
+    pub fn new(dynamics: Arc<dyn Dynamics>, delta: f64) -> Self {
+        Self::with_substeps(dynamics, delta, 10)
+    }
+
+    /// Creates a simulator with an explicit sub-step count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta <= 0` or `substeps == 0`.
+    #[must_use]
+    pub fn with_substeps(dynamics: Arc<dyn Dynamics>, delta: f64, substeps: usize) -> Self {
+        assert!(delta > 0.0, "sampling period must be positive");
+        assert!(substeps > 0, "need at least one sub-step");
+        Self {
+            dynamics,
+            delta,
+            substeps,
+        }
+    }
+
+    /// The sampling period.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Simulates `steps` control periods from `x0` under `controller`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0.len()` differs from the state dimension.
+    #[must_use]
+    pub fn rollout<C: Controller + ?Sized>(
+        &self,
+        x0: &[f64],
+        controller: &C,
+        steps: usize,
+    ) -> Trajectory {
+        assert_eq!(
+            x0.len(),
+            self.dynamics.n_state(),
+            "initial state dimension mismatch"
+        );
+        let mut states = Vec::with_capacity(steps + 1);
+        let mut inputs = Vec::with_capacity(steps);
+        let mut fine = Vec::with_capacity(steps * self.substeps + 1);
+        let mut x = x0.to_vec();
+        states.push(x.clone());
+        fine.push(x.clone());
+        let h = self.delta / self.substeps as f64;
+        for _ in 0..steps {
+            let u = controller.control(&x);
+            for _ in 0..self.substeps {
+                x = self.rk4_step(&x, &u, h);
+                fine.push(x.clone());
+            }
+            states.push(x.clone());
+            inputs.push(u);
+        }
+        Trajectory {
+            states,
+            inputs,
+            fine_states: fine,
+        }
+    }
+
+    /// One explicit RK4 step of length `h` with input held at `u`.
+    #[must_use]
+    pub fn rk4_step(&self, x: &[f64], u: &[f64], h: f64) -> Vec<f64> {
+        let f = |x: &[f64]| self.dynamics.deriv(x, u);
+        let k1 = f(x);
+        let x2: Vec<f64> = x.iter().zip(&k1).map(|(a, k)| a + 0.5 * h * k).collect();
+        let k2 = f(&x2);
+        let x3: Vec<f64> = x.iter().zip(&k2).map(|(a, k)| a + 0.5 * h * k).collect();
+        let k3 = f(&x3);
+        let x4: Vec<f64> = x.iter().zip(&k3).map(|(a, k)| a + h * k).collect();
+        let k4 = f(&x4);
+        x.iter()
+            .enumerate()
+            .map(|(i, a)| a + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acc::Acc;
+    use crate::oscillator::Oscillator;
+    use crate::system::LinearController;
+
+    #[test]
+    fn rk4_matches_exponential_decay() {
+        // v̇ = -0.2 v with u = 0 and v_f contribution on s.
+        let sim = Simulator::new(Arc::new(Acc), 0.1);
+        let k = LinearController::zeros(2, 1);
+        let traj = sim.rollout(&[123.0, 50.0], &k, 50);
+        // v(t) = 50 e^{-0.2 t}; at t = 5: 50 e^{-1}.
+        let v_end = traj.states[50][1];
+        assert!((v_end - 50.0 * (-1.0f64).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_order_hold_freezes_input() {
+        // With a feedback controller, the input changes only at boundaries.
+        let sim = Simulator::new(Arc::new(Oscillator), 0.1);
+        let k = LinearController::new(2, 1, vec![1.0, 1.0]);
+        let traj = sim.rollout(&[-0.5, 0.5], &k, 3);
+        assert_eq!(traj.inputs.len(), 3);
+        // Input at step 0 equals κ(x(0)).
+        assert!((traj.inputs[0][0] - 0.0).abs() < 1e-12); // -0.5 + 0.5
+        // fine trajectory has substeps*steps + 1 points
+        assert_eq!(traj.fine_states.len(), 31);
+    }
+
+    #[test]
+    fn finer_substeps_converge() {
+        let coarse = Simulator::with_substeps(Arc::new(Oscillator), 0.1, 2);
+        let fine = Simulator::with_substeps(Arc::new(Oscillator), 0.1, 50);
+        let k = LinearController::new(2, 1, vec![-0.5, -0.5]);
+        let a = coarse.rollout(&[-0.5, 0.5], &k, 20);
+        let b = fine.rollout(&[-0.5, 0.5], &k, 20);
+        let d: f64 = a.states[20]
+            .iter()
+            .zip(&b.states[20])
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(d < 1e-6, "RK4 refinement changed the endpoint by {d}");
+    }
+}

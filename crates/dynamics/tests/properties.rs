@@ -1,0 +1,109 @@
+//! Property-based tests for the dynamics substrate: discretization
+//! consistency, simulator convergence, and benchmark-system invariants.
+
+use dwv_dynamics::linalg::{discretize, Matrix};
+use dwv_dynamics::simulate::Simulator;
+use dwv_dynamics::{acc, oscillator, three_dim, Dynamics, LinearController};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `e^{A(s+t)} = e^{As} e^{At}` — the semigroup property of the matrix
+    /// exponential, on random 2×2 matrices.
+    #[test]
+    fn expm_semigroup(a00 in -2.0..2.0f64, a01 in -2.0..2.0f64, a10 in -2.0..2.0f64, a11 in -2.0..2.0f64, s in 0.05..0.5f64, t in 0.05..0.5f64) {
+        let a = Matrix::from_rows(vec![vec![a00, a01], vec![a10, a11]]);
+        let both = a.scale(s + t).expm();
+        let split = a.scale(s).expm().matmul(&a.scale(t).expm());
+        for i in 0..2 {
+            for j in 0..2 {
+                prop_assert!(
+                    (both.get(i, j) - split.get(i, j)).abs() < 1e-8 * (1.0 + both.get(i, j).abs()),
+                    "({i},{j}): {} vs {}",
+                    both.get(i, j),
+                    split.get(i, j)
+                );
+            }
+        }
+    }
+
+    /// ZOH discretization agrees with a fine RK4 simulation of the
+    /// continuous system under a held input.
+    #[test]
+    fn discretization_matches_simulation(u in -5.0..5.0f64, s0 in 120.0..130.0f64, v0 in 40.0..55.0f64) {
+        let (a, b, c) = acc::Acc.linear_parts().expect("affine");
+        let delta = 0.1;
+        let c_col = Matrix::from_rows(c.iter().map(|&v| vec![v]).collect());
+        let b_aug = b.hcat(&c_col);
+        let (ad, bd_aug) = discretize(&a, &b_aug, delta);
+        let x = [s0, v0];
+        let mut disc = ad.matvec(&x);
+        disc[0] += bd_aug.get(0, 0) * u + bd_aug.get(0, 1);
+        disc[1] += bd_aug.get(1, 0) * u + bd_aug.get(1, 1);
+        // Fine RK4 with the input held.
+        let sim = Simulator::with_substeps(Arc::new(acc::Acc), delta, 100);
+        let mut fine = x.to_vec();
+        for _ in 0..100 {
+            fine = sim.rk4_step(&fine, &[u], delta / 100.0);
+        }
+        prop_assert!((disc[0] - fine[0]).abs() < 1e-8);
+        prop_assert!((disc[1] - fine[1]).abs() < 1e-8);
+    }
+
+    /// RK4 rollouts are deterministic and refine consistently: halving the
+    /// sub-step size changes the endpoint by O(h⁴).
+    #[test]
+    fn rk4_refinement_order(x1 in -0.6..-0.4f64, x2 in 0.4..0.6f64, g0 in -1.0..0.0f64, g1 in -1.0..0.0f64) {
+        let k = LinearController::new(2, 1, vec![g0, g1]);
+        let coarse = Simulator::with_substeps(Arc::new(oscillator::Oscillator), 0.1, 5)
+            .rollout(&[x1, x2], &k, 10);
+        let fine = Simulator::with_substeps(Arc::new(oscillator::Oscillator), 0.1, 40)
+            .rollout(&[x1, x2], &k, 10);
+        let scale: f64 = fine.states[10].iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        let d: f64 = coarse.states[10]
+            .iter()
+            .zip(&fine.states[10])
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        prop_assert!(d < 1e-6 * scale, "refinement moved endpoint by {d} (scale {scale})");
+    }
+
+    /// The three benchmark vector fields agree with their polynomial forms
+    /// at random points.
+    #[test]
+    fn vector_fields_match_polynomials(x1 in -1.0..1.0f64, x2 in -1.0..1.0f64, x3 in -1.0..1.0f64, u in -2.0..2.0f64) {
+        let osc = oscillator::Oscillator;
+        let d1 = osc.deriv(&[x1, x2], &[u]);
+        let d2 = osc.vector_field().eval(&[x1, x2, u]);
+        prop_assert!((d1[0] - d2[0]).abs() < 1e-12);
+        prop_assert!((d1[1] - d2[1]).abs() < 1e-12);
+
+        let td = three_dim::ThreeDim;
+        let e1 = td.deriv(&[x1, x2, x3], &[u]);
+        let e2 = td.vector_field().eval(&[x1, x2, x3, u]);
+        for i in 0..3 {
+            prop_assert!((e1[i] - e2[i]).abs() < 1e-12);
+        }
+
+        let ac = acc::Acc;
+        let f1 = ac.deriv(&[120.0 + x1, 45.0 + x2], &[u]);
+        let f2 = ac.vector_field().eval(&[120.0 + x1, 45.0 + x2, u]);
+        prop_assert!((f1[0] - f2[0]).abs() < 1e-12);
+        prop_assert!((f1[1] - f2[1]).abs() < 1e-12);
+    }
+
+    /// Affine systems: deriv == A x + B u + c everywhere.
+    #[test]
+    fn linear_parts_consistent(s in 100.0..200.0f64, v in 0.0..80.0f64, u in -20.0..20.0f64) {
+        let ac = acc::Acc;
+        let (a, b, c) = ac.linear_parts().expect("affine");
+        let ax = a.matvec(&[s, v]);
+        let bu = b.matvec(&[u]);
+        let d = ac.deriv(&[s, v], &[u]);
+        for i in 0..2 {
+            prop_assert!((ax[i] + bu[i] + c[i] - d[i]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Half-planes (2-D) and half-spaces (n-D).
+
+use crate::Vec2;
+use dwv_interval::IntervalBox;
+use std::fmt;
+
+/// The closed half-plane `{ x ∈ R² : n·x ≤ c }`.
+///
+/// # Example
+///
+/// ```
+/// use dwv_geom::{HalfPlane, Vec2};
+///
+/// // The ACC unsafe region {s <= 120} with state (s, v):
+/// let unsafe_region = HalfPlane::new([1.0, 0.0], 120.0);
+/// assert!(unsafe_region.contains(Vec2::new(100.0, 40.0)));
+/// assert!(!unsafe_region.contains(Vec2::new(130.0, 40.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalfPlane {
+    normal: Vec2,
+    offset: f64,
+}
+
+impl HalfPlane {
+    /// Creates the half-plane `n·x ≤ c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the normal is (near-)zero.
+    #[must_use]
+    pub fn new(normal: [f64; 2], offset: f64) -> Self {
+        let n = Vec2::new(normal[0], normal[1]);
+        assert!(n.norm() > 1e-300, "half-plane normal must be non-zero");
+        Self { normal: n, offset }
+    }
+
+    /// The outward normal vector.
+    #[must_use]
+    pub fn normal(&self) -> Vec2 {
+        self.normal
+    }
+
+    /// The offset `c` in `n·x ≤ c`.
+    #[must_use]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Signed slack `c − n·x`: non-negative inside the half-plane.
+    #[must_use]
+    pub fn signed_slack(&self, p: Vec2) -> f64 {
+        self.offset - self.normal.dot(p)
+    }
+
+    /// Whether `p` satisfies the constraint.
+    #[must_use]
+    pub fn contains(&self, p: Vec2) -> bool {
+        self.signed_slack(p) >= 0.0
+    }
+
+    /// Euclidean distance from `p` to the half-plane (0 inside).
+    #[must_use]
+    pub fn distance_to_point(&self, p: Vec2) -> f64 {
+        (-self.signed_slack(p) / self.normal.norm()).max(0.0)
+    }
+
+    /// Where the segment `[a, b]` crosses the boundary line, if it does.
+    #[must_use]
+    pub fn segment_crossing(&self, a: Vec2, b: Vec2) -> Option<Vec2> {
+        let fa = self.signed_slack(a);
+        let fb = self.signed_slack(b);
+        let denom = fa - fb;
+        if denom.abs() < 1e-300 {
+            return None;
+        }
+        let t = fa / denom;
+        (0.0..=1.0).contains(&t).then(|| a + (b - a) * t)
+    }
+
+    /// The complementary half-plane `n·x ≥ c`, i.e. `(-n)·x ≤ -c`.
+    #[must_use]
+    pub fn complement(&self) -> HalfPlane {
+        HalfPlane {
+            normal: -self.normal,
+            offset: -self.offset,
+        }
+    }
+}
+
+impl fmt::Display for HalfPlane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{{x : {}·x₁ + {}·x₂ ≤ {}}}",
+            self.normal.x, self.normal.y, self.offset
+        )
+    }
+}
+
+/// The closed half-space `{ x ∈ Rⁿ : n·x ≤ c }`.
+///
+/// # Example
+///
+/// ```
+/// use dwv_geom::HalfSpace;
+///
+/// let hs = HalfSpace::new(vec![1.0, 0.0, 0.0], 2.0);
+/// assert!(hs.contains(&[1.0, 5.0, -3.0]));
+/// assert!(!hs.contains(&[3.0, 0.0, 0.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HalfSpace {
+    normal: Vec<f64>,
+    offset: f64,
+}
+
+impl HalfSpace {
+    /// Creates the half-space `n·x ≤ c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the normal is empty or (near-)zero.
+    #[must_use]
+    pub fn new(normal: Vec<f64>, offset: f64) -> Self {
+        let norm: f64 = normal.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(norm > 1e-300, "half-space normal must be non-zero");
+        Self { normal, offset }
+    }
+
+    /// The ambient dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.normal.len()
+    }
+
+    /// The outward normal.
+    #[must_use]
+    pub fn normal(&self) -> &[f64] {
+        &self.normal
+    }
+
+    /// The offset `c`.
+    #[must_use]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Signed slack `c − n·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn signed_slack(&self, p: &[f64]) -> f64 {
+        assert_eq!(p.len(), self.dim(), "dimension mismatch");
+        self.offset - self.normal.iter().zip(p).map(|(n, x)| n * x).sum::<f64>()
+    }
+
+    /// Whether `p` satisfies the constraint.
+    #[must_use]
+    pub fn contains(&self, p: &[f64]) -> bool {
+        self.signed_slack(p) >= 0.0
+    }
+
+    /// Euclidean distance from `p` to the half-space (0 inside).
+    #[must_use]
+    pub fn distance_to_point(&self, p: &[f64]) -> f64 {
+        let norm: f64 = self.normal.iter().map(|v| v * v).sum::<f64>().sqrt();
+        (-self.signed_slack(p) / norm).max(0.0)
+    }
+
+    /// The infimum of `n·x` over a box (support in direction `-n`, negated).
+    #[must_use]
+    pub fn min_over_box(&self, b: &IntervalBox) -> f64 {
+        assert_eq!(b.dim(), self.dim(), "dimension mismatch");
+        self.normal
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let iv = b.interval(i);
+                if n >= 0.0 {
+                    n * iv.lo()
+                } else {
+                    n * iv.hi()
+                }
+            })
+            .sum()
+    }
+
+    /// The supremum of `n·x` over a box.
+    #[must_use]
+    pub fn max_over_box(&self, b: &IntervalBox) -> f64 {
+        assert_eq!(b.dim(), self.dim(), "dimension mismatch");
+        self.normal
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let iv = b.interval(i);
+                if n >= 0.0 {
+                    n * iv.hi()
+                } else {
+                    n * iv.lo()
+                }
+            })
+            .sum()
+    }
+
+    /// Whether the box intersects the half-space.
+    #[must_use]
+    pub fn intersects_box(&self, b: &IntervalBox) -> bool {
+        self.min_over_box(b) <= self.offset
+    }
+
+    /// Whether the box lies entirely inside the half-space.
+    #[must_use]
+    pub fn contains_box(&self, b: &IntervalBox) -> bool {
+        self.max_over_box(b) <= self.offset
+    }
+
+    /// Euclidean distance from a box to the half-space (0 on intersection).
+    #[must_use]
+    pub fn distance_to_box(&self, b: &IntervalBox) -> f64 {
+        let norm: f64 = self.normal.iter().map(|v| v * v).sum::<f64>().sqrt();
+        ((self.min_over_box(b) - self.offset) / norm).max(0.0)
+    }
+}
+
+impl fmt::Display for HalfSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{x : n·x ≤ {} , n = {:?}}}", self.offset, self.normal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halfplane_slack_and_distance() {
+        let hp = HalfPlane::new([0.0, 2.0], 4.0); // y <= 2 (normal scaled by 2)
+        assert!(hp.contains(Vec2::new(0.0, 2.0)));
+        assert!(!hp.contains(Vec2::new(0.0, 3.0)));
+        assert!((hp.distance_to_point(Vec2::new(0.0, 3.0)) - 1.0).abs() < 1e-12);
+        assert_eq!(hp.distance_to_point(Vec2::new(0.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn halfplane_crossing() {
+        let hp = HalfPlane::new([1.0, 0.0], 0.5); // x <= 0.5
+        let x = hp
+            .segment_crossing(Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0))
+            .unwrap();
+        assert!((x.x - 0.5).abs() < 1e-12 && (x.y - 0.5).abs() < 1e-12);
+        assert!(hp
+            .segment_crossing(Vec2::new(0.0, 0.0), Vec2::new(0.2, 0.0))
+            .is_none());
+    }
+
+    #[test]
+    fn halfplane_complement() {
+        let hp = HalfPlane::new([1.0, 0.0], 1.0);
+        let c = hp.complement();
+        assert!(c.contains(Vec2::new(2.0, 0.0)));
+        assert!(!c.contains(Vec2::new(0.0, 0.0)));
+        // Boundary belongs to both.
+        assert!(hp.contains(Vec2::new(1.0, 0.0)) && c.contains(Vec2::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn halfspace_box_queries() {
+        let hs = HalfSpace::new(vec![1.0, 0.0], 120.0); // s <= 120
+        let x0 = IntervalBox::from_bounds(&[(122.0, 124.0), (48.0, 52.0)]);
+        assert!(!hs.intersects_box(&x0));
+        assert!((hs.distance_to_box(&x0) - 2.0).abs() < 1e-12);
+        let crossing = IntervalBox::from_bounds(&[(119.0, 121.0), (0.0, 1.0)]);
+        assert!(hs.intersects_box(&crossing));
+        assert!(!hs.contains_box(&crossing));
+        let inside = IntervalBox::from_bounds(&[(100.0, 110.0), (0.0, 1.0)]);
+        assert!(hs.contains_box(&inside));
+        assert_eq!(hs.distance_to_box(&inside), 0.0);
+    }
+
+    #[test]
+    fn halfspace_min_max_over_box() {
+        let hs = HalfSpace::new(vec![1.0, -2.0], 0.0);
+        let b = IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+        assert_eq!(hs.min_over_box(&b), -2.0);
+        assert_eq!(hs.max_over_box(&b), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_normal_panics() {
+        let _ = HalfSpace::new(vec![0.0, 0.0], 1.0);
+    }
+}

@@ -1,0 +1,444 @@
+//! Goal / unsafe region abstraction.
+
+use crate::{ConvexPolygon, HalfSpace, Vec2};
+use dwv_interval::{Interval, IntervalBox};
+use std::fmt;
+
+/// A goal or unsafe region of the state space.
+///
+/// The DAC'22 benchmarks use two region shapes:
+///
+/// * axis-aligned boxes, possibly unbounded in some dimensions — e.g. the ACC
+///   unsafe set `{(s,v) : s ≤ 120}` is `[-∞,120] × [-∞,∞]`, and the 3-D
+///   system's sets constrain only `x₁,x₂`;
+/// * general half-spaces `n·x ≤ c`.
+///
+/// Measures of unbounded regions (the `|X_r ∩ X_u|` term of Eq. (2)) are
+/// taken after clipping against a caller-supplied *universe* box; clipping
+/// preserves the sign and monotonicity of the metric, which is all the
+/// approximate gradient of Algorithm 1 consumes.
+///
+/// # Example
+///
+/// ```
+/// use dwv_geom::Region;
+/// use dwv_interval::IntervalBox;
+///
+/// // ACC unsafe region {s <= 120}:
+/// let unsafe_region = Region::box_constraints(&[(f64::NEG_INFINITY, 120.0)], 2);
+/// assert!(unsafe_region.contains_point(&[100.0, 40.0]));
+/// let reach = IntervalBox::from_bounds(&[(122.0, 124.0), (48.0, 52.0)]);
+/// assert!(!unsafe_region.intersects_box(&reach));
+/// assert!((unsafe_region.distance_to_box(&reach) - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Region {
+    /// An axis-aligned box, possibly with infinite endpoints.
+    Box(IntervalBox),
+    /// A general half-space `n·x ≤ c`.
+    HalfSpace(HalfSpace),
+}
+
+impl Region {
+    /// Creates a box region from explicit bounds in every dimension.
+    #[must_use]
+    pub fn from_box(b: IntervalBox) -> Self {
+        Region::Box(b)
+    }
+
+    /// Creates a box region that constrains only the first `bounds.len()`
+    /// dimensions, leaving the remaining of `dim` dimensions unbounded.
+    ///
+    /// This matches how the paper specifies the 3-D system's goal/unsafe sets
+    /// (constraints on `x₁, x₂` only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds.len() > dim`.
+    #[must_use]
+    pub fn box_constraints(bounds: &[(f64, f64)], dim: usize) -> Self {
+        assert!(bounds.len() <= dim, "more constraints than dimensions");
+        let mut dims: Vec<Interval> = bounds.iter().map(|&(l, h)| Interval::new(l, h)).collect();
+        dims.resize(dim, Interval::ENTIRE);
+        Region::Box(IntervalBox::new(dims))
+    }
+
+    /// Creates a half-space region `n·x ≤ c`.
+    #[must_use]
+    pub fn from_halfspace(hs: HalfSpace) -> Self {
+        Region::HalfSpace(hs)
+    }
+
+    /// The ambient dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        match self {
+            Region::Box(b) => b.dim(),
+            Region::HalfSpace(h) => h.dim(),
+        }
+    }
+
+    /// Whether the point lies in the region.
+    #[must_use]
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        match self {
+            Region::Box(b) => b.contains_point(p),
+            Region::HalfSpace(h) => h.contains(p),
+        }
+    }
+
+    /// Whether the region intersects the box.
+    #[must_use]
+    pub fn intersects_box(&self, b: &IntervalBox) -> bool {
+        match self {
+            Region::Box(r) => r.intersects(b),
+            Region::HalfSpace(h) => h.intersects_box(b),
+        }
+    }
+
+    /// Whether the box lies entirely inside the region.
+    #[must_use]
+    pub fn contains_box(&self, b: &IntervalBox) -> bool {
+        match self {
+            Region::Box(r) => r.contains(b),
+            Region::HalfSpace(h) => h.contains_box(b),
+        }
+    }
+
+    /// Euclidean distance between the region and the box (0 on intersection).
+    #[must_use]
+    pub fn distance_to_box(&self, b: &IntervalBox) -> f64 {
+        match self {
+            Region::Box(r) => r.distance(b),
+            Region::HalfSpace(h) => h.distance_to_box(b),
+        }
+    }
+
+    /// Euclidean distance between the region and a point (0 inside).
+    #[must_use]
+    pub fn distance_to_point(&self, p: &[f64]) -> f64 {
+        match self {
+            Region::Box(r) => r.distance_to_point(p),
+            Region::HalfSpace(h) => h.distance_to_point(p),
+        }
+    }
+
+    /// Volume of `region ∩ b`, clipped against `universe` so unbounded
+    /// regions produce finite measures.
+    ///
+    /// Exact for box regions; for half-space regions in 2-D this is exact via
+    /// polygon clipping, and in higher dimensions a deterministic grid
+    /// estimate is used (documented approximation — the benchmark systems
+    /// only use axis-aligned regions, which take the exact path).
+    #[must_use]
+    pub fn intersection_volume(&self, b: &IntervalBox, universe: &IntervalBox) -> f64 {
+        let Some(b) = b.intersection(universe) else {
+            return 0.0;
+        };
+        match self {
+            Region::Box(r) => r
+                .intersection(&b)
+                .map(|ix| ix.volume())
+                .unwrap_or(0.0),
+            Region::HalfSpace(h) => {
+                if h.contains_box(&b) {
+                    return b.volume();
+                }
+                if !h.intersects_box(&b) {
+                    return 0.0;
+                }
+                if b.dim() == 2 {
+                    let poly = ConvexPolygon::from_box(&b);
+                    let hp = crate::HalfPlane::new(
+                        [h.normal()[0], h.normal()[1]],
+                        h.offset(),
+                    );
+                    poly.clip_halfplane(&hp).map(|p| p.area()).unwrap_or(0.0)
+                } else {
+                    grid_volume_estimate(h, &b)
+                }
+            }
+        }
+    }
+
+    /// Area of `region ∩ polygon` (2-D, exact), clipped against `universe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is not 2-dimensional.
+    #[must_use]
+    pub fn intersection_area(&self, poly: &ConvexPolygon, universe: &IntervalBox) -> f64 {
+        assert_eq!(self.dim(), 2, "intersection_area requires a 2-D region");
+        let Some(region_poly) = self.to_polygon(universe) else {
+            return 0.0;
+        };
+        poly.intersect(&region_poly).map(|p| p.area()).unwrap_or(0.0)
+    }
+
+    /// Euclidean distance between the region and a convex polygon (2-D,
+    /// exact; 0 on intersection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is not 2-dimensional.
+    #[must_use]
+    pub fn distance_to_polygon(&self, poly: &ConvexPolygon) -> f64 {
+        assert_eq!(self.dim(), 2, "distance_to_polygon requires a 2-D region");
+        match self {
+            Region::HalfSpace(h) => {
+                // Convex: the min of n·x over the polygon is at a vertex.
+                let n = Vec2::new(h.normal()[0], h.normal()[1]);
+                let min_nx = poly
+                    .vertices()
+                    .iter()
+                    .map(|v| n.dot(*v))
+                    .fold(f64::INFINITY, f64::min);
+                ((min_nx - h.offset()) / n.norm()).max(0.0)
+            }
+            Region::Box(_) => {
+                // Clip-free exact distance: build a bounded polygon from the
+                // region using the polygon's own bounding box (inflated) as
+                // the universe; distance only depends on the nearby geometry.
+                let pad = 10.0
+                    * poly
+                        .bounding_box()
+                        .intervals()
+                        .iter()
+                        .map(|iv| iv.width() + iv.mid().abs())
+                        .fold(1.0, f64::max);
+                let local = poly.bounding_box().inflate(pad);
+                match self.to_polygon(&local) {
+                    Some(rp) => poly.distance_to(&rp),
+                    None => f64::INFINITY,
+                }
+            }
+        }
+    }
+
+    /// The region clipped to `universe`, as a convex polygon (2-D only).
+    ///
+    /// Returns `None` when the clipped region is empty or degenerate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region or universe is not 2-dimensional or the universe
+    /// is unbounded.
+    #[must_use]
+    pub fn to_polygon(&self, universe: &IntervalBox) -> Option<ConvexPolygon> {
+        assert_eq!(self.dim(), 2, "to_polygon requires a 2-D region");
+        assert_eq!(universe.dim(), 2, "universe must be 2-D");
+        match self {
+            Region::Box(r) => {
+                let clipped = r.intersection(universe)?;
+                if clipped.volume() <= 0.0 {
+                    return None;
+                }
+                Some(ConvexPolygon::from_box(&clipped))
+            }
+            Region::HalfSpace(h) => {
+                let hp = crate::HalfPlane::new([h.normal()[0], h.normal()[1]], h.offset());
+                ConvexPolygon::from_box(universe).clip_halfplane(&hp)
+            }
+        }
+    }
+
+    /// A representative interior point of the region (clipped to
+    /// `universe`): the clipped-box center for box regions, the universe
+    /// center projected onto the half-space for half-space regions.
+    ///
+    /// Used as a shaping anchor by learners when a reach set has drifted so
+    /// far that set-distance metrics saturate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch with `universe`.
+    #[must_use]
+    pub fn anchor(&self, universe: &IntervalBox) -> Vec<f64> {
+        assert_eq!(self.dim(), universe.dim(), "dimension mismatch");
+        match self {
+            Region::Box(r) => r
+                .intersection(universe)
+                .map(|c| c.center())
+                .unwrap_or_else(|| universe.center()),
+            Region::HalfSpace(h) => {
+                let c = universe.center();
+                if h.contains(&c) {
+                    return c;
+                }
+                // Project onto the boundary n·x = offset.
+                let n = h.normal();
+                let norm_sq: f64 = n.iter().map(|v| v * v).sum();
+                let slack = h.signed_slack(&c); // negative outside
+                c.iter()
+                    .zip(n)
+                    .map(|(ci, ni)| ci + ni * slack / norm_sq)
+                    .collect()
+            }
+        }
+    }
+
+    /// The region clipped to `universe` as a box, when the region is a box.
+    ///
+    /// Half-space regions return `None` (they are not axis-aligned); callers
+    /// needing samples from half-space regions should rejection-sample with
+    /// [`Region::contains_point`].
+    #[must_use]
+    pub fn clipped_box(&self, universe: &IntervalBox) -> Option<IntervalBox> {
+        match self {
+            Region::Box(r) => r.intersection(universe),
+            Region::HalfSpace(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Region::Box(b) => write!(f, "Box{b}"),
+            Region::HalfSpace(h) => write!(f, "{h}"),
+        }
+    }
+}
+
+impl From<IntervalBox> for Region {
+    fn from(b: IntervalBox) -> Self {
+        Region::Box(b)
+    }
+}
+
+impl From<HalfSpace> for Region {
+    fn from(h: HalfSpace) -> Self {
+        Region::HalfSpace(h)
+    }
+}
+
+/// Deterministic mid-point grid estimate of `|halfspace ∩ box|` for n-D
+/// half-spaces (n > 2). Resolution 16 per axis.
+fn grid_volume_estimate(h: &HalfSpace, b: &IntervalBox) -> f64 {
+    const RES: usize = 16;
+    let cells = b.partition(&vec![RES; b.dim()]);
+    let cell_vol = b.volume() / cells.len() as f64;
+    cells
+        .iter()
+        .filter(|c| h.contains(&c.center()))
+        .count() as f64
+        * cell_vol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe() -> IntervalBox {
+        IntervalBox::from_bounds(&[(-10.0, 10.0), (-10.0, 10.0)])
+    }
+
+    #[test]
+    fn box_constraints_pads_unbounded() {
+        let r = Region::box_constraints(&[(0.0, 1.0)], 3);
+        assert_eq!(r.dim(), 3);
+        assert!(r.contains_point(&[0.5, 1e9, -1e9]));
+        assert!(!r.contains_point(&[2.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn intersection_volume_box_exact() {
+        let r = Region::from_box(IntervalBox::from_bounds(&[(0.0, 2.0), (0.0, 2.0)]));
+        let b = IntervalBox::from_bounds(&[(1.0, 3.0), (1.0, 3.0)]);
+        assert!((r.intersection_volume(&b, &universe()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_volume_unbounded_region_clipped() {
+        // {x <= 0} over universe [-10,10]^2 intersected with [-1,1]x[0,1]
+        let r = Region::box_constraints(&[(f64::NEG_INFINITY, 0.0)], 2);
+        let b = IntervalBox::from_bounds(&[(-1.0, 1.0), (0.0, 1.0)]);
+        assert!((r.intersection_volume(&b, &universe()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_volume_halfspace_2d_exact() {
+        let r = Region::from_halfspace(HalfSpace::new(vec![1.0, 1.0], 1.0)); // x+y <= 1
+        let b = IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+        // Triangle below x+y=1 in the unit square has area 1/2.
+        assert!((r.intersection_volume(&b, &universe()) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersection_volume_halfspace_3d_estimate() {
+        let r = Region::from_halfspace(HalfSpace::new(vec![1.0, 0.0, 0.0], 0.5));
+        let b = IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]);
+        let u = IntervalBox::from_bounds(&[(-2.0, 2.0), (-2.0, 2.0), (-2.0, 2.0)]);
+        let v = r.intersection_volume(&b, &u);
+        assert!((v - 0.5).abs() < 0.1, "grid estimate {v} too far from 0.5");
+    }
+
+    #[test]
+    fn distance_box_region() {
+        let r = Region::from_box(IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]));
+        let b = IntervalBox::from_bounds(&[(3.0, 4.0), (0.0, 1.0)]);
+        assert!((r.distance_to_box(&b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_halfspace_polygon() {
+        let r = Region::from_halfspace(HalfSpace::new(vec![1.0, 0.0], 0.0)); // x <= 0
+        let poly = ConvexPolygon::from_box(&IntervalBox::from_bounds(&[(2.0, 3.0), (0.0, 1.0)]));
+        assert!((r.distance_to_polygon(&poly) - 2.0).abs() < 1e-12);
+        let touching = ConvexPolygon::from_box(&IntervalBox::from_bounds(&[(-1.0, 1.0), (0.0, 1.0)]));
+        assert_eq!(r.distance_to_polygon(&touching), 0.0);
+    }
+
+    #[test]
+    fn distance_box_region_polygon() {
+        let r = Region::from_box(IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]));
+        let poly = ConvexPolygon::from_box(&IntervalBox::from_bounds(&[(4.0, 5.0), (0.0, 1.0)]));
+        assert!((r.distance_to_polygon(&poly) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersection_area_with_polygon() {
+        let r = Region::from_box(IntervalBox::from_bounds(&[(0.0, 2.0), (0.0, 2.0)]));
+        let poly = ConvexPolygon::from_box(&IntervalBox::from_bounds(&[(1.0, 3.0), (1.0, 3.0)]));
+        assert!((r.intersection_area(&poly, &universe()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn to_polygon_halfspace() {
+        let r = Region::from_halfspace(HalfSpace::new(vec![0.0, 1.0], 0.0)); // y <= 0
+        let p = r.to_polygon(&universe()).unwrap();
+        assert!((p.area() - 200.0).abs() < 1e-9); // half of the 20x20 universe
+    }
+
+    #[test]
+    fn contains_box_region() {
+        let r = Region::box_constraints(&[(0.0, 10.0)], 2);
+        let inside = IntervalBox::from_bounds(&[(1.0, 2.0), (-50.0, 50.0)]);
+        assert!(r.contains_box(&inside));
+        let outside = IntervalBox::from_bounds(&[(9.0, 11.0), (0.0, 1.0)]);
+        assert!(!r.contains_box(&outside));
+    }
+
+    #[test]
+    fn anchor_points() {
+        let r = Region::from_box(IntervalBox::from_bounds(&[(0.0, 2.0), (0.0, 2.0)]));
+        assert_eq!(r.anchor(&universe()), vec![1.0, 1.0]);
+        let unbounded = Region::box_constraints(&[(0.0, 2.0)], 2);
+        assert_eq!(unbounded.anchor(&universe()), vec![1.0, 0.0]);
+        let hs = Region::from_halfspace(HalfSpace::new(vec![1.0, 0.0], -5.0));
+        let a = hs.anchor(&universe());
+        assert!((a[0] - -5.0).abs() < 1e-12 && a[1].abs() < 1e-12);
+        // Universe center already inside: returned unchanged.
+        let hs_in = Region::from_halfspace(HalfSpace::new(vec![1.0, 0.0], 100.0));
+        assert_eq!(hs_in.anchor(&universe()), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn clipped_box_cases() {
+        let r = Region::box_constraints(&[(f64::NEG_INFINITY, 0.0)], 2);
+        let c = r.clipped_box(&universe()).unwrap();
+        assert_eq!(c, IntervalBox::from_bounds(&[(-10.0, 0.0), (-10.0, 10.0)]));
+        let h = Region::from_halfspace(HalfSpace::new(vec![1.0, 1.0], 0.0));
+        assert!(h.clipped_box(&universe()).is_none());
+    }
+}

@@ -1,0 +1,203 @@
+//! Plane vectors.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A 2-D vector / point.
+///
+/// # Example
+///
+/// ```
+/// use dwv_geom::Vec2;
+///
+/// let a = Vec2::new(3.0, 4.0);
+/// assert_eq!(a.norm(), 5.0);
+/// assert_eq!(a.dot(Vec2::new(1.0, 0.0)), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// The x coordinate.
+    pub x: f64,
+    /// The y coordinate.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its coordinates.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Dot product.
+    #[must_use]
+    pub fn dot(self, rhs: Vec2) -> f64 {
+        self.x * rhs.x + self.y * rhs.y
+    }
+
+    /// 2-D cross product (z component of the 3-D cross product).
+    ///
+    /// Positive when `rhs` is counter-clockwise from `self`.
+    #[must_use]
+    pub fn cross(self, rhs: Vec2) -> f64 {
+        self.x * rhs.y - self.y * rhs.x
+    }
+
+    /// Euclidean norm.
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[must_use]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean distance to another point.
+    #[must_use]
+    pub fn distance(self, rhs: Vec2) -> f64 {
+        (self - rhs).norm()
+    }
+
+    /// The vector rotated 90° counter-clockwise.
+    #[must_use]
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// The unit vector in the same direction, or `None` for (near-)zero input.
+    #[must_use]
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        (n > 1e-300).then(|| self / n)
+    }
+
+    /// Distance from this point to the segment `[a, b]`.
+    #[must_use]
+    pub fn distance_to_segment(self, a: Vec2, b: Vec2) -> f64 {
+        let ab = b - a;
+        let len_sq = ab.norm_sq();
+        if len_sq <= 1e-300 {
+            return self.distance(a);
+        }
+        let t = ((self - a).dot(ab) / len_sq).clamp(0.0, 1.0);
+        self.distance(a + ab * t)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+
+    fn mul(self, v: Vec2) -> Vec2 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+
+    fn div(self, s: f64) -> Vec2 {
+        Vec2::new(self.x / s, self.y / s)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<[f64; 2]> for Vec2 {
+    fn from(v: [f64; 2]) -> Self {
+        Vec2::new(v[0], v[1])
+    }
+}
+
+impl From<Vec2> for [f64; 2] {
+    fn from(v: Vec2) -> Self {
+        [v.x, v.y]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn cross_orientation() {
+        let e1 = Vec2::new(1.0, 0.0);
+        let e2 = Vec2::new(0.0, 1.0);
+        assert_eq!(e1.cross(e2), 1.0);
+        assert_eq!(e2.cross(e1), -1.0);
+    }
+
+    #[test]
+    fn perp_is_ccw_rotation() {
+        assert_eq!(Vec2::new(1.0, 0.0).perp(), Vec2::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn normalized_unit_and_zero() {
+        let n = Vec2::new(3.0, 4.0).normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-12);
+        assert!(Vec2::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn segment_distance() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(2.0, 0.0);
+        assert_eq!(Vec2::new(1.0, 1.0).distance_to_segment(a, b), 1.0);
+        assert_eq!(Vec2::new(-1.0, 0.0).distance_to_segment(a, b), 1.0);
+        assert!((Vec2::new(3.0, 4.0).distance_to_segment(a, b) - 17.0f64.sqrt()).abs() < 1e-12);
+        // degenerate segment
+        assert_eq!(Vec2::new(1.0, 0.0).distance_to_segment(a, a), 1.0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Zonotopes: centrally symmetric convex sets closed under affine maps and
+//! Minkowski sums.
+//!
+//! A zonotope `Z = ⟨c, G⟩ = { c + Σᵢ αᵢ gᵢ : αᵢ ∈ [−1, 1] }` is the workhorse
+//! set representation of linear reachability: the affine image of a zonotope
+//! is a zonotope (map the center and generators), and the Minkowski sum of
+//! two zonotopes just concatenates generators — which is exactly what
+//! propagating `X_{t+1} = A X_t ⊕ B U ⊕ W` needs. The disturbance-robust
+//! variant of the linear verifier in `dwv-reach` is built on this type.
+
+use crate::{ConvexPolygon, Vec2};
+use dwv_interval::{Interval, IntervalBox};
+use std::fmt;
+
+/// A zonotope `{ c + Σ αᵢ gᵢ : αᵢ ∈ [−1,1] }` in `Rⁿ`.
+///
+/// # Example
+///
+/// ```
+/// use dwv_geom::Zonotope;
+/// use dwv_interval::IntervalBox;
+///
+/// // The unit square as a zonotope, translated to (2, 3).
+/// let z = Zonotope::from_box(&IntervalBox::from_bounds(&[(1.5, 2.5), (2.5, 3.5)]));
+/// assert_eq!(z.dim(), 2);
+/// assert_eq!(z.order(), 1.0); // one generator per dimension
+/// assert!(z.bounding_box().contains_point(&[2.0, 3.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zonotope {
+    center: Vec<f64>,
+    /// Generators, each of length `dim`.
+    generators: Vec<Vec<f64>>,
+}
+
+impl Zonotope {
+    /// Creates a zonotope from its center and generators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any generator's length differs from the center's.
+    #[must_use]
+    pub fn new(center: Vec<f64>, generators: Vec<Vec<f64>>) -> Self {
+        let n = center.len();
+        assert!(
+            generators.iter().all(|g| g.len() == n),
+            "generator dimension mismatch"
+        );
+        Self { center, generators }
+    }
+
+    /// The degenerate zonotope containing exactly `point`.
+    #[must_use]
+    pub fn from_point(point: &[f64]) -> Self {
+        Self::new(point.to_vec(), Vec::new())
+    }
+
+    /// The axis-aligned box as a zonotope (one generator per dimension with
+    /// positive width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the box is unbounded.
+    #[must_use]
+    pub fn from_box(b: &IntervalBox) -> Self {
+        assert!(b.is_finite(), "zonotope requires a bounded box");
+        let center = b.center();
+        let generators = (0..b.dim())
+            .filter(|&i| b.interval(i).rad() > 0.0)
+            .map(|i| {
+                let mut g = vec![0.0; b.dim()];
+                g[i] = b.interval(i).rad();
+                g
+            })
+            .collect();
+        Self::new(center, generators)
+    }
+
+    /// The ambient dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.center.len()
+    }
+
+    /// The center.
+    #[must_use]
+    pub fn center(&self) -> &[f64] {
+        &self.center
+    }
+
+    /// The generators.
+    #[must_use]
+    pub fn generators(&self) -> &[Vec<f64>] {
+        &self.generators
+    }
+
+    /// The order: generators per dimension (a complexity measure).
+    #[must_use]
+    pub fn order(&self) -> f64 {
+        self.generators.len() as f64 / self.dim().max(1) as f64
+    }
+
+    /// The tightest axis-aligned bounding box:
+    /// `cᵢ ± Σⱼ |gⱼᵢ|` per dimension.
+    #[must_use]
+    pub fn bounding_box(&self) -> IntervalBox {
+        (0..self.dim())
+            .map(|i| {
+                let r: f64 = self.generators.iter().map(|g| g[i].abs()).sum();
+                Interval::new(self.center[i] - r, self.center[i] + r)
+            })
+            .collect()
+    }
+
+    /// The support value `max { d·x : x ∈ Z } = d·c + Σ |d·gⱼ|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn support(&self, d: &[f64]) -> f64 {
+        assert_eq!(d.len(), self.dim(), "direction dimension mismatch");
+        let dc: f64 = d.iter().zip(&self.center).map(|(a, b)| a * b).sum();
+        let spread: f64 = self
+            .generators
+            .iter()
+            .map(|g| d.iter().zip(g).map(|(a, b)| a * b).sum::<f64>().abs())
+            .sum();
+        dc + spread
+    }
+
+    /// The image under the affine map `x ↦ M x + b` (`M` row-major
+    /// `rows × dim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m`'s column count or `b`'s length are inconsistent.
+    #[must_use]
+    pub fn affine_image(&self, m: &[Vec<f64>], b: &[f64]) -> Zonotope {
+        let rows = m.len();
+        assert!(m.iter().all(|r| r.len() == self.dim()), "matrix shape mismatch");
+        assert_eq!(b.len(), rows, "offset length mismatch");
+        let apply = |v: &[f64]| -> Vec<f64> {
+            m.iter()
+                .map(|row| row.iter().zip(v).map(|(a, x)| a * x).sum())
+                .collect()
+        };
+        let mut center = apply(&self.center);
+        for (ci, bi) in center.iter_mut().zip(b) {
+            *ci += bi;
+        }
+        let generators = self.generators.iter().map(|g| apply(g)).collect();
+        Zonotope::new(center, generators)
+    }
+
+    /// The Minkowski sum `Z ⊕ W` (concatenates generators).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn minkowski_sum(&self, other: &Zonotope) -> Zonotope {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        let center = self
+            .center
+            .iter()
+            .zip(&other.center)
+            .map(|(a, b)| a + b)
+            .collect();
+        let mut generators = self.generators.clone();
+        generators.extend(other.generators.iter().cloned());
+        Zonotope::new(center, generators)
+    }
+
+    /// Order reduction to at most `max_order` generators per dimension
+    /// (Girard's box-reduction: the smallest generators are replaced by an
+    /// enclosing axis-aligned box). Always an over-approximation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_order < 1.0`.
+    #[must_use]
+    pub fn reduce_order(&self, max_order: f64) -> Zonotope {
+        assert!(max_order >= 1.0, "order must allow at least a box");
+        let n = self.dim();
+        let max_gens = (max_order * n as f64).floor() as usize;
+        if self.generators.len() <= max_gens {
+            return self.clone();
+        }
+        // Keep the longest generators; box the rest. Reserve n slots for the
+        // box generators.
+        let keep = max_gens.saturating_sub(n);
+        let mut idx: Vec<usize> = (0..self.generators.len()).collect();
+        idx.sort_by(|&a, &b| {
+            let la: f64 = self.generators[a].iter().map(|v| v * v).sum();
+            let lb: f64 = self.generators[b].iter().map(|v| v * v).sum();
+            lb.total_cmp(&la)
+        });
+        let mut generators: Vec<Vec<f64>> =
+            idx[..keep].iter().map(|&i| self.generators[i].clone()).collect();
+        // Box enclosure of the discarded part.
+        let mut radii = vec![0.0f64; n];
+        for &i in &idx[keep..] {
+            for (r, v) in radii.iter_mut().zip(&self.generators[i]) {
+                *r += v.abs();
+            }
+        }
+        for (i, &r) in radii.iter().enumerate() {
+            if r > 0.0 {
+                let mut g = vec![0.0; n];
+                g[i] = r;
+                generators.push(g);
+            }
+        }
+        Zonotope::new(self.center.clone(), generators)
+    }
+
+    /// Whether `other`'s bounding description is contained in this
+    /// zonotope's *bounding box* (a cheap sufficient check used in tests).
+    #[must_use]
+    pub fn box_contains(&self, p: &[f64]) -> bool {
+        self.bounding_box().contains_point(p)
+    }
+
+    /// The exact convex polygon of a 2-D zonotope (generators sorted by
+    /// angle trace out the boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zonotope is not 2-dimensional.
+    #[must_use]
+    pub fn to_polygon(&self) -> Option<ConvexPolygon> {
+        assert_eq!(self.dim(), 2, "to_polygon requires a 2-D zonotope");
+        // Normalize generator signs into the upper half-plane and sort by
+        // angle; walking them forward then backward traces the boundary.
+        let mut gens: Vec<Vec2> = self
+            .generators
+            .iter()
+            .map(|g| {
+                let v = Vec2::new(g[0], g[1]);
+                if v.y < 0.0 || (v.y == 0.0 && v.x < 0.0) {
+                    -v
+                } else {
+                    v
+                }
+            })
+            .filter(|v| v.norm() > 1e-300)
+            .collect();
+        gens.sort_by(|a, b| a.y.atan2(a.x).total_cmp(&b.y.atan2(b.x)));
+        let c = Vec2::new(self.center[0], self.center[1]);
+        // Start at the vertex minimizing y (all generators subtracted).
+        let mut start = c;
+        for g in &gens {
+            start = start - *g;
+        }
+        let mut pts = Vec::with_capacity(2 * gens.len() + 2);
+        let mut cur = start;
+        pts.push(cur);
+        for g in &gens {
+            cur = cur + *g * 2.0;
+            pts.push(cur);
+        }
+        for g in &gens {
+            cur = cur - *g * 2.0;
+            pts.push(cur);
+        }
+        ConvexPolygon::from_points(pts).ok()
+    }
+}
+
+impl fmt::Display for Zonotope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Zonotope(c = {:?}, {} generators)",
+            self.center,
+            self.generators.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(z: &Zonotope, alphas: &[f64]) -> Vec<f64> {
+        let mut x = z.center().to_vec();
+        for (g, &a) in z.generators().iter().zip(alphas) {
+            for (xi, gi) in x.iter_mut().zip(g) {
+                *xi += a * gi;
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn from_box_roundtrip() {
+        let b = IntervalBox::from_bounds(&[(1.0, 3.0), (-2.0, 0.0)]);
+        let z = Zonotope::from_box(&b);
+        assert_eq!(z.bounding_box(), b);
+        assert_eq!(z.generators().len(), 2);
+    }
+
+    #[test]
+    fn degenerate_box_drops_zero_generators() {
+        let b = IntervalBox::from_bounds(&[(1.0, 1.0), (0.0, 2.0)]);
+        let z = Zonotope::from_box(&b);
+        assert_eq!(z.generators().len(), 1);
+    }
+
+    #[test]
+    fn affine_image_encloses_mapped_samples() {
+        let z = Zonotope::from_box(&IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]));
+        let m = vec![vec![1.0, 2.0], vec![-0.5, 1.0]];
+        let b = vec![3.0, -1.0];
+        let img = z.affine_image(&m, &b);
+        for a0 in [-1.0, 0.0, 1.0] {
+            for a1 in [-1.0, 0.3, 1.0] {
+                let x = sample(&z, &[a0, a1]);
+                let y = [
+                    m[0][0] * x[0] + m[0][1] * x[1] + b[0],
+                    m[1][0] * x[0] + m[1][1] * x[1] + b[1],
+                ];
+                assert!(img.bounding_box().inflate(1e-12).contains_point(&y));
+            }
+        }
+    }
+
+    #[test]
+    fn minkowski_sum_support_adds() {
+        let a = Zonotope::from_box(&IntervalBox::from_bounds(&[(0.0, 2.0), (0.0, 2.0)]));
+        let b = Zonotope::from_box(&IntervalBox::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]));
+        let s = a.minkowski_sum(&b);
+        for d in [[1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [-1.0, 2.0]] {
+            assert!((s.support(&d) - (a.support(&d) + b.support(&d))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn support_matches_bounding_box_on_axes() {
+        let z = Zonotope::new(
+            vec![1.0, 2.0],
+            vec![vec![0.5, 0.5], vec![-0.25, 0.75]],
+        );
+        let bb = z.bounding_box();
+        assert!((z.support(&[1.0, 0.0]) - bb.interval(0).hi()).abs() < 1e-12);
+        assert!((z.support(&[0.0, -1.0]) + bb.interval(1).lo()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduce_order_overapproximates() {
+        let z = Zonotope::new(
+            vec![0.0, 0.0],
+            vec![
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![0.3, 0.3],
+                vec![0.1, -0.2],
+                vec![0.05, 0.02],
+            ],
+        );
+        let r = z.reduce_order(1.5); // at most 3 generators
+        assert!(r.generators().len() <= 3);
+        // Support in every direction must not shrink.
+        for k in 0..16 {
+            let th = k as f64 * std::f64::consts::PI / 8.0;
+            let d = [th.cos(), th.sin()];
+            assert!(r.support(&d) >= z.support(&d) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn reduce_order_noop_when_small() {
+        let z = Zonotope::from_box(&IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]));
+        assert_eq!(z.reduce_order(4.0), z);
+    }
+
+    #[test]
+    fn to_polygon_matches_support() {
+        let z = Zonotope::new(
+            vec![1.0, -1.0],
+            vec![vec![1.0, 0.2], vec![-0.3, 0.8], vec![0.5, 0.5]],
+        );
+        let p = z.to_polygon().expect("non-degenerate");
+        // The polygon's support must match the zonotope's in many directions.
+        for k in 0..24 {
+            let th = k as f64 * std::f64::consts::PI / 12.0;
+            let d = Vec2::new(th.cos(), th.sin());
+            let ps = p.support(d).dot(d);
+            let zs = z.support(&[d.x, d.y]);
+            assert!(
+                (ps - zs).abs() < 1e-9,
+                "support mismatch at angle {th}: polygon {ps} vs zonotope {zs}"
+            );
+        }
+        // Area of a zonotope: Σ_{i<j} 2·|gᵢ × gⱼ| ... cross-check numerically.
+        let gens = z.generators();
+        let mut area = 0.0;
+        for i in 0..gens.len() {
+            for j in (i + 1)..gens.len() {
+                area += 4.0 * (gens[i][0] * gens[j][1] - gens[i][1] * gens[j][0]).abs();
+            }
+        }
+        assert!((p.area() - area).abs() < 1e-9, "{} vs {area}", p.area());
+    }
+
+    #[test]
+    fn point_zonotope() {
+        let z = Zonotope::from_point(&[1.0, 2.0, 3.0]);
+        assert_eq!(z.order(), 0.0);
+        let bb = z.bounding_box();
+        assert_eq!(bb.volume(), 0.0);
+        assert!(bb.contains_point(&[1.0, 2.0, 3.0]));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the convex-geometry substrate.
+
+use dwv_geom::{ConvexPolygon, HalfPlane, Region, Vec2, Zonotope};
+use dwv_interval::IntervalBox;
+use proptest::prelude::*;
+
+fn boxes() -> impl Strategy<Value = IntervalBox> {
+    (-5.0..5.0f64, -5.0..5.0f64, 0.2..4.0f64, 0.2..4.0f64)
+        .prop_map(|(x, y, w, h)| IntervalBox::from_bounds(&[(x, x + w), (y, y + h)]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The convex hull of random points contains all of them.
+    #[test]
+    fn hull_contains_inputs(pts in proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 3..12)) {
+        let vecs: Vec<Vec2> = pts.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+        if let Ok(p) = ConvexPolygon::from_points(vecs.clone()) {
+            for v in vecs {
+                prop_assert!(p.contains_point(v), "{v} escapes its own hull");
+            }
+        }
+    }
+
+    /// Intersection commutes (as an area).
+    #[test]
+    fn intersect_commutes(a in boxes(), b in boxes()) {
+        let pa = ConvexPolygon::from_box(&a);
+        let pb = ConvexPolygon::from_box(&b);
+        match (pa.intersect(&pb), pb.intersect(&pa)) {
+            (Some(x), Some(y)) => prop_assert!((x.area() - y.area()).abs() < 1e-9),
+            (None, None) => {}
+            _ => prop_assert!(false, "intersection existence must commute"),
+        }
+    }
+
+    /// The polygon distance matches the box distance for axis-aligned boxes.
+    #[test]
+    fn polygon_distance_matches_box_distance(a in boxes(), b in boxes()) {
+        let pa = ConvexPolygon::from_box(&a);
+        let pb = ConvexPolygon::from_box(&b);
+        let dp = pa.distance_to(&pb);
+        let db = a.distance(&b);
+        prop_assert!((dp - db).abs() < 1e-9, "polygon {dp} vs box {db}");
+    }
+
+    /// Clipping by a half-plane never increases area, and clipping by both a
+    /// half-plane and its complement partitions the area.
+    #[test]
+    fn clip_partitions_area(b in boxes(), nx in -1.0..1.0f64, c in -6.0..6.0f64) {
+        prop_assume!(nx.abs() > 0.05);
+        let p = ConvexPolygon::from_box(&b);
+        let hp = HalfPlane::new([nx, 1.0], c);
+        let a1 = p.clip_halfplane(&hp).map_or(0.0, |q| q.area());
+        let a2 = p.clip_halfplane(&hp.complement()).map_or(0.0, |q| q.area());
+        prop_assert!(a1 <= p.area() + 1e-9);
+        prop_assert!((a1 + a2 - p.area()).abs() < 1e-6 * p.area().max(1.0));
+    }
+
+    /// Affine images preserve area scaling by |det M|.
+    #[test]
+    fn affine_area_scaling(b in boxes(), m00 in -2.0..2.0f64, m01 in -2.0..2.0f64, m10 in -2.0..2.0f64, m11 in -2.0..2.0f64) {
+        let det = (m00 * m11 - m01 * m10).abs();
+        prop_assume!(det > 0.05);
+        let p = ConvexPolygon::from_box(&b);
+        if let Some(img) = p.affine_image(&[[m00, m01], [m10, m11]], &[1.0, -2.0]) {
+            prop_assert!((img.area() - det * p.area()).abs() < 1e-6 * (1.0 + det * p.area()));
+        }
+    }
+
+    /// Region distances: zero iff intersecting, for box regions.
+    #[test]
+    fn region_distance_consistent(a in boxes(), b in boxes()) {
+        let r = Region::from_box(a.clone());
+        prop_assert_eq!(r.distance_to_box(&b) == 0.0, r.intersects_box(&b));
+    }
+
+    /// Region intersection volume is monotone in the box argument.
+    #[test]
+    fn region_volume_monotone(a in boxes(), b in boxes()) {
+        let universe = IntervalBox::from_bounds(&[(-20.0, 20.0), (-20.0, 20.0)]);
+        let r = Region::from_box(a);
+        let bigger = b.inflate(0.5);
+        let v1 = r.intersection_volume(&b, &universe);
+        let v2 = r.intersection_volume(&bigger, &universe);
+        prop_assert!(v2 + 1e-9 >= v1);
+    }
+
+    /// Zonotope affine images commute with sampling.
+    #[test]
+    fn zonotope_affine_encloses(b in boxes(), m00 in -2.0..2.0f64, m01 in -2.0..2.0f64, m10 in -2.0..2.0f64, m11 in -2.0..2.0f64, a0 in -1.0..1.0f64, a1 in -1.0..1.0f64) {
+        let z = Zonotope::from_box(&b);
+        let m = vec![vec![m00, m01], vec![m10, m11]];
+        let img = z.affine_image(&m, &[0.5, -0.5]);
+        // A sample of the zonotope, mapped forward.
+        let gens = z.generators();
+        let mut x = z.center().to_vec();
+        for (g, a) in gens.iter().zip([a0, a1]) {
+            for (xi, gi) in x.iter_mut().zip(g) {
+                *xi += a * gi;
+            }
+        }
+        let y = [
+            m[0][0] * x[0] + m[0][1] * x[1] + 0.5,
+            m[1][0] * x[0] + m[1][1] * x[1] - 0.5,
+        ];
+        prop_assert!(img.bounding_box().inflate(1e-9).contains_point(&y));
+    }
+
+    /// Zonotope order reduction never shrinks the support function.
+    #[test]
+    fn zonotope_reduction_sound(b in boxes(), g0 in -1.0..1.0f64, g1 in -1.0..1.0f64, g2 in -1.0..1.0f64, g3 in -1.0..1.0f64, th in 0.0..6.28f64) {
+        let z = Zonotope::from_box(&b)
+            .minkowski_sum(&Zonotope::new(vec![0.0, 0.0], vec![vec![g0, g1], vec![g2, g3]]));
+        let r = z.reduce_order(1.0);
+        let d = [th.cos(), th.sin()];
+        prop_assert!(r.support(&d) + 1e-9 >= z.support(&d));
+    }
+
+    /// 2-D zonotope polygons agree with the bounding box on axis supports.
+    #[test]
+    fn zonotope_polygon_supports(b in boxes(), g0 in -1.0..1.0f64, g1 in -1.0..1.0f64) {
+        let z = Zonotope::from_box(&b)
+            .minkowski_sum(&Zonotope::new(vec![0.0, 0.0], vec![vec![g0, g1]]));
+        if let Some(p) = z.to_polygon() {
+            let bb = z.bounding_box();
+            prop_assert!((p.bounding_box().interval(0).hi() - bb.interval(0).hi()).abs() < 1e-9);
+            prop_assert!((p.bounding_box().interval(1).lo() - bb.interval(1).lo()).abs() < 1e-9);
+        }
+    }
+}

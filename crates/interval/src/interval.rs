@@ -1,0 +1,623 @@
+//! The scalar closed interval type.
+
+use crate::InvalidIntervalError;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A closed interval `[lo, hi]` of `f64` values with outward-rounded arithmetic.
+///
+/// Invariants (enforced by every constructor):
+/// * `lo <= hi`
+/// * neither endpoint is NaN (infinite endpoints are allowed)
+///
+/// Arithmetic operators (`+`, `-`, `*`, `/`) are implemented with one-ulp
+/// outward rounding so the exact real result of the operation over all pairs
+/// of operand values is contained in the result.
+///
+/// # Example
+///
+/// ```
+/// use dwv_interval::Interval;
+///
+/// let a = Interval::new(1.0, 2.0);
+/// let b = Interval::new(-0.5, 0.5);
+/// let c = a + b;
+/// assert!(c.contains_value(0.5) && c.contains_value(2.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// The degenerate interval `[0, 0]`.
+    pub const ZERO: Interval = Interval { lo: 0.0, hi: 0.0 };
+
+    /// The degenerate interval `[1, 1]`.
+    pub const ONE: Interval = Interval { lo: 1.0, hi: 1.0 };
+
+    /// The whole real line `[-inf, inf]`.
+    pub const ENTIRE: Interval = Interval {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+    };
+
+    /// Creates the interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either endpoint is NaN. Use [`Interval::try_new`]
+    /// for a fallible constructor.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        Self::try_new(lo, hi).expect("invalid interval endpoints")
+    }
+
+    /// Creates the interval `[lo, hi]`, returning an error on invalid input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidIntervalError`] if `lo > hi` or either endpoint is NaN.
+    pub fn try_new(lo: f64, hi: f64) -> Result<Self, InvalidIntervalError> {
+        if lo.is_nan() || hi.is_nan() {
+            return Err(InvalidIntervalError::nan());
+        }
+        if lo > hi {
+            return Err(InvalidIntervalError::empty());
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Creates the degenerate (point) interval `[v, v]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN.
+    #[must_use]
+    pub fn point(v: f64) -> Self {
+        Self::new(v, v)
+    }
+
+    /// Creates the symmetric interval `[-r, r]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r < 0` or `r` is NaN.
+    #[must_use]
+    pub fn symmetric(r: f64) -> Self {
+        assert!(r >= 0.0, "symmetric radius must be non-negative");
+        Self::new(-r, r)
+    }
+
+    /// Creates the interval from an unordered pair of endpoints.
+    #[must_use]
+    pub fn from_unordered(a: f64, b: f64) -> Self {
+        if a <= b {
+            Self::new(a, b)
+        } else {
+            Self::new(b, a)
+        }
+    }
+
+    /// Creates the smallest interval containing all values in `iter`.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn hull_of_values<I: IntoIterator<Item = f64>>(iter: I) -> Option<Self> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut any = false;
+        for v in iter {
+            lo = lo.min(v);
+            hi = hi.max(v);
+            any = true;
+        }
+        any.then(|| Self::new(lo, hi))
+    }
+
+    /// The lower endpoint.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// The upper endpoint.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// The midpoint `(lo + hi) / 2`.
+    ///
+    /// For infinite intervals the midpoint saturates to a finite value (0 for
+    /// [`Interval::ENTIRE`]).
+    #[must_use]
+    pub fn mid(&self) -> f64 {
+        if self.lo.is_infinite() && self.hi.is_infinite() {
+            0.0
+        } else if self.lo.is_infinite() {
+            self.hi
+        } else if self.hi.is_infinite() {
+            self.lo
+        } else {
+            0.5 * (self.lo + self.hi)
+        }
+    }
+
+    /// The radius `(hi - lo) / 2` (half the width).
+    #[must_use]
+    pub fn rad(&self) -> f64 {
+        0.5 * (self.hi - self.lo)
+    }
+
+    /// The width `hi - lo`.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// The magnitude: largest absolute value of any element.
+    #[must_use]
+    pub fn mag(&self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// The mignitude: smallest absolute value of any element.
+    #[must_use]
+    pub fn mig(&self) -> f64 {
+        if self.contains_value(0.0) {
+            0.0
+        } else {
+            self.lo.abs().min(self.hi.abs())
+        }
+    }
+
+    /// Whether `v` lies inside the interval.
+    #[must_use]
+    pub fn contains_value(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether `other` is entirely contained in `self`.
+    #[must_use]
+    pub fn contains(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Whether `other` is contained in the *interior* of `self`.
+    ///
+    /// Used by Picard-iteration remainder validation, which needs strict
+    /// containment for the contraction argument.
+    #[must_use]
+    pub fn contains_strictly(&self, other: &Interval) -> bool {
+        self.lo < other.lo && other.hi < self.hi
+    }
+
+    /// Whether the two intervals share at least one point.
+    #[must_use]
+    pub fn intersects(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// The intersection, or `None` when disjoint.
+    #[must_use]
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then(|| Interval::new(lo, hi))
+    }
+
+    /// The convex hull (smallest interval containing both).
+    #[must_use]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Inflates both endpoints outward by `eps` (absolute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps < 0`.
+    #[must_use]
+    pub fn inflate(&self, eps: f64) -> Interval {
+        assert!(eps >= 0.0, "inflation must be non-negative");
+        Interval::new(self.lo - eps, self.hi + eps)
+    }
+
+    /// Scales the interval about its midpoint by `factor >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 0`.
+    #[must_use]
+    pub fn scale_about_mid(&self, factor: f64) -> Interval {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        let m = self.mid();
+        let r = self.rad() * factor;
+        Interval::new(m - r, m + r)
+    }
+
+    /// Distance between two intervals: 0 when they intersect, otherwise the
+    /// gap between the closest endpoints.
+    #[must_use]
+    pub fn distance(&self, other: &Interval) -> f64 {
+        if self.intersects(other) {
+            0.0
+        } else if self.hi < other.lo {
+            other.lo - self.hi
+        } else {
+            self.lo - other.hi
+        }
+    }
+
+    /// Range-exact square of the interval (never negative, unlike `x * x`).
+    #[must_use]
+    pub fn sqr(&self) -> Interval {
+        let a = self.lo * self.lo;
+        let b = self.hi * self.hi;
+        let hi = outward_hi(a.max(b));
+        let lo = if self.contains_value(0.0) {
+            0.0
+        } else {
+            outward_lo(a.min(b))
+        };
+        Interval::new(lo, hi)
+    }
+
+    /// Integer power with range-exact handling of even exponents.
+    #[must_use]
+    pub fn powi(&self, n: u32) -> Interval {
+        match n {
+            0 => Interval::ONE,
+            1 => *self,
+            2 => self.sqr(),
+            _ => {
+                if n.is_multiple_of(2) {
+                    self.sqr().powi(n / 2)
+                } else {
+                    // Odd power is monotone.
+                    let lo = outward_lo(self.lo.powi(n as i32));
+                    let hi = outward_hi(self.hi.powi(n as i32));
+                    Interval::new(lo, hi)
+                }
+            }
+        }
+    }
+
+    /// Absolute-value image of the interval.
+    #[must_use]
+    pub fn abs(&self) -> Interval {
+        if self.lo >= 0.0 {
+            *self
+        } else if self.hi <= 0.0 {
+            -*self
+        } else {
+            Interval::new(0.0, self.mag())
+        }
+    }
+
+    /// Reciprocal `1 / self`.
+    ///
+    /// Returns [`Interval::ENTIRE`] when the interval contains zero (division
+    /// is then unbounded); callers that need to detect this should test
+    /// [`Interval::contains_value`] first.
+    #[must_use]
+    pub fn recip(&self) -> Interval {
+        if self.contains_value(0.0) {
+            Interval::ENTIRE
+        } else {
+            Interval::new(outward_lo(1.0 / self.hi), outward_hi(1.0 / self.lo))
+        }
+    }
+
+    /// Whether both endpoints are finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// Whether the interval is a single point.
+    #[must_use]
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+impl From<f64> for Interval {
+    fn from(v: f64) -> Self {
+        Interval::point(v)
+    }
+}
+
+/// Nudges a computed lower bound downward by one ulp (identity on infinities).
+#[inline]
+pub(crate) fn outward_lo(v: f64) -> f64 {
+    if v.is_finite() {
+        v.next_down()
+    } else {
+        v
+    }
+}
+
+/// Nudges a computed upper bound upward by one ulp (identity on infinities).
+#[inline]
+pub(crate) fn outward_hi(v: f64) -> f64 {
+    if v.is_finite() {
+        v.next_up()
+    } else {
+        v
+    }
+}
+
+impl Add for Interval {
+    type Output = Interval;
+
+    fn add(self, rhs: Interval) -> Interval {
+        Interval::new(outward_lo(self.lo + rhs.lo), outward_hi(self.hi + rhs.hi))
+    }
+}
+
+impl Sub for Interval {
+    type Output = Interval;
+
+    fn sub(self, rhs: Interval) -> Interval {
+        Interval::new(outward_lo(self.lo - rhs.hi), outward_hi(self.hi - rhs.lo))
+    }
+}
+
+impl Neg for Interval {
+    type Output = Interval;
+
+    fn neg(self) -> Interval {
+        Interval::new(-self.hi, -self.lo)
+    }
+}
+
+impl Mul for Interval {
+    type Output = Interval;
+
+    fn mul(self, rhs: Interval) -> Interval {
+        let candidates = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for c in candidates {
+            // 0 * inf produces NaN; in interval semantics that product is 0.
+            let c = if c.is_nan() { 0.0 } else { c };
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        Interval::new(outward_lo(lo), outward_hi(hi))
+    }
+}
+
+impl Div for Interval {
+    type Output = Interval;
+
+    // Division is defined as multiplication by the enclosure of the
+    // reciprocal — the standard interval-arithmetic formulation.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Interval) -> Interval {
+        self * rhs.recip()
+    }
+}
+
+impl Add<f64> for Interval {
+    type Output = Interval;
+
+    fn add(self, rhs: f64) -> Interval {
+        self + Interval::point(rhs)
+    }
+}
+
+impl Sub<f64> for Interval {
+    type Output = Interval;
+
+    fn sub(self, rhs: f64) -> Interval {
+        self - Interval::point(rhs)
+    }
+}
+
+impl Mul<f64> for Interval {
+    type Output = Interval;
+
+    fn mul(self, rhs: f64) -> Interval {
+        self * Interval::point(rhs)
+    }
+}
+
+impl Add<Interval> for f64 {
+    type Output = Interval;
+
+    fn add(self, rhs: Interval) -> Interval {
+        Interval::point(self) + rhs
+    }
+}
+
+impl Mul<Interval> for f64 {
+    type Output = Interval;
+
+    fn mul(self, rhs: Interval) -> Interval {
+        Interval::point(self) * rhs
+    }
+}
+
+impl AddAssign for Interval {
+    fn add_assign(&mut self, rhs: Interval) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Interval {
+    fn sub_assign(&mut self, rhs: Interval) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Interval {
+    fn mul_assign(&mut self, rhs: Interval) {
+        *self = *self * rhs;
+    }
+}
+
+impl std::iter::Sum for Interval {
+    fn sum<I: Iterator<Item = Interval>>(iter: I) -> Interval {
+        iter.fold(Interval::ZERO, |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_inverted() {
+        assert!(Interval::try_new(2.0, 1.0).is_err());
+        assert!(Interval::try_new(f64::NAN, 1.0).is_err());
+        assert!(Interval::try_new(0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn point_and_accessors() {
+        let p = Interval::point(3.5);
+        assert_eq!(p.lo(), 3.5);
+        assert_eq!(p.hi(), 3.5);
+        assert!(p.is_point());
+        assert_eq!(p.width(), 0.0);
+    }
+
+    #[test]
+    fn add_encloses() {
+        let a = Interval::new(0.1, 0.2);
+        let b = Interval::new(0.3, 0.4);
+        let c = a + b;
+        assert!(c.lo() <= 0.4 && c.hi() >= 0.6);
+    }
+
+    #[test]
+    fn sub_antisymmetric() {
+        let a = Interval::new(1.0, 2.0);
+        let d = a - a;
+        assert!(d.contains_value(0.0));
+        assert!(d.lo() <= -1.0 && d.hi() >= 1.0);
+    }
+
+    #[test]
+    fn mul_sign_cases() {
+        let pos = Interval::new(1.0, 2.0);
+        let neg = Interval::new(-3.0, -2.0);
+        let mixed = Interval::new(-1.0, 4.0);
+        let pn = pos * neg;
+        assert!(pn.lo() <= -6.0 && pn.hi() >= -2.0);
+        let mm = mixed * mixed;
+        assert!(mm.lo() <= -4.0 && mm.hi() >= 16.0);
+    }
+
+    #[test]
+    fn mul_with_zero_and_infinity() {
+        let z = Interval::ZERO;
+        let e = Interval::ENTIRE;
+        let p = z * e;
+        assert!(p.contains_value(0.0));
+    }
+
+    #[test]
+    fn sqr_is_nonnegative() {
+        let x = Interval::new(-2.0, 1.0);
+        let s = x.sqr();
+        assert!(s.lo() >= -1e-300);
+        assert!(s.hi() >= 4.0);
+    }
+
+    #[test]
+    fn powi_even_odd() {
+        let x = Interval::new(-2.0, 1.0);
+        let c = x.powi(3);
+        assert!(c.lo() <= -8.0 && c.hi() >= 1.0);
+        let q = x.powi(4);
+        assert!(q.lo() >= -1e-300 && q.hi() >= 16.0);
+    }
+
+    #[test]
+    fn recip_through_zero_is_entire() {
+        let x = Interval::new(-1.0, 1.0);
+        assert_eq!(x.recip(), Interval::ENTIRE);
+        let y = Interval::new(2.0, 4.0);
+        let r = y.recip();
+        assert!(r.lo() <= 0.25 && r.hi() >= 0.5);
+    }
+
+    #[test]
+    fn hull_and_intersection() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(2.0, 3.0);
+        assert_eq!(a.hull(&b), Interval::new(0.0, 3.0));
+        assert!(a.intersection(&b).is_none());
+        let c = Interval::new(0.5, 2.5);
+        assert_eq!(a.intersection(&c), Some(Interval::new(0.5, 1.0)));
+    }
+
+    #[test]
+    fn distance_cases() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 2.0);
+        assert_eq!(b.distance(&a), 2.0);
+        assert_eq!(a.distance(&Interval::new(0.5, 0.6)), 0.0);
+    }
+
+    #[test]
+    fn strict_containment() {
+        let outer = Interval::new(-1.0, 1.0);
+        let inner = Interval::new(-0.5, 0.5);
+        assert!(outer.contains_strictly(&inner));
+        assert!(!outer.contains_strictly(&outer));
+    }
+
+    #[test]
+    fn abs_cases() {
+        assert_eq!(Interval::new(1.0, 2.0).abs(), Interval::new(1.0, 2.0));
+        assert_eq!(Interval::new(-2.0, -1.0).abs(), Interval::new(1.0, 2.0));
+        let m = Interval::new(-3.0, 2.0).abs();
+        assert_eq!(m, Interval::new(0.0, 3.0));
+    }
+
+    #[test]
+    fn mig_mag() {
+        let x = Interval::new(-3.0, 2.0);
+        assert_eq!(x.mag(), 3.0);
+        assert_eq!(x.mig(), 0.0);
+        let y = Interval::new(1.0, 5.0);
+        assert_eq!(y.mig(), 1.0);
+    }
+
+    #[test]
+    fn hull_of_values_works() {
+        let h = Interval::hull_of_values([1.0, -2.0, 0.5]).unwrap();
+        assert_eq!(h, Interval::new(-2.0, 1.0));
+        assert!(Interval::hull_of_values(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn scale_about_mid() {
+        let x = Interval::new(1.0, 3.0);
+        let s = x.scale_about_mid(2.0);
+        assert_eq!(s, Interval::new(0.0, 4.0));
+    }
+}

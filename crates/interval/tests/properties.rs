@@ -1,0 +1,121 @@
+//! Property-based tests for interval arithmetic: the inclusion property
+//! (every op's result encloses all pointwise results) is the soundness
+//! bedrock of every verifier in the workspace.
+
+use dwv_interval::{Interval, IntervalBox};
+use proptest::prelude::*;
+
+fn iv() -> impl Strategy<Value = Interval> {
+    (-100.0..100.0f64, 0.0..50.0f64).prop_map(|(lo, w)| Interval::new(lo, lo + w))
+}
+
+fn member(i: Interval, t: f64) -> f64 {
+    i.lo() + t * i.width()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sub_encloses(a in iv(), b in iv(), ta in 0.0..1.0f64, tb in 0.0..1.0f64) {
+        prop_assert!((a - b).contains_value(member(a, ta) - member(b, tb)));
+    }
+
+    #[test]
+    fn div_encloses_when_denominator_avoids_zero(a in iv(), blo in 0.5..50.0f64, bw in 0.0..10.0f64, ta in 0.0..1.0f64, tb in 0.0..1.0f64) {
+        let b = Interval::new(blo, blo + bw);
+        let q = a / b;
+        prop_assert!(q.contains_value(member(a, ta) / member(b, tb)));
+    }
+
+    #[test]
+    fn neg_is_involutive(a in iv()) {
+        prop_assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn powi_encloses(a in iv(), e in 0u32..6, t in 0.0..1.0f64) {
+        let x = member(a, t);
+        prop_assert!(a.powi(e).inflate(1e-6 * x.abs().max(1.0).powi(e as i32)).contains_value(x.powi(e as i32)));
+    }
+
+    #[test]
+    fn abs_encloses_and_nonneg(a in iv(), t in 0.0..1.0f64) {
+        let e = a.abs();
+        prop_assert!(e.lo() >= 0.0);
+        prop_assert!(e.contains_value(member(a, t).abs()));
+    }
+
+    #[test]
+    fn hull_is_commutative_and_associative(a in iv(), b in iv(), c in iv()) {
+        prop_assert_eq!(a.hull(&b), b.hull(&a));
+        prop_assert_eq!(a.hull(&b).hull(&c), a.hull(&b.hull(&c)));
+    }
+
+    #[test]
+    fn intersection_commutes(a in iv(), b in iv()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+    }
+
+    #[test]
+    fn distance_triangle_like(a in iv(), b in iv()) {
+        // distance is zero iff intersecting.
+        prop_assert_eq!(a.distance(&b) == 0.0, a.intersects(&b));
+        prop_assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn width_additivity_under_add(a in iv(), b in iv()) {
+        let s = a + b;
+        // Widths add (up to outward rounding).
+        prop_assert!(s.width() >= a.width() + b.width() - 1e-9);
+        prop_assert!(s.width() <= a.width() + b.width() + 1e-9 * (1.0 + s.mag()));
+    }
+
+    #[test]
+    fn mul_contains_products_of_endpoints(a in iv(), b in iv()) {
+        let p = a * b;
+        for x in [a.lo(), a.hi()] {
+            for y in [b.lo(), b.hi()] {
+                prop_assert!(p.contains_value(x * y));
+            }
+        }
+    }
+
+    #[test]
+    fn scale_about_mid_preserves_mid(a in iv(), f in 0.0..3.0f64) {
+        let s = a.scale_about_mid(f);
+        prop_assert!((s.mid() - a.mid()).abs() < 1e-9 * (1.0 + a.mag()));
+        prop_assert!((s.width() - f * a.width()).abs() < 1e-9 * (1.0 + a.width()));
+    }
+
+    #[test]
+    fn box_partition_tiles(lo in -10.0..10.0f64, w in 0.5..5.0f64, p0 in 1usize..5, p1 in 1usize..5) {
+        let b = IntervalBox::from_bounds(&[(lo, lo + w), (0.0, 1.0)]);
+        let cells = b.partition(&[p0, p1]);
+        prop_assert_eq!(cells.len(), p0 * p1);
+        let vol: f64 = cells.iter().map(IntervalBox::volume).sum();
+        prop_assert!((vol - b.volume()).abs() < 1e-9 * b.volume().max(1.0));
+        // Every cell center is in the box, and in exactly one cell.
+        for c in &cells {
+            prop_assert!(b.contains_point(&c.center()));
+            let hits = cells.iter().filter(|other| other.contains_point(&c.center())).count();
+            prop_assert!(hits >= 1);
+        }
+    }
+
+    #[test]
+    fn box_corners_are_members(lo0 in -5.0..5.0f64, lo1 in -5.0..5.0f64, w0 in 0.0..3.0f64, w1 in 0.0..3.0f64) {
+        let b = IntervalBox::from_bounds(&[(lo0, lo0 + w0), (lo1, lo1 + w1)]);
+        for c in b.corners() {
+            prop_assert!(b.contains_point(&c));
+        }
+    }
+
+    #[test]
+    fn box_distance_zero_iff_intersects(lo in -5.0..5.0f64, w in 0.1..2.0f64, shift in -8.0..8.0f64) {
+        let a = IntervalBox::from_bounds(&[(lo, lo + w), (0.0, 1.0)]);
+        let b = IntervalBox::from_bounds(&[(lo + shift, lo + shift + w), (0.0, 1.0)]);
+        prop_assert_eq!(a.distance(&b) == 0.0, a.intersects(&b));
+    }
+}

@@ -1,0 +1,343 @@
+//! The geometric distance metrics `d_θ^u` and `d_θ^g` (paper Eqs. 2, 3).
+//!
+//! * `d^u` is negative (−|X_r ∩ X_u|) when the reach set touches the unsafe
+//!   region and the squared set distance otherwise — positive iff safe;
+//! * `d^g` is positive (+|X_r ∩ X_g|) when the reach set touches the goal
+//!   and the negated squared distance otherwise — positive iff reaching.
+//!
+//! Intersection measures use exact polygons when the verifier provides them
+//! (the 2-D linear verifier) and box enclosures otherwise; unbounded regions
+//! are clipped against the problem's universe box before measuring (see
+//! `dwv_geom::Region::intersection_volume`).
+
+use dwv_geom::Region;
+use dwv_interval::IntervalBox;
+use dwv_reach::{Flowpipe, StepEnclosure};
+
+/// The pair `(d_θ^u, d_θ^g)` for one flowpipe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometricDistances {
+    /// `d_θ^u` of Eq. (2): positive iff the flowpipe avoids the unsafe set.
+    pub d_unsafe: f64,
+    /// `d_θ^g` of Eq. (3): positive iff the flowpipe meets the goal set.
+    pub d_goal: f64,
+}
+
+impl GeometricDistances {
+    /// Whether the (over-approximated) reach-avoid property holds:
+    /// `d^u > 0 ∧ d^g > 0`.
+    #[must_use]
+    pub fn is_reach_avoid(&self) -> bool {
+        self.d_unsafe > 0.0 && self.d_goal > 0.0
+    }
+
+    /// The combined learning objective `d^u + d^g` the paper maximizes.
+    #[must_use]
+    pub fn objective(&self) -> f64 {
+        self.d_unsafe + self.d_goal
+    }
+}
+
+/// Evaluator of the geometric metrics for a fixed problem instance.
+///
+/// # Example
+///
+/// See the crate-level documentation.
+#[derive(Debug, Clone)]
+pub struct GeometricMetric {
+    unsafe_region: Region,
+    goal_region: Region,
+    universe: IntervalBox,
+}
+
+impl GeometricMetric {
+    /// Creates the evaluator.
+    #[must_use]
+    pub fn new(unsafe_region: Region, goal_region: Region, universe: IntervalBox) -> Self {
+        Self {
+            unsafe_region,
+            goal_region,
+            universe,
+        }
+    }
+
+    /// Convenience constructor from a problem definition.
+    #[must_use]
+    pub fn for_problem(problem: &dwv_dynamics::ReachAvoidProblem) -> Self {
+        Self::new(
+            problem.unsafe_region.clone(),
+            problem.goal_region.clone(),
+            problem.universe.clone(),
+        )
+    }
+
+    /// Evaluates `(d^u, d^g)` on a flowpipe.
+    #[must_use]
+    pub fn evaluate(&self, fp: &Flowpipe) -> GeometricDistances {
+        GeometricDistances {
+            d_unsafe: self.distance_unsafe(fp),
+            d_goal: self.distance_goal(fp),
+        }
+    }
+
+    /// `d^u` of Eq. (2).
+    #[must_use]
+    pub fn distance_unsafe(&self, fp: &Flowpipe) -> f64 {
+        let overlap: f64 = fp
+            .iter()
+            .map(|s| self.step_intersection(s, &self.unsafe_region))
+            .sum();
+        if overlap > 0.0 {
+            return -overlap;
+        }
+        // Any touching step (zero-measure overlap) still violates safety:
+        // treat "distance 0 but measure 0" as d^u = 0. The distance uses the
+        // same set representation as the measure (polygon on instantaneous
+        // steps, sweep box otherwise), so the two branches agree.
+        let min_dist = fp
+            .iter()
+            .map(|s| self.step_distance(s, &self.unsafe_region))
+            .fold(f64::INFINITY, f64::min);
+        if min_dist <= 0.0 {
+            return 0.0;
+        }
+        min_dist.powi(2)
+    }
+
+    /// `d^g` of Eq. (3), evaluated on the *final instantaneous* reach set
+    /// `X_r[T]` (like the Wasserstein metric's last-step distribution,
+    /// §3.2). Two reasons for this reading of Eq. (3):
+    ///
+    /// * gradient signal — when the pipe drifts away from the goal, a
+    ///   whole-pipe minimum distance is the constant `dist(X₀, X_g)` with
+    ///   zero gradient in `θ`, useless to the difference method;
+    /// * settling — a whole-pipe intersection rewards controllers that whip
+    ///   *through* the goal's neighbourhood mid-horizon without parking
+    ///   there; such controllers satisfy the optimistic stop criterion but
+    ///   give Algorithm 2 no cell whose image fits inside `X_g`. Driving the
+    ///   final set onto the goal makes the learned controllers *settle*,
+    ///   which is what the paper's `X_I = X₀` results require.
+    ///
+    /// Sign semantics are unchanged: positive iff the (instantaneous) final
+    /// set meets `X_g`.
+    #[must_use]
+    pub fn distance_goal(&self, fp: &Flowpipe) -> f64 {
+        let last = fp.final_step();
+        let overlap = self.end_intersection(last, &self.goal_region);
+        if overlap > 0.0 {
+            return overlap;
+        }
+        if self.goal_region.intersects_box(&last.end_box) {
+            // Zero-measure touching still counts as "not yet reaching".
+            return 0.0;
+        }
+        let d = self.end_distance(last, &self.goal_region);
+        -d.powi(2)
+    }
+
+    /// Measure of `step ∩ region`. The exact polygon is used only when the
+    /// step is instantaneous (`t0 == t1`) — for sweep steps the polygon
+    /// describes the step-end set, not the whole period, so the (sound)
+    /// sweep box is used instead.
+    fn step_intersection(&self, step: &StepEnclosure, region: &Region) -> f64 {
+        match &step.polygon {
+            Some(poly) if region.dim() == 2 && step.t0 == step.t1 => {
+                region.intersection_area(poly, &self.universe)
+            }
+            _ => region.intersection_volume(&step.enclosure, &self.universe),
+        }
+    }
+
+    /// Distance from the step set to the region (same polygon rule as
+    /// [`GeometricMetric::step_intersection`]).
+    fn step_distance(&self, step: &StepEnclosure, region: &Region) -> f64 {
+        match &step.polygon {
+            Some(poly) if region.dim() == 2 && step.t0 == step.t1 => {
+                region.distance_to_polygon(poly)
+            }
+            _ => region.distance_to_box(&step.enclosure),
+        }
+    }
+
+    /// Measure of `X_r[t1] ∩ region` using the instantaneous end set.
+    fn end_intersection(&self, step: &StepEnclosure, region: &Region) -> f64 {
+        match &step.polygon {
+            Some(poly) if region.dim() == 2 => region.intersection_area(poly, &self.universe),
+            _ => region.intersection_volume(&step.end_box, &self.universe),
+        }
+    }
+
+    /// Distance from the instantaneous end set to the region.
+    fn end_distance(&self, step: &StepEnclosure, region: &Region) -> f64 {
+        match &step.polygon {
+            Some(poly) if region.dim() == 2 => region.distance_to_polygon(poly),
+            _ => region.distance_to_box(&step.end_box),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe() -> IntervalBox {
+        IntervalBox::from_bounds(&[(-10.0, 10.0), (-10.0, 10.0)])
+    }
+
+    fn metric() -> GeometricMetric {
+        GeometricMetric::new(
+            Region::from_box(IntervalBox::from_bounds(&[(-6.0, -4.0), (-1.0, 1.0)])),
+            Region::from_box(IntervalBox::from_bounds(&[(4.0, 6.0), (-1.0, 1.0)])),
+            universe(),
+        )
+    }
+
+    fn pipe(boxes: Vec<IntervalBox>) -> Flowpipe {
+        Flowpipe::from_boxes(boxes, 0.1)
+    }
+
+    #[test]
+    fn safe_and_reaching_is_reach_avoid() {
+        let m = metric();
+        let fp = pipe(vec![
+            IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]),
+            IntervalBox::from_bounds(&[(4.5, 5.5), (-0.5, 0.5)]),
+        ]);
+        let d = m.evaluate(&fp);
+        assert!(d.is_reach_avoid());
+        // d^u = squared distance from closest step to unsafe box.
+        assert!((d.d_unsafe - 16.0).abs() < 1e-9); // gap 4 → 16
+        assert!((d.d_goal - 1.0).abs() < 1e-9); // overlap area 1
+    }
+
+    #[test]
+    fn unsafe_overlap_is_negative() {
+        let m = metric();
+        let fp = pipe(vec![IntervalBox::from_bounds(&[(-5.0, -4.5), (0.0, 0.5)])]);
+        let d = m.evaluate(&fp);
+        assert!(d.d_unsafe < 0.0);
+        assert!((d.d_unsafe + 0.25).abs() < 1e-9);
+        assert!(!d.is_reach_avoid());
+    }
+
+    #[test]
+    fn goal_missed_is_negative() {
+        let m = metric();
+        let fp = pipe(vec![IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 1.0)])]);
+        let d = m.evaluate(&fp);
+        assert!(d.d_goal < 0.0);
+        assert!((d.d_goal + 9.0).abs() < 1e-9); // gap 3 → −9
+    }
+
+    #[test]
+    fn touching_unsafe_is_zero() {
+        let m = metric();
+        // Shares only the boundary x = −4.
+        let fp = pipe(vec![IntervalBox::from_bounds(&[(-4.0, -3.0), (0.0, 0.5)])]);
+        let d = m.evaluate(&fp);
+        assert_eq!(d.d_unsafe, 0.0);
+        assert!(!d.is_reach_avoid());
+    }
+
+    #[test]
+    fn objective_is_sum() {
+        let m = metric();
+        let fp = pipe(vec![IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 1.0)])]);
+        let d = m.evaluate(&fp);
+        assert!((d.objective() - (d.d_unsafe + d.d_goal)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polygon_path_used_when_present() {
+        use dwv_geom::ConvexPolygon;
+        let m = metric();
+        // A triangle whose bounding box overlaps the goal more than the
+        // triangle itself does, so the polygon path gives a smaller overlap.
+        let poly = ConvexPolygon::from_points(vec![
+            dwv_geom::Vec2::new(4.0, -1.0),
+            dwv_geom::Vec2::new(6.0, -1.0),
+            dwv_geom::Vec2::new(5.0, 3.0),
+        ])
+        .unwrap();
+        let bb = poly.bounding_box();
+        let step = StepEnclosure {
+            t0: 0.0,
+            t1: 0.0,
+            end_box: bb.clone(),
+            enclosure: bb.clone(),
+            polygon: Some(poly),
+        };
+        let fp = Flowpipe::new(vec![step]);
+        let d_poly = m.distance_goal(&fp);
+        let fp_box = pipe(vec![bb]);
+        let d_box = m.distance_goal(&fp_box);
+        assert!(d_poly > 0.0 && d_box > 0.0);
+        assert!(d_poly < d_box, "polygon overlap {d_poly} should be below box {d_box}");
+    }
+
+    #[test]
+    fn sweep_steps_ignore_instantaneous_polygon() {
+        use dwv_geom::ConvexPolygon;
+        let m = metric();
+        // A sweep step whose *end* polygon is safely away from the unsafe
+        // region while the sweep box overlaps it: the box must win (the
+        // polygon only describes t1, not the whole period).
+        let poly = ConvexPolygon::from_box(&IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]));
+        let step = StepEnclosure {
+            t0: 0.0,
+            t1: 0.1, // a sweep step
+            enclosure: IntervalBox::from_bounds(&[(-5.5, 1.0), (0.0, 1.0)]),
+            end_box: IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]),
+            polygon: Some(poly),
+        };
+        let fp = Flowpipe::new(vec![step]);
+        let d = m.evaluate(&fp);
+        assert!(d.d_unsafe < 0.0, "sweep overlap must be detected: {d:?}");
+    }
+
+    #[test]
+    fn instantaneous_steps_use_polygon() {
+        use dwv_geom::ConvexPolygon;
+        let m = metric();
+        // A triangle near the unsafe box whose bounding box would overlap it
+        // but whose polygon does not: on an instantaneous step the polygon
+        // must win (exact, tighter).
+        let poly = ConvexPolygon::from_points(vec![
+            dwv_geom::Vec2::new(-3.5, 2.0),
+            dwv_geom::Vec2::new(-2.0, 0.5),
+            dwv_geom::Vec2::new(-2.0, 2.0),
+        ])
+        .unwrap();
+        let bb = poly.bounding_box();
+        // Make the bounding box dip into the unsafe region by translating it
+        // conceptually: use a region adjacent to the triangle's empty corner.
+        let m2 = GeometricMetric::new(
+            Region::from_box(IntervalBox::from_bounds(&[(-3.6, -3.0), (0.4, 0.9)])),
+            Region::from_box(IntervalBox::from_bounds(&[(4.0, 6.0), (-1.0, 1.0)])),
+            universe(),
+        );
+        let step = StepEnclosure {
+            t0: 0.2,
+            t1: 0.2, // instantaneous
+            enclosure: bb.clone(),
+            end_box: bb,
+            polygon: Some(poly),
+        };
+        let fp = Flowpipe::new(vec![step]);
+        let d = m2.evaluate(&fp);
+        // The triangle's hypotenuse stays clear of the small unsafe box even
+        // though the bounding box covers it.
+        assert!(d.d_unsafe > 0.0, "polygon precision lost: {d:?}");
+    }
+
+    #[test]
+    fn multi_step_uses_closest_for_distance() {
+        let m = metric();
+        let fp = pipe(vec![
+            IntervalBox::from_bounds(&[(-1.0, 0.0), (0.0, 1.0)]),
+            IntervalBox::from_bounds(&[(2.0, 3.0), (0.0, 1.0)]), // final step (gap 1)
+        ]);
+        let d = m.evaluate(&fp);
+        assert!((d.d_goal + 1.0).abs() < 1e-9);
+    }
+}

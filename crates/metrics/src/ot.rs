@@ -1,0 +1,325 @@
+//! Optimal-transport solvers.
+//!
+//! The Wasserstein metric of the paper (Eq. 4) is computed on discretized
+//! uniform distributions. Three solvers, trading exactness for generality:
+//!
+//! * [`wasserstein_1d`] — exact 1-D `W_p` via sorted quantile matching,
+//! * [`hungarian`] — exact assignment for equal-size uniform clouds
+//!   (Jonker–Volgenant shortest augmenting paths, `O(n³)`),
+//! * [`sinkhorn`] — entropic regularization for general weighted clouds.
+
+/// Exact 1-D 1-Wasserstein distance between two equal-size empirical
+/// distributions: the mean absolute difference of sorted samples.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+///
+/// # Example
+///
+/// ```
+/// use dwv_metrics::ot::wasserstein_1d;
+///
+/// let w = wasserstein_1d(&[0.0, 1.0], &[2.0, 3.0]);
+/// assert!((w - 2.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn wasserstein_1d(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sample counts must match");
+    assert!(!a.is_empty(), "samples must be non-empty");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+    sa.iter()
+        .zip(&sb)
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Exact minimum-cost assignment (Hungarian / Jonker–Volgenant shortest
+/// augmenting paths). `cost` is row-major `n × n`. Returns
+/// `(assignment, total_cost)` where `assignment[row] = column`.
+///
+/// For two equal-size uniform point clouds with `cost[i][j] = d(xᵢ, yⱼ)`,
+/// `total_cost / n` is the exact 1-Wasserstein distance.
+///
+/// # Panics
+///
+/// Panics if `cost` is empty or not square.
+#[must_use]
+pub fn hungarian(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = cost.len();
+    assert!(n > 0, "cost matrix must be non-empty");
+    assert!(cost.iter().all(|r| r.len() == n), "cost matrix must be square");
+    // JV algorithm with 1-based sentinel column 0.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row assigned to column j (1-based)
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assignment = vec![0usize; n];
+    let mut total = 0.0;
+    for j in 1..=n {
+        if p[j] > 0 {
+            assignment[p[j] - 1] = j - 1;
+            total += cost[p[j] - 1][j - 1];
+        }
+    }
+    (assignment, total)
+}
+
+/// Entropy-regularized optimal transport (Sinkhorn–Knopp).
+///
+/// `a` and `b` are the (positive, summing to 1) weights of the two clouds,
+/// `cost[i][j]` the ground cost. Returns the regularized transport cost
+/// `⟨P, C⟩`, which converges to the exact OT cost as `epsilon → 0`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent, weights are non-positive, or
+/// `epsilon <= 0`.
+#[must_use]
+pub fn sinkhorn(cost: &[Vec<f64>], a: &[f64], b: &[f64], epsilon: f64, iters: usize) -> f64 {
+    let n = a.len();
+    let m = b.len();
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert_eq!(cost.len(), n, "cost rows must match a");
+    assert!(cost.iter().all(|r| r.len() == m), "cost cols must match b");
+    assert!(
+        a.iter().all(|&w| w > 0.0) && b.iter().all(|&w| w > 0.0),
+        "weights must be positive"
+    );
+    // Log-domain Sinkhorn for numerical stability.
+    let mut f = vec![0.0f64; n];
+    let mut g = vec![0.0f64; m];
+    let log_a: Vec<f64> = a.iter().map(|w| w.ln()).collect();
+    let log_b: Vec<f64> = b.iter().map(|w| w.ln()).collect();
+    for _ in 0..iters {
+        for (i, fi) in f.iter_mut().enumerate() {
+            let lse = log_sum_exp((0..m).map(|j| (g[j] - cost[i][j]) / epsilon + log_b[j]));
+            *fi = -epsilon * lse;
+        }
+        for (j, gj) in g.iter_mut().enumerate() {
+            let lse = log_sum_exp((0..n).map(|i| (f[i] - cost[i][j]) / epsilon + log_a[i]));
+            *gj = -epsilon * lse;
+        }
+    }
+    // Transport cost ⟨P, C⟩ with P_ij = a_i b_j exp((f_i + g_j − C_ij)/ε).
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in 0..m {
+            let p = ((f[i] + g[j] - cost[i][j]) / epsilon + log_a[i] + log_b[j]).exp();
+            total += p * cost[i][j];
+        }
+    }
+    total
+}
+
+fn log_sum_exp<I: Iterator<Item = f64>>(xs: I) -> f64 {
+    let vals: Vec<f64> = xs.collect();
+    let m = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return m;
+    }
+    m + vals.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// Builds the Euclidean cost matrix between two point clouds.
+///
+/// # Panics
+///
+/// Panics if points have inconsistent dimensions.
+#[must_use]
+pub fn euclidean_cost(xs: &[Vec<f64>], ys: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    xs.iter()
+        .map(|x| {
+            ys.iter()
+                .map(|y| {
+                    assert_eq!(x.len(), y.len(), "point dimension mismatch");
+                    x.iter()
+                        .zip(y)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn w1d_translation() {
+        let a = [0.0, 0.5, 1.0];
+        let b = [2.0, 2.5, 3.0];
+        assert!((wasserstein_1d(&a, &b) - 2.0).abs() < 1e-12);
+        assert!((wasserstein_1d(&a, &a) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn w1d_symmetric() {
+        let a = [0.0, 1.0, 4.0];
+        let b = [1.0, 2.0, 2.0];
+        assert!((wasserstein_1d(&a, &b) - wasserstein_1d(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hungarian_identity() {
+        // Diagonal dominant: identity assignment.
+        let cost = vec![
+            vec![0.0, 10.0, 10.0],
+            vec![10.0, 0.0, 10.0],
+            vec![10.0, 10.0, 0.0],
+        ];
+        let (asg, total) = hungarian(&cost);
+        assert_eq!(asg, vec![0, 1, 2]);
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn hungarian_antidiagonal() {
+        let cost = vec![vec![10.0, 1.0], vec![1.0, 10.0]];
+        let (asg, total) = hungarian(&cost);
+        assert_eq!(asg, vec![1, 0]);
+        assert!((total - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hungarian_matches_bruteforce() {
+        // Random-ish 4x4: compare against all 24 permutations.
+        let cost = vec![
+            vec![3.0, 7.0, 5.0, 11.0],
+            vec![2.0, 4.0, 9.0, 8.0],
+            vec![6.0, 1.0, 7.0, 4.0],
+            vec![5.0, 9.0, 2.0, 3.0],
+        ];
+        let (_, total) = hungarian(&cost);
+        let mut best = f64::INFINITY;
+        let perms = permutations(4);
+        for p in perms {
+            let c: f64 = p.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+            best = best.min(c);
+        }
+        assert!((total - best).abs() < 1e-9, "JV {total} vs brute {best}");
+    }
+
+    fn permutations(n: usize) -> Vec<Vec<usize>> {
+        if n == 1 {
+            return vec![vec![0]];
+        }
+        let smaller = permutations(n - 1);
+        let mut out = Vec::new();
+        for p in smaller {
+            for pos in 0..n {
+                let mut q: Vec<usize> = p.iter().map(|&v| if v >= pos { v + 1 } else { v }).collect();
+                q.insert(0, pos);
+                out.push(q);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hungarian_equals_1d_wasserstein() {
+        // For 1-D clouds, assignment OT equals quantile OT.
+        let xs: Vec<Vec<f64>> = [0.0, 0.3, 0.9, 1.4].iter().map(|&v| vec![v]).collect();
+        let ys: Vec<Vec<f64>> = [2.0, 2.2, 2.7, 3.0].iter().map(|&v| vec![v]).collect();
+        let cost = euclidean_cost(&xs, &ys);
+        let (_, total) = hungarian(&cost);
+        let w_assign = total / 4.0;
+        let w_quant = wasserstein_1d(
+            &xs.iter().map(|p| p[0]).collect::<Vec<_>>(),
+            &ys.iter().map(|p| p[0]).collect::<Vec<_>>(),
+        );
+        assert!((w_assign - w_quant).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sinkhorn_close_to_exact() {
+        let xs: Vec<Vec<f64>> = [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]]
+            .iter()
+            .map(|p| p.to_vec())
+            .collect();
+        let ys: Vec<Vec<f64>> = [[2.0, 0.0], [3.0, 0.0], [2.0, 1.0]]
+            .iter()
+            .map(|p| p.to_vec())
+            .collect();
+        let cost = euclidean_cost(&xs, &ys);
+        let (_, exact) = hungarian(&cost);
+        let exact = exact / 3.0;
+        let w = vec![1.0 / 3.0; 3];
+        let approx = sinkhorn(&cost, &w, &w, 0.01, 500);
+        assert!(
+            (approx - exact).abs() < 0.05 * exact.max(1.0),
+            "sinkhorn {approx} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn sinkhorn_handles_unequal_sizes() {
+        let xs: Vec<Vec<f64>> = vec![vec![0.0], vec![1.0]];
+        let ys: Vec<Vec<f64>> = vec![vec![5.0], vec![6.0], vec![7.0]];
+        let cost = euclidean_cost(&xs, &ys);
+        let a = vec![0.5; 2];
+        let b = vec![1.0 / 3.0; 3];
+        let w = sinkhorn(&cost, &a, &b, 0.05, 300);
+        assert!(w > 4.0 && w < 7.0);
+    }
+
+    #[test]
+    fn euclidean_cost_values() {
+        let c = euclidean_cost(&[vec![0.0, 0.0]], &[vec![3.0, 4.0]]);
+        assert!((c[0][0] - 5.0).abs() < 1e-12);
+    }
+}

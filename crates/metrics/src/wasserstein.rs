@@ -1,0 +1,326 @@
+//! The Wasserstein distance metric (paper §3.2, Eq. 4).
+//!
+//! The last step of the reachable set, the goal set and the unsafe set are
+//! viewed as uniform distributions; the metric evaluates
+//! `W(r_θ, g)` and `W(r_θ, u)` and the constraint flags
+//! `X_r ∩ X_g ≠ ∅`, `X_r ∩ X_u = ∅`. The learning objective is
+//! `min W(r_θ, g) − W(r_θ, u)`.
+//!
+//! Distributions are discretized into equal-weight point clouds (grid points
+//! of the box, or rejection samples for half-space regions clipped to the
+//! universe) and the distance computed by exact assignment
+//! ([`crate::ot::hungarian`]).
+
+use crate::ot;
+use dwv_geom::Region;
+use dwv_interval::IntervalBox;
+use dwv_reach::Flowpipe;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Wasserstein distances and constraint flags for one flowpipe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WassersteinDistances {
+    /// `W(r_θ, g)` — transport distance from the final reach set to the
+    /// goal distribution (to be minimized).
+    pub w_goal: f64,
+    /// `W(r_θ, u)` — transport distance to the unsafe distribution (to be
+    /// maximized).
+    pub w_unsafe: f64,
+    /// Whether the final instantaneous reach set intersects the goal set.
+    pub intersects_goal: bool,
+    /// Whether the whole flowpipe intersects the unsafe set.
+    pub intersects_unsafe: bool,
+}
+
+impl WassersteinDistances {
+    /// The feasibility of Problem 1's constraint set
+    /// (`X_r ∩ X_g ≠ ∅ ∧ X_r ∩ X_u = ∅`).
+    #[must_use]
+    pub fn is_reach_avoid(&self) -> bool {
+        self.intersects_goal && !self.intersects_unsafe
+    }
+
+    /// The paper's Wasserstein objective `W(r, g) − W(r, u)` (minimized).
+    #[must_use]
+    pub fn objective(&self) -> f64 {
+        self.w_goal - self.w_unsafe
+    }
+}
+
+/// Which optimal-transport solver computes the cloud distances.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum OtSolver {
+    /// Exact assignment (Jonker–Volgenant Hungarian, `O(n³)`) — the default.
+    #[default]
+    Hungarian,
+    /// Entropy-regularized Sinkhorn iterations: approximate, asymptotically
+    /// cheaper per iteration, and the solver the optimal-transport
+    /// literature (the paper's reference \[19\]) recommends at scale.
+    Sinkhorn {
+        /// Regularization strength (→ exact as ε → 0).
+        epsilon: f64,
+        /// Iteration count.
+        iterations: usize,
+    },
+}
+
+/// Evaluator of the Wasserstein metric for a fixed problem instance.
+#[derive(Debug, Clone)]
+pub struct WassersteinMetric {
+    unsafe_region: Region,
+    goal_region: Region,
+    universe: IntervalBox,
+    /// Number of points per cloud (default 64).
+    pub samples: usize,
+    /// Sampling seed (the metric is deterministic in it).
+    pub seed: u64,
+    /// The OT solver.
+    pub solver: OtSolver,
+}
+
+impl WassersteinMetric {
+    /// Creates the evaluator with 64-point clouds.
+    #[must_use]
+    pub fn new(unsafe_region: Region, goal_region: Region, universe: IntervalBox) -> Self {
+        Self {
+            unsafe_region,
+            goal_region,
+            universe,
+            samples: 64,
+            seed: 0x5EED,
+            solver: OtSolver::default(),
+        }
+    }
+
+    /// Convenience constructor from a problem definition.
+    #[must_use]
+    pub fn for_problem(problem: &dwv_dynamics::ReachAvoidProblem) -> Self {
+        Self::new(
+            problem.unsafe_region.clone(),
+            problem.goal_region.clone(),
+            problem.universe.clone(),
+        )
+    }
+
+    /// Evaluates the metric on a flowpipe.
+    #[must_use]
+    pub fn evaluate(&self, fp: &Flowpipe) -> WassersteinDistances {
+        let final_box = &fp.final_step().end_box;
+        let r_cloud = self.sample_box(final_box);
+        let g_cloud = self.sample_region(&self.goal_region);
+        let u_cloud = self.sample_region(&self.unsafe_region);
+        let w_goal = cloud_distance(&r_cloud, &g_cloud, self.solver);
+        let w_unsafe = cloud_distance(&r_cloud, &u_cloud, self.solver);
+        WassersteinDistances {
+            w_goal,
+            w_unsafe,
+            intersects_goal: self
+                .goal_region
+                .intersects_box(&fp.final_step().end_box),
+            intersects_unsafe: fp
+                .iter()
+                .any(|s| self.unsafe_region.intersects_box(&s.enclosure)),
+        }
+    }
+
+    /// Uniform sample cloud from a box (deterministic in the seed).
+    fn sample_box(&self, b: &IntervalBox) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.samples)
+            .map(|_| {
+                (0..b.dim())
+                    .map(|i| {
+                        let iv = b.interval(i);
+                        if iv.width() > 0.0 {
+                            rng.gen_range(iv.lo()..=iv.hi())
+                        } else {
+                            iv.lo()
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Uniform sample cloud from a region clipped to the universe.
+    ///
+    /// Box regions sample the clipped box directly; half-space regions use
+    /// rejection sampling inside the universe.
+    fn sample_region(&self, region: &Region) -> Vec<Vec<f64>> {
+        if let Some(clipped) = region.clipped_box(&self.universe) {
+            return self.sample_box(&clipped);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xABCD);
+        let mut out = Vec::with_capacity(self.samples);
+        let mut guard = 0usize;
+        while out.len() < self.samples {
+            let p: Vec<f64> = (0..self.universe.dim())
+                .map(|i| {
+                    let iv = self.universe.interval(i);
+                    rng.gen_range(iv.lo()..=iv.hi())
+                })
+                .collect();
+            if region.contains_point(&p) {
+                out.push(p);
+            }
+            guard += 1;
+            assert!(
+                guard < self.samples * 10_000,
+                "rejection sampling failed: region has negligible measure in the universe"
+            );
+        }
+        out
+    }
+}
+
+/// 1-Wasserstein distance between two equal-size uniform clouds.
+fn cloud_distance(a: &[Vec<f64>], b: &[Vec<f64>], solver: OtSolver) -> f64 {
+    let cost = ot::euclidean_cost(a, b);
+    match solver {
+        OtSolver::Hungarian => {
+            let (_, total) = ot::hungarian(&cost);
+            total / a.len() as f64
+        }
+        OtSolver::Sinkhorn {
+            epsilon,
+            iterations,
+        } => {
+            let wa = vec![1.0 / a.len() as f64; a.len()];
+            let wb = vec![1.0 / b.len() as f64; b.len()];
+            ot::sinkhorn(&cost, &wa, &wb, epsilon, iterations)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe() -> IntervalBox {
+        IntervalBox::from_bounds(&[(-10.0, 10.0), (-10.0, 10.0)])
+    }
+
+    fn metric() -> WassersteinMetric {
+        let mut m = WassersteinMetric::new(
+            Region::from_box(IntervalBox::from_bounds(&[(-6.0, -4.0), (-1.0, 1.0)])),
+            Region::from_box(IntervalBox::from_bounds(&[(4.0, 6.0), (-1.0, 1.0)])),
+            universe(),
+        );
+        m.samples = 32;
+        m
+    }
+
+    fn pipe(boxes: Vec<IntervalBox>) -> Flowpipe {
+        Flowpipe::from_boxes(boxes, 0.1)
+    }
+
+    #[test]
+    fn distances_reflect_position() {
+        let m = metric();
+        // Final set sits exactly on the goal.
+        let fp = pipe(vec![IntervalBox::from_bounds(&[(4.0, 6.0), (-1.0, 1.0)])]);
+        let d = m.evaluate(&fp);
+        assert!(d.w_goal < d.w_unsafe, "{d:?}");
+        assert!(d.intersects_goal);
+        assert!(d.is_reach_avoid());
+        // And vice versa on the unsafe set.
+        let fp = pipe(vec![IntervalBox::from_bounds(&[(-6.0, -4.0), (-1.0, 1.0)])]);
+        let d = m.evaluate(&fp);
+        assert!(d.w_unsafe < d.w_goal);
+        assert!(d.intersects_unsafe);
+        assert!(!d.is_reach_avoid());
+    }
+
+    #[test]
+    fn translation_scales_distance() {
+        let m = metric();
+        let near = pipe(vec![IntervalBox::from_bounds(&[(3.0, 4.0), (0.0, 1.0)])]);
+        let far = pipe(vec![IntervalBox::from_bounds(&[(-2.0, -1.0), (0.0, 1.0)])]);
+        let dn = m.evaluate(&near);
+        let df = m.evaluate(&far);
+        assert!(dn.w_goal < df.w_goal);
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = metric();
+        let fp = pipe(vec![IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 1.0)])]);
+        let a = m.evaluate(&fp);
+        let b = m.evaluate(&fp);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn goal_flag_uses_final_step_only() {
+        let m = metric();
+        // Goal touched mid-horizon (a whip-through), final step elsewhere:
+        // the goal flag follows the final instantaneous set.
+        let fp = pipe(vec![
+            IntervalBox::from_bounds(&[(4.5, 5.0), (0.0, 0.5)]),
+            IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]),
+        ]);
+        let d = m.evaluate(&fp);
+        assert!(!d.intersects_goal);
+        assert!(!d.intersects_unsafe);
+        assert!(!d.is_reach_avoid());
+    }
+
+    #[test]
+    fn unsafe_flag_uses_all_steps() {
+        let m = metric();
+        // Unsafe touched mid-horizon: safety is violated regardless of where
+        // the pipe ends.
+        let fp = pipe(vec![
+            IntervalBox::from_bounds(&[(-5.0, -4.5), (0.0, 0.5)]),
+            IntervalBox::from_bounds(&[(4.0, 6.0), (-1.0, 1.0)]),
+        ]);
+        let d = m.evaluate(&fp);
+        assert!(d.intersects_unsafe);
+        assert!(!d.is_reach_avoid());
+    }
+
+    #[test]
+    fn halfspace_region_rejection_sampling() {
+        let mut m = WassersteinMetric::new(
+            Region::from_halfspace(dwv_geom::HalfSpace::new(vec![1.0, 0.0], -5.0)),
+            Region::from_box(IntervalBox::from_bounds(&[(4.0, 6.0), (-1.0, 1.0)])),
+            universe(),
+        );
+        m.samples = 16;
+        let fp = pipe(vec![IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 1.0)])]);
+        let d = m.evaluate(&fp);
+        // The unsafe half-space {x ≤ −5} is ~5.75 away from [0,1]².
+        assert!(d.w_unsafe > 4.0);
+    }
+
+    #[test]
+    fn sinkhorn_solver_close_to_exact() {
+        let mut exact = metric();
+        let mut approx = metric();
+        approx.solver = OtSolver::Sinkhorn {
+            epsilon: 0.02,
+            iterations: 300,
+        };
+        let fp = pipe(vec![IntervalBox::from_bounds(&[(2.0, 3.0), (0.0, 1.0)])]);
+        let de = exact.evaluate(&fp);
+        let da = approx.evaluate(&fp);
+        exact.samples = 32;
+        approx.samples = 32;
+        assert!(
+            (de.w_goal - da.w_goal).abs() < 0.15 * de.w_goal.max(1.0),
+            "sinkhorn {} vs exact {}",
+            da.w_goal,
+            de.w_goal
+        );
+        assert_eq!(de.intersects_goal, da.intersects_goal);
+    }
+
+    #[test]
+    fn objective_sign() {
+        let m = metric();
+        let at_goal = pipe(vec![IntervalBox::from_bounds(&[(4.0, 6.0), (-1.0, 1.0)])]);
+        let at_unsafe = pipe(vec![IntervalBox::from_bounds(&[(-6.0, -4.0), (-1.0, 1.0)])]);
+        assert!(m.evaluate(&at_goal).objective() < m.evaluate(&at_unsafe).objective());
+    }
+}

@@ -1,0 +1,322 @@
+//! Multi-layer perceptrons.
+
+use crate::{Activation, Layer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// A dense feed-forward network.
+///
+/// The architecture follows the paper's controllers: every hidden layer
+/// shares one activation (ReLU in the experiments) and the output layer has
+/// its own (Tanh, so control inputs are bounded).
+///
+/// The flat parameter vector ([`Network::params`] / [`Network::set_params`])
+/// is the `θ` of `κ_θ` that Algorithm 1 perturbs; [`Network::gradient`]
+/// provides reverse-mode gradients for the RL baselines.
+///
+/// # Example
+///
+/// ```
+/// use dwv_nn::{Activation, Network};
+///
+/// let net = Network::new(&[2, 4, 1], Activation::ReLU, Activation::Tanh, 1);
+/// assert_eq!(net.num_params(), 2 * 4 + 4 + 4 * 1 + 1);
+/// let y = net.forward(&[0.1, -0.2]);
+/// assert!(y[0].abs() <= 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Creates a randomly initialized network with the given layer sizes
+    /// (`sizes[0]` inputs through `sizes.last()` outputs), deterministic in
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    #[must_use]
+    pub fn new(sizes: &[usize], hidden: Activation, output: Activation, seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = sizes.len() - 1;
+        let layers = (0..n)
+            .map(|i| {
+                let act = if i + 1 == n { output } else { hidden };
+                Layer::random(sizes[i], sizes[i + 1], act, &mut rng)
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// Creates a network from explicit layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layers don't chain (output dim ≠ next input dim) or the
+    /// list is empty.
+    #[must_use]
+    pub fn from_layers(layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "network needs at least one layer");
+        for w in layers.windows(2) {
+            assert_eq!(
+                w[0].out_dim(),
+                w[1].in_dim(),
+                "layer dimensions must chain"
+            );
+        }
+        Self { layers }
+    }
+
+    /// The layers.
+    #[must_use]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// The input dimension.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// The output dimension.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Total number of trainable parameters.
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Layer::num_params).sum()
+    }
+
+    /// Forward evaluation.
+    #[must_use]
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut h = x.to_vec();
+        for layer in &self.layers {
+            h = layer.forward(&h).0;
+        }
+        h
+    }
+
+    /// The flat parameter vector `θ` (layer by layer, weights then bias).
+    #[must_use]
+    pub fn params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for layer in &self.layers {
+            layer.write_params(&mut out);
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta.len() != self.num_params()`.
+    pub fn set_params(&mut self, theta: &[f64]) {
+        assert_eq!(theta.len(), self.num_params(), "parameter count mismatch");
+        let mut off = 0;
+        for layer in &mut self.layers {
+            off += layer.read_params(&theta[off..]);
+        }
+    }
+
+    /// Reverse-mode gradient of a scalar function of the output.
+    ///
+    /// Runs a forward pass at `x`, then backpropagates `d_out = ∂L/∂y`.
+    /// Returns `(∂L/∂θ, ∂L/∂x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `d_out` have wrong dimensions.
+    #[must_use]
+    pub fn gradient(&self, x: &[f64], d_out: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        assert_eq!(d_out.len(), self.out_dim(), "output gradient mismatch");
+        // Forward, caching inputs and pre-activations per layer.
+        let mut inputs: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
+        let mut pres: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
+        let mut h = x.to_vec();
+        for layer in &self.layers {
+            inputs.push(h.clone());
+            let (act, pre) = layer.forward(&h);
+            pres.push(pre);
+            h = act;
+        }
+        // Backward.
+        let mut grad = vec![0.0; self.num_params()];
+        let mut offsets = Vec::with_capacity(self.layers.len());
+        let mut off = 0;
+        for layer in &self.layers {
+            offsets.push(off);
+            off += layer.num_params();
+        }
+        let mut d = d_out.to_vec();
+        for (idx, layer) in self.layers.iter().enumerate().rev() {
+            let o = offsets[idx];
+            let slice = &mut grad[o..o + layer.num_params()];
+            d = layer.backward(&inputs[idx], &pres[idx], &d, slice);
+        }
+        (grad, d)
+    }
+
+    /// The Jacobian `∂y/∂x` (rows = outputs), via one backward pass per
+    /// output.
+    #[must_use]
+    pub fn input_jacobian(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        (0..self.out_dim())
+            .map(|o| {
+                let mut d = vec![0.0; self.out_dim()];
+                d[o] = 1.0;
+                self.gradient(x, &d).1
+            })
+            .collect()
+    }
+
+    /// A crude global Lipschitz bound: the product over layers of the
+    /// spectral-norm upper bound `‖W‖_∞→∞`-style (max row L1 norm), times
+    /// activation slopes (≤ 1 for all supported activations).
+    ///
+    /// Used by the Bernstein abstraction to inflate sampled remainders.
+    #[must_use]
+    pub fn lipschitz_bound(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|l| {
+                (0..l.out_dim())
+                    .map(|o| {
+                        (0..l.in_dim())
+                            .map(|i| l.weight(o, i).abs())
+                            .sum::<f64>()
+                    })
+                    .fold(0.0f64, f64::max)
+            })
+            .product()
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Network[{}", self.in_dim())?;
+        for l in &self.layers {
+            write!(f, " → {}({})", l.out_dim(), l.activation())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(&[2, 6, 4, 1], Activation::ReLU, Activation::Tanh, 123)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let n = net();
+        assert_eq!(n.in_dim(), 2);
+        assert_eq!(n.out_dim(), 1);
+        assert_eq!(n.num_params(), 2 * 6 + 6 + 6 * 4 + 4 + 4 + 1);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = Network::new(&[2, 4, 1], Activation::ReLU, Activation::Tanh, 9);
+        let b = Network::new(&[2, 4, 1], Activation::ReLU, Activation::Tanh, 9);
+        let c = Network::new(&[2, 4, 1], Activation::ReLU, Activation::Tanh, 10);
+        assert_eq!(a.params(), b.params());
+        assert_ne!(a.params(), c.params());
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let mut n = net();
+        let mut theta = n.params();
+        theta.iter_mut().for_each(|v| *v *= 0.5);
+        n.set_params(&theta);
+        assert_eq!(n.params(), theta);
+    }
+
+    #[test]
+    fn output_bounded_by_tanh() {
+        let n = net();
+        for p in [[5.0, -3.0], [100.0, 100.0], [-50.0, 20.0]] {
+            let y = n.forward(&p);
+            assert!(y[0].abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        // Use smooth activations so finite differences are reliable.
+        let mut n = Network::new(&[2, 5, 1], Activation::Tanh, Activation::Tanh, 7);
+        let x = [0.4, -0.9];
+        let (grad, d_in) = n.gradient(&x, &[1.0]);
+        let h = 1e-6;
+        let theta = n.params();
+        for p in (0..n.num_params()).step_by(3) {
+            let mut plus = theta.clone();
+            plus[p] += h;
+            n.set_params(&plus);
+            let fp = n.forward(&x)[0];
+            let mut minus = theta.clone();
+            minus[p] -= h;
+            n.set_params(&minus);
+            let fm = n.forward(&x)[0];
+            n.set_params(&theta);
+            let fd = (fp - fm) / (2.0 * h);
+            assert!(
+                (grad[p] - fd).abs() < 1e-6,
+                "param {p}: analytic {} vs fd {fd}",
+                grad[p]
+            );
+        }
+        for i in 0..2 {
+            let mut xp = x;
+            xp[i] += h;
+            let mut xm = x;
+            xm[i] -= h;
+            let fd = (n.forward(&xp)[0] - n.forward(&xm)[0]) / (2.0 * h);
+            assert!((d_in[i] - fd).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn input_jacobian_shape() {
+        let n = Network::new(&[3, 4, 2], Activation::Tanh, Activation::Identity, 3);
+        let j = n.input_jacobian(&[0.1, 0.2, 0.3]);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j[0].len(), 3);
+    }
+
+    #[test]
+    fn lipschitz_bound_dominates_sampled_slopes() {
+        let n = Network::new(&[1, 8, 1], Activation::Tanh, Activation::Tanh, 5);
+        let lip = n.lipschitz_bound();
+        let mut max_slope = 0.0f64;
+        for i in 0..100 {
+            let x = -2.0 + 4.0 * i as f64 / 100.0;
+            let h = 1e-5;
+            let s = ((n.forward(&[x + h])[0] - n.forward(&[x - h])[0]) / (2.0 * h)).abs();
+            max_slope = max_slope.max(s);
+        }
+        assert!(lip >= max_slope, "Lipschitz bound {lip} below slope {max_slope}");
+    }
+
+    #[test]
+    #[should_panic(expected = "chain")]
+    fn mismatched_layers_panic() {
+        let l1 = Layer::from_params(2, 3, vec![0.0; 6], vec![0.0; 3], Activation::ReLU);
+        let l2 = Layer::from_params(4, 1, vec![0.0; 4], vec![0.0; 1], Activation::Tanh);
+        let _ = Network::from_layers(vec![l1, l2]);
+    }
+}

@@ -1,0 +1,177 @@
+//! First-order optimizers for the RL baselines.
+
+/// A first-order optimizer updating a flat parameter vector in place.
+pub trait Optimizer {
+    /// Applies one update with gradient `grad` to `params`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `params.len() != grad.len()` or the length
+    /// differs from the one the optimizer was created for.
+    fn step(&mut self, params: &mut [f64], grad: &[f64]);
+
+    /// The configured learning rate.
+    fn learning_rate(&self) -> f64;
+}
+
+/// Plain stochastic gradient descent `θ ← θ − η·g`.
+///
+/// # Example
+///
+/// ```
+/// use dwv_nn::{Optimizer, Sgd};
+///
+/// let mut opt = Sgd::new(0.1);
+/// let mut theta = vec![1.0, -2.0];
+/// opt.step(&mut theta, &[1.0, 1.0]);
+/// assert_eq!(theta, vec![0.9, -2.1]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sgd {
+    lr: f64,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    #[must_use]
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), grad.len(), "gradient length mismatch");
+        for (p, g) in params.iter_mut().zip(grad) {
+            *p -= self.lr * g;
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+///
+/// # Example
+///
+/// ```
+/// use dwv_nn::{Adam, Optimizer};
+///
+/// let mut opt = Adam::new(2, 1e-3);
+/// let mut theta = vec![0.0, 0.0];
+/// for _ in 0..100 {
+///     // minimize (θ₀ − 1)² + (θ₁ + 2)²
+///     let grad = vec![2.0 * (theta[0] - 1.0), 2.0 * (theta[1] + 2.0)];
+///     opt.step(&mut theta, &grad);
+/// }
+/// assert!((theta[0] - 1.0).abs() < 1.0); // moving toward the optimum
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer for `n` parameters with the standard
+    /// moments (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    #[must_use]
+    pub fn new(n: usize, lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), grad.len(), "gradient length mismatch");
+        assert_eq!(params.len(), self.m.len(), "optimizer sized for different parameter count");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grad[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let mut x = vec![5.0];
+        for _ in 0..100 {
+            let g = vec![2.0 * x[0]];
+            opt.step(&mut x, &g);
+        }
+        assert!(x[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut opt = Adam::new(2, 0.05);
+        let mut x = vec![3.0, -4.0];
+        for _ in 0..2000 {
+            let g = vec![2.0 * (x[0] - 1.0), 2.0 * (x[1] + 2.0)];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] - 1.0).abs() < 1e-2);
+        assert!((x[1] + 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_handles_sparse_gradients() {
+        let mut opt = Adam::new(2, 0.01);
+        let mut x = vec![1.0, 1.0];
+        for i in 0..100 {
+            let g = if i % 2 == 0 {
+                vec![2.0 * x[0], 0.0]
+            } else {
+                vec![0.0, 2.0 * x[1]]
+            };
+            opt.step(&mut x, &g);
+        }
+        assert!(x[0].abs() < 1.0 && x[1].abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lr_rejected() {
+        let _ = Sgd::new(0.0);
+    }
+}

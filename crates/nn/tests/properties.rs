@@ -1,0 +1,91 @@
+//! Property-based tests for the neural-network substrate: gradient
+//! correctness against finite differences under random shapes, seeds and
+//! evaluation points.
+
+use dwv_nn::{Activation, Network};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reverse-mode parameter gradients match central finite differences on
+    /// smooth networks at random points.
+    #[test]
+    fn gradient_matches_fd(seed in 0u64..1000, x0 in -1.5..1.5f64, x1 in -1.5..1.5f64, probe in 0usize..8) {
+        let mut net = Network::new(&[2, 6, 1], Activation::Tanh, Activation::Tanh, seed);
+        let x = [x0, x1];
+        let (grad, _) = net.gradient(&x, &[1.0]);
+        let theta = net.params();
+        let idx = probe * theta.len() / 8;
+        let h = 1e-6;
+        let mut plus = theta.clone();
+        plus[idx] += h;
+        net.set_params(&plus);
+        let fp = net.forward(&x)[0];
+        let mut minus = theta.clone();
+        minus[idx] -= h;
+        net.set_params(&minus);
+        let fm = net.forward(&x)[0];
+        let fd = (fp - fm) / (2.0 * h);
+        prop_assert!((grad[idx] - fd).abs() < 1e-5 * (1.0 + fd.abs()), "param {idx}: {} vs {fd}", grad[idx]);
+    }
+
+    /// Input gradients match finite differences.
+    #[test]
+    fn input_gradient_matches_fd(seed in 0u64..1000, x0 in -1.5..1.5f64, x1 in -1.5..1.5f64) {
+        let net = Network::new(&[2, 5, 1], Activation::Sigmoid, Activation::Identity, seed);
+        let x = [x0, x1];
+        let (_, din) = net.gradient(&x, &[1.0]);
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut xp = x;
+            xp[i] += h;
+            let mut xm = x;
+            xm[i] -= h;
+            let fd = (net.forward(&xp)[0] - net.forward(&xm)[0]) / (2.0 * h);
+            prop_assert!((din[i] - fd).abs() < 1e-5 * (1.0 + fd.abs()));
+        }
+    }
+
+    /// params → set_params is the identity.
+    #[test]
+    fn params_roundtrip(seed in 0u64..1000) {
+        let mut net = Network::new(&[3, 4, 2], Activation::ReLU, Activation::Tanh, seed);
+        let theta = net.params();
+        net.set_params(&theta);
+        prop_assert_eq!(net.params(), theta);
+    }
+
+    /// Tanh output layers keep outputs in [−1, 1] for any input.
+    #[test]
+    fn tanh_output_bounded(seed in 0u64..1000, x0 in -100.0..100.0f64, x1 in -100.0..100.0f64) {
+        let net = Network::new(&[2, 8, 2], Activation::ReLU, Activation::Tanh, seed);
+        for y in net.forward(&[x0, x1]) {
+            prop_assert!(y.abs() <= 1.0);
+        }
+    }
+
+    /// The Lipschitz bound dominates random secant slopes.
+    #[test]
+    fn lipschitz_dominates_secants(seed in 0u64..200, a in -1.0..1.0f64, b in -1.0..1.0f64) {
+        prop_assume!((a - b).abs() > 1e-6);
+        let net = Network::new(&[1, 6, 1], Activation::Tanh, Activation::Tanh, seed);
+        let lip = net.lipschitz_bound();
+        let slope = ((net.forward(&[a])[0] - net.forward(&[b])[0]) / (a - b)).abs();
+        prop_assert!(lip + 1e-9 >= slope, "bound {lip} < slope {slope}");
+    }
+
+    /// Activation Taylor coefficients reproduce the function locally.
+    #[test]
+    fn activation_taylor_local(c in -1.5..1.5f64, dx in -0.05..0.05f64) {
+        for act in [Activation::Tanh, Activation::Sigmoid] {
+            let coeffs = act.taylor_coefficients(c, 4);
+            let approx: f64 = coeffs
+                .iter()
+                .enumerate()
+                .map(|(k, &a)| a * dx.powi(k as i32))
+                .sum();
+            prop_assert!((approx - act.apply(c + dx)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Bernstein forms: tight polynomial range enclosures and Bernstein
+//! approximation of arbitrary functions.
+//!
+//! Two uses in the reproduction:
+//!
+//! * [`range_enclosure`] — the Bernstein coefficients of a polynomial over a
+//!   box bound its range (the classical Bernstein enclosure property). This
+//!   is the "tight" alternative to naive interval evaluation and one of the
+//!   tightness knobs benchmarked for the paper's §4 discussion.
+//! * [`approximate`] — degree-`d` Bernstein approximation `B_d(f)` of an
+//!   arbitrary continuous function on a box — how the ReachNN verifier
+//!   abstracts a neural-network controller (paper §3.1).
+
+use crate::Polynomial;
+use dwv_interval::{Interval, IntervalBox};
+
+/// Binomial coefficient `C(n, k)` as `f64`.
+///
+/// Exact for the small degrees used by Bernstein forms (n ≤ 60 stays within
+/// `f64` integer precision).
+#[must_use]
+pub fn binomial(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc.round()
+}
+
+/// The univariate Bernstein basis polynomial `B_{k,d}(t) = C(d,k) t^k (1-t)^{d-k}`
+/// expanded in the power basis (1 variable).
+#[must_use]
+pub fn basis_polynomial(d: u32, k: u32) -> Polynomial {
+    assert!(k <= d, "basis index exceeds degree");
+    let mut p = Polynomial::zero(1);
+    let c_dk = binomial(d, k);
+    for j in 0..=(d - k) {
+        let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
+        let coeff = c_dk * binomial(d - k, j) * sign;
+        p += Polynomial::monomial(1, vec![k + j], coeff);
+    }
+    p
+}
+
+/// The Bernstein sample nodes `(k_1/d_1, …, k_n/d_n)` of a box, in the same
+/// mixed-radix order as the coefficient tensor.
+#[must_use]
+pub fn nodes(degrees: &[u32], domain: &IntervalBox) -> Vec<Vec<f64>> {
+    assert_eq!(degrees.len(), domain.dim(), "degree/domain length mismatch");
+    let counts: Vec<usize> = degrees.iter().map(|&d| d as usize + 1).collect();
+    let total: usize = counts.iter().product();
+    let mut idx = vec![0usize; degrees.len()];
+    let mut out = Vec::with_capacity(total);
+    for _ in 0..total {
+        let p: Vec<f64> = idx
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let iv = domain.interval(i);
+                if degrees[i] == 0 {
+                    iv.mid()
+                } else {
+                    iv.lo() + iv.width() * k as f64 / degrees[i] as f64
+                }
+            })
+            .collect();
+        out.push(p);
+        for d in (0..idx.len()).rev() {
+            idx[d] += 1;
+            if idx[d] < counts[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+    out
+}
+
+/// Degree-`degrees` Bernstein approximation of `f` over `domain`, returned as
+/// a polynomial *in the original variables*.
+///
+/// The classical operator `B_d(f)(x) = Σ_k f(node_k) Π_i B_{k_i, d_i}(t_i)`
+/// with `t = (x − lo) / width`. The approximation error is `O(ω(f, 1/√d))`
+/// (modulus of continuity); the verifier layer bounds it conservatively by
+/// dense sampling plus a Lipschitz inflation.
+///
+/// # Panics
+///
+/// Panics if the degree vector length does not match the domain dimension or
+/// the domain is unbounded / zero-width in some dimension.
+#[must_use]
+pub fn approximate<F>(f: F, degrees: &[u32], domain: &IntervalBox) -> Polynomial
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert_eq!(degrees.len(), domain.dim(), "degree/domain length mismatch");
+    assert!(domain.is_finite(), "Bernstein domain must be bounded");
+    let n = domain.dim();
+    // Build the approximation in normalized coordinates t ∈ [0,1]^n first.
+    let mut acc = Polynomial::zero(n);
+    let counts: Vec<usize> = degrees.iter().map(|&d| d as usize + 1).collect();
+    let total: usize = counts.iter().product();
+    let mut idx = vec![0usize; n];
+    // Pre-expand univariate bases per dimension.
+    let bases: Vec<Vec<Polynomial>> = degrees
+        .iter()
+        .map(|&d| (0..=d).map(|k| basis_polynomial(d, k)).collect())
+        .collect();
+    let node_list = nodes(degrees, domain);
+    for node in node_list.iter().take(total) {
+        let fv = f(node);
+        if fv != 0.0 {
+            // Tensor-product basis for this index.
+            let mut term = Polynomial::constant(n, fv);
+            for (dim, &k) in idx.iter().enumerate() {
+                // Lift the univariate basis in t_dim to n variables.
+                let uni = &bases[dim][k];
+                let mut lifted = Polynomial::zero(n);
+                for (exps, c) in uni.iter() {
+                    let mut e = vec![0u32; n];
+                    e[dim] = exps[0];
+                    lifted += Polynomial::monomial(n, e, c);
+                }
+                term = term * lifted;
+            }
+            acc += term;
+        }
+        for d in (0..n).rev() {
+            idx[d] += 1;
+            if idx[d] < counts[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+    // Substitute t_i = (x_i − lo_i) / w_i to express in original coordinates.
+    let a: Vec<f64> = (0..n)
+        .map(|i| {
+            let iv = domain.interval(i);
+            assert!(iv.width() > 0.0, "Bernstein domain must have positive widths");
+            -iv.lo() / iv.width()
+        })
+        .collect();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 / domain.interval(i).width()).collect();
+    acc.affine_substitution(&a, &b)
+}
+
+/// Bernstein-form range enclosure of a polynomial over a box.
+///
+/// Converts the polynomial to Bernstein coefficients over the box; the min
+/// and max coefficient bound the range. A small relative inflation (1e-9 of
+/// the coefficient magnitude) absorbs rounding in the basis conversion so the
+/// result remains a *conservative* enclosure for the magnitudes that occur in
+/// the benchmark systems.
+///
+/// # Panics
+///
+/// Panics if the domain is unbounded or its dimension mismatches.
+#[must_use]
+pub fn range_enclosure(p: &Polynomial, domain: &IntervalBox) -> Interval {
+    assert_eq!(p.nvars(), domain.dim(), "domain dimension mismatch");
+    assert!(domain.is_finite(), "Bernstein domain must be bounded");
+    if p.is_zero() {
+        return Interval::ZERO;
+    }
+    let n = p.nvars();
+    // Re-express over [0,1]^n: x_i = lo_i + w_i t_i.
+    let lo: Vec<f64> = (0..n).map(|i| domain.interval(i).lo()).collect();
+    let w: Vec<f64> = (0..n).map(|i| domain.interval(i).width()).collect();
+    let q = p.affine_substitution(&lo, &w);
+    // Per-dimension degrees of q.
+    let mut degs = vec![0u32; n];
+    for (exps, _) in q.iter() {
+        for (i, &e) in exps.iter().enumerate() {
+            degs[i] = degs[i].max(e);
+        }
+    }
+    // Dense power-basis coefficient tensor a[j].
+    let counts: Vec<usize> = degs.iter().map(|&d| d as usize + 1).collect();
+    let total: usize = counts.iter().product();
+    let stride = strides(&counts);
+    let mut a = vec![0.0f64; total];
+    for (exps, c) in q.iter() {
+        let mut off = 0usize;
+        for (i, &e) in exps.iter().enumerate() {
+            off += e as usize * stride[i];
+        }
+        a[off] += c;
+    }
+    // b[k] = Σ_{j ≤ k} Π_i C(k_i, j_i)/C(d_i, j_i) · a[j], computed one
+    // dimension at a time (tensor contraction).
+    let mut b = a;
+    for dim in 0..n {
+        let d = degs[dim];
+        let mut next = vec![0.0f64; total];
+        for (off, _) in next.clone().iter().enumerate() {
+            let k = (off / stride[dim]) % counts[dim];
+            let base = off - k * stride[dim];
+            let mut acc = 0.0;
+            for j in 0..=k {
+                let ratio = binomial(k as u32, j as u32) / binomial(d, j as u32);
+                acc += ratio * b[base + j * stride[dim]];
+            }
+            next[off] = acc;
+        }
+        b = next;
+    }
+    let mut lo_c = f64::INFINITY;
+    let mut hi_c = f64::NEG_INFINITY;
+    for &c in &b {
+        lo_c = lo_c.min(c);
+        hi_c = hi_c.max(c);
+    }
+    let pad = 1e-9 * (lo_c.abs().max(hi_c.abs()).max(1.0));
+    Interval::new(lo_c - pad, hi_c + pad)
+}
+
+fn strides(counts: &[usize]) -> Vec<usize> {
+    // Row-major with the first dimension slowest would complicate the loop;
+    // use dimension i stride = product of counts after i.
+    let n = counts.len();
+    let mut s = vec![1usize; n];
+    for i in (0..n.saturating_sub(1)).rev() {
+        s[i] = s[i + 1] * counts[i + 1];
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(3, 7), 0.0);
+        assert_eq!(binomial(20, 10), 184_756.0);
+    }
+
+    #[test]
+    fn basis_partition_of_unity() {
+        // Σ_k B_{k,d}(t) = 1 for all t.
+        for d in [1u32, 3, 5] {
+            let sum = (0..=d)
+                .map(|k| basis_polynomial(d, k))
+                .fold(Polynomial::zero(1), |acc, p| acc + p);
+            for t in [0.0, 0.3, 0.5, 1.0] {
+                assert!((sum.eval(&[t]) - 1.0).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn basis_is_nonnegative_on_unit() {
+        let p = basis_polynomial(4, 2);
+        for i in 0..=20 {
+            let t = i as f64 / 20.0;
+            assert!(p.eval(&[t]) >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn range_enclosure_contains_samples_and_is_tighter() {
+        // p(x) = x^2 - x on [0, 1]: true range [-0.25, 0].
+        let x = Polynomial::var(1, 0);
+        let p = x.clone() * x.clone() - x;
+        let dom = IntervalBox::from_bounds(&[(0.0, 1.0)]);
+        let enc = range_enclosure(&p, &dom);
+        assert!(enc.contains_value(-0.25));
+        assert!(enc.contains_value(0.0));
+        // Interval eval gives [-1, 1]; Bernstein must be tighter.
+        let naive = p.eval_interval(dom.intervals());
+        assert!(enc.width() < naive.width());
+        // Bernstein coefficients of x²−x on [0,1] are {0, −1/2, 0}.
+        assert!(enc.lo() >= -0.55 && enc.hi() <= 0.05);
+    }
+
+    #[test]
+    fn range_enclosure_2d() {
+        // p(x,y) = x*y on [-1,1]^2: range [-1, 1].
+        let p = Polynomial::var(2, 0) * Polynomial::var(2, 1);
+        let dom = IntervalBox::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]);
+        let enc = range_enclosure(&p, &dom);
+        assert!(enc.contains(&dwv_interval::Interval::new(-1.0, 1.0)));
+        assert!(enc.width() < 4.5);
+    }
+
+    #[test]
+    fn range_enclosure_is_exact_for_linear() {
+        let p = Polynomial::var(2, 0).scale(2.0) + Polynomial::var(2, 1).scale(-1.0);
+        let dom = IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 2.0)]);
+        let enc = range_enclosure(&p, &dom);
+        assert!((enc.lo() - -2.0).abs() < 1e-6);
+        assert!((enc.hi() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn approximate_reproduces_polynomials_of_matching_degree() {
+        // Bernstein of degree d reproduces affine functions exactly.
+        let f = |x: &[f64]| 2.0 * x[0] - x[1] + 0.5;
+        let dom = IntervalBox::from_bounds(&[(-1.0, 2.0), (0.0, 1.0)]);
+        let b = approximate(f, &[1, 1], &dom);
+        for p in dom.grid(5) {
+            assert!((b.eval(&p) - f(&p)).abs() < 1e-9, "mismatch at {p:?}");
+        }
+    }
+
+    #[test]
+    fn approximate_converges_with_degree() {
+        let f = |x: &[f64]| (x[0]).tanh();
+        let dom = IntervalBox::from_bounds(&[(-1.0, 1.0)]);
+        let err = |deg: u32| {
+            let b = approximate(f, &[deg], &dom);
+            dom.grid(41)
+                .iter()
+                .map(|p| (b.eval(p) - f(p)).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let e2 = err(2);
+        let e8 = err(8);
+        assert!(e8 < e2, "degree-8 error {e8} not below degree-2 error {e2}");
+        assert!(e8 < 0.05);
+    }
+
+    #[test]
+    fn nodes_count_and_membership() {
+        let dom = IntervalBox::from_bounds(&[(0.0, 1.0), (2.0, 4.0)]);
+        let ns = nodes(&[2, 3], &dom);
+        assert_eq!(ns.len(), 12);
+        for p in &ns {
+            assert!(dom.contains_point(p));
+        }
+        assert!(ns.contains(&vec![0.0, 2.0]));
+        assert!(ns.contains(&vec![1.0, 4.0]));
+    }
+}

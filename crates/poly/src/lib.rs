@@ -1,0 +1,34 @@
+//! Sparse multivariate polynomials and Bernstein forms.
+//!
+//! This crate is the symbolic substrate shared by the Taylor-model flowpipe
+//! engine (`dwv-taylor`, the Flow\*/POLAR-style verifier) and the
+//! Bernstein-fit neural-network abstraction (the ReachNN-style verifier):
+//!
+//! * [`Polynomial`] — sparse multivariate polynomials over `f64` with exact
+//!   ring operations, evaluation (point and interval), differentiation,
+//!   integration, composition, and degree splitting (the truncation primitive
+//!   Taylor models are built on);
+//! * [`bernstein`] — conversion of polynomials to Bernstein form for tight
+//!   range enclosures, and Bernstein approximation of arbitrary functions
+//!   (how ReachNN abstracts a neural-network controller).
+//!
+//! # Example
+//!
+//! ```
+//! use dwv_poly::Polynomial;
+//!
+//! // p(x, y) = 1 + 2 x y - y^2
+//! let x = Polynomial::var(2, 0);
+//! let y = Polynomial::var(2, 1);
+//! let p = Polynomial::constant(2, 1.0) + 2.0 * (x.clone() * y.clone()) - y.clone() * y;
+//! assert_eq!(p.eval(&[1.0, 2.0]), 1.0 + 4.0 - 4.0);
+//! assert_eq!(p.degree(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bernstein;
+mod polynomial;
+
+pub use polynomial::Polynomial;

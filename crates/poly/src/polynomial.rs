@@ -1,0 +1,634 @@
+//! Sparse multivariate polynomials.
+
+use dwv_interval::Interval;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// Coefficients with absolute value below this threshold are dropped after
+/// ring operations; they are numerically indistinguishable from rounding
+/// noise and would otherwise accumulate without bound during Picard
+/// iteration.
+const COEFF_EPS: f64 = 0.0;
+
+/// A sparse multivariate polynomial with `f64` coefficients.
+///
+/// Terms are keyed by their exponent vectors (length = number of variables).
+/// All ring operations are exact up to floating-point rounding of the
+/// coefficients themselves; *enclosure* of rounding effects is the
+/// responsibility of the Taylor-model layer, which evaluates discarded /
+/// truncated parts with interval arithmetic.
+///
+/// # Example
+///
+/// ```
+/// use dwv_poly::Polynomial;
+///
+/// let x = Polynomial::var(2, 0);
+/// let y = Polynomial::var(2, 1);
+/// let p = x.clone() * x.clone() + 3.0 * y.clone(); // x² + 3y
+/// assert_eq!(p.eval(&[2.0, 1.0]), 7.0);
+/// assert_eq!(p.partial_derivative(0).eval(&[2.0, 1.0]), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    nvars: usize,
+    /// exponent vector → coefficient; zero coefficients are never stored.
+    terms: BTreeMap<Vec<u32>, f64>,
+}
+
+impl Polynomial {
+    /// The zero polynomial in `nvars` variables.
+    #[must_use]
+    pub fn zero(nvars: usize) -> Self {
+        Self {
+            nvars,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The constant polynomial `c`.
+    #[must_use]
+    pub fn constant(nvars: usize, c: f64) -> Self {
+        let mut p = Self::zero(nvars);
+        if c != 0.0 {
+            p.terms.insert(vec![0; nvars], c);
+        }
+        p
+    }
+
+    /// The polynomial `x_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nvars`.
+    #[must_use]
+    pub fn var(nvars: usize, i: usize) -> Self {
+        assert!(i < nvars, "variable index out of range");
+        let mut exps = vec![0; nvars];
+        exps[i] = 1;
+        let mut p = Self::zero(nvars);
+        p.terms.insert(exps, 1.0);
+        p
+    }
+
+    /// The monomial `c · x^exps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exps.len() != nvars`.
+    #[must_use]
+    pub fn monomial(nvars: usize, exps: Vec<u32>, c: f64) -> Self {
+        assert_eq!(exps.len(), nvars, "exponent vector length mismatch");
+        let mut p = Self::zero(nvars);
+        if c != 0.0 {
+            p.terms.insert(exps, c);
+        }
+        p
+    }
+
+    /// Builds a polynomial from `(exponents, coefficient)` pairs, summing
+    /// duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any exponent vector has the wrong length.
+    #[must_use]
+    pub fn from_terms<I>(nvars: usize, terms: I) -> Self
+    where
+        I: IntoIterator<Item = (Vec<u32>, f64)>,
+    {
+        let mut p = Self::zero(nvars);
+        for (exps, c) in terms {
+            assert_eq!(exps.len(), nvars, "exponent vector length mismatch");
+            p.add_term(exps, c);
+        }
+        p
+    }
+
+    /// The number of variables.
+    #[must_use]
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// The number of stored (non-zero) terms.
+    #[must_use]
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether this is the zero polynomial.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over `(exponents, coefficient)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u32], f64)> {
+        self.terms.iter().map(|(e, &c)| (e.as_slice(), c))
+    }
+
+    /// The total degree (max over terms of the exponent sum); 0 for the zero
+    /// polynomial.
+    #[must_use]
+    pub fn degree(&self) -> u32 {
+        self.terms
+            .keys()
+            .map(|e| e.iter().sum())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The coefficient of the constant term.
+    #[must_use]
+    pub fn constant_term(&self) -> f64 {
+        self.terms.get(&vec![0; self.nvars]).copied().unwrap_or(0.0)
+    }
+
+    /// The coefficient of `x^exps` (0 when absent).
+    #[must_use]
+    pub fn coefficient(&self, exps: &[u32]) -> f64 {
+        self.terms.get(exps).copied().unwrap_or(0.0)
+    }
+
+    fn add_term(&mut self, exps: Vec<u32>, c: f64) {
+        if c == 0.0 {
+            return;
+        }
+        match self.terms.entry(exps) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(c);
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                let sum = *o.get() + c;
+                if sum.abs() <= COEFF_EPS {
+                    o.remove();
+                } else {
+                    *o.get_mut() = sum;
+                }
+            }
+        }
+    }
+
+    /// Scales all coefficients by `s`.
+    #[must_use]
+    pub fn scale(&self, s: f64) -> Polynomial {
+        if s == 0.0 {
+            return Polynomial::zero(self.nvars);
+        }
+        Polynomial {
+            nvars: self.nvars,
+            terms: self.terms.iter().map(|(e, &c)| (e.clone(), c * s)).collect(),
+        }
+    }
+
+    /// Evaluates at the point `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.nvars()`.
+    #[must_use]
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.nvars, "evaluation point dimension mismatch");
+        self.terms
+            .iter()
+            .map(|(exps, &c)| {
+                c * exps
+                    .iter()
+                    .zip(x)
+                    .map(|(&e, &xi)| xi.powi(e as i32))
+                    .product::<f64>()
+            })
+            .sum()
+    }
+
+    /// Conservative interval enclosure of the range over the box `domain`.
+    ///
+    /// Monomial-wise interval evaluation with range-exact integer powers;
+    /// tighter enclosures are available via Bernstein form
+    /// ([`crate::bernstein::range_enclosure`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain.len() != self.nvars()`.
+    #[must_use]
+    pub fn eval_interval(&self, domain: &[Interval]) -> Interval {
+        assert_eq!(domain.len(), self.nvars, "domain dimension mismatch");
+        self.terms
+            .iter()
+            .map(|(exps, &c)| {
+                let mut m = Interval::point(c);
+                for (&e, iv) in exps.iter().zip(domain) {
+                    if e > 0 {
+                        m *= iv.powi(e);
+                    }
+                }
+                m
+            })
+            .sum()
+    }
+
+    /// The partial derivative with respect to variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.nvars()`.
+    #[must_use]
+    pub fn partial_derivative(&self, i: usize) -> Polynomial {
+        assert!(i < self.nvars, "variable index out of range");
+        let mut out = Polynomial::zero(self.nvars);
+        for (exps, &c) in &self.terms {
+            if exps[i] == 0 {
+                continue;
+            }
+            let mut e = exps.clone();
+            let k = e[i];
+            e[i] -= 1;
+            out.add_term(e, c * k as f64);
+        }
+        out
+    }
+
+    /// The antiderivative with respect to variable `i` (zero constant).
+    ///
+    /// Used by Picard iteration: `∫₀^t f(x(s)) ds` in the time variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.nvars()`.
+    #[must_use]
+    pub fn antiderivative(&self, i: usize) -> Polynomial {
+        assert!(i < self.nvars, "variable index out of range");
+        let mut out = Polynomial::zero(self.nvars);
+        for (exps, &c) in &self.terms {
+            let mut e = exps.clone();
+            e[i] += 1;
+            let k = e[i];
+            out.add_term(e, c / k as f64);
+        }
+        out
+    }
+
+    /// Splits the polynomial into terms with total degree ≤ `max_degree`
+    /// (kept) and the rest (overflow).
+    #[must_use]
+    pub fn split_at_degree(&self, max_degree: u32) -> (Polynomial, Polynomial) {
+        let mut low = Polynomial::zero(self.nvars);
+        let mut high = Polynomial::zero(self.nvars);
+        for (exps, &c) in &self.terms {
+            let d: u32 = exps.iter().sum();
+            if d <= max_degree {
+                low.add_term(exps.clone(), c);
+            } else {
+                high.add_term(exps.clone(), c);
+            }
+        }
+        (low, high)
+    }
+
+    /// Substitutes `subs[i]` for variable `i` (exact composition).
+    ///
+    /// All substituted polynomials must share a variable count, which becomes
+    /// the variable count of the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subs.len() != self.nvars()`, if `subs` is empty while the
+    /// polynomial is non-constant, or if the substituted polynomials disagree
+    /// on their variable count.
+    #[must_use]
+    pub fn compose(&self, subs: &[Polynomial]) -> Polynomial {
+        assert_eq!(subs.len(), self.nvars, "substitution count mismatch");
+        let out_vars = subs.first().map_or(0, Polynomial::nvars);
+        assert!(
+            subs.iter().all(|s| s.nvars() == out_vars),
+            "substituted polynomials must share a variable count"
+        );
+        let mut out = Polynomial::zero(out_vars);
+        for (exps, &c) in &self.terms {
+            let mut term = Polynomial::constant(out_vars, c);
+            for (i, &e) in exps.iter().enumerate() {
+                for _ in 0..e {
+                    term = term * subs[i].clone();
+                }
+            }
+            out += term;
+        }
+        out
+    }
+
+    /// Applies the per-variable affine substitution `x_i ← a_i + b_i·y_i`
+    /// (same variable count; used to re-express a polynomial on a different
+    /// box, e.g. normalizing to `[-1, 1]ⁿ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices don't match the variable count.
+    #[must_use]
+    pub fn affine_substitution(&self, a: &[f64], b: &[f64]) -> Polynomial {
+        assert_eq!(a.len(), self.nvars, "offset length mismatch");
+        assert_eq!(b.len(), self.nvars, "scale length mismatch");
+        let subs: Vec<Polynomial> = (0..self.nvars)
+            .map(|i| {
+                Polynomial::constant(self.nvars, a[i]) + Polynomial::var(self.nvars, i).scale(b[i])
+            })
+            .collect();
+        self.compose(&subs)
+    }
+
+    /// Extends the polynomial to `new_nvars` variables (the added trailing
+    /// variables do not occur).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_nvars < self.nvars()`.
+    #[must_use]
+    pub fn extend_vars(&self, new_nvars: usize) -> Polynomial {
+        assert!(new_nvars >= self.nvars, "cannot shrink variable count");
+        let mut out = Polynomial::zero(new_nvars);
+        for (exps, &c) in &self.terms {
+            let mut e = exps.clone();
+            e.resize(new_nvars, 0);
+            out.add_term(e, c);
+        }
+        out
+    }
+
+    /// Drops trailing variables (which must not occur in any term).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dropped variable occurs with non-zero exponent, or if
+    /// `new_nvars > self.nvars()`.
+    #[must_use]
+    pub fn shrink_vars(&self, new_nvars: usize) -> Polynomial {
+        assert!(new_nvars <= self.nvars, "cannot grow variable count");
+        let mut out = Polynomial::zero(new_nvars);
+        for (exps, &c) in &self.terms {
+            assert!(
+                exps[new_nvars..].iter().all(|&e| e == 0),
+                "dropped variable occurs in polynomial"
+            );
+            out.add_term(exps[..new_nvars].to_vec(), c);
+        }
+        out
+    }
+
+    /// The L1 norm of the coefficient vector.
+    #[must_use]
+    pub fn coeff_l1_norm(&self) -> f64 {
+        self.terms.values().map(|c| c.abs()).sum()
+    }
+}
+
+impl Add for Polynomial {
+    type Output = Polynomial;
+
+    fn add(self, rhs: Polynomial) -> Polynomial {
+        assert_eq!(self.nvars, rhs.nvars, "variable count mismatch");
+        let mut out = self;
+        for (exps, c) in rhs.terms {
+            out.add_term(exps, c);
+        }
+        out
+    }
+}
+
+impl AddAssign for Polynomial {
+    fn add_assign(&mut self, rhs: Polynomial) {
+        assert_eq!(self.nvars, rhs.nvars, "variable count mismatch");
+        for (exps, c) in rhs.terms {
+            self.add_term(exps, c);
+        }
+    }
+}
+
+impl Sub for Polynomial {
+    type Output = Polynomial;
+
+    fn sub(self, rhs: Polynomial) -> Polynomial {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Polynomial {
+    type Output = Polynomial;
+
+    fn neg(self) -> Polynomial {
+        self.scale(-1.0)
+    }
+}
+
+impl Mul for Polynomial {
+    type Output = Polynomial;
+
+    fn mul(self, rhs: Polynomial) -> Polynomial {
+        assert_eq!(self.nvars, rhs.nvars, "variable count mismatch");
+        let mut out = Polynomial::zero(self.nvars);
+        for (ea, &ca) in &self.terms {
+            for (eb, &cb) in &rhs.terms {
+                let exps: Vec<u32> = ea.iter().zip(eb).map(|(&a, &b)| a + b).collect();
+                out.add_term(exps, ca * cb);
+            }
+        }
+        out
+    }
+}
+
+impl Mul<f64> for Polynomial {
+    type Output = Polynomial;
+
+    fn mul(self, s: f64) -> Polynomial {
+        self.scale(s)
+    }
+}
+
+impl Mul<Polynomial> for f64 {
+    type Output = Polynomial;
+
+    fn mul(self, p: Polynomial) -> Polynomial {
+        p.scale(self)
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (exps, &c) in &self.terms {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            write!(f, "{c}")?;
+            for (i, &e) in exps.iter().enumerate() {
+                match e {
+                    0 => {}
+                    1 => write!(f, "·x{i}")?,
+                    _ => write!(f, "·x{i}^{e}")?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwv_interval::Interval;
+
+    fn p_xy() -> Polynomial {
+        // 2 + x - 3 x y^2
+        Polynomial::from_terms(
+            2,
+            vec![
+                (vec![0, 0], 2.0),
+                (vec![1, 0], 1.0),
+                (vec![1, 2], -3.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn constructors_and_accessors() {
+        let p = p_xy();
+        assert_eq!(p.nvars(), 2);
+        assert_eq!(p.num_terms(), 3);
+        assert_eq!(p.degree(), 3);
+        assert_eq!(p.constant_term(), 2.0);
+        assert_eq!(p.coefficient(&[1, 2]), -3.0);
+        assert_eq!(p.coefficient(&[5, 5]), 0.0);
+        assert!(Polynomial::zero(3).is_zero());
+        assert!(Polynomial::constant(3, 0.0).is_zero());
+    }
+
+    #[test]
+    fn eval_matches_formula() {
+        let p = p_xy();
+        let f = |x: f64, y: f64| 2.0 + x - 3.0 * x * y * y;
+        for &(x, y) in &[(0.0, 0.0), (1.0, 2.0), (-1.5, 0.7)] {
+            assert!((p.eval(&[x, y]) - f(x, y)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn add_and_cancel() {
+        let p = p_xy();
+        let q = p.clone() - p.clone();
+        assert!(q.is_zero());
+        let r = p.clone() + Polynomial::constant(2, -2.0);
+        assert_eq!(r.constant_term(), 0.0);
+        assert_eq!(r.num_terms(), 2);
+    }
+
+    #[test]
+    fn mul_degree_adds() {
+        let x = Polynomial::var(1, 0);
+        let p = (x.clone() + Polynomial::constant(1, 1.0)) * (x.clone() - Polynomial::constant(1, 1.0));
+        // (x+1)(x-1) = x^2 - 1
+        assert_eq!(p.coefficient(&[2]), 1.0);
+        assert_eq!(p.constant_term(), -1.0);
+        assert_eq!(p.coefficient(&[1]), 0.0);
+    }
+
+    #[test]
+    fn derivative_and_antiderivative_are_inverse() {
+        let p = p_xy();
+        let d = p.antiderivative(0).partial_derivative(0);
+        for &(x, y) in &[(0.3, -0.2), (1.0, 1.0)] {
+            assert!((d.eval(&[x, y]) - p.eval(&[x, y])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivative_formula() {
+        let p = p_xy(); // d/dy = -6xy
+        let d = p.partial_derivative(1);
+        assert!((d.eval(&[2.0, 3.0]) + 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_eval_encloses_samples() {
+        let p = p_xy();
+        let dom = [Interval::new(-1.0, 1.0), Interval::new(-2.0, 0.5)];
+        let enc = p.eval_interval(&dom);
+        for i in 0..=20 {
+            for j in 0..=20 {
+                let x = -1.0 + 2.0 * i as f64 / 20.0;
+                let y = -2.0 + 2.5 * j as f64 / 20.0;
+                assert!(enc.contains_value(p.eval(&[x, y])));
+            }
+        }
+    }
+
+    #[test]
+    fn split_at_degree() {
+        let p = p_xy();
+        let (low, high) = p.split_at_degree(1);
+        assert_eq!(low.num_terms(), 2);
+        assert_eq!(high.num_terms(), 1);
+        let back = low + high;
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn compose_univariate() {
+        // p(x) = x^2 + 1, q(t) = 2t - 1; p(q(t)) = 4t^2 - 4t + 2
+        let x = Polynomial::var(1, 0);
+        let p = x.clone() * x.clone() + Polynomial::constant(1, 1.0);
+        let q = Polynomial::var(1, 0).scale(2.0) + Polynomial::constant(1, -1.0);
+        let c = p.compose(&[q]);
+        for t in [-1.0, 0.0, 0.5, 2.0] {
+            let expected = (2.0 * t - 1.0f64).powi(2) + 1.0;
+            assert!((c.eval(&[t]) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn compose_changes_variable_count() {
+        // p(x, y) = x*y composed with x = s+t, y = s-t  →  s^2 - t^2
+        let p = Polynomial::var(2, 0) * Polynomial::var(2, 1);
+        let s_plus_t = Polynomial::var(2, 0) + Polynomial::var(2, 1);
+        let s_minus_t = Polynomial::var(2, 0) - Polynomial::var(2, 1);
+        let c = p.compose(&[s_plus_t, s_minus_t]);
+        assert!((c.eval(&[3.0, 2.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_substitution_rescales_domain() {
+        // p(x) = x on [0, 2] becomes 1 + y on y in [-1, 1]
+        let p = Polynomial::var(1, 0);
+        let q = p.affine_substitution(&[1.0], &[1.0]);
+        assert!((q.eval(&[-1.0]) - 0.0).abs() < 1e-12);
+        assert!((q.eval(&[1.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_and_shrink_vars() {
+        let p = Polynomial::var(1, 0);
+        let e = p.extend_vars(3);
+        assert_eq!(e.nvars(), 3);
+        assert_eq!(e.eval(&[2.0, 9.0, -9.0]), 2.0);
+        let s = e.shrink_vars(1);
+        assert_eq!(s, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropped variable occurs")]
+    fn shrink_vars_rejects_used_variable() {
+        let p = Polynomial::var(2, 1);
+        let _ = p.shrink_vars(1);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let p = p_xy();
+        let s = format!("{p}");
+        assert!(s.contains("x0"));
+        assert_eq!(format!("{}", Polynomial::zero(1)), "0");
+    }
+}

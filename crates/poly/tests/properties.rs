@@ -1,0 +1,108 @@
+//! Property-based tests for polynomial arithmetic and Bernstein forms.
+
+use dwv_interval::IntervalBox;
+use dwv_poly::{bernstein, Polynomial};
+use proptest::prelude::*;
+
+/// A random polynomial in 2 variables with bounded degree and coefficients.
+fn poly2() -> impl Strategy<Value = Polynomial> {
+    proptest::collection::vec((-5.0..5.0f64, 0u32..3, 0u32..3), 1..6).prop_map(|terms| {
+        Polynomial::from_terms(
+            2,
+            terms
+                .into_iter()
+                .map(|(c, e0, e1)| (vec![e0, e1], c))
+                .collect::<Vec<_>>(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn addition_is_pointwise(p in poly2(), q in poly2(), x in -2.0..2.0f64, y in -2.0..2.0f64) {
+        let s = p.clone() + q.clone();
+        prop_assert!((s.eval(&[x, y]) - (p.eval(&[x, y]) + q.eval(&[x, y]))).abs() < 1e-8);
+    }
+
+    #[test]
+    fn multiplication_is_pointwise(p in poly2(), q in poly2(), x in -2.0..2.0f64, y in -2.0..2.0f64) {
+        let m = p.clone() * q.clone();
+        let expect = p.eval(&[x, y]) * q.eval(&[x, y]);
+        prop_assert!((m.eval(&[x, y]) - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+    }
+
+    #[test]
+    fn sub_self_is_zero(p in poly2()) {
+        prop_assert!((p.clone() - p).is_zero());
+    }
+
+    #[test]
+    fn degree_subadditive_under_mul(p in poly2(), q in poly2()) {
+        let m = p.clone() * q.clone();
+        if !m.is_zero() {
+            prop_assert!(m.degree() <= p.degree() + q.degree());
+        }
+    }
+
+    #[test]
+    fn derivative_of_antiderivative(p in poly2(), x in -2.0..2.0f64, y in -2.0..2.0f64) {
+        let round = p.antiderivative(0).partial_derivative(0);
+        prop_assert!((round.eval(&[x, y]) - p.eval(&[x, y])).abs() < 1e-8);
+    }
+
+    #[test]
+    fn split_at_degree_is_partition(p in poly2(), d in 0u32..5) {
+        let (low, high) = p.split_at_degree(d);
+        let back = low.clone() + high.clone();
+        prop_assert_eq!(back, p);
+        for (e, _) in low.iter() {
+            prop_assert!(e.iter().sum::<u32>() <= d);
+        }
+        for (e, _) in high.iter() {
+            prop_assert!(e.iter().sum::<u32>() > d);
+        }
+    }
+
+    #[test]
+    fn interval_eval_encloses(p in poly2(), x in -1.0..1.0f64, y in -1.0..1.0f64) {
+        let dom = [dwv_interval::Interval::new(-1.0, 1.0); 2];
+        let enc = p.eval_interval(&dom);
+        prop_assert!(enc.inflate(1e-9).contains_value(p.eval(&[x, y])));
+    }
+
+    #[test]
+    fn bernstein_enclosure_contains_and_tighter(p in poly2(), x in -1.0..1.0f64, y in -1.0..1.0f64) {
+        let b = IntervalBox::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]);
+        let enc = bernstein::range_enclosure(&p, &b);
+        prop_assert!(enc.inflate(1e-6).contains_value(p.eval(&[x, y])));
+        // Bounded looseness vs naive interval evaluation. (Bernstein is
+        // usually tighter, but range-exact even powers in the naive
+        // evaluator can win on monomials like c·x²y² — the enclosure is
+        // still within a small constant factor.)
+        let naive = p.eval_interval(b.intervals());
+        prop_assert!(enc.width() <= naive.width() * 5.0 + 1e-6);
+    }
+
+    #[test]
+    fn affine_substitution_is_composition(p in poly2(), a0 in -2.0..2.0f64, a1 in -2.0..2.0f64, b0 in 0.1..2.0f64, b1 in 0.1..2.0f64, x in -1.0..1.0f64, y in -1.0..1.0f64) {
+        let q = p.affine_substitution(&[a0, a1], &[b0, b1]);
+        let expect = p.eval(&[a0 + b0 * x, a1 + b1 * y]);
+        prop_assert!((q.eval(&[x, y]) - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+    }
+
+    #[test]
+    fn bernstein_fit_reproduces_low_degree(p in poly2(), x in -0.9..0.9f64, y in -0.9..0.9f64) {
+        // A degree-(3,3) Bernstein operator interpolates values at nodes but
+        // only approximates; however fitting the polynomial itself with
+        // matching degree via `approximate` must stay close on smooth
+        // low-degree inputs.
+        let b = IntervalBox::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]);
+        let f = |v: &[f64]| p.eval(v);
+        let fit = bernstein::approximate(f, &[4, 4], &b);
+        let err = (fit.eval(&[x, y]) - p.eval(&[x, y])).abs();
+        let scale = p.coeff_l1_norm().max(1.0);
+        prop_assert!(err < 0.8 * scale, "err {err} too large (scale {scale})");
+    }
+}

@@ -1,0 +1,59 @@
+//! Verifier errors.
+
+use dwv_taylor::FlowpipeError;
+use std::fmt;
+
+/// Errors a reachability verifier can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReachError {
+    /// The Taylor-model flowpipe diverged at a control step — the
+    /// over-approximation blew up (the paper's "NAN occurs … after 3 steps"
+    /// failure mode for hard-to-verify controllers, Fig. 8).
+    Diverged {
+        /// The control step (0-based) at which integration failed.
+        step: usize,
+        /// The underlying flowpipe error.
+        source: FlowpipeError,
+    },
+    /// The verifier does not support the given system/controller pairing.
+    Unsupported(String),
+}
+
+impl fmt::Display for ReachError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReachError::Diverged { step, source } => {
+                write!(f, "flowpipe diverged at control step {step}: {source}")
+            }
+            ReachError::Unsupported(msg) => write!(f, "unsupported configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReachError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReachError::Diverged { source, .. } => Some(source),
+            ReachError::Unsupported(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ReachError::Diverged {
+            step: 3,
+            source: FlowpipeError::Diverged { last_radius: 1e3 },
+        };
+        let s = format!("{e}");
+        assert!(s.contains("step 3"));
+        assert!(std::error::Error::source(&e).is_some());
+        let u = ReachError::Unsupported("nope".into());
+        assert!(format!("{u}").contains("nope"));
+        assert!(std::error::Error::source(&u).is_none());
+    }
+}

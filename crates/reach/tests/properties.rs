@@ -1,0 +1,111 @@
+//! Property-based tests for the reachability layer: flowpipe containment of
+//! simulated trajectories under randomized systems, controllers and initial
+//! sets.
+
+use dwv_dynamics::linalg::Matrix;
+use dwv_dynamics::{acc, oscillator, LinearController, NnController};
+use dwv_interval::IntervalBox;
+use dwv_nn::{Activation, Network};
+use dwv_reach::{
+    DependencyTracking, LinearReach, TaylorAbstraction, TaylorReach, TaylorReachConfig,
+    ZonotopeReach,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random stable-ish gains on random sub-boxes of the ACC initial set:
+    /// the exact linear recursion contains the discrete closed-loop orbit of
+    /// every corner.
+    #[test]
+    fn linear_reach_contains_discrete_orbits(
+        g0 in 0.0..1.0f64, g1 in -4.0..-0.5f64,
+        fx in 0.0..0.5f64, fy in 0.0..0.5f64,
+    ) {
+        let p = acc::reach_avoid_problem();
+        // A sub-box of X0.
+        let x0 = IntervalBox::from_bounds(&[
+            (122.0 + fx, 123.0 + fx),
+            (48.0 + fy * 4.0, 50.0 + fy * 4.0),
+        ]);
+        let (a, b, c) = p.dynamics.linear_parts().expect("affine");
+        let v = LinearReach::new(&a, &b, &c, x0.clone(), p.delta, 40);
+        let k = LinearController::new(2, 1, vec![g0, g1]);
+        let fp = v.reach(&k).expect("finite");
+        // Discrete closed-loop orbit from each corner via the same map.
+        let m = v.closed_loop_matrix(&k);
+        let cd = discretized_affine_term(&a, &b, &c, p.delta);
+        for corner in x0.corners() {
+            let mut x = corner.clone();
+            for t in 1..=40usize {
+                let mut nx = m.matvec(&x);
+                nx[0] += cd[0];
+                nx[1] += cd[1];
+                x = nx;
+                prop_assert!(
+                    fp.steps()[t].end_box.inflate(1e-7).contains_point(&x),
+                    "step {t}: corner orbit {x:?} escapes end box"
+                );
+            }
+        }
+    }
+
+    /// The zonotope verifier is always at least as large as the vertex
+    /// recursion (it over-approximates through order reduction).
+    #[test]
+    fn zonotope_encloses_vertex_recursion(g0 in 0.0..1.0f64, g1 in -4.0..-0.5f64, order in 1.0..8.0f64) {
+        let p = acc::reach_avoid_problem();
+        let k = LinearController::new(2, 1, vec![g0, g1]);
+        let lr = LinearReach::for_problem(&p).expect("affine").reach(&k).expect("finite");
+        let zr = ZonotopeReach::for_problem(&p)
+            .expect("affine")
+            .with_max_order(order)
+            .reach(&k)
+            .expect("finite");
+        for (z, l) in zr.steps().iter().zip(lr.steps()) {
+            prop_assert!(z.end_box.inflate(1e-7).contains(&l.end_box));
+        }
+    }
+
+    /// Short Taylor flowpipes contain the RK4 endpoint of the box center for
+    /// random small networks.
+    #[test]
+    fn taylor_reach_contains_center_trajectory(seed in 0u64..500) {
+        let mut p = oscillator::reach_avoid_problem();
+        p.horizon_steps = 4;
+        let ctrl = NnController::new(Network::new(
+            &[2, 6, 1],
+            Activation::ReLU,
+            Activation::Tanh,
+            seed,
+        ));
+        let v = TaylorReach::new(
+            &p,
+            TaylorAbstraction::default(),
+            TaylorReachConfig {
+                dependency: DependencyTracking::BoxReinit,
+                ..TaylorReachConfig::default()
+            },
+        );
+        let fp = v.reach(&ctrl).expect("short horizon verifies");
+        let sim = dwv_dynamics::simulate::Simulator::new(p.dynamics.clone(), p.delta);
+        let traj = sim.rollout(&[-0.5, 0.5], &ctrl, p.horizon_steps);
+        for (t, x) in traj.states.iter().enumerate().skip(1) {
+            prop_assert!(
+                fp.steps()[t].end_box.inflate(1e-7).contains_point(x),
+                "step {t}: {x:?} escapes"
+            );
+        }
+    }
+}
+
+/// `c_d = ∫₀^δ e^{At} c dt` via the same augmented-exponential trick the
+/// verifier uses (re-derived here so the test is independent).
+fn discretized_affine_term(a: &Matrix, b: &Matrix, c: &[f64], delta: f64) -> Vec<f64> {
+    let c_col = Matrix::from_rows(c.iter().map(|&v| vec![v]).collect());
+    let b_aug = b.hcat(&c_col);
+    let (_, bd_aug) = dwv_dynamics::linalg::discretize(a, &b_aug, delta);
+    let m = b.ncols();
+    (0..a.nrows()).map(|i| bd_aug.get(i, m)).collect()
+}

@@ -1,0 +1,595 @@
+//! Taylor-model arithmetic.
+
+use dwv_interval::{Interval, IntervalBox};
+use dwv_poly::Polynomial;
+use std::fmt;
+
+/// The canonical normalized domain `[-1, 1]^k`.
+///
+/// Taylor models in this crate do not carry their domain; operations that
+/// need one (truncation, range, multiplication) take it explicitly. State
+/// variables are conventionally normalized to `[-1, 1]`, time within a
+/// control step to `[0, 1]`.
+#[must_use]
+pub fn unit_domain(k: usize) -> Vec<Interval> {
+    vec![Interval::new(-1.0, 1.0); k]
+}
+
+/// A Taylor model: a polynomial part plus an interval remainder.
+///
+/// `TaylorModel { p, I }` over a domain `D` represents the set of functions
+/// `{ f : ∀x ∈ D, f(x) − p(x) ∈ I }`. All operations are conservative:
+/// the result model encloses every function obtainable by applying the
+/// operation to enclosed operands. Truncated polynomial terms are evaluated
+/// with interval arithmetic over the domain and absorbed into the remainder.
+///
+/// This is the common substrate of the Flow\*-style flowpipe integrator
+/// ([`crate::flowpipe`]) and the POLAR-style neural-network abstraction
+/// (in `dwv-reach`).
+///
+/// # Example
+///
+/// ```
+/// use dwv_taylor::{unit_domain, TaylorModel};
+///
+/// let dom = unit_domain(1);
+/// let x = TaylorModel::var(1, 0);
+/// let y = x.mul(&x, 10, &dom); // x² with no truncation at order 10
+/// let r = y.range(&dom);
+/// assert!(r.lo() <= 0.0 && r.hi() >= 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaylorModel {
+    poly: Polynomial,
+    remainder: Interval,
+}
+
+impl TaylorModel {
+    /// Creates a Taylor model from its parts.
+    #[must_use]
+    pub fn new(poly: Polynomial, remainder: Interval) -> Self {
+        Self { poly, remainder }
+    }
+
+    /// The zero model in `nvars` variables.
+    #[must_use]
+    pub fn zero(nvars: usize) -> Self {
+        Self::new(Polynomial::zero(nvars), Interval::ZERO)
+    }
+
+    /// The constant model `c` (zero remainder).
+    #[must_use]
+    pub fn constant(nvars: usize, c: f64) -> Self {
+        Self::new(Polynomial::constant(nvars, c), Interval::ZERO)
+    }
+
+    /// The identity model of variable `i`.
+    #[must_use]
+    pub fn var(nvars: usize, i: usize) -> Self {
+        Self::new(Polynomial::var(nvars, i), Interval::ZERO)
+    }
+
+    /// A pure-interval model (zero polynomial, the interval as remainder).
+    #[must_use]
+    pub fn from_interval(nvars: usize, iv: Interval) -> Self {
+        Self::new(Polynomial::zero(nvars), iv)
+    }
+
+    /// The polynomial part.
+    #[must_use]
+    pub fn poly(&self) -> &Polynomial {
+        &self.poly
+    }
+
+    /// The remainder interval.
+    #[must_use]
+    pub fn remainder(&self) -> Interval {
+        self.remainder
+    }
+
+    /// The number of (normalized) variables.
+    #[must_use]
+    pub fn nvars(&self) -> usize {
+        self.poly.nvars()
+    }
+
+    /// Replaces the remainder (used by remainder-validation loops).
+    #[must_use]
+    pub fn with_remainder(&self, remainder: Interval) -> Self {
+        Self::new(self.poly.clone(), remainder)
+    }
+
+    /// Conservative range enclosure over `domain` (interval evaluation of the
+    /// polynomial part plus the remainder).
+    #[must_use]
+    pub fn range(&self, domain: &[Interval]) -> Interval {
+        self.poly.eval_interval(domain) + self.remainder
+    }
+
+    /// Range enclosure using the Bernstein form of the polynomial part —
+    /// tighter than [`TaylorModel::range`], at higher cost. Requires a
+    /// bounded domain.
+    #[must_use]
+    pub fn range_bernstein(&self, domain: &[Interval]) -> Interval {
+        let b = IntervalBox::new(domain.to_vec());
+        dwv_poly::bernstein::range_enclosure(&self.poly, &b) + self.remainder
+    }
+
+    /// Sum of two models (remainders add).
+    ///
+    /// # Panics
+    ///
+    /// Panics on variable-count mismatch.
+    #[must_use]
+    pub fn add(&self, rhs: &TaylorModel) -> TaylorModel {
+        TaylorModel::new(
+            self.poly.clone() + rhs.poly.clone(),
+            self.remainder + rhs.remainder,
+        )
+    }
+
+    /// Difference of two models.
+    #[must_use]
+    pub fn sub(&self, rhs: &TaylorModel) -> TaylorModel {
+        TaylorModel::new(
+            self.poly.clone() - rhs.poly.clone(),
+            self.remainder - rhs.remainder,
+        )
+    }
+
+    /// Negation.
+    #[must_use]
+    pub fn neg(&self) -> TaylorModel {
+        TaylorModel::new(self.poly.clone().scale(-1.0), -self.remainder)
+    }
+
+    /// Scalar multiple.
+    #[must_use]
+    pub fn scale(&self, s: f64) -> TaylorModel {
+        TaylorModel::new(
+            self.poly.clone().scale(s),
+            self.remainder * Interval::point(s),
+        )
+    }
+
+    /// Adds a constant offset.
+    #[must_use]
+    pub fn add_constant(&self, c: f64) -> TaylorModel {
+        TaylorModel::new(
+            self.poly.clone() + Polynomial::constant(self.nvars(), c),
+            self.remainder,
+        )
+    }
+
+    /// Adds an interval (widens the remainder).
+    #[must_use]
+    pub fn add_interval(&self, iv: Interval) -> TaylorModel {
+        self.with_remainder(self.remainder + iv)
+    }
+
+    /// Product with truncation at total degree `order` over `domain`.
+    ///
+    /// The exact product remainder is
+    /// `range(p₁)·I₂ + range(p₂)·I₁ + I₁·I₂ + range(overflow terms)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on variable-count or domain-length mismatch.
+    #[must_use]
+    pub fn mul(&self, rhs: &TaylorModel, order: u32, domain: &[Interval]) -> TaylorModel {
+        let full = self.poly.clone() * rhs.poly.clone();
+        let (kept, overflow) = full.split_at_degree(order);
+        let mut rem = overflow.eval_interval(domain);
+        rem += self.poly.eval_interval(domain) * rhs.remainder;
+        rem += rhs.poly.eval_interval(domain) * self.remainder;
+        rem += self.remainder * rhs.remainder;
+        TaylorModel::new(kept, rem)
+    }
+
+    /// Truncates the polynomial part to total degree `order`, absorbing the
+    /// overflow's range into the remainder.
+    #[must_use]
+    pub fn truncate(&self, order: u32, domain: &[Interval]) -> TaylorModel {
+        let (kept, overflow) = self.poly.split_at_degree(order);
+        if overflow.is_zero() {
+            return self.clone();
+        }
+        TaylorModel::new(kept, self.remainder + overflow.eval_interval(domain))
+    }
+
+    /// Integer power with truncation (repeated [`TaylorModel::mul`]).
+    #[must_use]
+    pub fn powi(&self, e: u32, order: u32, domain: &[Interval]) -> TaylorModel {
+        match e {
+            0 => TaylorModel::constant(self.nvars(), 1.0),
+            _ => {
+                let mut acc = self.clone();
+                for _ in 1..e {
+                    acc = acc.mul(self, order, domain);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Antiderivative with respect to variable `var`, for a variable whose
+    /// domain starts at 0 (the normalized time variable of a flow step):
+    /// `(∫₀^t p ds, I · [0, sup t])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain[var].lo() < 0` (the zero-based-time assumption).
+    #[must_use]
+    pub fn antiderivative(&self, var: usize, domain: &[Interval]) -> TaylorModel {
+        assert!(
+            domain[var].lo() >= 0.0,
+            "antiderivative requires a zero-based variable domain"
+        );
+        TaylorModel::new(
+            self.poly.antiderivative(var),
+            self.remainder * Interval::new(0.0, domain[var].hi()),
+        )
+    }
+
+    /// Substitutes the constant `value` for variable `var` (e.g. evaluating
+    /// the flow at the end of a step, `t = 1`). The variable count is
+    /// preserved; the variable simply no longer occurs.
+    #[must_use]
+    pub fn substitute_value(&self, var: usize, value: f64) -> TaylorModel {
+        let mut out = Polynomial::zero(self.nvars());
+        for (exps, c) in self.poly.iter() {
+            let mut e = exps.to_vec();
+            let k = e[var];
+            e[var] = 0;
+            out += Polynomial::monomial(self.nvars(), e, c * value.powi(k as i32));
+        }
+        TaylorModel::new(out, self.remainder)
+    }
+
+    /// Composes the model's polynomial with Taylor-model arguments:
+    /// `p(args…) + I`, truncated at `order` over `arg_domain` (the domain of
+    /// the argument models).
+    ///
+    /// This is the workhorse of both the symbolic dependency-tracking mode
+    /// (substituting the previous step's state models) and the POLAR
+    /// activation composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len() != self.nvars()` or the argument models disagree
+    /// on their variable count.
+    #[must_use]
+    pub fn compose(
+        &self,
+        args: &[TaylorModel],
+        order: u32,
+        arg_domain: &[Interval],
+    ) -> TaylorModel {
+        assert_eq!(args.len(), self.nvars(), "argument count mismatch");
+        let out_vars = args.first().map_or(0, TaylorModel::nvars);
+        assert!(
+            args.iter().all(|a| a.nvars() == out_vars),
+            "argument models must share a variable count"
+        );
+        let mut acc = TaylorModel::from_interval(out_vars, self.remainder);
+        for (exps, c) in self.poly.iter() {
+            let mut term = TaylorModel::constant(out_vars, c);
+            for (i, &e) in exps.iter().enumerate() {
+                if e > 0 {
+                    term = term.mul(&args[i].powi(e, order, arg_domain), order, arg_domain);
+                }
+            }
+            acc = acc.add(&term);
+        }
+        acc
+    }
+
+    /// Extends the model to `new_nvars` variables (added variables unused).
+    #[must_use]
+    pub fn extend_vars(&self, new_nvars: usize) -> TaylorModel {
+        TaylorModel::new(self.poly.extend_vars(new_nvars), self.remainder)
+    }
+
+    /// Drops trailing variables, which must not occur in the polynomial
+    /// part (e.g. removing the time variable after `t = 1` substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dropped variable still occurs.
+    #[must_use]
+    pub fn shrink_vars(&self, new_nvars: usize) -> TaylorModel {
+        TaylorModel::new(self.poly.shrink_vars(new_nvars), self.remainder)
+    }
+
+    /// Evaluates the polynomial part at a point, returning the interval
+    /// `p(x) + I`.
+    #[must_use]
+    pub fn eval(&self, x: &[f64]) -> Interval {
+        Interval::point(self.poly.eval(x)) + self.remainder
+    }
+}
+
+impl fmt::Display for TaylorModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} + {}", self.poly, self.remainder)
+    }
+}
+
+/// A vector of Taylor models over a shared variable space — the enclosure of
+/// a system state.
+///
+/// # Example
+///
+/// ```
+/// use dwv_taylor::TmVector;
+/// use dwv_interval::IntervalBox;
+///
+/// let x0 = IntervalBox::from_bounds(&[(1.0, 2.0), (-1.0, 0.0)]);
+/// let tm = TmVector::from_box(&x0);
+/// assert_eq!(tm.dim(), 2);
+/// let back = tm.range_box(&dwv_taylor::unit_domain(2));
+/// assert!(back.contains(&x0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TmVector {
+    tms: Vec<TaylorModel>,
+}
+
+impl TmVector {
+    /// Creates a vector from components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if components disagree on their variable count.
+    #[must_use]
+    pub fn new(tms: Vec<TaylorModel>) -> Self {
+        if let Some(first) = tms.first() {
+            assert!(
+                tms.iter().all(|t| t.nvars() == first.nvars()),
+                "component variable counts differ"
+            );
+        }
+        Self { tms }
+    }
+
+    /// The affine models `x_i = c_i + r_i·a_i` of a box over the normalized
+    /// variables `a ∈ [-1,1]ⁿ` (one fresh variable per state dimension).
+    #[must_use]
+    pub fn from_box(b: &IntervalBox) -> Self {
+        let n = b.dim();
+        let tms = (0..n)
+            .map(|i| {
+                let iv = b.interval(i);
+                TaylorModel::new(
+                    Polynomial::constant(n, iv.mid()) + Polynomial::var(n, i).scale(iv.rad()),
+                    Interval::ZERO,
+                )
+            })
+            .collect();
+        Self { tms }
+    }
+
+    /// The state dimension (number of components).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.tms.len()
+    }
+
+    /// The shared variable count.
+    #[must_use]
+    pub fn nvars(&self) -> usize {
+        self.tms.first().map_or(0, TaylorModel::nvars)
+    }
+
+    /// The components.
+    #[must_use]
+    pub fn components(&self) -> &[TaylorModel] {
+        &self.tms
+    }
+
+    /// The `i`-th component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn component(&self, i: usize) -> &TaylorModel {
+        &self.tms[i]
+    }
+
+    /// Box enclosure of the vector's range over `domain`.
+    #[must_use]
+    pub fn range_box(&self, domain: &[Interval]) -> IntervalBox {
+        IntervalBox::new(self.tms.iter().map(|t| t.range(domain)).collect())
+    }
+
+    /// Box enclosure using Bernstein forms (tighter, slower).
+    #[must_use]
+    pub fn range_box_bernstein(&self, domain: &[Interval]) -> IntervalBox {
+        IntervalBox::new(self.tms.iter().map(|t| t.range_bernstein(domain)).collect())
+    }
+
+    /// Extends all components to `new_nvars` variables.
+    #[must_use]
+    pub fn extend_vars(&self, new_nvars: usize) -> TmVector {
+        TmVector::new(self.tms.iter().map(|t| t.extend_vars(new_nvars)).collect())
+    }
+
+    /// Substitutes a constant for a variable in every component.
+    #[must_use]
+    pub fn substitute_value(&self, var: usize, value: f64) -> TmVector {
+        TmVector::new(
+            self.tms
+                .iter()
+                .map(|t| t.substitute_value(var, value))
+                .collect(),
+        )
+    }
+
+    /// Component-wise composition: every component's polynomial is evaluated
+    /// at the `args` models.
+    #[must_use]
+    pub fn compose(
+        &self,
+        args: &[TaylorModel],
+        order: u32,
+        arg_domain: &[Interval],
+    ) -> TmVector {
+        TmVector::new(
+            self.tms
+                .iter()
+                .map(|t| t.compose(args, order, arg_domain))
+                .collect(),
+        )
+    }
+}
+
+impl FromIterator<TaylorModel> for TmVector {
+    fn from_iter<I: IntoIterator<Item = TaylorModel>>(iter: I) -> Self {
+        TmVector::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom1() -> Vec<Interval> {
+        unit_domain(1)
+    }
+
+    #[test]
+    fn constant_and_var_ranges() {
+        let c = TaylorModel::constant(1, 3.0);
+        let r = c.range(&dom1());
+        assert!(r.contains_value(3.0) && r.width() < 1e-12);
+        let x = TaylorModel::var(1, 0);
+        let r = x.range(&dom1());
+        assert!(r.contains(&Interval::new(-1.0, 1.0)));
+    }
+
+    #[test]
+    fn add_sub_remainders() {
+        let a = TaylorModel::var(1, 0).add_interval(Interval::new(-0.1, 0.1));
+        let b = TaylorModel::constant(1, 1.0).add_interval(Interval::new(-0.2, 0.2));
+        let s = a.add(&b);
+        assert!(s.remainder().contains(&Interval::new(-0.3, 0.3)));
+        let d = a.sub(&b);
+        assert!(d.remainder().contains(&Interval::new(-0.3, 0.3)));
+    }
+
+    #[test]
+    fn mul_truncation_pushes_overflow_to_remainder() {
+        let x = TaylorModel::var(1, 0);
+        let sq = x.mul(&x, 1, &dom1()); // truncate x² at order 1
+        assert!(sq.poly().is_zero());
+        // The remainder must enclose [0, 1] (wait: x² range) which over
+        // [-1,1] is [0,1]; interval eval of x·x gives [-1,1].
+        assert!(sq.remainder().contains(&Interval::new(0.0, 1.0)));
+    }
+
+    #[test]
+    fn mul_encloses_function_product() {
+        // (x + [-0.1,0.1]) * (x + 1): check sample containment.
+        let a = TaylorModel::var(1, 0).add_interval(Interval::new(-0.1, 0.1));
+        let b = TaylorModel::var(1, 0).add_constant(1.0);
+        let prod = a.mul(&b, 5, &dom1());
+        for i in 0..=10 {
+            let x = -1.0 + 0.2 * i as f64;
+            for da in [-0.1, 0.0, 0.1] {
+                let truth = (x + da) * (x + 1.0);
+                assert!(
+                    prod.eval(&[x]).contains_value(truth),
+                    "product enclosure misses f({x}) with perturbation {da}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn powi_matches_repeated_mul() {
+        let x = TaylorModel::var(1, 0).add_constant(0.5);
+        let p3 = x.powi(3, 10, &dom1());
+        for i in 0..=8 {
+            let t = -1.0 + 0.25 * i as f64;
+            let truth = (t + 0.5f64).powi(3);
+            assert!(p3.eval(&[t]).contains_value(truth));
+        }
+        assert_eq!(
+            x.powi(0, 10, &dom1()),
+            TaylorModel::constant(1, 1.0)
+        );
+    }
+
+    #[test]
+    fn antiderivative_time() {
+        // d/dt of a constant 2 over t in [0, 1] → 2t.
+        let dom = vec![Interval::new(0.0, 1.0)];
+        let c = TaylorModel::constant(1, 2.0).add_interval(Interval::new(-0.1, 0.1));
+        let int = c.antiderivative(0, &dom);
+        assert_eq!(int.poly().coefficient(&[1]), 2.0);
+        // remainder scaled by [0, 1]
+        assert!(int.remainder().contains(&Interval::new(-0.1, 0.1)));
+    }
+
+    #[test]
+    fn substitute_value_at_step_end() {
+        // 1 + 2t + t² at t=1 → 4.
+        let t = TaylorModel::var(1, 0);
+        let p = t
+            .mul(&t, 5, &dom1())
+            .add(&t.scale(2.0))
+            .add_constant(1.0);
+        let end = p.substitute_value(0, 1.0);
+        assert_eq!(end.poly().constant_term(), 4.0);
+        assert_eq!(end.poly().degree(), 0);
+    }
+
+    #[test]
+    fn compose_affine_through_square() {
+        // f(y) = y², arg y = 0.5 + 0.25 a over a ∈ [-1,1]
+        let y = TaylorModel::var(1, 0);
+        let f = y.mul(&y, 5, &dom1());
+        let arg = TaylorModel::new(
+            Polynomial::constant(1, 0.5) + Polynomial::var(1, 0).scale(0.25),
+            Interval::ZERO,
+        );
+        let comp = f.compose(&[arg], 5, &dom1());
+        for i in 0..=8 {
+            let a = -1.0 + 0.25 * i as f64;
+            let truth = (0.5 + 0.25 * a) * (0.5 + 0.25 * a);
+            assert!(comp.eval(&[a]).contains_value(truth));
+        }
+    }
+
+    #[test]
+    fn tm_vector_from_box_roundtrip() {
+        let b = IntervalBox::from_bounds(&[(122.0, 124.0), (48.0, 52.0)]);
+        let v = TmVector::from_box(&b);
+        let back = v.range_box(&unit_domain(2));
+        assert!(back.contains(&b));
+        assert!(back.volume() < b.volume() * 1.001 + 1e-9);
+    }
+
+    #[test]
+    fn bernstein_range_tighter_or_equal() {
+        // x² − x over [-1,1] naive interval gives [-2,2]; Bernstein tighter.
+        let x = TaylorModel::var(1, 0);
+        let p = x.mul(&x, 5, &dom1()).sub(&x);
+        let naive = p.range(&dom1());
+        let bern = p.range_bernstein(&dom1());
+        assert!(bern.width() <= naive.width() + 1e-6);
+        for i in 0..=16 {
+            let t = -1.0 + 0.125 * i as f64;
+            assert!(bern.contains_value(t * t - t));
+        }
+    }
+
+    #[test]
+    fn extend_vars_keeps_values() {
+        let x = TaylorModel::var(1, 0).add_constant(1.0);
+        let e = x.extend_vars(3);
+        assert_eq!(e.nvars(), 3);
+        assert!(e.eval(&[0.5, 9.0, -9.0]).contains_value(1.5));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for Taylor-model arithmetic and the validated
+//! integrator: the enclosure property under random inputs.
+
+use dwv_interval::{Interval, IntervalBox};
+use dwv_poly::Polynomial;
+use dwv_taylor::{unit_domain, OdeIntegrator, OdeRhs, TaylorModel, TmVector};
+use proptest::prelude::*;
+
+/// A random affine-plus-quadratic TM in one variable with a remainder.
+fn tm1() -> impl Strategy<Value = TaylorModel> {
+    (-2.0..2.0f64, -2.0..2.0f64, -1.0..1.0f64, 0.0..0.3f64).prop_map(|(c0, c1, c2, r)| {
+        TaylorModel::new(
+            Polynomial::from_terms(1, vec![(vec![0], c0), (vec![1], c1), (vec![2], c2)]),
+            Interval::symmetric(r),
+        )
+    })
+}
+
+/// A member function of the TM's set, indexed by d ∈ [−1, 1]:
+/// f(t) = p(t) + d·r.
+fn member(tm: &TaylorModel, t: f64, d: f64) -> f64 {
+    tm.poly().eval(&[t]) + d * tm.remainder().mag() * tm.remainder().hi().signum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn add_encloses(a in tm1(), b in tm1(), t in -1.0..1.0f64, da in -1.0..1.0f64, db in -1.0..1.0f64) {
+        let s = a.add(&b);
+        let truth = member(&a, t, da) + member(&b, t, db);
+        prop_assert!(s.eval(&[t]).inflate(1e-9).contains_value(truth));
+    }
+
+    #[test]
+    fn mul_encloses(a in tm1(), b in tm1(), t in -1.0..1.0f64, da in -1.0..1.0f64, db in -1.0..1.0f64) {
+        let dom = unit_domain(1);
+        let p = a.mul(&b, 3, &dom);
+        let truth = member(&a, t, da) * member(&b, t, db);
+        prop_assert!(p.eval(&[t]).inflate(1e-6).contains_value(truth));
+    }
+
+    #[test]
+    fn truncate_encloses(a in tm1(), t in -1.0..1.0f64, d in -1.0..1.0f64) {
+        let dom = unit_domain(1);
+        let tr = a.truncate(1, &dom);
+        prop_assert!(tr.eval(&[t]).inflate(1e-9).contains_value(member(&a, t, d)));
+    }
+
+    #[test]
+    fn range_contains_samples(a in tm1(), t in -1.0..1.0f64, d in -1.0..1.0f64) {
+        let dom = unit_domain(1);
+        prop_assert!(a.range(&dom).inflate(1e-9).contains_value(member(&a, t, d)));
+        prop_assert!(a.range_bernstein(&dom).inflate(1e-6).contains_value(member(&a, t, d)));
+    }
+
+    #[test]
+    fn substitute_value_is_evaluation(a in tm1(), v in -1.0..1.0f64) {
+        let sub = a.substitute_value(0, v);
+        // The substituted model's constant equals p(v); remainder unchanged.
+        prop_assert!((sub.poly().constant_term() - a.poly().eval(&[v])).abs() < 1e-9);
+        prop_assert_eq!(sub.remainder(), a.remainder());
+    }
+
+    #[test]
+    fn scale_is_linear(a in tm1(), s in -3.0..3.0f64, t in -1.0..1.0f64) {
+        let scaled = a.scale(s);
+        let truth = member(&a, t, 1.0) * s;
+        prop_assert!(scaled.eval(&[t]).inflate(1e-9 * (1.0 + truth.abs())).contains_value(truth));
+    }
+
+    /// Validated decay flow always contains the analytic solution and always
+    /// contracts toward zero for ẋ = −λx.
+    #[test]
+    fn decay_flow_enclosure(lambda in 0.1..2.0f64, x0lo in 0.2..1.0f64, w in 0.0..0.2f64, delta in 0.01..0.3f64) {
+        let rhs = OdeRhs::new(1, 0, vec![Polynomial::var(1, 0).scale(-lambda)]);
+        let b = IntervalBox::from_bounds(&[(x0lo, x0lo + w)]);
+        let x0 = TmVector::from_box(&b);
+        let integ = OdeIntegrator::with_order(4);
+        let step = integ
+            .flow_step(&x0, &TmVector::new(vec![]), &rhs, delta, &unit_domain(1))
+            .expect("decay integrates");
+        let end = step.end.range_box(&unit_domain(1));
+        for x in [x0lo, x0lo + w] {
+            let truth = x * (-lambda * delta).exp();
+            prop_assert!(end.interval(0).inflate(1e-7).contains_value(truth));
+        }
+        // Over-approximation stays within 3x of the true image width.
+        let true_w = w * (-lambda * delta).exp();
+        prop_assert!(end.interval(0).width() <= (true_w + 1e-6) * 3.0 + 1e-6);
+    }
+
+    /// Constant-input integrator is exact up to rounding: ẋ = u.
+    #[test]
+    fn constant_input_flow(u in -2.0..2.0f64, delta in 0.01..0.5f64) {
+        let rhs = OdeRhs::new(1, 1, vec![Polynomial::var(2, 1)]);
+        let x0 = TmVector::from_box(&IntervalBox::from_bounds(&[(0.0, 0.0)]));
+        let uv = TmVector::new(vec![TaylorModel::constant(1, u)]);
+        let integ = OdeIntegrator::default();
+        let step = integ
+            .flow_step(&x0, &uv, &rhs, delta, &unit_domain(1))
+            .expect("trivial field integrates");
+        let end = step.end.range_box(&unit_domain(1));
+        prop_assert!(end.interval(0).inflate(1e-9).contains_value(u * delta));
+        prop_assert!(end.interval(0).width() < 1e-6);
+    }
+}

@@ -1,0 +1,57 @@
+//! The full ACC experiment: both metrics, the learning trace (Fig. 4's
+//! series) and the Algorithm-2 initial-set search.
+//!
+//! ```sh
+//! cargo run --release --example acc_linear
+//! ```
+
+use design_while_verify::core::{Algorithm1, Algorithm2, LearnConfig, MetricKind};
+use design_while_verify::dynamics::{acc, eval::rates};
+use design_while_verify::reach::LinearReach;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let problem = acc::reach_avoid_problem();
+    for metric in [MetricKind::Geometric, MetricKind::Wasserstein] {
+        println!("==== metric: {metric} ====");
+        let config = LearnConfig::builder()
+            .metric(metric)
+            .max_updates(200)
+            .seed(7)
+            .build();
+        let outcome = Algorithm1::new(problem.clone(), config).learn_linear()?;
+        println!(
+            "verdict {}  after {} iterations ({} verifier calls)",
+            outcome.verified,
+            outcome.iterations,
+            outcome.trace.total_verifier_calls()
+        );
+        // The per-iteration metric series (what Fig. 4 plots).
+        for r in outcome.trace.records().iter().take(5) {
+            println!(
+                "  it {:>3}: unsafe-metric {:+.3e}  goal-metric {:+.3e}",
+                r.iteration, r.unsafe_metric, r.goal_metric
+            );
+        }
+        if outcome.trace.len() > 5 {
+            println!("  … ({} more iterations)", outcome.trace.len() - 5);
+        }
+
+        if outcome.verified.is_reach_avoid() {
+            // Algorithm 2: the formally guaranteed initial set.
+            let (a, b, c) = problem.dynamics.linear_parts().expect("ACC is affine");
+            let controller = outcome.controller.clone();
+            let search = Algorithm2::new(&problem).with_max_rounds(4).search(|cell| {
+                LinearReach::new(&a, &b, &c, cell.clone(), problem.delta, problem.horizon_steps)
+                    .reach(&controller)
+            });
+            println!("{search}");
+            let r = rates(&problem, &outcome.controller, 500, 1);
+            println!(
+                "simulated: SC {:.1}%  GR {:.1}%",
+                r.safe_rate * 100.0,
+                r.goal_rate * 100.0
+            );
+        }
+    }
+    Ok(())
+}

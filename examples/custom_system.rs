@@ -1,0 +1,119 @@
+//! Bring your own system: a double-integrator "docking" problem.
+//!
+//! ```sh
+//! cargo run --release --example custom_system
+//! ```
+//!
+//! Everything in this repository is driven by two small traits —
+//! [`Dynamics`] for the plant and (optionally) `linear_parts` for affine
+//! systems — so adding a new verification-in-the-loop benchmark is a page of
+//! code. Here a vehicle docks from `x₁ ≈ 1` to the origin; an obstacle box
+//! forbids *fast* passage through the corridor `x₁ ∈ [0.4, 0.5]`, so the
+//! learned controller must brake before the corridor and creep through.
+
+use design_while_verify::core::{Algorithm1, Algorithm2, LearnConfig, MetricKind};
+use design_while_verify::dynamics::linalg::Matrix;
+use design_while_verify::dynamics::{eval::rates, Dynamics, ReachAvoidProblem};
+use design_while_verify::geom::Region;
+use design_while_verify::interval::IntervalBox;
+use design_while_verify::poly::Polynomial;
+use design_while_verify::reach::LinearReach;
+use design_while_verify::taylor::OdeRhs;
+use std::sync::Arc;
+
+/// A 1-D double integrator: position `x₁`, velocity `x₂`, thrust `u`.
+#[derive(Debug, Clone, Copy, Default)]
+struct Docking;
+
+impl Dynamics for Docking {
+    fn name(&self) -> &str {
+        "docking"
+    }
+
+    fn n_state(&self) -> usize {
+        2
+    }
+
+    fn n_input(&self) -> usize {
+        1
+    }
+
+    fn deriv(&self, x: &[f64], u: &[f64]) -> Vec<f64> {
+        vec![x[1], u[0]]
+    }
+
+    fn vector_field(&self) -> OdeRhs {
+        let x2 = Polynomial::var(3, 1);
+        let u = Polynomial::var(3, 2);
+        OdeRhs::new(2, 1, vec![x2, u])
+    }
+
+    fn linear_parts(&self) -> Option<(Matrix, Matrix, Vec<f64>)> {
+        Some((
+            Matrix::from_rows(vec![vec![0.0, 1.0], vec![0.0, 0.0]]),
+            Matrix::from_rows(vec![vec![0.0], vec![1.0]]),
+            vec![0.0, 0.0],
+        ))
+    }
+}
+
+fn problem() -> ReachAvoidProblem {
+    ReachAvoidProblem {
+        dynamics: Arc::new(Docking),
+        x0: IntervalBox::from_bounds(&[(0.95, 1.0), (-0.02, 0.02)]),
+        // Obstacle: no fast (|x₂| ≥ 0.15) passage through x₁ ∈ [0.4, 0.5].
+        unsafe_region: Region::from_box(IntervalBox::from_bounds(&[
+            (0.4, 0.5),
+            (-0.8, -0.15),
+        ])),
+        goal_region: Region::from_box(IntervalBox::from_bounds(&[
+            (-0.05, 0.05),
+            (-0.1, 0.1),
+        ])),
+        delta: 0.25,
+        horizon_steps: 60,
+        universe: IntervalBox::from_bounds(&[(-2.0, 2.0), (-2.0, 2.0)]),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let problem = problem();
+    println!("system: custom double-integrator docking");
+    println!("  X0     = {}", problem.x0);
+    println!("  unsafe = {}", problem.unsafe_region);
+    println!("  goal   = {}", problem.goal_region);
+
+    let outcome = Algorithm1::new(
+        problem.clone(),
+        LearnConfig::builder()
+            .metric(MetricKind::Geometric)
+            .max_updates(250)
+            .seed(11)
+            .build(),
+    )
+    .learn_linear()?;
+    println!(
+        "\nlearned linear controller: {} after {} iterations",
+        outcome.verified, outcome.iterations
+    );
+    if !outcome.verified.is_reach_avoid() {
+        println!("(did not converge with this seed — try another)");
+        return Ok(());
+    }
+
+    let r = rates(&problem, &outcome.controller, 500, 1);
+    println!(
+        "simulated: SC {:.1}%  GR {:.1}%",
+        r.safe_rate * 100.0,
+        r.goal_rate * 100.0
+    );
+
+    let (a, b, c) = problem.dynamics.linear_parts().expect("affine");
+    let controller = outcome.controller.clone();
+    let search = Algorithm2::new(&problem).with_max_rounds(4).search(|cell| {
+        LinearReach::new(&a, &b, &c, cell.clone(), problem.delta, problem.horizon_steps)
+            .reach(&controller)
+    });
+    println!("{search}");
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! End-to-end pipeline test on the ACC benchmark: Algorithm 1 learns a
+//! linear gain with the exact verifier in the loop, Algorithm 2 certifies
+//! an initial set, and 500 simulated rollouts confirm the empirical rates —
+//! the full Table-1 row for "Ours(G/W, Flow*)".
+
+use design_while_verify::core::{
+    Algorithm1, Algorithm2, GradientEstimator, LearnConfig, MetricKind,
+};
+use design_while_verify::dynamics::{acc, eval::rates};
+use design_while_verify::reach::LinearReach;
+
+fn run(metric: MetricKind, seed: u64) {
+    let problem = acc::reach_avoid_problem();
+    let config = LearnConfig::builder()
+        .metric(metric)
+        .max_updates(200)
+        .perturbation(0.01)
+        .estimator(GradientEstimator::Coordinate)
+        .seed(seed)
+        .build();
+    let outcome = Algorithm1::new(problem.clone(), config)
+        .learn_linear()
+        .expect("ACC is affine");
+    assert!(
+        outcome.verified.is_reach_avoid(),
+        "{metric} seed {seed}: {} after {} iterations",
+        outcome.verified,
+        outcome.iterations
+    );
+
+    // Empirical rates must be perfect, as in Table 1.
+    let r = rates(&problem, &outcome.controller, 500, 42);
+    assert_eq!(r.safe_rate, 1.0, "SC below 100%");
+    assert_eq!(r.goal_rate, 1.0, "GR below 100%");
+
+    // Algorithm 2 certifies (nearly) all of X0, as the paper reports
+    // (X_I = X0 in Fig. 6).
+    let (a, b, c) = problem.dynamics.linear_parts().expect("affine");
+    let controller = outcome.controller.clone();
+    let search = Algorithm2::new(&problem).with_max_rounds(4).search(|cell| {
+        LinearReach::new(&a, &b, &c, cell.clone(), problem.delta, problem.horizon_steps)
+            .reach(&controller)
+    });
+    assert!(
+        search.coverage > 0.9,
+        "{metric}: X_I coverage only {:.1}%",
+        search.coverage * 100.0
+    );
+}
+
+#[test]
+fn acc_geometric_full_pipeline() {
+    run(MetricKind::Geometric, 7);
+}
+
+#[test]
+fn acc_wasserstein_full_pipeline() {
+    run(MetricKind::Wasserstein, 7);
+}
+
+#[test]
+fn acc_geometric_other_seed() {
+    run(MetricKind::Geometric, 21);
+}

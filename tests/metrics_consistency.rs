@@ -1,0 +1,76 @@
+//! Cross-metric consistency: the geometric and Wasserstein metrics must
+//! agree on the reach-avoid feasibility of the same flowpipes, and the
+//! verdict logic must match both.
+
+use design_while_verify::dynamics::{acc, LinearController};
+use design_while_verify::core::judge;
+use design_while_verify::metrics::{GeometricMetric, WassersteinMetric};
+use design_while_verify::reach::LinearReach;
+
+#[test]
+fn metrics_agree_on_good_controller() {
+    let p = acc::reach_avoid_problem();
+    let v = LinearReach::for_problem(&p).unwrap();
+    let k = LinearController::new(2, 1, vec![0.5867, -2.0]);
+    let fp = v.reach(&k).unwrap();
+    let g = GeometricMetric::for_problem(&p).evaluate(&fp);
+    let w = WassersteinMetric::for_problem(&p).evaluate(&fp);
+    assert!(g.is_reach_avoid(), "geometric disagrees: {g:?}");
+    assert!(w.is_reach_avoid(), "wasserstein disagrees: {w:?}");
+    // The verdict follows.
+    assert!(judge(&p, &k, &Ok(fp), 100, 1).is_reach_avoid());
+}
+
+#[test]
+fn metrics_agree_on_unsafe_controller() {
+    let p = acc::reach_avoid_problem();
+    let v = LinearReach::for_problem(&p).unwrap();
+    let k = LinearController::zeros(2, 1);
+    let fp = v.reach(&k).unwrap();
+    let g = GeometricMetric::for_problem(&p).evaluate(&fp);
+    let w = WassersteinMetric::for_problem(&p).evaluate(&fp);
+    assert!(!g.is_reach_avoid());
+    assert!(g.d_unsafe <= 0.0, "uncontrolled ACC must hit the unsafe set");
+    assert!(w.intersects_unsafe);
+    assert_eq!(
+        judge(&p, &k, &Ok(fp), 100, 1).to_string(),
+        "Unsafe"
+    );
+}
+
+#[test]
+fn wasserstein_orders_candidates_like_geometric() {
+    // Controllers strictly closer to the goal at the end of the horizon
+    // should have smaller W(r, g) and larger (less negative) d^g.
+    let p = acc::reach_avoid_problem();
+    let v = LinearReach::for_problem(&p).unwrap();
+    let near = LinearController::new(2, 1, vec![0.55, -2.0]);
+    let far = LinearController::new(2, 1, vec![0.3, -2.0]);
+    let fp_near = v.reach(&near).unwrap();
+    let fp_far = v.reach(&far).unwrap();
+    let gm = GeometricMetric::for_problem(&p);
+    let wm = WassersteinMetric::for_problem(&p);
+    let (gn, gf) = (gm.evaluate(&fp_near), gm.evaluate(&fp_far));
+    let (wn, wf) = (wm.evaluate(&fp_near), wm.evaluate(&fp_far));
+    assert!(gn.d_goal > gf.d_goal, "geometric: {gn:?} vs {gf:?}");
+    assert!(wn.w_goal < wf.w_goal, "wasserstein: {wn:?} vs {wf:?}");
+}
+
+#[test]
+fn safety_distance_positive_iff_no_unsafe_intersection() {
+    let p = acc::reach_avoid_problem();
+    let v = LinearReach::for_problem(&p).unwrap();
+    let gm = GeometricMetric::for_problem(&p);
+    let wm = WassersteinMetric::for_problem(&p);
+    for gains in [[0.5867, -2.0], [0.0, 0.0], [0.3, -1.0], [1.6533, -6.0]] {
+        let k = LinearController::new(2, 1, gains.to_vec());
+        let fp = v.reach(&k).unwrap();
+        let g = gm.evaluate(&fp);
+        let w = wm.evaluate(&fp);
+        assert_eq!(
+            g.d_unsafe > 0.0,
+            !w.intersects_unsafe,
+            "metrics disagree on safety for gains {gains:?}"
+        );
+    }
+}

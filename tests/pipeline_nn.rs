@@ -1,0 +1,40 @@
+//! End-to-end NN pipeline on the 3-D benchmark (the fastest NN system):
+//! one call learns, certifies and reports.
+
+use design_while_verify::core::{
+    design_while_verify_nn, AbstractionKind, GradientEstimator, LearnConfig, MetricKind,
+};
+use design_while_verify::reach::{DependencyTracking, TaylorReachConfig};
+
+#[test]
+fn three_dim_nn_pipeline_certifies() {
+    let config = LearnConfig::builder()
+        .metric(MetricKind::Geometric)
+        .max_updates(300)
+        .perturbation(0.02)
+        .estimator(GradientEstimator::Spsa { samples: 2 })
+        .seed(3)
+        .nn_hidden(vec![8])
+        .nn_output_scale(2.0)
+        .abstraction(AbstractionKind::Polar { order: 2 })
+        .verifier(TaylorReachConfig {
+            dependency: DependencyTracking::BoxReinit,
+            ..TaylorReachConfig::default()
+        })
+        .build();
+    let outcome = design_while_verify_nn(
+        design_while_verify::dynamics::three_dim::reach_avoid_problem(),
+        config,
+    );
+    assert!(
+        outcome.learning.verified.is_reach_avoid(),
+        "learning verdict: {}",
+        outcome.learning.verified
+    );
+    assert!(outcome.is_certified(), "{}", outcome.report);
+    let xi = outcome.report.initial_set.as_ref().expect("searched");
+    assert!(xi.coverage > 0.2, "X_I coverage {:.2}", xi.coverage);
+    // The learned controller also behaves empirically.
+    assert!(outcome.report.rates.safe_rate >= 0.99);
+    assert!(outcome.report.rates.goal_rate >= 0.95);
+}

@@ -1,0 +1,113 @@
+//! Integration tests for the continuous-time sweep enclosures and the
+//! disturbance-robust zonotope verifier.
+
+use design_while_verify::core::{Algorithm1, LearnConfig, MetricKind};
+use design_while_verify::dynamics::{acc, simulate::Simulator, Controller, LinearController};
+use design_while_verify::interval::IntervalBox;
+use design_while_verify::metrics::GeometricMetric;
+use design_while_verify::reach::{LinearReach, ZonotopeReach};
+
+/// The sweep enclosures must contain fine-grained simulation states at all
+/// sub-step times, not only at the sampling instants.
+#[test]
+fn linear_sweep_contains_intersample_states() {
+    let p = acc::reach_avoid_problem();
+    let v = LinearReach::for_problem(&p).unwrap();
+    let k = LinearController::new(2, 1, vec![0.5867, -2.0]);
+    let fp = v.reach(&k).unwrap();
+    let sim = Simulator::with_substeps(p.dynamics.clone(), p.delta, 10);
+    for x0 in [[122.0, 48.0], [124.0, 52.0], [123.0, 50.3]] {
+        let traj = sim.rollout(&x0, &k, p.horizon_steps);
+        // fine_states[k*10 + j] is within step k+1's period for j in 1..=10.
+        for (idx, x) in traj.fine_states.iter().enumerate().skip(1) {
+            let step = (idx + 9) / 10; // 1-based control step covering idx
+            let enc = fp.steps()[step].enclosure.inflate(1e-6);
+            assert!(
+                enc.contains_point(x),
+                "sub-step {idx} (step {step}): {x:?} outside sweep {enc}"
+            );
+        }
+    }
+}
+
+/// The chord sweep must be tight: only marginally larger than the hull of
+/// the adjacent exact sets for the smooth ACC dynamics.
+#[test]
+fn sweep_is_tight_for_acc() {
+    let p = acc::reach_avoid_problem();
+    let v = LinearReach::for_problem(&p).unwrap();
+    let k = LinearController::new(2, 1, vec![0.5867, -2.0]);
+    let fp = v.reach(&k).unwrap();
+    for w in fp.steps().windows(2).take(20) {
+        let hull = w[0].end_box.hull(&w[1].end_box);
+        let sweep = &w[1].enclosure;
+        // Sweep covers the hull…
+        assert!(sweep.inflate(1e-9).contains(&hull));
+        // …and is at most a sliver larger (second-order in δ = 0.1).
+        for i in 0..2 {
+            assert!(
+                sweep.interval(i).width() <= hull.interval(i).width() + 0.15,
+                "dim {i}: sweep {} much wider than hull {}",
+                sweep.interval(i),
+                hull.interval(i)
+            );
+        }
+    }
+}
+
+/// The whole pipeline remains correct with sweeps: a learned ACC controller
+/// still verifies reach-avoid and the metric agrees.
+#[test]
+fn learning_still_converges_with_sweeps() {
+    let outcome = Algorithm1::new(
+        acc::reach_avoid_problem(),
+        LearnConfig::builder()
+            .metric(MetricKind::Geometric)
+            .max_updates(200)
+            .seed(5)
+            .build(),
+    )
+    .learn_linear()
+    .unwrap();
+    assert!(outcome.verified.is_reach_avoid());
+    let d = GeometricMetric::for_problem(&acc::reach_avoid_problem())
+        .evaluate(outcome.flowpipe.as_ref().unwrap());
+    assert!(d.is_reach_avoid());
+}
+
+/// Robust verification: with disturbance the verifier's verdict can flip to
+/// not-provably-safe exactly when the clearance margin is exceeded.
+#[test]
+fn robust_verdict_degrades_monotonically_with_disturbance() {
+    let p = acc::reach_avoid_problem();
+    let k = LinearController::new(2, 1, vec![0.8533, -3.0]);
+    let metric = GeometricMetric::for_problem(&p);
+    let mut last_du = f64::INFINITY;
+    for mag in [0.0, 0.01, 0.05, 0.1] {
+        let v = ZonotopeReach::for_problem(&p).unwrap().with_disturbance(
+            IntervalBox::from_bounds(&[(-mag, mag), (-mag, mag)]),
+        );
+        let fp = v.reach(&k).unwrap();
+        let d = metric.evaluate(&fp);
+        assert!(
+            d.d_unsafe <= last_du + 1e-9,
+            "safety margin must shrink with disturbance"
+        );
+        last_du = d.d_unsafe;
+    }
+}
+
+/// Zonotope and vertex recursions agree on the undisturbed problem.
+#[test]
+fn zonotope_agrees_with_vertex_recursion() {
+    let p = acc::reach_avoid_problem();
+    let k = LinearController::new(2, 1, vec![0.5, -2.5]);
+    let fz = ZonotopeReach::for_problem(&p).unwrap().reach(&k).unwrap();
+    let fl = LinearReach::for_problem(&p).unwrap().reach(&k).unwrap();
+    assert_eq!(fz.len(), fl.len());
+    for (a, b) in fz.steps().iter().zip(fl.steps()) {
+        assert!(a.end_box.inflate(1e-6).contains(&b.end_box));
+        assert!(b.end_box.inflate(1e-6).contains(&a.end_box));
+    }
+    let _ = k.params();
+}

@@ -1,0 +1,134 @@
+//! Cross-crate soundness: every verifier's flowpipe must contain every
+//! simulated trajectory — the property Theorem 2 rests on, exercised across
+//! systems, controllers and abstractions.
+
+use design_while_verify::dynamics::{
+    acc, oscillator, simulate::Simulator, three_dim, LinearController, NnController,
+    ReachAvoidProblem,
+};
+use design_while_verify::nn::{Activation, Network};
+use design_while_verify::reach::{
+    BernsteinAbstraction, DependencyTracking, Flowpipe, LinearReach, TaylorAbstraction,
+    TaylorReach, TaylorReachConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn assert_contains_simulations(
+    problem: &ReachAvoidProblem,
+    fp: &Flowpipe,
+    controller: &dyn design_while_verify::dynamics::Controller,
+    samples: usize,
+    tol: f64,
+) {
+    let sim = Simulator::new(problem.dynamics.clone(), problem.delta);
+    let mut rng = StdRng::seed_from_u64(0x50DA);
+    for _ in 0..samples {
+        let x0: Vec<f64> = (0..problem.x0.dim())
+            .map(|i| {
+                let iv = problem.x0.interval(i);
+                rng.gen_range(iv.lo()..=iv.hi())
+            })
+            .collect();
+        let traj = sim.rollout(&x0, controller, fp.len() - 1);
+        for (k, x) in traj.states.iter().enumerate() {
+            let enc = fp.steps()[k].enclosure.inflate(tol);
+            assert!(
+                enc.contains_point(x),
+                "step {k}: simulated state {x:?} outside {enc}"
+            );
+        }
+    }
+}
+
+#[test]
+fn linear_verifier_contains_simulations() {
+    let p = acc::reach_avoid_problem();
+    let v = LinearReach::for_problem(&p).unwrap();
+    for gains in [[0.5867, -2.0], [0.8533, -3.0], [0.1, -0.5]] {
+        let k = LinearController::new(2, 1, gains.to_vec());
+        let fp = v.reach(&k).expect("finite recursion");
+        assert_contains_simulations(&p, &fp, &k, 10, 1e-6);
+    }
+}
+
+#[test]
+fn taylor_verifier_polar_contains_simulations_oscillator() {
+    let mut p = oscillator::reach_avoid_problem();
+    p.horizon_steps = 10;
+    for seed in [1, 9, 33] {
+        let ctrl = NnController::new(Network::new(
+            &[2, 8, 1],
+            Activation::ReLU,
+            Activation::Tanh,
+            seed,
+        ));
+        let v = TaylorReach::new(
+            &p,
+            TaylorAbstraction::with_order(2),
+            TaylorReachConfig {
+                dependency: DependencyTracking::BoxReinit,
+                ..TaylorReachConfig::default()
+            },
+        );
+        let fp = v.reach(&ctrl).expect("verifies");
+        assert_contains_simulations(&p, &fp, &ctrl, 8, 1e-7);
+    }
+}
+
+#[test]
+fn taylor_verifier_bernstein_contains_simulations_oscillator() {
+    let mut p = oscillator::reach_avoid_problem();
+    p.horizon_steps = 6;
+    let ctrl = NnController::new(Network::new(
+        &[2, 8, 1],
+        Activation::ReLU,
+        Activation::Tanh,
+        5,
+    ));
+    let v = TaylorReach::new(
+        &p,
+        BernsteinAbstraction::default(),
+        TaylorReachConfig {
+            dependency: DependencyTracking::BoxReinit,
+            ..TaylorReachConfig::default()
+        },
+    );
+    let fp = v.reach(&ctrl).expect("verifies");
+    assert_contains_simulations(&p, &fp, &ctrl, 8, 1e-7);
+}
+
+#[test]
+fn taylor_verifier_contains_simulations_three_dim() {
+    let mut p = three_dim::reach_avoid_problem();
+    p.horizon_steps = 6;
+    let ctrl = NnController::with_output_scale(
+        Network::new(&[3, 8, 1], Activation::ReLU, Activation::Tanh, 4),
+        2.0,
+    );
+    let v = TaylorReach::new(
+        &p,
+        TaylorAbstraction::with_order(2),
+        TaylorReachConfig {
+            dependency: DependencyTracking::BoxReinit,
+            ..TaylorReachConfig::default()
+        },
+    );
+    let fp = v.reach(&ctrl).expect("verifies");
+    assert_contains_simulations(&p, &fp, &ctrl, 8, 1e-7);
+}
+
+#[test]
+fn symbolic_mode_contains_simulations() {
+    let mut p = oscillator::reach_avoid_problem();
+    p.horizon_steps = 8;
+    let ctrl = NnController::new(Network::new(
+        &[2, 8, 1],
+        Activation::ReLU,
+        Activation::Tanh,
+        21,
+    ));
+    let v = TaylorReach::new(&p, TaylorAbstraction::with_order(2), TaylorReachConfig::default());
+    let fp = v.reach(&ctrl).expect("verifies");
+    assert_contains_simulations(&p, &fp, &ctrl, 8, 1e-7);
+}
