@@ -114,7 +114,12 @@ impl Ddpg {
         critic_sizes.extend_from_slice(&config.hidden);
         critic_sizes.push(1);
         let actor = Network::new(&actor_sizes, Activation::ReLU, Activation::Tanh, seed);
-        let critic = Network::new(&critic_sizes, Activation::ReLU, Activation::Identity, seed ^ 0xAB);
+        let critic = Network::new(
+            &critic_sizes,
+            Activation::ReLU,
+            Activation::Identity,
+            seed ^ 0xAB,
+        );
         let actor_opt = Adam::new(actor.num_params(), config.actor_lr);
         let critic_opt = Adam::new(critic.num_params(), config.critic_lr);
         Self {

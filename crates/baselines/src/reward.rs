@@ -30,18 +30,20 @@ impl Reward {
             goal_center: problem.goal_region.anchor(&problem.universe),
             unsafe_center: problem.unsafe_region.anchor(&problem.universe),
             unsafe_weight: 0.2,
-            unsafe_cap: 2.0 * problem
-                .universe
-                .radii()
-                .iter()
-                .fold(0.0f64, |m, &r| m.max(r)),
+            unsafe_cap: 2.0
+                * problem
+                    .universe
+                    .radii()
+                    .iter()
+                    .fold(0.0f64, |m, &r| m.max(r)),
         }
     }
 
     /// The reward at a state.
     #[must_use]
     pub fn reward(&self, x: &[f64]) -> f64 {
-        -dist(x, &self.goal_center) + self.unsafe_weight * dist(x, &self.unsafe_center).min(self.unsafe_cap)
+        -dist(x, &self.goal_center)
+            + self.unsafe_weight * dist(x, &self.unsafe_center).min(self.unsafe_cap)
     }
 
     /// The reward gradient `∂r/∂x` (used by SVG's backprop through the

@@ -140,8 +140,7 @@ impl Svg {
             .map(|i| {
                 let iv = self.problem.x0.interval(i);
                 let jitter = self.config.init_jitter * iv.rad();
-                self.rng
-                    .gen_range(iv.lo() - jitter..=iv.hi() + jitter)
+                self.rng.gen_range(iv.lo() - jitter..=iv.hi() + jitter)
             })
             .collect();
         // Sensitivity S = ds/dθ (n × np), initially zero.

@@ -7,6 +7,7 @@
 //! (not absolute values): `ACC(Flow*) ≪ {Os,3D}(POLAR) < {Os,3D}(ReachNN)`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use dwv_core::WorkerPool;
 use dwv_dynamics::{LinearController, NnController};
 use dwv_nn::{Activation, Network};
 use dwv_reach::{
@@ -65,5 +66,55 @@ fn bench_table2(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_table2);
+/// The whole Table-2 verifier sweep as one unit of work, run serially and
+/// fanned out on the worker pool. On a multi-core host the pool overlaps the
+/// per-pairing verifier calls; on one core it degenerates to the serial
+/// loop (same results either way — each task is independent).
+fn bench_table2_sweep(c: &mut Criterion) {
+    type Task = Box<dyn Fn() + Sync>;
+
+    let acc = dwv_dynamics::acc::reach_avoid_problem();
+    let linear = LinearReach::for_problem(&acc).expect("affine");
+    let gain = LinearController::new(2, 1, vec![0.5867, -2.0]);
+    let osc = dwv_dynamics::oscillator::reach_avoid_problem();
+    let osc_ctrl = nn_controller(2, 1.0);
+    let osc_polar = TaylorReach::new(&osc, TaylorAbstraction::with_order(2), box_cfg());
+    let osc_bern = TaylorReach::new(&osc, BernsteinAbstraction::with_degree(2), box_cfg());
+    let td = dwv_dynamics::three_dim::reach_avoid_problem();
+    let td_ctrl = nn_controller(3, 2.0);
+    let td_polar = TaylorReach::new(&td, TaylorAbstraction::with_order(2), box_cfg());
+
+    let tasks: Vec<Task> = vec![
+        Box::new(move || {
+            black_box(linear.reach(&gain).expect("stable"));
+        }),
+        Box::new({
+            let (v, k) = (osc_polar, osc_ctrl.clone());
+            move || {
+                black_box(v.reach(&k)).ok();
+            }
+        }),
+        Box::new(move || {
+            black_box(osc_bern.reach(&osc_ctrl)).ok();
+        }),
+        Box::new(move || {
+            black_box(td_polar.reach(&td_ctrl)).ok();
+        }),
+    ];
+
+    let pool = WorkerPool::with_default_threads();
+    let mut g = c.benchmark_group("table2_sweep");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            for t in &tasks {
+                t();
+            }
+        })
+    });
+    g.bench_function("parallel_pool", |b| b.iter(|| pool.map(&tasks, |t| t())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2, bench_table2_sweep);
 criterion_main!(benches);

@@ -1,0 +1,231 @@
+//! Core-substrate wall-clock benchmarks with a JSON perf trajectory.
+//!
+//! Measures the hot paths of the design-while-verify loop — polynomial
+//! `mul`/`compose`, one validated Taylor-model flow step, one full ACC
+//! Algorithm-1 learning iteration, and an Algorithm-2 style verification
+//! sweep (serial vs. parallel) — and writes `BENCH_core.json` at the repo
+//! root so future PRs have numbers to regress against.
+//!
+//! The `baseline` section is the measurement taken at the pre-optimization
+//! tree (BTreeMap-keyed `Polynomial`, per-call `binomial`, serial sweep,
+//! no reach cache) on this same machine; `current` is measured now.
+//!
+//! Run with `cargo run --release -p dwv-bench --bin bench_core`.
+
+use dwv_core::parallel::WorkerPool;
+use dwv_core::{
+    Algorithm1, Algorithm2, GradientEstimator, LearnConfig, MetricKind, SearchStrategy,
+};
+use dwv_dynamics::{acc, oscillator, LinearController, NnController};
+use dwv_nn::{Activation, Network};
+use dwv_poly::Polynomial;
+use dwv_reach::{TaylorAbstraction, TaylorReach, TaylorReachConfig};
+use dwv_taylor::{unit_domain, OdeIntegrator, OdeRhs, TmVector};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Baseline medians (seconds/iteration), measured at the pre-optimization
+/// tree on the machine that produced the committed `BENCH_core.json`.
+/// `f64::NAN` means "not measurable at baseline" (the parallel sweep did not
+/// exist before this change).
+const BASELINE: &[(&str, f64)] = &[
+    ("poly_mul_deg4", 2.4565e-06),
+    ("poly_compose_deg4", 2.4994e-05),
+    ("taylor_flow_step_vdp", 3.8244e-04),
+    ("acc_algorithm1_iteration", 1.3625e-01),
+    ("sweep_serial_oscillator", 1.0155e-01),
+    ("sweep_parallel_oscillator", f64::NAN),
+];
+
+/// Median seconds per call of `f` over `samples` timed samples of
+/// `iters` calls each, after one warmup sample.
+fn median_time<R>(samples: usize, iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut times = Vec::with_capacity(samples);
+    for s in 0..=samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let t = start.elapsed().as_secs_f64() / iters as f64;
+        if s > 0 {
+            times.push(t);
+        }
+    }
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn bench_poly_mul() -> f64 {
+    let x = Polynomial::var(3, 0);
+    let y = Polynomial::var(3, 1);
+    let z = Polynomial::var(3, 2);
+    let p = x.clone() * y.clone() + z.clone() * z.clone() - x.clone() + y.clone() * z;
+    let q = p.clone() * p.clone();
+    median_time(9, 200, || p.clone() * q.clone())
+}
+
+fn bench_poly_compose() -> f64 {
+    let x = Polynomial::var(2, 0);
+    let y = Polynomial::var(2, 1);
+    let p = {
+        let b = x.clone() * x.clone() + y.clone() * y.clone() - x.clone() * y.clone();
+        b.clone() * b.clone() + b + Polynomial::constant(2, 1.0)
+    };
+    let s0 = x.clone() * y.clone() + x.clone() - Polynomial::constant(2, 0.5);
+    let s1 = y.clone() * y.clone() - x.clone().scale(2.0) + Polynomial::constant(2, 0.25);
+    median_time(9, 50, || p.compose(&[s0.clone(), s1.clone()]))
+}
+
+fn vdp_rhs() -> OdeRhs {
+    let x1 = Polynomial::var(3, 0);
+    let x2 = Polynomial::var(3, 1);
+    let u = Polynomial::var(3, 2);
+    OdeRhs::new(
+        2,
+        1,
+        vec![
+            x2.clone(),
+            x2.clone() - x1.clone() * x1.clone() * x2 - x1 + u,
+        ],
+    )
+}
+
+fn bench_flow_step() -> f64 {
+    let rhs = vdp_rhs();
+    let x0 = TmVector::from_box(&dwv_interval::IntervalBox::from_bounds(&[
+        (-0.51, -0.49),
+        (0.49, 0.51),
+    ]));
+    let u = TmVector::new(vec![dwv_taylor::TaylorModel::constant(2, 0.1)]);
+    let integ = OdeIntegrator::with_order(3);
+    median_time(9, 20, || {
+        integ.flow_step(&x0, &u, &rhs, 0.1, &unit_domain(2))
+    })
+}
+
+fn bench_acc_algorithm1_iteration() -> f64 {
+    // One update iteration of Algorithm 1 on ACC from a fixed (non-verifying)
+    // start: initial evaluation + coordinate-difference gradient (2·dim
+    // verifier calls) + candidate evaluation + final judgement. Runs with
+    // the reach-result memo cache attached (as the optimized loop does); the
+    // cache is fresh per timed call, so only genuine within-run repeats —
+    // the next iteration's re-evaluation and the final judgement — hit.
+    let config = LearnConfig::builder()
+        .metric(MetricKind::Geometric)
+        .estimator(GradientEstimator::Coordinate)
+        .max_updates(1)
+        .seed(7)
+        .build();
+    let init = LinearController::new(2, 1, vec![0.2, -0.5]);
+    median_time(5, 3, || {
+        let alg = Algorithm1::new(acc::reach_avoid_problem(), config.clone())
+            .with_cache(std::sync::Arc::new(dwv_reach::ReachCache::new()));
+        alg.learn_linear_from(init.clone()).expect("affine problem")
+    })
+}
+
+fn sweep_setup() -> (
+    dwv_dynamics::ReachAvoidProblem,
+    TaylorReach<TaylorAbstraction>,
+    NnController,
+) {
+    let mut problem = oscillator::reach_avoid_problem();
+    problem.horizon_steps = 6;
+    let verifier = TaylorReach::new(
+        &problem,
+        TaylorAbstraction::default(),
+        TaylorReachConfig::default(),
+    );
+    let ctrl = NnController::new(Network::new(
+        &[2, 8, 1],
+        Activation::ReLU,
+        Activation::Tanh,
+        3,
+    ));
+    (problem, verifier, ctrl)
+}
+
+fn sweep_algorithm(problem: &dwv_dynamics::ReachAvoidProblem) -> Algorithm2 {
+    // Uniform refinement: rounds of 1, 4 and 16 cells in 2-D — wide enough
+    // batches for the pool to bite.
+    Algorithm2::new(problem)
+        .with_strategy(SearchStrategy::UniformRefinement)
+        .with_max_rounds(2)
+}
+
+fn bench_sweep_serial() -> f64 {
+    let (problem, verifier, ctrl) = sweep_setup();
+    median_time(3, 1, || {
+        sweep_algorithm(&problem)
+            .search(|cell| verifier.clone().with_initial_set(cell.clone()).reach(&ctrl))
+    })
+}
+
+fn bench_sweep_parallel() -> f64 {
+    let (problem, verifier, ctrl) = sweep_setup();
+    let pool = WorkerPool::with_default_threads();
+    median_time(3, 1, || {
+        sweep_algorithm(&problem).search_parallel(
+            |cell| verifier.clone().with_initial_set(cell.clone()).reach(&ctrl),
+            &pool,
+        )
+    })
+}
+
+fn fmt_secs(t: f64) -> String {
+    if t.is_nan() {
+        "null".to_string()
+    } else {
+        format!("{t:.4e}")
+    }
+}
+
+fn main() {
+    let measurements: Vec<(&str, f64)> = vec![
+        ("poly_mul_deg4", bench_poly_mul()),
+        ("poly_compose_deg4", bench_poly_compose()),
+        ("taylor_flow_step_vdp", bench_flow_step()),
+        ("acc_algorithm1_iteration", bench_acc_algorithm1_iteration()),
+        ("sweep_serial_oscillator", bench_sweep_serial()),
+        ("sweep_parallel_oscillator", bench_sweep_parallel()),
+    ];
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"_comment\": \"seconds per call (median); baseline = pre-optimization tree (BTreeMap Polynomial, per-call binomial, serial sweep); on a 1-CPU host the parallel sweep degenerates to serial by design\",\n");
+    out.push_str("  \"units\": \"seconds_per_iteration\",\n");
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        WorkerPool::with_default_threads().threads()
+    ));
+    out.push_str("  \"baseline\": {\n");
+    for (i, (name, t)) in BASELINE.iter().enumerate() {
+        let sep = if i + 1 == BASELINE.len() { "" } else { "," };
+        out.push_str(&format!("    \"{name}\": {}{sep}\n", fmt_secs(*t)));
+    }
+    out.push_str("  },\n  \"current\": {\n");
+    for (i, (name, t)) in measurements.iter().enumerate() {
+        let sep = if i + 1 == measurements.len() { "" } else { "," };
+        out.push_str(&format!("    \"{name}\": {}{sep}\n", fmt_secs(*t)));
+    }
+    out.push_str("  },\n  \"speedup\": {\n");
+    for (i, (name, t)) in measurements.iter().enumerate() {
+        let sep = if i + 1 == measurements.len() { "" } else { "," };
+        let base = BASELINE
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(f64::NAN, |(_, b)| *b);
+        let ratio = base / t;
+        let rendered = if ratio.is_nan() {
+            "null".to_string()
+        } else {
+            format!("{ratio:.2}")
+        };
+        out.push_str(&format!("    \"{name}\": {rendered}{sep}\n"));
+    }
+    out.push_str("  }\n}\n");
+
+    print!("{out}");
+    std::fs::write("BENCH_core.json", &out).expect("write BENCH_core.json");
+    eprintln!("wrote BENCH_core.json");
+}

@@ -96,7 +96,10 @@ fn main() {
             println!("== Ablation — gradient estimator x metric (ACC) ==");
             for (name, cis, calls) in ablation() {
                 let mean_calls = calls.iter().sum::<usize>() / calls.len().max(1);
-                println!("{name:<22} {:>14} {mean_calls:>8} calls", dwv_bench::fmt_ci(&cis));
+                println!(
+                    "{name:<22} {:>14} {mean_calls:>8} calls",
+                    dwv_bench::fmt_ci(&cis)
+                );
             }
             for (name, csv) in [
                 ("fig4", fig4()),

@@ -8,8 +8,8 @@ use dwv_core::{
 };
 use dwv_dynamics::{eval::rates, Controller, LinearController, NnController, ReachAvoidProblem};
 use dwv_reach::{
-    BernsteinAbstraction, DependencyTracking, Flowpipe, LinearReach, ReachError,
-    TaylorAbstraction, TaylorReach, TaylorReachConfig,
+    BernsteinAbstraction, DependencyTracking, Flowpipe, LinearReach, ReachError, TaylorAbstraction,
+    TaylorReach, TaylorReachConfig,
 };
 
 /// Which benchmark system an NN experiment runs on.
@@ -122,8 +122,15 @@ fn finish_linear(
     let (a, b, c) = problem.dynamics.linear_parts().expect("affine");
     let controller = outcome.controller.clone();
     let search = Algorithm2::new(problem).with_max_rounds(4).search(|cell| {
-        LinearReach::new(&a, &b, &c, cell.clone(), problem.delta, problem.horizon_steps)
-            .reach(&controller)
+        LinearReach::new(
+            &a,
+            &b,
+            &c,
+            cell.clone(),
+            problem.delta,
+            problem.horizon_steps,
+        )
+        .reach(&controller)
     });
     let verdict = if search.is_empty() {
         Verdict::Unknown
@@ -156,7 +163,13 @@ pub fn run_ours_nn(
     }
     let controller = outcome.controller.clone();
     let search = Algorithm2::new(&problem).with_max_rounds(4).search(|cell| {
-        nn_reach(&problem, abstraction, &verifier_cfg, cell.clone(), &controller)
+        nn_reach(
+            &problem,
+            abstraction,
+            &verifier_cfg,
+            cell.clone(),
+            &controller,
+        )
     });
     let verdict = if search.is_empty() {
         Verdict::Unknown
@@ -183,11 +196,13 @@ fn nn_reach(
                 .with_initial_set(cell)
                 .reach(controller)
         }
-        AbstractionKind::Bernstein { degree } => {
-            TaylorReach::new(problem, BernsteinAbstraction::with_degree(degree), cfg.clone())
-                .with_initial_set(cell)
-                .reach(controller)
-        }
+        AbstractionKind::Bernstein { degree } => TaylorReach::new(
+            problem,
+            BernsteinAbstraction::with_degree(degree),
+            cfg.clone(),
+        )
+        .with_initial_set(cell)
+        .reach(controller),
     }
 }
 

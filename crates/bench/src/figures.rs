@@ -80,7 +80,11 @@ fn regions_csv(problem: &ReachAvoidProblem) -> String {
             // Half-space regions (the ACC unsafe set): clip to the universe
             // polygon and report its bounding box.
             (region.dim() == 2)
-                .then(|| region.to_polygon(&problem.universe).map(|p| p.bounding_box()))
+                .then(|| {
+                    region
+                        .to_polygon(&problem.universe)
+                        .map(|p| p.bounding_box())
+                })
                 .flatten()
         });
         if let Some(b) = boxed {

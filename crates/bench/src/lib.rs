@@ -30,7 +30,7 @@ pub mod report;
 pub mod tables;
 
 pub use experiments::{
-    default_nn_config, ddpg_budget, run_ddpg, run_ours_linear, run_ours_nn, run_svg,
+    ddpg_budget, default_nn_config, run_ddpg, run_ours_linear, run_ours_nn, run_svg,
     verify_nn_posthoc, NnSetup, OursResult,
 };
 pub use report::{fmt_ci, RowResult};

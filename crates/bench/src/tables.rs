@@ -8,9 +8,7 @@ use crate::experiments::{
 use crate::report::{header, RowResult};
 use dwv_core::{AbstractionKind, Algorithm1, MetricKind};
 use dwv_dynamics::NnController;
-use dwv_reach::{
-    DependencyTracking, TaylorAbstraction, TaylorReach, TaylorReachConfig,
-};
+use dwv_reach::{DependencyTracking, TaylorAbstraction, TaylorReach, TaylorReachConfig};
 use std::time::Instant;
 
 /// Seeds used for the CI mean(±std) columns.
@@ -31,9 +29,18 @@ pub fn table1_acc() -> Vec<RowResult> {
         trained.push(c);
     }
     let verdict = verify_nn_posthoc(&problem, trained.last().expect("ran"));
-    let refs: Vec<&dyn dwv_dynamics::Controller> =
-        trained.iter().map(|c| c as &dyn dwv_dynamics::Controller).collect();
-    rows.push(row_from_runs("SVG", &problem, &refs, ci, &verdict.to_string(), 0.0));
+    let refs: Vec<&dyn dwv_dynamics::Controller> = trained
+        .iter()
+        .map(|c| c as &dyn dwv_dynamics::Controller)
+        .collect();
+    rows.push(row_from_runs(
+        "SVG",
+        &problem,
+        &refs,
+        ci,
+        &verdict.to_string(),
+        0.0,
+    ));
 
     // DDPG.
     let mut ci = Vec::new();
@@ -44,9 +51,18 @@ pub fn table1_acc() -> Vec<RowResult> {
         trained.push(c);
     }
     let verdict = verify_nn_posthoc(&problem, trained.last().expect("ran"));
-    let refs: Vec<&dyn dwv_dynamics::Controller> =
-        trained.iter().map(|c| c as &dyn dwv_dynamics::Controller).collect();
-    rows.push(row_from_runs("DDPG", &problem, &refs, ci, &verdict.to_string(), 0.0));
+    let refs: Vec<&dyn dwv_dynamics::Controller> = trained
+        .iter()
+        .map(|c| c as &dyn dwv_dynamics::Controller)
+        .collect();
+    rows.push(row_from_runs(
+        "DDPG",
+        &problem,
+        &refs,
+        ci,
+        &verdict.to_string(),
+        0.0,
+    ));
 
     // Ours.
     for metric in [MetricKind::Wasserstein, MetricKind::Geometric] {
@@ -56,7 +72,11 @@ pub fn table1_acc() -> Vec<RowResult> {
         let mut secs = 0.0;
         for &s in &SEEDS {
             let res = run_ours_linear(metric, s);
-            ci.push(res.verdict.is_reach_avoid().then_some(res.outcome.iterations));
+            ci.push(
+                res.verdict
+                    .is_reach_avoid()
+                    .then_some(res.outcome.iterations),
+            );
             secs = res.outcome.trace.mean_iteration_time().as_secs_f64();
             if res.verdict.is_reach_avoid() || learned.is_empty() {
                 if res.verdict.is_reach_avoid() && !verdict.starts_with("reach") {
@@ -66,8 +86,10 @@ pub fn table1_acc() -> Vec<RowResult> {
                 learned.push(res.outcome.controller);
             }
         }
-        let refs: Vec<&dyn dwv_dynamics::Controller> =
-            learned.iter().map(|c| c as &dyn dwv_dynamics::Controller).collect();
+        let refs: Vec<&dyn dwv_dynamics::Controller> = learned
+            .iter()
+            .map(|c| c as &dyn dwv_dynamics::Controller)
+            .collect();
         rows.push(row_from_runs(
             &format!("Ours({metric}, Flow*)"),
             &problem,
@@ -95,9 +117,18 @@ pub fn table1_nn(setup: NnSetup) -> Vec<RowResult> {
         trained.push(c);
     }
     let verdict = verify_nn_posthoc(&problem, trained.last().expect("ran"));
-    let refs: Vec<&dyn dwv_dynamics::Controller> =
-        trained.iter().map(|c| c as &dyn dwv_dynamics::Controller).collect();
-    rows.push(row_from_runs("SVG", &problem, &refs, ci, &verdict.to_string(), 0.0));
+    let refs: Vec<&dyn dwv_dynamics::Controller> = trained
+        .iter()
+        .map(|c| c as &dyn dwv_dynamics::Controller)
+        .collect();
+    rows.push(row_from_runs(
+        "SVG",
+        &problem,
+        &refs,
+        ci,
+        &verdict.to_string(),
+        0.0,
+    ));
 
     let mut ci = Vec::new();
     let mut trained: Vec<NnController> = Vec::new();
@@ -107,9 +138,18 @@ pub fn table1_nn(setup: NnSetup) -> Vec<RowResult> {
         trained.push(c);
     }
     let verdict = verify_nn_posthoc(&problem, trained.last().expect("ran"));
-    let refs: Vec<&dyn dwv_dynamics::Controller> =
-        trained.iter().map(|c| c as &dyn dwv_dynamics::Controller).collect();
-    rows.push(row_from_runs("DDPG", &problem, &refs, ci, &verdict.to_string(), 0.0));
+    let refs: Vec<&dyn dwv_dynamics::Controller> = trained
+        .iter()
+        .map(|c| c as &dyn dwv_dynamics::Controller)
+        .collect();
+    rows.push(row_from_runs(
+        "DDPG",
+        &problem,
+        &refs,
+        ci,
+        &verdict.to_string(),
+        0.0,
+    ));
 
     // The oscillator's wider state swings need a degree-3 Bernstein fit for
     // usable remainders; degree 2 suffices on the tiny 3-D reach boxes.
@@ -119,7 +159,12 @@ pub fn table1_nn(setup: NnSetup) -> Vec<RowResult> {
     };
     for metric in [MetricKind::Wasserstein, MetricKind::Geometric] {
         for (abs, tool) in [
-            (AbstractionKind::Bernstein { degree: bern_degree }, "ReachNN"),
+            (
+                AbstractionKind::Bernstein {
+                    degree: bern_degree,
+                },
+                "ReachNN",
+            ),
             (AbstractionKind::Polar { order: 2 }, "POLAR"),
         ] {
             let mut ci = Vec::new();
@@ -128,7 +173,11 @@ pub fn table1_nn(setup: NnSetup) -> Vec<RowResult> {
             let mut secs = 0.0;
             for &s in &SEEDS {
                 let res = run_ours_nn(setup, metric, abs, s);
-                ci.push(res.verdict.is_reach_avoid().then_some(res.outcome.iterations));
+                ci.push(
+                    res.verdict
+                        .is_reach_avoid()
+                        .then_some(res.outcome.iterations),
+                );
                 secs = res.outcome.trace.mean_iteration_time().as_secs_f64();
                 // Rates/verdict describe the learned (converged) controllers.
                 if res.verdict.is_reach_avoid() || learned.is_empty() {
@@ -139,8 +188,10 @@ pub fn table1_nn(setup: NnSetup) -> Vec<RowResult> {
                     learned.push(res.outcome.controller);
                 }
             }
-            let refs: Vec<&dyn dwv_dynamics::Controller> =
-                learned.iter().map(|c| c as &dyn dwv_dynamics::Controller).collect();
+            let refs: Vec<&dyn dwv_dynamics::Controller> = learned
+                .iter()
+                .map(|c| c as &dyn dwv_dynamics::Controller)
+                .collect();
             rows.push(row_from_runs(
                 &format!("Ours({metric}, {tool})"),
                 &problem,
@@ -191,10 +242,7 @@ pub fn table2() -> Vec<(String, f64)> {
         "ACC(Flow*)".to_string(),
         acc.outcome.trace.mean_iteration_time().as_secs_f64(),
     ));
-    for (setup, label) in [
-        (NnSetup::Oscillator, "Os"),
-        (NnSetup::ThreeDim, "3D"),
-    ] {
+    for (setup, label) in [(NnSetup::Oscillator, "Os"), (NnSetup::ThreeDim, "3D")] {
         for (abs, tool) in [
             (AbstractionKind::Bernstein { degree: 2 }, "ReachNN"),
             (AbstractionKind::Polar { order: 2 }, "POLAR"),

@@ -117,6 +117,8 @@ pub struct Algorithm1 {
     config: LearnConfig,
     goal_anchor: Vec<f64>,
     safety_cap: f64,
+    pool: Option<crate::parallel::WorkerPool>,
+    cache: Option<std::sync::Arc<dwv_reach::ReachCache>>,
 }
 
 impl Algorithm1 {
@@ -137,7 +139,37 @@ impl Algorithm1 {
             config,
             goal_anchor,
             safety_cap,
+            pool: None,
+            cache: None,
         }
+    }
+
+    /// Fans the independent gradient-probe verifier calls of each iteration
+    /// out on a worker pool.
+    ///
+    /// The learning trajectory is **bit-identical** to the serial learner:
+    /// probe objectives are merged back in probe order and combined with the
+    /// exact same floating-point operation order, so only wall-clock time
+    /// changes.
+    #[must_use]
+    pub fn with_pool(mut self, pool: crate::parallel::WorkerPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Memoizes verifier results in `cache`, keyed by the bit-exact hash of
+    /// the controller parameters and of the problem's initial set.
+    ///
+    /// Every iteration of the learning loop re-verifies parameters the
+    /// previous iteration already verified (the restored `θ` after a
+    /// rejected step, or the accepted candidate), and the final judgement
+    /// verifies the last controller once more — those repeats are answered
+    /// from memory. The learning trajectory, trace, and verifier-call counts
+    /// are unchanged; only wall-clock time drops.
+    #[must_use]
+    pub fn with_cache(mut self, cache: std::sync::Arc<dwv_reach::ReachCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// The problem being solved.
@@ -249,14 +281,29 @@ impl Algorithm1 {
         fresh: &mut dyn FnMut(&mut StdRng) -> C,
     ) -> LearnOutcome<C>
     where
-        C: Controller + Clone,
-        V: Fn(&C) -> Result<Flowpipe, ReachError>,
+        C: Controller + Clone + Sync,
+        V: Fn(&C) -> Result<Flowpipe, ReachError> + Sync,
     {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9E37_79B9);
         let p = self.config.perturbation;
         let radius_init = 30.0 * p;
         let radius_max = 80.0 * p;
         let radius_min = 2.0 * p;
+
+        // With a cache attached, repeated verifications of bit-identical
+        // parameters are answered from memory; call counters still count
+        // every oracle query, so traces are unaffected.
+        let cell_key = dwv_reach::hash_cell(&self.problem.x0);
+        let verify = move |c: &C| -> Result<Flowpipe, ReachError> {
+            match &self.cache {
+                Some(cache) => {
+                    cache
+                        .get_or_compute(dwv_reach::hash_params(&c.params()), cell_key, || verify(c))
+                }
+                None => verify(c),
+            }
+        };
+        let verify = &verify;
 
         let mut calls_this_iter = 0usize;
         let eval_ctrl = |c: &C, calls: &mut usize| -> (Evaluation, Option<Flowpipe>) {
@@ -357,7 +404,8 @@ impl Algorithm1 {
 
             // Difference-method gradient of the shaped objective (Eq. 5).
             let theta = controller.params();
-            let grad = self.estimate_gradient(&theta, &mut controller, verify, &mut rng, &mut calls);
+            let grad =
+                self.estimate_gradient(&theta, &mut controller, verify, &mut rng, &mut calls);
             let mag = grad.iter().fold(0.0f64, |m, v| m.max(v.abs()));
             if mag <= 1e-12 {
                 radius *= 0.5;
@@ -385,7 +433,13 @@ impl Algorithm1 {
         }
 
         let final_attempt = verify(&controller);
-        let verified = judge(&self.problem, &controller, &final_attempt, 500, self.config.seed);
+        let verified = judge(
+            &self.problem,
+            &controller,
+            &final_attempt,
+            500,
+            self.config.seed,
+        );
         if let Ok(fp) = final_attempt {
             last_flowpipe = Some(fp);
         }
@@ -407,43 +461,72 @@ impl Algorithm1 {
         calls: &mut usize,
     ) -> Vec<f64>
     where
-        C: Controller + Clone,
-        V: Fn(&C) -> Result<Flowpipe, ReachError>,
+        C: Controller + Clone + Sync,
+        V: Fn(&C) -> Result<Flowpipe, ReachError> + Sync,
     {
         let p = self.config.perturbation;
         let dim = theta.len();
         let mut grad = vec![0.0; dim];
-        let objective_at = |params: &[f64], scratch: &mut C, calls: &mut usize| -> f64 {
-            scratch.set_params(params);
-            *calls += 1;
-            self.evaluate(&verify(scratch)).objective
+        // All probes of one gradient estimate are independent verifier calls
+        // at known parameter points; batch them so a worker pool can fan
+        // them out. Objectives come back in probe order, and the gradient is
+        // assembled with the same floating-point operation order as a
+        // straight-line serial evaluation — the pool changes timing only.
+        let objectives_at = |probes: &[Vec<f64>], calls: &mut usize| -> Vec<f64> {
+            *calls += probes.len();
+            let eval_one = |params: &Vec<f64>| -> f64 {
+                let mut c = scratch.clone();
+                c.set_params(params);
+                self.evaluate(&verify(&c)).objective
+            };
+            match &self.pool {
+                Some(pool) if probes.len() > 1 => pool.map(probes, eval_one),
+                _ => probes.iter().map(eval_one).collect(),
+            }
         };
         match self.config.estimator {
             GradientEstimator::Coordinate => {
+                // Probe order: [θ+p·e₀, θ−p·e₀, θ+p·e₁, …].
+                let probes: Vec<Vec<f64>> = (0..dim)
+                    .flat_map(|j| {
+                        let mut plus = theta.to_vec();
+                        plus[j] += p;
+                        let mut minus = theta.to_vec();
+                        minus[j] -= p;
+                        [plus, minus]
+                    })
+                    .collect();
+                let obj = objectives_at(&probes, calls);
                 for (j, g) in grad.iter_mut().enumerate() {
-                    let mut plus = theta.to_vec();
-                    plus[j] += p;
-                    let op = objective_at(&plus, scratch, calls);
-                    let mut minus = theta.to_vec();
-                    minus[j] -= p;
-                    let om = objective_at(&minus, scratch, calls);
-                    *g = (op - om) / (2.0 * p);
+                    *g = (obj[2 * j] - obj[2 * j + 1]) / (2.0 * p);
                 }
             }
             GradientEstimator::Spsa { samples } => {
                 let samples = samples.max(1);
-                for _ in 0..samples {
-                    let delta: Vec<f64> = (0..dim)
-                        .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
-                        .collect();
-                    let plus: Vec<f64> =
-                        theta.iter().zip(&delta).map(|(t, d)| t + p * d).collect();
-                    let op = objective_at(&plus, scratch, calls);
-                    let minus: Vec<f64> =
-                        theta.iter().zip(&delta).map(|(t, d)| t - p * d).collect();
-                    let om = objective_at(&minus, scratch, calls);
-                    let slope = (op - om) / (2.0 * p);
-                    for (g, d) in grad.iter_mut().zip(&delta) {
+                // Draw every direction up front (the serial loop consumed
+                // the RNG only for directions, so the stream is unchanged),
+                // then probe [θ+p·Δ₀, θ−p·Δ₀, θ+p·Δ₁, …] as one batch.
+                let deltas: Vec<Vec<f64>> = (0..samples)
+                    .map(|_| {
+                        (0..dim)
+                            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                            .collect()
+                    })
+                    .collect();
+                let probes: Vec<Vec<f64>> = deltas
+                    .iter()
+                    .flat_map(|delta| {
+                        let plus: Vec<f64> =
+                            theta.iter().zip(delta).map(|(t, d)| t + p * d).collect();
+                        let minus: Vec<f64> =
+                            theta.iter().zip(delta).map(|(t, d)| t - p * d).collect();
+                        [plus, minus]
+                    })
+                    .collect();
+                let obj = objectives_at(&probes, calls);
+                for (s, delta) in deltas.iter().enumerate() {
+                    let slope = (obj[2 * s] - obj[2 * s + 1]) / (2.0 * p);
+                    for (g, d) in grad.iter_mut().zip(delta) {
                         // 1/Δ_j = Δ_j for Δ_j ∈ {−1, +1}.
                         *g += slope * d / samples as f64;
                     }
@@ -610,6 +693,33 @@ mod tests {
         .unwrap();
         assert_eq!(outcome.iterations, 0);
         assert!(outcome.verified.is_reach_avoid());
+    }
+
+    #[test]
+    fn cached_learning_is_identical_and_hits() {
+        let cfg = quick_config(MetricKind::Geometric, 7);
+        let init = LinearController::new(2, 1, vec![0.2, -0.5]);
+        let plain = Algorithm1::new(acc::reach_avoid_problem(), cfg.clone())
+            .learn_linear_from(init.clone())
+            .unwrap();
+        let cache = std::sync::Arc::new(dwv_reach::ReachCache::new());
+        let cached = Algorithm1::new(acc::reach_avoid_problem(), cfg)
+            .with_cache(std::sync::Arc::clone(&cache))
+            .learn_linear_from(init)
+            .unwrap();
+        // Same trajectory and verdict, same oracle-call accounting…
+        assert_eq!(cached.iterations, plain.iterations);
+        assert_eq!(cached.controller.params(), plain.controller.params());
+        assert_eq!(
+            cached.trace.total_verifier_calls(),
+            plain.trace.total_verifier_calls()
+        );
+        // …but repeated subproblems were answered from memory.
+        assert!(cache.hits() > 0, "expected cache hits across iterations");
+        assert_eq!(
+            cache.hits() + cache.misses(),
+            cached.trace.total_verifier_calls() + 1
+        );
     }
 
     #[test]

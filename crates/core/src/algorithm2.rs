@@ -157,9 +157,49 @@ impl Algorithm2 {
     where
         V: FnMut(&IntervalBox) -> Result<Flowpipe, ReachError>,
     {
+        self.search_with(&mut |cells: &[IntervalBox]| {
+            cells
+                .iter()
+                .map(|c| match verify(c) {
+                    Ok(fp) => self.cell_verified(&fp),
+                    Err(_) => false,
+                })
+                .collect()
+        })
+    }
+
+    /// Runs the search with per-round cell batches fanned out on a worker
+    /// pool.
+    ///
+    /// The result is **identical** to [`search`](Self::search) with the same
+    /// oracle — cells are batched in partition order and verdicts merged
+    /// back by cell index (see [`WorkerPool::map`]), so accepted cells,
+    /// coverage, unverified cells and call counts all match the serial
+    /// sweep. Requires `verify: Fn + Sync` since cells of one round are
+    /// verified concurrently.
+    #[must_use]
+    pub fn search_parallel<V>(
+        &self,
+        verify: V,
+        pool: &crate::parallel::WorkerPool,
+    ) -> InitialSetSearch
+    where
+        V: Fn(&IntervalBox) -> Result<Flowpipe, ReachError> + Sync,
+    {
+        self.search_with(&mut |cells: &[IntervalBox]| {
+            pool.map(cells, |c| match verify(c) {
+                Ok(fp) => self.cell_verified(&fp),
+                Err(_) => false,
+            })
+        })
+    }
+
+    /// The strategy dispatcher over a *batch* verdict oracle: one call per
+    /// refinement round, verdicts in cell order.
+    fn search_with(&self, eval: &mut dyn FnMut(&[IntervalBox]) -> Vec<bool>) -> InitialSetSearch {
         let (accepted, pending, calls) = match self.strategy {
-            SearchStrategy::AdaptiveBisection => self.search_adaptive(&mut verify),
-            SearchStrategy::UniformRefinement => self.search_uniform(&mut verify),
+            SearchStrategy::AdaptiveBisection => self.search_adaptive(eval),
+            SearchStrategy::UniformRefinement => self.search_uniform(eval),
         };
         let covered: f64 = accepted.iter().map(IntervalBox::volume).sum();
         let total = self.x0.volume();
@@ -171,31 +211,22 @@ impl Algorithm2 {
         }
     }
 
-    fn search_adaptive<V>(
+    fn search_adaptive(
         &self,
-        verify: &mut V,
-    ) -> (Vec<IntervalBox>, Vec<IntervalBox>, usize)
-    where
-        V: FnMut(&IntervalBox) -> Result<Flowpipe, ReachError>,
-    {
+        eval: &mut dyn FnMut(&[IntervalBox]) -> Vec<bool>,
+    ) -> (Vec<IntervalBox>, Vec<IntervalBox>, usize) {
         let mut pending = vec![self.x0.clone()];
         let mut accepted: Vec<IntervalBox> = Vec::new();
         let mut calls = 0usize;
         for round in 0..=self.max_rounds {
+            calls += pending.len();
+            let verdicts = eval(&pending);
             let mut next = Vec::new();
-            for cell in pending {
-                calls += 1;
-                let ok = match verify(&cell) {
-                    Ok(fp) => self.cell_verified(&fp),
-                    Err(_) => false,
-                };
+            for (cell, ok) in pending.into_iter().zip(verdicts) {
                 if ok {
                     accepted.push(cell);
                 } else if round < self.max_rounds {
-                    let dim = cell
-                        .widest_dim()
-                        .map(|(d, _)| d)
-                        .unwrap_or(0);
+                    let dim = cell.widest_dim().map(|(d, _)| d).unwrap_or(0);
                     let (a, b) = cell.bisect(dim);
                     next.push(a);
                     next.push(b);
@@ -213,32 +244,31 @@ impl Algorithm2 {
 
     /// The paper's literal scheme: round `r` partitions `X₀` uniformly into
     /// `2^r` cells per dimension and verifies every cell not already covered
-    /// by an accepted cell from an earlier (coarser) round.
-    fn search_uniform<V>(
+    /// by an accepted cell from an earlier (coarser) round. (Cells of one
+    /// round are congruent and disjoint, so only earlier rounds' accepted
+    /// cells can cover a cell — the skip check per round is against a fixed
+    /// accepted set, which is what makes per-round batching sound.)
+    fn search_uniform(
         &self,
-        verify: &mut V,
-    ) -> (Vec<IntervalBox>, Vec<IntervalBox>, usize)
-    where
-        V: FnMut(&IntervalBox) -> Result<Flowpipe, ReachError>,
-    {
+        eval: &mut dyn FnMut(&[IntervalBox]) -> Vec<bool>,
+    ) -> (Vec<IntervalBox>, Vec<IntervalBox>, usize) {
         let n = self.x0.dim();
         let mut accepted: Vec<IntervalBox> = Vec::new();
         let mut pending: Vec<IntervalBox> = Vec::new();
         let mut calls = 0usize;
         for round in 0..=self.max_rounds {
             let per_dim = 1usize << round;
-            let cells = self.x0.partition(&vec![per_dim; n]);
-            pending = Vec::new();
-            for cell in cells {
+            let cells: Vec<IntervalBox> = self
+                .x0
+                .partition(&vec![per_dim; n])
+                .into_iter()
                 // Skip anything already certified at a coarser level.
-                if accepted.iter().any(|a| a.contains(&cell)) {
-                    continue;
-                }
-                calls += 1;
-                let ok = match verify(&cell) {
-                    Ok(fp) => self.cell_verified(&fp),
-                    Err(_) => false,
-                };
+                .filter(|cell| !accepted.iter().any(|a| a.contains(cell)))
+                .collect();
+            calls += cells.len();
+            let verdicts = eval(&cells);
+            pending = Vec::new();
+            for (cell, ok) in cells.into_iter().zip(verdicts) {
                 if ok {
                     accepted.push(cell);
                 } else {
@@ -256,9 +286,7 @@ impl Algorithm2 {
     /// enclosure is contained in `X_g` (and, when `require_safety`, no step
     /// meets `X_u`).
     fn cell_verified(&self, fp: &Flowpipe) -> bool {
-        let reaches = fp
-            .iter()
-            .any(|s| self.goal.contains_box(&s.end_box));
+        let reaches = fp.iter().any(|s| self.goal.contains_box(&s.end_box));
         if !reaches {
             return false;
         }
@@ -287,8 +315,15 @@ mod tests {
         cell: &IntervalBox,
     ) -> Result<Flowpipe, ReachError> {
         let (a, b, c) = problem.dynamics.linear_parts().unwrap();
-        LinearReach::new(&a, &b, &c, cell.clone(), problem.delta, problem.horizon_steps)
-            .reach(controller)
+        LinearReach::new(
+            &a,
+            &b,
+            &c,
+            cell.clone(),
+            problem.delta,
+            problem.horizon_steps,
+        )
+        .reach(controller)
     }
 
     #[test]
@@ -339,8 +374,12 @@ mod tests {
         let uniform = Algorithm2::new(&p)
             .with_strategy(SearchStrategy::UniformRefinement)
             .search(|cell| acc_verify(&p, &k, cell));
-        assert!((adaptive.coverage - uniform.coverage).abs() < 0.26,
-            "coverages differ too much: {} vs {}", adaptive.coverage, uniform.coverage);
+        assert!(
+            (adaptive.coverage - uniform.coverage).abs() < 0.26,
+            "coverages differ too much: {} vs {}",
+            adaptive.coverage,
+            uniform.coverage
+        );
         assert!(uniform.coverage > 0.7);
     }
 
@@ -354,6 +393,34 @@ mod tests {
             .search(|cell| acc_verify(&p, &k, cell));
         if uniform.coverage > 0.99 && uniform.cells.len() == 1 {
             assert_eq!(uniform.verifier_calls, 1);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        // Both strategies, a verifying and a hopeless controller, and pool
+        // widths beyond the cell count: cells, coverage, call counts and the
+        // unverified (counterexample-cell) ordering must match exactly.
+        let p = acc::reach_avoid_problem();
+        for strategy in [
+            SearchStrategy::AdaptiveBisection,
+            SearchStrategy::UniformRefinement,
+        ] {
+            for gains in [vec![0.5867, -2.0], vec![0.0, 0.0], vec![0.3, -1.0]] {
+                let k = LinearController::new(2, 1, gains);
+                let alg = Algorithm2::new(&p)
+                    .with_max_rounds(3)
+                    .with_strategy(strategy);
+                let serial = alg.search(|cell| acc_verify(&p, &k, cell));
+                for threads in [1, 2, 8] {
+                    let pool = crate::parallel::WorkerPool::new(threads);
+                    let par = alg.search_parallel(|cell| acc_verify(&p, &k, cell), &pool);
+                    assert_eq!(par.cells, serial.cells);
+                    assert_eq!(par.unverified, serial.unverified);
+                    assert_eq!(par.verifier_calls, serial.verifier_calls);
+                    assert_eq!(par.coverage.to_bits(), serial.coverage.to_bits());
+                }
+            }
         }
     }
 

@@ -319,7 +319,10 @@ mod tests {
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.nn_hidden, vec![4, 4]);
         assert_eq!(cfg.nn_output_scale, 2.0);
-        assert!(matches!(cfg.abstraction, AbstractionKind::Bernstein { degree: 2 }));
+        assert!(matches!(
+            cfg.abstraction,
+            AbstractionKind::Bernstein { degree: 2 }
+        ));
         assert_eq!(cfg.safety_cap, Some(0.5));
         assert_eq!(cfg.wasserstein_samples, 16);
     }

@@ -44,6 +44,7 @@ mod algorithm1;
 mod algorithm2;
 mod config;
 mod counterexample;
+pub mod parallel;
 mod pipeline;
 mod report;
 mod trace;
@@ -53,6 +54,7 @@ pub use algorithm1::{Algorithm1, LearnError, LearnOutcome};
 pub use algorithm2::{Algorithm2, InitialSetSearch, SearchStrategy};
 pub use config::{AbstractionKind, GradientEstimator, LearnConfig, LearnConfigBuilder, MetricKind};
 pub use counterexample::{find_counterexample, Counterexample, ViolationKind};
+pub use parallel::WorkerPool;
 pub use pipeline::{design_while_verify_linear, design_while_verify_nn, PipelineOutcome};
 pub use report::{assess, VerificationReport};
 pub use trace::{IterationRecord, LearningTrace};

@@ -1,0 +1,182 @@
+//! A small scoped worker pool for fanning out independent verifier calls.
+//!
+//! The design-while-verify loop spends nearly all of its time in
+//! embarrassingly parallel batches of reachability computations: the
+//! `2·dim` gradient probes of Algorithm 1, the per-cell sweeps of
+//! Algorithm 2, and benchmark-table sweeps. This module provides the one
+//! primitive they need — [`WorkerPool::map`], a deterministic parallel map
+//! over a slice — built on `std::thread::scope` only (the build environment
+//! has no access to external crates such as `rayon`).
+//!
+//! # Determinism
+//!
+//! Results are merged **by item index, not by completion order**: the
+//! returned `Vec` is element-for-element identical to
+//! `items.iter().map(f).collect()`. Workers claim items through a shared
+//! atomic counter, so scheduling affects only *which thread* computes an
+//! item, never the output. Callers must still ensure `f` itself is a pure
+//! function of its argument.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// A fixed-width scoped worker pool.
+///
+/// The pool is just a thread-count policy: threads are spawned per
+/// [`map`](WorkerPool::map) call inside a `std::thread::scope`, so borrowed
+/// data can be shared with workers without `'static` bounds, and no threads
+/// linger between calls.
+///
+/// # Example
+///
+/// ```
+/// use dwv_core::parallel::WorkerPool;
+///
+/// let pool = WorkerPool::with_default_threads();
+/// let squares = pool.map(&[1u64, 2, 3, 4], |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool running `threads` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    #[must_use]
+    pub fn with_default_threads() -> Self {
+        Self::new(thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+    }
+
+    /// The number of worker threads this pool uses.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, in parallel, returning results in item
+    /// order (see the module docs on determinism).
+    ///
+    /// Falls back to a plain serial map when the pool has one thread or the
+    /// batch has at most one item — so a `WorkerPool::new(1)` is an exact
+    /// drop-in for serial execution.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` (the first panicking worker's payload).
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            out.push((i, f(item)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => indexed.extend(part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        indexed.sort_unstable_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::with_default_threads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_item_order() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let out = pool.map(&items, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_matches_serial_under_uneven_load() {
+        // Skewed per-item cost exercises out-of-order completion.
+        let pool = WorkerPool::new(4);
+        let items: Vec<u64> = (0..32).collect();
+        let slow = |x: &u64| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x * x
+        };
+        assert_eq!(pool.map(&items, slow), WorkerPool::new(1).map(&items, slow));
+    }
+
+    #[test]
+    fn single_thread_pool_is_serial() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.map(&[3, 1, 2], |x| x + 1), vec![4, 2, 3]);
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let pool = WorkerPool::new(8);
+        assert_eq!(pool.map::<i32, i32, _>(&[], |x| *x), Vec::<i32>::new());
+        assert_eq!(pool.map(&[5], |x| x * 10), vec![50]);
+    }
+
+    #[test]
+    fn zero_thread_request_clamps_to_one() {
+        assert_eq!(WorkerPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn borrows_local_data() {
+        let data = vec![String::from("a"), String::from("bb")];
+        let pool = WorkerPool::new(2);
+        let lens = pool.map(&data, String::len);
+        assert_eq!(lens, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let pool = WorkerPool::new(2);
+        let items: Vec<usize> = (0..8).collect();
+        pool.map(&items, |x| {
+            assert!(*x != 5, "boom");
+            *x
+        });
+    }
+}

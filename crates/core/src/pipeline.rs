@@ -9,10 +9,10 @@ use crate::algorithm1::{Algorithm1, LearnError, LearnOutcome};
 use crate::config::{AbstractionKind, LearnConfig};
 use crate::report::{assess, VerificationReport};
 use dwv_dynamics::{LinearController, NnController, ReachAvoidProblem};
+use dwv_interval::IntervalBox;
 use dwv_reach::{
     BernsteinAbstraction, Flowpipe, LinearReach, ReachError, TaylorAbstraction, TaylorReach,
 };
-use dwv_interval::IntervalBox;
 
 /// The outcome of a full design-while-verify pipeline run.
 #[derive(Debug, Clone)]

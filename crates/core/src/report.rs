@@ -34,11 +34,7 @@ impl VerificationReport {
     /// non-empty initial set.
     #[must_use]
     pub fn is_certified(&self) -> bool {
-        self.verdict.is_reach_avoid()
-            && self
-                .initial_set
-                .as_ref()
-                .is_some_and(|s| !s.is_empty())
+        self.verdict.is_reach_avoid() && self.initial_set.as_ref().is_some_and(|s| !s.is_empty())
     }
 }
 
@@ -71,7 +67,11 @@ impl fmt::Display for VerificationReport {
 /// set `cell` (as in [`Algorithm2::search`]); the whole-`X₀` flowpipe is
 /// `verify(&problem.x0)`.
 #[must_use]
-pub fn assess<C, V>(problem: &ReachAvoidProblem, controller: &C, mut verify: V) -> VerificationReport
+pub fn assess<C, V>(
+    problem: &ReachAvoidProblem,
+    controller: &C,
+    mut verify: V,
+) -> VerificationReport
 where
     C: Controller + ?Sized,
     V: FnMut(&IntervalBox) -> Result<Flowpipe, ReachError>,
@@ -115,9 +115,7 @@ mod tests {
         let k = k.clone();
         let delta = problem.delta;
         let steps = problem.horizon_steps;
-        move |cell: &IntervalBox| {
-            LinearReach::new(&a, &b, &c, cell.clone(), delta, steps).reach(&k)
-        }
+        move |cell: &IntervalBox| LinearReach::new(&a, &b, &c, cell.clone(), delta, steps).reach(&k)
     }
 
     #[test]

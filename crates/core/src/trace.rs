@@ -55,7 +55,6 @@ impl LearningTrace {
         &self.records
     }
 
-
     /// Number of recorded iterations.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -91,10 +91,7 @@ pub fn reach_avoid_problem() -> ReachAvoidProblem {
         dynamics: Arc::new(Acc),
         x0: IntervalBox::from_bounds(&[(122.0, 124.0), (48.0, 52.0)]),
         unsafe_region: Region::from_halfspace(HalfSpace::new(vec![1.0, 0.0], 120.0)),
-        goal_region: Region::from_box(IntervalBox::from_bounds(&[
-            (145.0, 155.0),
-            (39.5, 40.5),
-        ])),
+        goal_region: Region::from_box(IntervalBox::from_bounds(&[(145.0, 155.0), (39.5, 40.5)])),
         delta: DELTA,
         horizon_steps: HORIZON_STEPS,
         universe: IntervalBox::from_bounds(&[(80.0, 220.0), (0.0, 80.0)]),

@@ -40,6 +40,4 @@ pub mod system;
 pub mod three_dim;
 
 pub use eval::{rates, RateReport};
-pub use system::{
-    Controller, Dynamics, LinearController, NnController, ReachAvoidProblem,
-};
+pub use system::{Controller, Dynamics, LinearController, NnController, ReachAvoidProblem};

@@ -108,11 +108,20 @@ impl Matrix {
     /// Panics on shape mismatch.
     #[must_use]
     pub fn add(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 
@@ -229,7 +238,10 @@ impl Matrix {
     /// Panics if the block exceeds the matrix bounds.
     #[must_use]
     pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix {
-        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of range");
+        assert!(
+            r0 + rows <= self.rows && c0 + cols <= self.cols,
+            "block out of range"
+        );
         let mut out = Matrix::zeros(rows, cols);
         for i in 0..rows {
             for j in 0..cols {

@@ -48,10 +48,7 @@ impl Dynamics for Oscillator {
     }
 
     fn deriv(&self, x: &[f64], u: &[f64]) -> Vec<f64> {
-        vec![
-            x[1],
-            GAMMA * (1.0 - x[0] * x[0]) * x[1] - x[0] + u[0],
-        ]
+        vec![x[1], GAMMA * (1.0 - x[0] * x[0]) * x[1] - x[0] + u[0]]
     }
 
     fn vector_field(&self) -> OdeRhs {
@@ -76,14 +73,8 @@ pub fn reach_avoid_problem() -> ReachAvoidProblem {
     ReachAvoidProblem {
         dynamics: Arc::new(Oscillator),
         x0: IntervalBox::from_bounds(&[(-0.51, -0.49), (0.49, 0.51)]),
-        unsafe_region: Region::from_box(IntervalBox::from_bounds(&[
-            (-0.3, -0.25),
-            (0.2, 0.35),
-        ])),
-        goal_region: Region::from_box(IntervalBox::from_bounds(&[
-            (-0.05, 0.05),
-            (-0.05, 0.05),
-        ])),
+        unsafe_region: Region::from_box(IntervalBox::from_bounds(&[(-0.3, -0.25), (0.2, 0.35)])),
+        goal_region: Region::from_box(IntervalBox::from_bounds(&[(-0.05, 0.05), (-0.05, 0.05)])),
         delta: DELTA,
         horizon_steps: HORIZON_STEPS,
         universe: IntervalBox::from_bounds(&[(-2.0, 2.0), (-2.0, 2.0)]),

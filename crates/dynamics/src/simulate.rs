@@ -159,7 +159,7 @@ mod tests {
         assert_eq!(traj.inputs.len(), 3);
         // Input at step 0 equals κ(x(0)).
         assert!((traj.inputs[0][0] - 0.0).abs() < 1e-12); // -0.5 + 0.5
-        // fine trajectory has substeps*steps + 1 points
+                                                          // fine trajectory has substeps*steps + 1 points
         assert_eq!(traj.fine_states.len(), 31);
     }
 

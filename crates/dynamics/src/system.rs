@@ -123,11 +123,7 @@ impl Controller for LinearController {
     fn control(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n_state, "state dimension mismatch");
         (0..self.n_input)
-            .map(|i| {
-                (0..self.n_state)
-                    .map(|j| self.gain(i, j) * x[j])
-                    .sum()
-            })
+            .map(|i| (0..self.n_state).map(|j| self.gain(i, j) * x[j]).sum())
             .collect()
     }
 

@@ -52,11 +52,7 @@ impl Dynamics for ThreeDim {
         OdeRhs::new(
             3,
             1,
-            vec![
-                x3.clone() * x3.clone() * x3.clone() - x2.clone(),
-                x3,
-                u,
-            ],
+            vec![x3.clone() * x3.clone() * x3.clone() - x2.clone(), x3, u],
         )
     }
 }

@@ -123,10 +123,7 @@ impl ConvexPolygon {
         }
         if a.abs() < 1e-300 {
             // Fall back to the vertex mean for near-degenerate polygons.
-            let m = self
-                .verts
-                .iter()
-                .fold(Vec2::ZERO, |acc, &v| acc + v);
+            let m = self.verts.iter().fold(Vec2::ZERO, |acc, &v| acc + v);
             return m / n as f64;
         }
         Vec2::new(cx / (3.0 * a), cy / (3.0 * a))
@@ -136,11 +133,7 @@ impl ConvexPolygon {
     #[must_use]
     pub fn contains_point(&self, p: Vec2) -> bool {
         let n = self.verts.len();
-        let scale = self
-            .verts
-            .iter()
-            .map(|v| v.norm())
-            .fold(1.0f64, f64::max);
+        let scale = self.verts.iter().map(|v| v.norm()).fold(1.0f64, f64::max);
         for i in 0..n {
             let a = self.verts[i];
             let b = self.verts[(i + 1) % n];
@@ -368,8 +361,8 @@ mod tests {
         let p = ConvexPolygon::from_points(vec![
             Vec2::new(0.0, 0.0),
             Vec2::new(2.0, 0.0),
-            Vec2::new(1.0, 0.0),  // collinear
-            Vec2::new(1.0, 0.5),  // interior
+            Vec2::new(1.0, 0.0), // collinear
+            Vec2::new(1.0, 0.5), // interior
             Vec2::new(2.0, 2.0),
             Vec2::new(0.0, 2.0),
         ])
@@ -380,7 +373,9 @@ mod tests {
 
     #[test]
     fn degenerate_rejected() {
-        assert!(ConvexPolygon::from_points(vec![Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0)]).is_err());
+        assert!(
+            ConvexPolygon::from_points(vec![Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0)]).is_err()
+        );
         assert!(ConvexPolygon::from_points(vec![
             Vec2::new(0.0, 0.0),
             Vec2::new(1.0, 1.0),

@@ -136,10 +136,7 @@ impl Region {
             return 0.0;
         };
         match self {
-            Region::Box(r) => r
-                .intersection(&b)
-                .map(|ix| ix.volume())
-                .unwrap_or(0.0),
+            Region::Box(r) => r.intersection(&b).map(|ix| ix.volume()).unwrap_or(0.0),
             Region::HalfSpace(h) => {
                 if h.contains_box(&b) {
                     return b.volume();
@@ -149,10 +146,7 @@ impl Region {
                 }
                 if b.dim() == 2 {
                     let poly = ConvexPolygon::from_box(&b);
-                    let hp = crate::HalfPlane::new(
-                        [h.normal()[0], h.normal()[1]],
-                        h.offset(),
-                    );
+                    let hp = crate::HalfPlane::new([h.normal()[0], h.normal()[1]], h.offset());
                     poly.clip_halfplane(&hp).map(|p| p.area()).unwrap_or(0.0)
                 } else {
                     grid_volume_estimate(h, &b)
@@ -172,7 +166,9 @@ impl Region {
         let Some(region_poly) = self.to_polygon(universe) else {
             return 0.0;
         };
-        poly.intersect(&region_poly).map(|p| p.area()).unwrap_or(0.0)
+        poly.intersect(&region_poly)
+            .map(|p| p.area())
+            .unwrap_or(0.0)
     }
 
     /// Euclidean distance between the region and a convex polygon (2-D,
@@ -318,11 +314,7 @@ fn grid_volume_estimate(h: &HalfSpace, b: &IntervalBox) -> f64 {
     const RES: usize = 16;
     let cells = b.partition(&vec![RES; b.dim()]);
     let cell_vol = b.volume() / cells.len() as f64;
-    cells
-        .iter()
-        .filter(|c| h.contains(&c.center()))
-        .count() as f64
-        * cell_vol
+    cells.iter().filter(|c| h.contains(&c.center())).count() as f64 * cell_vol
 }
 
 #[cfg(test)]
@@ -385,7 +377,8 @@ mod tests {
         let r = Region::from_halfspace(HalfSpace::new(vec![1.0, 0.0], 0.0)); // x <= 0
         let poly = ConvexPolygon::from_box(&IntervalBox::from_bounds(&[(2.0, 3.0), (0.0, 1.0)]));
         assert!((r.distance_to_polygon(&poly) - 2.0).abs() < 1e-12);
-        let touching = ConvexPolygon::from_box(&IntervalBox::from_bounds(&[(-1.0, 1.0), (0.0, 1.0)]));
+        let touching =
+            ConvexPolygon::from_box(&IntervalBox::from_bounds(&[(-1.0, 1.0), (0.0, 1.0)]));
         assert_eq!(r.distance_to_polygon(&touching), 0.0);
     }
 

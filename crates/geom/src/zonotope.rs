@@ -138,7 +138,10 @@ impl Zonotope {
     #[must_use]
     pub fn affine_image(&self, m: &[Vec<f64>], b: &[f64]) -> Zonotope {
         let rows = m.len();
-        assert!(m.iter().all(|r| r.len() == self.dim()), "matrix shape mismatch");
+        assert!(
+            m.iter().all(|r| r.len() == self.dim()),
+            "matrix shape mismatch"
+        );
         assert_eq!(b.len(), rows, "offset length mismatch");
         let apply = |v: &[f64]| -> Vec<f64> {
             m.iter()
@@ -196,8 +199,10 @@ impl Zonotope {
             let lb: f64 = self.generators[b].iter().map(|v| v * v).sum();
             lb.total_cmp(&la)
         });
-        let mut generators: Vec<Vec<f64>> =
-            idx[..keep].iter().map(|&i| self.generators[i].clone()).collect();
+        let mut generators: Vec<Vec<f64>> = idx[..keep]
+            .iter()
+            .map(|&i| self.generators[i].clone())
+            .collect();
         // Box enclosure of the discarded part.
         let mut radii = vec![0.0f64; n];
         for &i in &idx[keep..] {
@@ -338,10 +343,7 @@ mod tests {
 
     #[test]
     fn support_matches_bounding_box_on_axes() {
-        let z = Zonotope::new(
-            vec![1.0, 2.0],
-            vec![vec![0.5, 0.5], vec![-0.25, 0.75]],
-        );
+        let z = Zonotope::new(vec![1.0, 2.0], vec![vec![0.5, 0.5], vec![-0.25, 0.75]]);
         let bb = z.bounding_box();
         assert!((z.support(&[1.0, 0.0]) - bb.interval(0).hi()).abs() < 1e-12);
         assert!((z.support(&[0.0, -1.0]) + bb.interval(1).lo()).abs() < 1e-12);

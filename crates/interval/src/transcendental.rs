@@ -22,7 +22,10 @@ impl Interval {
     /// Enclosure of `exp` over the interval (monotone increasing).
     #[must_use]
     pub fn exp(&self) -> Interval {
-        Interval::new(widen_lo(self.lo().exp()).max(0.0), widen_hi(self.hi().exp()))
+        Interval::new(
+            widen_lo(self.lo().exp()).max(0.0),
+            widen_hi(self.hi().exp()),
+        )
     }
 
     /// Enclosure of the natural logarithm.

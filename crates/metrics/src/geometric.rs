@@ -272,7 +272,10 @@ mod tests {
         let fp_box = pipe(vec![bb]);
         let d_box = m.distance_goal(&fp_box);
         assert!(d_poly > 0.0 && d_box > 0.0);
-        assert!(d_poly < d_box, "polygon overlap {d_poly} should be below box {d_box}");
+        assert!(
+            d_poly < d_box,
+            "polygon overlap {d_poly} should be below box {d_box}"
+        );
     }
 
     #[test]

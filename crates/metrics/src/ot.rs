@@ -31,11 +31,7 @@ pub fn wasserstein_1d(a: &[f64], b: &[f64]) -> f64 {
     let mut sb = b.to_vec();
     sa.sort_by(f64::total_cmp);
     sb.sort_by(f64::total_cmp);
-    sa.iter()
-        .zip(&sb)
-        .map(|(x, y)| (x - y).abs())
-        .sum::<f64>()
-        / a.len() as f64
+    sa.iter().zip(&sb).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
 }
 
 /// Exact minimum-cost assignment (Hungarian / Jonker–Volgenant shortest
@@ -52,7 +48,10 @@ pub fn wasserstein_1d(a: &[f64], b: &[f64]) -> f64 {
 pub fn hungarian(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
     let n = cost.len();
     assert!(n > 0, "cost matrix must be non-empty");
-    assert!(cost.iter().all(|r| r.len() == n), "cost matrix must be square");
+    assert!(
+        cost.iter().all(|r| r.len() == n),
+        "cost matrix must be square"
+    );
     // JV algorithm with 1-based sentinel column 0.
     let inf = f64::INFINITY;
     let mut u = vec![0.0f64; n + 1];
@@ -262,7 +261,10 @@ mod tests {
         let mut out = Vec::new();
         for p in smaller {
             for pos in 0..n {
-                let mut q: Vec<usize> = p.iter().map(|&v| if v >= pos { v + 1 } else { v }).collect();
+                let mut q: Vec<usize> = p
+                    .iter()
+                    .map(|&v| if v >= pos { v + 1 } else { v })
+                    .collect();
                 q.insert(0, pos);
                 out.push(q);
             }

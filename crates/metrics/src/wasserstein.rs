@@ -115,9 +115,7 @@ impl WassersteinMetric {
         WassersteinDistances {
             w_goal,
             w_unsafe,
-            intersects_goal: self
-                .goal_region
-                .intersects_box(&fp.final_step().end_box),
+            intersects_goal: self.goal_region.intersects_box(&fp.final_step().end_box),
             intersects_unsafe: fp
                 .iter()
                 .any(|s| self.unsafe_region.intersects_box(&s.enclosure)),

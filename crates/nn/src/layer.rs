@@ -29,7 +29,12 @@ impl Layer {
     /// Creates a layer with He-style random initialization (scaled by the
     /// fan-in), suitable for ReLU/Tanh stacks.
     #[must_use]
-    pub fn random<R: Rng>(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut R) -> Self {
+    pub fn random<R: Rng>(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
         let scale = (2.0 / in_dim as f64).sqrt();
         let weights = (0..in_dim * out_dim)
             .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
@@ -139,13 +144,7 @@ impl Layer {
     ///
     /// Panics on any dimension mismatch.
     #[must_use]
-    pub fn backward(
-        &self,
-        x: &[f64],
-        pre: &[f64],
-        d_out: &[f64],
-        grad: &mut [f64],
-    ) -> Vec<f64> {
+    pub fn backward(&self, x: &[f64], pre: &[f64], d_out: &[f64], grad: &mut [f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
         assert_eq!(pre.len(), self.out_dim, "pre-activation length mismatch");
         assert_eq!(d_out.len(), self.out_dim, "output gradient length mismatch");

@@ -63,11 +63,7 @@ impl Network {
     pub fn from_layers(layers: Vec<Layer>) -> Self {
         assert!(!layers.is_empty(), "network needs at least one layer");
         for w in layers.windows(2) {
-            assert_eq!(
-                w[0].out_dim(),
-                w[1].in_dim(),
-                "layer dimensions must chain"
-            );
+            assert_eq!(w[0].out_dim(), w[1].in_dim(), "layer dimensions must chain");
         }
         Self { layers }
     }
@@ -191,11 +187,7 @@ impl Network {
             .iter()
             .map(|l| {
                 (0..l.out_dim())
-                    .map(|o| {
-                        (0..l.in_dim())
-                            .map(|i| l.weight(o, i).abs())
-                            .sum::<f64>()
-                    })
+                    .map(|o| (0..l.in_dim()).map(|i| l.weight(o, i).abs()).sum::<f64>())
                     .fold(0.0f64, f64::max)
             })
             .product()
@@ -309,7 +301,10 @@ mod tests {
             let s = ((n.forward(&[x + h])[0] - n.forward(&[x - h])[0]) / (2.0 * h)).abs();
             max_slope = max_slope.max(s);
         }
-        assert!(lip >= max_slope, "Lipschitz bound {lip} below slope {max_slope}");
+        assert!(
+            lip >= max_slope,
+            "Lipschitz bound {lip} below slope {max_slope}"
+        );
     }
 
     #[test]

@@ -109,7 +109,11 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [f64], grad: &[f64]) {
         assert_eq!(params.len(), grad.len(), "gradient length mismatch");
-        assert_eq!(params.len(), self.m.len(), "optimizer sized for different parameter count");
+        assert_eq!(
+            params.len(),
+            self.m.len(),
+            "optimizer sized for different parameter count"
+        );
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);

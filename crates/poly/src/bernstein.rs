@@ -16,19 +16,12 @@ use dwv_interval::{Interval, IntervalBox};
 
 /// Binomial coefficient `C(n, k)` as `f64`.
 ///
-/// Exact for the small degrees used by Bernstein forms (n ≤ 60 stays within
-/// `f64` integer precision).
+/// Exact for the small degrees used by Bernstein forms (n ≤ 64 stays within
+/// `f64` integer precision). Backed by the memoized Pascal triangle in
+/// [`crate::tables`]; kept here as a re-export for existing callers.
 #[must_use]
 pub fn binomial(n: u32, k: u32) -> f64 {
-    if k > n {
-        return 0.0;
-    }
-    let k = k.min(n - k);
-    let mut acc = 1.0;
-    for i in 0..k {
-        acc = acc * (n - i) as f64 / (i + 1) as f64;
-    }
-    acc.round()
+    crate::tables::binomial(n, k)
 }
 
 /// The univariate Bernstein basis polynomial `B_{k,d}(t) = C(d,k) t^k (1-t)^{d-k}`
@@ -141,7 +134,10 @@ where
     let a: Vec<f64> = (0..n)
         .map(|i| {
             let iv = domain.interval(i);
-            assert!(iv.width() > 0.0, "Bernstein domain must have positive widths");
+            assert!(
+                iv.width() > 0.0,
+                "Bernstein domain must have positive widths"
+            );
             -iv.lo() / iv.width()
         })
         .collect();
@@ -195,17 +191,17 @@ pub fn range_enclosure(p: &Polynomial, domain: &IntervalBox) -> Interval {
     // dimension at a time (tensor contraction).
     let mut b = a;
     for dim in 0..n {
-        let d = degs[dim];
+        let ratios = crate::tables::bernstein_ratios(degs[dim]);
         let mut next = vec![0.0f64; total];
-        for (off, _) in next.clone().iter().enumerate() {
+        for (off, slot) in next.iter_mut().enumerate() {
             let k = (off / stride[dim]) % counts[dim];
             let base = off - k * stride[dim];
+            let row = &ratios[k];
             let mut acc = 0.0;
-            for j in 0..=k {
-                let ratio = binomial(k as u32, j as u32) / binomial(d, j as u32);
+            for (j, &ratio) in row.iter().enumerate() {
                 acc += ratio * b[base + j * stride[dim]];
             }
-            next[off] = acc;
+            *slot = acc;
         }
         b = next;
     }

@@ -30,5 +30,6 @@
 
 pub mod bernstein;
 mod polynomial;
+pub mod tables;
 
-pub use polynomial::Polynomial;
+pub use polynomial::{Exponents, Polynomial, TermIter, PACK_MAX_EXP, PACK_VARS};

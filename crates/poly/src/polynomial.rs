@@ -1,23 +1,144 @@
-//! Sparse multivariate polynomials.
+//! Sparse multivariate polynomials on a flat, sorted term vector.
+//!
+//! Terms live in a `Vec` sorted by monomial, not in a `BTreeMap`: the ring
+//! operations that dominate Taylor-model arithmetic (`add`, `mul`,
+//! `compose`) become cache-friendly merges over contiguous memory instead of
+//! pointer-chasing tree walks. Monomials of up to [`PACK_VARS`] variables
+//! with per-variable exponents up to [`PACK_MAX_EXP`] are packed into a
+//! single `u64` key — one byte per variable, variable 0 in the most
+//! significant byte — so comparing or multiplying monomials is integer
+//! arithmetic with **no allocation**. Big-endian packing makes the numeric
+//! `u64` order coincide with lexicographic order on exponent vectors, which
+//! keeps term iteration order identical to the previous `BTreeMap<Vec<u32>,
+//! f64>` representation. Polynomials beyond the packed limits (more than 8
+//! variables, or a product whose total degree could exceed 255) fall back to
+//! boxed exponent-vector keys transparently.
 
 use dwv_interval::Interval;
-use std::collections::BTreeMap;
 use std::fmt;
-use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+use std::ops::{Add, AddAssign, Deref, Mul, Neg, Sub};
 
-/// Coefficients with absolute value below this threshold are dropped after
-/// ring operations; they are numerically indistinguishable from rounding
-/// noise and would otherwise accumulate without bound during Picard
-/// iteration.
-const COEFF_EPS: f64 = 0.0;
+/// Maximum variable count the packed `u64` monomial key supports.
+pub const PACK_VARS: usize = 8;
+/// Maximum per-variable exponent one packed-key byte supports.
+pub const PACK_MAX_EXP: u32 = 255;
+
+/// Bit shift of variable `i`'s byte in a packed key (variable 0 occupies the
+/// most significant byte so that `u64` order == lexicographic order).
+#[inline]
+const fn key_shift(i: usize) -> u32 {
+    8 * (7 - i as u32)
+}
+
+/// Packs an exponent vector into a `u64` key, or `None` when it exceeds the
+/// packed limits.
+#[inline]
+fn pack_exps(exps: &[u32]) -> Option<u64> {
+    if exps.len() > PACK_VARS {
+        return None;
+    }
+    let mut key = 0u64;
+    for (i, &e) in exps.iter().enumerate() {
+        if e > PACK_MAX_EXP {
+            return None;
+        }
+        key |= u64::from(e) << key_shift(i);
+    }
+    Some(key)
+}
+
+/// Exponent of variable `i` in a packed key.
+#[inline]
+fn key_exp(key: u64, i: usize) -> u32 {
+    ((key >> key_shift(i)) & 0xFF) as u32
+}
+
+/// Total degree of a packed key (sum of its bytes).
+#[inline]
+fn key_degree(mut key: u64) -> u32 {
+    let mut s = 0u32;
+    while key != 0 {
+        s += (key & 0xFF) as u32;
+        key >>= 8;
+    }
+    s
+}
+
+/// A view of one term's exponent vector, dereferencing to `[u32]`.
+///
+/// Packed terms materialize their bytes into an inline buffer (no heap
+/// allocation); boxed terms borrow their stored slice.
+pub struct Exponents<'a> {
+    repr: ExpRepr<'a>,
+}
+
+enum ExpRepr<'a> {
+    Inline { buf: [u32; PACK_VARS], len: usize },
+    Slice(&'a [u32]),
+}
+
+impl<'a> Exponents<'a> {
+    #[inline]
+    fn from_key(key: u64, nvars: usize) -> Self {
+        let mut buf = [0u32; PACK_VARS];
+        for (i, b) in buf.iter_mut().enumerate().take(nvars) {
+            *b = key_exp(key, i);
+        }
+        Self {
+            repr: ExpRepr::Inline { buf, len: nvars },
+        }
+    }
+
+    #[inline]
+    fn from_slice(exps: &'a [u32]) -> Self {
+        Self {
+            repr: ExpRepr::Slice(exps),
+        }
+    }
+
+    /// The exponents as a slice (also available through `Deref`).
+    #[must_use]
+    pub fn as_slice(&self) -> &[u32] {
+        match &self.repr {
+            ExpRepr::Inline { buf, len } => &buf[..*len],
+            ExpRepr::Slice(s) => s,
+        }
+    }
+}
+
+impl Deref for Exponents<'_> {
+    type Target = [u32];
+
+    #[inline]
+    fn deref(&self) -> &[u32] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Exponents<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+/// Term storage. Within one polynomial all terms share a representation;
+/// terms are sorted by monomial (numeric key order == lexicographic
+/// exponent order) and zero coefficients are never stored.
+#[derive(Debug, Clone)]
+enum Repr {
+    /// `(packed key, coefficient)` — the fast path (≤ 8 vars, degree ≤ 255).
+    Packed(Vec<(u64, f64)>),
+    /// `(exponent vector, coefficient)` — the general fallback.
+    Boxed(Vec<(Box<[u32]>, f64)>),
+}
 
 /// A sparse multivariate polynomial with `f64` coefficients.
 ///
-/// Terms are keyed by their exponent vectors (length = number of variables).
 /// All ring operations are exact up to floating-point rounding of the
-/// coefficients themselves; *enclosure* of rounding effects is the
-/// responsibility of the Taylor-model layer, which evaluates discarded /
-/// truncated parts with interval arithmetic.
+/// coefficients themselves; *enclosure* of rounding and truncation effects
+/// is the responsibility of the Taylor-model layer, which evaluates
+/// discarded / truncated parts with interval arithmetic (see
+/// [`Polynomial::prune`] and `dwv-taylor`).
 ///
 /// # Example
 ///
@@ -30,31 +151,36 @@ const COEFF_EPS: f64 = 0.0;
 /// assert_eq!(p.eval(&[2.0, 1.0]), 7.0);
 /// assert_eq!(p.partial_derivative(0).eval(&[2.0, 1.0]), 4.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Polynomial {
     nvars: usize,
-    /// exponent vector → coefficient; zero coefficients are never stored.
-    terms: BTreeMap<Vec<u32>, f64>,
+    repr: Repr,
 }
 
 impl Polynomial {
     /// The zero polynomial in `nvars` variables.
     #[must_use]
     pub fn zero(nvars: usize) -> Self {
-        Self {
-            nvars,
-            terms: BTreeMap::new(),
-        }
+        let repr = if nvars <= PACK_VARS {
+            Repr::Packed(Vec::new())
+        } else {
+            Repr::Boxed(Vec::new())
+        };
+        Self { nvars, repr }
     }
 
     /// The constant polynomial `c`.
     #[must_use]
     pub fn constant(nvars: usize, c: f64) -> Self {
-        let mut p = Self::zero(nvars);
-        if c != 0.0 {
-            p.terms.insert(vec![0; nvars], c);
+        if c == 0.0 {
+            return Self::zero(nvars);
         }
-        p
+        let repr = if nvars <= PACK_VARS {
+            Repr::Packed(vec![(0, c)])
+        } else {
+            Repr::Boxed(vec![(vec![0; nvars].into_boxed_slice(), c)])
+        };
+        Self { nvars, repr }
     }
 
     /// The polynomial `x_i`.
@@ -67,9 +193,7 @@ impl Polynomial {
         assert!(i < nvars, "variable index out of range");
         let mut exps = vec![0; nvars];
         exps[i] = 1;
-        let mut p = Self::zero(nvars);
-        p.terms.insert(exps, 1.0);
-        p
+        Self::monomial(nvars, exps, 1.0)
     }
 
     /// The monomial `c · x^exps`.
@@ -80,11 +204,14 @@ impl Polynomial {
     #[must_use]
     pub fn monomial(nvars: usize, exps: Vec<u32>, c: f64) -> Self {
         assert_eq!(exps.len(), nvars, "exponent vector length mismatch");
-        let mut p = Self::zero(nvars);
-        if c != 0.0 {
-            p.terms.insert(exps, c);
+        if c == 0.0 {
+            return Self::zero(nvars);
         }
-        p
+        let repr = match pack_exps(&exps) {
+            Some(key) => Repr::Packed(vec![(key, c)]),
+            None => Repr::Boxed(vec![(exps.into_boxed_slice(), c)]),
+        };
+        Self { nvars, repr }
     }
 
     /// Builds a polynomial from `(exponents, coefficient)` pairs, summing
@@ -98,12 +225,88 @@ impl Polynomial {
     where
         I: IntoIterator<Item = (Vec<u32>, f64)>,
     {
-        let mut p = Self::zero(nvars);
-        for (exps, c) in terms {
+        let pairs: Vec<(Vec<u32>, f64)> = terms.into_iter().collect();
+        for (exps, _) in &pairs {
             assert_eq!(exps.len(), nvars, "exponent vector length mismatch");
-            p.add_term(exps, c);
         }
-        p
+        if nvars <= PACK_VARS {
+            let packed: Option<Vec<(u64, f64)>> = pairs
+                .iter()
+                .map(|(exps, c)| pack_exps(exps).map(|k| (k, *c)))
+                .collect();
+            if let Some(v) = packed {
+                return Self::from_packed_pairs(nvars, v);
+            }
+        }
+        Self::from_boxed_pairs(
+            nvars,
+            pairs
+                .into_iter()
+                .map(|(e, c)| (e.into_boxed_slice(), c))
+                .collect(),
+        )
+    }
+
+    /// Normalizes unsorted packed pairs: sort, sum duplicates, drop zeros.
+    fn from_packed_pairs(nvars: usize, mut v: Vec<(u64, f64)>) -> Self {
+        v.sort_unstable_by_key(|t| t.0);
+        let mut out: Vec<(u64, f64)> = Vec::with_capacity(v.len());
+        for (k, c) in v {
+            if let Some(last) = out.last_mut() {
+                if last.0 == k {
+                    last.1 += c;
+                    if last.1 == 0.0 {
+                        out.pop();
+                    }
+                    continue;
+                }
+            }
+            if c != 0.0 {
+                out.push((k, c));
+            }
+        }
+        Self {
+            nvars,
+            repr: Repr::Packed(out),
+        }
+    }
+
+    /// Normalizes unsorted boxed pairs: sort, sum duplicates, drop zeros.
+    fn from_boxed_pairs(nvars: usize, mut v: Vec<(Box<[u32]>, f64)>) -> Self {
+        v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut out: Vec<(Box<[u32]>, f64)> = Vec::with_capacity(v.len());
+        for (e, c) in v {
+            if let Some(last) = out.last_mut() {
+                if last.0 == e {
+                    last.1 += c;
+                    if last.1 == 0.0 {
+                        out.pop();
+                    }
+                    continue;
+                }
+            }
+            if c != 0.0 {
+                out.push((e, c));
+            }
+        }
+        Self {
+            nvars,
+            repr: Repr::Boxed(out),
+        }
+    }
+
+    /// Converts the term list to boxed representation (fallback path).
+    fn to_boxed_terms(&self) -> Vec<(Box<[u32]>, f64)> {
+        match &self.repr {
+            Repr::Packed(v) => v
+                .iter()
+                .map(|&(k, c)| {
+                    let exps: Vec<u32> = (0..self.nvars).map(|i| key_exp(k, i)).collect();
+                    (exps.into_boxed_slice(), c)
+                })
+                .collect(),
+            Repr::Boxed(v) => v.clone(),
+        }
     }
 
     /// The number of variables.
@@ -115,59 +318,72 @@ impl Polynomial {
     /// The number of stored (non-zero) terms.
     #[must_use]
     pub fn num_terms(&self) -> usize {
-        self.terms.len()
+        match &self.repr {
+            Repr::Packed(v) => v.len(),
+            Repr::Boxed(v) => v.len(),
+        }
     }
 
     /// Whether this is the zero polynomial.
     #[must_use]
     pub fn is_zero(&self) -> bool {
-        self.terms.is_empty()
+        self.num_terms() == 0
     }
 
-    /// Iterates over `(exponents, coefficient)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (&[u32], f64)> {
-        self.terms.iter().map(|(e, &c)| (e.as_slice(), c))
+    /// Iterates over `(exponents, coefficient)` pairs in lexicographic
+    /// monomial order.
+    pub fn iter(&self) -> TermIter<'_> {
+        match &self.repr {
+            Repr::Packed(v) => TermIter::Packed {
+                inner: v.iter(),
+                nvars: self.nvars,
+            },
+            Repr::Boxed(v) => TermIter::Boxed(v.iter()),
+        }
     }
 
     /// The total degree (max over terms of the exponent sum); 0 for the zero
     /// polynomial.
     #[must_use]
     pub fn degree(&self) -> u32 {
-        self.terms
-            .keys()
-            .map(|e| e.iter().sum())
-            .max()
-            .unwrap_or(0)
+        match &self.repr {
+            Repr::Packed(v) => v.iter().map(|&(k, _)| key_degree(k)).max().unwrap_or(0),
+            Repr::Boxed(v) => v.iter().map(|(e, _)| e.iter().sum()).max().unwrap_or(0),
+        }
     }
 
     /// The coefficient of the constant term.
     #[must_use]
     pub fn constant_term(&self) -> f64 {
-        self.terms.get(&vec![0; self.nvars]).copied().unwrap_or(0.0)
+        // The constant monomial sorts first when present.
+        match &self.repr {
+            Repr::Packed(v) => match v.first() {
+                Some(&(0, c)) => c,
+                _ => 0.0,
+            },
+            Repr::Boxed(v) => match v.first() {
+                Some((e, c)) if e.iter().all(|&x| x == 0) => *c,
+                _ => 0.0,
+            },
+        }
     }
 
     /// The coefficient of `x^exps` (0 when absent).
     #[must_use]
     pub fn coefficient(&self, exps: &[u32]) -> f64 {
-        self.terms.get(exps).copied().unwrap_or(0.0)
-    }
-
-    fn add_term(&mut self, exps: Vec<u32>, c: f64) {
-        if c == 0.0 {
-            return;
+        if exps.len() != self.nvars {
+            return 0.0;
         }
-        match self.terms.entry(exps) {
-            std::collections::btree_map::Entry::Vacant(v) => {
-                v.insert(c);
-            }
-            std::collections::btree_map::Entry::Occupied(mut o) => {
-                let sum = *o.get() + c;
-                if sum.abs() <= COEFF_EPS {
-                    o.remove();
-                } else {
-                    *o.get_mut() = sum;
-                }
-            }
+        match &self.repr {
+            Repr::Packed(v) => match pack_exps(exps) {
+                Some(key) => v
+                    .binary_search_by_key(&key, |t| t.0)
+                    .map_or(0.0, |i| v[i].1),
+                None => 0.0,
+            },
+            Repr::Boxed(v) => v
+                .binary_search_by(|(e, _)| e.as_ref().cmp(exps))
+                .map_or(0.0, |i| v[i].1),
         }
     }
 
@@ -177,9 +393,13 @@ impl Polynomial {
         if s == 0.0 {
             return Polynomial::zero(self.nvars);
         }
+        let repr = match &self.repr {
+            Repr::Packed(v) => Repr::Packed(v.iter().map(|&(k, c)| (k, c * s)).collect()),
+            Repr::Boxed(v) => Repr::Boxed(v.iter().map(|(e, c)| (e.clone(), c * s)).collect()),
+        };
         Polynomial {
             nvars: self.nvars,
-            terms: self.terms.iter().map(|(e, &c)| (e.clone(), c * s)).collect(),
+            repr,
         }
     }
 
@@ -191,16 +411,31 @@ impl Polynomial {
     #[must_use]
     pub fn eval(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.nvars, "evaluation point dimension mismatch");
-        self.terms
-            .iter()
-            .map(|(exps, &c)| {
-                c * exps
-                    .iter()
-                    .zip(x)
-                    .map(|(&e, &xi)| xi.powi(e as i32))
-                    .product::<f64>()
-            })
-            .sum()
+        match &self.repr {
+            Repr::Packed(v) => v
+                .iter()
+                .map(|&(k, c)| {
+                    let mut m = c;
+                    for (i, &xi) in x.iter().enumerate() {
+                        let e = key_exp(k, i);
+                        if e > 0 {
+                            m *= xi.powi(e as i32);
+                        }
+                    }
+                    m
+                })
+                .sum(),
+            Repr::Boxed(v) => v
+                .iter()
+                .map(|(exps, c)| {
+                    c * exps
+                        .iter()
+                        .zip(x)
+                        .map(|(&e, &xi)| xi.powi(e as i32))
+                        .product::<f64>()
+                })
+                .sum(),
+        }
     }
 
     /// Conservative interval enclosure of the range over the box `domain`.
@@ -215,9 +450,8 @@ impl Polynomial {
     #[must_use]
     pub fn eval_interval(&self, domain: &[Interval]) -> Interval {
         assert_eq!(domain.len(), self.nvars, "domain dimension mismatch");
-        self.terms
-            .iter()
-            .map(|(exps, &c)| {
+        self.iter()
+            .map(|(exps, c)| {
                 let mut m = Interval::point(c);
                 for (&e, iv) in exps.iter().zip(domain) {
                     if e > 0 {
@@ -237,17 +471,35 @@ impl Polynomial {
     #[must_use]
     pub fn partial_derivative(&self, i: usize) -> Polynomial {
         assert!(i < self.nvars, "variable index out of range");
-        let mut out = Polynomial::zero(self.nvars);
-        for (exps, &c) in &self.terms {
-            if exps[i] == 0 {
-                continue;
+        let repr = match &self.repr {
+            Repr::Packed(v) => {
+                // Dropping the e_i = 0 terms and decrementing byte i by one
+                // subtracts the same constant from every remaining key, so
+                // the term list stays sorted.
+                let step = 1u64 << key_shift(i);
+                Repr::Packed(
+                    v.iter()
+                        .filter(|&&(k, _)| key_exp(k, i) > 0)
+                        .map(|&(k, c)| (k - step, c * f64::from(key_exp(k, i))))
+                        .collect(),
+                )
             }
-            let mut e = exps.clone();
-            let k = e[i];
-            e[i] -= 1;
-            out.add_term(e, c * k as f64);
+            Repr::Boxed(v) => Repr::Boxed(
+                v.iter()
+                    .filter(|(e, _)| e[i] > 0)
+                    .map(|(e, c)| {
+                        let mut d = e.clone();
+                        let k = d[i];
+                        d[i] -= 1;
+                        (d, c * f64::from(k))
+                    })
+                    .collect(),
+            ),
+        };
+        Polynomial {
+            nvars: self.nvars,
+            repr,
         }
-        out
     }
 
     /// The antiderivative with respect to variable `i` (zero constant).
@@ -260,37 +512,132 @@ impl Polynomial {
     #[must_use]
     pub fn antiderivative(&self, i: usize) -> Polynomial {
         assert!(i < self.nvars, "variable index out of range");
-        let mut out = Polynomial::zero(self.nvars);
-        for (exps, &c) in &self.terms {
-            let mut e = exps.clone();
-            e[i] += 1;
-            let k = e[i];
-            out.add_term(e, c / k as f64);
+        match &self.repr {
+            Repr::Packed(v) => {
+                if v.iter().any(|&(k, _)| key_exp(k, i) == PACK_MAX_EXP) {
+                    // Incrementing would overflow the packed byte.
+                    let boxed = self.to_boxed_terms();
+                    return Polynomial {
+                        nvars: self.nvars,
+                        repr: Repr::Boxed(Self::antiderivative_boxed(&boxed, i)),
+                    };
+                }
+                // Incrementing byte i adds the same constant to every key:
+                // order is preserved.
+                let step = 1u64 << key_shift(i);
+                Polynomial {
+                    nvars: self.nvars,
+                    repr: Repr::Packed(
+                        v.iter()
+                            .map(|&(k, c)| {
+                                let nk = k + step;
+                                (nk, c / f64::from(key_exp(nk, i)))
+                            })
+                            .collect(),
+                    ),
+                }
+            }
+            Repr::Boxed(v) => Polynomial {
+                nvars: self.nvars,
+                repr: Repr::Boxed(Self::antiderivative_boxed(v, i)),
+            },
         }
-        out
+    }
+
+    fn antiderivative_boxed(v: &[(Box<[u32]>, f64)], i: usize) -> Vec<(Box<[u32]>, f64)> {
+        v.iter()
+            .map(|(e, c)| {
+                let mut d = e.clone();
+                d[i] += 1;
+                let k = d[i];
+                (d, c / f64::from(k))
+            })
+            .collect()
     }
 
     /// Splits the polynomial into terms with total degree ≤ `max_degree`
     /// (kept) and the rest (overflow).
     #[must_use]
     pub fn split_at_degree(&self, max_degree: u32) -> (Polynomial, Polynomial) {
-        let mut low = Polynomial::zero(self.nvars);
-        let mut high = Polynomial::zero(self.nvars);
-        for (exps, &c) in &self.terms {
-            let d: u32 = exps.iter().sum();
-            if d <= max_degree {
-                low.add_term(exps.clone(), c);
-            } else {
-                high.add_term(exps.clone(), c);
+        match &self.repr {
+            Repr::Packed(v) => {
+                let (lo, hi): (Vec<_>, Vec<_>) =
+                    v.iter().partition(|&&(k, _)| key_degree(k) <= max_degree);
+                (
+                    Polynomial {
+                        nvars: self.nvars,
+                        repr: Repr::Packed(lo),
+                    },
+                    Polynomial {
+                        nvars: self.nvars,
+                        repr: Repr::Packed(hi),
+                    },
+                )
+            }
+            Repr::Boxed(v) => {
+                let (lo, hi): (Vec<_>, Vec<_>) = v
+                    .iter()
+                    .cloned()
+                    .partition(|(e, _)| e.iter().sum::<u32>() <= max_degree);
+                (
+                    Polynomial {
+                        nvars: self.nvars,
+                        repr: Repr::Boxed(lo),
+                    },
+                    Polynomial {
+                        nvars: self.nvars,
+                        repr: Repr::Boxed(hi),
+                    },
+                )
             }
         }
-        (low, high)
+    }
+
+    /// Splits into `(kept, dropped)` where `dropped` collects the terms with
+    /// `|coefficient| <= eps`.
+    ///
+    /// This is the *sound* form of coefficient pruning: the caller must
+    /// account for `dropped` — e.g. by adding `dropped.eval_interval(domain)`
+    /// to a Taylor-model remainder, as `dwv-taylor` does after every ring
+    /// operation. Nothing is silently discarded here.
+    #[must_use]
+    pub fn prune(&self, eps: f64) -> (Polynomial, Polynomial) {
+        match &self.repr {
+            Repr::Packed(v) => {
+                let (keep, drop): (Vec<_>, Vec<_>) = v.iter().partition(|(_, c)| c.abs() > eps);
+                (
+                    Polynomial {
+                        nvars: self.nvars,
+                        repr: Repr::Packed(keep),
+                    },
+                    Polynomial {
+                        nvars: self.nvars,
+                        repr: Repr::Packed(drop),
+                    },
+                )
+            }
+            Repr::Boxed(v) => {
+                let (keep, drop): (Vec<_>, Vec<_>) =
+                    v.iter().cloned().partition(|(_, c)| c.abs() > eps);
+                (
+                    Polynomial {
+                        nvars: self.nvars,
+                        repr: Repr::Boxed(keep),
+                    },
+                    Polynomial {
+                        nvars: self.nvars,
+                        repr: Repr::Boxed(drop),
+                    },
+                )
+            }
+        }
     }
 
     /// Substitutes `subs[i]` for variable `i` (exact composition).
     ///
     /// All substituted polynomials must share a variable count, which becomes
-    /// the variable count of the result.
+    /// the variable count of the result. Powers of each substituted
+    /// polynomial are computed once and reused across terms.
     ///
     /// # Panics
     ///
@@ -305,12 +652,31 @@ impl Polynomial {
             subs.iter().all(|s| s.nvars() == out_vars),
             "substituted polynomials must share a variable count"
         );
+        // Per-variable power tables up to the largest exponent in use.
+        let mut max_e = vec![0u32; self.nvars];
+        for (exps, _) in self.iter() {
+            for (i, &e) in exps.iter().enumerate() {
+                max_e[i] = max_e[i].max(e);
+            }
+        }
+        let pows: Vec<Vec<Polynomial>> = max_e
+            .iter()
+            .zip(subs)
+            .map(|(&m, s)| {
+                let mut table = Vec::with_capacity(m as usize + 1);
+                table.push(Polynomial::constant(out_vars, 1.0));
+                for e in 1..=m as usize {
+                    table.push(table[e - 1].clone() * s.clone());
+                }
+                table
+            })
+            .collect();
         let mut out = Polynomial::zero(out_vars);
-        for (exps, &c) in &self.terms {
+        for (exps, c) in self.iter() {
             let mut term = Polynomial::constant(out_vars, c);
             for (i, &e) in exps.iter().enumerate() {
-                for _ in 0..e {
-                    term = term * subs[i].clone();
+                if e > 0 {
+                    term = term * pows[i][e as usize].clone();
                 }
             }
             out += term;
@@ -346,13 +712,30 @@ impl Polynomial {
     #[must_use]
     pub fn extend_vars(&self, new_nvars: usize) -> Polynomial {
         assert!(new_nvars >= self.nvars, "cannot shrink variable count");
-        let mut out = Polynomial::zero(new_nvars);
-        for (exps, &c) in &self.terms {
-            let mut e = exps.clone();
-            e.resize(new_nvars, 0);
-            out.add_term(e, c);
+        match &self.repr {
+            // Packed keys place variable i at a fixed byte regardless of
+            // the variable count, so extending within the packed limit is
+            // just a relabeling.
+            Repr::Packed(v) if new_nvars <= PACK_VARS => Polynomial {
+                nvars: new_nvars,
+                repr: Repr::Packed(v.clone()),
+            },
+            _ => {
+                let terms = self
+                    .to_boxed_terms()
+                    .into_iter()
+                    .map(|(e, c)| {
+                        let mut d = e.into_vec();
+                        d.resize(new_nvars, 0);
+                        (d.into_boxed_slice(), c)
+                    })
+                    .collect();
+                Polynomial {
+                    nvars: new_nvars,
+                    repr: Repr::Boxed(terms),
+                }
+            }
         }
-        out
     }
 
     /// Drops trailing variables (which must not occur in any term).
@@ -364,21 +747,182 @@ impl Polynomial {
     #[must_use]
     pub fn shrink_vars(&self, new_nvars: usize) -> Polynomial {
         assert!(new_nvars <= self.nvars, "cannot grow variable count");
-        let mut out = Polynomial::zero(new_nvars);
-        for (exps, &c) in &self.terms {
-            assert!(
-                exps[new_nvars..].iter().all(|&e| e == 0),
-                "dropped variable occurs in polynomial"
-            );
-            out.add_term(exps[..new_nvars].to_vec(), c);
+        match &self.repr {
+            Repr::Packed(v) => {
+                assert!(
+                    v.iter()
+                        .all(|&(k, _)| (new_nvars..self.nvars).all(|i| key_exp(k, i) == 0)),
+                    "dropped variable occurs in polynomial"
+                );
+                Polynomial {
+                    nvars: new_nvars,
+                    repr: Repr::Packed(v.clone()),
+                }
+            }
+            Repr::Boxed(v) => {
+                let terms: Vec<(Box<[u32]>, f64)> = v
+                    .iter()
+                    .map(|(e, c)| {
+                        assert!(
+                            e[new_nvars..].iter().all(|&x| x == 0),
+                            "dropped variable occurs in polynomial"
+                        );
+                        (e[..new_nvars].to_vec().into_boxed_slice(), *c)
+                    })
+                    .collect();
+                if new_nvars <= PACK_VARS {
+                    // Truncated lexicographic order is preserved, and boxed
+                    // exponents are always ≤ their packed-era values only if
+                    // they were packable; re-check and pack when possible.
+                    let packed: Option<Vec<(u64, f64)>> = terms
+                        .iter()
+                        .map(|(e, c)| pack_exps(e).map(|k| (k, *c)))
+                        .collect();
+                    if let Some(p) = packed {
+                        return Polynomial {
+                            nvars: new_nvars,
+                            repr: Repr::Packed(p),
+                        };
+                    }
+                }
+                Polynomial {
+                    nvars: new_nvars,
+                    repr: Repr::Boxed(terms),
+                }
+            }
         }
-        out
     }
 
     /// The L1 norm of the coefficient vector.
     #[must_use]
     pub fn coeff_l1_norm(&self) -> f64 {
-        self.terms.values().map(|c| c.abs()).sum()
+        match &self.repr {
+            Repr::Packed(v) => v.iter().map(|(_, c)| c.abs()).sum(),
+            Repr::Boxed(v) => v.iter().map(|(_, c)| c.abs()).sum(),
+        }
+    }
+
+    /// Merges two sorted term lists, summing coefficients of equal monomials
+    /// and dropping exact-zero sums.
+    fn merge_add(self, rhs: Polynomial) -> Polynomial {
+        assert_eq!(self.nvars, rhs.nvars, "variable count mismatch");
+        let nvars = self.nvars;
+        match (self.repr, rhs.repr) {
+            (Repr::Packed(a), Repr::Packed(b)) => {
+                let mut out = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].0.cmp(&b[j].0) {
+                        std::cmp::Ordering::Less => {
+                            out.push(a[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            out.push(b[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            let c = a[i].1 + b[j].1;
+                            if c != 0.0 {
+                                out.push((a[i].0, c));
+                            }
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                out.extend_from_slice(&a[i..]);
+                out.extend_from_slice(&b[j..]);
+                Polynomial {
+                    nvars,
+                    repr: Repr::Packed(out),
+                }
+            }
+            (a_repr, b_repr) => {
+                let a = Polynomial {
+                    nvars,
+                    repr: a_repr,
+                }
+                .to_boxed_terms();
+                let b = Polynomial {
+                    nvars,
+                    repr: b_repr,
+                }
+                .to_boxed_terms();
+                let mut out = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].0.cmp(&b[j].0) {
+                        std::cmp::Ordering::Less => {
+                            out.push(a[i].clone());
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            out.push(b[j].clone());
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            let c = a[i].1 + b[j].1;
+                            if c != 0.0 {
+                                out.push((a[i].0.clone(), c));
+                            }
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                out.extend(a[i..].iter().cloned());
+                out.extend(b[j..].iter().cloned());
+                Polynomial {
+                    nvars,
+                    repr: Repr::Boxed(out),
+                }
+            }
+        }
+    }
+}
+
+/// Iterator over a polynomial's `(exponents, coefficient)` terms.
+pub enum TermIter<'a> {
+    /// Packed-representation terms.
+    Packed {
+        /// Underlying term iterator.
+        inner: std::slice::Iter<'a, (u64, f64)>,
+        /// Variable count (packed keys don't store it).
+        nvars: usize,
+    },
+    /// Boxed-representation terms.
+    Boxed(std::slice::Iter<'a, (Box<[u32]>, f64)>),
+}
+
+impl<'a> Iterator for TermIter<'a> {
+    type Item = (Exponents<'a>, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            TermIter::Packed { inner, nvars } => inner
+                .next()
+                .map(|&(k, c)| (Exponents::from_key(k, *nvars), c)),
+            TermIter::Boxed(inner) => inner.next().map(|(e, c)| (Exponents::from_slice(e), *c)),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            TermIter::Packed { inner, .. } => inner.size_hint(),
+            TermIter::Boxed(inner) => inner.size_hint(),
+        }
+    }
+}
+
+impl PartialEq for Polynomial {
+    fn eq(&self, other: &Self) -> bool {
+        self.nvars == other.nvars
+            && self.num_terms() == other.num_terms()
+            && self
+                .iter()
+                .zip(other.iter())
+                .all(|((ea, ca), (eb, cb))| ca == cb && *ea == *eb)
     }
 }
 
@@ -386,21 +930,14 @@ impl Add for Polynomial {
     type Output = Polynomial;
 
     fn add(self, rhs: Polynomial) -> Polynomial {
-        assert_eq!(self.nvars, rhs.nvars, "variable count mismatch");
-        let mut out = self;
-        for (exps, c) in rhs.terms {
-            out.add_term(exps, c);
-        }
-        out
+        self.merge_add(rhs)
     }
 }
 
 impl AddAssign for Polynomial {
     fn add_assign(&mut self, rhs: Polynomial) {
-        assert_eq!(self.nvars, rhs.nvars, "variable count mismatch");
-        for (exps, c) in rhs.terms {
-            self.add_term(exps, c);
-        }
+        let lhs = std::mem::replace(self, Polynomial::zero(0));
+        *self = lhs.merge_add(rhs);
     }
 }
 
@@ -425,14 +962,34 @@ impl Mul for Polynomial {
 
     fn mul(self, rhs: Polynomial) -> Polynomial {
         assert_eq!(self.nvars, rhs.nvars, "variable count mismatch");
-        let mut out = Polynomial::zero(self.nvars);
-        for (ea, &ca) in &self.terms {
-            for (eb, &cb) in &rhs.terms {
-                let exps: Vec<u32> = ea.iter().zip(eb).map(|(&a, &b)| a + b).collect();
-                out.add_term(exps, ca * cb);
+        let nvars = self.nvars;
+        if let (Repr::Packed(a), Repr::Packed(b)) = (&self.repr, &rhs.repr) {
+            // Per-byte overflow is impossible when the total degrees sum
+            // within one byte: every per-variable exponent is bounded by the
+            // total degree.
+            if self.degree() + rhs.degree() <= PACK_MAX_EXP {
+                if a.is_empty() || b.is_empty() {
+                    return Polynomial::zero(nvars);
+                }
+                let mut prod = Vec::with_capacity(a.len() * b.len());
+                for &(ka, ca) in a {
+                    for &(kb, cb) in b {
+                        prod.push((ka + kb, ca * cb));
+                    }
+                }
+                return Polynomial::from_packed_pairs(nvars, prod);
             }
         }
-        out
+        let a = self.to_boxed_terms();
+        let b = rhs.to_boxed_terms();
+        let mut prod = Vec::with_capacity(a.len() * b.len());
+        for (ea, ca) in &a {
+            for (eb, cb) in &b {
+                let exps: Vec<u32> = ea.iter().zip(eb.iter()).map(|(&x, &y)| x + y).collect();
+                prod.push((exps.into_boxed_slice(), ca * cb));
+            }
+        }
+        Polynomial::from_boxed_pairs(nvars, prod)
     }
 }
 
@@ -458,7 +1015,7 @@ impl fmt::Display for Polynomial {
             return write!(f, "0");
         }
         let mut first = true;
-        for (exps, &c) in &self.terms {
+        for (exps, c) in self.iter() {
             if !first {
                 write!(f, " + ")?;
             }
@@ -485,11 +1042,7 @@ mod tests {
         // 2 + x - 3 x y^2
         Polynomial::from_terms(
             2,
-            vec![
-                (vec![0, 0], 2.0),
-                (vec![1, 0], 1.0),
-                (vec![1, 2], -3.0),
-            ],
+            vec![(vec![0, 0], 2.0), (vec![1, 0], 1.0), (vec![1, 2], -3.0)],
         )
     }
 
@@ -528,7 +1081,8 @@ mod tests {
     #[test]
     fn mul_degree_adds() {
         let x = Polynomial::var(1, 0);
-        let p = (x.clone() + Polynomial::constant(1, 1.0)) * (x.clone() - Polynomial::constant(1, 1.0));
+        let p =
+            (x.clone() + Polynomial::constant(1, 1.0)) * (x.clone() - Polynomial::constant(1, 1.0));
         // (x+1)(x-1) = x^2 - 1
         assert_eq!(p.coefficient(&[2]), 1.0);
         assert_eq!(p.constant_term(), -1.0);
@@ -573,6 +1127,28 @@ mod tests {
         assert_eq!(high.num_terms(), 1);
         let back = low + high;
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn prune_splits_by_coefficient_magnitude() {
+        let p = Polynomial::from_terms(
+            1,
+            vec![
+                (vec![0], 1.0),
+                (vec![1], 1e-15),
+                (vec![2], -2.0),
+                (vec![3], -1e-16),
+            ],
+        );
+        let (kept, dropped) = p.prune(1e-12);
+        assert_eq!(kept.num_terms(), 2);
+        assert_eq!(dropped.num_terms(), 2);
+        // Nothing lost: the split is exact.
+        assert_eq!(kept + dropped, p);
+        // eps = 0 drops nothing.
+        let (all, none) = p.prune(0.0);
+        assert_eq!(all, p);
+        assert!(none.is_zero());
     }
 
     #[test]
@@ -630,5 +1206,82 @@ mod tests {
         let s = format!("{p}");
         assert!(s.contains("x0"));
         assert_eq!(format!("{}", Polynomial::zero(1)), "0");
+    }
+
+    // --- packed-representation specifics -------------------------------
+
+    #[test]
+    fn iteration_order_is_lexicographic() {
+        // The packed key order must reproduce the old BTreeMap<Vec<u32>, _>
+        // iteration order (lexicographic on exponent vectors).
+        let p = Polynomial::from_terms(
+            3,
+            vec![
+                (vec![2, 0, 0], 1.0),
+                (vec![0, 0, 1], 2.0),
+                (vec![1, 1, 0], 3.0),
+                (vec![0, 2, 0], 4.0),
+                (vec![0, 0, 0], 5.0),
+            ],
+        );
+        let order: Vec<Vec<u32>> = p.iter().map(|(e, _)| e.to_vec()).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+        assert_eq!(order[0], vec![0, 0, 0]);
+        assert_eq!(order.last().unwrap(), &vec![2, 0, 0]);
+    }
+
+    #[test]
+    fn many_variables_fall_back_to_boxed() {
+        // 12 variables exceed the packed limit; everything must still work.
+        let n = 12;
+        let p = Polynomial::var(n, 0) * Polynomial::var(n, 11) + Polynomial::constant(n, 1.0);
+        assert_eq!(p.nvars(), n);
+        assert_eq!(p.num_terms(), 2);
+        let mut x = vec![0.0; n];
+        x[0] = 3.0;
+        x[11] = 2.0;
+        assert_eq!(p.eval(&x), 7.0);
+        let d = p.partial_derivative(0);
+        assert_eq!(d.eval(&x), 2.0);
+    }
+
+    #[test]
+    fn high_degree_mul_falls_back_to_boxed() {
+        // x^200 * x^200 = x^400 overflows the one-byte exponent; the product
+        // must transparently switch representation and stay correct.
+        let x200 = Polynomial::monomial(1, vec![200], 1.0);
+        let p = x200.clone() * x200;
+        assert_eq!(p.num_terms(), 1);
+        assert_eq!(p.coefficient(&[400]), 1.0);
+        assert_eq!(p.degree(), 400);
+        // And mixed-representation addition still merges.
+        let q = p.clone() + Polynomial::constant(1, 1.0);
+        assert_eq!(q.num_terms(), 2);
+        assert_eq!(q.constant_term(), 1.0);
+    }
+
+    #[test]
+    fn packed_and_boxed_compare_equal() {
+        // The same polynomial reached through the packed path and through a
+        // boxed detour must be equal.
+        let packed = Polynomial::var(2, 0) * Polynomial::var(2, 1);
+        let via_boxed = packed.extend_vars(2); // no-op relabeling
+        assert_eq!(packed, via_boxed);
+        let boxed_poly =
+            Polynomial::var(9, 0).shrink_vars(2) * Polynomial::var(2, 1).extend_vars(2);
+        assert_eq!(packed, boxed_poly);
+    }
+
+    #[test]
+    fn antiderivative_at_exponent_cap_falls_back() {
+        let p = Polynomial::monomial(1, vec![255], 2.0);
+        let a = p.antiderivative(0);
+        assert_eq!(a.degree(), 256);
+        assert!((a.coefficient(&[256]) - 2.0 / 256.0).abs() < 1e-15);
+        // Round-trips through the derivative.
+        let back = a.partial_derivative(0);
+        assert_eq!(back.coefficient(&[255]), 2.0);
     }
 }

@@ -34,6 +34,48 @@ proptest! {
     }
 
     #[test]
+    fn multiplication_commutes(p in poly2(), q in poly2()) {
+        // Ring commutativity on the flat-term representation: the products
+        // contain identical terms; only the floating-point summation order
+        // of colliding cross-terms may differ, so compare coefficients up to
+        // a tight relative tolerance.
+        let ab = p.clone() * q.clone();
+        let ba = q * p;
+        let scale = ab.coeff_l1_norm().max(1.0);
+        let diff = (ab - ba).coeff_l1_norm();
+        prop_assert!(diff <= 1e-12 * scale, "a·b differs from b·a by {diff}");
+    }
+
+    #[test]
+    fn compose_commutes_with_eval(
+        p in poly2(), r in poly2(), s in poly2(),
+        x in -1.0..1.0f64, y in -1.0..1.0f64,
+    ) {
+        // eval(compose(p; r, s)) == p(eval(r), eval(s)) — composition in the
+        // polynomial ring followed by evaluation equals evaluation followed
+        // by function composition.
+        let c = p.compose(&[r.clone(), s.clone()]);
+        let (rv, sv) = (r.eval(&[x, y]), s.eval(&[x, y]));
+        let expect = p.eval(&[rv, sv]);
+        // Conservative rounding allowance scaled by intermediate magnitude.
+        let m = (1.0 + rv.abs() + sv.abs()).powi(4) * p.coeff_l1_norm().max(1.0);
+        prop_assert!(
+            (c.eval(&[x, y]) - expect).abs() <= 1e-9 * m,
+            "compose/eval mismatch: {} vs {expect}", c.eval(&[x, y])
+        );
+    }
+
+    #[test]
+    fn mul_degree_exact_on_monomials(e0 in 0u32..6, e1 in 0u32..6, f0 in 0u32..6, f1 in 0u32..6) {
+        // Degree bookkeeping is exact when no cancellation can occur.
+        let a = Polynomial::monomial(2, vec![e0, e1], 2.0);
+        let b = Polynomial::monomial(2, vec![f0, f1], -3.0);
+        let m = a * b;
+        prop_assert_eq!(m.degree(), e0 + e1 + f0 + f1);
+        prop_assert_eq!(m.coefficient(&[e0 + f0, e1 + f1]), -6.0);
+    }
+
+    #[test]
     fn sub_self_is_zero(p in poly2()) {
         prop_assert!((p.clone() - p).is_zero());
     }

@@ -1,0 +1,243 @@
+//! Memoization of reachability results across training iterations.
+//!
+//! Algorithm 1 re-verifies the *same* `(controller, initial cell)`
+//! subproblem repeatedly: every iteration re-evaluates the current
+//! controller that the previous iteration already verified (as the accepted
+//! candidate or the restored pre-step parameters), and the final judgement
+//! verifies the last controller once more. Algorithm-2 style sweeps can
+//! likewise revisit cells under an unchanged controller. [`ReachCache`]
+//! memoizes `Result<Flowpipe, ReachError>` keyed by a hash of the controller
+//! parameters and a hash of the initial cell, so unchanged subproblems are
+//! answered from memory.
+//!
+//! **Invalidation rule:** a cache key *is* the controller-weights hash — any
+//! weight change produces a new key, so stale results are never returned.
+//! [`ReachCache::invalidate_controller`] additionally flushes all entries of
+//! one controller hash (e.g. when its weights are about to be mutated in
+//! place and the old results are known to be dead), bounding memory across
+//! long learning runs.
+
+use crate::error::ReachError;
+use crate::flowpipe::Flowpipe;
+use dwv_interval::IntervalBox;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv1a_u64(state: u64, word: u64) -> u64 {
+    let mut h = state;
+    for shift in (0..64).step_by(8) {
+        h ^= (word >> shift) & 0xFF;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a hash of a parameter vector, bit-exact on the `f64` values.
+///
+/// Distinct bit patterns (including `-0.0` vs `0.0`) hash differently, so a
+/// cache keyed by this hash never conflates controllers whose outputs could
+/// differ.
+#[must_use]
+pub fn hash_params(params: &[f64]) -> u64 {
+    let mut h = fnv1a_u64(FNV_OFFSET, params.len() as u64);
+    for &p in params {
+        h = fnv1a_u64(h, p.to_bits());
+    }
+    h
+}
+
+/// FNV-1a hash of a cell's exact bounds.
+#[must_use]
+pub fn hash_cell(cell: &IntervalBox) -> u64 {
+    let mut h = fnv1a_u64(FNV_OFFSET, cell.dim() as u64);
+    for iv in cell.intervals() {
+        h = fnv1a_u64(h, iv.lo().to_bits());
+        h = fnv1a_u64(h, iv.hi().to_bits());
+    }
+    h
+}
+
+/// A memo cache for `(controller, initial cell) → Result<Flowpipe, _>`.
+///
+/// Thread-safe: a worker pool fanning out per-cell verifications can share
+/// one cache. Hashes are computed by the caller ([`hash_params`] /
+/// [`hash_cell`]) so the cache itself stays independent of controller types.
+#[derive(Debug, Default)]
+pub struct ReachCache {
+    map: Mutex<HashMap<(u64, u64), Result<Flowpipe, ReachError>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ReachCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the memoized result for `(controller, cell)`, computing and
+    /// storing it on a miss.
+    ///
+    /// The computation runs *outside* the cache lock, so concurrent
+    /// verifications of different subproblems do not serialize (two threads
+    /// missing on the same key may both compute; last write wins with an
+    /// identical value).
+    pub fn get_or_compute<F>(
+        &self,
+        controller: u64,
+        cell: u64,
+        compute: F,
+    ) -> Result<Flowpipe, ReachError>
+    where
+        F: FnOnce() -> Result<Flowpipe, ReachError>,
+    {
+        let key = (controller, cell);
+        if let Some(hit) = self.map.lock().expect("reach cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = compute();
+        self.map
+            .lock()
+            .expect("reach cache poisoned")
+            .insert(key, result.clone());
+        result
+    }
+
+    /// Flushes every entry belonging to one controller hash.
+    pub fn invalidate_controller(&self, controller: u64) {
+        self.map
+            .lock()
+            .expect("reach cache poisoned")
+            .retain(|(c, _), _| *c != controller);
+    }
+
+    /// Drops all entries (counters are kept).
+    pub fn clear(&self) {
+        self.map.lock().expect("reach cache poisoned").clear();
+    }
+
+    /// The number of memoized subproblems.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("reach cache poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from memory so far.
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute.
+    #[must_use]
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowpipe::StepEnclosure;
+
+    fn tiny_flowpipe(tag: f64) -> Flowpipe {
+        let b = IntervalBox::from_bounds(&[(0.0, tag)]);
+        Flowpipe::new(vec![StepEnclosure {
+            t0: 0.0,
+            t1: 0.0,
+            enclosure: b.clone(),
+            end_box: b,
+            polygon: None,
+        }])
+    }
+
+    #[test]
+    fn memoizes_and_counts() {
+        let cache = ReachCache::new();
+        let mut computed = 0usize;
+        for _ in 0..3 {
+            let fp = cache
+                .get_or_compute(1, 2, || {
+                    computed += 1;
+                    Ok(tiny_flowpipe(1.0))
+                })
+                .unwrap();
+            assert_eq!(fp.len(), 1);
+        }
+        assert_eq!(computed, 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_memoized_too() {
+        let cache = ReachCache::new();
+        let mut computed = 0usize;
+        for _ in 0..2 {
+            let r = cache.get_or_compute(9, 9, || {
+                computed += 1;
+                Err(ReachError::Unsupported("test".into()))
+            });
+            assert!(r.is_err());
+        }
+        assert_eq!(computed, 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = ReachCache::new();
+        let a = cache
+            .get_or_compute(1, 1, || Ok(tiny_flowpipe(1.0)))
+            .unwrap();
+        let b = cache
+            .get_or_compute(1, 2, || Ok(tiny_flowpipe(2.0)))
+            .unwrap();
+        assert_ne!(a, b);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_controller_flushes_only_that_hash() {
+        let cache = ReachCache::new();
+        let _ = cache.get_or_compute(1, 1, || Ok(tiny_flowpipe(1.0)));
+        let _ = cache.get_or_compute(1, 2, || Ok(tiny_flowpipe(2.0)));
+        let _ = cache.get_or_compute(2, 1, || Ok(tiny_flowpipe(3.0)));
+        cache.invalidate_controller(1);
+        assert_eq!(cache.len(), 1);
+        // Controller 2's entry survives and still hits.
+        let before = cache.hits();
+        let _ = cache.get_or_compute(2, 1, || unreachable!("must hit"));
+        assert_eq!(cache.hits(), before + 1);
+    }
+
+    #[test]
+    fn param_hash_is_bit_exact() {
+        assert_ne!(hash_params(&[0.0]), hash_params(&[-0.0]));
+        assert_ne!(hash_params(&[1.0, 2.0]), hash_params(&[2.0, 1.0]));
+        assert_eq!(hash_params(&[1.5, -2.5]), hash_params(&[1.5, -2.5]));
+        assert_ne!(hash_params(&[]), hash_params(&[0.0]));
+    }
+
+    #[test]
+    fn cell_hash_depends_on_bounds() {
+        let a = IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+        let b = IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 2.0)]);
+        assert_ne!(hash_cell(&a), hash_cell(&b));
+        assert_eq!(hash_cell(&a), hash_cell(&a.clone()));
+    }
+}

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod error;
 mod flowpipe;
 mod linear;
@@ -44,6 +45,7 @@ mod sweep;
 mod taylor_reach;
 mod zonotope_reach;
 
+pub use cache::{hash_cell, hash_params, ReachCache};
 pub use error::ReachError;
 pub use flowpipe::{Flowpipe, StepEnclosure};
 pub use linear::LinearReach;

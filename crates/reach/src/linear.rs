@@ -176,10 +176,7 @@ impl LinearReach {
                     x
                 })
                 .collect();
-            if vertices
-                .iter()
-                .any(|v| v.iter().any(|x| !x.is_finite()))
-            {
+            if vertices.iter().any(|v| v.iter().any(|x| !x.is_finite())) {
                 return Err(ReachError::Diverged {
                     step: t,
                     source: dwv_taylor::FlowpipeError::Diverged {
@@ -242,12 +239,7 @@ mod tests {
         // inside the per-step enclosures (discretization differences between
         // the exact ZOH map and RK4 are ~1e-10).
         let sim = Simulator::new(p.dynamics.clone(), p.delta);
-        for x0 in [
-            [122.0, 48.0],
-            [124.0, 52.0],
-            [123.0, 50.0],
-            [122.5, 51.0],
-        ] {
+        for x0 in [[122.0, 48.0], [124.0, 52.0], [123.0, 50.0], [122.5, 51.0]] {
             let traj = sim.rollout(&x0, &k, p.horizon_steps);
             for (t, x) in traj.states.iter().enumerate() {
                 let enc = &fp.steps()[t].enclosure.inflate(1e-6);
@@ -266,7 +258,10 @@ mod tests {
         let fp = v.reach(&stable_gain()).unwrap();
         let first = fp.steps()[0].polygon.as_ref().unwrap().area();
         let last = fp.final_step().polygon.as_ref().unwrap().area();
-        assert!(last < first, "stable loop should contract: {first} -> {last}");
+        assert!(
+            last < first,
+            "stable loop should contract: {first} -> {last}"
+        );
     }
 
     #[test]

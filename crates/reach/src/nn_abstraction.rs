@@ -230,7 +230,9 @@ impl NnAbstraction for TaylorAbstraction {
             h = next;
         }
         let scale = controller.output_scale();
-        Ok(TmVector::new(h.into_iter().map(|t| t.scale(scale)).collect()))
+        Ok(TmVector::new(
+            h.into_iter().map(|t| t.scale(scale)).collect(),
+        ))
     }
 }
 

@@ -59,10 +59,8 @@ pub(crate) fn affine_sweep_box(
         let d = deriv_box(a, b, c, &s, u);
         let mapped: IntervalBox = (0..n)
             .map(|i| {
-                let reach = Interval::new(
-                    (delta * d[i].lo()).min(0.0),
-                    (delta * d[i].hi()).max(0.0),
-                );
+                let reach =
+                    Interval::new((delta * d[i].lo()).min(0.0), (delta * d[i].hi()).max(0.0));
                 bt.interval(i) + reach
             })
             .collect();
@@ -82,10 +80,7 @@ pub(crate) fn affine_sweep_box(
     let d = deriv_box(a, b, c, &s, u);
     (0..n)
         .map(|i| {
-            let reach = Interval::new(
-                (delta * d[i].lo()).min(0.0),
-                (delta * d[i].hi()).max(0.0),
-            );
+            let reach = Interval::new((delta * d[i].lo()).min(0.0), (delta * d[i].hi()).max(0.0));
             bt.interval(i) + reach
         })
         .collect()

@@ -190,11 +190,7 @@ impl<A: NnAbstraction> TaylorReach<A> {
         Ok(Flowpipe::new(steps))
     }
 
-    fn range_box(
-        &self,
-        state: &TmVector,
-        domain: &[Interval],
-    ) -> dwv_interval::IntervalBox {
+    fn range_box(&self, state: &TmVector, domain: &[Interval]) -> dwv_interval::IntervalBox {
         if self.config.bernstein_ranges {
             state.range_box_bernstein(domain)
         } else {
@@ -254,7 +250,11 @@ mod tests {
     fn oscillator_flowpipe_sound_taylor_symbolic() {
         let mut p = oscillator::reach_avoid_problem();
         p.horizon_steps = 8;
-        let v = TaylorReach::new(&p, TaylorAbstraction::default(), TaylorReachConfig::default());
+        let v = TaylorReach::new(
+            &p,
+            TaylorAbstraction::default(),
+            TaylorReachConfig::default(),
+        );
         let ctrl = osc_controller(21);
         let fp = v.reach(&ctrl).expect("oscillator verifies");
         assert_eq!(fp.len(), 9);
@@ -280,9 +280,13 @@ mod tests {
         let mut p = oscillator::reach_avoid_problem();
         p.horizon_steps = 8;
         let ctrl = osc_controller(23);
-        let sym = TaylorReach::new(&p, TaylorAbstraction::default(), TaylorReachConfig::default())
-            .reach(&ctrl)
-            .expect("symbolic verifies");
+        let sym = TaylorReach::new(
+            &p,
+            TaylorAbstraction::default(),
+            TaylorReachConfig::default(),
+        )
+        .reach(&ctrl)
+        .expect("symbolic verifies");
         let boxr = TaylorReach::new(
             &p,
             TaylorAbstraction::default(),
@@ -320,7 +324,11 @@ mod tests {
     fn three_dim_flowpipe_sound() {
         let mut p = three_dim::reach_avoid_problem();
         p.horizon_steps = 5;
-        let v = TaylorReach::new(&p, TaylorAbstraction::default(), TaylorReachConfig::default());
+        let v = TaylorReach::new(
+            &p,
+            TaylorAbstraction::default(),
+            TaylorReachConfig::default(),
+        );
         let ctrl = NnController::new(Network::new(
             &[3, 8, 1],
             Activation::ReLU,
@@ -337,15 +345,17 @@ mod tests {
         let mut p = oscillator::reach_avoid_problem();
         p.horizon_steps = 4;
         let ctrl = osc_controller(25);
-        let full = TaylorReach::new(&p, TaylorAbstraction::default(), TaylorReachConfig::default());
+        let full = TaylorReach::new(
+            &p,
+            TaylorAbstraction::default(),
+            TaylorReachConfig::default(),
+        );
         let sub = full
             .clone()
             .with_initial_set(p.x0.partition(&[2, 2])[0].clone());
         let fp_full = full.reach(&ctrl).unwrap();
         let fp_sub = sub.reach(&ctrl).unwrap();
-        assert!(
-            fp_sub.final_step().enclosure.volume() <= fp_full.final_step().enclosure.volume()
-        );
+        assert!(fp_sub.final_step().enclosure.volume() <= fp_full.final_step().enclosure.volume());
     }
 
     #[test]

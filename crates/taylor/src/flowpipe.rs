@@ -231,12 +231,8 @@ impl OdeIntegrator {
                     flow.range_box(&dom_ext)
                 };
                 let end = flow.substitute_value(t_var, 1.0);
-                let end = TmVector::new(
-                    end.components()
-                        .iter()
-                        .map(|t| t.shrink_vars(k))
-                        .collect(),
-                );
+                let end =
+                    TmVector::new(end.components().iter().map(|t| t.shrink_vars(k)).collect());
                 return Ok(StepFlow { end, step_box });
             }
             if attempt == self.max_inflations {
@@ -252,9 +248,7 @@ impl OdeIntegrator {
                 .zip(&candidate)
                 .map(|(&got, &cur)| {
                     let merged = got.hull(&cur);
-                    Interval::symmetric(
-                        merged.mag() * self.inflation_factor + self.initial_radius,
-                    )
+                    Interval::symmetric(merged.mag() * self.inflation_factor + self.initial_radius)
                 })
                 .collect();
             // Detect hopeless blow-up early.
@@ -277,12 +271,14 @@ impl OdeIntegrator {
         u: &TmVector,
         dom: &[Interval],
     ) -> Vec<TaylorModel> {
-        let args: Vec<TaylorModel> = xs.iter().cloned().chain(u.components().iter().cloned()).collect();
+        let args: Vec<TaylorModel> = xs
+            .iter()
+            .cloned()
+            .chain(u.components().iter().cloned())
+            .collect();
         rhs.field()
             .iter()
-            .map(|p| {
-                TaylorModel::new(p.clone(), Interval::ZERO).compose(&args, self.order, dom)
-            })
+            .map(|p| TaylorModel::new(p.clone(), Interval::ZERO).compose(&args, self.order, dom))
             .collect()
     }
 
@@ -310,10 +306,7 @@ impl OdeIntegrator {
                 // is a defect that must be absorbed by the remainder.
                 let diff = mapped.poly().clone() - trial[i].poly().clone();
                 let diff_range = if self.bernstein_ranges && !diff.is_zero() {
-                    dwv_poly::bernstein::range_enclosure(
-                        &diff,
-                        &IntervalBox::new(dom_ext.to_vec()),
-                    )
+                    dwv_poly::bernstein::range_enclosure(&diff, &IntervalBox::new(dom_ext.to_vec()))
                 } else {
                     diff.eval_interval(dom_ext)
                 };
@@ -355,7 +348,10 @@ mod tests {
         assert!(end.interval(0).width() < 0.2);
         // Step box covers both the start and end states.
         assert!(step.step_box.interval(0).contains_value(1.1));
-        assert!(step.step_box.interval(0).contains_value(0.9 * (-0.1f64).exp()));
+        assert!(step
+            .step_box
+            .interval(0)
+            .contains_value(0.9 * (-0.1f64).exp()));
     }
 
     #[test]
@@ -380,7 +376,7 @@ mod tests {
         let rhs = OdeRhs::new(1, 1, vec![Polynomial::var(2, 1)]);
         let x0 = TmVector::from_box(&IntervalBox::from_bounds(&[(0.0, 0.0)]));
         let u = TmVector::new(vec![
-            TaylorModel::constant(1, 1.0).add_interval(Interval::symmetric(0.1)),
+            TaylorModel::constant(1, 1.0).add_interval(Interval::symmetric(0.1))
         ]);
         let integ = OdeIntegrator::default();
         let step = integ
@@ -398,10 +394,7 @@ mod tests {
         let rhs = OdeRhs::new(
             2,
             0,
-            vec![
-                x2.clone(),
-                x2.clone() - x1.clone() * x1.clone() * x2 - x1,
-            ],
+            vec![x2.clone(), x2.clone() - x1.clone() * x1.clone() * x2 - x1],
         );
         let b = IntervalBox::from_bounds(&[(-0.51, -0.49), (0.49, 0.51)]);
         let x0 = TmVector::from_box(&b);
@@ -422,7 +415,10 @@ mod tests {
             x[1] += h / 6.0 * (k1[1] + 2.0 * k2[1] + 2.0 * k3[1] + k4[1]);
         }
         let end = step.end.range_box(&unit_domain(2));
-        assert!(end.contains_point(&x), "TM end {end} misses RK4 point {x:?}");
+        assert!(
+            end.contains_point(&x),
+            "TM end {end} misses RK4 point {x:?}"
+        );
         // Tightness sanity: each enclosure within 5x the initial width.
         assert!(end.interval(0).width() < 0.1);
         assert!(end.interval(1).width() < 0.1);

@@ -39,5 +39,5 @@ mod model;
 mod ode;
 
 pub use flowpipe::{FlowpipeError, OdeIntegrator, StepFlow};
-pub use model::{unit_domain, TaylorModel, TmVector};
+pub use model::{unit_domain, TaylorModel, TmVector, DEFAULT_PRUNE_EPS};
 pub use ode::OdeRhs;

@@ -4,6 +4,16 @@ use dwv_interval::{Interval, IntervalBox};
 use dwv_poly::Polynomial;
 use std::fmt;
 
+/// Coefficient-pruning threshold applied by [`TaylorModel::mul`] and
+/// [`TaylorModel::truncate`].
+///
+/// Terms with `|coefficient| ≤ DEFAULT_PRUNE_EPS` are moved out of the
+/// polynomial part, and their interval range over the operation's domain is
+/// added to the remainder — *soundly*, never silently discarded. This keeps
+/// term counts from creeping up with numerically-zero debris during long
+/// flowpipe compositions while preserving the enclosure property.
+pub const DEFAULT_PRUNE_EPS: f64 = 1e-14;
+
 /// The canonical normalized domain `[-1, 1]^k`.
 ///
 /// Taylor models in this crate do not carry their domain; operations that
@@ -183,7 +193,7 @@ impl TaylorModel {
         rem += self.poly.eval_interval(domain) * rhs.remainder;
         rem += rhs.poly.eval_interval(domain) * self.remainder;
         rem += self.remainder * rhs.remainder;
-        TaylorModel::new(kept, rem)
+        TaylorModel::new(kept, rem).prune(DEFAULT_PRUNE_EPS, domain)
     }
 
     /// Truncates the polynomial part to total degree `order`, absorbing the
@@ -192,9 +202,27 @@ impl TaylorModel {
     pub fn truncate(&self, order: u32, domain: &[Interval]) -> TaylorModel {
         let (kept, overflow) = self.poly.split_at_degree(order);
         if overflow.is_zero() {
-            return self.clone();
+            return self.prune(DEFAULT_PRUNE_EPS, domain);
         }
         TaylorModel::new(kept, self.remainder + overflow.eval_interval(domain))
+            .prune(DEFAULT_PRUNE_EPS, domain)
+    }
+
+    /// Moves polynomial terms with `|coefficient| ≤ eps` into the remainder:
+    /// the dropped terms' interval range over `domain` is added to the
+    /// remainder, so the result still encloses every function the original
+    /// model enclosed. With `eps = 0` only exact-zero terms (never stored)
+    /// would qualify, so the model is returned unchanged.
+    #[must_use]
+    pub fn prune(&self, eps: f64, domain: &[Interval]) -> TaylorModel {
+        if eps <= 0.0 {
+            return self.clone();
+        }
+        let (kept, dropped) = self.poly.prune(eps);
+        if dropped.is_zero() {
+            return self.clone();
+        }
+        TaylorModel::new(kept, self.remainder + dropped.eval_interval(domain))
     }
 
     /// Integer power with truncation (repeated [`TaylorModel::mul`]).
@@ -429,12 +457,7 @@ impl TmVector {
     /// Component-wise composition: every component's polynomial is evaluated
     /// at the `args` models.
     #[must_use]
-    pub fn compose(
-        &self,
-        args: &[TaylorModel],
-        order: u32,
-        arg_domain: &[Interval],
-    ) -> TmVector {
+    pub fn compose(&self, args: &[TaylorModel], order: u32, arg_domain: &[Interval]) -> TmVector {
         TmVector::new(
             self.tms
                 .iter()
@@ -515,10 +538,7 @@ mod tests {
             let truth = (t + 0.5f64).powi(3);
             assert!(p3.eval(&[t]).contains_value(truth));
         }
-        assert_eq!(
-            x.powi(0, 10, &dom1()),
-            TaylorModel::constant(1, 1.0)
-        );
+        assert_eq!(x.powi(0, 10, &dom1()), TaylorModel::constant(1, 1.0));
     }
 
     #[test]
@@ -536,10 +556,7 @@ mod tests {
     fn substitute_value_at_step_end() {
         // 1 + 2t + t² at t=1 → 4.
         let t = TaylorModel::var(1, 0);
-        let p = t
-            .mul(&t, 5, &dom1())
-            .add(&t.scale(2.0))
-            .add_constant(1.0);
+        let p = t.mul(&t, 5, &dom1()).add(&t.scale(2.0)).add_constant(1.0);
         let end = p.substitute_value(0, 1.0);
         assert_eq!(end.poly().constant_term(), 4.0);
         assert_eq!(end.poly().degree(), 0);
@@ -560,6 +577,26 @@ mod tests {
             let truth = (0.5 + 0.25 * a) * (0.5 + 0.25 * a);
             assert!(comp.eval(&[a]).contains_value(truth));
         }
+    }
+
+    #[test]
+    fn prune_absorbs_small_terms_soundly() {
+        // 1 + x + 1e-16·x²: pruning moves the tiny term's range into the
+        // remainder instead of discarding it.
+        let p = Polynomial::from_terms(1, vec![(vec![0], 1.0), (vec![1], 1.0), (vec![2], 1e-16)]);
+        let tm = TaylorModel::new(p, Interval::ZERO);
+        let pruned = tm.prune(DEFAULT_PRUNE_EPS, &dom1());
+        assert_eq!(pruned.poly().num_terms(), 2);
+        // The remainder must cover the dropped term's range [0, 1e-16].
+        assert!(pruned.remainder().contains_value(1e-16));
+        // Enclosure preserved at samples.
+        for i in 0..=8 {
+            let t = -1.0 + 0.25 * i as f64;
+            let truth = 1.0 + t + 1e-16 * t * t;
+            assert!(pruned.eval(&[t]).contains_value(truth));
+        }
+        // eps = 0 is the identity.
+        assert_eq!(tm.prune(0.0, &dom1()), tm);
     }
 
     #[test]

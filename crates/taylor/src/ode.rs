@@ -118,10 +118,7 @@ mod tests {
         let f = OdeRhs::new(
             2,
             1,
-            vec![
-                Polynomial::constant(3, 40.0) - v.clone(),
-                v.scale(-0.2) + u,
-            ],
+            vec![Polynomial::constant(3, 40.0) - v.clone(), v.scale(-0.2) + u],
         );
         let d = f.eval(&[123.0, 50.0, 1.5]);
         assert!((d[0] - -10.0).abs() < 1e-12);

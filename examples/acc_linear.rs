@@ -41,8 +41,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let (a, b, c) = problem.dynamics.linear_parts().expect("ACC is affine");
             let controller = outcome.controller.clone();
             let search = Algorithm2::new(&problem).with_max_rounds(4).search(|cell| {
-                LinearReach::new(&a, &b, &c, cell.clone(), problem.delta, problem.horizon_steps)
-                    .reach(&controller)
+                LinearReach::new(
+                    &a,
+                    &b,
+                    &c,
+                    cell.clone(),
+                    problem.delta,
+                    problem.horizon_steps,
+                )
+                .reach(&controller)
             });
             println!("{search}");
             let r = rates(&problem, &outcome.controller, 500, 1);

@@ -62,14 +62,8 @@ fn problem() -> ReachAvoidProblem {
         dynamics: Arc::new(Docking),
         x0: IntervalBox::from_bounds(&[(0.95, 1.0), (-0.02, 0.02)]),
         // Obstacle: no fast (|x₂| ≥ 0.15) passage through x₁ ∈ [0.4, 0.5].
-        unsafe_region: Region::from_box(IntervalBox::from_bounds(&[
-            (0.4, 0.5),
-            (-0.8, -0.15),
-        ])),
-        goal_region: Region::from_box(IntervalBox::from_bounds(&[
-            (-0.05, 0.05),
-            (-0.1, 0.1),
-        ])),
+        unsafe_region: Region::from_box(IntervalBox::from_bounds(&[(0.4, 0.5), (-0.8, -0.15)])),
+        goal_region: Region::from_box(IntervalBox::from_bounds(&[(-0.05, 0.05), (-0.1, 0.1)])),
         delta: 0.25,
         horizon_steps: 60,
         universe: IntervalBox::from_bounds(&[(-2.0, 2.0), (-2.0, 2.0)]),
@@ -111,8 +105,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (a, b, c) = problem.dynamics.linear_parts().expect("affine");
     let controller = outcome.controller.clone();
     let search = Algorithm2::new(&problem).with_max_rounds(4).search(|cell| {
-        LinearReach::new(&a, &b, &c, cell.clone(), problem.delta, problem.horizon_steps)
-            .reach(&controller)
+        LinearReach::new(
+            &a,
+            &b,
+            &c,
+            cell.clone(),
+            problem.delta,
+            problem.horizon_steps,
+        )
+        .reach(&controller)
     });
     println!("{search}");
     Ok(())

@@ -14,7 +14,11 @@ use design_while_verify::dynamics::{acc, eval::rates, Controller};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let problem = acc::reach_avoid_problem();
-    println!("system: ACC  (X0 = {}, T = {}s)", problem.x0, problem.horizon());
+    println!(
+        "system: ACC  (X0 = {}, T = {}s)",
+        problem.x0,
+        problem.horizon()
+    );
 
     let config = LearnConfig::builder()
         .metric(MetricKind::Geometric)

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Offline-first CI for the design-while-verify reproduction.
+#
+# The build environment has NO network access to crates.io: every external
+# dependency is vendored as a local stand-in under third_party/ and resolved
+# by path in the workspace manifest. `--offline` makes cargo fail fast (with
+# a clear error) instead of hanging on a registry it can never reach, and
+# also guards against accidentally introducing a registry dependency.
+#
+# Usage: scripts/ci.sh            # fmt check + release build + tier-1 tests
+#        scripts/ci.sh --all     # additionally run the full workspace tests
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run cargo fmt --check
+run cargo build --release --offline
+# Tier-1 gate: the root package's test suite (see ROADMAP.md).
+run cargo test -q --offline
+
+if [[ "${1:-}" == "--all" ]]; then
+  run cargo test -q --workspace --offline
+fi
+
+echo "CI OK"

@@ -43,7 +43,7 @@
 /// `use design_while_verify::prelude::*;`.
 pub mod prelude {
     pub use dwv_core::{
-        Algorithm1, Algorithm2, AbstractionKind, GradientEstimator, LearnConfig, MetricKind,
+        AbstractionKind, Algorithm1, Algorithm2, GradientEstimator, LearnConfig, MetricKind,
         Verdict,
     };
     pub use dwv_dynamics::{

@@ -38,8 +38,15 @@ fn run(metric: MetricKind, seed: u64) {
     let (a, b, c) = problem.dynamics.linear_parts().expect("affine");
     let controller = outcome.controller.clone();
     let search = Algorithm2::new(&problem).with_max_rounds(4).search(|cell| {
-        LinearReach::new(&a, &b, &c, cell.clone(), problem.delta, problem.horizon_steps)
-            .reach(&controller)
+        LinearReach::new(
+            &a,
+            &b,
+            &c,
+            cell.clone(),
+            problem.delta,
+            problem.horizon_steps,
+        )
+        .reach(&controller)
     });
     assert!(
         search.coverage > 0.9,

@@ -2,8 +2,8 @@
 //! agree on the reach-avoid feasibility of the same flowpipes, and the
 //! verdict logic must match both.
 
-use design_while_verify::dynamics::{acc, LinearController};
 use design_while_verify::core::judge;
+use design_while_verify::dynamics::{acc, LinearController};
 use design_while_verify::metrics::{GeometricMetric, WassersteinMetric};
 use design_while_verify::reach::LinearReach;
 
@@ -30,12 +30,12 @@ fn metrics_agree_on_unsafe_controller() {
     let g = GeometricMetric::for_problem(&p).evaluate(&fp);
     let w = WassersteinMetric::for_problem(&p).evaluate(&fp);
     assert!(!g.is_reach_avoid());
-    assert!(g.d_unsafe <= 0.0, "uncontrolled ACC must hit the unsafe set");
-    assert!(w.intersects_unsafe);
-    assert_eq!(
-        judge(&p, &k, &Ok(fp), 100, 1).to_string(),
-        "Unsafe"
+    assert!(
+        g.d_unsafe <= 0.0,
+        "uncontrolled ACC must hit the unsafe set"
     );
+    assert!(w.intersects_unsafe);
+    assert_eq!(judge(&p, &k, &Ok(fp), 100, 1).to_string(), "Unsafe");
 }
 
 #[test]

@@ -84,9 +84,9 @@ fn robust_verdict_degrades_monotonically_with_disturbance() {
     let metric = GeometricMetric::for_problem(&p);
     let mut last_du = f64::INFINITY;
     for mag in [0.0, 0.01, 0.05, 0.1] {
-        let v = ZonotopeReach::for_problem(&p).unwrap().with_disturbance(
-            IntervalBox::from_bounds(&[(-mag, mag), (-mag, mag)]),
-        );
+        let v = ZonotopeReach::for_problem(&p)
+            .unwrap()
+            .with_disturbance(IntervalBox::from_bounds(&[(-mag, mag), (-mag, mag)]));
         let fp = v.reach(&k).unwrap();
         let d = metric.evaluate(&fp);
         assert!(

@@ -128,7 +128,11 @@ fn symbolic_mode_contains_simulations() {
         Activation::Tanh,
         21,
     ));
-    let v = TaylorReach::new(&p, TaylorAbstraction::with_order(2), TaylorReachConfig::default());
+    let v = TaylorReach::new(
+        &p,
+        TaylorAbstraction::with_order(2),
+        TaylorReachConfig::default(),
+    );
     let fp = v.reach(&ctrl).expect("verifies");
     assert_contains_simulations(&p, &fp, &ctrl, 8, 1e-7);
 }

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the real `criterion`
+//! cannot be downloaded. This crate implements the subset the workspace's
+//! benches use — `Criterion::bench_function`, `benchmark_group` (with
+//! `sample_size` and `finish`), `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! median-of-samples timer instead of criterion's statistical machinery.
+//!
+//! Output is one line per benchmark: name, median per-iteration time, and
+//! the sample count.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+/// Benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints the median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` as a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.prefix, name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample of `iters_per_sample` calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        self.samples
+            .push(start.elapsed().as_secs_f64() / self.iters_per_sample as f64);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    // Calibrate: find an iteration count that takes ≥ ~2 ms per sample.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: iters,
+        };
+        f(&mut b);
+        let t = b.samples.first().copied().unwrap_or(0.0) * iters as f64;
+        if t >= 2e-3 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: iters,
+    };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    let mut s = b.samples;
+    s.sort_by(f64::total_cmp);
+    let median = if s.is_empty() { 0.0 } else { s[s.len() / 2] };
+    println!(
+        "bench {name:<40} {:>12}  ({} samples x {iters} iters)",
+        format_time(median),
+        s.len()
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function (stand-in for criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` (stand-in for criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_api_compiles() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("x", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(1.5).contains('s'));
+        assert!(format_time(2e-3).contains("ms"));
+        assert!(format_time(3e-6).contains("us"));
+        assert!(format_time(4e-9).contains("ns"));
+    }
+}

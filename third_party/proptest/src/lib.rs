@@ -1,0 +1,424 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the real `proptest`
+//! cannot be downloaded. This crate implements the subset this workspace's
+//! property tests use — `proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assume!`, range/tuple/`collection::vec` strategies and
+//! `.prop_map` — with the same paths (`proptest::prelude::*`,
+//! `proptest::collection::vec`).
+//!
+//! Differences from upstream:
+//!
+//! * **no shrinking** — a failing case panics with the generated inputs
+//!   (Debug-formatted) but is not minimized;
+//! * **fixed derivation of the RNG seed** from the test-function name, so
+//!   runs are reproducible without `.proptest-regressions` files (those
+//!   files are ignored).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Test-runner configuration (`with_cases` is the only knob used here).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (rejection sampling; panics after
+    /// too many consecutive rejections).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive values: {}", self.whence);
+    }
+}
+
+/// A strategy always yielding clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A `Vec` strategy: length drawn from `size`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// A half-open length range for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+/// Outcome of one generated case: pass, fail (message), or rejected by
+/// `prop_assume!`.
+#[derive(Debug)]
+pub enum CaseResult {
+    /// Assertion failure with a rendered message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject,
+}
+
+/// Drives one property: `cases` random draws of inputs through `run_case`.
+///
+/// Not user-facing — the [`proptest!`] macro expands to calls of this.
+pub fn run_property(
+    name: &str,
+    config: &ProptestConfig,
+    mut run_case: impl FnMut(&mut StdRng) -> Result<(), CaseResult>,
+) {
+    // Deterministic seed from the test name (stable across runs; no
+    // regression files needed).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut rng = StdRng::seed_from_u64(h);
+    let mut rejected = 0u32;
+    let mut ran = 0u32;
+    while ran < config.cases {
+        match run_case(&mut rng) {
+            Ok(()) => ran += 1,
+            Err(CaseResult::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected < config.cases * 16 + 1024,
+                    "property {name}: too many prop_assume! rejections ({rejected})"
+                );
+            }
+            Err(CaseResult::Fail(msg)) => {
+                panic!("property {name} failed after {ran} passing cases\n{msg}");
+            }
+        }
+    }
+}
+
+/// The prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Asserts a condition inside a property, reporting the generated inputs on
+/// failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::CaseResult::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Rejects the current case (inputs re-drawn) when the condition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::CaseResult::Reject);
+        }
+    };
+}
+
+/// Declares property tests. Mirrors upstream `proptest!` syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_prop(x in -1.0..1.0f64, v in proptest::collection::vec(0u32..5, 1..4)) {
+///         prop_assert!(x.abs() <= 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_property(stringify!($name), &config, |rng| {
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strat), rng);
+                    )+
+                    let rendered = format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n",)+),
+                        $(&$arg,)+
+                    );
+                    let inner = || -> Result<(), $crate::CaseResult> {
+                        $body
+                        Ok(())
+                    };
+                    inner().map_err(|e| match e {
+                        $crate::CaseResult::Fail(msg) => $crate::CaseResult::Fail(
+                            format!("{msg}\ninputs:\n{rendered}"),
+                        ),
+                        other => other,
+                    })
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (f64, f64)> {
+        (0.0..1.0f64, 0.0..1.0f64)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in -2.0..2.0f64, k in 0u32..5, n in 1usize..4) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!(k < 5);
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_len(v in crate::collection::vec(0.0..1.0f64, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn map_and_tuple(p in pair().prop_map(|(a, b)| a + b)) {
+            prop_assert!((0.0..2.0).contains(&p));
+        }
+
+        #[test]
+        fn assume_rejects(x in -1.0..1.0f64) {
+            prop_assume!(x >= 0.0);
+            prop_assert!(x >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failure_reports_inputs() {
+        crate::run_property(
+            "always_fails",
+            &ProptestConfig::with_cases(4),
+            |_rng| Err(crate::CaseResult::Fail("boom".into())),
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Concrete generators: [`StdRng`] and the test-only [`mock::StepRng`].
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard generator: xoshiro256++ with SplitMix64 seeding.
+///
+/// Deterministic per seed; the stream differs from upstream `rand`'s
+/// ChaCha12-based `StdRng` (see the crate docs).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ (Blackman & Vigna, public domain reference).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Mock generators for unit tests.
+pub mod mock {
+    use crate::RngCore;
+
+    /// A generator returning `initial`, `initial + increment`, … (wrapping),
+    /// mirroring `rand::rngs::mock::StepRng`.
+    #[derive(Debug, Clone)]
+    pub struct StepRng {
+        v: u64,
+        increment: u64,
+    }
+
+    impl StepRng {
+        /// Creates the generator.
+        #[must_use]
+        pub fn new(initial: u64, increment: u64) -> Self {
+            Self {
+                v: initial,
+                increment,
+            }
+        }
+    }
+
+    impl RngCore for StepRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.v;
+            self.v = self.v.wrapping_add(self.increment);
+            out
+        }
+    }
+}
