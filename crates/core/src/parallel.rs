@@ -134,7 +134,7 @@ mod tests {
         let pool = WorkerPool::new(4);
         let items: Vec<u64> = (0..32).collect();
         let slow = |x: &u64| {
-            if x % 7 == 0 {
+            if x.is_multiple_of(7) {
                 std::thread::sleep(std::time::Duration::from_millis(2));
             }
             x * x

@@ -84,23 +84,21 @@ pub fn design_while_verify_nn(
     let verifier_cfg = config.verifier.clone();
     let learning = Algorithm1::new(problem.clone(), config).learn_nn();
     let controller = learning.controller.clone();
-    let oracle_problem = problem.clone();
-    let oracle = move |cell: &IntervalBox| -> Result<Flowpipe, ReachError> {
-        match abstraction {
-            AbstractionKind::Polar { order } => TaylorReach::new(
-                &oracle_problem,
-                TaylorAbstraction::with_order(order),
-                verifier_cfg.clone(),
-            )
-            .with_initial_set(cell.clone())
-            .reach(&controller),
-            AbstractionKind::Bernstein { degree } => TaylorReach::new(
-                &oracle_problem,
+    // Build the verifier once and re-verify each cell via `reach_from`,
+    // instead of cloning a freshly-constructed verifier per cell.
+    type Oracle = Box<dyn Fn(&IntervalBox) -> Result<Flowpipe, ReachError>>;
+    let oracle: Oracle = match abstraction {
+        AbstractionKind::Polar { order } => {
+            let v = TaylorReach::new(&problem, TaylorAbstraction::with_order(order), verifier_cfg);
+            Box::new(move |cell: &IntervalBox| v.reach_from(cell, &controller))
+        }
+        AbstractionKind::Bernstein { degree } => {
+            let v = TaylorReach::new(
+                &problem,
                 BernsteinAbstraction::with_degree(degree),
-                verifier_cfg.clone(),
-            )
-            .with_initial_set(cell.clone())
-            .reach(&controller),
+                verifier_cfg,
+            );
+            Box::new(move |cell: &IntervalBox| v.reach_from(cell, &controller))
         }
     };
     PipelineOutcome {

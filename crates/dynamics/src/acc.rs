@@ -61,6 +61,12 @@ impl Dynamics for Acc {
         vec![V_FRONT - x[1], K_DAMP * x[1] + u[0]]
     }
 
+    fn deriv_into(&self, x: &[f64], u: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.push(V_FRONT - x[1]);
+        out.push(K_DAMP * x[1] + u[0]);
+    }
+
     fn vector_field(&self) -> OdeRhs {
         // Variables: (s, v, u).
         let v = Polynomial::var(3, 1);

@@ -61,22 +61,21 @@ pub fn rates<C: Controller + ?Sized>(
     let mut safe = 0usize;
     let mut goal = 0usize;
     let mut both = 0usize;
+    let mut x0 = vec![0.0; problem.x0.dim()];
     for _ in 0..n_samples {
-        let x0: Vec<f64> = (0..problem.x0.dim())
-            .map(|i| {
-                let iv = problem.x0.interval(i);
-                rng.gen_range(iv.lo()..=iv.hi())
-            })
-            .collect();
-        let traj = sim.rollout(&x0, controller, problem.horizon_steps);
-        let is_safe = traj
-            .fine_states
-            .iter()
-            .all(|x| !problem.unsafe_region.contains_point(x));
-        let reaches = traj
-            .fine_states
-            .iter()
-            .any(|x| problem.goal_region.contains_point(x));
+        for (i, xi) in x0.iter_mut().enumerate() {
+            let iv = problem.x0.interval(i);
+            *xi = rng.gen_range(iv.lo()..=iv.hi());
+        }
+        // Stream the fine trajectory instead of materialising it: the
+        // region predicates fold into flags on the fly, so a 500-sample
+        // estimate performs no per-state allocation at all.
+        let mut is_safe = true;
+        let mut reaches = false;
+        sim.rollout_visit(&x0, controller, problem.horizon_steps, |x| {
+            is_safe = is_safe && !problem.unsafe_region.contains_point(x);
+            reaches = reaches || problem.goal_region.contains_point(x);
+        });
         safe += usize::from(is_safe);
         goal += usize::from(reaches);
         both += usize::from(is_safe && reaches);

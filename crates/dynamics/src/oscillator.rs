@@ -51,6 +51,12 @@ impl Dynamics for Oscillator {
         vec![x[1], GAMMA * (1.0 - x[0] * x[0]) * x[1] - x[0] + u[0]]
     }
 
+    fn deriv_into(&self, x: &[f64], u: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.push(x[1]);
+        out.push(GAMMA * (1.0 - x[0] * x[0]) * x[1] - x[0] + u[0]);
+    }
+
     fn vector_field(&self) -> OdeRhs {
         // Variables: (x1, x2, u).
         let x1 = Polynomial::var(3, 0);

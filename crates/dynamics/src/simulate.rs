@@ -19,6 +19,35 @@ pub struct Trajectory {
     pub fine_states: Vec<Vec<f64>>,
 }
 
+/// Scratch buffers for allocation-free RK4 stepping.
+///
+/// One set of buffers serves an entire rollout (and can be reused across
+/// rollouts); [`Simulator::rk4_step_into`] fills the four stage slopes and
+/// the intermediate stage state here instead of allocating five vectors per
+/// sub-step.
+#[derive(Debug, Clone, Default)]
+pub struct Rk4Buffers {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    xt: Vec<f64>,
+}
+
+impl Rk4Buffers {
+    /// Creates buffers sized for an `n`-dimensional state.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            k1: Vec::with_capacity(n),
+            k2: Vec::with_capacity(n),
+            k3: Vec::with_capacity(n),
+            k4: Vec::with_capacity(n),
+            xt: Vec::with_capacity(n),
+        }
+    }
+}
+
 /// RK4 closed-loop simulator with zero-order hold.
 ///
 /// # Example
@@ -95,13 +124,16 @@ impl Simulator {
         let mut inputs = Vec::with_capacity(steps);
         let mut fine = Vec::with_capacity(steps * self.substeps + 1);
         let mut x = x0.to_vec();
+        let mut next = x0.to_vec();
+        let mut buf = Rk4Buffers::new(x0.len());
         states.push(x.clone());
         fine.push(x.clone());
         let h = self.delta / self.substeps as f64;
         for _ in 0..steps {
             let u = controller.control(&x);
             for _ in 0..self.substeps {
-                x = self.rk4_step(&x, &u, h);
+                self.rk4_step_into(&x, &u, h, &mut next, &mut buf);
+                std::mem::swap(&mut x, &mut next);
                 fine.push(x.clone());
             }
             states.push(x.clone());
@@ -114,21 +146,79 @@ impl Simulator {
         }
     }
 
+    /// Streams the fine-grained trajectory (initial state, then every RK4
+    /// sub-step state in order) to `visit` without materialising it.
+    ///
+    /// This is the zero-allocation backbone of the Monte-Carlo rate
+    /// estimator: state, input and RK4 stage buffers are each allocated once
+    /// per rollout, so the per-sub-step cost is pure arithmetic. The visited
+    /// states are bit-identical to [`Simulator::rollout`]'s `fine_states`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0.len()` differs from the state dimension.
+    pub fn rollout_visit<C, F>(&self, x0: &[f64], controller: &C, steps: usize, mut visit: F)
+    where
+        C: Controller + ?Sized,
+        F: FnMut(&[f64]),
+    {
+        assert_eq!(
+            x0.len(),
+            self.dynamics.n_state(),
+            "initial state dimension mismatch"
+        );
+        let mut x = x0.to_vec();
+        let mut next = x0.to_vec();
+        let mut u = Vec::with_capacity(self.dynamics.n_input());
+        let mut buf = Rk4Buffers::new(x0.len());
+        visit(&x);
+        let h = self.delta / self.substeps as f64;
+        for _ in 0..steps {
+            controller.control_into(&x, &mut u);
+            for _ in 0..self.substeps {
+                self.rk4_step_into(&x, &u, h, &mut next, &mut buf);
+                std::mem::swap(&mut x, &mut next);
+                visit(&x);
+            }
+        }
+    }
+
     /// One explicit RK4 step of length `h` with input held at `u`.
     #[must_use]
     pub fn rk4_step(&self, x: &[f64], u: &[f64], h: f64) -> Vec<f64> {
-        let f = |x: &[f64]| self.dynamics.deriv(x, u);
-        let k1 = f(x);
-        let x2: Vec<f64> = x.iter().zip(&k1).map(|(a, k)| a + 0.5 * h * k).collect();
-        let k2 = f(&x2);
-        let x3: Vec<f64> = x.iter().zip(&k2).map(|(a, k)| a + 0.5 * h * k).collect();
-        let k3 = f(&x3);
-        let x4: Vec<f64> = x.iter().zip(&k3).map(|(a, k)| a + h * k).collect();
-        let k4 = f(&x4);
-        x.iter()
-            .enumerate()
-            .map(|(i, a)| a + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]))
-            .collect()
+        let mut out = Vec::with_capacity(x.len());
+        let mut buf = Rk4Buffers::new(x.len());
+        self.rk4_step_into(x, u, h, &mut out, &mut buf);
+        out
+    }
+
+    /// One explicit RK4 step written into `out` using scratch `buf`
+    /// (bit-identical to [`Simulator::rk4_step`], zero allocations once the
+    /// buffers are warm).
+    pub fn rk4_step_into(
+        &self,
+        x: &[f64],
+        u: &[f64],
+        h: f64,
+        out: &mut Vec<f64>,
+        buf: &mut Rk4Buffers,
+    ) {
+        self.dynamics.deriv_into(x, u, &mut buf.k1);
+        buf.xt.clear();
+        buf.xt
+            .extend(x.iter().zip(&buf.k1).map(|(a, k)| a + 0.5 * h * k));
+        self.dynamics.deriv_into(&buf.xt, u, &mut buf.k2);
+        buf.xt.clear();
+        buf.xt
+            .extend(x.iter().zip(&buf.k2).map(|(a, k)| a + 0.5 * h * k));
+        self.dynamics.deriv_into(&buf.xt, u, &mut buf.k3);
+        buf.xt.clear();
+        buf.xt.extend(x.iter().zip(&buf.k3).map(|(a, k)| a + h * k));
+        self.dynamics.deriv_into(&buf.xt, u, &mut buf.k4);
+        out.clear();
+        out.extend(x.iter().enumerate().map(|(i, a)| {
+            a + h / 6.0 * (buf.k1[i] + 2.0 * buf.k2[i] + 2.0 * buf.k3[i] + buf.k4[i])
+        }));
     }
 }
 

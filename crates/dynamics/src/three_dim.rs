@@ -44,6 +44,13 @@ impl Dynamics for ThreeDim {
         vec![x[2] * x[2] * x[2] - x[1], x[2], u[0]]
     }
 
+    fn deriv_into(&self, x: &[f64], u: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.push(x[2] * x[2] * x[2] - x[1]);
+        out.push(x[2]);
+        out.push(u[0]);
+    }
+
     fn vector_field(&self) -> OdeRhs {
         // Variables: (x1, x2, x3, u).
         let x2 = Polynomial::var(4, 1);

@@ -110,7 +110,7 @@ proptest! {
 
     /// Zonotope order reduction never shrinks the support function.
     #[test]
-    fn zonotope_reduction_sound(b in boxes(), g0 in -1.0..1.0f64, g1 in -1.0..1.0f64, g2 in -1.0..1.0f64, g3 in -1.0..1.0f64, th in 0.0..6.28f64) {
+    fn zonotope_reduction_sound(b in boxes(), g0 in -1.0..1.0f64, g1 in -1.0..1.0f64, g2 in -1.0..1.0f64, g3 in -1.0..1.0f64, th in 0.0..std::f64::consts::TAU) {
         let z = Zonotope::from_box(&b)
             .minkowski_sum(&Zonotope::new(vec![0.0, 0.0], vec![vec![g0, g1], vec![g2, g3]]));
         let r = z.reduce_order(1.0);

@@ -301,7 +301,6 @@ mod tests {
     #[test]
     fn instantaneous_steps_use_polygon() {
         use dwv_geom::ConvexPolygon;
-        let m = metric();
         // A triangle near the unsafe box whose bounding box would overlap it
         // but whose polygon does not: on an instantaneous step the polygon
         // must win (exact, tighter).

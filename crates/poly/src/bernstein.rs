@@ -13,6 +13,7 @@
 
 use crate::Polynomial;
 use dwv_interval::{Interval, IntervalBox};
+use std::collections::HashMap;
 
 /// Binomial coefficient `C(n, k)` as `f64`.
 ///
@@ -98,10 +99,10 @@ where
     let counts: Vec<usize> = degrees.iter().map(|&d| d as usize + 1).collect();
     let total: usize = counts.iter().product();
     let mut idx = vec![0usize; n];
-    // Pre-expand univariate bases per dimension.
-    let bases: Vec<Vec<Polynomial>> = degrees
+    // Univariate bases per dimension, memoized process-wide.
+    let bases: Vec<_> = degrees
         .iter()
-        .map(|&d| (0..=d).map(|k| basis_polynomial(d, k)).collect())
+        .map(|&d| crate::tables::basis_polynomials(d))
         .collect();
     let node_list = nodes(degrees, domain);
     for node in node_list.iter().take(total) {
@@ -215,6 +216,86 @@ pub fn range_enclosure(p: &Polynomial, domain: &IntervalBox) -> Interval {
     Interval::new(lo_c - pad, hi_c + pad)
 }
 
+/// Entries kept in a [`RangeCache`] before it is wholesale cleared; bounds
+/// memory for pathological call sites while keeping the steady-state working
+/// set (a handful of polynomials per Picard loop / NN layer) fully cached.
+const RANGE_CACHE_CAP: usize = 4096;
+
+/// Exact content key for a cached range enclosure: packed monomial keys with
+/// coefficient bit patterns, plus domain endpoint bit patterns.
+///
+/// Keying on full content (not a hash digest) means a cache hit is a true
+/// input match, so the cached interval is *the* interval `range_enclosure`
+/// would return — bit-identical and therefore exactly as sound.
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct RangeKey {
+    terms: Vec<(u64, u64)>,
+    domain: Vec<(u64, u64)>,
+}
+
+/// A per-call-site memo of [`range_enclosure`] results.
+///
+/// The flowpipe Picard/validation loop and the NN-abstraction layer sweep
+/// repeatedly enclose the *same* polynomial over the *same* domain (trial
+/// remainders perturb only the interval part of a Taylor model, never its
+/// polynomial part). Each call site owns one cache and reuses it across
+/// iterations; entries never leave the call site, so domains and coefficient
+/// distributions stay homogeneous and hit rates high.
+#[derive(Debug, Default)]
+pub struct RangeCache {
+    map: HashMap<RangeKey, Interval>,
+}
+
+impl RangeCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// [`range_enclosure`] of `p` over the box with the given intervals,
+    /// served from the cache when the exact polynomial/domain pair has been
+    /// enclosed before. Boxed-representation polynomials (beyond the packed
+    /// key limits) bypass the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain is unbounded or its dimension mismatches.
+    pub fn range_enclosure(&mut self, p: &Polynomial, domain: &[Interval]) -> Interval {
+        let Some(terms) = p.packed_terms() else {
+            return range_enclosure(p, &IntervalBox::new(domain.to_vec()));
+        };
+        let key = RangeKey {
+            terms: terms.iter().map(|&(k, c)| (k, c.to_bits())).collect(),
+            domain: domain
+                .iter()
+                .map(|iv| (iv.lo().to_bits(), iv.hi().to_bits()))
+                .collect(),
+        };
+        if let Some(iv) = self.map.get(&key) {
+            return *iv;
+        }
+        let iv = range_enclosure(p, &IntervalBox::new(domain.to_vec()));
+        if self.map.len() >= RANGE_CACHE_CAP {
+            self.map.clear();
+        }
+        self.map.insert(key, iv);
+        iv
+    }
+
+    /// Number of cached enclosures.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 fn strides(counts: &[usize]) -> Vec<usize> {
     // Row-major with the first dimension slowest would complicate the loop;
     // use dimension i stride = product of counts after i.
@@ -322,6 +403,37 @@ mod tests {
         let e8 = err(8);
         assert!(e8 < e2, "degree-8 error {e8} not below degree-2 error {e2}");
         assert!(e8 < 0.05);
+    }
+
+    #[test]
+    fn range_cache_is_bit_identical_to_uncached() {
+        let x = Polynomial::var(2, 0);
+        let y = Polynomial::var(2, 1);
+        let p = x.clone() * x.clone() + y.clone() * y - x.scale(3.0);
+        let dom = [
+            dwv_interval::Interval::new(-0.5, 0.5),
+            dwv_interval::Interval::new(0.25, 0.75),
+        ];
+        let direct = range_enclosure(&p, &IntervalBox::new(dom.to_vec()));
+        let mut cache = RangeCache::new();
+        let miss = cache.range_enclosure(&p, &dom);
+        assert_eq!(cache.len(), 1);
+        let hit = cache.range_enclosure(&p, &dom);
+        assert_eq!(cache.len(), 1);
+        for iv in [miss, hit] {
+            assert_eq!(iv.lo().to_bits(), direct.lo().to_bits());
+            assert_eq!(iv.hi().to_bits(), direct.hi().to_bits());
+        }
+        // A different domain is a different key, not a stale hit.
+        let dom2 = [
+            dwv_interval::Interval::new(-0.5, 0.5),
+            dwv_interval::Interval::new(0.25, 1.0),
+        ];
+        let other = cache.range_enclosure(&p, &dom2);
+        assert_eq!(cache.len(), 2);
+        let direct2 = range_enclosure(&p, &IntervalBox::new(dom2.to_vec()));
+        assert_eq!(other.lo().to_bits(), direct2.lo().to_bits());
+        assert_eq!(other.hi().to_bits(), direct2.hi().to_bits());
     }
 
     #[test]

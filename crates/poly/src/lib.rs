@@ -31,5 +31,7 @@
 pub mod bernstein;
 mod polynomial;
 pub mod tables;
+mod workspace;
 
 pub use polynomial::{Exponents, Polynomial, TermIter, PACK_MAX_EXP, PACK_VARS};
+pub use workspace::PolyWorkspace;

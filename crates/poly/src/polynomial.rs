@@ -14,6 +14,7 @@
 //! variables, or a product whose total degree could exceed 255) fall back to
 //! boxed exponent-vector keys transparently.
 
+use crate::workspace::PolyWorkspace;
 use dwv_interval::Interval;
 use std::fmt;
 use std::ops::{Add, AddAssign, Deref, Mul, Neg, Sub};
@@ -879,6 +880,350 @@ impl Polynomial {
                 }
             }
         }
+    }
+
+    // --- In-place / destination-passing kernels -------------------------
+    //
+    // The zero-copy forms of `+`, `*`, `split_at_degree` and `prune`: same
+    // pair-generation order, same unstable sort, same merge and summation
+    // order as the functional ops, so results are bit-identical (asserted by
+    // the property tests); only the allocation behaviour differs. Boxed
+    // representations fall back to the functional ops.
+
+    /// The packed term list, when this polynomial uses the packed
+    /// representation (used by the Bernstein range cache for content keys).
+    pub(crate) fn packed_terms(&self) -> Option<&[(u64, f64)]> {
+        match &self.repr {
+            Repr::Packed(v) => Some(v),
+            Repr::Boxed(_) => None,
+        }
+    }
+
+    /// Resets `self` to an empty packed polynomial in `nvars` variables,
+    /// reusing the existing term buffer when possible, and returns it.
+    fn packed_storage(&mut self, nvars: usize) -> &mut Vec<(u64, f64)> {
+        self.nvars = nvars;
+        if let Repr::Packed(v) = &mut self.repr {
+            v.clear();
+        } else {
+            self.repr = Repr::Packed(Vec::new());
+        }
+        match &mut self.repr {
+            Repr::Packed(v) => v,
+            Repr::Boxed(_) => unreachable!("just reset to packed"),
+        }
+    }
+
+    /// In-place `self += rhs`, staging the merge in `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on variable-count mismatch.
+    pub fn add_assign_ref(&mut self, rhs: &Polynomial, ws: &mut PolyWorkspace) {
+        assert_eq!(self.nvars, rhs.nvars, "variable count mismatch");
+        if let (Repr::Packed(a), Repr::Packed(b)) = (&mut self.repr, &rhs.repr) {
+            merge_packed(a, b, None, &mut ws.merge);
+            std::mem::swap(a, &mut ws.merge);
+        } else {
+            let lhs = std::mem::replace(self, Polynomial::zero(self.nvars));
+            *self = lhs.merge_add(rhs.clone());
+        }
+    }
+
+    /// In-place fused `self += s·rhs`, bit-identical to
+    /// `self.clone() + rhs.scale(s)` without materializing the scaled copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on variable-count mismatch.
+    pub fn add_scaled_assign(&mut self, rhs: &Polynomial, s: f64, ws: &mut PolyWorkspace) {
+        assert_eq!(self.nvars, rhs.nvars, "variable count mismatch");
+        if s == 0.0 {
+            // rhs.scale(0.0) is the zero polynomial; the merge is a no-op.
+            return;
+        }
+        if let (Repr::Packed(a), Repr::Packed(b)) = (&mut self.repr, &rhs.repr) {
+            merge_packed(a, b, Some(s), &mut ws.merge);
+            std::mem::swap(a, &mut ws.merge);
+        } else {
+            let lhs = std::mem::replace(self, Polynomial::zero(self.nvars));
+            *self = lhs.merge_add(rhs.scale(s));
+        }
+    }
+
+    /// In-place coefficient scaling, bit-identical to [`Polynomial::scale`].
+    pub fn scale_in_place(&mut self, s: f64) {
+        if s == 0.0 {
+            let nvars = self.nvars;
+            *self = Polynomial::zero(nvars);
+            return;
+        }
+        match &mut self.repr {
+            Repr::Packed(v) => {
+                for t in v {
+                    t.1 *= s;
+                }
+            }
+            Repr::Boxed(v) => {
+                for t in v {
+                    t.1 *= s;
+                }
+            }
+        }
+    }
+
+    /// `out = self * rhs`, reusing `out`'s term storage and `ws` scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on variable-count mismatch.
+    pub fn mul_into(&self, rhs: &Polynomial, out: &mut Polynomial, ws: &mut PolyWorkspace) {
+        assert_eq!(self.nvars, rhs.nvars, "variable count mismatch");
+        if let (Repr::Packed(a), Repr::Packed(b)) = (&self.repr, &rhs.repr) {
+            if self.degree() + rhs.degree() <= PACK_MAX_EXP {
+                let dst = out.packed_storage(self.nvars);
+                if a.is_empty() || b.is_empty() {
+                    return;
+                }
+                stage_product(a, b, &mut ws.pairs);
+                normalize_sorted(&ws.pairs, dst);
+                return;
+            }
+        }
+        *out = self.clone() * rhs.clone();
+    }
+
+    /// Fused multiply + truncate: `out` receives the product's terms of total
+    /// degree ≤ `max_degree`; the overflow terms are folded directly into the
+    /// returned interval (their range over `domain`) without ever being
+    /// materialized as a polynomial. Bit-identical to
+    /// `(self·rhs).split_at_degree(max_degree)` followed by
+    /// `overflow.eval_interval(domain)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on variable-count or domain-length mismatch.
+    pub fn mul_truncated_into(
+        &self,
+        rhs: &Polynomial,
+        max_degree: u32,
+        domain: &[Interval],
+        out: &mut Polynomial,
+        ws: &mut PolyWorkspace,
+    ) -> Interval {
+        assert_eq!(self.nvars, rhs.nvars, "variable count mismatch");
+        assert_eq!(domain.len(), self.nvars, "domain dimension mismatch");
+        if let (Repr::Packed(a), Repr::Packed(b)) = (&self.repr, &rhs.repr) {
+            if self.degree() + rhs.degree() <= PACK_MAX_EXP {
+                if a.is_empty() || b.is_empty() {
+                    out.packed_storage(self.nvars);
+                    return Interval::ZERO;
+                }
+                stage_product(a, b, &mut ws.pairs);
+                ws.merge.clear();
+                normalize_sorted(&ws.pairs, &mut ws.merge);
+                let mut overflow = Interval::ZERO;
+                let dst = out.packed_storage(self.nvars);
+                for &(k, c) in &ws.merge {
+                    if key_degree(k) <= max_degree {
+                        dst.push((k, c));
+                    } else {
+                        overflow += packed_term_range(k, c, domain);
+                    }
+                }
+                return overflow;
+            }
+        }
+        let full = self.clone() * rhs.clone();
+        let (kept, over) = full.split_at_degree(max_degree);
+        *out = kept;
+        over.eval_interval(domain)
+    }
+
+    /// Removes terms with total degree > `max_degree`, returning the removed
+    /// terms' interval range over `domain` (`None` when nothing overflowed).
+    /// Bit-identical to `split_at_degree` + `eval_interval` of the overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics on domain-length mismatch.
+    pub fn truncate_in_place(&mut self, max_degree: u32, domain: &[Interval]) -> Option<Interval> {
+        assert_eq!(domain.len(), self.nvars, "domain dimension mismatch");
+        match &mut self.repr {
+            Repr::Packed(v) => {
+                if v.iter().all(|&(k, _)| key_degree(k) <= max_degree) {
+                    return None;
+                }
+                let mut acc = Interval::ZERO;
+                v.retain(|&(k, c)| {
+                    if key_degree(k) <= max_degree {
+                        true
+                    } else {
+                        acc += packed_term_range(k, c, domain);
+                        false
+                    }
+                });
+                Some(acc)
+            }
+            Repr::Boxed(v) => {
+                if v.iter().all(|(e, _)| e.iter().sum::<u32>() <= max_degree) {
+                    return None;
+                }
+                let mut acc = Interval::ZERO;
+                v.retain(|(e, c)| {
+                    if e.iter().sum::<u32>() <= max_degree {
+                        true
+                    } else {
+                        acc += boxed_term_range(e, *c, domain);
+                        false
+                    }
+                });
+                Some(acc)
+            }
+        }
+    }
+
+    /// Removes terms with `|coefficient| ≤ eps`, returning their interval
+    /// range over `domain` (`None` when nothing was dropped). Bit-identical
+    /// to [`Polynomial::prune`] + `eval_interval` of the dropped part.
+    ///
+    /// # Panics
+    ///
+    /// Panics on domain-length mismatch.
+    pub fn prune_in_place(&mut self, eps: f64, domain: &[Interval]) -> Option<Interval> {
+        assert_eq!(domain.len(), self.nvars, "domain dimension mismatch");
+        match &mut self.repr {
+            Repr::Packed(v) => {
+                if v.iter().all(|(_, c)| c.abs() > eps) {
+                    return None;
+                }
+                let mut acc = Interval::ZERO;
+                v.retain(|&(k, c)| {
+                    if c.abs() > eps {
+                        true
+                    } else {
+                        acc += packed_term_range(k, c, domain);
+                        false
+                    }
+                });
+                Some(acc)
+            }
+            Repr::Boxed(v) => {
+                if v.iter().all(|(_, c)| c.abs() > eps) {
+                    return None;
+                }
+                let mut acc = Interval::ZERO;
+                v.retain(|(e, c)| {
+                    if c.abs() > eps {
+                        true
+                    } else {
+                        acc += boxed_term_range(e, *c, domain);
+                        false
+                    }
+                });
+                Some(acc)
+            }
+        }
+    }
+}
+
+/// Interval range of one packed term over `domain` — the per-term evaluation
+/// [`Polynomial::eval_interval`] performs.
+#[inline]
+fn packed_term_range(key: u64, c: f64, domain: &[Interval]) -> Interval {
+    let mut m = Interval::point(c);
+    for (i, iv) in domain.iter().enumerate() {
+        let e = key_exp(key, i);
+        if e > 0 {
+            m *= iv.powi(e);
+        }
+    }
+    m
+}
+
+/// Interval range of one boxed term over `domain`.
+#[inline]
+fn boxed_term_range(exps: &[u32], c: f64, domain: &[Interval]) -> Interval {
+    let mut m = Interval::point(c);
+    for (&e, iv) in exps.iter().zip(domain) {
+        if e > 0 {
+            m *= iv.powi(e);
+        }
+    }
+    m
+}
+
+/// Stages the raw pair products of two packed term lists into `buf` (cleared
+/// first) and sorts them — the same generation order and unstable sort the
+/// functional `Mul` uses.
+fn stage_product(a: &[(u64, f64)], b: &[(u64, f64)], buf: &mut Vec<(u64, f64)>) {
+    buf.clear();
+    buf.reserve(a.len() * b.len());
+    for &(ka, ca) in a {
+        for &(kb, cb) in b {
+            buf.push((ka + kb, ca * cb));
+        }
+    }
+    buf.sort_unstable_by_key(|t| t.0);
+}
+
+/// The dedup half of `from_packed_pairs`: folds a sorted pair list into
+/// `out`, summing duplicates and dropping exact-zero sums. `out` must start
+/// empty.
+fn normalize_sorted(sorted: &[(u64, f64)], out: &mut Vec<(u64, f64)>) {
+    for &(k, c) in sorted {
+        if let Some(last) = out.last_mut() {
+            if last.0 == k {
+                last.1 += c;
+                if last.1 == 0.0 {
+                    out.pop();
+                }
+                continue;
+            }
+        }
+        if c != 0.0 {
+            out.push((k, c));
+        }
+    }
+}
+
+/// Merges two sorted packed term lists into `out` (cleared first), summing
+/// equal monomials and dropping exact-zero sums. `scale` streams `b`'s
+/// coefficients through a multiply as they merge — the fused form of
+/// `scale` + `add` with identical floating-point operations.
+fn merge_packed(a: &[(u64, f64)], b: &[(u64, f64)], scale: Option<f64>, out: &mut Vec<(u64, f64)>) {
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let sb = scale.unwrap_or(1.0);
+    let scaled = scale.is_some();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                let c = if scaled { b[j].1 * sb } else { b[j].1 };
+                out.push((b[j].0, c));
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let bc = if scaled { b[j].1 * sb } else { b[j].1 };
+                let c = a[i].1 + bc;
+                if c != 0.0 {
+                    out.push((a[i].0, c));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    if scaled {
+        out.extend(b[j..].iter().map(|&(k, c)| (k, c * sb)));
+    } else {
+        out.extend_from_slice(&b[j..]);
     }
 }
 

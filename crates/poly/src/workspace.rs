@@ -1,0 +1,31 @@
+//! Reusable scratch buffers for allocation-free polynomial kernels.
+//!
+//! The destination-passing operations on [`crate::Polynomial`]
+//! (`add_assign_ref`, `add_scaled_assign`, `mul_into`,
+//! `mul_truncated_into`) stage their intermediate term lists in a
+//! [`PolyWorkspace`] instead of allocating fresh `Vec`s per call. A workspace
+//! is plain scratch memory: it carries no results between calls, only
+//! capacity, so one workspace threaded through a flowpipe step or an
+//! NN-abstraction layer turns the per-term-vector allocations of the
+//! functional ops into O(1) amortized allocations per operation.
+
+/// Scratch buffers for packed-representation polynomial kernels.
+///
+/// Holds the unsorted pair-product buffer and the merge output buffer the
+/// in-place kernels stage their work in. Buffers grow to the high-water mark
+/// of the operations performed through them and are then reused.
+#[derive(Debug, Default)]
+pub struct PolyWorkspace {
+    /// Unsorted `(key, coefficient)` products of a multiplication.
+    pub(crate) pairs: Vec<(u64, f64)>,
+    /// Merge / normalization output, swapped into the destination.
+    pub(crate) merge: Vec<(u64, f64)>,
+}
+
+impl PolyWorkspace {
+    /// Creates an empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -1,8 +1,19 @@
 //! Property-based tests for polynomial arithmetic and Bernstein forms.
 
-use dwv_interval::IntervalBox;
-use dwv_poly::{bernstein, Polynomial};
+use dwv_interval::{Interval, IntervalBox};
+use dwv_poly::{bernstein, PolyWorkspace, Polynomial};
 use proptest::prelude::*;
+
+/// The exact bit content of a polynomial: terms in iteration order with
+/// coefficient bit patterns. Two polynomials with equal `bits` are
+/// indistinguishable to any downstream floating-point computation.
+fn bits(p: &Polynomial) -> Vec<(Vec<u32>, u64)> {
+    p.iter().map(|(e, c)| (e.to_vec(), c.to_bits())).collect()
+}
+
+fn interval_bits(iv: Interval) -> (u64, u64) {
+    (iv.lo().to_bits(), iv.hi().to_bits())
+}
 
 /// A random polynomial in 2 variables with bounded degree and coefficients.
 fn poly2() -> impl Strategy<Value = Polynomial> {
@@ -132,6 +143,88 @@ proptest! {
         let q = p.affine_substitution(&[a0, a1], &[b0, b1]);
         let expect = p.eval(&[a0 + b0 * x, a1 + b1 * y]);
         prop_assert!((q.eval(&[x, y]) - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+    }
+
+    // In-place kernels must be drop-in replacements for the functional ops:
+    // not merely close, but bit-identical, so swapping them into the
+    // verification loop cannot move a single enclosure bound.
+
+    #[test]
+    fn add_assign_ref_is_bit_identical(p in poly2(), q in poly2()) {
+        let mut ws = PolyWorkspace::new();
+        let mut a = p.clone();
+        a.add_assign_ref(&q, &mut ws);
+        prop_assert_eq!(bits(&a), bits(&(p + q)));
+    }
+
+    #[test]
+    fn add_scaled_assign_is_bit_identical(p in poly2(), q in poly2(), s in -3.0..3.0f64) {
+        let mut ws = PolyWorkspace::new();
+        let mut a = p.clone();
+        a.add_scaled_assign(&q, s, &mut ws);
+        prop_assert_eq!(bits(&a), bits(&(p + q.scale(s))));
+    }
+
+    #[test]
+    fn add_scaled_assign_by_minus_one_is_subtraction(p in poly2(), q in poly2()) {
+        let mut ws = PolyWorkspace::new();
+        let mut a = p.clone();
+        a.add_scaled_assign(&q, -1.0, &mut ws);
+        prop_assert_eq!(bits(&a), bits(&(p - q)));
+    }
+
+    #[test]
+    fn scale_in_place_is_bit_identical(p in poly2(), s in -3.0..3.0f64) {
+        let mut a = p.clone();
+        a.scale_in_place(s);
+        prop_assert_eq!(bits(&a), bits(&p.scale(s)));
+    }
+
+    #[test]
+    fn mul_into_is_bit_identical(p in poly2(), q in poly2()) {
+        let mut ws = PolyWorkspace::new();
+        let mut out = Polynomial::zero(2);
+        p.mul_into(&q, &mut out, &mut ws);
+        prop_assert_eq!(bits(&out), bits(&(p * q)));
+    }
+
+    #[test]
+    fn truncate_in_place_matches_split(p in poly2(), d in 0u32..5) {
+        let dom = [Interval::new(-1.0, 1.0); 2];
+        let (low, high) = p.split_at_degree(d);
+        let mut a = p.clone();
+        let overflow = a.truncate_in_place(d, &dom);
+        prop_assert_eq!(bits(&a), bits(&low));
+        match overflow {
+            None => prop_assert!(high.is_zero()),
+            Some(iv) => {
+                prop_assert!(!high.is_zero());
+                prop_assert_eq!(interval_bits(iv), interval_bits(high.eval_interval(&dom)));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_truncated_into_matches_full_product(p in poly2(), q in poly2(), d in 0u32..5) {
+        let dom = [Interval::new(-1.0, 1.0); 2];
+        let mut ws = PolyWorkspace::new();
+        let mut kept = Polynomial::zero(2);
+        let overflow = p.mul_truncated_into(&q, d, &dom, &mut kept, &mut ws);
+        let (low, high) = (p * q).split_at_degree(d);
+        prop_assert_eq!(bits(&kept), bits(&low));
+        prop_assert_eq!(interval_bits(overflow), interval_bits(high.eval_interval(&dom)));
+    }
+
+    #[test]
+    fn range_cache_is_bit_identical_and_sound(p in poly2(), x in -1.0..1.0f64, y in -1.0..1.0f64) {
+        let b = IntervalBox::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]);
+        let uncached = bernstein::range_enclosure(&p, &b);
+        let mut cache = bernstein::RangeCache::new();
+        let miss = cache.range_enclosure(&p, b.intervals());
+        let hit = cache.range_enclosure(&p, b.intervals());
+        prop_assert_eq!(interval_bits(miss), interval_bits(uncached));
+        prop_assert_eq!(interval_bits(hit), interval_bits(uncached));
+        prop_assert!(hit.inflate(1e-6).contains_value(p.eval(&[x, y])));
     }
 
     #[test]

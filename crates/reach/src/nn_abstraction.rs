@@ -20,7 +20,7 @@ use dwv_dynamics::NnController;
 use dwv_interval::{Interval, IntervalBox};
 use dwv_nn::Activation;
 use dwv_poly::Polynomial;
-use dwv_taylor::{TaylorModel, TmVector};
+use dwv_taylor::{TaylorModel, TmVector, TmWorkspace};
 
 /// Sound magnitude bounds for the k-th derivative of tanh on ℝ, k = 0..=5
 /// (values slightly rounded up from the analytic extrema).
@@ -80,6 +80,26 @@ pub trait NnAbstraction {
         state: &TmVector,
         domain: &[Interval],
     ) -> Result<TmVector, ReachError>;
+
+    /// [`NnAbstraction::abstract_network`] with an explicit workspace, for
+    /// callers that propagate many enclosures through the same network (a
+    /// reachability loop abstracts the controller once per step). The default
+    /// implementation ignores the workspace and delegates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReachError`] when the abstraction cannot soundly enclose the
+    /// network on the given range.
+    fn abstract_network_ws(
+        &self,
+        controller: &NnController,
+        state: &TmVector,
+        domain: &[Interval],
+        ws: &mut TmWorkspace,
+    ) -> Result<TmVector, ReachError> {
+        let _ = ws;
+        self.abstract_network(controller, state, domain)
+    }
 }
 
 /// POLAR-style layer-by-layer Taylor-model propagation.
@@ -113,14 +133,15 @@ impl TaylorAbstraction {
     }
 
     /// Encloses one activation applied to a pre-activation Taylor model.
-    fn activation_model(
+    fn activation_model_ws(
         &self,
         act: Activation,
         z: &TaylorModel,
         domain: &[Interval],
+        ws: &mut TmWorkspace,
     ) -> TaylorModel {
         let range = if self.bernstein_ranges {
-            z.range_bernstein(domain)
+            z.range_bernstein_cached(domain, &mut ws.bern)
         } else {
             z.range(domain)
         };
@@ -156,9 +177,9 @@ impl TaylorAbstraction {
                 let mut acc = TaylorModel::constant(z.nvars(), coeffs[0]);
                 let mut pw = TaylorModel::constant(z.nvars(), 1.0);
                 for &a in coeffs.iter().skip(1) {
-                    pw = pw.mul(&dz, self.order, domain);
+                    pw = pw.mul_truncated(&dz, self.order, domain, ws);
                     if a != 0.0 {
-                        acc = acc.add(&pw.scale(a));
+                        acc.add_scaled_assign(&pw, a, ws);
                     }
                 }
                 let out = acc.add_interval(Interval::symmetric(lagrange));
@@ -205,6 +226,17 @@ impl NnAbstraction for TaylorAbstraction {
         state: &TmVector,
         domain: &[Interval],
     ) -> Result<TmVector, ReachError> {
+        let mut ws = TmWorkspace::new();
+        self.abstract_network_ws(controller, state, domain, &mut ws)
+    }
+
+    fn abstract_network_ws(
+        &self,
+        controller: &NnController,
+        state: &TmVector,
+        domain: &[Interval],
+        ws: &mut TmWorkspace,
+    ) -> Result<TmVector, ReachError> {
         let net = controller.network();
         if net.in_dim() != state.dim() {
             return Err(ReachError::Unsupported(format!(
@@ -213,26 +245,35 @@ impl NnAbstraction for TaylorAbstraction {
                 state.dim()
             )));
         }
-        let mut h: Vec<TaylorModel> = state.components().to_vec();
-        for layer in net.layers() {
+        let mut h: Vec<TaylorModel> = if net.layers().is_empty() {
+            state.components().to_vec()
+        } else {
+            Vec::new()
+        };
+        for (li, layer) in net.layers().iter().enumerate() {
+            // The first layer reads the state models directly (no copy).
+            let inputs: &[TaylorModel] = if li == 0 { state.components() } else { &h };
             let mut next = Vec::with_capacity(layer.out_dim());
             for o in 0..layer.out_dim() {
                 // Affine part is exact in TM arithmetic.
                 let mut z = TaylorModel::constant(state.nvars(), layer.bias()[o]);
-                for (i, hi) in h.iter().enumerate() {
+                for (i, hi) in inputs.iter().enumerate() {
                     let w = layer.weight(o, i);
                     if w != 0.0 {
-                        z = z.add(&hi.scale(w));
+                        z.add_scaled_assign(hi, w, ws);
                     }
                 }
-                next.push(self.activation_model(layer.activation(), &z, domain));
+                next.push(self.activation_model_ws(layer.activation(), &z, domain, ws));
             }
             h = next;
         }
         let scale = controller.output_scale();
-        Ok(TmVector::new(
-            h.into_iter().map(|t| t.scale(scale)).collect(),
-        ))
+        Ok(h.into_iter()
+            .map(|mut t| {
+                t.scale_in_place(scale);
+                t
+            })
+            .collect())
     }
 }
 

@@ -20,21 +20,28 @@
 use dwv_dynamics::linalg::Matrix;
 use dwv_interval::{Interval, IntervalBox};
 
-/// The interval image of `A·S + B·U + c`.
-fn deriv_box(a: &Matrix, b: &Matrix, c: &[f64], s: &IntervalBox, u: &[Interval]) -> Vec<Interval> {
+/// The interval image of `A·S + B·U + c`, written into a reused buffer (the
+/// sweep iterates up to 40 times per step; one buffer serves all attempts).
+fn deriv_box_into(
+    a: &Matrix,
+    b: &Matrix,
+    c: &[f64],
+    s: &IntervalBox,
+    u: &[Interval],
+    out: &mut Vec<Interval>,
+) {
     let n = a.nrows();
-    (0..n)
-        .map(|i| {
-            let mut acc = Interval::point(c[i]);
-            for j in 0..n {
-                acc += s.interval(j) * a.get(i, j);
-            }
-            for (j, uj) in u.iter().enumerate() {
-                acc += *uj * b.get(i, j);
-            }
-            acc
-        })
-        .collect()
+    out.clear();
+    out.extend((0..n).map(|i| {
+        let mut acc = Interval::point(c[i]);
+        for j in 0..n {
+            acc += s.interval(j) * a.get(i, j);
+        }
+        for (j, uj) in u.iter().enumerate() {
+            acc += *uj * b.get(i, j);
+        }
+        acc
+    }));
 }
 
 /// A box enclosing `x(τ)` for all `τ ∈ [0, δ]`, all `x(0) ∈ bt`, and the
@@ -55,8 +62,9 @@ pub(crate) fn affine_sweep_box(
     assert_eq!(a.nrows(), bt.dim(), "A/state dimension mismatch");
     let n = bt.dim();
     let mut s = bt.clone();
+    let mut d = Vec::with_capacity(n);
     for attempt in 0..40 {
-        let d = deriv_box(a, b, c, &s, u);
+        deriv_box_into(a, b, c, &s, u, &mut d);
         let mapped: IntervalBox = (0..n)
             .map(|i| {
                 let reach =
@@ -77,7 +85,7 @@ pub(crate) fn affine_sweep_box(
             .collect();
     }
     // Conservative fallback: one more mapped image of the inflated set.
-    let d = deriv_box(a, b, c, &s, u);
+    deriv_box_into(a, b, c, &s, u, &mut d);
     (0..n)
         .map(|i| {
             let reach = Interval::new((delta * d[i].lo()).min(0.0), (delta * d[i].hi()).max(0.0));
@@ -107,7 +115,8 @@ pub(crate) fn affine_sweep_box_chord(
 ) -> IntervalBox {
     let n = bt.dim();
     let coarse = affine_sweep_box(a, b, c, bt, u, delta).hull(bt1);
-    let xdot = deriv_box(a, b, c, &coarse, u);
+    let mut xdot = Vec::with_capacity(n);
+    deriv_box_into(a, b, c, &coarse, u, &mut xdot);
     // ẍ = A·ẋ (u is held, so u̇ = 0).
     let chord = bt.hull(bt1);
     (0..n)

@@ -18,7 +18,7 @@ use crate::flowpipe::{Flowpipe, StepEnclosure};
 use crate::nn_abstraction::NnAbstraction;
 use dwv_dynamics::{NnController, ReachAvoidProblem};
 use dwv_interval::Interval;
-use dwv_taylor::{OdeIntegrator, OdeRhs, TmVector};
+use dwv_taylor::{OdeIntegrator, OdeRhs, StepFlow, TmVector, TmWorkspace};
 
 /// How state enclosures carry dependency information between control steps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -153,46 +153,72 @@ impl<A: NnAbstraction> TaylorReach<A> {
     /// the behaviour the paper reports as `NaN`/`Unknown` verification
     /// results for hard-to-verify baseline controllers.
     pub fn reach(&self, controller: &NnController) -> Result<Flowpipe, ReachError> {
-        let n = self.x0.dim();
+        self.reach_from(&self.x0, controller)
+    }
+
+    /// [`TaylorReach::reach`] from an explicit initial set, leaving the
+    /// verifier untouched — the Algorithm-2 initial-set sweep verifies many
+    /// sub-boxes of `X₀` with one verifier instead of cloning it per cell.
+    ///
+    /// One [`TmWorkspace`] is created per call and threaded through every
+    /// abstraction and flow step of the run, so the whole verification
+    /// performs O(1) amortized heap allocations per Taylor-model operation
+    /// and shares one Bernstein range memo across steps.
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::Diverged`] when the flowpipe blows up at some step.
+    pub fn reach_from(
+        &self,
+        x0: &dwv_interval::IntervalBox,
+        controller: &NnController,
+    ) -> Result<Flowpipe, ReachError> {
+        let n = x0.dim();
         let domain = dwv_taylor::unit_domain(n);
-        let mut state = TmVector::from_box(&self.x0);
+        let mut ws = TmWorkspace::new();
+        let mut state = TmVector::from_box(x0);
         let mut steps = Vec::with_capacity(self.steps + 1);
         steps.push(StepEnclosure {
             t0: 0.0,
             t1: 0.0,
-            enclosure: self.x0.clone(),
-            end_box: self.x0.clone(),
+            enclosure: x0.clone(),
+            end_box: x0.clone(),
             polygon: None,
         });
         for k in 0..self.steps {
             if self.config.dependency == DependencyTracking::BoxReinit {
-                let b = self.range_box(&state, &domain);
+                let b = self.range_box_ws(&state, &domain, &mut ws);
                 state = TmVector::from_box(&b);
             }
             let u = self
                 .abstraction
-                .abstract_network(controller, &state, &domain)?;
-            let flow = self
+                .abstract_network_ws(controller, &state, &domain, &mut ws)?;
+            let StepFlow { end, step_box } = self
                 .config
                 .integrator
-                .flow_step(&state, &u, &self.rhs, self.delta, &domain)
+                .flow_step_ws(&state, &u, &self.rhs, self.delta, &domain, &mut ws)
                 .map_err(|source| ReachError::Diverged { step: k, source })?;
-            let end_box = self.range_box(&flow.end, &domain);
+            let end_box = self.range_box_ws(&end, &domain, &mut ws);
             steps.push(StepEnclosure {
                 t0: k as f64 * self.delta,
                 t1: (k + 1) as f64 * self.delta,
-                enclosure: flow.step_box.clone(),
+                enclosure: step_box,
                 end_box,
                 polygon: None,
             });
-            state = flow.end;
+            state = end;
         }
         Ok(Flowpipe::new(steps))
     }
 
-    fn range_box(&self, state: &TmVector, domain: &[Interval]) -> dwv_interval::IntervalBox {
+    fn range_box_ws(
+        &self,
+        state: &TmVector,
+        domain: &[Interval],
+        ws: &mut TmWorkspace,
+    ) -> dwv_interval::IntervalBox {
         if self.config.bernstein_ranges {
-            state.range_box_bernstein(domain)
+            state.range_box_bernstein_cached(domain, &mut ws.bern)
         } else {
             state.range_box(domain)
         }

@@ -283,9 +283,9 @@ mod tests {
                 .collect();
             for t in 1..=p.horizon_steps {
                 let mut next = m.matvec(&x);
-                for i in 0..n {
+                for (i, xi) in next.iter_mut().enumerate().take(n) {
                     let wi = wbox.interval(i);
-                    next[i] += v.cd[i] + rng.gen_range(wi.lo()..=wi.hi());
+                    *xi += v.cd[i] + rng.gen_range(wi.lo()..=wi.hi());
                 }
                 x = next;
                 assert!(

@@ -22,9 +22,10 @@
 //! behaviour the paper observes as "NAN occurs for the DDPG controller
 //! verification with POLAR after 3 steps" (Fig. 8).
 
-use crate::model::{TaylorModel, TmVector};
+use crate::model::{compose_parts_ws, TaylorModel, TmVector, TmWorkspace};
 use crate::ode::OdeRhs;
-use dwv_interval::{Interval, IntervalBox};
+use dwv_interval::Interval;
+use dwv_interval::IntervalBox;
 use std::fmt;
 
 /// Errors from validated integration.
@@ -159,6 +160,31 @@ impl OdeIntegrator {
         delta: f64,
         domain: &[Interval],
     ) -> Result<StepFlow, FlowpipeError> {
+        let mut ws = TmWorkspace::new();
+        self.flow_step_ws(x0, u, rhs, delta, domain, &mut ws)
+    }
+
+    /// [`OdeIntegrator::flow_step`] with an explicit workspace.
+    ///
+    /// A reachability loop creates one [`TmWorkspace`] per run and threads it
+    /// through every step: the scratch buffers amortize the flowpipe's
+    /// polynomial allocations, and the Bernstein range memo is hit across
+    /// Picard validation attempts (trial remainders perturb only interval
+    /// parts, so the defect polynomials — and their enclosures — repeat).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowpipeError::Diverged`] when remainder validation fails;
+    /// [`FlowpipeError::DimensionMismatch`] on inconsistent dimensions.
+    pub fn flow_step_ws(
+        &self,
+        x0: &TmVector,
+        u: &TmVector,
+        rhs: &OdeRhs,
+        delta: f64,
+        domain: &[Interval],
+        ws: &mut TmWorkspace,
+    ) -> Result<StepFlow, FlowpipeError> {
         let n = rhs.n_state();
         let m = rhs.n_input();
         if x0.dim() != n || u.dim() != m {
@@ -179,15 +205,20 @@ impl OdeIntegrator {
         // --- Polynomial Picard iteration --------------------------------
         let mut xs: Vec<TaylorModel> = x0e.components().to_vec();
         for _ in 0..self.picard_iters {
-            let f = self.eval_field(rhs, &xs, &ue, &dom_ext);
-            xs = (0..n)
-                .map(|i| {
-                    x0e.component(i)
-                        .add(&f[i].antiderivative(t_var, &dom_ext).scale(delta))
-                        .truncate(self.order, &dom_ext)
+            let f = self.eval_field(rhs, &xs, &ue, &dom_ext, ws);
+            xs = f
+                .into_iter()
+                .enumerate()
+                .map(|(i, fi)| {
+                    let mut t = fi.antiderivative(t_var, &dom_ext);
+                    t.scale_in_place(delta);
+                    t.add_assign_tm(x0e.component(i), ws);
+                    t.truncate_in_place(self.order, &dom_ext);
+                    t
                 })
                 .collect();
         }
+        debug_assert_eq!(xs.len(), n);
         // Drop the remainders accumulated during iteration: the polynomial
         // part is what we keep; validation below rebuilds a sound remainder.
         let polys: Vec<TaylorModel> = xs
@@ -198,7 +229,7 @@ impl OdeIntegrator {
         // --- Remainder validation ----------------------------------------
         // First application of the full Picard operator to the bare
         // polynomial gives the baseline defect.
-        let defect = self.picard_defect(&polys, &x0e, &ue, rhs, delta, t_var, &dom_ext);
+        let defect = self.picard_defect(&polys, &x0e, &ue, rhs, delta, t_var, &dom_ext, ws);
         let mut candidate: Vec<Interval> = defect
             .iter()
             .map(|d| {
@@ -213,7 +244,7 @@ impl OdeIntegrator {
                 .zip(&candidate)
                 .map(|(p, &j)| p.with_remainder(j))
                 .collect();
-            let mapped = self.picard_defect(&trial, &x0e, &ue, rhs, delta, t_var, &dom_ext);
+            let mapped = self.picard_defect(&trial, &x0e, &ue, rhs, delta, t_var, &dom_ext, ws);
             let contained = mapped
                 .iter()
                 .zip(&candidate)
@@ -226,7 +257,7 @@ impl OdeIntegrator {
                     .collect();
                 let flow = TmVector::new(validated);
                 let step_box = if self.bernstein_ranges {
-                    flow.range_box_bernstein(&dom_ext)
+                    flow.range_box_bernstein_cached(&dom_ext, &mut ws.bern)
                 } else {
                     flow.range_box(&dom_ext)
                 };
@@ -270,6 +301,7 @@ impl OdeIntegrator {
         xs: &[TaylorModel],
         u: &TmVector,
         dom: &[Interval],
+        ws: &mut TmWorkspace,
     ) -> Vec<TaylorModel> {
         let args: Vec<TaylorModel> = xs
             .iter()
@@ -278,7 +310,7 @@ impl OdeIntegrator {
             .collect();
         rhs.field()
             .iter()
-            .map(|p| TaylorModel::new(p.clone(), Interval::ZERO).compose(&args, self.order, dom))
+            .map(|p| compose_parts_ws(p, Interval::ZERO, &args, self.order, dom, ws))
             .collect()
     }
 
@@ -295,22 +327,28 @@ impl OdeIntegrator {
         delta: f64,
         t_var: usize,
         dom_ext: &[Interval],
+        ws: &mut TmWorkspace,
     ) -> Vec<Interval> {
-        let f = self.eval_field(rhs, trial, ue, dom_ext);
-        (0..trial.len())
-            .map(|i| {
-                let mapped = x0e
-                    .component(i)
-                    .add(&f[i].antiderivative(t_var, dom_ext).scale(delta));
+        let f = self.eval_field(rhs, trial, ue, dom_ext, ws);
+        f.into_iter()
+            .enumerate()
+            .map(|(i, fi)| {
+                let mut mapped = fi.antiderivative(t_var, dom_ext);
+                mapped.scale_in_place(delta);
+                mapped.add_assign_tm(x0e.component(i), ws);
                 // Polynomial difference from the candidate's polynomial part
-                // is a defect that must be absorbed by the remainder.
-                let diff = mapped.poly().clone() - trial[i].poly().clone();
+                // is a defect that must be absorbed by the remainder. Trial
+                // remainders never reach the polynomial parts, so `diff`
+                // repeats across validation attempts and its Bernstein
+                // enclosure is a cache hit from the second attempt on.
+                let (mut diff, mapped_rem) = mapped.into_parts();
+                diff.add_scaled_assign(trial[i].poly(), -1.0, &mut ws.poly);
                 let diff_range = if self.bernstein_ranges && !diff.is_zero() {
-                    dwv_poly::bernstein::range_enclosure(&diff, &IntervalBox::new(dom_ext.to_vec()))
+                    ws.bern.range_enclosure(&diff, dom_ext)
                 } else {
                     diff.eval_interval(dom_ext)
                 };
-                mapped.remainder() + diff_range
+                mapped_rem + diff_range
             })
             .collect()
     }

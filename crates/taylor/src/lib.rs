@@ -39,5 +39,7 @@ mod model;
 mod ode;
 
 pub use flowpipe::{FlowpipeError, OdeIntegrator, StepFlow};
-pub use model::{unit_domain, TaylorModel, TmVector, DEFAULT_PRUNE_EPS};
+pub use model::{
+    compose_parts_ws, unit_domain, TaylorModel, TmVector, TmWorkspace, DEFAULT_PRUNE_EPS,
+};
 pub use ode::OdeRhs;

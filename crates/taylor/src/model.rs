@@ -1,8 +1,39 @@
 //! Taylor-model arithmetic.
 
 use dwv_interval::{Interval, IntervalBox};
-use dwv_poly::Polynomial;
+use dwv_poly::bernstein::RangeCache;
+use dwv_poly::{PolyWorkspace, Polynomial};
 use std::fmt;
+
+/// Scratch arena threaded through a verification loop.
+///
+/// Bundles the polynomial kernel scratch buffers with a per-call-site
+/// Bernstein range memo. One workspace created per reachability run (or per
+/// flowpipe step / NN-layer propagation) turns the per-term-vector heap
+/// allocations of the functional [`TaylorModel`] ops into O(1) amortized
+/// allocations, and lets repeated Bernstein enclosures of unchanged
+/// polynomial parts — Picard validation attempts, layer-by-layer activation
+/// ranges — hit the memo instead of re-contracting the coefficient tensor.
+///
+/// A workspace carries no semantic state: every operation through it is
+/// bit-identical to its functional counterpart (the cache stores exact
+/// results under exact content keys), so workspaces may be dropped,
+/// recreated, or shared across unrelated call sites freely.
+#[derive(Debug, Default)]
+pub struct TmWorkspace {
+    /// Polynomial kernel scratch buffers.
+    pub poly: PolyWorkspace,
+    /// Bernstein range-enclosure memo.
+    pub bern: RangeCache,
+}
+
+impl TmWorkspace {
+    /// Creates an empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Coefficient-pruning threshold applied by [`TaylorModel::mul`] and
 /// [`TaylorModel::truncate`].
@@ -91,6 +122,13 @@ impl TaylorModel {
         &self.poly
     }
 
+    /// Consumes the model, yielding its parts (the move-based counterpart of
+    /// [`TaylorModel::poly`] + [`TaylorModel::remainder`]).
+    #[must_use]
+    pub fn into_parts(self) -> (Polynomial, Interval) {
+        (self.poly, self.remainder)
+    }
+
     /// The remainder interval.
     #[must_use]
     pub fn remainder(&self) -> Interval {
@@ -123,6 +161,14 @@ impl TaylorModel {
     pub fn range_bernstein(&self, domain: &[Interval]) -> Interval {
         let b = IntervalBox::new(domain.to_vec());
         dwv_poly::bernstein::range_enclosure(&self.poly, &b) + self.remainder
+    }
+
+    /// [`TaylorModel::range_bernstein`] served through a [`RangeCache`] —
+    /// bit-identical, with repeated enclosures of the same polynomial/domain
+    /// pair answered from the memo instead of re-contracting the tensor.
+    #[must_use]
+    pub fn range_bernstein_cached(&self, domain: &[Interval], cache: &mut RangeCache) -> Interval {
+        cache.range_enclosure(&self.poly, domain) + self.remainder
     }
 
     /// Sum of two models (remainders add).
@@ -196,6 +242,79 @@ impl TaylorModel {
         TaylorModel::new(kept, rem).prune(DEFAULT_PRUNE_EPS, domain)
     }
 
+    /// Fused product + truncation: bit-identical to [`TaylorModel::mul`], but
+    /// the product terms above `order` are folded straight into the remainder
+    /// as they stream out of the multiply — the full-degree product `mul`
+    /// builds and immediately splits is never materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics on variable-count or domain-length mismatch.
+    #[must_use]
+    pub fn mul_truncated(
+        &self,
+        rhs: &TaylorModel,
+        order: u32,
+        domain: &[Interval],
+        ws: &mut TmWorkspace,
+    ) -> TaylorModel {
+        let mut kept = Polynomial::zero(self.nvars());
+        let mut rem =
+            self.poly
+                .mul_truncated_into(&rhs.poly, order, domain, &mut kept, &mut ws.poly);
+        rem += self.poly.eval_interval(domain) * rhs.remainder;
+        rem += rhs.poly.eval_interval(domain) * self.remainder;
+        rem += self.remainder * rhs.remainder;
+        let mut out = TaylorModel::new(kept, rem);
+        out.prune_in_place(DEFAULT_PRUNE_EPS, domain);
+        out
+    }
+
+    /// In-place sum, bit-identical to [`TaylorModel::add`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on variable-count mismatch.
+    pub fn add_assign_tm(&mut self, rhs: &TaylorModel, ws: &mut TmWorkspace) {
+        self.poly.add_assign_ref(&rhs.poly, &mut ws.poly);
+        self.remainder += rhs.remainder;
+    }
+
+    /// In-place fused `self += s·rhs`, bit-identical to
+    /// `self.add(&rhs.scale(s))` without materializing the scaled copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on variable-count mismatch.
+    pub fn add_scaled_assign(&mut self, rhs: &TaylorModel, s: f64, ws: &mut TmWorkspace) {
+        self.poly.add_scaled_assign(&rhs.poly, s, &mut ws.poly);
+        self.remainder += rhs.remainder * Interval::point(s);
+    }
+
+    /// In-place scalar multiple, bit-identical to [`TaylorModel::scale`].
+    pub fn scale_in_place(&mut self, s: f64) {
+        self.poly.scale_in_place(s);
+        self.remainder *= Interval::point(s);
+    }
+
+    /// In-place truncation, bit-identical to [`TaylorModel::truncate`].
+    pub fn truncate_in_place(&mut self, order: u32, domain: &[Interval]) {
+        if let Some(overflow) = self.poly.truncate_in_place(order, domain) {
+            self.remainder += overflow;
+        }
+        self.prune_in_place(DEFAULT_PRUNE_EPS, domain);
+    }
+
+    /// In-place pruning, bit-identical to [`TaylorModel::prune`].
+    pub fn prune_in_place(&mut self, eps: f64, domain: &[Interval]) {
+        if eps <= 0.0 {
+            return;
+        }
+        if let Some(dropped) = self.poly.prune_in_place(eps, domain) {
+            self.remainder += dropped;
+        }
+    }
+
     /// Truncates the polynomial part to total degree `order`, absorbing the
     /// overflow's range into the remainder.
     #[must_use]
@@ -225,19 +344,39 @@ impl TaylorModel {
         TaylorModel::new(kept, self.remainder + dropped.eval_interval(domain))
     }
 
-    /// Integer power with truncation (repeated [`TaylorModel::mul`]).
+    /// Integer power with truncation.
     #[must_use]
     pub fn powi(&self, e: u32, order: u32, domain: &[Interval]) -> TaylorModel {
-        match e {
-            0 => TaylorModel::constant(self.nvars(), 1.0),
-            _ => {
-                let mut acc = self.clone();
-                for _ in 1..e {
-                    acc = acc.mul(self, order, domain);
-                }
-                acc
+        let mut ws = TmWorkspace::new();
+        self.powi_ws(e, order, domain, &mut ws)
+    }
+
+    /// [`TaylorModel::powi`] with an explicit workspace: square-and-multiply
+    /// (MSB-first) over the fused [`TaylorModel::mul_truncated`], O(log e)
+    /// truncated products instead of the former O(e) repeated multiply. For
+    /// `e ≤ 3` the multiplication sequence coincides with the repeated
+    /// multiply, so results are bit-identical there; for larger exponents the
+    /// association differs (both enclosures remain sound).
+    #[must_use]
+    pub fn powi_ws(
+        &self,
+        e: u32,
+        order: u32,
+        domain: &[Interval],
+        ws: &mut TmWorkspace,
+    ) -> TaylorModel {
+        if e == 0 {
+            return TaylorModel::constant(self.nvars(), 1.0);
+        }
+        let nbits = 32 - e.leading_zeros();
+        let mut acc = self.clone();
+        for i in (0..nbits - 1).rev() {
+            acc = acc.mul_truncated(&acc, order, domain, ws);
+            if (e >> i) & 1 == 1 {
+                acc = acc.mul_truncated(self, order, domain, ws);
             }
         }
+        acc
     }
 
     /// Antiderivative with respect to variable `var`, for a variable whose
@@ -293,23 +432,25 @@ impl TaylorModel {
         order: u32,
         arg_domain: &[Interval],
     ) -> TaylorModel {
-        assert_eq!(args.len(), self.nvars(), "argument count mismatch");
-        let out_vars = args.first().map_or(0, TaylorModel::nvars);
-        assert!(
-            args.iter().all(|a| a.nvars() == out_vars),
-            "argument models must share a variable count"
-        );
-        let mut acc = TaylorModel::from_interval(out_vars, self.remainder);
-        for (exps, c) in self.poly.iter() {
-            let mut term = TaylorModel::constant(out_vars, c);
-            for (i, &e) in exps.iter().enumerate() {
-                if e > 0 {
-                    term = term.mul(&args[i].powi(e, order, arg_domain), order, arg_domain);
-                }
-            }
-            acc = acc.add(&term);
-        }
-        acc
+        let mut ws = TmWorkspace::new();
+        self.compose_ws(args, order, arg_domain, &mut ws)
+    }
+
+    /// [`TaylorModel::compose`] with an explicit workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len() != self.nvars()` or the argument models disagree
+    /// on their variable count.
+    #[must_use]
+    pub fn compose_ws(
+        &self,
+        args: &[TaylorModel],
+        order: u32,
+        arg_domain: &[Interval],
+        ws: &mut TmWorkspace,
+    ) -> TaylorModel {
+        compose_parts_ws(&self.poly, self.remainder, args, order, arg_domain, ws)
     }
 
     /// Extends the model to `new_nvars` variables (added variables unused).
@@ -341,6 +482,73 @@ impl fmt::Display for TaylorModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} + {}", self.poly, self.remainder)
     }
+}
+
+/// Composes a borrowed polynomial-plus-remainder pair with Taylor-model
+/// arguments — [`TaylorModel::compose`] without requiring an owned model, so
+/// callers (e.g. vector-field evaluation in the flowpipe) can compose the
+/// system's field polynomials without cloning them into models first.
+///
+/// Argument powers are shared through per-variable tables built by successive
+/// multiplication — the same left-associated products the per-term `powi` of
+/// the naive composition computes, so the result is bit-identical while each
+/// power is computed once instead of once per occurrence.
+///
+/// # Panics
+///
+/// Panics if `args.len() != poly.nvars()` or the argument models disagree on
+/// their variable count.
+#[must_use]
+pub fn compose_parts_ws(
+    poly: &Polynomial,
+    remainder: Interval,
+    args: &[TaylorModel],
+    order: u32,
+    arg_domain: &[Interval],
+    ws: &mut TmWorkspace,
+) -> TaylorModel {
+    assert_eq!(args.len(), poly.nvars(), "argument count mismatch");
+    let out_vars = args.first().map_or(0, TaylorModel::nvars);
+    assert!(
+        args.iter().all(|a| a.nvars() == out_vars),
+        "argument models must share a variable count"
+    );
+    let mut max_exp = vec![0u32; poly.nvars()];
+    for (exps, _) in poly.iter() {
+        for (i, &e) in exps.iter().enumerate() {
+            max_exp[i] = max_exp[i].max(e);
+        }
+    }
+    // pows[i][e-1] = args[i]^e, truncated at `order`.
+    let pows: Vec<Vec<TaylorModel>> = max_exp
+        .iter()
+        .enumerate()
+        .map(|(i, &me)| {
+            let mut table = Vec::with_capacity(me as usize);
+            if me >= 1 {
+                table.push(args[i].clone());
+                for _ in 1..me {
+                    let next = table
+                        .last()
+                        .expect("table starts non-empty")
+                        .mul_truncated(&args[i], order, arg_domain, ws);
+                    table.push(next);
+                }
+            }
+            table
+        })
+        .collect();
+    let mut acc = TaylorModel::from_interval(out_vars, remainder);
+    for (exps, c) in poly.iter() {
+        let mut term = TaylorModel::constant(out_vars, c);
+        for (i, &e) in exps.iter().enumerate() {
+            if e > 0 {
+                term = term.mul_truncated(&pows[i][e as usize - 1], order, arg_domain, ws);
+            }
+        }
+        acc.add_assign_tm(&term, ws);
+    }
+    acc
 }
 
 /// A vector of Taylor models over a shared variable space — the enclosure of
@@ -415,6 +623,13 @@ impl TmVector {
         &self.tms
     }
 
+    /// Consumes the vector, yielding its components (the move-based
+    /// counterpart of [`TmVector::components`]` + to_vec()`).
+    #[must_use]
+    pub fn into_components(self) -> Vec<TaylorModel> {
+        self.tms
+    }
+
     /// The `i`-th component.
     ///
     /// # Panics
@@ -435,6 +650,22 @@ impl TmVector {
     #[must_use]
     pub fn range_box_bernstein(&self, domain: &[Interval]) -> IntervalBox {
         IntervalBox::new(self.tms.iter().map(|t| t.range_bernstein(domain)).collect())
+    }
+
+    /// [`TmVector::range_box_bernstein`] served through a [`RangeCache`] —
+    /// bit-identical, with per-component memo hits.
+    #[must_use]
+    pub fn range_box_bernstein_cached(
+        &self,
+        domain: &[Interval],
+        cache: &mut RangeCache,
+    ) -> IntervalBox {
+        IntervalBox::new(
+            self.tms
+                .iter()
+                .map(|t| t.range_bernstein_cached(domain, cache))
+                .collect(),
+        )
     }
 
     /// Extends all components to `new_nvars` variables.

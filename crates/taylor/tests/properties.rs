@@ -3,8 +3,23 @@
 
 use dwv_interval::{Interval, IntervalBox};
 use dwv_poly::Polynomial;
-use dwv_taylor::{unit_domain, OdeIntegrator, OdeRhs, TaylorModel, TmVector};
+use dwv_taylor::{unit_domain, OdeIntegrator, OdeRhs, TaylorModel, TmVector, TmWorkspace};
 use proptest::prelude::*;
+
+/// The exact bit content of a Taylor model: polynomial terms in iteration
+/// order with coefficient bit patterns, plus the remainder bounds' bits.
+/// Equality here means the models are indistinguishable to any downstream
+/// floating-point computation.
+fn tm_bits(tm: &TaylorModel) -> (Vec<(Vec<u32>, u64)>, u64, u64) {
+    (
+        tm.poly()
+            .iter()
+            .map(|(e, c)| (e.to_vec(), c.to_bits()))
+            .collect(),
+        tm.remainder().lo().to_bits(),
+        tm.remainder().hi().to_bits(),
+    )
+}
 
 /// A random affine-plus-quadratic TM in one variable with a remainder.
 fn tm1() -> impl Strategy<Value = TaylorModel> {
@@ -67,6 +82,100 @@ proptest! {
         let scaled = a.scale(s);
         let truth = member(&a, t, 1.0) * s;
         prop_assert!(scaled.eval(&[t]).inflate(1e-9 * (1.0 + truth.abs())).contains_value(truth));
+    }
+
+    // Zero-copy kernels must be bit-identical to their functional
+    // counterparts — the verification loop swaps them in unconditionally,
+    // so any drift would silently move enclosure bounds.
+
+    #[test]
+    fn add_assign_tm_is_bit_identical(a in tm1(), b in tm1()) {
+        let mut ws = TmWorkspace::new();
+        let mut x = a.clone();
+        x.add_assign_tm(&b, &mut ws);
+        prop_assert_eq!(tm_bits(&x), tm_bits(&a.add(&b)));
+    }
+
+    #[test]
+    fn add_scaled_assign_is_bit_identical(a in tm1(), b in tm1(), s in -3.0..3.0f64) {
+        let mut ws = TmWorkspace::new();
+        let mut x = a.clone();
+        x.add_scaled_assign(&b, s, &mut ws);
+        prop_assert_eq!(tm_bits(&x), tm_bits(&a.add(&b.scale(s))));
+    }
+
+    #[test]
+    fn scale_in_place_is_bit_identical(a in tm1(), s in -3.0..3.0f64) {
+        let mut x = a.clone();
+        x.scale_in_place(s);
+        prop_assert_eq!(tm_bits(&x), tm_bits(&a.scale(s)));
+    }
+
+    #[test]
+    fn truncate_in_place_is_bit_identical(a in tm1(), d in 0u32..4) {
+        let dom = unit_domain(1);
+        let mut x = a.clone();
+        x.truncate_in_place(d, &dom);
+        prop_assert_eq!(tm_bits(&x), tm_bits(&a.truncate(d, &dom)));
+    }
+
+    #[test]
+    fn mul_truncated_is_bit_identical_to_mul(a in tm1(), b in tm1(), d in 0u32..4) {
+        let dom = unit_domain(1);
+        let mut ws = TmWorkspace::new();
+        let fused = a.mul_truncated(&b, d, &dom, &mut ws);
+        prop_assert_eq!(tm_bits(&fused), tm_bits(&a.mul(&b, d, &dom)));
+    }
+
+    #[test]
+    fn powi_small_exponents_match_repeated_multiply(a in tm1(), e in 1u32..4) {
+        // For e ≤ 3 the MSB-first square-and-multiply sequence coincides
+        // with the left-associated repeated multiply, so the replacement is
+        // bit-exact on every exponent the benchmark fields use.
+        let dom = unit_domain(1);
+        let mut ws = TmWorkspace::new();
+        let mut expect = a.clone();
+        for _ in 1..e {
+            expect = expect.mul_truncated(&a, 3, &dom, &mut ws);
+        }
+        prop_assert_eq!(tm_bits(&a.powi(e, 3, &dom)), tm_bits(&expect));
+    }
+
+    #[test]
+    fn powi_large_exponents_enclose(a in tm1(), e in 4u32..8, t in -1.0..1.0f64, d in -1.0..1.0f64) {
+        // Beyond e = 3 the association differs, so only soundness (not bit
+        // identity) is required of the O(log e) chain.
+        let dom = unit_domain(1);
+        let p = a.powi(e, 3, &dom);
+        let truth = member(&a, t, d).powi(e as i32);
+        prop_assert!(
+            p.eval(&[t]).inflate(1e-6 * (1.0 + truth.abs())).contains_value(truth)
+        );
+    }
+
+    #[test]
+    fn flow_step_ws_reuse_is_bit_identical(lambda in 0.1..2.0f64, delta in 0.01..0.3f64) {
+        // A dirty, reused workspace must not leak state between steps: the
+        // workspace-threaded flow step matches the fresh-workspace one bit
+        // for bit.
+        let rhs = OdeRhs::new(1, 0, vec![Polynomial::var(1, 0).scale(-lambda)]);
+        let x0 = TmVector::from_box(&IntervalBox::from_bounds(&[(0.4, 0.6)]));
+        let integ = OdeIntegrator::with_order(3);
+        let dom = unit_domain(1);
+        let fresh = integ.flow_step(&x0, &TmVector::new(vec![]), &rhs, delta, &dom)
+            .expect("decay integrates");
+        let mut ws = TmWorkspace::new();
+        // Dirty the workspace with an unrelated product first.
+        let junk = TaylorModel::new(
+            Polynomial::from_terms(1, vec![(vec![0], 0.7), (vec![1], -1.3), (vec![2], 0.4)]),
+            Interval::symmetric(0.05),
+        );
+        let _ = junk.mul_truncated(&junk, 2, &dom, &mut ws);
+        let reused = integ.flow_step_ws(&x0, &TmVector::new(vec![]), &rhs, delta, &dom, &mut ws)
+            .expect("decay integrates");
+        for i in 0..1 {
+            prop_assert_eq!(tm_bits(reused.end.component(i)), tm_bits(fresh.end.component(i)));
+        }
     }
 
     /// Validated decay flow always contains the analytic solution and always

@@ -7,8 +7,9 @@
 # a clear error) instead of hanging on a registry it can never reach, and
 # also guards against accidentally introducing a registry dependency.
 #
-# Usage: scripts/ci.sh            # fmt check + release build + tier-1 tests
+# Usage: scripts/ci.sh            # fmt + clippy + release build + tier-1 tests
 #        scripts/ci.sh --all     # additionally run the full workspace tests
+#                                # and the bench-regression guard
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,12 +20,17 @@ run() {
 }
 
 run cargo fmt --check
+# Lint gate: warnings are errors across the whole workspace.
+run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo build --release --offline
 # Tier-1 gate: the root package's test suite (see ROADMAP.md).
 run cargo test -q --offline
 
 if [[ "${1:-}" == "--all" ]]; then
   run cargo test -q --workspace --offline
+  # Perf gate: fail if the headline Algorithm-1 iteration timer regressed
+  # more than 10% against the committed BENCH_core.json.
+  run cargo run --release --offline -p dwv-bench --bin bench_core -- --check
 fi
 
 echo "CI OK"

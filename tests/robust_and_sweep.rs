@@ -20,7 +20,7 @@ fn linear_sweep_contains_intersample_states() {
         let traj = sim.rollout(&x0, &k, p.horizon_steps);
         // fine_states[k*10 + j] is within step k+1's period for j in 1..=10.
         for (idx, x) in traj.fine_states.iter().enumerate().skip(1) {
-            let step = (idx + 9) / 10; // 1-based control step covering idx
+            let step = idx.div_ceil(10); // 1-based control step covering idx
             let enc = fp.steps()[step].enclosure.inflate(1e-6);
             assert!(
                 enc.contains_point(x),
