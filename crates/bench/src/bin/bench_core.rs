@@ -232,6 +232,11 @@ fn recorded_acc_iteration(json: &str) -> Option<f64> {
 /// `--check`: re-measure the headline timer and fail on a >10% regression
 /// against the committed JSON. Returns the process exit code.
 fn check_mode() -> i32 {
+    // The regression guard measures the tracing-off path: the observability
+    // layer must cost nothing here (one relaxed load per instrumentation
+    // point), and the 10% threshold enforces that.
+    dwv_obs::set_enabled(false);
+    assert!(!dwv_obs::enabled(), "bench --check must run tracing-off");
     let json = match std::fs::read_to_string("BENCH_core.json") {
         Ok(s) => s,
         Err(e) => {
@@ -262,10 +267,79 @@ fn check_mode() -> i32 {
     0
 }
 
+/// One short ACC learning run with the reach-result memo attached — the
+/// workload behind both untimed reporting passes below.
+fn acc_learn_with_cache() -> std::sync::Arc<dwv_reach::ReachCache> {
+    let config = LearnConfig::builder()
+        .metric(MetricKind::Geometric)
+        .estimator(GradientEstimator::Coordinate)
+        .max_updates(3)
+        .seed(7)
+        .build();
+    let cache = std::sync::Arc::new(dwv_reach::ReachCache::new());
+    let alg = Algorithm1::new(acc::reach_avoid_problem(), config)
+        .with_cache(std::sync::Arc::clone(&cache));
+    black_box(
+        alg.learn_linear_from(LinearController::new(2, 1, vec![0.2, -0.5]))
+            .expect("affine problem"),
+    );
+    cache
+}
+
+/// Cache hit/miss/eviction counters from real (untimed) runs. These use
+/// the caches' intrinsic counters, so the numbers are available — and
+/// reported — even with tracing disabled.
+fn cache_stats_section() -> String {
+    let reach = acc_learn_with_cache().stats();
+    // The Bernstein range memo under the Picard access pattern: one
+    // workspace threaded through repeated flow steps of the same problem.
+    let rhs = vdp_rhs();
+    let x0 = TmVector::from_box(&IntervalBox::from_bounds(&[(-0.51, -0.49), (0.49, 0.51)]));
+    let u = TmVector::new(vec![dwv_taylor::TaylorModel::constant(2, 0.1)]);
+    let integ = OdeIntegrator {
+        bernstein_ranges: true,
+        ..OdeIntegrator::with_order(3)
+    };
+    let mut ws = TmWorkspace::new();
+    for _ in 0..10 {
+        black_box(integ.flow_step_ws(&x0, &u, &rhs, 0.1, &unit_domain(2), &mut ws)).ok();
+    }
+    let range = ws.bern.stats();
+    let mut out = String::from("  \"cache_stats\": {\n");
+    out.push_str(&format!(
+        "    \"reach_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.3}}},\n",
+        reach.hits,
+        reach.misses,
+        reach.evictions,
+        reach.hit_rate(),
+    ));
+    out.push_str(&format!(
+        "    \"range_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.3}}}\n",
+        range.hits,
+        range.misses,
+        range.evictions,
+        range.hit_rate(),
+    ));
+    out.push_str("  }");
+    out
+}
+
+/// An untimed pass with tracing enabled: the full metrics snapshot of one
+/// ACC learning run, embedded as the `metrics` section. Runs after every
+/// timed measurement so the enabled flag never overlaps a timer.
+fn metrics_section() -> String {
+    dwv_obs::reset();
+    dwv_obs::set_enabled(true);
+    let _ = acc_learn_with_cache();
+    dwv_obs::set_enabled(false);
+    format!("  \"metrics\": {}", dwv_obs::snapshot().to_json())
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--check") {
         std::process::exit(check_mode());
     }
+    dwv_obs::set_enabled(false);
     let measurements: Vec<(&str, f64)> = vec![
         ("poly_mul_deg4", bench_poly_mul()),
         ("poly_compose_deg4", bench_poly_compose()),
@@ -310,7 +384,11 @@ fn main() {
         };
         out.push_str(&format!("    \"{name}\": {rendered}{sep}\n"));
     }
-    out.push_str("  }\n}\n");
+    out.push_str("  },\n");
+    out.push_str(&cache_stats_section());
+    out.push_str(",\n");
+    out.push_str(&metrics_section());
+    out.push_str("\n}\n");
 
     print!("{out}");
     std::fs::write("BENCH_core.json", &out).expect("write BENCH_core.json");

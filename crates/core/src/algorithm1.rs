@@ -284,6 +284,7 @@ impl Algorithm1 {
         C: Controller + Clone + Sync,
         V: Fn(&C) -> Result<Flowpipe, ReachError> + Sync,
     {
+        let _train = dwv_obs::span("train");
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9E37_79B9);
         let p = self.config.perturbation;
         let radius_init = 30.0 * p;
@@ -295,6 +296,10 @@ impl Algorithm1 {
         // every oracle query, so traces are unaffected.
         let cell_key = dwv_reach::hash_cell(&self.problem.x0);
         let verify = move |c: &C| -> Result<Flowpipe, ReachError> {
+            let _s = dwv_obs::span("verify");
+            if dwv_obs::enabled() {
+                dwv_obs::counter("alg1.verifier_calls").inc();
+            }
             match &self.cache {
                 Some(cache) => {
                     cache
@@ -304,6 +309,7 @@ impl Algorithm1 {
             }
         };
         let verify = &verify;
+        let cache_hits_so_far = || self.cache.as_ref().map_or(0, |c| c.hits());
 
         let mut calls_this_iter = 0usize;
         let eval_ctrl = |c: &C, calls: &mut usize| -> (Evaluation, Option<Flowpipe>) {
@@ -341,15 +347,30 @@ impl Algorithm1 {
 
         for i in 0..=self.config.max_updates {
             let started = Instant::now();
+            let hits_before = cache_hits_so_far();
             let mut calls = std::mem::take(&mut calls_this_iter);
 
             let (current, fp) = eval_ctrl(&controller, &mut calls);
+            let remainder_width = fp.as_ref().map_or(0.0, Flowpipe::final_width);
             if let Some(fp) = fp {
                 last_flowpipe = Some(fp);
             }
             if current.objective > best_objective {
                 best_objective = current.objective;
                 best_theta = controller.params();
+            }
+            if dwv_obs::enabled() {
+                dwv_obs::histogram("alg1.remainder_width").record(remainder_width);
+                dwv_obs::event(
+                    "alg1.iteration",
+                    &[
+                        ("iteration", i as f64),
+                        ("unsafe_metric", current.unsafe_metric),
+                        ("goal_metric", current.goal_metric),
+                        ("reach_avoid", f64::from(u8::from(current.reach_avoid))),
+                        ("remainder_width", remainder_width),
+                    ],
+                );
             }
             let mut record = IterationRecord {
                 iteration: i,
@@ -358,6 +379,8 @@ impl Algorithm1 {
                 reach_avoid: current.reach_avoid,
                 elapsed: started.elapsed(),
                 verifier_calls: calls,
+                cache_hits: cache_hits_so_far() - hits_before,
+                remainder_width,
             };
             if current.reach_avoid {
                 trace.push(record);
@@ -429,6 +452,7 @@ impl Algorithm1 {
             }
             record.elapsed = started.elapsed();
             record.verifier_calls = calls;
+            record.cache_hits = cache_hits_so_far() - hits_before;
             trace.push(record);
         }
 
@@ -442,6 +466,20 @@ impl Algorithm1 {
         );
         if let Ok(fp) = final_attempt {
             last_flowpipe = Some(fp);
+        }
+        if dwv_obs::enabled() {
+            if let Some(cache) = &self.cache {
+                let s = cache.stats();
+                dwv_obs::event(
+                    "reach_cache.stats",
+                    &[
+                        ("hits", s.hits as f64),
+                        ("misses", s.misses as f64),
+                        ("evictions", s.evictions as f64),
+                        ("entries", s.entries as f64),
+                    ],
+                );
+            }
         }
         LearnOutcome {
             controller,

@@ -197,6 +197,7 @@ impl Algorithm2 {
     /// The strategy dispatcher over a *batch* verdict oracle: one call per
     /// refinement round, verdicts in cell order.
     fn search_with(&self, eval: &mut dyn FnMut(&[IntervalBox]) -> Vec<bool>) -> InitialSetSearch {
+        let _s = dwv_obs::span("alg2.search");
         let (accepted, pending, calls) = match self.strategy {
             SearchStrategy::AdaptiveBisection => self.search_adaptive(eval),
             SearchStrategy::UniformRefinement => self.search_uniform(eval),
@@ -220,6 +221,7 @@ impl Algorithm2 {
         let mut calls = 0usize;
         for round in 0..=self.max_rounds {
             calls += pending.len();
+            note_round(round, pending.len());
             let verdicts = eval(&pending);
             let mut next = Vec::new();
             for (cell, ok) in pending.into_iter().zip(verdicts) {
@@ -266,6 +268,7 @@ impl Algorithm2 {
                 .filter(|cell| !accepted.iter().any(|a| a.contains(cell)))
                 .collect();
             calls += cells.len();
+            note_round(round, cells.len());
             let verdicts = eval(&cells);
             pending = Vec::new();
             for (cell, ok) in cells.into_iter().zip(verdicts) {
@@ -299,6 +302,19 @@ impl Algorithm2 {
             }
         }
         true
+    }
+}
+
+/// Records one refinement round (cells verified this round) in the metrics
+/// and event stream.
+fn note_round(round: usize, cells: usize) {
+    if dwv_obs::enabled() {
+        dwv_obs::counter("alg2.rounds").inc();
+        dwv_obs::counter("alg2.cells").add(cells as u64);
+        dwv_obs::event(
+            "alg2.round",
+            &[("round", round as f64), ("cells", cells as f64)],
+        );
     }
 }
 

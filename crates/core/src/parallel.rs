@@ -78,6 +78,11 @@ impl WorkerPool {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        let _s = dwv_obs::span("pool.map");
+        if dwv_obs::enabled() {
+            dwv_obs::counter("pool.batches").inc();
+            dwv_obs::counter("pool.items").add(items.len() as u64);
+        }
         let workers = self.threads.min(items.len());
         if workers <= 1 {
             return items.iter().map(f).collect();
@@ -92,7 +97,9 @@ impl WorkerPool {
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(item) = items.get(i) else { break };
+                            let timed = dwv_obs::span("pool.item");
                             out.push((i, f(item)));
+                            drop(timed);
                         }
                         out
                     })

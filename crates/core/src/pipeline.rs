@@ -58,6 +58,7 @@ pub fn design_while_verify_linear(
     problem: ReachAvoidProblem,
     config: LearnConfig,
 ) -> Result<PipelineOutcome<LinearController>, LearnError> {
+    let _s = dwv_obs::span("pipeline");
     let learning = Algorithm1::new(problem.clone(), config).learn_linear()?;
     let (a, b, c) = problem
         .dynamics
@@ -80,6 +81,7 @@ pub fn design_while_verify_nn(
     problem: ReachAvoidProblem,
     config: LearnConfig,
 ) -> PipelineOutcome<NnController> {
+    let _s = dwv_obs::span("pipeline");
     let abstraction = config.abstraction;
     let verifier_cfg = config.verifier.clone();
     let learning = Algorithm1::new(problem.clone(), config).learn_nn();

@@ -27,6 +27,10 @@ pub struct VerificationReport {
     pub rates: RateReport,
     /// A concrete violation, when one was found by simulation.
     pub counterexample: Option<Counterexample>,
+    /// A snapshot of the process-wide observability metrics taken when the
+    /// report was assembled (present when any instrument recorded anything:
+    /// per-phase span timings, cache hit/miss counters, remainder widths).
+    pub metrics: Option<dwv_obs::MetricsSnapshot>,
 }
 
 impl VerificationReport {
@@ -53,9 +57,18 @@ impl fmt::Display for VerificationReport {
             self.rates.n_samples
         )?;
         match &self.counterexample {
-            Some(c) => writeln!(f, "counterexample : {c}"),
-            None => writeln!(f, "counterexample : none found"),
+            Some(c) => writeln!(f, "counterexample : {c}")?,
+            None => writeln!(f, "counterexample : none found")?,
         }
+        if let Some(m) = &self.metrics {
+            if !m.is_empty() {
+                writeln!(f, "cost breakdown :")?;
+                for line in m.to_string().lines() {
+                    writeln!(f, "  {line}")?;
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -76,28 +89,38 @@ where
     C: Controller + ?Sized,
     V: FnMut(&IntervalBox) -> Result<Flowpipe, ReachError>,
 {
-    let attempt = verify(&problem.x0);
-    let verdict = judge(problem, controller, &attempt, 500, 0x0A55E55);
-    let initial_set = if verdict.is_reach_avoid() {
-        Some(
-            Algorithm2::new(problem)
-                .with_max_rounds(4)
-                .search(|cell| verify(cell)),
-        )
-    } else {
-        None
+    let (verdict, initial_set) = {
+        let _s = dwv_obs::span("verify");
+        let attempt = verify(&problem.x0);
+        let verdict = judge(problem, controller, &attempt, 500, 0x0A55E55);
+        let initial_set = if verdict.is_reach_avoid() {
+            Some(
+                Algorithm2::new(problem)
+                    .with_max_rounds(4)
+                    .search(|cell| verify(cell)),
+            )
+        } else {
+            None
+        };
+        (verdict, initial_set)
     };
-    let rates = rates(problem, controller, 500, 0x0A55E55);
-    let counterexample = if rates.is_perfect() {
-        None
-    } else {
-        find_counterexample(problem, controller, 200, 0x0A55E55)
+    let (rates, counterexample) = {
+        let _s = dwv_obs::span("simulate");
+        let rates = rates(problem, controller, 500, 0x0A55E55);
+        let counterexample = if rates.is_perfect() {
+            None
+        } else {
+            find_counterexample(problem, controller, 200, 0x0A55E55)
+        };
+        (rates, counterexample)
     };
+    let snapshot = dwv_obs::snapshot();
     VerificationReport {
         verdict,
         initial_set,
         rates,
         counterexample,
+        metrics: (!snapshot.is_empty()).then_some(snapshot),
     }
 }
 

@@ -19,6 +19,14 @@ pub struct IterationRecord {
     pub elapsed: Duration,
     /// Number of verifier invocations made this iteration.
     pub verifier_calls: usize,
+    /// Verifier invocations answered by the [`dwv_reach::ReachCache`] this
+    /// iteration (0 when no cache is attached).
+    pub cache_hits: usize,
+    /// Width of the widest component of the final reach-set enclosure of
+    /// this iteration's flowpipe ([`dwv_reach::Flowpipe::final_width`]) —
+    /// the per-iteration view of the tightness the verifier maintains while
+    /// the controller changes. 0 when the flowpipe was unavailable.
+    pub remainder_width: f64,
 }
 
 /// The full learning trace.
@@ -83,22 +91,37 @@ impl LearningTrace {
         self.records.iter().map(|r| r.verifier_calls).sum()
     }
 
-    /// Serializes the trace as CSV (`iteration,unsafe,goal,reach_avoid,ms`)
-    /// — the series plotted in Figures 4 and 5.
+    /// Serializes the trace as CSV — the series plotted in Figures 4 and 5
+    /// plus the observability columns (cache hits, enclosure width).
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("iteration,unsafe_metric,goal_metric,reach_avoid,millis\n");
+        let mut out = String::from(
+            "iteration,unsafe_metric,goal_metric,reach_avoid,millis,verifier_calls,cache_hits,remainder_width\n",
+        );
         for r in &self.records {
             out.push_str(&format!(
-                "{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{}\n",
                 r.iteration,
                 r.unsafe_metric,
                 r.goal_metric,
                 r.reach_avoid,
-                r.elapsed.as_millis()
+                r.elapsed.as_millis(),
+                r.verifier_calls,
+                r.cache_hits,
+                r.remainder_width,
             ));
         }
         out
+    }
+
+    /// Writes [`LearningTrace::to_csv`] to a file — examples and benches
+    /// share this single CSV export path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error.
+    pub fn save_csv<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
     }
 }
 
@@ -132,6 +155,8 @@ mod tests {
             reach_avoid: i == 2,
             elapsed: Duration::from_millis(ms),
             verifier_calls: 2,
+            cache_hits: 1,
+            remainder_width: 0.25,
         }
     }
 
@@ -153,6 +178,25 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.starts_with("iteration,"));
         assert_eq!(csv.lines().count(), 2);
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        let row = csv.lines().nth(1).unwrap();
+        assert_eq!(row.split(',').count(), header_cols);
+        assert!(
+            row.ends_with(",1,0.25"),
+            "cache_hits/remainder_width: {row}"
+        );
+    }
+
+    #[test]
+    fn save_csv_round_trips() {
+        let mut t = LearningTrace::new();
+        t.push(rec(0, 5));
+        t.push(rec(1, 6));
+        let path = std::env::temp_dir().join("dwv_trace_save_csv_test.csv");
+        t.save_csv(&path).expect("writes");
+        let read = std::fs::read_to_string(&path).expect("reads");
+        assert_eq!(read, t.to_csv());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

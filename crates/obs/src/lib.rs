@@ -1,0 +1,60 @@
+//! `dwv-obs`: zero-dependency structured tracing, metrics and profiling
+//! hooks for the design-while-verify stack.
+//!
+//! The crate is a leaf dependency of every other `dwv-*` crate and has no
+//! dependencies of its own (the container has no registry access; nothing
+//! here needs one). It provides three layers:
+//!
+//! 1. **Spans and events** ([`span`], [`event`]): RAII timing guards over
+//!    monotonic clocks, and structured numeric events, both streamed as
+//!    JSON Lines when a sink is installed.
+//! 2. **Metrics** ([`counter`], [`gauge`], [`histogram`]): a process-wide
+//!    registry of lock-free instruments. Handles are `&'static` and can be
+//!    hoisted out of hot loops. [`snapshot`] captures everything into a
+//!    serializable [`MetricsSnapshot`].
+//! 3. **Sinks**: a human-readable end-of-run [`summary`], and a
+//!    machine-readable JSONL stream ([`init_jsonl_path`] /
+//!    [`init_from_env`] honoring `DWV_TRACE=path`).
+//!
+//! # Overhead discipline
+//!
+//! Everything is gated on one relaxed atomic bool, [`enabled`]. Call sites
+//! in the numeric crates follow the pattern
+//!
+//! ```
+//! if dwv_obs::enabled() {
+//!     dwv_obs::counter("reach.cache.hits").inc();
+//! }
+//! ```
+//!
+//! so a disabled run pays exactly one relaxed load per instrumentation
+//! point — no clocks, no allocation, no locks. Instrumentation is pure
+//! observation: enabling tracing must never change a verdict, a flowpipe,
+//! or an RNG draw (the workspace bit-identity test enforces this).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod sink;
+mod trace;
+
+pub mod json;
+
+pub use metrics::{
+    counter, gauge, histogram, reset, snapshot, Counter, Gauge, Histogram, HistogramStats,
+    MetricsSnapshot,
+};
+pub use sink::{
+    emit_snapshot, enabled, flush, init_from_env, init_jsonl_path, init_jsonl_writer, json_number,
+    json_string, set_enabled, shutdown,
+};
+pub use trace::{event, span, Span};
+
+/// Renders the current metrics as the human-readable end-of-run summary
+/// (the [`MetricsSnapshot`] `Display` table). Cheap enough to call
+/// unconditionally at the end of a binary.
+#[must_use]
+pub fn summary() -> String {
+    snapshot().to_string()
+}

@@ -1,0 +1,506 @@
+//! The process-wide metrics registry: named counters, gauges and histograms.
+//!
+//! Instruments are **always live**: incrementing a [`Counter`] works whether
+//! or not tracing is enabled, and costs one relaxed atomic RMW. The
+//! near-zero-overhead *disabled* path of the observability layer is a
+//! property of the call sites — hot loops guard their instrumentation with
+//! [`crate::enabled`] so a disabled run performs a single relaxed atomic
+//! load per potential instrumentation point and nothing else.
+//!
+//! # Aggregation guarantees
+//!
+//! Every update is a lock-free atomic RMW, so **no update is ever lost**,
+//! regardless of how many worker threads record concurrently. Counter
+//! totals, gauge last-writes, histogram counts and histogram min/max are
+//! fully order-independent (deterministic for a fixed multiset of updates).
+//! Histogram *sums* accumulate `f64` values via a compare-and-swap loop:
+//! no addend is dropped, but floating-point addition is not associative, so
+//! the final sum (and hence the mean) may differ across interleavings by
+//! rounding error — document ~ulp-level, never structural.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins instantaneous value.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// Stores `v`.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The most recently stored value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// A streaming summary of recorded samples: count, sum, min and max.
+///
+/// Lock-free; see the module docs for the exact determinism guarantees.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    /// `f64` bit pattern, updated by CAS (`fetch_update`) so concurrent adds
+    /// are never lost.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample. Non-finite samples are counted but excluded from
+    /// sum/min/max so one NaN cannot poison the summary.
+    pub fn record(&self, v: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if !v.is_finite() {
+            return;
+        }
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v).to_bits())
+            });
+        let _ = self
+            .min_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (v < f64::from_bits(bits)).then_some(v.to_bits())
+            });
+        let _ = self
+            .max_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (v > f64::from_bits(bits)).then_some(v.to_bits())
+            });
+    }
+
+    /// Records a duration in seconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// A consistent-enough point-in-time summary (each field is read
+    /// atomically; fields may straddle a concurrent record).
+    #[must_use]
+    pub fn stats(&self) -> HistogramStats {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        HistogramStats {
+            count,
+            sum,
+            min: if min.is_finite() { min } else { 0.0 },
+            max: if max.is_finite() { max } else { 0.0 },
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits
+            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time histogram summary.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramStats {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of the finite samples.
+    pub sum: f64,
+    /// Smallest finite sample (0.0 when none).
+    pub min: f64,
+    /// Largest finite sample (0.0 when none).
+    pub max: f64,
+}
+
+impl HistogramStats {
+    /// Mean of the finite samples (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One family of named instruments. Instruments are allocated once and
+/// leaked, so the returned `&'static` handles can be hoisted out of hot
+/// loops and used without any registry lookup.
+struct Family<T: Default + 'static> {
+    map: Mutex<HashMap<String, &'static T>>,
+}
+
+impl<T: Default + 'static> Family<T> {
+    fn new() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn get(&self, name: &str) -> &'static T {
+        let mut map = self.map.lock().expect("obs registry poisoned");
+        if let Some(v) = map.get(name) {
+            return v;
+        }
+        let leaked: &'static T = Box::leak(Box::new(T::default()));
+        map.insert(name.to_string(), leaked);
+        leaked
+    }
+
+    fn sorted(&self) -> Vec<(String, &'static T)> {
+        let map = self.map.lock().expect("obs registry poisoned");
+        let mut v: Vec<(String, &'static T)> = map.iter().map(|(k, &t)| (k.clone(), t)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    fn for_each(&self, f: impl Fn(&T)) {
+        for (_, t) in self.map.lock().expect("obs registry poisoned").iter() {
+            f(t);
+        }
+    }
+}
+
+struct Registry {
+    counters: Family<Counter>,
+    gauges: Family<Gauge>,
+    histograms: Family<Histogram>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Family::new(),
+        gauges: Family::new(),
+        histograms: Family::new(),
+    })
+}
+
+/// The counter registered under `name` (created on first use).
+#[must_use]
+pub fn counter(name: &str) -> &'static Counter {
+    registry().counters.get(name)
+}
+
+/// The gauge registered under `name` (created on first use).
+#[must_use]
+pub fn gauge(name: &str) -> &'static Gauge {
+    registry().gauges.get(name)
+}
+
+/// The histogram registered under `name` (created on first use).
+#[must_use]
+pub fn histogram(name: &str) -> &'static Histogram {
+    registry().histograms.get(name)
+}
+
+/// Zeroes every registered instrument (names stay registered). Intended for
+/// tests and benchmark harnesses that want per-section snapshots.
+pub fn reset() {
+    let r = registry();
+    r.counters.for_each(Counter::reset);
+    r.gauges.for_each(Gauge::reset);
+    r.histograms.for_each(Histogram::reset);
+}
+
+/// A point-in-time copy of every registered instrument, sorted by name.
+///
+/// This is the machine-readable export threaded into `VerificationReport`
+/// and the `bench_core` output.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` pairs, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, stats)` pairs, name-sorted.
+    pub histograms: Vec<(String, HistogramStats)>,
+}
+
+impl MetricsSnapshot {
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|(_, v)| *v == 0)
+            && self.gauges.iter().all(|(_, v)| *v == 0.0)
+            && self.histograms.iter().all(|(_, h)| h.count == 0)
+    }
+
+    /// The counter total under `name`, if registered.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The histogram stats under `name`, if registered.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramStats> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Renders the snapshot as one JSON object:
+    /// `{"counters":{…},"gauges":{…},"histograms":{"name":{"count":…}}}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{v}", crate::sink::json_string(name)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{}",
+                crate::sink::json_string(name),
+                crate::sink::json_number(*v)
+            ));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+                crate::sink::json_string(name),
+                h.count,
+                crate::sink::json_number(h.sum),
+                crate::sink::json_number(h.min),
+                crate::sink::json_number(h.max),
+                crate::sink::json_number(h.mean()),
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let live_counters: Vec<_> = self.counters.iter().filter(|(_, v)| *v > 0).collect();
+        let live_hists: Vec<_> = self
+            .histograms
+            .iter()
+            .filter(|(_, h)| h.count > 0)
+            .collect();
+        let live_gauges: Vec<_> = self.gauges.iter().filter(|(_, v)| *v != 0.0).collect();
+        if live_counters.is_empty() && live_hists.is_empty() && live_gauges.is_empty() {
+            return writeln!(f, "(no metrics recorded)");
+        }
+        if !live_hists.is_empty() {
+            writeln!(
+                f,
+                "{:<28} {:>9} {:>12} {:>12} {:>12}",
+                "timer/histogram", "count", "mean", "min", "max"
+            )?;
+            for (name, h) in live_hists {
+                writeln!(
+                    f,
+                    "{name:<28} {:>9} {:>12.4e} {:>12.4e} {:>12.4e}",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                )?;
+            }
+        }
+        for (name, v) in live_counters {
+            writeln!(f, "{name:<28} {v:>9}")?;
+        }
+        for (name, v) in live_gauges {
+            writeln!(f, "{name:<28} {v:>9.4e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Takes a [`MetricsSnapshot`] of every registered instrument.
+#[must_use]
+pub fn snapshot() -> MetricsSnapshot {
+    let r = registry();
+    MetricsSnapshot {
+        counters: r
+            .counters
+            .sorted()
+            .into_iter()
+            .map(|(n, c)| (n, c.get()))
+            .collect(),
+        gauges: r
+            .gauges
+            .sorted()
+            .into_iter()
+            .map(|(n, g)| (n, g.get()))
+            .collect(),
+        histograms: r
+            .histograms
+            .sorted()
+            .into_iter()
+            .map(|(n, h)| (n, h.stats()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = counter("test.metrics.counter_accumulates");
+        let before = c.get();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), before + 5);
+    }
+
+    #[test]
+    fn same_name_same_instrument() {
+        let a = counter("test.metrics.same_name");
+        let b = counter("test.metrics.same_name");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = gauge("test.metrics.gauge");
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(g.get(), -2.25);
+    }
+
+    #[test]
+    fn histogram_stats_track_samples() {
+        let h = histogram("test.metrics.hist");
+        for v in [2.0, 8.0, 4.0] {
+            h.record(v);
+        }
+        let s = h.stats();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 8.0);
+        assert!((s.mean() - 14.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite_values_in_summary() {
+        let h = histogram("test.metrics.hist_nan");
+        h.record(f64::NAN);
+        h.record(1.0);
+        let s = h.stats();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1.0);
+        assert_eq!(s.sum, 1.0);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_queryable() {
+        counter("test.snap.b").inc();
+        counter("test.snap.a").add(2);
+        histogram("test.snap.h").record(3.0);
+        let s = snapshot();
+        let names: Vec<&String> = s.counters.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert!(s.counter("test.snap.a").unwrap() >= 2);
+        assert!(s.histogram("test.snap.h").unwrap().count >= 1);
+        assert!(s.counter("test.snap.missing").is_none());
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_is_parseable() {
+        counter("test.snap_json.c").inc();
+        histogram("test.snap_json.h").record(0.5);
+        let json = snapshot().to_json();
+        let v = crate::json::parse(&json).expect("snapshot JSON parses");
+        let obj = v.as_object().expect("top-level object");
+        assert!(obj.iter().any(|(k, _)| k == "counters"));
+        assert!(obj.iter().any(|(k, _)| k == "histograms"));
+    }
+
+    #[test]
+    fn empty_display_mentions_nothing_recorded() {
+        let s = MetricsSnapshot::default();
+        assert!(s.to_string().contains("no metrics recorded"));
+    }
+}

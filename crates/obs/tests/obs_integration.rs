@@ -1,0 +1,237 @@
+//! Integration tests for `dwv-obs`: concurrent aggregation guarantees and
+//! JSONL sink round-trips.
+//!
+//! These tests mutate the process-wide enable flag and sink, so everything
+//! that does lives behind one mutex ([`obs_lock`]) to keep the harness'
+//! default parallel execution deterministic.
+
+use dwv_obs::json::JsonValue;
+use std::io::Write;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Serializes tests that toggle global observability state.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// A `Write` sink backed by a shared buffer the test can inspect.
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn new() -> Self {
+        Self(Arc::new(Mutex::new(Vec::new())))
+    }
+
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).expect("trace output is UTF-8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn concurrent_counters_lose_no_updates() {
+    let _g = obs_lock();
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let name = "it.concurrent.counter";
+    let before = dwv_obs::counter(name).get();
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                let c = dwv_obs::counter(name);
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(dwv_obs::counter(name).get() - before, THREADS * PER_THREAD);
+}
+
+#[test]
+fn concurrent_histograms_aggregate_deterministically() {
+    let _g = obs_lock();
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 2_000;
+    let name = "it.concurrent.histogram";
+    assert_eq!(
+        dwv_obs::histogram(name).stats().count,
+        0,
+        "test requires a fresh instrument name"
+    );
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                let h = dwv_obs::histogram(name);
+                for i in 0..PER_THREAD {
+                    // Values 1..=16000, each recorded exactly once overall.
+                    h.record((t * PER_THREAD + i + 1) as f64);
+                }
+            });
+        }
+    });
+    let stats = dwv_obs::histogram(name).stats();
+    let n = (THREADS * PER_THREAD) as f64;
+    // Count, min and max are order-independent and must be exact.
+    assert_eq!(stats.count, THREADS as u64 * PER_THREAD as u64);
+    assert_eq!(stats.min, 1.0);
+    assert_eq!(stats.max, n);
+    // The sum is accumulated by CAS so no update is lost; only float
+    // association order varies. 1+2+…+n with n=16000 is exactly
+    // representable term-by-term, so allow a tight relative tolerance.
+    let expected = n * (n + 1.0) / 2.0;
+    assert!(
+        (stats.sum - expected).abs() / expected < 1e-12,
+        "sum {} vs expected {}",
+        stats.sum,
+        expected
+    );
+}
+
+#[test]
+fn concurrent_spans_count_once_per_scope() {
+    let _g = obs_lock();
+    dwv_obs::set_enabled(true);
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 50;
+    let name = "it.concurrent.span";
+    let before = dwv_obs::histogram(name).stats().count;
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    let _span = dwv_obs::span(name);
+                }
+            });
+        }
+    });
+    dwv_obs::shutdown();
+    let stats = dwv_obs::histogram(name).stats();
+    assert_eq!(
+        stats.count - before,
+        (THREADS * PER_THREAD) as u64,
+        "every span drop must record exactly one duration"
+    );
+    assert!(stats.min >= 0.0 && stats.max.is_finite());
+}
+
+#[test]
+fn jsonl_round_trip_through_sink() {
+    let _g = obs_lock();
+    let buf = SharedBuf::new();
+    dwv_obs::init_jsonl_writer(Box::new(buf.clone()));
+
+    {
+        let _span = dwv_obs::span("it.roundtrip.phase");
+        dwv_obs::event(
+            "it.roundtrip.step",
+            &[("width", 0.125), ("iters", 3.0), ("bad", f64::NAN)],
+        );
+    }
+    dwv_obs::counter("it.roundtrip.counter").add(7);
+    dwv_obs::emit_snapshot();
+    dwv_obs::shutdown();
+
+    let text = buf.contents();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "event, span, snapshot: {text:?}");
+
+    let parsed: Vec<JsonValue> = lines
+        .iter()
+        .map(|l| dwv_obs::json::parse(l).expect("every line is standalone JSON"))
+        .collect();
+    for v in &parsed {
+        for field in ["t_us", "tid"] {
+            assert!(
+                v.get(field).and_then(JsonValue::as_number).is_some(),
+                "line missing numeric {field}: {v:?}"
+            );
+        }
+        assert!(v.get("kind").and_then(JsonValue::as_str).is_some());
+        assert!(v.get("name").and_then(JsonValue::as_str).is_some());
+    }
+
+    // The event closes before the span guard drops, so it is line 0.
+    let event = &parsed[0];
+    assert_eq!(event.get("kind").unwrap().as_str(), Some("event"));
+    assert_eq!(
+        event.get("name").unwrap().as_str(),
+        Some("it.roundtrip.step")
+    );
+    assert_eq!(event.get("width").unwrap().as_number(), Some(0.125));
+    assert_eq!(event.get("iters").unwrap().as_number(), Some(3.0));
+    assert_eq!(event.get("bad"), Some(&JsonValue::Null));
+
+    let span = &parsed[1];
+    assert_eq!(span.get("kind").unwrap().as_str(), Some("span"));
+    assert_eq!(
+        span.get("name").unwrap().as_str(),
+        Some("it.roundtrip.phase")
+    );
+    assert!(span.get("dur_us").unwrap().as_number().unwrap() >= 0.0);
+
+    let snap = &parsed[2];
+    assert_eq!(snap.get("kind").unwrap().as_str(), Some("snapshot"));
+    let metrics = snap.get("metrics").expect("snapshot carries metrics");
+    let counters = metrics.get("counters").expect("counters object");
+    assert_eq!(
+        counters.get("it.roundtrip.counter").unwrap().as_number(),
+        Some(7.0)
+    );
+    let hists = metrics.get("histograms").expect("histograms object");
+    let phase = hists
+        .get("it.roundtrip.phase")
+        .expect("span duration became a histogram");
+    assert!(phase.get("count").unwrap().as_number().unwrap() >= 1.0);
+}
+
+#[test]
+fn disabled_emits_nothing_but_metrics_still_count() {
+    let _g = obs_lock();
+    dwv_obs::shutdown();
+    let buf = SharedBuf::new();
+    // Install the sink by hand, then disable: gated call sites must stay
+    // silent even with a sink present.
+    dwv_obs::init_jsonl_writer(Box::new(buf.clone()));
+    dwv_obs::set_enabled(false);
+
+    assert!(!dwv_obs::enabled());
+    let name = "it.disabled.counter";
+    let before = dwv_obs::counter(name).get();
+    {
+        let _span = dwv_obs::span("it.disabled.span");
+        dwv_obs::event("it.disabled.event", &[("x", 1.0)]);
+    }
+    dwv_obs::emit_snapshot();
+    // Instruments themselves are always live (callers gate on enabled()).
+    dwv_obs::counter(name).inc();
+    dwv_obs::shutdown();
+
+    assert_eq!(buf.contents(), "", "disabled run must write no trace lines");
+    assert_eq!(dwv_obs::counter(name).get(), before + 1);
+}
+
+#[test]
+fn summary_lists_recorded_instruments() {
+    let _g = obs_lock();
+    dwv_obs::counter("it.summary.counter").add(3);
+    dwv_obs::histogram("it.summary.hist").record(2.5);
+    let text = dwv_obs::summary();
+    assert!(text.contains("it.summary.counter"), "{text}");
+    assert!(text.contains("it.summary.hist"), "{text}");
+    assert!(!text.contains("(no metrics recorded)"), "{text}");
+}

@@ -244,6 +244,42 @@ struct RangeKey {
 #[derive(Debug, Default)]
 pub struct RangeCache {
     map: HashMap<RangeKey, Interval>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Lifetime counters of a [`RangeCache`] (or aggregated over several), as
+/// returned by [`RangeCache::stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RangeCacheStats {
+    /// Enclosure requests answered from the cache.
+    pub hits: u64,
+    /// Enclosure requests that had to compute a fresh Bernstein expansion
+    /// (uncacheable boxed-representation polynomials count here too).
+    pub misses: u64,
+    /// Entries dropped by capacity-triggered wholesale clears.
+    pub evictions: u64,
+}
+
+impl RangeCacheStats {
+    /// Fraction of requests served from the cache (0 when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Component-wise accumulation, for merging per-call-site caches.
+    pub fn merge(&mut self, other: &RangeCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
 }
 
 impl RangeCache {
@@ -263,6 +299,7 @@ impl RangeCache {
     /// Panics if the domain is unbounded or its dimension mismatches.
     pub fn range_enclosure(&mut self, p: &Polynomial, domain: &[Interval]) -> Interval {
         let Some(terms) = p.packed_terms() else {
+            self.misses += 1;
             return range_enclosure(p, &IntervalBox::new(domain.to_vec()));
         };
         let key = RangeKey {
@@ -273,14 +310,33 @@ impl RangeCache {
                 .collect(),
         };
         if let Some(iv) = self.map.get(&key) {
+            self.hits += 1;
             return *iv;
         }
+        self.misses += 1;
         let iv = range_enclosure(p, &IntervalBox::new(domain.to_vec()));
         if self.map.len() >= RANGE_CACHE_CAP {
+            self.evictions += self.map.len() as u64;
+            if dwv_obs::enabled() {
+                dwv_obs::event(
+                    "poly.range_cache.clear",
+                    &[("dropped", self.map.len() as f64)],
+                );
+            }
             self.map.clear();
         }
         self.map.insert(key, iv);
         iv
+    }
+
+    /// Lifetime hit/miss/eviction counters of this cache.
+    #[must_use]
+    pub fn stats(&self) -> RangeCacheStats {
+        RangeCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
     }
 
     /// Number of cached enclosures.

@@ -72,6 +72,35 @@ pub struct ReachCache {
     map: Mutex<HashMap<(u64, u64), Result<Flowpipe, ReachError>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+/// Lifetime counters of a [`ReachCache`], as returned by
+/// [`ReachCache::stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReachCacheStats {
+    /// Lookups answered from memory.
+    pub hits: usize,
+    /// Lookups that had to compute.
+    pub misses: usize,
+    /// Entries dropped by [`ReachCache::invalidate_controller`] /
+    /// [`ReachCache::clear`].
+    pub evictions: usize,
+    /// Subproblems currently memoized.
+    pub entries: usize,
+}
+
+impl ReachCacheStats {
+    /// Fraction of lookups served from memory (0 when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 impl ReachCache {
@@ -100,9 +129,15 @@ impl ReachCache {
         let key = (controller, cell);
         if let Some(hit) = self.map.lock().expect("reach cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if dwv_obs::enabled() {
+                dwv_obs::counter("reach.cache.hits").inc();
+            }
             return hit.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if dwv_obs::enabled() {
+            dwv_obs::counter("reach.cache.misses").inc();
+        }
         let result = compute();
         self.map
             .lock()
@@ -113,15 +148,27 @@ impl ReachCache {
 
     /// Flushes every entry belonging to one controller hash.
     pub fn invalidate_controller(&self, controller: u64) {
-        self.map
-            .lock()
-            .expect("reach cache poisoned")
-            .retain(|(c, _), _| *c != controller);
+        let mut map = self.map.lock().expect("reach cache poisoned");
+        let before = map.len();
+        map.retain(|(c, _), _| *c != controller);
+        self.note_evictions(before - map.len());
     }
 
     /// Drops all entries (counters are kept).
     pub fn clear(&self) {
-        self.map.lock().expect("reach cache poisoned").clear();
+        let mut map = self.map.lock().expect("reach cache poisoned");
+        let dropped = map.len();
+        map.clear();
+        self.note_evictions(dropped);
+    }
+
+    fn note_evictions(&self, dropped: usize) {
+        if dropped > 0 {
+            self.evictions.fetch_add(dropped, Ordering::Relaxed);
+            if dwv_obs::enabled() {
+                dwv_obs::counter("reach.cache.evictions").add(dropped as u64);
+            }
+        }
     }
 
     /// The number of memoized subproblems.
@@ -146,6 +193,23 @@ impl ReachCache {
     #[must_use]
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped by invalidation so far.
+    #[must_use]
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// A consistent snapshot of the lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> ReachCacheStats {
+        ReachCacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: self.evictions(),
+            entries: self.len(),
+        }
     }
 }
 
@@ -223,6 +287,28 @@ mod tests {
         let before = cache.hits();
         let _ = cache.get_or_compute(2, 1, || unreachable!("must hit"));
         assert_eq!(cache.hits(), before + 1);
+    }
+
+    #[test]
+    fn stats_track_evictions() {
+        let cache = ReachCache::new();
+        let _ = cache.get_or_compute(1, 1, || Ok(tiny_flowpipe(1.0)));
+        let _ = cache.get_or_compute(1, 2, || Ok(tiny_flowpipe(2.0)));
+        let _ = cache.get_or_compute(2, 1, || Ok(tiny_flowpipe(3.0)));
+        cache.invalidate_controller(1);
+        let s = cache.stats();
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.misses, 3);
+        cache.clear();
+        assert_eq!(cache.stats().evictions, 3);
+        assert_eq!(cache.stats().entries, 0);
+        // hit_rate is total-based and survives eviction.
+        let _ = cache.get_or_compute(3, 3, || Ok(tiny_flowpipe(4.0)));
+        let _ = cache.get_or_compute(3, 3, || unreachable!("must hit"));
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert!((s.hit_rate() - 0.2).abs() < 1e-12, "1 hit of 5 lookups");
     }
 
     #[test]

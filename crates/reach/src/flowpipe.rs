@@ -124,6 +124,17 @@ impl Flowpipe {
             })
     }
 
+    /// Width of the widest component of the final instantaneous enclosure —
+    /// a one-number proxy for how much over-approximation the pipe carries
+    /// at the end of the horizon (0 for a degenerate point enclosure).
+    #[must_use]
+    pub fn final_width(&self) -> f64 {
+        let end = &self.final_step().end_box;
+        (0..end.dim())
+            .map(|i| end.interval(i).width())
+            .fold(0.0, f64::max)
+    }
+
     /// Iterates over the steps.
     pub fn iter(&self) -> std::slice::Iter<'_, StepEnclosure> {
         self.steps.iter()
@@ -177,6 +188,15 @@ mod tests {
     #[should_panic(expected = "at least one step")]
     fn empty_rejected() {
         let _ = Flowpipe::from_boxes(vec![], 0.1);
+    }
+
+    #[test]
+    fn final_width_is_widest_end_component() {
+        let fp = Flowpipe::from_boxes(boxes(), 0.5);
+        // Final box is [2,3]×[1,2]: both widths 1.
+        assert_eq!(fp.final_width(), 1.0);
+        let point = Flowpipe::from_boxes(vec![IntervalBox::from_bounds(&[(2.0, 2.0)])], 0.5);
+        assert_eq!(point.final_width(), 0.0);
     }
 
     #[test]

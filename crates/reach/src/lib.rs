@@ -45,7 +45,7 @@ mod sweep;
 mod taylor_reach;
 mod zonotope_reach;
 
-pub use cache::{hash_cell, hash_params, ReachCache};
+pub use cache::{hash_cell, hash_params, ReachCache, ReachCacheStats};
 pub use error::ReachError;
 pub use flowpipe::{Flowpipe, StepEnclosure};
 pub use linear::LinearReach;

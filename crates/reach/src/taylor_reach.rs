@@ -173,6 +173,7 @@ impl<A: NnAbstraction> TaylorReach<A> {
         x0: &dwv_interval::IntervalBox,
         controller: &NnController,
     ) -> Result<Flowpipe, ReachError> {
+        let _run = dwv_obs::span("reach.run");
         let n = x0.dim();
         let domain = dwv_taylor::unit_domain(n);
         let mut ws = TmWorkspace::new();
@@ -185,30 +186,58 @@ impl<A: NnAbstraction> TaylorReach<A> {
             end_box: x0.clone(),
             polygon: None,
         });
-        for k in 0..self.steps {
-            if self.config.dependency == DependencyTracking::BoxReinit {
-                let b = self.range_box_ws(&state, &domain, &mut ws);
-                state = TmVector::from_box(&b);
+        let result = (|| {
+            for k in 0..self.steps {
+                if self.config.dependency == DependencyTracking::BoxReinit {
+                    let b = self.range_box_ws(&state, &domain, &mut ws);
+                    state = TmVector::from_box(&b);
+                }
+                let u = self
+                    .abstraction
+                    .abstract_network_ws(controller, &state, &domain, &mut ws)?;
+                let StepFlow { end, step_box } = self
+                    .config
+                    .integrator
+                    .flow_step_ws(&state, &u, &self.rhs, self.delta, &domain, &mut ws)
+                    .map_err(|source| ReachError::Diverged { step: k, source })?;
+                if dwv_obs::enabled() {
+                    dwv_obs::counter("reach.flowpipe_steps").inc();
+                    // The TM remainder width at the step's end is the pure
+                    // over-approximation error (the paper's tightness axis);
+                    // track its growth per step.
+                    let rem_width = end
+                        .components()
+                        .iter()
+                        .map(|t| t.remainder().width())
+                        .fold(0.0, f64::max);
+                    dwv_obs::histogram("reach.remainder_width").record(rem_width);
+                    dwv_obs::event(
+                        "reach.step",
+                        &[("step", k as f64), ("remainder_width", rem_width)],
+                    );
+                }
+                let end_box = self.range_box_ws(&end, &domain, &mut ws);
+                steps.push(StepEnclosure {
+                    t0: k as f64 * self.delta,
+                    t1: (k + 1) as f64 * self.delta,
+                    enclosure: step_box,
+                    end_box,
+                    polygon: None,
+                });
+                state = end;
             }
-            let u = self
-                .abstraction
-                .abstract_network_ws(controller, &state, &domain, &mut ws)?;
-            let StepFlow { end, step_box } = self
-                .config
-                .integrator
-                .flow_step_ws(&state, &u, &self.rhs, self.delta, &domain, &mut ws)
-                .map_err(|source| ReachError::Diverged { step: k, source })?;
-            let end_box = self.range_box_ws(&end, &domain, &mut ws);
-            steps.push(StepEnclosure {
-                t0: k as f64 * self.delta,
-                t1: (k + 1) as f64 * self.delta,
-                enclosure: step_box,
-                end_box,
-                polygon: None,
-            });
-            state = end;
+            Ok(Flowpipe::new(steps))
+        })();
+        if dwv_obs::enabled() {
+            // The Bernstein range memo lives and dies with this run's
+            // workspace; fold its counters into the process-wide metrics so
+            // the aggregate hit rate survives the workspace.
+            let s = ws.bern.stats();
+            dwv_obs::counter("poly.range_cache.hits").add(s.hits);
+            dwv_obs::counter("poly.range_cache.misses").add(s.misses);
+            dwv_obs::counter("poly.range_cache.evictions").add(s.evictions);
         }
-        Ok(Flowpipe::new(steps))
+        result
     }
 
     fn range_box_ws(

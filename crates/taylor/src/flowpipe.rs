@@ -193,6 +193,11 @@ impl OdeIntegrator {
                 found: (x0.dim(), u.dim()),
             });
         }
+        let obs = dwv_obs::enabled();
+        if obs {
+            dwv_obs::counter("picard.steps").inc();
+            dwv_obs::counter("picard.poly_iters").add(self.picard_iters as u64);
+        }
         let k = x0.nvars();
         let ext = k + 1; // appended normalized-time variable
         let t_var = k;
@@ -250,6 +255,10 @@ impl OdeIntegrator {
                 .zip(&candidate)
                 .all(|(got, want)| want.contains(got));
             if contained {
+                if obs {
+                    dwv_obs::counter("picard.validation_attempts").add(attempt as u64 + 1);
+                    dwv_obs::counter("picard.retries").add(attempt as u64);
+                }
                 let validated: Vec<TaylorModel> = polys
                     .iter()
                     .zip(&mapped)
@@ -284,14 +293,14 @@ impl OdeIntegrator {
                 .collect();
             // Detect hopeless blow-up early.
             if candidate.iter().any(|c| !c.is_finite() || c.mag() > 1e9) {
-                return Err(FlowpipeError::Diverged {
-                    last_radius: candidate.iter().map(Interval::mag).fold(0.0, f64::max),
-                });
+                let last_radius = candidate.iter().map(Interval::mag).fold(0.0, f64::max);
+                note_divergence(obs, attempt as u64 + 1, last_radius);
+                return Err(FlowpipeError::Diverged { last_radius });
             }
         }
-        Err(FlowpipeError::Diverged {
-            last_radius: candidate.iter().map(Interval::mag).fold(0.0, f64::max),
-        })
+        let last_radius = candidate.iter().map(Interval::mag).fold(0.0, f64::max);
+        note_divergence(obs, self.max_inflations as u64 + 1, last_radius);
+        Err(FlowpipeError::Diverged { last_radius })
     }
 
     /// Evaluates the vector field on Taylor-model state/input enclosures.
@@ -351,6 +360,17 @@ impl OdeIntegrator {
                 mapped_rem + diff_range
             })
             .collect()
+    }
+}
+
+/// Records a remainder-validation divergence in the metrics/trace stream
+/// (the paper's "NAN after 3 steps" failure mode made observable).
+fn note_divergence(obs: bool, attempts: u64, last_radius: f64) {
+    if obs {
+        dwv_obs::counter("picard.diverged").inc();
+        dwv_obs::counter("picard.validation_attempts").add(attempts);
+        dwv_obs::counter("picard.retries").add(attempts.saturating_sub(1));
+        dwv_obs::event("picard.diverged", &[("last_radius", last_radius)]);
     }
 }
 

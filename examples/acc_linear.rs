@@ -7,9 +7,11 @@
 
 use design_while_verify::core::{Algorithm1, Algorithm2, LearnConfig, MetricKind};
 use design_while_verify::dynamics::{acc, eval::rates};
+use design_while_verify::obs;
 use design_while_verify::reach::LinearReach;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tracing = obs::init_from_env();
     let problem = acc::reach_avoid_problem();
     for metric in [MetricKind::Geometric, MetricKind::Wasserstein] {
         println!("==== metric: {metric} ====");
@@ -59,6 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 r.goal_rate * 100.0
             );
         }
+    }
+    if tracing {
+        obs::emit_snapshot();
+        obs::flush();
+        println!("{}", obs::summary());
     }
     Ok(())
 }

@@ -13,11 +13,13 @@ use design_while_verify::core::{
     AbstractionKind, Algorithm1, Algorithm2, GradientEstimator, LearnConfig, MetricKind,
 };
 use design_while_verify::dynamics::{eval::rates, oscillator};
+use design_while_verify::obs;
 use design_while_verify::reach::{
     DependencyTracking, TaylorAbstraction, TaylorReach, TaylorReachConfig,
 };
 
 fn main() {
+    let tracing = obs::init_from_env();
     let problem = oscillator::reach_avoid_problem();
     println!(
         "system: Van der Pol oscillator  (X0 = {}, unsafe = {}, goal = {})",
@@ -45,6 +47,7 @@ fn main() {
     );
     if !outcome.verified.is_reach_avoid() {
         println!("learning did not converge with this seed; try another");
+        finish(tracing);
         return;
     }
 
@@ -72,5 +75,15 @@ fn main() {
     println!("{search}");
     if let Some(bb) = search.bounding_box() {
         println!("X_I bounding box: {bb}");
+    }
+    finish(tracing);
+}
+
+/// Closes the trace stream (if any) and prints the metrics summary.
+fn finish(tracing: bool) {
+    if tracing {
+        obs::emit_snapshot();
+        obs::flush();
+        println!("{}", obs::summary());
     }
 }

@@ -1,0 +1,80 @@
+//! Profiling a full design-while-verify run: learn an ACC controller with
+//! the reach-result memo attached, assess it, and stream a JSONL trace.
+//!
+//! ```sh
+//! DWV_TRACE=trace.jsonl cargo run --release --example profile_acc
+//! ```
+//!
+//! With `DWV_TRACE` unset the run is identical (bit-for-bit — tracing is
+//! pure observation) but emits no trace and pays no observability cost
+//! beyond one relaxed atomic load per instrumentation point. Either way the
+//! end-of-run metrics summary prints whatever was recorded.
+
+use design_while_verify::core::{assess, Algorithm1, LearnConfig, MetricKind};
+use design_while_verify::dynamics::acc;
+use design_while_verify::interval::IntervalBox;
+use design_while_verify::obs;
+use design_while_verify::reach::{LinearReach, ReachCache};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tracing = obs::init_from_env();
+    if tracing {
+        println!("tracing to {}", std::env::var("DWV_TRACE").unwrap());
+    } else {
+        println!("tracing off (set DWV_TRACE=path to stream a JSONL trace)");
+    }
+
+    let problem = acc::reach_avoid_problem();
+    let config = LearnConfig::builder()
+        .metric(MetricKind::Geometric)
+        .max_updates(200)
+        .seed(7)
+        .build();
+
+    let cache = Arc::new(ReachCache::new());
+    let outcome = Algorithm1::new(problem.clone(), config)
+        .with_cache(Arc::clone(&cache))
+        .learn_linear()?;
+    println!(
+        "learned: {} after {} iterations ({} verifier calls, {} cache hits)",
+        outcome.verified,
+        outcome.iterations,
+        outcome.trace.total_verifier_calls(),
+        cache.hits(),
+    );
+
+    // Per-iteration cache hits and enclosure widths ride in the trace CSV.
+    let csv = outcome.trace.to_csv();
+    println!(
+        "trace CSV: {} rows, header: {}",
+        csv.lines().count() - 1,
+        csv.lines().next().unwrap_or("")
+    );
+
+    let (a, b, c) = problem.dynamics.linear_parts().expect("ACC is affine");
+    let controller = outcome.controller.clone();
+    let delta = problem.delta;
+    let steps = problem.horizon_steps;
+    let report = assess(&problem, &outcome.controller, move |cell: &IntervalBox| {
+        LinearReach::new(&a, &b, &c, cell.clone(), delta, steps).reach(&controller)
+    });
+    println!("{report}");
+
+    let s = cache.stats();
+    println!(
+        "reach cache    : {} hits / {} misses (hit rate {:.1}%), {} entries",
+        s.hits,
+        s.misses,
+        s.hit_rate() * 100.0,
+        s.entries,
+    );
+
+    if tracing {
+        // Close the stream with a full metrics snapshot line.
+        obs::emit_snapshot();
+        obs::flush();
+    }
+    println!("{}", obs::summary());
+    Ok(())
+}

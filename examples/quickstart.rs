@@ -11,8 +11,10 @@
 
 use design_while_verify::core::{Algorithm1, LearnConfig, MetricKind};
 use design_while_verify::dynamics::{acc, eval::rates, Controller};
+use design_while_verify::obs;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tracing = obs::init_from_env();
     let problem = acc::reach_avoid_problem();
     println!(
         "system: ACC  (X0 = {}, T = {}s)",
@@ -39,5 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r.goal_rate * 100.0,
         r.n_samples
     );
+    if tracing {
+        obs::emit_snapshot();
+        obs::flush();
+        println!("{}", obs::summary());
+    }
     Ok(())
 }

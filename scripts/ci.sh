@@ -29,8 +29,17 @@ run cargo test -q --offline
 if [[ "${1:-}" == "--all" ]]; then
   run cargo test -q --workspace --offline
   # Perf gate: fail if the headline Algorithm-1 iteration timer regressed
-  # more than 10% against the committed BENCH_core.json.
+  # more than 10% against the committed BENCH_core.json. bench_core --check
+  # runs tracing-off, so this also guards the disabled-path obs overhead.
   run cargo run --release --offline -p dwv-bench --bin bench_core -- --check
+  # Observability smoke: a full ACC pipeline run streaming a JSONL trace,
+  # validated line-by-line (reserved fields, span timings for the
+  # train/verify/simulate phases, cache hit/miss + remainder-width metrics).
+  trace_file="$(mktemp -t dwv_trace.XXXXXX.jsonl)"
+  trap 'rm -f "$trace_file"' EXIT
+  echo "==> DWV_TRACE=$trace_file cargo run --release --offline --example profile_acc"
+  DWV_TRACE="$trace_file" cargo run --release --offline --example profile_acc
+  run cargo run --release --offline -p dwv-bench --bin trace_check -- "$trace_file"
 fi
 
 echo "CI OK"

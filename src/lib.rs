@@ -19,6 +19,8 @@
 //! * [`core`] — the paper's contribution: Algorithm 1 (verification-in-the-
 //!   loop learning) and Algorithm 2 (initial-set search)
 //! * [`baselines`] — design-then-verify baselines (DDPG, SVG)
+//! * [`obs`] — zero-dependency tracing/metrics (spans, counters,
+//!   histograms, `DWV_TRACE=path` JSONL streams)
 //!
 //! # Quickstart
 //!
@@ -66,6 +68,7 @@ pub use dwv_geom as geom;
 pub use dwv_interval as interval;
 pub use dwv_metrics as metrics;
 pub use dwv_nn as nn;
+pub use dwv_obs as obs;
 pub use dwv_poly as poly;
 pub use dwv_reach as reach;
 pub use dwv_taylor as taylor;
