@@ -528,15 +528,15 @@ impl Algorithm1 {
                 let probes: Vec<Vec<f64>> = (0..dim)
                     .flat_map(|j| {
                         let mut plus = theta.to_vec();
-                        plus[j] += p;
+                        plus[j] += p; // dwv-lint: allow(panic-freedom#index) -- j ranges over the parameter dimension
                         let mut minus = theta.to_vec();
-                        minus[j] -= p;
+                        minus[j] -= p; // dwv-lint: allow(panic-freedom#index) -- j ranges over the parameter dimension
                         [plus, minus]
                     })
                     .collect();
                 let obj = objectives_at(&probes, calls);
                 for (j, g) in grad.iter_mut().enumerate() {
-                    *g = (obj[2 * j] - obj[2 * j + 1]) / (2.0 * p);
+                    *g = (obj[2 * j] - obj[2 * j + 1]) / (2.0 * p); // dwv-lint: allow(panic-freedom#index) -- the probe batch yields two objectives per coordinate
                 }
             }
             GradientEstimator::Spsa { samples } => {
@@ -563,7 +563,7 @@ impl Algorithm1 {
                     .collect();
                 let obj = objectives_at(&probes, calls);
                 for (s, delta) in deltas.iter().enumerate() {
-                    let slope = (obj[2 * s] - obj[2 * s + 1]) / (2.0 * p);
+                    let slope = (obj[2 * s] - obj[2 * s + 1]) / (2.0 * p); // dwv-lint: allow(panic-freedom#index) -- the probe batch yields two objectives per sample
                     for (g, d) in grad.iter_mut().zip(delta) {
                         // 1/Δ_j = Δ_j for Δ_j ∈ {−1, +1}.
                         *g += slope * d / samples as f64;

@@ -102,7 +102,7 @@ pub fn find_counterexample<C: Controller + ?Sized>(
         } else if !reached {
             Some(Counterexample {
                 time: problem.horizon(),
-                state: traj.fine_states.last().expect("non-empty").clone(),
+                state: traj.fine_states.last().expect("non-empty").clone(), // dwv-lint: allow(panic-freedom) -- a simulated trajectory always contains at least the initial state
                 x0,
                 kind: ViolationKind::MissesGoal,
             })

@@ -63,7 +63,7 @@ pub fn design_while_verify_linear(
     let (a, b, c) = problem
         .dynamics
         .linear_parts()
-        .expect("learn_linear succeeded, so the dynamics are affine");
+        .expect("learn_linear succeeded, so the dynamics are affine"); // dwv-lint: allow(panic-freedom) -- learn_linear succeeded, so linear_parts is Some
     let controller = learning.controller.clone();
     let oracle_controller = controller.clone();
     let delta = problem.delta;

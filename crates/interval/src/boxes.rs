@@ -1,4 +1,5 @@
 //! Axis-aligned interval boxes (hyperrectangles).
+// dwv-lint: allow-file(panic-freedom#index) -- dimension indices are asserted or loop-bounded by construction
 
 use crate::Interval;
 use std::fmt;
@@ -68,6 +69,7 @@ impl IntervalBox {
                 .zip(rad)
                 .map(|(&c, &r)| {
                     assert!(r >= 0.0, "radius must be non-negative");
+                    // dwv-lint: allow(float-hygiene) -- the rounded endpoints *are* the specified set
                     Interval::new(c - r, c + r)
                 })
                 .collect(),
@@ -228,9 +230,10 @@ impl IntervalBox {
             .zip(&other.dims)
             .map(|(a, b)| {
                 let d = a.distance(b);
-                d * d
+                d * d // dwv-lint: allow(float-hygiene) -- separation metric, not a verified bound
             })
             .sum::<f64>()
+            // dwv-lint: allow(float-hygiene) -- separation metric, not a verified bound
             .sqrt()
     }
 
@@ -243,15 +246,16 @@ impl IntervalBox {
             .zip(p)
             .map(|(iv, &v)| {
                 let d = if v < iv.lo() {
-                    iv.lo() - v
+                    iv.lo() - v // dwv-lint: allow(float-hygiene) -- separation metric, not a verified bound
                 } else if v > iv.hi() {
-                    v - iv.hi()
+                    v - iv.hi() // dwv-lint: allow(float-hygiene) -- separation metric, not a verified bound
                 } else {
                     0.0
                 };
-                d * d
+                d * d // dwv-lint: allow(float-hygiene) -- separation metric, not a verified bound
             })
             .sum::<f64>()
+            // dwv-lint: allow(float-hygiene) -- separation metric, not a verified bound
             .sqrt()
     }
 
@@ -290,12 +294,19 @@ impl IntervalBox {
                 .iter()
                 .enumerate()
                 .map(|(d, iv)| {
+                    // Adjacent cells evaluate the *identical* float expression
+                    // for their shared seam, so the union of cells covers the
+                    // box exactly — no gap can open between `hi` of cell k and
+                    // `lo` of cell k+1.
+                    // dwv-lint: allow(float-hygiene) -- seams share one expression; outer endpoints are exact
                     let w = iv.width() / parts[d] as f64;
+                    // dwv-lint: allow(float-hygiene) -- seams share one expression; outer endpoints are exact
                     let lo = iv.lo() + w * idx[d] as f64;
                     let hi = if idx[d] + 1 == parts[d] {
                         iv.hi()
                     } else {
-                        lo + w
+                        // dwv-lint: allow(float-hygiene) -- seams share one expression; outer endpoints are exact
+                        iv.lo() + w * (idx[d] + 1) as f64
                     };
                     Interval::new(lo, hi)
                 })
@@ -361,6 +372,7 @@ impl IntervalBox {
                     if per_dim == 1 {
                         iv.mid()
                     } else {
+                        // dwv-lint: allow(float-hygiene) -- sample-point heuristic, not a verified bound
                         iv.lo() + iv.width() * idx[d] as f64 / (per_dim - 1) as f64
                     }
                 })

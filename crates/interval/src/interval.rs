@@ -51,6 +51,7 @@ impl Interval {
     /// for a fallible constructor.
     #[must_use]
     pub fn new(lo: f64, hi: f64) -> Self {
+        // dwv-lint: allow(panic-freedom) -- documented validating constructor; arithmetic uses `sound`
         Self::try_new(lo, hi).expect("invalid interval endpoints")
     }
 
@@ -67,6 +68,23 @@ impl Interval {
             return Err(InvalidIntervalError::empty());
         }
         Ok(Self { lo, hi })
+    }
+
+    /// Infallible constructor for arithmetic results.
+    ///
+    /// A NaN endpoint can only arise from `inf - inf`-shaped operand
+    /// combinations (e.g. `ENTIRE + ENTIRE`); widening it to the
+    /// corresponding infinity keeps the result a sound enclosure of the true
+    /// range without a panic path in operator code.
+    #[inline]
+    pub(crate) fn sound(lo: f64, hi: f64) -> Self {
+        let lo = if lo.is_nan() { f64::NEG_INFINITY } else { lo };
+        let hi = if hi.is_nan() { f64::INFINITY } else { hi };
+        debug_assert!(
+            lo <= hi,
+            "arithmetic produced inverted interval [{lo}, {hi}]"
+        );
+        Self { lo, hi }
     }
 
     /// Creates the degenerate (point) interval `[v, v]`.
@@ -365,7 +383,7 @@ impl Add for Interval {
     type Output = Interval;
 
     fn add(self, rhs: Interval) -> Interval {
-        Interval::new(outward_lo(self.lo + rhs.lo), outward_hi(self.hi + rhs.hi))
+        Interval::sound(outward_lo(self.lo + rhs.lo), outward_hi(self.hi + rhs.hi))
     }
 }
 
@@ -373,7 +391,7 @@ impl Sub for Interval {
     type Output = Interval;
 
     fn sub(self, rhs: Interval) -> Interval {
-        Interval::new(outward_lo(self.lo - rhs.hi), outward_hi(self.hi - rhs.lo))
+        Interval::sound(outward_lo(self.lo - rhs.hi), outward_hi(self.hi - rhs.lo))
     }
 }
 
@@ -381,7 +399,7 @@ impl Neg for Interval {
     type Output = Interval;
 
     fn neg(self) -> Interval {
-        Interval::new(-self.hi, -self.lo)
+        Interval::sound(-self.hi, -self.lo)
     }
 }
 
@@ -403,7 +421,7 @@ impl Mul for Interval {
             lo = lo.min(c);
             hi = hi.max(c);
         }
-        Interval::new(outward_lo(lo), outward_hi(hi))
+        Interval::sound(outward_lo(lo), outward_hi(hi))
     }
 }
 
@@ -535,6 +553,27 @@ mod tests {
         let e = Interval::ENTIRE;
         let p = z * e;
         assert!(p.contains_value(0.0));
+    }
+
+    #[test]
+    fn entire_arithmetic_stays_sound() {
+        // `-inf + inf` endpoint combinations produce NaN in raw f64; the
+        // sound constructor must widen them back to the enclosing infinity
+        // instead of panicking or yielding an invalid interval.
+        let e = Interval::ENTIRE;
+        for r in [e + e, e - e, e * e, -e] {
+            assert_eq!(r, Interval::ENTIRE);
+        }
+        let half = Interval::new(0.0, f64::INFINITY);
+        let d = half - half;
+        assert!(d.lo() == f64::NEG_INFINITY && d.hi() == f64::INFINITY);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "inverted interval")]
+    fn sound_constructor_guards_inversion_in_debug() {
+        let _ = Interval::sound(2.0, 1.0);
     }
 
     #[test]

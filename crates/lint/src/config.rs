@@ -1,0 +1,145 @@
+//! The zone map: which parts of the workspace each rule applies to.
+//!
+//! Paths are repo-relative with `/` separators. The default configuration
+//! encodes the project's soundness contract (see `DESIGN.md` §4d); tests
+//! construct custom configurations pointing at fixture files.
+
+/// How a source file participates in the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code under some `src/` (rules apply fully).
+    Lib,
+    /// Binary targets (`src/bin/`, `src/main.rs`): panic/doc rules relaxed.
+    Bin,
+    /// Tests, examples, benches: only the unsafe audit applies.
+    TestLike,
+}
+
+/// Classifies a repo-relative path (also extracting the owning crate name).
+#[must_use]
+pub fn classify(rel_path: &str) -> (FileClass, String) {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let krate = if parts.len() >= 2 && parts[0] == "crates" {
+        parts[1].to_string()
+    } else {
+        "design-while-verify".to_string()
+    };
+    let class =
+        if parts.contains(&"tests") || parts.contains(&"examples") || parts.contains(&"benches") {
+            FileClass::TestLike
+        } else if parts.contains(&"bin") || parts.last() == Some(&"main.rs") {
+            FileClass::Bin
+        } else {
+            FileClass::Lib
+        };
+    (class, krate)
+}
+
+/// The zone map consulted by the rule passes.
+#[derive(Debug, Clone)]
+pub struct ZoneConfig {
+    /// Files whose float arithmetic must be directed (R1 soundness zones).
+    pub float_zone_files: Vec<String>,
+    /// Zone files exempt from R1 because they *are* the rounding primitives.
+    pub float_primitive_files: Vec<String>,
+    /// Crates whose library code must be panic-free (R2).
+    pub panic_free_crates: Vec<String>,
+    /// Files whose results must be deterministic (R3).
+    pub determinism_zone_files: Vec<String>,
+}
+
+impl Default for ZoneConfig {
+    fn default() -> Self {
+        let v = |xs: &[&str]| xs.iter().map(|s| (*s).to_string()).collect();
+        Self {
+            // The verified enclosure arithmetic: interval boxes, Bernstein
+            // range enclosures, and Taylor-model remainder bookkeeping.
+            float_zone_files: v(&[
+                "crates/interval/src/lib.rs",
+                "crates/interval/src/boxes.rs",
+                "crates/poly/src/bernstein.rs",
+                "crates/taylor/src/model.rs",
+            ]),
+            // The rounding primitives themselves: one-ulp outward nudges and
+            // the widened libm endpoint evaluations.
+            float_primitive_files: v(&[
+                "crates/interval/src/interval.rs",
+                "crates/interval/src/transcendental.rs",
+            ]),
+            // The verified core: a panic mid-flowpipe would abort a whole
+            // training run, so library paths must be Result-carrying.
+            panic_free_crates: v(&["interval", "poly", "taylor", "reach", "core"]),
+            // Result-bearing parallel/caching code: the bit-identity contract
+            // (serial vs parallel, cached vs fresh) forbids iteration-order,
+            // wall-clock, and thread-identity dependence.
+            determinism_zone_files: v(&[
+                "crates/core/src/parallel.rs",
+                "crates/reach/src/cache.rs",
+                "crates/reach/src/taylor_reach.rs",
+                "crates/reach/src/sweep.rs",
+                "crates/poly/src/bernstein.rs",
+                "crates/poly/src/tables.rs",
+            ]),
+        }
+    }
+}
+
+impl ZoneConfig {
+    /// Whether `rel_path` is in the R1 float-hygiene zone (and not one of the
+    /// allow-listed rounding-primitive modules).
+    #[must_use]
+    pub fn in_float_zone(&self, rel_path: &str) -> bool {
+        self.float_zone_files.iter().any(|f| f == rel_path)
+            && !self.float_primitive_files.iter().any(|f| f == rel_path)
+    }
+
+    /// Whether `rel_path` belongs to a crate with the R2 panic-freedom
+    /// contract.
+    #[must_use]
+    pub fn in_panic_free_crate(&self, rel_path: &str) -> bool {
+        let (_, krate) = classify(rel_path);
+        self.panic_free_crates.contains(&krate)
+    }
+
+    /// Whether `rel_path` is in the R3 determinism zone.
+    #[must_use]
+    pub fn in_determinism_zone(&self, rel_path: &str) -> bool {
+        self.determinism_zone_files.iter().any(|f| f == rel_path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(
+            classify("crates/interval/src/interval.rs"),
+            (FileClass::Lib, "interval".to_string())
+        );
+        assert_eq!(
+            classify("crates/bench/src/bin/bench_core.rs").0,
+            FileClass::Bin
+        );
+        assert_eq!(
+            classify("crates/poly/tests/properties.rs").0,
+            FileClass::TestLike
+        );
+        assert_eq!(classify("examples/quickstart.rs").0, FileClass::TestLike);
+        assert_eq!(
+            classify("src/lib.rs"),
+            (FileClass::Lib, "design-while-verify".to_string())
+        );
+    }
+
+    #[test]
+    fn default_zones() {
+        let z = ZoneConfig::default();
+        assert!(z.in_float_zone("crates/interval/src/boxes.rs"));
+        assert!(!z.in_float_zone("crates/interval/src/interval.rs"));
+        assert!(z.in_panic_free_crate("crates/reach/src/cache.rs"));
+        assert!(!z.in_panic_free_crate("crates/obs/src/trace.rs"));
+        assert!(z.in_determinism_zone("crates/core/src/parallel.rs"));
+    }
+}

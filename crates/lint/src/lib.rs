@@ -1,0 +1,51 @@
+//! dwv-lint: the soundness & determinism static-analysis pass for the
+//! verified core.
+//!
+//! A zero-dependency token-level scanner (no `syn` — the build is offline)
+//! enforcing the project's soundness contract:
+//!
+//! | rule            | what it forbids                                      |
+//! |-----------------|------------------------------------------------------|
+//! | `float-hygiene` | raw `f64` arithmetic / non-directed float methods in soundness zones |
+//! | `panic-freedom` | `unwrap`/`expect`/panicking macros/indexing in verified library code |
+//! | `determinism`   | iteration-order, wall-clock, thread-identity dependence in result-bearing code |
+//! | `unsafe-audit`  | `unsafe` without a `// SAFETY:` comment (plus census) |
+//! | `doc-coverage`  | undocumented public items                            |
+//!
+//! Findings are suppressible only via an inline, reasoned annotation:
+//!
+//! ```text
+//! // dwv-lint: allow(panic-freedom#index) -- bounds established by loop guard
+//! ```
+//!
+//! which the linter records in the report's audit trail. Malformed
+//! annotations are findings themselves and always fail the run.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod structure;
+pub mod walk;
+
+pub use config::{classify, FileClass, ZoneConfig};
+pub use report::{Finding, Report, Rule, Suppression};
+pub use rules::lint_source;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Lints every source file in the workspace rooted at `root` with the
+/// default zone configuration.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let zones = ZoneConfig::default();
+    let mut report = Report::default();
+    for rel in walk::collect_rs_files(root)? {
+        let src = fs::read_to_string(root.join(&rel))?;
+        lint_source(&rel, &src, &zones, &mut report);
+    }
+    Ok(report)
+}

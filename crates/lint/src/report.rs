@@ -1,0 +1,312 @@
+//! Findings, suppressions, the unsafe census, and the output formats.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The rule that produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1 — raw float arithmetic / non-directed std float methods in a
+    /// soundness zone.
+    FloatHygiene,
+    /// R2 — panicking patterns in library code of the verified crates.
+    PanicFreedom,
+    /// R3 — iteration-order / wall-clock / thread-identity dependence in
+    /// result-bearing code.
+    Determinism,
+    /// R4 — `unsafe` without a `// SAFETY:` comment.
+    UnsafeAudit,
+    /// R5 — undocumented public items.
+    DocCoverage,
+    /// Malformed `dwv-lint:` annotations.
+    Annotation,
+}
+
+impl Rule {
+    /// The stable string id used in annotations, output, and `--deny`.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::FloatHygiene => "float-hygiene",
+            Rule::PanicFreedom => "panic-freedom",
+            Rule::Determinism => "determinism",
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::DocCoverage => "doc-coverage",
+            Rule::Annotation => "annotation",
+        }
+    }
+
+    /// The process exit-code bit for the rule (findings OR these together).
+    #[must_use]
+    pub fn exit_bit(self) -> i32 {
+        match self {
+            Rule::FloatHygiene => 1,
+            Rule::PanicFreedom => 2,
+            Rule::Determinism => 4,
+            Rule::UnsafeAudit => 8,
+            Rule::DocCoverage => 16,
+            Rule::Annotation => 32,
+        }
+    }
+
+    /// All enforceable rules (annotation hygiene is always enforced).
+    #[must_use]
+    pub fn all() -> &'static [Rule] {
+        &[
+            Rule::FloatHygiene,
+            Rule::PanicFreedom,
+            Rule::Determinism,
+            Rule::UnsafeAudit,
+            Rule::DocCoverage,
+        ]
+    }
+
+    /// Parses a rule id (as accepted by `--deny`).
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::all().iter().copied().find(|r| r.id() == id)
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Optional sub-pattern (e.g. `index` for slice-indexing under R2).
+    pub sub: Option<String>,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// One suppressed (annotated) finding, kept for the audit trail.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The rule that would have fired.
+    pub rule: Rule,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line of the suppressed finding.
+    pub line: u32,
+    /// The annotation's justification.
+    pub reason: String,
+}
+
+/// Aggregated results of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived suppression, in file/line order.
+    pub findings: Vec<Finding>,
+    /// Suppressed findings (annotation audit trail).
+    pub suppressed: Vec<Suppression>,
+    /// `unsafe` occurrence count per crate (the R4 census) — includes
+    /// annotated-and-passing sites.
+    pub unsafe_census: BTreeMap<String, usize>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// The exit code for this report given the denied rule set.
+    #[must_use]
+    pub fn exit_code(&self, denied: &[Rule]) -> i32 {
+        let mut code = 0;
+        for f in &self.findings {
+            if f.rule == Rule::Annotation || denied.contains(&f.rule) {
+                code |= f.rule.exit_bit();
+            }
+        }
+        code
+    }
+
+    /// Renders the human-readable report.
+    #[must_use]
+    pub fn to_text(&self, denied: &[Rule]) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let sub = f
+                .sub
+                .as_deref()
+                .map(|s| format!("#{s}"))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "{}:{}: [{}{}] {}",
+                f.file,
+                f.line,
+                f.rule.id(),
+                sub,
+                f.message
+            );
+        }
+        let unsafe_total: usize = self.unsafe_census.values().sum();
+        let _ = writeln!(
+            out,
+            "dwv-lint: {} file(s), {} finding(s), {} suppressed, {} unsafe site(s)",
+            self.files_scanned,
+            self.findings.len(),
+            self.suppressed.len(),
+            unsafe_total
+        );
+        if unsafe_total > 0 {
+            for (krate, n) in &self.unsafe_census {
+                if *n > 0 {
+                    let _ = writeln!(out, "  unsafe census: {krate}: {n}");
+                }
+            }
+        }
+        let code = self.exit_code(denied);
+        if code != 0 {
+            let _ = writeln!(out, "exit code {code} (rule bit mask)");
+        }
+        out
+    }
+
+    /// Renders the machine-readable JSON report (schema version 1).
+    #[must_use]
+    pub fn to_json(&self, denied: &[Rule]) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"exit_code\": {},", self.exit_code(denied));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(
+                out,
+                "\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}",
+                json_str(f.rule.id()),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            );
+            if let Some(sub) = &f.sub {
+                let _ = write!(out, ", \"sub\": {}", json_str(sub));
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"suppressed\": [");
+        for (i, sup) in self.suppressed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(
+                out,
+                "\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}",
+                json_str(sup.rule.id()),
+                json_str(&sup.file),
+                sup.line,
+                json_str(&sup.reason)
+            );
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"unsafe_census\": {");
+        for (i, (krate, n)) in self.unsafe_census.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {}", json_str(krate), n);
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report {
+            files_scanned: 2,
+            ..Report::default()
+        };
+        r.findings.push(Finding {
+            rule: Rule::PanicFreedom,
+            sub: Some("index".into()),
+            file: "a.rs".into(),
+            line: 3,
+            message: "slice indexing".into(),
+        });
+        r.findings.push(Finding {
+            rule: Rule::FloatHygiene,
+            sub: None,
+            file: "b.rs".into(),
+            line: 7,
+            message: "raw `*`".into(),
+        });
+        r.suppressed.push(Suppression {
+            rule: Rule::Determinism,
+            file: "c.rs".into(),
+            line: 1,
+            reason: "lookup-only".into(),
+        });
+        r.unsafe_census.insert("obs".into(), 1);
+        r
+    }
+
+    #[test]
+    fn exit_code_masks_by_denied_rules() {
+        let r = sample();
+        assert_eq!(r.exit_code(&[Rule::PanicFreedom]), 2);
+        assert_eq!(r.exit_code(&[Rule::FloatHygiene]), 1);
+        assert_eq!(r.exit_code(Rule::all()), 3);
+        assert_eq!(r.exit_code(&[Rule::Determinism]), 0);
+    }
+
+    #[test]
+    fn annotation_findings_always_deny() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            rule: Rule::Annotation,
+            sub: None,
+            file: "a.rs".into(),
+            line: 1,
+            message: "bad".into(),
+        });
+        assert_eq!(r.exit_code(&[]), 32);
+    }
+
+    #[test]
+    fn text_contains_findings_and_census() {
+        let r = sample();
+        let t = r.to_text(Rule::all());
+        assert!(t.contains("a.rs:3: [panic-freedom#index] slice indexing"));
+        assert!(t.contains("b.rs:7: [float-hygiene]"));
+        assert!(t.contains("unsafe census: obs: 1"));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,592 @@
+//! The five rule passes (R1–R5) over a lexed + analyzed source file.
+//!
+//! Every pass is token-level and heuristic — precision is documented per
+//! rule, and each exemption the heuristics cannot prove must be written as a
+//! `// dwv-lint: allow(<rule>) -- <reason>` annotation so it stays greppable.
+
+use crate::config::{classify, FileClass, ZoneConfig};
+use crate::lexer::{lex, Lexed, TokKind, Token};
+use crate::report::{Finding, Report, Rule, Suppression};
+use crate::structure::{analyze, suppression, Structure};
+
+/// Non-directed `std` float methods forbidden in soundness zones (R1). The
+/// directed / exact operations (`min`, `max`, `abs`, `next_up`, `next_down`,
+/// `to_bits`, comparisons) are not listed and remain allowed.
+const FLOAT_METHOD_DENYLIST: &[&str] = &[
+    "sqrt",
+    "exp",
+    "exp2",
+    "exp_m1",
+    "ln",
+    "ln_1p",
+    "log",
+    "log2",
+    "log10",
+    "sin",
+    "cos",
+    "tan",
+    "asin",
+    "acos",
+    "atan",
+    "atan2",
+    "sinh",
+    "cosh",
+    "tanh",
+    "asinh",
+    "acosh",
+    "atanh",
+    "powf",
+    "powi",
+    "mul_add",
+    "hypot",
+    "cbrt",
+    "recip",
+    "rem_euclid",
+    "div_euclid",
+    "to_degrees",
+    "to_radians",
+    "round",
+    "floor",
+    "ceil",
+    "trunc",
+    "fract",
+];
+
+/// Binary arithmetic operators checked by R1.
+const ARITH_OPS: &[&str] = &["+", "-", "*", "/", "%", "+=", "-=", "*=", "/=", "%="];
+
+/// Integer-typed cast targets: `x as usize * y` is index math, not float math.
+const INT_TYPES: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// Panicking macros checked by R2.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Lints one file's source text, appending results to `report`.
+///
+/// `rel_path` must be repo-relative with `/` separators — the zone map and
+/// the findings both use it verbatim.
+pub fn lint_source(rel_path: &str, src: &str, zones: &ZoneConfig, report: &mut Report) {
+    let lexed = lex(src);
+    let structure = analyze(&lexed);
+    let (class, krate) = classify(rel_path);
+    report.files_scanned += 1;
+
+    let mut ctx = Ctx {
+        rel_path,
+        lexed: &lexed,
+        structure: &structure,
+        report,
+    };
+
+    for (line, problem) in &structure.bad_annotations {
+        ctx.report.findings.push(Finding {
+            rule: Rule::Annotation,
+            sub: None,
+            file: rel_path.to_string(),
+            line: *line,
+            message: format!("malformed dwv-lint annotation: {problem}"),
+        });
+    }
+
+    if class == FileClass::Lib {
+        if zones.in_float_zone(rel_path) {
+            ctx.float_hygiene();
+        }
+        if zones.in_panic_free_crate(rel_path) {
+            ctx.panic_freedom();
+        }
+        if zones.in_determinism_zone(rel_path) {
+            ctx.determinism();
+        }
+        ctx.doc_coverage();
+    }
+    ctx.unsafe_audit(&krate);
+}
+
+struct Ctx<'a> {
+    rel_path: &'a str,
+    lexed: &'a Lexed,
+    structure: &'a Structure,
+    report: &'a mut Report,
+}
+
+impl Ctx<'_> {
+    fn toks(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+
+    /// Emits a finding unless an annotation suppresses it.
+    fn emit(&mut self, rule: Rule, sub: Option<&str>, line: u32, message: String) {
+        if let Some(allow) = suppression(self.structure, rule.id(), sub, line) {
+            self.report.suppressed.push(Suppression {
+                rule,
+                file: self.rel_path.to_string(),
+                line,
+                reason: allow.reason.clone(),
+            });
+        } else {
+            self.report.findings.push(Finding {
+                rule,
+                sub: sub.map(str::to_string),
+                file: self.rel_path.to_string(),
+                line,
+                message,
+            });
+        }
+    }
+
+    /// Whether token `i` is in code the rules skip (tests, attributes).
+    fn skipped(&self, i: usize) -> bool {
+        let f = self.structure.flags[i];
+        f.in_test || f.in_attr
+    }
+
+    // R1 — float hygiene -----------------------------------------------------
+    //
+    // Heuristics (documented in DESIGN.md §4d): a binary arithmetic operator
+    // is flagged unless (a) an adjacent operand token is an integer literal,
+    // (b) it sits inside `[…]` (index arithmetic is usize-typed by
+    // construction), or (c) the left operand is an integer cast
+    // (`… as usize * stride`). Denylisted float methods are flagged at any
+    // call site (`x.sqrt()`, `f64::sqrt(x)`).
+    fn float_hygiene(&mut self) {
+        let toks = self.toks();
+        let n = toks.len();
+        let mut hits: Vec<(u32, String)> = Vec::new();
+        for i in 0..n {
+            if self.skipped(i) {
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind == TokKind::Punct && ARITH_OPS.contains(&t.text.as_str()) {
+                if self.structure.flags[i].bracket_depth > 0 {
+                    continue;
+                }
+                let Some(prev) = i.checked_sub(1).map(|p| &toks[p]) else {
+                    continue;
+                };
+                let binary = matches!(prev.kind, TokKind::Ident | TokKind::FloatLit)
+                    || (prev.kind == TokKind::Punct && matches!(prev.text.as_str(), ")" | "]"))
+                    || prev.kind == TokKind::IntLit;
+                if !binary {
+                    continue;
+                }
+                // Keywords ending an expression never do: `return -x`, etc.
+                if prev.kind == TokKind::Ident
+                    && matches!(
+                        prev.text.as_str(),
+                        "return" | "as" | "in" | "if" | "else" | "match" | "break" | "where"
+                    )
+                {
+                    continue;
+                }
+                let next = toks.get(i + 1);
+                let int_adjacent = prev.kind == TokKind::IntLit
+                    || next.is_some_and(|t| t.kind == TokKind::IntLit)
+                    || (prev.kind == TokKind::Ident
+                        && INT_TYPES.contains(&prev.text.as_str())
+                        && i >= 2
+                        && toks[i - 2].text == "as");
+                if int_adjacent {
+                    continue;
+                }
+                hits.push((
+                    t.line,
+                    format!(
+                        "raw float arithmetic `{}` in a soundness zone (route through \
+                         Interval ops or the directed rounding primitives)",
+                        t.text
+                    ),
+                ));
+            }
+            if t.kind == TokKind::Ident && FLOAT_METHOD_DENYLIST.contains(&t.text.as_str()) {
+                let is_method = i >= 1
+                    && matches!(toks[i - 1].text.as_str(), "." | "::")
+                    && toks.get(i + 1).is_some_and(|t| t.text == "(");
+                if is_method {
+                    hits.push((
+                        t.line,
+                        format!(
+                            "non-directed float method `.{}()` in a soundness zone \
+                             (use the Interval enclosure or widen the result)",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        }
+        // One finding per line keeps annotations 1:1 with flagged lines.
+        hits.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+        for (line, msg) in hits {
+            self.emit(Rule::FloatHygiene, None, line, msg);
+        }
+    }
+
+    // R2 — panic freedom -----------------------------------------------------
+    fn panic_freedom(&mut self) {
+        let toks = self.toks();
+        let mut hits: Vec<(u32, Option<&'static str>, String)> = Vec::new();
+        for i in 0..toks.len() {
+            if self.skipped(i) {
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "unwrap" | "expect" | "unwrap_unchecked")
+                && i >= 1
+                && toks[i - 1].text == "."
+                && toks.get(i + 1).is_some_and(|n| n.text == "(")
+            {
+                hits.push((
+                    t.line,
+                    None,
+                    format!(
+                        "`.{}()` in library code of a verified crate (return a Result \
+                         or rewrite infallibly)",
+                        t.text
+                    ),
+                ));
+            }
+            if t.kind == TokKind::Ident
+                && PANIC_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.text == "!")
+            {
+                hits.push((
+                    t.line,
+                    None,
+                    format!("`{}!` in library code of a verified crate", t.text),
+                ));
+            }
+            // Slice/array indexing: `expr[…]` panics on out-of-bounds.
+            if t.text == "[" && !self.structure.flags[i].in_attr && i >= 1 {
+                let prev = &toks[i - 1];
+                let indexes = (prev.kind == TokKind::Ident
+                    && !matches!(
+                        prev.text.as_str(),
+                        "return" | "in" | "if" | "else" | "match" | "break" | "mut" | "as"
+                    ))
+                    || (prev.kind == TokKind::Punct && matches!(prev.text.as_str(), ")" | "]"));
+                if indexes {
+                    hits.push((
+                        t.line,
+                        Some("index"),
+                        "slice/array indexing can panic (prefer `get`, iterators, or a \
+                         justified allow)"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        hits.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+        for (line, sub, msg) in hits {
+            self.emit(Rule::PanicFreedom, sub, line, msg);
+        }
+    }
+
+    // R3 — determinism -------------------------------------------------------
+    fn determinism(&mut self) {
+        let toks = self.toks();
+        let mut hits: Vec<(u32, String)> = Vec::new();
+        for i in 0..toks.len() {
+            if self.skipped(i) {
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            match t.text.as_str() {
+                "HashMap" | "HashSet" => hits.push((
+                    t.line,
+                    format!(
+                        "`{}` in a determinism zone: iteration order is randomized \
+                         per process (justify lookup-only use or switch to BTreeMap)",
+                        t.text
+                    ),
+                )),
+                "SystemTime" | "Instant" => hits.push((
+                    t.line,
+                    format!(
+                        "`{}` in a determinism zone: wall-clock values must not \
+                         reach result-bearing code",
+                        t.text
+                    ),
+                )),
+                "current" | "ThreadId" => {
+                    let thread_qualified = t.text == "ThreadId"
+                        || (i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "thread");
+                    if thread_qualified {
+                        hits.push((
+                            t.line,
+                            "thread-identity value in a determinism zone: results must \
+                             not depend on which worker computed them"
+                                .to_string(),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        hits.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+        for (line, msg) in hits {
+            self.emit(Rule::Determinism, None, line, msg);
+        }
+    }
+
+    // R4 — unsafe audit ------------------------------------------------------
+    fn unsafe_audit(&mut self, krate: &str) {
+        let toks = self.toks();
+        let mut census = 0usize;
+        let mut hits: Vec<u32> = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || t.text != "unsafe" || self.structure.flags[i].in_attr {
+                continue;
+            }
+            census += 1;
+            // The comment must *start* with `SAFETY:` (after the comment
+            // markers) — prose mentioning the convention does not count.
+            let documented = self.lexed.comments.iter().any(|c| {
+                c.text
+                    .trim_start_matches(['/', '*', '!'])
+                    .trim_start()
+                    .starts_with("SAFETY:")
+                    && c.line <= t.line
+                    && t.line.saturating_sub(c.line) <= 3
+            });
+            if !documented {
+                hits.push(t.line);
+            }
+        }
+        *self
+            .report
+            .unsafe_census
+            .entry(krate.to_string())
+            .or_insert(0) += census;
+        for line in hits {
+            self.emit(
+                Rule::UnsafeAudit,
+                None,
+                line,
+                "`unsafe` without a `// SAFETY:` comment within the 3 preceding lines".to_string(),
+            );
+        }
+    }
+
+    // R5 — doc coverage ------------------------------------------------------
+    fn doc_coverage(&mut self) {
+        let toks = self.toks();
+        let mut hits: Vec<(u32, String)> = Vec::new();
+        for i in 0..toks.len() {
+            if self.skipped(i) || toks[i].text != "pub" {
+                continue;
+            }
+            // `pub(crate)` / `pub(super)` are not public API.
+            if toks.get(i + 1).is_some_and(|t| t.text == "(") {
+                continue;
+            }
+            // Find the item keyword, skipping modifiers.
+            let mut j = i + 1;
+            while toks.get(j).is_some_and(|t| {
+                matches!(t.text.as_str(), "const" | "unsafe" | "async" | "extern")
+                    || t.kind == TokKind::StrLit
+            }) {
+                // `pub const NAME` — `const` is the item keyword when the
+                // next token is an identifier that is not `fn`.
+                if toks[j].text == "const" && toks.get(j + 1).is_some_and(|t| t.text != "fn") {
+                    break;
+                }
+                j += 1;
+            }
+            let Some(kw) = toks.get(j) else { continue };
+            // `mod` is exempt: module docs conventionally live inside the
+            // module file as `//!`, which a per-file scan cannot see.
+            let item_kind = match kw.text.as_str() {
+                "fn" | "struct" | "enum" | "trait" | "type" | "const" | "static" => kw.text.clone(),
+                _ => continue, // `pub use`, `pub mod`, `pub impl`(n/a), …
+            };
+            let name = toks
+                .get(j + 1)
+                .map_or_else(|| "?".to_string(), |t| t.text.clone());
+            // Attached attributes may sit between the docs and the item:
+            // walk backwards over attribute spans.
+            let mut first = i;
+            while first > 0 && self.structure.flags[first - 1].in_attr {
+                first -= 1;
+            }
+            let start_line = toks[first].line;
+            let prev_line = if first == 0 { 0 } else { toks[first - 1].line };
+            let documented = self
+                .lexed
+                .comments
+                .iter()
+                .any(|c| c.doc && c.line >= prev_line && c.line <= start_line)
+                || toks[first..i].iter().any(|t| t.text == "doc");
+            if !documented {
+                hits.push((
+                    toks[i].line,
+                    format!("public {item_kind} `{name}` has no doc comment"),
+                ));
+            }
+        }
+        for (line, msg) in hits {
+            self.emit(Rule::DocCoverage, None, line, msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zones_for(path: &str) -> ZoneConfig {
+        ZoneConfig {
+            float_zone_files: vec![path.to_string()],
+            float_primitive_files: vec![],
+            panic_free_crates: vec!["design-while-verify".to_string()],
+            determinism_zone_files: vec![path.to_string()],
+        }
+    }
+
+    fn run(path: &str, src: &str) -> Report {
+        let mut r = Report::default();
+        lint_source(path, src, &zones_for(path), &mut r);
+        r
+    }
+
+    fn rules_hit(r: &Report) -> Vec<&'static str> {
+        r.findings.iter().map(|f| f.rule.id()).collect()
+    }
+
+    #[test]
+    fn float_literal_arithmetic_flagged() {
+        let r = run(
+            "src/zone.rs",
+            "fn f(a: f64, b: f64) -> f64 { 0.5 * (a + b) }\n",
+        );
+        assert!(rules_hit(&r).contains(&"float-hygiene"));
+    }
+
+    #[test]
+    fn integer_arithmetic_exempt() {
+        // Literal-adjacent ops, index-bracket interiors, and int-cast
+        // adjacency are all provably-integer and exempt.
+        let r = run(
+            "src/zone.rs",
+            "fn f(i: usize, s: usize) -> usize { let j = i + 1; idx[j * s + 1] + 2 + i as usize * s }\n",
+        );
+        assert!(
+            !rules_hit(&r).contains(&"float-hygiene"),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn denied_method_flagged_and_annotation_suppresses() {
+        let src = "\
+fn f(x: f64) -> f64 { x.sqrt() }
+// dwv-lint: allow(float-hygiene) -- distance heuristic, not a bound
+fn g(x: f64) -> f64 { x.sqrt() }
+";
+        let r = run("src/zone.rs", src);
+        let fh: Vec<u32> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::FloatHygiene)
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(fh, vec![1]);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].line, 3);
+    }
+
+    #[test]
+    fn panic_patterns_flagged_outside_tests_only() {
+        let src = "\
+pub fn f(v: &[f64]) -> f64 { v.first().unwrap() + v[1] }
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); panic!(\"ok\"); }
+}
+";
+        let r = run("src/lib.rs", src);
+        let pf: Vec<(u32, Option<String>)> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::PanicFreedom)
+            .map(|f| (f.line, f.sub.clone()))
+            .collect();
+        assert_eq!(pf, vec![(1, None), (1, Some("index".into()))]);
+    }
+
+    #[test]
+    fn determinism_zone_flags_hash_and_time() {
+        let src = "use std::collections::HashMap;\nfn f() { let t = Instant::now(); }\n";
+        let r = run("src/zone.rs", src);
+        let d: Vec<u32> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::Determinism)
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(d, vec![1, 2]);
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let src = "\
+fn a() { unsafe { x() } }
+// SAFETY: documented invariant
+fn b() { unsafe { y() } }
+";
+        let r = run("crates/demo/src/lib.rs", src);
+        let ua: Vec<u32> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::UnsafeAudit)
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(ua, vec![1]);
+        assert_eq!(r.unsafe_census.get("demo"), Some(&2));
+    }
+
+    #[test]
+    fn doc_coverage_flags_undocumented_pub() {
+        let src = "\
+/// Documented.
+pub fn ok() {}
+pub fn bad() {}
+#[derive(Debug)]
+pub struct AlsoBad;
+/// Documented struct.
+#[derive(Debug)]
+pub struct Fine;
+pub(crate) fn internal() {}
+";
+        let r = run("crates/demo/src/lib.rs", src);
+        let dc: Vec<String> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::DocCoverage)
+            .map(|f| f.message.clone())
+            .collect();
+        assert_eq!(dc.len(), 2, "{dc:?}");
+        assert!(dc[0].contains("`bad`"));
+        assert!(dc[1].contains("`AlsoBad`"));
+    }
+
+    #[test]
+    fn test_like_files_only_get_unsafe_audit() {
+        let src = "pub fn undocumented() { v[0]; x.unwrap(); unsafe { y() } }\n";
+        let mut r = Report::default();
+        lint_source(
+            "crates/demo/tests/t.rs",
+            src,
+            &ZoneConfig::default(),
+            &mut r,
+        );
+        assert_eq!(rules_hit(&r), vec!["unsafe-audit"]);
+    }
+}

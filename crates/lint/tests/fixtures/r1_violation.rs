@@ -1,0 +1,19 @@
+//! R1 fixture: raw float arithmetic and a non-directed method in a
+//! soundness zone (linted as a float-zone stand-in).
+
+/// Raw midpoint: `+` and `*` flagged on line 6.
+pub fn midpoint(lo: f64, hi: f64) -> f64 {
+    (lo + hi) * 0.5
+}
+
+/// Norm: `*` on line 11, then `+`, `*`, and `.sqrt()` on line 12.
+pub fn norm(x: f64, y: f64) -> f64 {
+    let s = x * x;
+    (s + y * y).sqrt()
+}
+
+/// Annotated use: suppressed, lands in the audit trail instead.
+pub fn annotated(c: f64, r: f64) -> f64 {
+    // dwv-lint: allow(float-hygiene) -- plotting helper, not a verified bound
+    c + r
+}

