@@ -1,0 +1,107 @@
+//! Packed, replayable case identifiers.
+//!
+//! Every generated case is identified by a single `u64` that encodes the
+//! oracle family, the size parameter the generators were ramped to, and the
+//! 48-bit case seed. The hex form of this word is what `dwv-check --replay`
+//! accepts and what the regression corpus stores — one token fully
+//! reproduces a finding.
+//!
+//! Layout (most-significant byte first):
+//!
+//! ```text
+//! byte 7    byte 6    bytes 5..0
+//! family    size      case seed (48 bits)
+//! ```
+
+/// Mask selecting the 48-bit seed field.
+pub const SEED_MASK: u64 = 0x0000_FFFF_FFFF_FFFF;
+
+/// A fully-specified generated case: family, size ramp value, seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CaseId {
+    /// Oracle family identifier (see `families::registry`).
+    pub family: u8,
+    /// Size parameter (1..=255) the generators were ramped to.
+    pub size: u8,
+    /// 48-bit SplitMix64 seed for the case's entropy stream.
+    pub seed: u64,
+}
+
+impl CaseId {
+    /// Builds a case id, masking `seed` to its 48-bit field.
+    #[must_use]
+    pub fn new(family: u8, size: u8, seed: u64) -> Self {
+        Self {
+            family,
+            size,
+            seed: seed & SEED_MASK,
+        }
+    }
+
+    /// Packs the id into a single word.
+    #[must_use]
+    pub fn pack(self) -> u64 {
+        (u64::from(self.family) << 56) | (u64::from(self.size) << 48) | (self.seed & SEED_MASK)
+    }
+
+    /// Unpacks a word produced by [`CaseId::pack`].
+    #[must_use]
+    pub fn unpack(word: u64) -> Self {
+        Self {
+            family: (word >> 56) as u8,
+            size: (word >> 48) as u8,
+            seed: word & SEED_MASK,
+        }
+    }
+
+    /// The canonical replay token, e.g. `0x010300000000002a`.
+    #[must_use]
+    pub fn hex(self) -> String {
+        format!("{:#018x}", self.pack())
+    }
+
+    /// Parses a replay token (`0x`-prefixed hex, case-insensitive, optional
+    /// `_` separators). Returns `None` on malformed input.
+    #[must_use]
+    pub fn parse(token: &str) -> Option<Self> {
+        let t = token.trim();
+        let hex = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X"))?;
+        let cleaned: String = hex.chars().filter(|c| *c != '_').collect();
+        if cleaned.is_empty() || cleaned.len() > 16 {
+            return None;
+        }
+        u64::from_str_radix(&cleaned, 16).ok().map(Self::unpack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let id = CaseId::new(3, 17, 0xABCD_EF01_2345);
+        assert_eq!(CaseId::unpack(id.pack()), id);
+        assert_eq!(CaseId::parse(&id.hex()), Some(id));
+    }
+
+    #[test]
+    fn seed_is_masked() {
+        let id = CaseId::new(1, 1, u64::MAX);
+        assert_eq!(id.seed, SEED_MASK);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(CaseId::parse("12ab"), None);
+        assert_eq!(CaseId::parse("0x"), None);
+        assert_eq!(CaseId::parse("0xzz"), None);
+        assert_eq!(CaseId::parse("0x1_0000_0000_0000_0000_0"), None);
+    }
+
+    #[test]
+    fn parse_accepts_separators_and_case() {
+        let id = CaseId::parse("0X01_02_0000_0000_002A");
+        assert_eq!(id, Some(CaseId::new(1, 2, 0x2A)));
+    }
+}

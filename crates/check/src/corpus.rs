@@ -1,0 +1,104 @@
+//! The regression-seed corpus.
+//!
+//! Every confirmed finding is committed as a replay token in a text file
+//! under `crates/check/corpus/`; the corpus is replayed by an ordinary
+//! `#[test]` and by `dwv-check --corpus <dir>`, so a once-found soundness
+//! bug can never silently return.
+//!
+//! # Format
+//!
+//! One token per line: `0x<16 hex digits>`, optionally followed by
+//! whitespace and a `#`-prefixed comment. Blank lines and lines starting
+//! with `#` are ignored.
+
+use crate::case::CaseId;
+use std::io;
+use std::path::Path;
+
+/// One corpus entry: a packed case plus its provenance comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// The packed case to replay.
+    pub id: CaseId,
+    /// The trailing comment (empty when absent).
+    pub comment: String,
+    /// The file the entry came from (empty for in-memory parses).
+    pub file: String,
+}
+
+/// Parses corpus text into entries; malformed token lines are reported as
+/// `Err` with their 1-based line number.
+pub fn parse(text: &str) -> Result<Vec<CorpusEntry>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (token, comment) = match line.split_once('#') {
+            Some((t, c)) => (t.trim(), c.trim().to_owned()),
+            None => (line, String::new()),
+        };
+        match CaseId::parse(token) {
+            Some(id) => out.push(CorpusEntry {
+                id,
+                comment,
+                file: String::new(),
+            }),
+            None => return Err(format!("line {}: malformed token {token:?}", lineno + 1)),
+        }
+    }
+    Ok(out)
+}
+
+/// Loads every `*.seeds` file under `dir` (sorted by file name for
+/// deterministic replay order).
+///
+/// # Errors
+///
+/// I/O errors reading the directory or files; malformed lines surface as
+/// [`io::ErrorKind::InvalidData`].
+pub fn load_dir(dir: &Path) -> io::Result<Vec<CorpusEntry>> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "seeds"))
+        .collect();
+    files.sort();
+    let mut out = Vec::new();
+    for path in files {
+        let text = std::fs::read_to_string(&path)?;
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let entries = parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{name}: {e}")))?;
+        out.extend(entries.into_iter().map(|mut en| {
+            en.file = name.clone();
+            en
+        }));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tokens_comments_and_blanks() {
+        let text = "# header\n\n0x0101000000000001\n0x0203000000000fff  # poly seam\n";
+        let entries = parse(text).expect("valid corpus");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].id, CaseId::new(1, 1, 1));
+        assert_eq!(entries[1].id, CaseId::new(2, 3, 0xFFF));
+        assert_eq!(entries[1].comment, "poly seam");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = parse("0xnope\n").expect_err("malformed");
+        assert!(err.contains("line 1"));
+    }
+}

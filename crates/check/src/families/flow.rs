@@ -1,0 +1,151 @@
+//! Validated-integration oracle family.
+//!
+//! Random dissipative polynomial vector fields are integrated one
+//! zero-order-hold step with the Picard-validated Taylor-model integrator,
+//! then cross-examined against an independent classical RK4 simulation:
+//! trajectories started inside the initial box (with inputs held anywhere
+//! inside the input set) must stay inside the step sweep box for the whole
+//! step and land inside the end enclosure at `t = δ`. The RK4 oracle runs
+//! at two resolutions and a Richardson step-halving estimate bounds its own
+//! discretization error, which inflates the containment test so only the
+//! integrator can be blamed for a failure.
+
+use super::{case_rng, CaseOutcome, Family};
+use dwv_interval::arbitrary::{f64_in, narrow_interval};
+use dwv_reach::arbitrary::{dissipative_rhs, initial_box};
+use dwv_taylor::{unit_domain, OdeIntegrator, OdeRhs, TaylorModel, TmVector};
+
+/// Picard-validated flowpipes vs high-resolution RK4 simulation.
+pub struct FlowFamily;
+
+/// Classic fixed-step RK4 over `[0, delta]` in `n` substeps, returning all
+/// visited grid states (including the initial one).
+fn rk4(rhs: &OdeRhs, x0: &[f64], u: &[f64], delta: f64, n: usize) -> Vec<Vec<f64>> {
+    let h = delta / n as f64;
+    let dim = x0.len();
+    let mut x = x0.to_vec();
+    let mut out = Vec::with_capacity(n + 1);
+    out.push(x.clone());
+    let f = |x: &[f64]| {
+        let mut xu = x.to_vec();
+        xu.extend_from_slice(u);
+        rhs.eval(&xu)
+    };
+    for _ in 0..n {
+        let k1 = f(&x);
+        let x2: Vec<f64> = (0..dim).map(|i| x[i] + 0.5 * h * k1[i]).collect();
+        let k2 = f(&x2);
+        let x3: Vec<f64> = (0..dim).map(|i| x[i] + 0.5 * h * k2[i]).collect();
+        let k3 = f(&x3);
+        let x4: Vec<f64> = (0..dim).map(|i| x[i] + h * k3[i]).collect();
+        let k4 = f(&x4);
+        for i in 0..dim {
+            x[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        out.push(x.clone());
+    }
+    out
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+impl Family for FlowFamily {
+    fn id(&self) -> u8 {
+        4
+    }
+
+    fn name(&self) -> &'static str {
+        "flow"
+    }
+
+    fn oracle(&self) -> &'static str {
+        "step-halved RK4 simulation with Richardson error estimate"
+    }
+
+    fn check(&self, seed: u64, size: u8) -> CaseOutcome {
+        let mut rng = case_rng(self.id(), seed);
+        let mut next = || rng.next_u64();
+        let n_state = 1 + (next() as usize) % 3;
+        let n_input = usize::from(size > 5 && next() % 2 == 0);
+        let quadratic = size > 3;
+        let rhs = dissipative_rhs(&mut next, n_state, n_input, quadratic);
+        let x0_box = initial_box(&mut next, n_state, 0.3);
+        let delta = f64_in(next(), 0.02, 0.08);
+        let mut integ = OdeIntegrator::with_order(3 + u32::from(size) % 2);
+        integ.bernstein_ranges = next() % 2 == 0;
+
+        let u_iv = narrow_interval(&mut next, 0.5, 0.2);
+        let x0 = TmVector::from_box(&x0_box);
+        let u = if n_input == 1 {
+            TmVector::new(vec![TaylorModel::from_interval(n_state, u_iv)])
+        } else {
+            TmVector::new(vec![])
+        };
+        let domain = unit_domain(n_state);
+        let step = match integ.flow_step(&x0, &u, &rhs, delta, &domain) {
+            Ok(s) => s,
+            // Refusing to enclose is sound; only a wrong enclosure is a bug.
+            Err(_) => return CaseOutcome::Skip,
+        };
+
+        let mids = x0_box.center();
+        let rads = x0_box.radii();
+        for _ in 0..3 {
+            let t: Vec<f64> = (0..n_state).map(|_| f64_in(next(), -1.0, 1.0)).collect();
+            let xi: Vec<f64> = (0..n_state).map(|i| mids[i] + rads[i] * t[i]).collect();
+            let uv: Vec<f64> = if n_input == 1 {
+                vec![f64_in(next(), u_iv.lo(), u_iv.hi())]
+            } else {
+                vec![]
+            };
+            let coarse = rk4(&rhs, &xi, &uv, delta, 64);
+            let fine = rk4(&rhs, &xi, &uv, delta, 128);
+            let Some(end_coarse) = coarse.last() else {
+                return CaseOutcome::Skip;
+            };
+            let Some(end_fine) = fine.last() else {
+                return CaseOutcome::Skip;
+            };
+            if end_fine.iter().any(|v| !v.is_finite()) {
+                return CaseOutcome::Skip;
+            }
+            // Global error of the finer run is ~diff/15; inflate by 2*diff
+            // for a ~30x margin over the estimate.
+            let sim_err = 2.0 * max_abs_diff(end_coarse, end_fine) + 1e-9;
+
+            for (i, &v) in end_fine.iter().enumerate() {
+                let enc = step.end.component(i).eval(&t);
+                if !enc
+                    .inflate(sim_err + super::oracle_tol(v))
+                    .contains_value(v)
+                {
+                    return CaseOutcome::Violation(format!(
+                        "end enclosure dim {i} [{:e}, {:e}] excludes simulated state {v:e} \
+                         (x0 {xi:?}, u {uv:?}, delta {delta:e}, sim_err {sim_err:e})",
+                        enc.lo(),
+                        enc.hi()
+                    ));
+                }
+            }
+            for state in &fine {
+                for (i, &v) in state.iter().enumerate() {
+                    let iv = step.step_box.interval(i);
+                    if !iv.inflate(sim_err + super::oracle_tol(v)).contains_value(v) {
+                        return CaseOutcome::Violation(format!(
+                            "step sweep box dim {i} [{:e}, {:e}] excludes trajectory point \
+                             {v:e} (x0 {xi:?}, u {uv:?}, delta {delta:e})",
+                            iv.lo(),
+                            iv.hi()
+                        ));
+                    }
+                }
+            }
+        }
+        CaseOutcome::Pass
+    }
+}

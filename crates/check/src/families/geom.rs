@@ -1,0 +1,218 @@
+//! Geometric set-operation oracle family.
+//!
+//! Zonotopes and convex polygons are checked against dense point-membership
+//! sampling: a concrete member point (built from explicit generator
+//! coefficients or a convex combination of vertices) must survive every set
+//! operation that claims to over-approximate or preserve the set — support
+//! functions, bounding boxes, Minkowski sums, affine images, order
+//! reduction, polygon conversion, clipping, and intersection.
+
+use super::{case_rng, CaseOutcome, Family};
+use crate::rng::CheckRng;
+use dwv_geom::arbitrary::{
+    affine_map, convex_polygon, direction, point_in_polygon, zonotope, zonotope_coeffs,
+    zonotope_point,
+};
+use dwv_geom::Vec2;
+
+/// Zonotope/polygon operations vs explicit member-point sampling.
+pub struct GeomFamily;
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+fn scale_of(z: &dwv_geom::Zonotope) -> f64 {
+    let c: f64 = z.center().iter().map(|v| v.abs()).sum();
+    let g: f64 = z
+        .generators()
+        .iter()
+        .map(|g| g.iter().map(|v| v.abs()).sum::<f64>())
+        .sum();
+    c + g + 1.0
+}
+
+fn check_zonotope(rng: &mut CheckRng, size: u8) -> CaseOutcome {
+    let mut next = || rng.next_u64();
+    let dim = 2 + (next() as usize) % 2;
+    let n_gens = 1 + (next() as usize) % (2 + usize::from(size) / 2).min(6);
+    let mag = 1.0 + f64::from(size) / 2.0;
+    let z = zonotope(&mut next, dim, n_gens, mag);
+    let alphas = zonotope_coeffs(&mut next, n_gens);
+    let x = zonotope_point(&z, &alphas);
+    let tol = super::oracle_tol(scale_of(&z));
+
+    // Support function dominates every member point in every direction.
+    for _ in 0..3 {
+        let d = direction(&mut next, dim);
+        let dx = dot(&d, &x);
+        let s = z.support(&d);
+        if s < dx - tol {
+            return CaseOutcome::Violation(format!(
+                "support h(Z, {d:?}) = {s:e} below member projection {dx:e}"
+            ));
+        }
+    }
+
+    // Bounding box contains the member point.
+    if !z.bounding_box().inflate(tol).contains_point(&x) {
+        return CaseOutcome::Violation(format!("bounding box excludes member point {x:?}"));
+    }
+
+    // Minkowski sum contains pointwise sums (same coefficient trick on the
+    // second operand).
+    let z2 = zonotope(&mut next, dim, n_gens, mag);
+    let alphas2 = zonotope_coeffs(&mut next, n_gens);
+    let y = zonotope_point(&z2, &alphas2);
+    let sum = z.minkowski_sum(&z2);
+    let xy: Vec<f64> = x.iter().zip(y.iter()).map(|(&a, &b)| a + b).collect();
+    let sum_tol = super::oracle_tol(scale_of(&sum));
+    for _ in 0..2 {
+        let d = direction(&mut next, dim);
+        if sum.support(&d) < dot(&d, &xy) - sum_tol {
+            return CaseOutcome::Violation(format!(
+                "Minkowski sum support misses pointwise sum {xy:?} along {d:?}"
+            ));
+        }
+    }
+
+    // Affine image contains the mapped member point.
+    let (m, b) = affine_map(&mut next, dim, dim, 1.5);
+    let img = z.affine_image(&m, &b);
+    let mx: Vec<f64> = m
+        .iter()
+        .zip(b.iter())
+        .map(|(row, &bi)| dot(row, &x) + bi)
+        .collect();
+    let img_tol = super::oracle_tol(scale_of(&img));
+    for _ in 0..2 {
+        let d = direction(&mut next, dim);
+        if img.support(&d) < dot(&d, &mx) - img_tol {
+            return CaseOutcome::Violation(format!(
+                "affine image support misses mapped point {mx:?} along {d:?}"
+            ));
+        }
+    }
+
+    // Order reduction only ever grows the set.
+    let reduced = z.reduce_order(1.5);
+    for _ in 0..2 {
+        let d = direction(&mut next, dim);
+        if reduced.support(&d) < dot(&d, &x) - tol {
+            return CaseOutcome::Violation(format!(
+                "order reduction shrank the set: member {x:?} escapes along {d:?}"
+            ));
+        }
+    }
+
+    // 2-D zonotopes convert to polygons that keep every member point and
+    // agree with the zonotope's support function.
+    if dim == 2 {
+        if let Some(poly) = z.to_polygon() {
+            let p = Vec2::new(x[0], x[1]);
+            let d = poly.distance_to_point(p);
+            if d > tol {
+                return CaseOutcome::Violation(format!(
+                    "zonotope polygon excludes member point {x:?} (distance {d:e})"
+                ));
+            }
+            for _ in 0..2 {
+                let dvec = direction(&mut next, 2);
+                let sv = poly.support(Vec2::new(dvec[0], dvec[1]));
+                let hp = sv.x * dvec[0] + sv.y * dvec[1];
+                let hz = z.support(&dvec);
+                if (hp - hz).abs() > tol {
+                    return CaseOutcome::Violation(format!(
+                        "polygon support {hp:e} differs from zonotope support {hz:e} along {dvec:?}"
+                    ));
+                }
+            }
+        }
+    }
+    CaseOutcome::Pass
+}
+
+fn check_polygon(rng: &mut CheckRng, size: u8) -> CaseOutcome {
+    let mut next = || rng.next_u64();
+    let mag = 1.0 + f64::from(size) / 2.0;
+    let n_pts = 3 + (next() as usize) % 6;
+    let (Some(a), Some(b)) = (
+        convex_polygon(&mut next, n_pts, mag),
+        convex_polygon(&mut next, n_pts, mag),
+    ) else {
+        return CaseOutcome::Skip;
+    };
+    let tol = super::oracle_tol(mag * 4.0);
+
+    let pa = point_in_polygon(&mut next, &a);
+    // "Strictly interior by a margin": every inward edge slack clears the
+    // clipper's own epsilon, so degenerate touching cannot explain a miss.
+    let strict = 1e-6 * mag;
+    let interior = |poly: &dwv_geom::ConvexPolygon, p: Vec2| {
+        poly.edge_halfplanes()
+            .iter()
+            .all(|hp| hp.signed_slack(p) > strict)
+    };
+    // Intersection: common members survive; intersection members belong to
+    // both operands.
+    match a.intersect(&b) {
+        Some(c) => {
+            if interior(&a, pa) && interior(&b, pa) && c.distance_to_point(pa) > tol {
+                return CaseOutcome::Violation(format!(
+                    "point {pa:?} interior to both polygons escapes their intersection"
+                ));
+            }
+            let pc = point_in_polygon(&mut next, &c);
+            if a.distance_to_point(pc) > tol || b.distance_to_point(pc) > tol {
+                return CaseOutcome::Violation(format!(
+                    "intersection point {pc:?} escapes an operand polygon"
+                ));
+            }
+        }
+        None => {
+            if interior(&a, pa) && interior(&b, pa) {
+                return CaseOutcome::Violation(format!(
+                    "polygons report empty intersection yet share interior point {pa:?}"
+                ));
+            }
+        }
+    }
+
+    // Hull contains members of both operands.
+    let h = a.hull_with(&b);
+    let pb = point_in_polygon(&mut next, &b);
+    if h.distance_to_point(pa) > tol || h.distance_to_point(pb) > tol {
+        return CaseOutcome::Violation(format!(
+            "convex hull excludes an operand member ({pa:?} or {pb:?})"
+        ));
+    }
+
+    // Bounding box contains members.
+    if !a.bounding_box().inflate(tol).contains_point(&[pa.x, pa.y]) {
+        return CaseOutcome::Violation(format!("polygon bounding box excludes member {pa:?}"));
+    }
+    CaseOutcome::Pass
+}
+
+impl Family for GeomFamily {
+    fn id(&self) -> u8 {
+        5
+    }
+
+    fn name(&self) -> &'static str {
+        "geom"
+    }
+
+    fn oracle(&self) -> &'static str {
+        "explicit member-point construction and support-projection comparison"
+    }
+
+    fn check(&self, seed: u64, size: u8) -> CaseOutcome {
+        let mut rng = case_rng(self.id(), seed);
+        if rng.next_u64().is_multiple_of(2) {
+            check_zonotope(&mut rng, size)
+        } else {
+            check_polygon(&mut rng, size)
+        }
+    }
+}

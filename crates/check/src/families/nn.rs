@@ -1,0 +1,94 @@
+//! Neural-network abstraction oracle family.
+//!
+//! Random small controllers are abstracted over random narrow state boxes
+//! by both abstraction back-ends (Taylor with Lagrange remainder, Bernstein
+//! with sampled remainder plus Lipschitz inflation); the resulting output
+//! Taylor models must enclose the concrete `Network::forward` value at
+//! sampled points of the box — the enclosure contract every verified
+//! reachability step rests on.
+
+use super::{case_rng, CaseOutcome, Family};
+use dwv_dynamics::NnController;
+use dwv_interval::arbitrary::f64_in;
+use dwv_interval::IntervalBox;
+use dwv_nn::arbitrary::network;
+use dwv_reach::{BernsteinAbstraction, NnAbstraction, TaylorAbstraction};
+use dwv_taylor::{unit_domain, TmVector};
+
+/// NN output-set abstraction vs concrete forward evaluation.
+pub struct NnFamily;
+
+impl Family for NnFamily {
+    fn id(&self) -> u8 {
+        7
+    }
+
+    fn name(&self) -> &'static str {
+        "nn"
+    }
+
+    fn oracle(&self) -> &'static str {
+        "concrete Network::forward at sampled points of the state box"
+    }
+
+    fn check(&self, seed: u64, size: u8) -> CaseOutcome {
+        let mut rng = case_rng(self.id(), seed);
+        let mut next = || rng.next_u64();
+        let in_dim = 1 + (next() as usize) % 2;
+        let out_dim = 1 + (next() as usize) % 2;
+        let max_width = 2 + usize::from(size) % 3;
+        let net = network(&mut next, in_dim, out_dim, 2, max_width);
+        let controller = NnController::new(net);
+
+        let center: Vec<f64> = (0..in_dim).map(|_| f64_in(next(), -0.5, 0.5)).collect();
+        let radius: Vec<f64> = (0..in_dim)
+            .map(|_| {
+                0.05 + 0.25 * {
+                    let w = next();
+                    dwv_interval::arbitrary::unit_f64(w)
+                }
+            })
+            .collect();
+        let state_box = IntervalBox::from_center_radius(&center, &radius);
+        let state = TmVector::from_box(&state_box);
+        let domain = unit_domain(in_dim);
+
+        let use_taylor = next() % 2 == 0;
+        let out = if use_taylor {
+            let order = 2 + (next() % 2) as u32;
+            TaylorAbstraction::with_order(order).abstract_network(&controller, &state, &domain)
+        } else {
+            let degree = 2 + (next() % 2) as u32;
+            BernsteinAbstraction::with_degree(degree).abstract_network(&controller, &state, &domain)
+        };
+        let out = match out {
+            Ok(o) => o,
+            // Refusing to abstract is sound.
+            Err(_) => return CaseOutcome::Skip,
+        };
+
+        let mids = state_box.center();
+        let rads = state_box.radii();
+        for _ in 0..5 {
+            let t: Vec<f64> = (0..in_dim).map(|_| f64_in(next(), -1.0, 1.0)).collect();
+            let x: Vec<f64> = (0..in_dim).map(|i| mids[i] + rads[i] * t[i]).collect();
+            let y = controller.network().forward(&x);
+            for (j, &yj) in y.iter().enumerate() {
+                if yj.is_nan() {
+                    return CaseOutcome::Skip;
+                }
+                let enc = out.component(j).eval(&t);
+                if !enc.inflate(super::oracle_tol(yj)).contains_value(yj) {
+                    let kind = if use_taylor { "Taylor" } else { "Bernstein" };
+                    return CaseOutcome::Violation(format!(
+                        "{kind} abstraction output {j} [{:e}, {:e}] excludes forward value \
+                         {yj:e} at x = {x:?} (box {state_box:?})",
+                        enc.lo(),
+                        enc.hi()
+                    ));
+                }
+            }
+        }
+        CaseOutcome::Pass
+    }
+}

@@ -1,0 +1,133 @@
+//! Polynomial-range oracle family.
+//!
+//! Random sparse polynomials are evaluated at sampled points (corners,
+//! grid nodes, and uniform draws) of a random bounded domain; the sampled
+//! values must lie inside the Bernstein-form range enclosure and the
+//! Horner interval evaluation. The cached Bernstein range must agree
+//! bitwise with the direct computation, and affine substitution must
+//! commute with evaluation up to rigorous rounding slack.
+
+use super::{case_rng, CaseOutcome, Family};
+use dwv_interval::arbitrary::{f64_in, narrow_box, point_in_box};
+use dwv_poly::bernstein::{range_enclosure, RangeCache};
+use dwv_poly::{arbitrary, Polynomial};
+
+/// Bernstein/interval range enclosures vs sampled evaluation.
+pub struct PolyFamily;
+
+/// A rigorous bound on the `f64` evaluation error of `p` at `x`:
+/// `eps * Σ_t |c_t| Π_i |x_i|^{e_i}` scaled by the term count and degree
+/// (each Horner step contributes at most one rounding of the running
+/// magnitude).
+fn eval_slack(p: &Polynomial, x: &[f64]) -> f64 {
+    let abs_sum: f64 = p
+        .iter()
+        .map(|(exps, c)| {
+            let m: f64 = exps
+                .iter()
+                .zip(x.iter())
+                .map(|(&e, &xi)| xi.abs().powi(e as i32))
+                .product();
+            c.abs() * m
+        })
+        .sum();
+    let ops = (p.iter().count() as f64 + 1.0) * (f64::from(p.degree()) + 1.0);
+    f64::EPSILON * ops * (abs_sum + 1.0)
+}
+
+impl Family for PolyFamily {
+    fn id(&self) -> u8 {
+        2
+    }
+
+    fn name(&self) -> &'static str {
+        "poly"
+    }
+
+    fn oracle(&self) -> &'static str {
+        "pointwise evaluation at corners/grid/uniform samples of the domain"
+    }
+
+    fn check(&self, seed: u64, size: u8) -> CaseOutcome {
+        let mut rng = case_rng(self.id(), seed);
+        let mut next = || rng.next_u64();
+        let nvars = 1 + (next() as usize) % 3;
+        let max_degree = 1 + u32::from(size) / 2;
+        let max_terms = 2 + usize::from(size);
+        let coeff_mag = 1.0 + f64::from(size);
+        let p = arbitrary::polynomial(
+            &mut next,
+            nvars,
+            max_degree.min(6),
+            max_terms.min(10),
+            coeff_mag,
+        );
+        let domain = narrow_box(&mut next, nvars, 2.0, 1.5);
+
+        let bern = range_enclosure(&p, &domain);
+        let horner = p.eval_interval(domain.intervals());
+
+        // Cached path must agree bitwise with the direct path, twice (the
+        // second call is served from the memo).
+        let mut cache = RangeCache::new();
+        let c1 = cache.range_enclosure(&p, domain.intervals());
+        let c2 = cache.range_enclosure(&p, domain.intervals());
+        if c1 != bern || c2 != bern {
+            return CaseOutcome::Violation(format!(
+                "cached Bernstein range [{:e}, {:e}] differs from direct [{:e}, {:e}]",
+                c1.lo(),
+                c1.hi(),
+                bern.lo(),
+                bern.hi()
+            ));
+        }
+
+        // Affine substitution differential: q(x) must equal p(a + b*x).
+        let a: Vec<f64> = (0..nvars).map(|_| f64_in(next(), -1.0, 1.0)).collect();
+        let b: Vec<f64> = (0..nvars).map(|_| f64_in(next(), -1.0, 1.0)).collect();
+        let q = p.affine_substitution(&a, &b);
+
+        let mut points = domain.corners();
+        points.extend(domain.grid(2));
+        for _ in 0..4 {
+            points.push(point_in_box(&mut next, &domain));
+        }
+
+        for x in &points {
+            let v = p.eval(x);
+            if v.is_nan() {
+                return CaseOutcome::Skip;
+            }
+            let slack = eval_slack(&p, x);
+            if !bern.inflate(slack).contains_value(v) {
+                return CaseOutcome::Violation(format!(
+                    "Bernstein range [{:e}, {:e}] excludes p({x:?}) = {v:e} (slack {slack:e})",
+                    bern.lo(),
+                    bern.hi()
+                ));
+            }
+            if !horner.inflate(slack).contains_value(v) {
+                return CaseOutcome::Violation(format!(
+                    "interval evaluation [{:e}, {:e}] excludes p({x:?}) = {v:e}",
+                    horner.lo(),
+                    horner.hi()
+                ));
+            }
+            let y: Vec<f64> = a
+                .iter()
+                .zip(b.iter())
+                .zip(x.iter())
+                .map(|((&ai, &bi), &xi)| ai + bi * xi)
+                .collect();
+            let direct = p.eval(&y);
+            let subst = q.eval(x);
+            let tol = eval_slack(&p, &y) + eval_slack(&q, x) + super::oracle_tol(direct);
+            if (direct - subst).abs() > tol {
+                return CaseOutcome::Violation(format!(
+                    "affine substitution drifts: p(a+b*x) = {direct:e} vs q(x) = {subst:e} (tol {tol:e})"
+                ));
+            }
+        }
+        CaseOutcome::Pass
+    }
+}

@@ -1,0 +1,241 @@
+//! Taylor-model arithmetic oracle family.
+//!
+//! Random expression trees are evaluated twice: once in Taylor-model
+//! arithmetic over the unit domain (with truncation and pruning sprinkled
+//! in — both are function-preserving up to remainder transfer) and once
+//! pointwise in plain `f64` on sampled domain points. The pointwise value
+//! must lie inside the model's pointwise enclosure and inside both range
+//! enclosures (interval and Bernstein), and the cached Bernstein range
+//! must agree bitwise with the direct one.
+
+use super::{case_rng, CaseOutcome, Family};
+use crate::rng::CheckRng;
+use dwv_interval::arbitrary::f64_in;
+use dwv_poly::bernstein::RangeCache;
+use dwv_taylor::{arbitrary, unit_domain, TaylorModel};
+
+/// Taylor-model enclosures vs pointwise `f64` evaluation.
+pub struct TaylorFamily;
+
+const SAMPLES: usize = 3;
+
+struct Node {
+    tm: TaylorModel,
+    /// Pointwise values of one member function (the remainder-center
+    /// polynomial) at the sampled domain points.
+    vals: [f64; SAMPLES],
+    /// Magnitude bound used for floating-point slack.
+    mag: f64,
+    nodes: f64,
+}
+
+fn leaf(rng: &mut CheckRng, nvars: usize, pts: &[Vec<f64>], size: u8) -> Node {
+    let mut next = || rng.next_u64();
+    match next() % 4 {
+        0 => {
+            let i = (next() as usize) % nvars;
+            let mut vals = [0.0; SAMPLES];
+            for (v, t) in vals.iter_mut().zip(pts.iter()) {
+                *v = t[i];
+            }
+            Node {
+                tm: TaylorModel::var(nvars, i),
+                vals,
+                mag: 1.0,
+                nodes: 1.0,
+            }
+        }
+        1 => {
+            let c = f64_in(next(), -2.0, 2.0);
+            Node {
+                tm: TaylorModel::constant(nvars, c),
+                vals: [c; SAMPLES],
+                mag: c.abs(),
+                nodes: 1.0,
+            }
+        }
+        _ => {
+            let max_degree = 1 + u32::from(size) / 3;
+            let tm = arbitrary::taylor_model(&mut next, nvars, max_degree.min(4), 5, 1.5, 0.1);
+            let mut vals = [0.0; SAMPLES];
+            for (v, t) in vals.iter_mut().zip(pts.iter()) {
+                *v = tm.poly().eval(t);
+            }
+            // |t| <= 1 on the unit domain, so the coefficient L1 norm bounds
+            // the polynomial part.
+            let l1: f64 = tm.poly().iter().map(|(_, c)| c.abs()).sum();
+            Node {
+                tm,
+                vals,
+                mag: l1,
+                nodes: 1.0,
+            }
+        }
+    }
+}
+
+fn gen_node(rng: &mut CheckRng, nvars: usize, pts: &[Vec<f64>], depth: u32, size: u8) -> Node {
+    if depth == 0 || rng.next_u64().is_multiple_of(3) {
+        return leaf(rng, nvars, pts, size);
+    }
+    let order = 3 + u32::from(size) % 3;
+    let domain = unit_domain(nvars);
+    let op = rng.next_u64() % 8;
+    let a = gen_node(rng, nvars, pts, depth - 1, size);
+    match op {
+        0 => {
+            let b = gen_node(rng, nvars, pts, depth - 1, size);
+            let mut vals = [0.0; SAMPLES];
+            for (v, (&x, &y)) in vals.iter_mut().zip(a.vals.iter().zip(b.vals.iter())) {
+                *v = x + y;
+            }
+            Node {
+                tm: a.tm.add(&b.tm),
+                vals,
+                mag: a.mag + b.mag,
+                nodes: a.nodes + b.nodes + 1.0,
+            }
+        }
+        1 => {
+            let b = gen_node(rng, nvars, pts, depth - 1, size);
+            let mut vals = [0.0; SAMPLES];
+            for (v, (&x, &y)) in vals.iter_mut().zip(a.vals.iter().zip(b.vals.iter())) {
+                *v = x - y;
+            }
+            Node {
+                tm: a.tm.sub(&b.tm),
+                vals,
+                mag: a.mag + b.mag,
+                nodes: a.nodes + b.nodes + 1.0,
+            }
+        }
+        2 => {
+            let b = gen_node(rng, nvars, pts, depth - 1, size);
+            let mut vals = [0.0; SAMPLES];
+            for (v, (&x, &y)) in vals.iter_mut().zip(a.vals.iter().zip(b.vals.iter())) {
+                *v = x * y;
+            }
+            Node {
+                tm: a.tm.mul(&b.tm, order, &domain),
+                vals,
+                mag: a.mag * b.mag + 1.0,
+                nodes: a.nodes + b.nodes + 1.0,
+            }
+        }
+        3 => Node {
+            tm: a.tm.neg(),
+            vals: a.vals.map(|v| -v),
+            mag: a.mag,
+            nodes: a.nodes + 1.0,
+        },
+        4 => {
+            let s = f64_in(rng.next_u64(), -2.0, 2.0);
+            Node {
+                tm: a.tm.scale(s),
+                vals: a.vals.map(|v| s * v),
+                mag: a.mag * s.abs(),
+                nodes: a.nodes + 1.0,
+            }
+        }
+        5 => {
+            let e = 2 + (rng.next_u64() % 2) as u32;
+            let mut vals = [0.0; SAMPLES];
+            for (v, &x) in vals.iter_mut().zip(a.vals.iter()) {
+                *v = x.powi(e as i32);
+            }
+            Node {
+                tm: a.tm.powi(e, order, &domain),
+                vals,
+                mag: (a.mag + 1.0).powi(e as i32),
+                nodes: a.nodes + 1.0,
+            }
+        }
+        6 => Node {
+            // Truncation moves high-order mass into the remainder: the
+            // represented function set only grows.
+            tm: a.tm.truncate(order.saturating_sub(1).max(1), &domain),
+            vals: a.vals,
+            mag: a.mag,
+            nodes: a.nodes + 1.0,
+        },
+        _ => Node {
+            tm: a.tm.prune(1e-6, &domain),
+            vals: a.vals,
+            mag: a.mag,
+            nodes: a.nodes + 1.0,
+        },
+    }
+}
+
+impl Family for TaylorFamily {
+    fn id(&self) -> u8 {
+        3
+    }
+
+    fn name(&self) -> &'static str {
+        "taylor"
+    }
+
+    fn oracle(&self) -> &'static str {
+        "pointwise f64 evaluation of the remainder-center member function"
+    }
+
+    fn check(&self, seed: u64, size: u8) -> CaseOutcome {
+        let mut rng = case_rng(self.id(), seed);
+        let nvars = 1 + (rng.next_u64() as usize) % 2;
+        let pts: Vec<Vec<f64>> = (0..SAMPLES)
+            .map(|_| {
+                (0..nvars)
+                    .map(|_| f64_in(rng.next_u64(), -1.0, 1.0))
+                    .collect()
+            })
+            .collect();
+        let depth = 1 + u32::from(size) / 3;
+        let node = gen_node(&mut rng, nvars, &pts, depth.min(4), size);
+        let domain = unit_domain(nvars);
+
+        let range = node.tm.range(&domain);
+        let bern = node.tm.range_bernstein(&domain);
+        let mut cache = RangeCache::new();
+        let cached = node.tm.range_bernstein_cached(&domain, &mut cache);
+        if cached != bern {
+            return CaseOutcome::Violation(format!(
+                "cached Bernstein range [{:e}, {:e}] differs from direct [{:e}, {:e}]",
+                cached.lo(),
+                cached.hi(),
+                bern.lo(),
+                bern.hi()
+            ));
+        }
+
+        let tol = f64::EPSILON * 32.0 * node.nodes * (node.mag + 1.0);
+        for (t, &v) in pts.iter().zip(node.vals.iter()) {
+            if v.is_nan() {
+                return CaseOutcome::Skip;
+            }
+            let point = node.tm.eval(t);
+            if !point.inflate(tol).contains_value(v) {
+                return CaseOutcome::Violation(format!(
+                    "pointwise enclosure [{:e}, {:e}] at {t:?} excludes member value {v:e}",
+                    point.lo(),
+                    point.hi()
+                ));
+            }
+            if !range.inflate(tol).contains_value(v) {
+                return CaseOutcome::Violation(format!(
+                    "interval range [{:e}, {:e}] excludes member value {v:e} at {t:?}",
+                    range.lo(),
+                    range.hi()
+                ));
+            }
+            if !bern.inflate(tol).contains_value(v) {
+                return CaseOutcome::Violation(format!(
+                    "Bernstein range [{:e}, {:e}] excludes member value {v:e} at {t:?}",
+                    bern.lo(),
+                    bern.hi()
+                ));
+            }
+        }
+        CaseOutcome::Pass
+    }
+}

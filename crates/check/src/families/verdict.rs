@@ -1,0 +1,84 @@
+//! Verifier-verdict oracle family.
+//!
+//! The geometric metric's sign semantics are the paper's safety contract:
+//! `d^u > 0` claims the flowpipe *provably avoids* the unsafe set and
+//! `d^g < 0` claims the final set *provably misses* the goal. Both are
+//! universally-quantified claims, so point sampling can falsify them:
+//! generate random flowpipes and regions, and hunt for a member point that
+//! contradicts the claimed verdict. (The opposite signs are existence
+//! claims — sampling cannot refute those, so they are not checked.)
+
+use super::{case_rng, CaseOutcome, Family};
+use dwv_core::arbitrary::{box_flowpipe, region};
+use dwv_interval::arbitrary::point_in_box;
+use dwv_interval::IntervalBox;
+use dwv_metrics::GeometricMetric;
+
+/// Geometric-distance sign semantics vs point-membership sampling.
+pub struct VerdictFamily;
+
+impl Family for VerdictFamily {
+    fn id(&self) -> u8 {
+        8
+    }
+
+    fn name(&self) -> &'static str {
+        "verdict"
+    }
+
+    fn oracle(&self) -> &'static str {
+        "point-membership sampling against claimed safety/goal verdict signs"
+    }
+
+    fn check(&self, seed: u64, size: u8) -> CaseOutcome {
+        let mut rng = case_rng(self.id(), seed);
+        let mut next = || rng.next_u64();
+        let dim = 2 + (next() as usize) % 2;
+        let mag = 2.0 + f64::from(size);
+        let n_steps = 1 + (next() as usize) % 5;
+        let fp = box_flowpipe(&mut next, dim, n_steps, mag);
+        let unsafe_region = region(&mut next, dim, mag);
+        let goal_region = region(&mut next, dim, mag);
+        let universe = IntervalBox::from_bounds(&vec![(-4.0 * mag, 4.0 * mag); dim]);
+        let metric = GeometricMetric::new(unsafe_region.clone(), goal_region.clone(), universe);
+        let d = metric.evaluate(&fp);
+
+        // d_unsafe > 0 claims every flowpipe point avoids the unsafe set.
+        if d.d_unsafe > 1e-12 {
+            for step in fp.iter() {
+                let mut pts = step.enclosure.corners();
+                for _ in 0..3 {
+                    pts.push(point_in_box(&mut next, &step.enclosure));
+                }
+                for p in &pts {
+                    if unsafe_region.contains_point(p) {
+                        return CaseOutcome::Violation(format!(
+                            "d_unsafe = {:e} claims safety but flowpipe point {p:?} lies in \
+                             the unsafe region",
+                            d.d_unsafe
+                        ));
+                    }
+                }
+            }
+        }
+
+        // d_goal < 0 claims the final instantaneous set misses the goal.
+        if d.d_goal < -1e-12 {
+            let end = &fp.final_step().end_box;
+            let mut pts = end.corners();
+            for _ in 0..3 {
+                pts.push(point_in_box(&mut next, end));
+            }
+            for p in &pts {
+                if goal_region.contains_point(p) {
+                    return CaseOutcome::Violation(format!(
+                        "d_goal = {:e} claims the goal is missed but final-set point {p:?} \
+                         lies in the goal region",
+                        d.d_goal
+                    ));
+                }
+            }
+        }
+        CaseOutcome::Pass
+    }
+}

@@ -1,0 +1,146 @@
+//! Greedy minimization of failing cases.
+//!
+//! A finding is shrunk along two axes, both of which preserve replayability
+//! because a case is a pure function of `(family, size, seed)`:
+//!
+//! 1. **size** — try the smallest sizes first; the smallest size at which
+//!    *any* violation of the same family reproduces wins (the message may
+//!    differ — any violation is a bug).
+//! 2. **seed** — try numerically simpler seeds (small constants, the
+//!    original seed with low-order bits cleared or shifted away). A simpler
+//!    seed has no structural meaning, but it yields short, stable replay
+//!    tokens for the corpus.
+//!
+//! Shrinking is bounded (≤ ~350 candidate executions) and deterministic.
+
+use crate::case::CaseId;
+use crate::families::{CaseOutcome, Family};
+
+/// The result of shrinking one finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShrinkResult {
+    /// The minimal reproducer.
+    pub id: CaseId,
+    /// The witness message the minimal reproducer fails with.
+    pub message: String,
+    /// Candidate executions spent.
+    pub steps: u64,
+}
+
+/// Shrinks a confirmed violation to a minimal reproducer.
+#[must_use]
+pub fn shrink(family: &dyn Family, found: CaseId, message: String) -> ShrinkResult {
+    let mut best = found;
+    let mut best_msg = message;
+    let mut steps = 0u64;
+
+    // Phase 1: smallest failing size (ascending scan stops at the first
+    // size that still reproduces).
+    for size in 1..best.size {
+        steps += 1;
+        if let CaseOutcome::Violation(m) = family.check(best.seed, size) {
+            best = CaseId::new(best.family, size, best.seed);
+            best_msg = m;
+            break;
+        }
+    }
+
+    // Phase 2: numerically simpler seeds at the chosen size.
+    let mut candidates: Vec<u64> = (0..32).collect();
+    for k in 1..48 {
+        candidates.push(best.seed >> k);
+    }
+    for k in (8..48).step_by(8) {
+        candidates.push(best.seed & !((1u64 << k) - 1));
+        candidates.push(best.seed & ((1u64 << k) - 1));
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    for seed in candidates {
+        if seed >= best.seed {
+            continue;
+        }
+        steps += 1;
+        if let CaseOutcome::Violation(m) = family.check(seed, best.size) {
+            best = CaseId::new(best.family, best.size, seed);
+            best_msg = m;
+        }
+    }
+
+    if dwv_obs::enabled() {
+        dwv_obs::counter("check.shrink_steps").add(steps);
+    }
+    ShrinkResult {
+        id: best,
+        message: best_msg,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A family failing exactly when `seed % 3 == 0 && size >= 2`.
+    struct Synthetic;
+
+    impl Family for Synthetic {
+        fn id(&self) -> u8 {
+            99
+        }
+        fn name(&self) -> &'static str {
+            "synthetic"
+        }
+        fn oracle(&self) -> &'static str {
+            "test stub"
+        }
+        fn check(&self, seed: u64, size: u8) -> CaseOutcome {
+            if seed.is_multiple_of(3) && size >= 2 {
+                CaseOutcome::Violation(format!("fails at seed {seed} size {size}"))
+            } else {
+                CaseOutcome::Pass
+            }
+        }
+    }
+
+    #[test]
+    fn shrinks_size_and_seed_to_minimum() {
+        let found = CaseId::new(99, 9, 0x9_0000);
+        let r = shrink(&Synthetic, found, "original".to_owned());
+        assert_eq!(r.id.size, 2, "smallest failing size");
+        assert_eq!(r.id.seed, 0, "smallest failing seed (0 % 3 == 0)");
+        assert!(r.steps > 0);
+        assert!(matches!(
+            Synthetic.check(r.id.seed, r.id.size),
+            CaseOutcome::Violation(_)
+        ));
+    }
+
+    #[test]
+    fn shrink_keeps_original_when_nothing_simpler_fails() {
+        /// Fails only for one exact case.
+        struct Needle;
+        impl Family for Needle {
+            fn id(&self) -> u8 {
+                98
+            }
+            fn name(&self) -> &'static str {
+                "needle"
+            }
+            fn oracle(&self) -> &'static str {
+                "test stub"
+            }
+            fn check(&self, seed: u64, size: u8) -> CaseOutcome {
+                if seed == 0xABCD && size == 5 {
+                    CaseOutcome::Violation("needle".to_owned())
+                } else {
+                    CaseOutcome::Pass
+                }
+            }
+        }
+        let found = CaseId::new(98, 5, 0xABCD);
+        let r = shrink(&Needle, found, "needle".to_owned());
+        assert_eq!(r.id, found);
+        assert_eq!(r.message, "needle");
+    }
+}

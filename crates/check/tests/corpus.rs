@@ -1,0 +1,53 @@
+//! Replays the committed regression corpus as an ordinary test: every seed
+//! that ever produced (or guards against) a soundness finding must stay
+//! clean forever.
+
+use dwv_check::families::CaseOutcome;
+use std::path::Path;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[test]
+fn corpus_replays_clean() {
+    let entries = dwv_check::corpus::load_dir(&corpus_dir()).expect("corpus dir readable");
+    assert!(!entries.is_empty(), "corpus must not be empty");
+    for entry in &entries {
+        let (family, outcome) = dwv_check::replay(entry.id).expect("corpus family registered");
+        if let CaseOutcome::Violation(msg) = outcome {
+            panic!(
+                "corpus seed {} [{}] regressed ({}): {msg}",
+                entry.id.hex(),
+                family,
+                entry.comment
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_covers_multiple_families() {
+    let entries = dwv_check::corpus::load_dir(&corpus_dir()).expect("corpus dir readable");
+    let mut families: Vec<u8> = entries.iter().map(|e| e.id.family).collect();
+    families.sort_unstable();
+    families.dedup();
+    assert!(
+        families.len() >= 2,
+        "corpus should guard more than one family, has {families:?}"
+    );
+}
+
+#[test]
+fn corpus_files_parse_strictly() {
+    // Every *.seeds file must parse without error even when read directly
+    // (guards against comment-format drift).
+    let dir = corpus_dir();
+    for entry in std::fs::read_dir(&dir).expect("corpus dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "seeds") {
+            let text = std::fs::read_to_string(&path).expect("readable");
+            dwv_check::corpus::parse(&text).expect("parseable corpus file");
+        }
+    }
+}

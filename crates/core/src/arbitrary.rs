@@ -1,0 +1,72 @@
+//! Seed-driven verdict-scenario generators for falsification harnesses.
+//!
+//! `dwv-check`'s verdict family feeds these randomized flowpipes and
+//! goal/unsafe regions through [`dwv_metrics::GeometricMetric`] and
+//! cross-examines the claimed sign semantics (`d^u > 0` ⇔ provably safe,
+//! `d^g > 0` ⇔ provably reaching) against dense point-membership sampling.
+
+use dwv_geom::{HalfSpace, Region};
+use dwv_interval::arbitrary::{f64_in, interval_box};
+use dwv_interval::IntervalBox;
+use dwv_reach::Flowpipe;
+
+/// A random box flowpipe: `n_steps` sweep boxes of endpoint magnitude at
+/// most `mag`, with a fixed step period of `0.1`.
+pub fn box_flowpipe(
+    next: &mut impl FnMut() -> u64,
+    dim: usize,
+    n_steps: usize,
+    mag: f64,
+) -> Flowpipe {
+    let boxes: Vec<IntervalBox> = (0..n_steps.max(1))
+        .map(|_| interval_box(next, dim, mag))
+        .collect();
+    Flowpipe::from_boxes(boxes, 0.1)
+}
+
+/// A random goal/unsafe region: a bounded box (3 draws out of 4) or a
+/// half-space with coefficients of magnitude at most `mag`.
+pub fn region(next: &mut impl FnMut() -> u64, dim: usize, mag: f64) -> Region {
+    if next().is_multiple_of(4) {
+        let normal: Vec<f64> = (0..dim).map(|_| f64_in(next(), -1.0, 1.0)).collect();
+        let normal = if normal.iter().map(|v| v.abs()).sum::<f64>() < 1e-6 {
+            (0..dim).map(|i| f64::from(u8::from(i == 0))).collect()
+        } else {
+            normal
+        };
+        Region::from_halfspace(HalfSpace::new(normal, f64_in(next(), -mag, mag)))
+    } else {
+        Region::from_box(interval_box(next, dim, mag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn deterministic_scenarios() {
+        let mut a = stream(5);
+        let mut b = stream(5);
+        let f1 = box_flowpipe(&mut a, 2, 4, 6.0);
+        let f2 = box_flowpipe(&mut b, 2, 4, 6.0);
+        assert_eq!(f1.len(), f2.len());
+        for (s1, s2) in f1.iter().zip(f2.iter()) {
+            assert_eq!(s1.enclosure, s2.enclosure);
+        }
+        let r1 = region(&mut a, 2, 6.0);
+        let r2 = region(&mut b, 2, 6.0);
+        assert_eq!(r1.dim(), r2.dim());
+    }
+}

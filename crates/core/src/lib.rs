@@ -42,6 +42,7 @@
 
 mod algorithm1;
 mod algorithm2;
+pub mod arbitrary;
 mod config;
 mod counterexample;
 pub mod parallel;

@@ -1,0 +1,141 @@
+//! Seed-driven geometry generators for falsification harnesses.
+//!
+//! Entropy comes from a caller-supplied `next: &mut impl FnMut() -> u64`
+//! word source, keeping generation a pure function of the seed stream.
+
+use crate::{ConvexPolygon, Vec2, Zonotope};
+use dwv_interval::arbitrary::{f64_in, index, unit_f64};
+
+/// A random zonotope in `R^dim` with `n_gens` generators: center and
+/// generator entries of magnitude at most `mag`.
+pub fn zonotope(next: &mut impl FnMut() -> u64, dim: usize, n_gens: usize, mag: f64) -> Zonotope {
+    let center: Vec<f64> = (0..dim).map(|_| f64_in(next(), -mag, mag)).collect();
+    let generators: Vec<Vec<f64>> = (0..n_gens)
+        .map(|_| (0..dim).map(|_| f64_in(next(), -mag, mag)).collect())
+        .collect();
+    Zonotope::new(center, generators)
+}
+
+/// A random coefficient vector `α ∈ [−1, 1]^n` selecting a point of a
+/// zonotope (`x = c + Σ αᵢ gᵢ`). Occasionally snaps coordinates to ±1 so the
+/// zonotope's vertices are exercised, not just its interior.
+pub fn zonotope_coeffs(next: &mut impl FnMut() -> u64, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            let w = next();
+            match w & 7 {
+                0 => 1.0,
+                1 => -1.0,
+                _ => f64_in(w >> 3, -1.0, 1.0).clamp(-1.0, 1.0),
+            }
+        })
+        .collect()
+}
+
+/// The concrete point of `z` selected by coefficients `alphas` (the sampling
+/// oracle membership witnesses are built from).
+#[must_use]
+pub fn zonotope_point(z: &Zonotope, alphas: &[f64]) -> Vec<f64> {
+    let mut x = z.center().to_vec();
+    for (g, &a) in z.generators().iter().zip(alphas) {
+        for (xi, gi) in x.iter_mut().zip(g) {
+            *xi += a * gi;
+        }
+    }
+    x
+}
+
+/// A random convex polygon: the convex hull of `n_pts` points of magnitude
+/// at most `mag` (`None` when the sampled points are degenerate).
+pub fn convex_polygon(
+    next: &mut impl FnMut() -> u64,
+    n_pts: usize,
+    mag: f64,
+) -> Option<ConvexPolygon> {
+    let pts: Vec<Vec2> = (0..n_pts.max(3))
+        .map(|_| Vec2::new(f64_in(next(), -mag, mag), f64_in(next(), -mag, mag)))
+        .collect();
+    ConvexPolygon::from_points(pts).ok()
+}
+
+/// A random point inside polygon `p`: a convex combination of its vertices.
+pub fn point_in_polygon(next: &mut impl FnMut() -> u64, p: &ConvexPolygon) -> Vec2 {
+    let vs = p.vertices();
+    let ws: Vec<f64> = vs.iter().map(|_| unit_f64(next()) + 1e-6).collect();
+    let total: f64 = ws.iter().sum();
+    let mut x = 0.0;
+    let mut y = 0.0;
+    for (v, w) in vs.iter().zip(&ws) {
+        x += v.x * w / total;
+        y += v.y * w / total;
+    }
+    Vec2::new(x, y)
+}
+
+/// A random affine map `(M, b)` from `R^dim` to `R^rows` with entries of
+/// magnitude at most `mag`.
+pub fn affine_map(
+    next: &mut impl FnMut() -> u64,
+    rows: usize,
+    dim: usize,
+    mag: f64,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let m: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..dim).map(|_| f64_in(next(), -mag, mag)).collect())
+        .collect();
+    let b: Vec<f64> = (0..rows).map(|_| f64_in(next(), -mag, mag)).collect();
+    (m, b)
+}
+
+/// A random direction on the unit circle/sphere lattice: `dim` entries in
+/// `[−1, 1]`, rejecting the near-zero vector by regenerating one entry.
+pub fn direction(next: &mut impl FnMut() -> u64, dim: usize) -> Vec<f64> {
+    let mut d: Vec<f64> = (0..dim).map(|_| f64_in(next(), -1.0, 1.0)).collect();
+    if d.iter().map(|v| v.abs()).sum::<f64>() < 1e-6 {
+        let i = index(next(), dim);
+        if let Some(v) = d.get_mut(i) {
+            *v = 1.0;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn zonotope_points_under_support() {
+        let mut s = stream(13);
+        let z = zonotope(&mut s, 3, 5, 2.0);
+        for _ in 0..50 {
+            let a = zonotope_coeffs(&mut s, 5);
+            let x = zonotope_point(&z, &a);
+            let d = direction(&mut s, 3);
+            let dx: f64 = d.iter().zip(&x).map(|(u, v)| u * v).sum();
+            assert!(z.support(&d) >= dx - 1e-9);
+        }
+    }
+
+    #[test]
+    fn polygon_contains_convex_combinations() {
+        let mut s = stream(17);
+        if let Some(p) = convex_polygon(&mut s, 7, 4.0) {
+            for _ in 0..50 {
+                let q = point_in_polygon(&mut s, &p);
+                assert!(p.distance_to_point(q) <= 1e-9);
+            }
+        }
+    }
+}

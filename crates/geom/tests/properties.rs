@@ -129,4 +129,83 @@ proptest! {
             prop_assert!((p.bounding_box().interval(1).lo() - bb.interval(1).lo()).abs() < 1e-9);
         }
     }
+
+    /// Support-function consistency: h(K, d) >= <x, d> for every member x,
+    /// in every direction — the defining inequality of the support function.
+    #[test]
+    fn zonotope_support_dominates_members(
+        b in boxes(),
+        g0 in -1.0..1.0f64, g1 in -1.0..1.0f64, g2 in -1.0..1.0f64, g3 in -1.0..1.0f64,
+        a0 in -1.0..1.0f64, a1 in -1.0..1.0f64, a2 in -1.0..1.0f64, a3 in -1.0..1.0f64,
+        th in 0.0..std::f64::consts::TAU,
+    ) {
+        let z = Zonotope::from_box(&b)
+            .minkowski_sum(&Zonotope::new(vec![0.0, 0.0], vec![vec![g0, g1], vec![g2, g3]]));
+        // Member x = c + sum a_i g_i with coefficients in [-1, 1].
+        let mut x = z.center().to_vec();
+        for (g, a) in z.generators().iter().zip([a0, a1, a2, a3]) {
+            for (xi, gi) in x.iter_mut().zip(g) {
+                *xi += a * gi;
+            }
+        }
+        let d = [th.cos(), th.sin()];
+        let dot = x[0] * d[0] + x[1] * d[1];
+        prop_assert!(z.support(&d) + 1e-9 >= dot, "h(K,d) = {} < <x,d> = {dot}", z.support(&d));
+    }
+
+    /// Zonotope -> polygon conversion preserves membership: every sampled
+    /// member of the zonotope lies inside (or on) the converted polygon.
+    #[test]
+    fn zonotope_polygon_preserves_membership(
+        b in boxes(),
+        g0 in -1.0..1.0f64, g1 in -1.0..1.0f64, g2 in -1.0..1.0f64, g3 in -1.0..1.0f64,
+        a0 in -1.0..1.0f64, a1 in -1.0..1.0f64, a2 in -1.0..1.0f64, a3 in -1.0..1.0f64,
+    ) {
+        let z = Zonotope::from_box(&b)
+            .minkowski_sum(&Zonotope::new(vec![0.0, 0.0], vec![vec![g0, g1], vec![g2, g3]]));
+        if let Some(p) = z.to_polygon() {
+            let mut x = z.center().to_vec();
+            for (g, a) in z.generators().iter().zip([a0, a1, a2, a3]) {
+                for (xi, gi) in x.iter_mut().zip(g) {
+                    *xi += a * gi;
+                }
+            }
+            let scale: f64 = 1.0 + x[0].abs() + x[1].abs();
+            prop_assert!(
+                p.distance_to_point(Vec2::new(x[0], x[1])) <= 1e-9 * scale,
+                "member ({}, {}) escapes the converted polygon", x[0], x[1]
+            );
+        }
+    }
+
+    /// Affine-map containment: the image of any sampled member is a member of
+    /// the image zonotope (checked exactly via the support function, not just
+    /// the bounding box).
+    #[test]
+    fn zonotope_affine_member_containment(
+        b in boxes(),
+        m00 in -2.0..2.0f64, m01 in -2.0..2.0f64, m10 in -2.0..2.0f64, m11 in -2.0..2.0f64,
+        a0 in -1.0..1.0f64, a1 in -1.0..1.0f64,
+        th in 0.0..std::f64::consts::TAU,
+    ) {
+        let z = Zonotope::from_box(&b);
+        let m = vec![vec![m00, m01], vec![m10, m11]];
+        let img = z.affine_image(&m, &[0.25, -0.75]);
+        let mut x = z.center().to_vec();
+        for (g, a) in z.generators().iter().zip([a0, a1]) {
+            for (xi, gi) in x.iter_mut().zip(g) {
+                *xi += a * gi;
+            }
+        }
+        let y = [
+            m[0][0] * x[0] + m[0][1] * x[1] + 0.25,
+            m[1][0] * x[0] + m[1][1] * x[1] - 0.75,
+        ];
+        // A point is in a convex body iff <y, d> <= h(K, d) for all d; a
+        // random direction falsifies any escape with positive probability.
+        let d = [th.cos(), th.sin()];
+        let dot = y[0] * d[0] + y[1] * d[1];
+        let scale = 1.0 + y[0].abs() + y[1].abs();
+        prop_assert!(img.support(&d) + 1e-9 * scale >= dot, "mapped member escapes image zonotope");
+    }
 }

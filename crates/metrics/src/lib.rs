@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arbitrary;
 pub mod geometric;
 pub mod ot;
 pub mod wasserstein;

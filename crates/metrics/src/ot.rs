@@ -171,6 +171,47 @@ fn log_sum_exp<I: Iterator<Item = f64>>(xs: I) -> f64 {
     m + vals.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
 }
 
+/// Exact minimum assignment cost by brute-force permutation enumeration —
+/// an independent `O(n!)` oracle for differential testing of [`hungarian`]
+/// (`dwv-check`'s Wasserstein family and the property tests use it).
+///
+/// # Panics
+///
+/// Panics if `cost` is empty, not square, or larger than 9×9 (10! ≈ 3.6M
+/// permutations is past the point of being a useful test oracle).
+#[must_use]
+pub fn brute_force_assignment(cost: &[Vec<f64>]) -> f64 {
+    let n = cost.len();
+    assert!((1..=9).contains(&n), "brute force supports 1..=9 rows");
+    assert!(
+        cost.iter().all(|r| r.len() == n),
+        "cost matrix must be square"
+    );
+    // Iterative Heap's algorithm over column permutations.
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut counters = vec![0usize; n];
+    let assignment_cost =
+        |p: &[usize]| -> f64 { p.iter().enumerate().map(|(i, &j)| cost[i][j]).sum() };
+    let mut best = assignment_cost(&perm);
+    let mut i = 0;
+    while i < n {
+        if counters[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(counters[i], i);
+            }
+            best = best.min(assignment_cost(&perm));
+            counters[i] += 1;
+            i = 0;
+        } else {
+            counters[i] = 0;
+            i += 1;
+        }
+    }
+    best
+}
+
 /// Builds the Euclidean cost matrix between two point clouds.
 ///
 /// # Panics

@@ -1,0 +1,92 @@
+//! Property-based tests for the optimal-transport solvers.
+//!
+//! The three independent implementations — closed-form 1-D quantile
+//! transport, the Jonker–Volgenant assignment solver, and exhaustive
+//! permutation enumeration — must agree wherever their domains overlap,
+//! and the quantile distance must satisfy the metric axioms.
+
+use dwv_metrics::ot::{
+    brute_force_assignment, euclidean_cost, hungarian, sinkhorn, wasserstein_1d,
+};
+use proptest::prelude::*;
+
+const N: usize = 5;
+
+fn cloud() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0..10.0f64, N)
+}
+
+fn to_points(xs: &[f64]) -> Vec<Vec<f64>> {
+    xs.iter().map(|&v| vec![v]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// W1 is symmetric.
+    #[test]
+    fn wasserstein_symmetric(a in cloud(), b in cloud()) {
+        let fwd = wasserstein_1d(&a, &b);
+        let bwd = wasserstein_1d(&b, &a);
+        prop_assert!((fwd - bwd).abs() < 1e-9, "d(a,b) = {fwd}, d(b,a) = {bwd}");
+    }
+
+    /// W1 of a cloud against itself is zero, and distances are nonnegative.
+    #[test]
+    fn wasserstein_identity(a in cloud(), b in cloud()) {
+        prop_assert!(wasserstein_1d(&a, &a) < 1e-12);
+        prop_assert!(wasserstein_1d(&a, &b) >= 0.0);
+    }
+
+    /// W1 satisfies the triangle inequality.
+    #[test]
+    fn wasserstein_triangle(a in cloud(), b in cloud(), c in cloud()) {
+        let ab = wasserstein_1d(&a, &b);
+        let ac = wasserstein_1d(&a, &c);
+        let cb = wasserstein_1d(&c, &b);
+        prop_assert!(ab <= ac + cb + 1e-9, "d(a,b) = {ab} > {ac} + {cb}");
+    }
+
+    /// The Hungarian solver matches the closed-form 1-D quantile optimum.
+    #[test]
+    fn hungarian_matches_quantile_formula(a in cloud(), b in cloud()) {
+        let w = wasserstein_1d(&a, &b);
+        let cost = euclidean_cost(&to_points(&a), &to_points(&b));
+        let (_, total) = hungarian(&cost);
+        let avg = total / N as f64;
+        prop_assert!((w - avg).abs() < 1e-9, "quantile {w} vs assignment {avg}");
+    }
+
+    /// The Hungarian solver matches exhaustive permutation enumeration on
+    /// arbitrary (not just 1-D Euclidean) square cost matrices.
+    #[test]
+    fn hungarian_matches_brute_force(rows in proptest::collection::vec(proptest::collection::vec(0.0..50.0f64, N), N)) {
+        let (_, total) = hungarian(&rows);
+        let exact = brute_force_assignment(&rows);
+        prop_assert!((total - exact).abs() < 1e-9, "JV {total} vs exhaustive {exact}");
+    }
+
+    /// W1 is translation-invariant and positively homogeneous.
+    #[test]
+    fn wasserstein_translation_and_scaling(a in cloud(), b in cloud(), t in -5.0..5.0f64, s in 0.1..3.0f64) {
+        let base = wasserstein_1d(&a, &b);
+        let at: Vec<f64> = a.iter().map(|v| v + t).collect();
+        let bt: Vec<f64> = b.iter().map(|v| v + t).collect();
+        prop_assert!((wasserstein_1d(&at, &bt) - base).abs() < 1e-9);
+        let asc: Vec<f64> = a.iter().map(|v| v * s).collect();
+        let bsc: Vec<f64> = b.iter().map(|v| v * s).collect();
+        prop_assert!((wasserstein_1d(&asc, &bsc) - s * base).abs() < 1e-8 * (1.0 + base));
+    }
+
+    /// Sinkhorn (cost-relative regularization) never undercuts the exact
+    /// optimum by more than its entropic slack.
+    #[test]
+    fn sinkhorn_upper_bounds_exact(a in cloud(), b in cloud()) {
+        let cost = euclidean_cost(&to_points(&a), &to_points(&b));
+        let scale = cost.iter().flatten().fold(0.0f64, |m, &c| m.max(c));
+        let uniform = vec![1.0 / N as f64; N];
+        let sk = sinkhorn(&cost, &uniform, &uniform, 0.05 * (1.0 + scale), 300);
+        let exact = brute_force_assignment(&cost) / N as f64;
+        prop_assert!(sk >= exact - 0.05 * (1.0 + scale), "sinkhorn {sk} vs exact {exact}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Seed-driven network generators for falsification harnesses.
+//!
+//! Entropy comes from a caller-supplied `next: &mut impl FnMut() -> u64`
+//! word source; the drawn architecture and the weight-initialization seed
+//! are both derived from it, so the network is a pure function of the seed
+//! stream.
+
+use crate::{Activation, Network};
+
+/// A random small feed-forward network: `in_dim` inputs, `out_dim` outputs,
+/// 1..=`max_hidden_layers` hidden layers of width 1..=`max_width`, and a
+/// hidden activation drawn from {tanh, sigmoid, ReLU}.
+///
+/// The output layer is always [`Activation::Identity`] (the controller
+/// convention used throughout the reproduction).
+pub fn network(
+    next: &mut impl FnMut() -> u64,
+    in_dim: usize,
+    out_dim: usize,
+    max_hidden_layers: usize,
+    max_width: usize,
+) -> Network {
+    let n_hidden = 1 + (next() as usize) % max_hidden_layers.max(1);
+    let mut sizes = vec![in_dim.max(1)];
+    for _ in 0..n_hidden {
+        sizes.push(1 + (next() as usize) % max_width.max(1));
+    }
+    sizes.push(out_dim.max(1));
+    let hidden = match next() % 3 {
+        0 => Activation::Tanh,
+        1 => Activation::Sigmoid,
+        _ => Activation::ReLU,
+    };
+    Network::new(&sizes, hidden, Activation::Identity, next())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn deterministic_architecture_and_weights() {
+        let mut a = stream(31);
+        let mut b = stream(31);
+        let n1 = network(&mut a, 2, 1, 2, 4);
+        let n2 = network(&mut b, 2, 1, 2, 4);
+        assert_eq!(n1.in_dim(), 2);
+        assert_eq!(n1.out_dim(), 1);
+        assert_eq!(n1.params(), n2.params());
+        let y1 = n1.forward(&[0.3, -0.7]);
+        let y2 = n2.forward(&[0.3, -0.7]);
+        assert_eq!(y1, y2);
+    }
+}

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod activation;
+pub mod arbitrary;
 mod layer;
 mod network;
 mod optim;

@@ -1,0 +1,82 @@
+//! Seed-driven sparse-polynomial generators for falsification harnesses.
+//!
+//! Entropy comes from a caller-supplied `next: &mut impl FnMut() -> u64`
+//! word source (see `dwv_interval::arbitrary` for the shared mapping
+//! helpers), so generation is a pure function of the seed stream.
+
+use crate::Polynomial;
+use dwv_interval::arbitrary::{f64_in, index};
+
+/// A random sparse polynomial over `nvars` variables.
+///
+/// Each of the at most `max_terms` terms draws an exponent vector of total
+/// degree at most `max_degree` and a coefficient of magnitude at most
+/// `coeff_mag`. Duplicate monomials are merged by construction (via
+/// [`Polynomial::from_terms`]); the zero polynomial can be produced when all
+/// coefficients round to cancellation.
+pub fn polynomial(
+    next: &mut impl FnMut() -> u64,
+    nvars: usize,
+    max_degree: u32,
+    max_terms: usize,
+    coeff_mag: f64,
+) -> Polynomial {
+    let n_terms = 1 + index(next(), max_terms.max(1));
+    let terms = (0..n_terms).map(|_| {
+        let mut budget = max_degree;
+        let exps: Vec<u32> = (0..nvars)
+            .map(|_| {
+                let e = index(next(), budget as usize + 1) as u32;
+                budget -= e;
+                e
+            })
+            .collect();
+        let c = f64_in(next(), -coeff_mag, coeff_mag);
+        (exps, c)
+    });
+    Polynomial::from_terms(nvars, terms)
+}
+
+/// A random affine polynomial `c0 + Σ cᵢ xᵢ` with coefficients of magnitude
+/// at most `coeff_mag` (useful as a well-conditioned composition argument).
+pub fn affine(next: &mut impl FnMut() -> u64, nvars: usize, coeff_mag: f64) -> Polynomial {
+    let terms = (0..=nvars).map(|i| {
+        let exps: Vec<u32> = (0..nvars).map(|j| u32::from(i > 0 && j + 1 == i)).collect();
+        (exps, f64_in(next(), -coeff_mag, coeff_mag))
+    });
+    Polynomial::from_terms(nvars, terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn deterministic_and_degree_bounded() {
+        let mut a = stream(11);
+        let mut b = stream(11);
+        let p = polynomial(&mut a, 3, 5, 8, 10.0);
+        let q = polynomial(&mut b, 3, 5, 8, 10.0);
+        assert_eq!(p, q);
+        assert!(p.degree() <= 5);
+        assert_eq!(p.nvars(), 3);
+    }
+
+    #[test]
+    fn affine_is_degree_one() {
+        let mut s = stream(5);
+        let p = affine(&mut s, 4, 2.0);
+        assert!(p.degree() <= 1);
+    }
+}

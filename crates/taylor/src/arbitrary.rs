@@ -1,0 +1,60 @@
+//! Seed-driven Taylor-model generators for falsification harnesses.
+//!
+//! Entropy comes from a caller-supplied `next: &mut impl FnMut() -> u64`
+//! word source, keeping generation a pure function of the seed stream.
+
+use crate::TaylorModel;
+use dwv_interval::arbitrary::f64_in;
+use dwv_interval::Interval;
+use dwv_poly::arbitrary as poly_arb;
+
+/// A random Taylor model: a sparse polynomial part plus a small symmetric
+/// remainder of radius at most `rem_mag`.
+///
+/// The represented function set is `{ f : f(x) − p(x) ∈ I }`, so any checker
+/// sampling a member function may pick `p` itself (the remainder only widens
+/// the enclosure).
+pub fn taylor_model(
+    next: &mut impl FnMut() -> u64,
+    nvars: usize,
+    max_degree: u32,
+    max_terms: usize,
+    coeff_mag: f64,
+    rem_mag: f64,
+) -> TaylorModel {
+    let p = poly_arb::polynomial(next, nvars, max_degree, max_terms, coeff_mag);
+    let r = f64_in(next(), 0.0, rem_mag).abs();
+    TaylorModel::new(p, Interval::from_unordered(-r, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit_domain;
+
+    fn stream(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn deterministic_and_enclosing() {
+        let mut a = stream(9);
+        let mut b = stream(9);
+        let t1 = taylor_model(&mut a, 2, 4, 6, 5.0, 0.1);
+        let t2 = taylor_model(&mut b, 2, 4, 6, 5.0, 0.1);
+        assert_eq!(t1.poly(), t2.poly());
+        assert_eq!(t1.remainder(), t2.remainder());
+        // The polynomial part is a member function of the model.
+        let dom = unit_domain(2);
+        let r = t1.range(&dom);
+        let v = t1.poly().eval(&[0.25, -0.5]);
+        assert!(r.inflate(1e-9 * (1.0 + v.abs())).contains_value(v));
+    }
+}

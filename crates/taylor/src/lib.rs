@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arbitrary;
 pub mod flowpipe;
 mod model;
 mod ode;

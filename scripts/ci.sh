@@ -29,11 +29,21 @@ run cargo build --release --offline
 # `// dwv-lint: allow(...) -- <reason>` annotation; unannotated findings fail
 # the build via a per-rule exit-code bitmask.
 run cargo run --release --offline -p dwv-lint -- --workspace --deny all
+# Falsification gate: deterministic generative sweep pitting every enclosure
+# layer (interval, Bernstein, Taylor-model, flowpipe, geometry, OT, NN range,
+# safety verdict) against an independent brute-force oracle. The seed is
+# pinned so the run is byte-reproducible; any violation prints a replay
+# token (`dwv-check --replay 0x...`) and fails the build.
+run cargo run --release --offline -p dwv-check -- --seed 0xD3C0DE --budget-cases 1200
 # Tier-1 gate: the root package's test suite (see ROADMAP.md).
 run cargo test -q --offline
 
 if [[ "${1:-}" == "--all" ]]; then
   run cargo test -q --workspace --offline
+  # Deep falsification sweep + regression corpus replay: a larger budget at
+  # bigger case sizes, then every committed finding/regression seed.
+  run cargo run --release --offline -p dwv-check -- --seed 0xD3C0DE --budget-cases 8000 --max-size 12 --threads 4
+  run cargo run --release --offline -p dwv-check -- --corpus crates/check/corpus
   # Overflow gate: the soundness-critical kernels must be free of silent
   # integer wraparound (exponent packing, tensor offsets, binomial tables).
   echo '==> RUSTFLAGS="-C overflow-checks=on" cargo test -q --offline -p dwv-interval -p dwv-taylor'

@@ -21,6 +21,8 @@
 //! * [`baselines`] — design-then-verify baselines (DDPG, SVG)
 //! * [`obs`] — zero-dependency tracing/metrics (spans, counters,
 //!   histograms, `DWV_TRACE=path` JSONL streams)
+//! * [`check`] — deterministic soundness-falsification harness
+//!   (generative cases vs. brute-force oracles, shrinking, replay tokens)
 //!
 //! # Quickstart
 //!
@@ -64,6 +66,7 @@ pub mod prelude {
 }
 
 pub use dwv_baselines as baselines;
+pub use dwv_check as check;
 pub use dwv_core as core;
 pub use dwv_dynamics as dynamics;
 pub use dwv_geom as geom;
