@@ -12,10 +12,15 @@
 //! arena, uncached Bernstein ranges, allocating RK4 simulation) on this
 //! same machine; `current` is measured now.
 //!
+//! The `scaling` section re-runs the parallel sweep at 1/2/4/8 pool threads
+//! so speedup is visible next to `host_cpus` (on a 1-CPU host every row is
+//! serial plus scheduling overhead by design).
+//!
 //! Run with `cargo run --release -p dwv-bench --bin bench_core`.
-//! Run with `--check` to re-measure only `acc_algorithm1_iteration` and
-//! fail (exit 1) if it regressed more than 10% against the committed
-//! `BENCH_core.json` — this is the CI bench-regression guard.
+//! Run with `--check` to re-measure only `acc_algorithm1_iteration` and the
+//! 1-thread scaling row and fail (exit 1) if either regressed more than 10%
+//! against the committed `BENCH_core.json` — this is the CI
+//! bench-regression guard.
 
 use dwv_core::parallel::WorkerPool;
 use dwv_core::{
@@ -207,6 +212,29 @@ fn bench_sweep_parallel() -> f64 {
     })
 }
 
+/// The thread counts of the scaling matrix.
+const SCALING_THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// One parallel-sweep measurement at an explicit pool width.
+fn bench_sweep_parallel_at(threads: usize) -> f64 {
+    let (problem, verifier, ctrl) = sweep_setup();
+    let pool = WorkerPool::new(threads);
+    median_time(3, 1, || {
+        sweep_algorithm(&problem).search_parallel(|cell| verifier.reach_from(cell, &ctrl), &pool)
+    })
+}
+
+/// The verification-sweep scaling matrix: the same guided-chunk pool at
+/// 1/2/4/8 threads. On a multi-core host the 4-thread row should sit at
+/// roughly the core count's speedup over the 1-thread row; on a 1-CPU host
+/// every row degenerates to serial (plus scheduling overhead) by design.
+fn bench_sweep_scaling() -> Vec<(usize, f64)> {
+    SCALING_THREADS
+        .iter()
+        .map(|&t| (t, bench_sweep_parallel_at(t)))
+        .collect()
+}
+
 fn fmt_secs(t: f64) -> String {
     if t.is_nan() {
         "null".to_string()
@@ -215,12 +243,12 @@ fn fmt_secs(t: f64) -> String {
     }
 }
 
-/// Reads the recorded `current.acc_algorithm1_iteration` from a committed
-/// `BENCH_core.json` (naive scan — the file is machine-written, two
-/// occurrences of the key, the second inside `"current"`).
-fn recorded_acc_iteration(json: &str) -> Option<f64> {
-    let current = json.split("\"current\"").nth(1)?;
-    let after_key = current.split("\"acc_algorithm1_iteration\":").nth(1)?;
+/// Reads the recorded value of `key` inside the `section` object of a
+/// committed `BENCH_core.json` (naive scan — the file is machine-written,
+/// so the first `key` occurrence after `section` is the wanted one).
+fn recorded_value(json: &str, section: &str, key: &str) -> Option<f64> {
+    let body = json.split(&format!("\"{section}\"")).nth(1)?;
+    let after_key = body.split(&format!("\"{key}\":")).nth(1)?;
     after_key
         .split([',', '\n', '}'])
         .next()?
@@ -229,8 +257,9 @@ fn recorded_acc_iteration(json: &str) -> Option<f64> {
         .ok()
 }
 
-/// `--check`: re-measure the headline timer and fail on a >10% regression
-/// against the committed JSON. Returns the process exit code.
+/// `--check`: re-measure the headline timer and the 1-thread scaling row and
+/// fail on a >10% regression against the committed JSON. Returns the process
+/// exit code.
 fn check_mode() -> i32 {
     // The regression guard measures the tracing-off path: the observability
     // layer must cost nothing here (one relaxed load per instrumentation
@@ -244,24 +273,36 @@ fn check_mode() -> i32 {
             return 1;
         }
     };
-    let Some(recorded) = recorded_acc_iteration(&json) else {
-        eprintln!("bench check: no current.acc_algorithm1_iteration in BENCH_core.json");
-        return 1;
-    };
     // Minimum of repeated medians: wall-time noise on a shared host is
     // strictly additive, so the min is the low-variance estimator and keeps
     // the 10% threshold meaningful.
-    let measured = (0..3)
-        .map(|_| bench_acc_algorithm1_iteration())
-        .fold(f64::INFINITY, f64::min);
-    let ratio = measured / recorded;
-    eprintln!(
-        "bench check: acc_algorithm1_iteration measured {measured:.4e} s, \
-         recorded {recorded:.4e} s (x{ratio:.2})"
-    );
-    if ratio > 1.10 {
-        eprintln!("bench check: FAIL — regressed more than 10% vs the recorded number");
-        return 1;
+    type Guard = (&'static str, &'static str, &'static str, fn() -> f64);
+    let guards: &[Guard] = &[
+        (
+            "acc_algorithm1_iteration",
+            "current",
+            "acc_algorithm1_iteration",
+            bench_acc_algorithm1_iteration,
+        ),
+        ("sweep_parallel threads_1", "scaling", "threads_1", || {
+            bench_sweep_parallel_at(1)
+        }),
+    ];
+    for (label, section, key, bench) in guards {
+        let Some(recorded) = recorded_value(&json, section, key) else {
+            eprintln!("bench check: no {section}.{key} in BENCH_core.json");
+            return 1;
+        };
+        let measured = (0..3).map(|_| bench()).fold(f64::INFINITY, f64::min);
+        let ratio = measured / recorded;
+        eprintln!(
+            "bench check: {label} measured {measured:.4e} s, \
+             recorded {recorded:.4e} s (x{ratio:.2})"
+        );
+        if ratio > 1.10 {
+            eprintln!("bench check: FAIL — {label} regressed more than 10% vs the recorded number");
+            return 1;
+        }
     }
     eprintln!("bench check: OK");
     0
@@ -350,6 +391,7 @@ fn main() {
         ("sweep_serial_oscillator", bench_sweep_serial()),
         ("sweep_parallel_oscillator", bench_sweep_parallel()),
     ];
+    let scaling = bench_sweep_scaling();
 
     let mut out = String::new();
     out.push_str("{\n");
@@ -385,6 +427,26 @@ fn main() {
         out.push_str(&format!("    \"{name}\": {rendered}{sep}\n"));
     }
     out.push_str("  },\n");
+    out.push_str("  \"scaling\": {\n    \"sweep_parallel_oscillator\": {\n");
+    for (t, secs) in &scaling {
+        out.push_str(&format!("      \"threads_{t}\": {},\n", fmt_secs(*secs)));
+    }
+    let t1 = scaling
+        .iter()
+        .find(|(t, _)| *t == 1)
+        .map_or(f64::NAN, |(_, s)| *s);
+    let t4 = scaling
+        .iter()
+        .find(|(t, _)| *t == 4)
+        .map_or(f64::NAN, |(_, s)| *s);
+    let speedup = t1 / t4;
+    let rendered = if speedup.is_nan() {
+        "null".to_string()
+    } else {
+        format!("{speedup:.2}")
+    };
+    out.push_str(&format!("      \"speedup_4_over_1\": {rendered}\n"));
+    out.push_str("    }\n  },\n");
     out.push_str(&cache_stats_section());
     out.push_str(",\n");
     out.push_str(&metrics_section());

@@ -22,6 +22,7 @@ mod geom;
 mod interval;
 mod nn;
 mod poly;
+mod simd;
 mod taylor;
 mod verdict;
 mod wasserstein;
@@ -61,6 +62,7 @@ pub fn registry() -> Vec<Box<dyn Family>> {
         Box::new(wasserstein::WassersteinFamily),
         Box::new(nn::NnFamily),
         Box::new(verdict::VerdictFamily),
+        Box::new(simd::SimdFamily),
     ]
 }
 

@@ -12,10 +12,12 @@
 //!
 //! Results are merged **by item index, not by completion order**: the
 //! returned `Vec` is element-for-element identical to
-//! `items.iter().map(f).collect()`. Workers claim items through a shared
-//! atomic counter, so scheduling affects only *which thread* computes an
-//! item, never the output. Callers must still ensure `f` itself is a pure
-//! function of its argument.
+//! `items.iter().map(f).collect()`. Workers claim contiguous chunks through
+//! a shared atomic cursor (guided self-scheduling — see
+//! [`WorkerPool::map`]), and chunks reduce in ascending start order, so
+//! scheduling affects only *which thread* computes an item, never the
+//! output: the map is bit-identical to serial at any thread count. Callers
+//! must still ensure `f` itself is a pure function of its argument.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
@@ -69,6 +71,24 @@ impl WorkerPool {
     /// batch has at most one item — so a `WorkerPool::new(1)` is an exact
     /// drop-in for serial execution.
     ///
+    /// # Scheduling
+    ///
+    /// Workers claim *chunks* through a shared atomic cursor using guided
+    /// self-scheduling: each claim takes roughly `remaining / (2·workers)`
+    /// items (never fewer than one), so early chunks are large (amortizing
+    /// the claim and keeping each worker on a contiguous cache-friendly run)
+    /// and chunks shrink toward the tail (bounding finish-time imbalance to
+    /// one small chunk). Chunk boundaries affect only which thread computes
+    /// which items; results are written back under the chunk's start index
+    /// and reduced in ascending start order — a fixed reduction order, so
+    /// the output is element-for-element (bit-for-bit) what the serial map
+    /// produces, at any thread count.
+    ///
+    /// When observability is on, each call records the pool width in the
+    /// `pool.threads` gauge and the number of chunks claimed beyond each
+    /// worker's first (work that migrated to whichever thread drained its
+    /// share first) in the `pool.steal_count` counter.
+    ///
     /// # Panics
     ///
     /// Propagates a panic from `f` (the first panicking worker's payload).
@@ -79,27 +99,62 @@ impl WorkerPool {
         F: Fn(&T) -> R + Sync,
     {
         let _s = dwv_obs::span("pool.map");
-        if dwv_obs::enabled() {
+        let obs = dwv_obs::enabled();
+        if obs {
             dwv_obs::counter("pool.batches").inc();
             dwv_obs::counter("pool.items").add(items.len() as u64);
+            dwv_obs::gauge("pool.threads").set(self.threads as f64);
         }
         let workers = self.threads.min(items.len());
         if workers <= 1 {
             return items.iter().map(f).collect();
         }
+        let n = items.len();
         let next = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+        let claims = AtomicUsize::new(0);
+        let mut chunks: Vec<(usize, Vec<R>)> = Vec::new();
         thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
-                        let mut out = Vec::new();
+                        let mut out: Vec<(usize, Vec<R>)> = Vec::new();
                         loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(item) = items.get(i) else { break };
-                            let timed = dwv_obs::span("pool.item");
-                            out.push((i, f(item)));
+                            // Guided claim: take a share of what remains.
+                            let (start, take) = {
+                                let mut cur = next.load(Ordering::Relaxed);
+                                loop {
+                                    if cur >= n {
+                                        break (n, 0);
+                                    }
+                                    let take = ((n - cur) / (2 * workers)).max(1);
+                                    match next.compare_exchange_weak(
+                                        cur,
+                                        cur + take,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    ) {
+                                        Ok(_) => break (cur, take),
+                                        Err(seen) => cur = seen,
+                                    }
+                                }
+                            };
+                            if take == 0 {
+                                break;
+                            }
+                            claims.fetch_add(1, Ordering::Relaxed);
+                            let timed = dwv_obs::span("pool.chunk");
+                            let chunk = &items[start..start + take]; // dwv-lint: allow(panic-freedom#index) -- the CAS claim bounds start + take ≤ items.len()
+                            let part: Vec<R> = chunk
+                                .iter()
+                                .map(|item| {
+                                    let per_item = dwv_obs::span("pool.item");
+                                    let r = f(item);
+                                    drop(per_item);
+                                    r
+                                })
+                                .collect();
                             drop(timed);
+                            out.push((start, part));
                         }
                         out
                     })
@@ -107,13 +162,24 @@ impl WorkerPool {
                 .collect();
             for h in handles {
                 match h.join() {
-                    Ok(part) => indexed.extend(part),
+                    Ok(part) => chunks.extend(part),
                     Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
         });
-        indexed.sort_unstable_by_key(|(i, _)| *i);
-        indexed.into_iter().map(|(_, r)| r).collect()
+        if obs {
+            let extra = claims.load(Ordering::Relaxed).saturating_sub(workers);
+            dwv_obs::counter("pool.steal_count").add(extra as u64);
+        }
+        // Fixed reduction order: ascending chunk start, independent of
+        // completion order or thread assignment.
+        chunks.sort_unstable_by_key(|(start, _)| *start);
+        let mut merged = Vec::with_capacity(n);
+        for (_, part) in chunks {
+            merged.extend(part);
+        }
+        debug_assert_eq!(merged.len(), n);
+        merged
     }
 }
 
@@ -174,6 +240,45 @@ mod tests {
         let pool = WorkerPool::new(2);
         let lens = pool.map(&data, String::len);
         assert_eq!(lens, vec![1, 2]);
+    }
+
+    #[test]
+    fn float_results_bit_identical_across_thread_counts() {
+        // The acceptance bar for the verifier sweeps: parallel maps over
+        // floating-point work must be bit-for-bit the serial map at every
+        // pool width.
+        let items: Vec<f64> = (0..257).map(|i| f64::from(i) * 0.37 - 40.0).collect();
+        let work = |x: &f64| {
+            let mut acc = *x;
+            for k in 1..50u32 {
+                acc = acc.mul_add(1.000_1, f64::from(k).sin() * 1e-3);
+            }
+            acc
+        };
+        let serial: Vec<u64> = WorkerPool::new(1)
+            .map(&items, work)
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        for threads in [2usize, 3, 4, 8, 16] {
+            let par: Vec<u64> = WorkerPool::new(threads)
+                .map(&items, work)
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            assert_eq!(par, serial, "{threads}-thread map diverged from serial");
+        }
+    }
+
+    #[test]
+    fn guided_chunks_cover_all_sizes() {
+        // Odd batch sizes around chunking boundaries: every item exactly once,
+        // in order.
+        let pool = WorkerPool::new(3);
+        for n in [2usize, 3, 5, 7, 12, 31, 64, 101] {
+            let items: Vec<usize> = (0..n).collect();
+            assert_eq!(pool.map(&items, |x| *x), items, "batch of {n}");
+        }
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub struct ZoneConfig {
     pub float_zone_files: Vec<String>,
     /// Zone files exempt from R1 because they *are* the rounding primitives.
     pub float_primitive_files: Vec<String>,
+    /// Designated coefficient-kernel modules (the SIMD zone's compute core):
+    /// raw f64 arithmetic is their job, so R1's operator heuristic is waived
+    /// there — but the denylisted float methods and the rounding-primitive
+    /// containment check (R1#rounding) still apply.
+    pub kernel_module_files: Vec<String>,
     /// Crates whose library code must be panic-free (R2).
     pub panic_free_crates: Vec<String>,
     /// Files whose results must be deterministic (R3).
@@ -53,12 +58,17 @@ impl Default for ZoneConfig {
         let v = |xs: &[&str]| xs.iter().map(|s| (*s).to_string()).collect();
         Self {
             // The verified enclosure arithmetic: interval boxes, Bernstein
-            // range enclosures, and Taylor-model remainder bookkeeping.
+            // range enclosures, Taylor-model remainder bookkeeping, and the
+            // SIMD zone around the coefficient kernels (packed polynomial
+            // storage, workspaces, and the flowpipe's defect tape).
             float_zone_files: v(&[
                 "crates/interval/src/lib.rs",
                 "crates/interval/src/boxes.rs",
                 "crates/poly/src/bernstein.rs",
+                "crates/poly/src/polynomial.rs",
+                "crates/poly/src/workspace.rs",
                 "crates/taylor/src/model.rs",
+                "crates/taylor/src/defect.rs",
             ]),
             // The rounding primitives themselves: one-ulp outward nudges and
             // the widened libm endpoint evaluations.
@@ -66,6 +76,9 @@ impl Default for ZoneConfig {
                 "crates/interval/src/interval.rs",
                 "crates/interval/src/transcendental.rs",
             ]),
+            // The vectorized coefficient kernels: the one module whose raw
+            // f64 loops are the designated scalar/SIMD compute core.
+            kernel_module_files: v(&["crates/poly/src/kernels.rs"]),
             // The verified core: a panic mid-flowpipe would abort a whole
             // training run, so library paths must be Result-carrying.
             panic_free_crates: v(&["interval", "poly", "taylor", "reach", "core"]),
@@ -85,12 +98,26 @@ impl Default for ZoneConfig {
 }
 
 impl ZoneConfig {
-    /// Whether `rel_path` is in the R1 float-hygiene zone (and not one of the
-    /// allow-listed rounding-primitive modules).
+    /// Whether `rel_path` is in the R1 float-hygiene zone (and neither a
+    /// rounding-primitive module nor a designated kernel module).
     #[must_use]
     pub fn in_float_zone(&self, rel_path: &str) -> bool {
         self.float_zone_files.iter().any(|f| f == rel_path)
-            && !self.float_primitive_files.iter().any(|f| f == rel_path)
+            && !self.is_rounding_primitive(rel_path)
+            && !self.is_kernel_module(rel_path)
+    }
+
+    /// Whether `rel_path` is one of the rounding-primitive modules (the only
+    /// places `next_up`/`next_down`-style endpoint math may live).
+    #[must_use]
+    pub fn is_rounding_primitive(&self, rel_path: &str) -> bool {
+        self.float_primitive_files.iter().any(|f| f == rel_path)
+    }
+
+    /// Whether `rel_path` is a designated coefficient-kernel module.
+    #[must_use]
+    pub fn is_kernel_module(&self, rel_path: &str) -> bool {
+        self.kernel_module_files.iter().any(|f| f == rel_path)
     }
 
     /// Whether `rel_path` belongs to a crate with the R2 panic-freedom

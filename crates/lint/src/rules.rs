@@ -92,7 +92,14 @@ pub fn lint_source(rel_path: &str, src: &str, zones: &ZoneConfig, report: &mut R
 
     if class == FileClass::Lib {
         if zones.in_float_zone(rel_path) {
-            ctx.float_hygiene();
+            ctx.float_hygiene(true);
+        } else if zones.is_kernel_module(rel_path) {
+            // Designated kernels own their raw f64 loops, but the denylisted
+            // (non-directed, libm-backed) methods stay banned even there.
+            ctx.float_hygiene(false);
+        }
+        if !zones.is_rounding_primitive(rel_path) {
+            ctx.rounding_containment();
         }
         if zones.in_panic_free_crate(rel_path) {
             ctx.panic_freedom();
@@ -103,6 +110,7 @@ pub fn lint_source(rel_path: &str, src: &str, zones: &ZoneConfig, report: &mut R
         ctx.doc_coverage();
     }
     ctx.unsafe_audit(&krate);
+    ctx.simd_safety();
 }
 
 struct Ctx<'a> {
@@ -151,7 +159,11 @@ impl Ctx<'_> {
     // construction), or (c) the left operand is an integer cast
     // (`… as usize * stride`). Denylisted float methods are flagged at any
     // call site (`x.sqrt()`, `f64::sqrt(x)`).
-    fn float_hygiene(&mut self) {
+    //
+    // `check_ops = false` runs only the method denylist — the mode for
+    // designated kernel modules, whose raw operator loops are the audited
+    // compute core but which must still never call libm-backed methods.
+    fn float_hygiene(&mut self, check_ops: bool) {
         let toks = self.toks();
         let n = toks.len();
         let mut hits: Vec<(u32, String)> = Vec::new();
@@ -160,7 +172,7 @@ impl Ctx<'_> {
                 continue;
             }
             let t = &toks[i];
-            if t.kind == TokKind::Punct && ARITH_OPS.contains(&t.text.as_str()) {
+            if check_ops && t.kind == TokKind::Punct && ARITH_OPS.contains(&t.text.as_str()) {
                 if self.structure.flags[i].bracket_depth > 0 {
                     continue;
                 }
@@ -221,6 +233,87 @@ impl Ctx<'_> {
         hits.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
         for (line, msg) in hits {
             self.emit(Rule::FloatHygiene, None, line, msg);
+        }
+    }
+
+    // R1#rounding — rounding-primitive containment ---------------------------
+    //
+    // Directed endpoint math (`next_up`, `next_down`, `outward_lo`,
+    // `outward_hi`) is only sound when every caller agrees on when it is
+    // applied; a stray nudge outside the interval kernel silently changes
+    // enclosure widths. Any call site outside the designated
+    // rounding-primitive modules is a finding — kernel modules and ordinary
+    // zone files alike.
+    fn rounding_containment(&mut self) {
+        const ROUNDING_FNS: &[&str] = &["next_up", "next_down", "outward_lo", "outward_hi"];
+        let toks = self.toks();
+        let mut hits: Vec<(u32, String)> = Vec::new();
+        for i in 0..toks.len() {
+            if self.skipped(i) {
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind == TokKind::Ident
+                && ROUNDING_FNS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.text == "(")
+                && !(i >= 1 && toks[i - 1].text == "fn")
+            {
+                hits.push((
+                    t.line,
+                    format!(
+                        "rounding-sensitive endpoint math `{}` outside the rounding \
+                         primitives (route through the interval kernel)",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        hits.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+        for (line, msg) in hits {
+            self.emit(Rule::FloatHygiene, Some("rounding"), line, msg);
+        }
+    }
+
+    // R4#simd — `core::arch` site audit --------------------------------------
+    //
+    // Every textual `core::arch` / `std::arch` site (imports included) must
+    // carry a `SAFETY:` comment within the 5 preceding lines stating the
+    // dispatch contract — runtime feature detection and the scalar-path
+    // equivalence the SIMD body must preserve.
+    fn simd_safety(&mut self) {
+        let toks = self.toks();
+        let mut hits: Vec<u32> = Vec::new();
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind == TokKind::Ident
+                && t.text == "arch"
+                && i >= 2
+                && toks[i - 1].text == "::"
+                && matches!(toks[i - 2].text.as_str(), "core" | "std")
+            {
+                let documented = self.lexed.comments.iter().any(|c| {
+                    c.text
+                        .trim_start_matches(['/', '*', '!'])
+                        .trim_start()
+                        .starts_with("SAFETY:")
+                        && c.line <= t.line
+                        && t.line.saturating_sub(c.line) <= 5
+                });
+                if !documented {
+                    hits.push(t.line);
+                }
+            }
+        }
+        hits.dedup();
+        for line in hits {
+            self.emit(
+                Rule::UnsafeAudit,
+                Some("simd"),
+                line,
+                "`core::arch` SIMD site without a `// SAFETY:` comment within the 5 \
+                 preceding lines"
+                    .to_string(),
+            );
         }
     }
 
@@ -444,6 +537,7 @@ mod tests {
         ZoneConfig {
             float_zone_files: vec![path.to_string()],
             float_primitive_files: vec![],
+            kernel_module_files: vec![],
             panic_free_crates: vec!["design-while-verify".to_string()],
             determinism_zone_files: vec![path.to_string()],
         }

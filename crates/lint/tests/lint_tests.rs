@@ -107,6 +107,58 @@ fn r5_doc_coverage_fixture() {
 }
 
 #[test]
+fn simd_zone_fixture() {
+    // Linted as the designated kernel module: raw float ops are waived, but
+    // the libm method denylist, rounding containment, and the `core::arch`
+    // SAFETY audit all still apply.
+    let r = lint_fixture("simd_zone.rs", "crates/poly/src/kernels.rs");
+    let got: Vec<(Rule, Option<&str>, u32)> = r
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.sub.as_deref(), f.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            (Rule::FloatHygiene, None, 12), // `.sqrt()` despite the zone
+            (Rule::FloatHygiene, Some("rounding"), 17), // `next_up` outside the primitives
+            (Rule::UnsafeAudit, Some("simd"), 20), // undocumented `std::arch` import
+        ],
+        "{:#?}",
+        r.findings
+    );
+    assert!(r
+        .findings
+        .iter()
+        .all(|f| f.file == "crates/poly/src/kernels.rs"));
+    // The raw `*d += a * x` loop on line 6 produced nothing, and the
+    // SAFETY-documented import on line 23 passed the audit.
+    assert!(r.suppressed.is_empty(), "{:#?}", r.suppressed);
+}
+
+#[test]
+fn rounding_containment_waived_inside_primitives() {
+    // The same endpoint math linted as the interval kernel itself is fine:
+    // that file *is* the designated home of directed rounding.
+    let zones = ZoneConfig::default();
+    let primitive = zones
+        .float_primitive_files
+        .first()
+        .expect("default zones designate a rounding primitive")
+        .clone();
+    let src = fs::read_to_string(fixture_path("simd_zone.rs")).expect("read fixture");
+    let mut r = Report::default();
+    lint_source(&primitive, &src, &zones, &mut r);
+    assert!(
+        !r.findings
+            .iter()
+            .any(|f| f.sub.as_deref() == Some("rounding")),
+        "{:#?}",
+        r.findings
+    );
+}
+
+#[test]
 fn clean_fixture_has_no_findings_even_in_every_zone() {
     // bernstein.rs sits in both the float and determinism zones and in a
     // panic-free crate — the strictest possible location.

@@ -1,6 +1,7 @@
 //! Dense layers.
 
 use crate::Activation;
+use dwv_poly::kernels;
 use rand::Rng;
 
 /// A dense (fully-connected) layer `y = act(W x + b)`.
@@ -117,6 +118,11 @@ impl Layer {
 
     /// Forward pass; returns `(activations, pre_activations)`.
     ///
+    /// Each pre-activation is `bias[o] + dot(row_o, x)` with the dot taken in
+    /// the fixed chunked reduction order of
+    /// [`dwv_poly::kernels::dot_chunked`], so results are identical across
+    /// the scalar and SIMD dispatches and across runs.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != in_dim`.
@@ -127,7 +133,7 @@ impl Layer {
         #[allow(clippy::needless_range_loop)]
         for o in 0..self.out_dim {
             let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
-            pre[o] += row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
+            pre[o] += kernels::dot_chunked(row, x);
         }
         let act = pre.iter().map(|&z| self.activation.apply(z)).collect();
         (act, pre)
@@ -152,10 +158,9 @@ impl Layer {
         let mut d_in = vec![0.0; self.in_dim];
         for o in 0..self.out_dim {
             let dz = d_out[o] * self.activation.derivative(pre[o]);
-            for i in 0..self.in_dim {
-                grad[o * self.in_dim + i] += dz * x[i];
-                d_in[i] += dz * self.weights[o * self.in_dim + i];
-            }
+            let row = o * self.in_dim..(o + 1) * self.in_dim;
+            kernels::axpy(&mut grad[row.clone()], dz, x);
+            kernels::axpy(&mut d_in, dz, &self.weights[row]);
             grad[self.weights.len() + o] += dz;
         }
         d_in

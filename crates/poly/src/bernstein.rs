@@ -12,6 +12,7 @@
 //!   arbitrary continuous function on a box — how the ReachNN verifier
 //!   abstracts a neural-network controller (paper §3.1).
 
+use crate::kernels;
 use crate::Polynomial;
 use dwv_interval::{Interval, IntervalBox};
 // dwv-lint: allow(determinism) -- content-keyed lookup-only cache; iteration order is never observed
@@ -202,25 +203,47 @@ pub fn range_enclosure(p: &Polynomial, domain: &IntervalBox) -> Interval {
         a[off] += c;
     }
     // b[k] = Σ_{j ≤ k} Π_i C(k_i, j_i)/C(d_i, j_i) · a[j], computed one
-    // dimension at a time (tensor contraction).
+    // dimension at a time (tensor contraction). The tensor is a sequence of
+    // `[counts[dim]][stride[dim]]` blocks along `dim`; every output element
+    // accumulates its `j` terms in ascending order with one multiply-add
+    // (two roundings) each, so the strided `axpy` form below is bit-identical
+    // to a per-element gather loop — it only changes the memory access from
+    // gathers to contiguous runs the kernels vectorize.
     let mut b = a;
+    let mut next = vec![0.0f64; total];
     for dim in 0..n {
         let ratios = crate::tables::bernstein_ratios(degs[dim]);
-        let mut next = vec![0.0f64; total];
-        for (off, slot) in next.iter_mut().enumerate() {
-            // dwv-lint: allow(float-hygiene) -- usize tensor-offset arithmetic
-            let k = (off / stride[dim]) % counts[dim];
-            // dwv-lint: allow(float-hygiene) -- usize tensor-offset arithmetic
-            let base = off - k * stride[dim];
-            let row = &ratios[k];
-            let mut acc = 0.0;
-            for (j, &ratio) in row.iter().enumerate() {
-                // dwv-lint: allow(float-hygiene) -- conversion rounding absorbed by the relative pad below
-                acc += ratio * b[base + j * stride[dim]];
+        let s = stride[dim];
+        let cnt = counts[dim];
+        next.fill(0.0);
+        if s == 1 {
+            // Innermost dimension: rows are contiguous; a sequential dot per
+            // output beats length-1 axpy calls.
+            for ob in (0..total).step_by(cnt) {
+                for (k, row) in ratios.iter().enumerate().take(cnt) {
+                    let mut acc = 0.0;
+                    for (j, &ratio) in row.iter().enumerate() {
+                        // dwv-lint: allow(float-hygiene) -- conversion rounding absorbed by the relative pad below
+                        acc += ratio * b[ob + j];
+                    }
+                    next[ob + k] = acc;
+                }
             }
-            *slot = acc;
+        } else {
+            // dwv-lint: allow(float-hygiene) -- usize tensor-offset arithmetic
+            for ob in (0..total).step_by(cnt * s) {
+                for (k, row) in ratios.iter().enumerate().take(cnt) {
+                    // dwv-lint: allow(float-hygiene) -- usize tensor-offset arithmetic
+                    let dst_at = ob + k * s;
+                    for (j, &ratio) in row.iter().enumerate() {
+                        // dwv-lint: allow(float-hygiene) -- usize tensor-offset arithmetic
+                        let src_at = ob + j * s;
+                        kernels::axpy(&mut next[dst_at..dst_at + s], ratio, &b[src_at..src_at + s]);
+                    }
+                }
+            }
         }
-        b = next;
+        std::mem::swap(&mut b, &mut next);
     }
     let mut lo_c = f64::INFINITY;
     let mut hi_c = f64::NEG_INFINITY;
@@ -324,12 +347,16 @@ impl RangeCache {
     ///
     /// Panics if the domain is unbounded or its dimension mismatches.
     pub fn range_enclosure(&mut self, p: &Polynomial, domain: &[Interval]) -> Interval {
-        let Some(terms) = p.packed_terms() else {
+        let Some((keys, coeffs)) = p.packed_terms() else {
             self.misses += 1;
             return range_enclosure(p, &IntervalBox::new(domain.to_vec()));
         };
         let key = RangeKey {
-            terms: terms.iter().map(|&(k, c)| (k, c.to_bits())).collect(),
+            terms: keys
+                .iter()
+                .zip(coeffs)
+                .map(|(&k, &c)| (k, c.to_bits()))
+                .collect(),
             domain: domain
                 .iter()
                 .map(|iv| (iv.lo().to_bits(), iv.hi().to_bits()))

@@ -1,0 +1,490 @@
+//! Designated SIMD zone: chunked coefficient kernels for the flat-term
+//! storage.
+// dwv-lint: allow-file(panic-freedom#index) -- fixed-stride kernel loops; every offset is bounded by the chunk arithmetic directly above it, covered by the bitwise reference tests
+//!
+//! Every kernel here operates on plain `f64`/`u64` slices — the
+//! structure-of-arrays coefficient storage of [`crate::Polynomial`] — in a
+//! fixed chunked order so the loops autovectorize to `f64x4` on any target.
+//! The **scalar chunked implementation is the semantic reference**: the
+//! opt-in `core::arch` x86_64 path (feature `simd`) performs exactly the
+//! same lane operations in exactly the same combine order, so vectorized
+//! and scalar results are bit-for-bit identical (asserted by the in-module
+//! tests and the `simd` dwv-check family).
+//!
+//! Soundness note: nothing in this module performs rounding-sensitive
+//! *endpoint* arithmetic. Interval endpoints are only ever produced by the
+//! directed-rounding primitives in `dwv-interval`; these kernels handle the
+//! coefficient side (elementwise products/sums whose values are identical
+//! under any vector width) and fixed-order reductions whose chunked
+//! summation order is part of their documented contract.
+
+/// Lane count of the chunked kernels (matches `f64x4`/AVX2).
+pub const LANES: usize = 4;
+
+/// `dst[i] *= s` for all `i` — elementwise, so any vector width produces
+/// identical bits.
+pub fn scale_slice(dst: &mut [f64], s: f64) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if avx2_enabled() {
+        // SAFETY: `avx2_enabled` verified AVX2 support on this CPU at
+        // runtime; `scale_slice_avx2` has no other preconditions.
+        unsafe { avx2::scale_slice_avx2(dst, s) };
+        return;
+    }
+    for c in dst {
+        *c *= s; // dwv-lint: allow(float-hygiene) -- coefficient kernel: elementwise product, enclosure handled by the Taylor-model layer
+    }
+}
+
+/// `dst ← src * s` (elementwise), reusing `dst`'s buffer.
+pub fn scale_into(dst: &mut Vec<f64>, src: &[f64], s: f64) {
+    dst.clear();
+    dst.reserve(src.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if avx2_enabled() {
+        // SAFETY: `avx2_enabled` verified AVX2 support on this CPU at
+        // runtime; `scale_into_avx2` has no other preconditions.
+        unsafe { avx2::scale_into_avx2(dst, src, s) };
+        return;
+    }
+    dst.extend(src.iter().map(|&c| c * s)); // dwv-lint: allow(float-hygiene) -- coefficient kernel: elementwise product, enclosure handled by the Taylor-model layer
+}
+
+/// `dst[i] = src[i] * s` (elementwise) into an existing equal-length slice.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn scale_into_slice(dst: &mut [f64], src: &[f64], s: f64) {
+    assert_eq!(dst.len(), src.len(), "scale length mismatch");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if avx2_enabled() {
+        // SAFETY: `avx2_enabled` verified AVX2 support on this CPU at
+        // runtime; slice lengths were checked equal above.
+        unsafe { avx2::scale_into_slice_avx2(dst, src, s) };
+        return;
+    }
+    for (d, &c) in dst.iter_mut().zip(src) {
+        *d = c * s; // dwv-lint: allow(float-hygiene) -- coefficient kernel: elementwise product, enclosure handled by the Taylor-model layer
+    }
+}
+
+/// `dst ← src + k` (elementwise `u64` add): offsets a sorted key run by a
+/// packed monomial key, the key half of staging one row of a polynomial
+/// product.
+pub fn offset_keys_into(dst: &mut Vec<u64>, src: &[u64], k: u64) {
+    dst.clear();
+    dst.reserve(src.len());
+    // Integer elementwise add: autovectorizes; any width is exact.
+    dst.extend(src.iter().map(|&key| key + k));
+}
+
+/// Degree-filtered staging row of a truncated product: for exactly the `j`
+/// with `bdeg[j] <= rem` (in ascending `j`), appends `ka + bkeys[j]` to
+/// `keys` and `ca · bcoeffs[j]` to `coeffs`. The coefficient product is the
+/// same scalar multiply [`scale_into_slice`] performs per element, so the
+/// surviving pairs are bit-identical to unfiltered staging; filtering before
+/// the sort shrinks the sort/merge working set by the overflow fraction.
+///
+/// # Panics
+///
+/// Panics if the `b`-side slice lengths differ.
+#[allow(clippy::too_many_arguments)] // one flat staging row: two outputs, the a-term, the three b-side columns, the budget
+pub fn stage_row_filtered(
+    keys: &mut Vec<u64>,
+    coeffs: &mut Vec<f64>,
+    ka: u64,
+    ca: f64,
+    bkeys: &[u64],
+    bcoeffs: &[f64],
+    bdeg: &[u32],
+    rem: u32,
+) {
+    assert_eq!(bkeys.len(), bcoeffs.len(), "staging length mismatch");
+    assert_eq!(bkeys.len(), bdeg.len(), "staging length mismatch");
+    for j in 0..bkeys.len() {
+        if bdeg[j] <= rem {
+            keys.push(ka + bkeys[j]);
+            coeffs.push(ca * bcoeffs[j]); // dwv-lint: allow(float-hygiene) -- coefficient kernel: elementwise product, enclosure handled by the Taylor-model layer
+        }
+    }
+}
+
+/// `dst[i] += a * src[i]` for all `i` — elementwise fused update (separate
+/// multiply and add, never FMA-contracted, so every path rounds twice
+/// identically).
+pub fn axpy(dst: &mut [f64], a: f64, src: &[f64]) {
+    assert_eq!(dst.len(), src.len(), "axpy length mismatch");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if avx2_enabled() {
+        // SAFETY: `avx2_enabled` verified AVX2 support on this CPU at
+        // runtime; slice lengths were checked equal above.
+        unsafe { avx2::axpy_avx2(dst, a, src) };
+        return;
+    }
+    for (d, &x) in dst.iter_mut().zip(src) {
+        *d += a * x; // dwv-lint: allow(float-hygiene) -- coefficient kernel: elementwise multiply-add (two roundings), enclosure handled by the caller's outward pad
+    }
+}
+
+/// Chunked dot product with the documented 4-lane reduction order.
+///
+/// Semantics (the scalar reference, reproduced exactly by the SIMD path):
+/// partial sums `lane[j] = Σ_i a[4i+j]·b[4i+j]` accumulate independently,
+/// the lanes combine as `(lane0 + lane2) + (lane1 + lane3)`, and the tail
+/// (`len % 4` trailing elements) is added sequentially afterwards.
+#[must_use]
+pub fn dot_chunked(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let chunks = a.len() / LANES;
+    let split = chunks * LANES;
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if avx2_enabled() {
+        // SAFETY: `avx2_enabled` verified AVX2 support on this CPU at
+        // runtime; slice lengths were checked equal above.
+        let head = unsafe { avx2::dot_body_avx2(&a[..split], &b[..split]) };
+        return add_tail_dot(head, &a[split..], &b[split..]);
+    }
+    let mut lane = [0.0f64; LANES];
+    for i in 0..chunks {
+        let base = i * LANES;
+        for j in 0..LANES {
+            lane[j] += a[base + j] * b[base + j]; // dwv-lint: allow(float-hygiene) -- coefficient kernel: fixed-order chunked reduction, contract documented above
+        }
+    }
+    add_tail_dot(combine_lanes(lane), &a[split..], &b[split..])
+}
+
+/// Chunked sum of absolute values, same 4-lane reduction order as
+/// [`dot_chunked`].
+#[must_use]
+pub fn abs_sum_chunked(xs: &[f64]) -> f64 {
+    let chunks = xs.len() / LANES;
+    let split = chunks * LANES;
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if avx2_enabled() {
+        // SAFETY: `avx2_enabled` verified AVX2 support on this CPU at
+        // runtime; `abs_sum_body_avx2` has no other preconditions.
+        let head = unsafe { avx2::abs_sum_body_avx2(&xs[..split]) };
+        return add_tail_abs(head, &xs[split..]);
+    }
+    let mut lane = [0.0f64; LANES];
+    for i in 0..chunks {
+        let base = i * LANES;
+        for j in 0..LANES {
+            lane[j] += xs[base + j].abs(); // dwv-lint: allow(float-hygiene) -- coefficient kernel: fixed-order chunked reduction, contract documented above
+        }
+    }
+    add_tail_abs(combine_lanes(lane), &xs[split..])
+}
+
+/// The fixed lane-combine order shared by the scalar and SIMD reduction
+/// paths: `(lane0 + lane2) + (lane1 + lane3)`.
+#[inline]
+fn combine_lanes(lane: [f64; LANES]) -> f64 {
+    (lane[0] + lane[2]) + (lane[1] + lane[3]) // dwv-lint: allow(float-hygiene) -- coefficient kernel: the documented lane-combine order
+}
+
+#[inline]
+fn add_tail_dot(mut acc: f64, a: &[f64], b: &[f64]) -> f64 {
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x * y; // dwv-lint: allow(float-hygiene) -- coefficient kernel: sequential tail of the documented reduction
+    }
+    acc
+}
+
+#[inline]
+fn add_tail_abs(mut acc: f64, xs: &[f64]) -> f64 {
+    for &x in xs {
+        acc += x.abs(); // dwv-lint: allow(float-hygiene) -- coefficient kernel: sequential tail of the documented reduction
+    }
+    acc
+}
+
+/// Whether the opt-in AVX2 path is compiled in *and* supported by the
+/// running CPU. With the `simd` feature off this is always `false` and the
+/// scalar reference runs everywhere.
+#[must_use]
+pub fn simd_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        avx2_enabled()
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+fn avx2_enabled() -> bool {
+    // SAFETY: detection only, no intrinsics — `is_x86_feature_detected!` is a
+    // safe macro; std caches the cpuid result behind a relaxed atomic, so
+    // this is one load on the hot path after the first call.
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// The `core::arch` x86_64 path. Every function performs exactly the lane
+/// operations of its scalar-reference counterpart — same products, same
+/// per-lane accumulation, same `(0+2)+(1+3)` combine — so results are
+/// bit-identical by construction. No FMA: multiply and add round separately,
+/// matching the scalar path.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2 {
+    use super::LANES;
+    // SAFETY: importing intrinsics is safe by itself; every call site below
+    // sits in a `#[target_feature(enable = "avx2")]` fn reached only through
+    // the `avx2_enabled()` dispatch wrappers.
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::{
+        __m256d, _mm256_add_pd, _mm256_andnot_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd,
+        _mm256_setzero_pd, _mm256_storeu_pd,
+    };
+
+    /// # Safety
+    ///
+    /// Caller must ensure the running CPU supports AVX2.
+    // SAFETY: contract above; the only callers are the dispatch wrappers, which verify AVX2 via `avx2_enabled()` first.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale_slice_avx2(dst: &mut [f64], s: f64) {
+        let n = dst.len();
+        let chunks = n / LANES;
+        // SAFETY: AVX2 is available (caller contract); all pointer offsets
+        // stay within `dst` because `i * LANES + LANES <= n` for i < chunks.
+        unsafe {
+            let vs = _mm256_set1_pd(s);
+            let p = dst.as_mut_ptr();
+            for i in 0..chunks {
+                let q = p.add(i * LANES);
+                _mm256_storeu_pd(q, _mm256_mul_pd(_mm256_loadu_pd(q), vs));
+            }
+        }
+        for c in &mut dst[chunks * LANES..] {
+            *c *= s; // dwv-lint: allow(float-hygiene) -- coefficient kernel: scalar tail of the elementwise product
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure the running CPU supports AVX2. `dst` must be empty
+    /// with capacity ≥ `src.len()` reserved.
+    // SAFETY: contract above; the only callers are the dispatch wrappers, which verify AVX2 via `avx2_enabled()` first.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale_into_avx2(dst: &mut Vec<f64>, src: &[f64], s: f64) {
+        // Elementwise products are width-independent, so delegating the body
+        // through an extend keeps the append safe while the multiply loop
+        // vectorizes under the enabled target feature.
+        dst.extend(src.iter().map(|&c| c * s)); // dwv-lint: allow(float-hygiene) -- coefficient kernel: elementwise product, enclosure handled by the Taylor-model layer
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure the running CPU supports AVX2 and
+    /// `dst.len() == src.len()`.
+    // SAFETY: contract above; the only callers are the dispatch wrappers, which verify AVX2 via `avx2_enabled()` first.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale_into_slice_avx2(dst: &mut [f64], src: &[f64], s: f64) {
+        let n = dst.len();
+        let chunks = n / LANES;
+        // SAFETY: AVX2 is available (caller contract); offsets stay within
+        // both slices, whose lengths the caller checked equal.
+        unsafe {
+            let vs = _mm256_set1_pd(s);
+            let d = dst.as_mut_ptr();
+            let x = src.as_ptr();
+            for i in 0..chunks {
+                _mm256_storeu_pd(
+                    d.add(i * LANES),
+                    _mm256_mul_pd(_mm256_loadu_pd(x.add(i * LANES)), vs),
+                );
+            }
+        }
+        let split = chunks * LANES;
+        for (d, &c) in dst[split..].iter_mut().zip(&src[split..]) {
+            *d = c * s; // dwv-lint: allow(float-hygiene) -- coefficient kernel: scalar tail of the elementwise product
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure the running CPU supports AVX2 and
+    /// `dst.len() == src.len()`.
+    // SAFETY: contract above; the only callers are the dispatch wrappers, which verify AVX2 via `avx2_enabled()` first.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy_avx2(dst: &mut [f64], a: f64, src: &[f64]) {
+        let n = dst.len();
+        let chunks = n / LANES;
+        // SAFETY: AVX2 is available (caller contract); offsets stay within
+        // both slices, whose lengths the caller checked equal.
+        unsafe {
+            let va = _mm256_set1_pd(a);
+            let d = dst.as_mut_ptr();
+            let x = src.as_ptr();
+            for i in 0..chunks {
+                let q = d.add(i * LANES);
+                let prod = _mm256_mul_pd(va, _mm256_loadu_pd(x.add(i * LANES)));
+                _mm256_storeu_pd(q, _mm256_add_pd(_mm256_loadu_pd(q), prod));
+            }
+        }
+        let split = chunks * LANES;
+        for (d, &x) in dst[split..].iter_mut().zip(&src[split..]) {
+            *d += a * x; // dwv-lint: allow(float-hygiene) -- coefficient kernel: scalar tail of the elementwise multiply-add
+        }
+    }
+
+    /// Chunked-body dot: `a.len() == b.len()` must be a multiple of 4.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the running CPU supports AVX2 and equal slice
+    /// lengths divisible by [`LANES`].
+    // SAFETY: contract above; the only caller is the dispatch wrapper, which verifies AVX2 via `avx2_enabled()` first.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_body_avx2(a: &[f64], b: &[f64]) -> f64 {
+        let chunks = a.len() / LANES;
+        // SAFETY: AVX2 is available (caller contract); offsets stay within
+        // both slices by the length contract.
+        let lane: [f64; LANES] = unsafe {
+            let mut acc = _mm256_setzero_pd();
+            let pa = a.as_ptr();
+            let pb = b.as_ptr();
+            for i in 0..chunks {
+                let prod = _mm256_mul_pd(
+                    _mm256_loadu_pd(pa.add(i * LANES)),
+                    _mm256_loadu_pd(pb.add(i * LANES)),
+                );
+                acc = _mm256_add_pd(acc, prod);
+            }
+            std::mem::transmute::<__m256d, [f64; LANES]>(acc)
+        };
+        super::combine_lanes(lane)
+    }
+
+    /// Chunked-body abs-sum: `xs.len()` must be a multiple of 4.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the running CPU supports AVX2 and a slice length
+    /// divisible by [`LANES`].
+    // SAFETY: contract above; the only caller is the dispatch wrapper, which verifies AVX2 via `avx2_enabled()` first.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn abs_sum_body_avx2(xs: &[f64]) -> f64 {
+        let chunks = xs.len() / LANES;
+        // SAFETY: AVX2 is available (caller contract); offsets stay within
+        // the slice by the length contract. The andnot mask clears the sign
+        // bit — exactly `f64::abs`.
+        let lane: [f64; LANES] = unsafe {
+            let sign = _mm256_set1_pd(-0.0);
+            let mut acc = _mm256_setzero_pd();
+            let p = xs.as_ptr();
+            for i in 0..chunks {
+                let v = _mm256_andnot_pd(sign, _mm256_loadu_pd(p.add(i * LANES)));
+                acc = _mm256_add_pd(acc, v);
+            }
+            std::mem::transmute::<__m256d, [f64; LANES]>(acc)
+        };
+        super::combine_lanes(lane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37 - 1.4) * if i % 3 == 0 { -1.0 } else { 1.0 })
+            .collect()
+    }
+
+    /// The scalar reference semantics, written independently of the kernel
+    /// bodies, so the dispatched implementations (scalar chunked *or* AVX2)
+    /// are checked against the documented contract.
+    fn dot_reference(a: &[f64], b: &[f64]) -> f64 {
+        let chunks = a.len() / LANES;
+        let mut lane = [0.0f64; LANES];
+        for i in 0..chunks {
+            for j in 0..LANES {
+                lane[j] += a[i * LANES + j] * b[i * LANES + j];
+            }
+        }
+        let mut acc = (lane[0] + lane[2]) + (lane[1] + lane[3]);
+        for k in chunks * LANES..a.len() {
+            acc += a[k] * b[k];
+        }
+        acc
+    }
+
+    #[test]
+    fn dot_matches_reference_bitwise() {
+        for n in [0, 1, 3, 4, 7, 8, 64, 129] {
+            let a = data(n);
+            let b: Vec<f64> = data(n).iter().map(|x| x * 0.5 + 1.0).collect();
+            assert_eq!(
+                dot_chunked(&a, &b).to_bits(),
+                dot_reference(&a, &b).to_bits(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_matches_elementwise_bitwise() {
+        for n in [0, 1, 5, 32, 101] {
+            let src = data(n);
+            let mut in_place = src.clone();
+            scale_slice(&mut in_place, -0.3125);
+            let mut into = Vec::new();
+            scale_into(&mut into, &src, -0.3125);
+            for i in 0..n {
+                let expect = (src[i] * -0.3125).to_bits();
+                assert_eq!(in_place[i].to_bits(), expect);
+                assert_eq!(into[i].to_bits(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_matches_elementwise_bitwise() {
+        for n in [0, 2, 4, 9, 65] {
+            let src = data(n);
+            let mut dst = data(n).iter().map(|x| x + 0.25).collect::<Vec<_>>();
+            let expect: Vec<u64> = dst
+                .iter()
+                .zip(&src)
+                .map(|(&d, &x)| (d + 1.75 * x).to_bits())
+                .collect();
+            axpy(&mut dst, 1.75, &src);
+            let got: Vec<u64> = dst.iter().map(|d| d.to_bits()).collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn abs_sum_matches_reference_bitwise() {
+        for n in [0, 1, 4, 6, 40, 131] {
+            let xs = data(n);
+            let chunks = n / LANES;
+            let mut lane = [0.0f64; LANES];
+            for i in 0..chunks {
+                for j in 0..LANES {
+                    lane[j] += xs[i * LANES + j].abs();
+                }
+            }
+            let mut expect = (lane[0] + lane[2]) + (lane[1] + lane[3]);
+            for x in &xs[chunks * LANES..] {
+                expect += x.abs();
+            }
+            assert_eq!(abs_sum_chunked(&xs).to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn offset_keys_adds_exactly() {
+        let src = [0u64, 1 << 8, (2 << 16) | 3, u64::from(u32::MAX)];
+        let mut dst = Vec::new();
+        offset_keys_into(&mut dst, &src, 1 << 24);
+        assert_eq!(dst, src.iter().map(|k| k + (1 << 24)).collect::<Vec<_>>());
+    }
+}

@@ -10,7 +10,15 @@
 //!   Taylor models are built on);
 //! * [`bernstein`] — conversion of polynomials to Bernstein form for tight
 //!   range enclosures, and Bernstein approximation of arbitrary functions
-//!   (how ReachNN abstracts a neural-network controller).
+//!   (how ReachNN abstracts a neural-network controller);
+//! * [`kernels`] — the designated SIMD zone: chunked coefficient kernels
+//!   over the flat structure-of-arrays term storage, with an opt-in
+//!   `core::arch` AVX2 path behind the `simd` feature that is bit-identical
+//!   to the scalar chunked reference.
+//!
+//! `unsafe` is forbidden crate-wide except under the `simd` feature, where
+//! the only `unsafe` code is the audited `core::arch` intrinsics in
+//! [`kernels`].
 //!
 //! # Example
 //!
@@ -25,11 +33,17 @@
 //! assert_eq!(p.degree(), 2);
 //! ```
 
-#![forbid(unsafe_code)]
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod arbitrary;
 pub mod bernstein;
+// The audited exception to the crate-wide unsafe ban: `core::arch`
+// intrinsics behind the `simd` feature, every site carrying a `SAFETY:`
+// justification (enforced by dwv-lint R4).
+#[cfg_attr(feature = "simd", allow(unsafe_code))]
+pub mod kernels;
 mod polynomial;
 pub mod tables;
 mod workspace;

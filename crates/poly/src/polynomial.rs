@@ -1,8 +1,8 @@
-//! Sparse multivariate polynomials on a flat, sorted term vector.
+//! Sparse multivariate polynomials on flat, sorted, stride-friendly storage.
 // dwv-lint: allow-file(panic-freedom#index) -- kernel offsets maintained by sorted-merge invariants, property-tested against the map reference
 //!
-//! Terms live in a `Vec` sorted by monomial, not in a `BTreeMap`: the ring
-//! operations that dominate Taylor-model arithmetic (`add`, `mul`,
+//! Terms live in parallel arrays sorted by monomial, not in a `BTreeMap`:
+//! the ring operations that dominate Taylor-model arithmetic (`add`, `mul`,
 //! `compose`) become cache-friendly merges over contiguous memory instead of
 //! pointer-chasing tree walks. Monomials of up to [`PACK_VARS`] variables
 //! with per-variable exponents up to [`PACK_MAX_EXP`] are packed into a
@@ -14,7 +14,21 @@
 //! f64>` representation. Polynomials beyond the packed limits (more than 8
 //! variables, or a product whose total degree could exceed 255) fall back to
 //! boxed exponent-vector keys transparently.
+//!
+//! # Storage layout
+//!
+//! Packed terms are stored structure-of-arrays ([`PackedTerms`]): one
+//! contiguous `Vec<u64>` of monomial keys and one contiguous `Vec<f64>` of
+//! coefficients. Coefficient-side inner loops (scaling, product staging,
+//! norms) run over the bare `f64` array through the chunked kernels in
+//! [`crate::kernels`], which autovectorize to `f64x4` (and have an opt-in
+//! `core::arch` path behind the `simd` feature). Rounding-sensitive
+//! *interval* work — term ranges, truncation remainders — never goes
+//! through those kernels: every interval endpoint is produced by the
+//! directed-rounding primitives in `dwv-interval`, one term at a time, in a
+//! fixed documented order (see [`Polynomial::eval_interval`]).
 
+use crate::kernels;
 use crate::workspace::PolyWorkspace;
 use dwv_interval::Interval;
 use std::fmt;
@@ -60,7 +74,7 @@ fn key_exp(key: u64, i: usize) -> u32 {
 fn key_degree(mut key: u64) -> u32 {
     let mut s = 0u32;
     while key != 0 {
-        s += (key & 0xFF) as u32;
+        s += (key & 0xFF) as u32; // dwv-lint: allow(float-hygiene) -- u32 exponent-byte sum, exact
         key >>= 8;
     }
     s
@@ -123,13 +137,80 @@ impl fmt::Debug for Exponents<'_> {
     }
 }
 
+/// Packed terms in structure-of-arrays layout: `keys[i]` is the monomial of
+/// coefficient `coeffs[i]`. Both arrays always have equal length; terms are
+/// sorted by key and zero coefficients are never stored (between kernel
+/// stages the staging buffers may transiently violate the sorted/non-zero
+/// invariants, never the equal-length one).
+///
+/// The split layout is what the chunked kernels in [`crate::kernels`] run
+/// on: coefficient loops see a bare `&[f64]` with unit stride.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PackedTerms {
+    /// Packed monomial keys, sorted ascending in normalized polynomials.
+    pub(crate) keys: Vec<u64>,
+    /// Coefficients, parallel to `keys`.
+    pub(crate) coeffs: Vec<f64>,
+}
+
+impl PackedTerms {
+    fn with_capacity(n: usize) -> Self {
+        Self {
+            keys: Vec::with_capacity(n),
+            coeffs: Vec::with_capacity(n),
+        }
+    }
+
+    fn of_term(key: u64, c: f64) -> Self {
+        Self {
+            keys: vec![key],
+            coeffs: vec![c],
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.keys.clear();
+        self.coeffs.clear();
+    }
+
+    fn reserve(&mut self, n: usize) {
+        self.keys.reserve(n);
+        self.coeffs.reserve(n);
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, key: u64, c: f64) {
+        self.keys.push(key);
+        self.coeffs.push(c);
+    }
+
+    #[inline]
+    fn pop(&mut self) {
+        self.keys.pop();
+        self.coeffs.pop();
+    }
+
+    /// Iterates `(key, coefficient)` pairs in storage order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.keys.iter().copied().zip(self.coeffs.iter().copied())
+    }
+}
+
 /// Term storage. Within one polynomial all terms share a representation;
 /// terms are sorted by monomial (numeric key order == lexicographic
 /// exponent order) and zero coefficients are never stored.
 #[derive(Debug, Clone)]
 enum Repr {
-    /// `(packed key, coefficient)` — the fast path (≤ 8 vars, degree ≤ 255).
-    Packed(Vec<(u64, f64)>),
+    /// Structure-of-arrays packed terms — the fast path (≤ 8 vars, degree ≤ 255).
+    Packed(PackedTerms),
     /// `(exponent vector, coefficient)` — the general fallback.
     Boxed(Vec<(Box<[u32]>, f64)>),
 }
@@ -164,7 +245,7 @@ impl Polynomial {
     #[must_use]
     pub fn zero(nvars: usize) -> Self {
         let repr = if nvars <= PACK_VARS {
-            Repr::Packed(Vec::new())
+            Repr::Packed(PackedTerms::default())
         } else {
             Repr::Boxed(Vec::new())
         };
@@ -178,7 +259,7 @@ impl Polynomial {
             return Self::zero(nvars);
         }
         let repr = if nvars <= PACK_VARS {
-            Repr::Packed(vec![(0, c)])
+            Repr::Packed(PackedTerms::of_term(0, c))
         } else {
             Repr::Boxed(vec![(vec![0; nvars].into_boxed_slice(), c)])
         };
@@ -210,7 +291,7 @@ impl Polynomial {
             return Self::zero(nvars);
         }
         let repr = match pack_exps(&exps) {
-            Some(key) => Repr::Packed(vec![(key, c)]),
+            Some(key) => Repr::Packed(PackedTerms::of_term(key, c)),
             None => Repr::Boxed(vec![(exps.into_boxed_slice(), c)]),
         };
         Self { nvars, repr }
@@ -249,33 +330,23 @@ impl Polynomial {
         )
     }
 
-    /// Normalizes unsorted packed pairs: sort, sum duplicates, drop zeros.
+    /// Normalizes unsorted packed pairs: stable key sort, sum duplicates in
+    /// generation order, drop zeros — the same duplicate-summation order the
+    /// index-sorted kernel staging produces.
     fn from_packed_pairs(nvars: usize, mut v: Vec<(u64, f64)>) -> Self {
-        v.sort_unstable_by_key(|t| t.0);
-        let mut out: Vec<(u64, f64)> = Vec::with_capacity(v.len());
-        for (k, c) in v {
-            if let Some(last) = out.last_mut() {
-                if last.0 == k {
-                    last.1 += c;
-                    if last.1 == 0.0 {
-                        out.pop();
-                    }
-                    continue;
-                }
-            }
-            if c != 0.0 {
-                out.push((k, c));
-            }
-        }
+        v.sort_by_key(|t| t.0);
+        let mut out = PackedTerms::with_capacity(v.len());
+        normalize_sorted(&v, &mut out);
         Self {
             nvars,
             repr: Repr::Packed(out),
         }
     }
 
-    /// Normalizes unsorted boxed pairs: sort, sum duplicates, drop zeros.
+    /// Normalizes unsorted boxed pairs: stable sort, sum duplicates, drop
+    /// zeros.
     fn from_boxed_pairs(nvars: usize, mut v: Vec<(Box<[u32]>, f64)>) -> Self {
-        v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        v.sort_by(|a, b| a.0.cmp(&b.0));
         let mut out: Vec<(Box<[u32]>, f64)> = Vec::with_capacity(v.len());
         for (e, c) in v {
             if let Some(last) = out.last_mut() {
@@ -302,7 +373,7 @@ impl Polynomial {
         match &self.repr {
             Repr::Packed(v) => v
                 .iter()
-                .map(|&(k, c)| {
+                .map(|(k, c)| {
                     let exps: Vec<u32> = (0..self.nvars).map(|i| key_exp(k, i)).collect();
                     (exps.into_boxed_slice(), c)
                 })
@@ -337,7 +408,8 @@ impl Polynomial {
     pub fn iter(&self) -> TermIter<'_> {
         match &self.repr {
             Repr::Packed(v) => TermIter::Packed {
-                inner: v.iter(),
+                keys: v.keys.iter(),
+                coeffs: v.coeffs.iter(),
                 nvars: self.nvars,
             },
             Repr::Boxed(v) => TermIter::Boxed(v.iter()),
@@ -349,7 +421,7 @@ impl Polynomial {
     #[must_use]
     pub fn degree(&self) -> u32 {
         match &self.repr {
-            Repr::Packed(v) => v.iter().map(|&(k, _)| key_degree(k)).max().unwrap_or(0),
+            Repr::Packed(v) => v.keys.iter().map(|&k| key_degree(k)).max().unwrap_or(0),
             Repr::Boxed(v) => v.iter().map(|(e, _)| e.iter().sum()).max().unwrap_or(0),
         }
     }
@@ -359,8 +431,8 @@ impl Polynomial {
     pub fn constant_term(&self) -> f64 {
         // The constant monomial sorts first when present.
         match &self.repr {
-            Repr::Packed(v) => match v.first() {
-                Some(&(0, c)) => c,
+            Repr::Packed(v) => match v.keys.first() {
+                Some(0) => v.coeffs[0],
                 _ => 0.0,
             },
             Repr::Boxed(v) => match v.first() {
@@ -378,9 +450,7 @@ impl Polynomial {
         }
         match &self.repr {
             Repr::Packed(v) => match pack_exps(exps) {
-                Some(key) => v
-                    .binary_search_by_key(&key, |t| t.0)
-                    .map_or(0.0, |i| v[i].1),
+                Some(key) => v.keys.binary_search(&key).map_or(0.0, |i| v.coeffs[i]),
                 None => 0.0,
             },
             Repr::Boxed(v) => v
@@ -396,8 +466,15 @@ impl Polynomial {
             return Polynomial::zero(self.nvars);
         }
         let repr = match &self.repr {
-            Repr::Packed(v) => Repr::Packed(v.iter().map(|&(k, c)| (k, c * s)).collect()),
-            Repr::Boxed(v) => Repr::Boxed(v.iter().map(|(e, c)| (e.clone(), c * s)).collect()),
+            Repr::Packed(v) => {
+                let mut coeffs = Vec::new();
+                kernels::scale_into(&mut coeffs, &v.coeffs, s);
+                Repr::Packed(PackedTerms {
+                    keys: v.keys.clone(),
+                    coeffs,
+                })
+            }
+            Repr::Boxed(v) => Repr::Boxed(v.iter().map(|(e, c)| (e.clone(), c * s)).collect()), // dwv-lint: allow(float-hygiene) -- coefficient scale, the same elementwise product the scale kernel performs
         };
         Polynomial {
             nvars: self.nvars,
@@ -416,12 +493,12 @@ impl Polynomial {
         match &self.repr {
             Repr::Packed(v) => v
                 .iter()
-                .map(|&(k, c)| {
+                .map(|(k, c)| {
                     let mut m = c;
                     for (i, &xi) in x.iter().enumerate() {
                         let e = key_exp(k, i);
                         if e > 0 {
-                            m *= xi.powi(e as i32);
+                            m *= xi.powi(e as i32); // dwv-lint: allow(float-hygiene) -- point evaluation, not an enclosure (interval callers use eval_interval)
                         }
                     }
                     m
@@ -430,10 +507,10 @@ impl Polynomial {
             Repr::Boxed(v) => v
                 .iter()
                 .map(|(exps, c)| {
-                    c * exps
+                    c * exps // dwv-lint: allow(float-hygiene) -- point evaluation, not an enclosure (interval callers use eval_interval)
                         .iter()
                         .zip(x)
-                        .map(|(&e, &xi)| xi.powi(e as i32))
+                        .map(|(&e, &xi)| xi.powi(e as i32)) // dwv-lint: allow(float-hygiene) -- point evaluation, not an enclosure (interval callers use eval_interval)
                         .product::<f64>()
                 })
                 .sum(),
@@ -442,8 +519,13 @@ impl Polynomial {
 
     /// Conservative interval enclosure of the range over the box `domain`.
     ///
-    /// Monomial-wise interval evaluation with range-exact integer powers;
-    /// tighter enclosures are available via Bernstein form
+    /// Monomial-wise interval evaluation: each term contributes
+    /// `point(c) · (d₀^e₀ · d₁^e₁ · …)` with the monomial power product
+    /// accumulated left-to-right over the variables (range-exact integer
+    /// powers), and the per-term enclosures summed in term order. The
+    /// factored form is what lets workspace-carrying callers memoize the
+    /// pure monomial product per domain (see the `_ws` kernels); tighter
+    /// enclosures are available via Bernstein form
     /// ([`crate::bernstein::range_enclosure`]).
     ///
     /// # Panics
@@ -452,17 +534,39 @@ impl Polynomial {
     #[must_use]
     pub fn eval_interval(&self, domain: &[Interval]) -> Interval {
         assert_eq!(domain.len(), self.nvars, "domain dimension mismatch");
-        self.iter()
-            .map(|(exps, c)| {
-                let mut m = Interval::point(c);
-                for (&e, iv) in exps.iter().zip(domain) {
-                    if e > 0 {
-                        m *= iv.powi(e);
-                    }
-                }
-                m
-            })
-            .sum()
+        match &self.repr {
+            Repr::Packed(v) => v.iter().map(|(k, c)| packed_term_range(k, c, domain)).sum(),
+            Repr::Boxed(v) => v
+                .iter()
+                .map(|(exps, c)| boxed_term_range(exps, *c, domain))
+                .sum(),
+        }
+    }
+
+    /// [`Polynomial::eval_interval`] with the monomial power products served
+    /// from the workspace's domain-keyed memo table — bit-identical to the
+    /// workspace-free form (the cache stores exactly the values the direct
+    /// computation produces), but each distinct monomial's interval power
+    /// product is computed once per domain instead of once per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain.len() != self.nvars()`.
+    #[must_use]
+    pub fn eval_interval_ws(&self, domain: &[Interval], ws: &mut PolyWorkspace) -> Interval {
+        assert_eq!(domain.len(), self.nvars, "domain dimension mismatch");
+        match &self.repr {
+            Repr::Packed(v) => {
+                ws.powers.sync(domain);
+                v.iter()
+                    .map(|(k, c)| match ws.powers.mono(k, domain) {
+                        Some(m) => Interval::point(c) * m, // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+                        None => Interval::point(c),
+                    })
+                    .sum()
+            }
+            Repr::Boxed(_) => self.eval_interval(domain),
+        }
     }
 
     /// The partial derivative with respect to variable `i`.
@@ -479,12 +583,14 @@ impl Polynomial {
                 // subtracts the same constant from every remaining key, so
                 // the term list stays sorted.
                 let step = 1u64 << key_shift(i);
-                Repr::Packed(
-                    v.iter()
-                        .filter(|&&(k, _)| key_exp(k, i) > 0)
-                        .map(|&(k, c)| (k - step, c * f64::from(key_exp(k, i))))
-                        .collect(),
-                )
+                let mut out = PackedTerms::with_capacity(v.len());
+                for (k, c) in v.iter() {
+                    let e = key_exp(k, i);
+                    if e > 0 {
+                        out.push(k - step, c * f64::from(e)); // dwv-lint: allow(float-hygiene) -- derivative coefficient product; enclosure handled by the Taylor-model layer
+                    }
+                }
+                Repr::Packed(out)
             }
             Repr::Boxed(v) => Repr::Boxed(
                 v.iter()
@@ -493,7 +599,7 @@ impl Polynomial {
                         let mut d = e.clone();
                         let k = d[i];
                         d[i] -= 1;
-                        (d, c * f64::from(k))
+                        (d, c * f64::from(k)) // dwv-lint: allow(float-hygiene) -- derivative coefficient product; enclosure handled by the Taylor-model layer
                     })
                     .collect(),
             ),
@@ -516,7 +622,7 @@ impl Polynomial {
         assert!(i < self.nvars, "variable index out of range");
         match &self.repr {
             Repr::Packed(v) => {
-                if v.iter().any(|&(k, _)| key_exp(k, i) == PACK_MAX_EXP) {
+                if v.keys.iter().any(|&k| key_exp(k, i) == PACK_MAX_EXP) {
                     // Incrementing would overflow the packed byte.
                     let boxed = self.to_boxed_terms();
                     return Polynomial {
@@ -527,16 +633,14 @@ impl Polynomial {
                 // Incrementing byte i adds the same constant to every key:
                 // order is preserved.
                 let step = 1u64 << key_shift(i);
+                let mut out = PackedTerms::with_capacity(v.len());
+                for (k, c) in v.iter() {
+                    let nk = k + step; // dwv-lint: allow(float-hygiene) -- integer packed-key arithmetic, exact
+                    out.push(nk, c / f64::from(key_exp(nk, i))); // dwv-lint: allow(float-hygiene) -- antiderivative coefficient quotient; enclosure handled by the Taylor-model layer
+                }
                 Polynomial {
                     nvars: self.nvars,
-                    repr: Repr::Packed(
-                        v.iter()
-                            .map(|&(k, c)| {
-                                let nk = k + step;
-                                (nk, c / f64::from(key_exp(nk, i)))
-                            })
-                            .collect(),
-                    ),
+                    repr: Repr::Packed(out),
                 }
             }
             Repr::Boxed(v) => Polynomial {
@@ -552,7 +656,7 @@ impl Polynomial {
                 let mut d = e.clone();
                 d[i] += 1;
                 let k = d[i];
-                (d, c / f64::from(k))
+                (d, c / f64::from(k)) // dwv-lint: allow(float-hygiene) -- antiderivative coefficient quotient; enclosure handled by the Taylor-model layer
             })
             .collect()
     }
@@ -563,8 +667,15 @@ impl Polynomial {
     pub fn split_at_degree(&self, max_degree: u32) -> (Polynomial, Polynomial) {
         match &self.repr {
             Repr::Packed(v) => {
-                let (lo, hi): (Vec<_>, Vec<_>) =
-                    v.iter().partition(|&&(k, _)| key_degree(k) <= max_degree);
+                let mut lo = PackedTerms::default();
+                let mut hi = PackedTerms::default();
+                for (k, c) in v.iter() {
+                    if key_degree(k) <= max_degree {
+                        lo.push(k, c);
+                    } else {
+                        hi.push(k, c);
+                    }
+                }
                 (
                     Polynomial {
                         nvars: self.nvars,
@@ -606,7 +717,15 @@ impl Polynomial {
     pub fn prune(&self, eps: f64) -> (Polynomial, Polynomial) {
         match &self.repr {
             Repr::Packed(v) => {
-                let (keep, drop): (Vec<_>, Vec<_>) = v.iter().partition(|(_, c)| c.abs() > eps);
+                let mut keep = PackedTerms::default();
+                let mut drop = PackedTerms::default();
+                for (k, c) in v.iter() {
+                    if c.abs() > eps {
+                        keep.push(k, c);
+                    } else {
+                        drop.push(k, c);
+                    }
+                }
                 (
                     Polynomial {
                         nvars: self.nvars,
@@ -668,7 +787,7 @@ impl Polynomial {
                 let mut table = Vec::with_capacity(m as usize + 1);
                 table.push(Polynomial::constant(out_vars, 1.0));
                 for e in 1..=m as usize {
-                    table.push(table[e - 1].clone() * s.clone());
+                    table.push(table[e - 1].clone() * s.clone()); // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator; enclosure handled by the Taylor-model layer
                 }
                 table
             })
@@ -678,10 +797,10 @@ impl Polynomial {
             let mut term = Polynomial::constant(out_vars, c);
             for (i, &e) in exps.iter().enumerate() {
                 if e > 0 {
-                    term = term * pows[i][e as usize].clone();
+                    term = term * pows[i][e as usize].clone(); // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator; enclosure handled by the Taylor-model layer
                 }
             }
-            out += term;
+            out += term; // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator; enclosure handled by the Taylor-model layer
         }
         out
     }
@@ -699,6 +818,7 @@ impl Polynomial {
         assert_eq!(b.len(), self.nvars, "scale length mismatch");
         let subs: Vec<Polynomial> = (0..self.nvars)
             .map(|i| {
+                // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator; enclosure handled by the Taylor-model layer
                 Polynomial::constant(self.nvars, a[i]) + Polynomial::var(self.nvars, i).scale(b[i])
             })
             .collect();
@@ -752,8 +872,9 @@ impl Polynomial {
         match &self.repr {
             Repr::Packed(v) => {
                 assert!(
-                    v.iter()
-                        .all(|&(k, _)| (new_nvars..self.nvars).all(|i| key_exp(k, i) == 0)),
+                    v.keys
+                        .iter()
+                        .all(|&k| (new_nvars..self.nvars).all(|i| key_exp(k, i) == 0)),
                     "dropped variable occurs in polynomial"
                 );
                 Polynomial {
@@ -776,14 +897,17 @@ impl Polynomial {
                     // Truncated lexicographic order is preserved, and boxed
                     // exponents are always ≤ their packed-era values only if
                     // they were packable; re-check and pack when possible.
-                    let packed: Option<Vec<(u64, f64)>> = terms
-                        .iter()
-                        .map(|(e, c)| pack_exps(e).map(|k| (k, *c)))
-                        .collect();
-                    if let Some(p) = packed {
+                    let packable = terms.iter().all(|(e, _)| pack_exps(e).is_some());
+                    if packable {
+                        let mut out = PackedTerms::with_capacity(terms.len());
+                        for (e, c) in &terms {
+                            if let Some(k) = pack_exps(e) {
+                                out.push(k, *c);
+                            }
+                        }
                         return Polynomial {
                             nvars: new_nvars,
-                            repr: Repr::Packed(p),
+                            repr: Repr::Packed(out),
                         };
                     }
                 }
@@ -795,12 +919,17 @@ impl Polynomial {
         }
     }
 
-    /// The L1 norm of the coefficient vector.
+    /// The L1 norm of the coefficient vector, accumulated in the chunked
+    /// 4-lane order of [`kernels::abs_sum_chunked`] (a norm for heuristics
+    /// and tests, never an enclosure bound).
     #[must_use]
     pub fn coeff_l1_norm(&self) -> f64 {
         match &self.repr {
-            Repr::Packed(v) => v.iter().map(|(_, c)| c.abs()).sum(),
-            Repr::Boxed(v) => v.iter().map(|(_, c)| c.abs()).sum(),
+            Repr::Packed(v) => kernels::abs_sum_chunked(&v.coeffs),
+            Repr::Boxed(v) => {
+                let coeffs: Vec<f64> = v.iter().map(|(_, c)| *c).collect();
+                kernels::abs_sum_chunked(&coeffs)
+            }
         }
     }
 
@@ -811,30 +940,8 @@ impl Polynomial {
         let nvars = self.nvars;
         match (self.repr, rhs.repr) {
             (Repr::Packed(a), Repr::Packed(b)) => {
-                let mut out = Vec::with_capacity(a.len() + b.len());
-                let (mut i, mut j) = (0, 0);
-                while i < a.len() && j < b.len() {
-                    match a[i].0.cmp(&b[j].0) {
-                        std::cmp::Ordering::Less => {
-                            out.push(a[i]);
-                            i += 1;
-                        }
-                        std::cmp::Ordering::Greater => {
-                            out.push(b[j]);
-                            j += 1;
-                        }
-                        std::cmp::Ordering::Equal => {
-                            let c = a[i].1 + b[j].1;
-                            if c != 0.0 {
-                                out.push((a[i].0, c));
-                            }
-                            i += 1;
-                            j += 1;
-                        }
-                    }
-                }
-                out.extend_from_slice(&a[i..]);
-                out.extend_from_slice(&b[j..]);
+                let mut out = PackedTerms::default();
+                merge_packed(&a, &b, None, &mut out);
                 Polynomial {
                     nvars,
                     repr: Repr::Packed(out),
@@ -851,7 +958,7 @@ impl Polynomial {
                     repr: b_repr,
                 }
                 .to_boxed_terms();
-                let mut out = Vec::with_capacity(a.len() + b.len());
+                let mut out = Vec::with_capacity(a.len() + b.len()); // dwv-lint: allow(float-hygiene) -- usize length arithmetic
                 let (mut i, mut j) = (0, 0);
                 while i < a.len() && j < b.len() {
                     match a[i].0.cmp(&b[j].0) {
@@ -886,28 +993,29 @@ impl Polynomial {
     // --- In-place / destination-passing kernels -------------------------
     //
     // The zero-copy forms of `+`, `*`, `split_at_degree` and `prune`: same
-    // pair-generation order, same unstable sort, same merge and summation
+    // pair-generation order, same stable key order, same merge and summation
     // order as the functional ops, so results are bit-identical (asserted by
     // the property tests); only the allocation behaviour differs. Boxed
     // representations fall back to the functional ops.
 
-    /// The packed term list, when this polynomial uses the packed
-    /// representation (used by the Bernstein range cache for content keys).
-    pub(crate) fn packed_terms(&self) -> Option<&[(u64, f64)]> {
+    /// The packed term arrays `(keys, coefficients)`, when this polynomial
+    /// uses the packed representation (used by the Bernstein range cache for
+    /// content keys).
+    pub(crate) fn packed_terms(&self) -> Option<(&[u64], &[f64])> {
         match &self.repr {
-            Repr::Packed(v) => Some(v),
+            Repr::Packed(v) => Some((&v.keys, &v.coeffs)),
             Repr::Boxed(_) => None,
         }
     }
 
     /// Resets `self` to an empty packed polynomial in `nvars` variables,
-    /// reusing the existing term buffer when possible, and returns it.
-    fn packed_storage(&mut self, nvars: usize) -> &mut Vec<(u64, f64)> {
+    /// reusing the existing term buffers when possible, and returns them.
+    fn packed_storage(&mut self, nvars: usize) -> &mut PackedTerms {
         self.nvars = nvars;
         if let Repr::Packed(v) = &mut self.repr {
             v.clear();
         } else {
-            self.repr = Repr::Packed(Vec::new());
+            self.repr = Repr::Packed(PackedTerms::default());
         }
         match &mut self.repr {
             Repr::Packed(v) => v,
@@ -953,7 +1061,8 @@ impl Polynomial {
         }
     }
 
-    /// In-place coefficient scaling, bit-identical to [`Polynomial::scale`].
+    /// In-place coefficient scaling, bit-identical to [`Polynomial::scale`]
+    /// (both run the same elementwise chunked kernel).
     pub fn scale_in_place(&mut self, s: f64) {
         if s == 0.0 {
             let nvars = self.nvars;
@@ -961,11 +1070,7 @@ impl Polynomial {
             return;
         }
         match &mut self.repr {
-            Repr::Packed(v) => {
-                for t in v {
-                    t.1 *= s;
-                }
-            }
+            Repr::Packed(v) => kernels::scale_slice(&mut v.coeffs, s),
             Repr::Boxed(v) => {
                 for t in v {
                     t.1 *= s;
@@ -982,17 +1087,18 @@ impl Polynomial {
     pub fn mul_into(&self, rhs: &Polynomial, out: &mut Polynomial, ws: &mut PolyWorkspace) {
         assert_eq!(self.nvars, rhs.nvars, "variable count mismatch");
         if let (Repr::Packed(a), Repr::Packed(b)) = (&self.repr, &rhs.repr) {
+            // dwv-lint: allow(float-hygiene) -- u32 degree-guard arithmetic
             if self.degree() + rhs.degree() <= PACK_MAX_EXP {
                 let dst = out.packed_storage(self.nvars);
                 if a.is_empty() || b.is_empty() {
                     return;
                 }
-                stage_product(a, b, &mut ws.pairs);
-                normalize_sorted(&ws.pairs, dst);
+                stage_product(a, b, &mut ws.stage, &mut ws.order, &mut ws.order_scratch);
+                normalize_staged(&ws.stage, &ws.order, dst);
                 return;
             }
         }
-        *out = self.clone() * rhs.clone();
+        *out = self.clone() * rhs.clone(); // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator; enclosure handled by the Taylor-model layer
     }
 
     /// Fused multiply + truncate: `out` receives the product's terms of total
@@ -1000,7 +1106,9 @@ impl Polynomial {
     /// returned interval (their range over `domain`) without ever being
     /// materialized as a polynomial. Bit-identical to
     /// `(self·rhs).split_at_degree(max_degree)` followed by
-    /// `overflow.eval_interval(domain)`.
+    /// `overflow.eval_interval(domain)` — the overflow term ranges reuse the
+    /// workspace's monomial-product memo, which stores exactly the values
+    /// the direct evaluation computes.
     ///
     /// # Panics
     ///
@@ -1016,30 +1124,243 @@ impl Polynomial {
         assert_eq!(self.nvars, rhs.nvars, "variable count mismatch");
         assert_eq!(domain.len(), self.nvars, "domain dimension mismatch");
         if let (Repr::Packed(a), Repr::Packed(b)) = (&self.repr, &rhs.repr) {
+            // dwv-lint: allow(float-hygiene) -- u32 degree-guard arithmetic
             if self.degree() + rhs.degree() <= PACK_MAX_EXP {
                 if a.is_empty() || b.is_empty() {
                     out.packed_storage(self.nvars);
                     return Interval::ZERO;
                 }
-                stage_product(a, b, &mut ws.pairs);
+                stage_product(a, b, &mut ws.stage, &mut ws.order, &mut ws.order_scratch);
                 ws.merge.clear();
-                normalize_sorted(&ws.pairs, &mut ws.merge);
+                normalize_staged(&ws.stage, &ws.order, &mut ws.merge);
+                ws.powers.sync(domain);
                 let mut overflow = Interval::ZERO;
                 let dst = out.packed_storage(self.nvars);
-                for &(k, c) in &ws.merge {
+                for (k, c) in ws.merge.iter() {
                     if key_degree(k) <= max_degree {
-                        dst.push((k, c));
+                        dst.push(k, c);
                     } else {
-                        overflow += packed_term_range(k, c, domain);
+                        // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+                        overflow += match ws.powers.mono(k, domain) {
+                            Some(m) => Interval::point(c) * m, // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+                            None => Interval::point(c),
+                        };
                     }
                 }
                 return overflow;
             }
         }
-        let full = self.clone() * rhs.clone();
+        let full = self.clone() * rhs.clone(); // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator; enclosure handled by the Taylor-model layer
         let (kept, over) = full.split_at_degree(max_degree);
         *out = kept;
         over.eval_interval(domain)
+    }
+
+    // --- Candidate-generation (dropping) kernels ------------------------
+    //
+    // These discard truncated/pruned terms WITHOUT interval accounting. They
+    // are NOT enclosure-preserving on their own: they exist for callers that
+    // construct a *candidate* polynomial and then rebuild a sound remainder
+    // independently — the flowpipe's polynomial Picard phase, whose
+    // per-iteration remainders are provably irrelevant (validation derives
+    // the enclosure from the final polynomial alone). Coefficients produced
+    // are bit-identical to the accounting counterparts'; only the interval
+    // side is omitted.
+
+    /// `out = (self · rhs)` truncated at total degree `max_degree`, with the
+    /// overflow terms **discarded** (no interval accounting) — the
+    /// candidate-generation form of [`Polynomial::mul_truncated_into`].
+    /// `out`'s kept terms are bit-identical to that method's.
+    ///
+    /// # Panics
+    ///
+    /// Panics on variable-count mismatch.
+    pub fn mul_dropping_into(
+        &self,
+        rhs: &Polynomial,
+        max_degree: u32,
+        out: &mut Polynomial,
+        ws: &mut PolyWorkspace,
+    ) {
+        assert_eq!(self.nvars, rhs.nvars, "variable count mismatch");
+        if let (Repr::Packed(a), Repr::Packed(b)) = (&self.repr, &rhs.repr) {
+            // dwv-lint: allow(float-hygiene) -- u32 degree-guard arithmetic
+            if self.degree() + rhs.degree() <= PACK_MAX_EXP {
+                let dst = out.packed_storage(self.nvars);
+                if a.is_empty() || b.is_empty() {
+                    return;
+                }
+                stage_product_dropping(
+                    a,
+                    b,
+                    max_degree,
+                    &mut ws.stage,
+                    &mut ws.order,
+                    &mut ws.order_scratch,
+                    &mut ws.bdeg,
+                );
+                dst.reserve(ws.order.len());
+                for &i in &ws.order {
+                    let (k, c) = (ws.stage.keys[i as usize], ws.stage.coeffs[i as usize]);
+                    if let Some(&last_key) = dst.keys.last() {
+                        if last_key == k {
+                            let last = dst.coeffs.len() - 1;
+                            dst.coeffs[last] += c; // dwv-lint: allow(float-hygiene) -- duplicate-monomial merge, the same coefficient sum the functional product performs
+                            if dst.coeffs[last] == 0.0 {
+                                dst.pop();
+                            }
+                            continue;
+                        }
+                    }
+                    if c != 0.0 {
+                        dst.push(k, c);
+                    }
+                }
+                return;
+            }
+        }
+        let full = self.clone() * rhs.clone(); // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator; enclosure handled by the Taylor-model layer
+        *out = full.split_at_degree(max_degree).0;
+    }
+
+    /// Removes terms with total degree > `max_degree`, **discarding** them
+    /// (no interval accounting) — the candidate-generation form of
+    /// [`Polynomial::truncate_in_place`].
+    pub fn truncate_dropping(&mut self, max_degree: u32) {
+        match &mut self.repr {
+            Repr::Packed(v) => {
+                let mut w = 0usize;
+                for r in 0..v.len() {
+                    if key_degree(v.keys[r]) <= max_degree {
+                        v.keys[w] = v.keys[r];
+                        v.coeffs[w] = v.coeffs[r];
+                        w += 1;
+                    }
+                }
+                v.keys.truncate(w);
+                v.coeffs.truncate(w);
+            }
+            Repr::Boxed(v) => v.retain(|(e, _)| e.iter().sum::<u32>() <= max_degree),
+        }
+    }
+
+    /// Removes terms with `|coefficient| ≤ eps`, **discarding** them (no
+    /// interval accounting) — the candidate-generation form of
+    /// [`Polynomial::prune_in_place`].
+    pub fn prune_dropping(&mut self, eps: f64) {
+        match &mut self.repr {
+            Repr::Packed(v) => {
+                let mut w = 0usize;
+                for r in 0..v.len() {
+                    if v.coeffs[r].abs() > eps {
+                        v.keys[w] = v.keys[r];
+                        v.coeffs[w] = v.coeffs[r];
+                        w += 1;
+                    }
+                }
+                v.keys.truncate(w);
+                v.coeffs.truncate(w);
+            }
+            Repr::Boxed(v) => v.retain(|(_, c)| c.abs() > eps),
+        }
+    }
+
+    /// Exact representation equality: same variable count, same term keys,
+    /// and bitwise-equal coefficients (`-0.0 ≠ +0.0`, NaNs compare by
+    /// payload). Terms are stored sorted with exact zeros dropped, so two
+    /// polynomials that are `bits_eq` behave identically — bit for bit — in
+    /// every subsequent operation; the flowpipe's Picard fixed-point early
+    /// exit relies on exactly this.
+    #[must_use]
+    pub fn bits_eq(&self, other: &Polynomial) -> bool {
+        if self.nvars != other.nvars || self.num_terms() != other.num_terms() {
+            return false;
+        }
+        if let (Some((ka, ca)), Some((kb, cb))) = (self.packed_terms(), other.packed_terms()) {
+            return ka == kb && ca.iter().zip(cb).all(|(a, b)| a.to_bits() == b.to_bits());
+        }
+        self.iter()
+            .zip(other.iter())
+            .all(|((ea, ca), (eb, cb))| *ea == *eb && ca.to_bits() == cb.to_bits())
+    }
+
+    /// Substitutes the constant `value` for variable `var`. The variable
+    /// count is preserved; the variable simply no longer occurs.
+    ///
+    /// Coefficients are mapped exactly as the term-by-term monomial
+    /// accumulation would (`c` itself for exponent 0 or `value == 1.0`, which
+    /// are exact in IEEE-754; `c · value^k` otherwise), and colliding terms
+    /// are summed in ascending original key order — the same order and the
+    /// same sums as the quadratic `out += monomial` formulation.
+    ///
+    /// When `var` is the last variable that occurs (the flowpipe's appended
+    /// time variable always is), clearing its byte is monotone on the
+    /// lex-ordered keys — ties were already adjacent — so the whole
+    /// substitution is one linear merge pass. Otherwise the mapped pairs are
+    /// stable-sorted by key first, which puts colliding terms adjacent in
+    /// ascending original order, and then merged by the same pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= nvars`.
+    #[must_use]
+    pub fn substitute_value(&self, var: usize, value: f64) -> Polynomial {
+        assert!(var < self.nvars, "variable index out of range");
+        let Repr::Packed(v) = &self.repr else {
+            let mut out = Polynomial::zero(self.nvars);
+            for (exps, c) in self.iter() {
+                let mut e = exps.to_vec();
+                let k = e[var]; // dwv-lint: allow(panic-freedom#index) -- var < nvars asserted above
+                e[var] = 0; // dwv-lint: allow(panic-freedom#index) -- var < nvars asserted above
+                let coeff = if k == 0 || value == 1.0 {
+                    c
+                } else {
+                    // dwv-lint: allow(float-hygiene) -- exact for the 0/±1 substitutions the pipeline performs; general values are test-only
+                    c * value.powi(k as i32)
+                };
+                // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator (term merge, no float rounding)
+                out += Polynomial::monomial(self.nvars, e, coeff);
+            }
+            return out;
+        };
+        let shift = key_shift(var);
+        let mask = !(0xFFu64 << shift);
+        let low_mask = (1u64 << shift) - 1;
+        let map_coeff = |k: u64, c: f64| {
+            let e = key_exp(k, var);
+            if e == 0 || value == 1.0 {
+                c
+            } else {
+                // dwv-lint: allow(float-hygiene) -- exact for the 0/±1 substitutions the pipeline performs; general values are test-only
+                c * value.powi(e as i32)
+            }
+        };
+        let mut out = PackedTerms::default();
+        out.reserve(v.len());
+        let mut active = 0u64;
+        for &k in &v.keys {
+            active |= k;
+        }
+        if active & low_mask == 0 {
+            // `var` is the last occurring variable: clearing its byte keeps
+            // the keys sorted (all remaining active bytes are higher), so the
+            // mapped stream merges in one pass.
+            for (k, c) in v.iter() {
+                merge_mapped_term(&mut out, k & mask, map_coeff(k, c));
+            }
+        } else {
+            let mut pairs: Vec<(u64, f64)> =
+                v.iter().map(|(k, c)| (k & mask, map_coeff(k, c))).collect();
+            // Stable: colliding keys keep ascending original order.
+            pairs.sort_by_key(|&(k, _)| k);
+            for (k, c) in pairs {
+                merge_mapped_term(&mut out, k, c);
+            }
+        }
+        Polynomial {
+            nvars: self.nvars,
+            repr: Repr::Packed(out),
+        }
     }
 
     /// Removes terms with total degree > `max_degree`, returning the removed
@@ -1053,18 +1374,23 @@ impl Polynomial {
         assert_eq!(domain.len(), self.nvars, "domain dimension mismatch");
         match &mut self.repr {
             Repr::Packed(v) => {
-                if v.iter().all(|&(k, _)| key_degree(k) <= max_degree) {
+                if v.keys.iter().all(|&k| key_degree(k) <= max_degree) {
                     return None;
                 }
                 let mut acc = Interval::ZERO;
-                v.retain(|&(k, c)| {
+                let mut w = 0usize;
+                for r in 0..v.len() {
+                    let (k, c) = (v.keys[r], v.coeffs[r]);
                     if key_degree(k) <= max_degree {
-                        true
+                        v.keys[w] = k;
+                        v.coeffs[w] = c;
+                        w += 1;
                     } else {
-                        acc += packed_term_range(k, c, domain);
-                        false
+                        acc += packed_term_range(k, c, domain); // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
                     }
-                });
+                }
+                v.keys.truncate(w);
+                v.coeffs.truncate(w);
                 Some(acc)
             }
             Repr::Boxed(v) => {
@@ -1076,7 +1402,7 @@ impl Polynomial {
                     if e.iter().sum::<u32>() <= max_degree {
                         true
                     } else {
-                        acc += boxed_term_range(e, *c, domain);
+                        acc += boxed_term_range(e, *c, domain); // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
                         false
                     }
                 });
@@ -1096,18 +1422,23 @@ impl Polynomial {
         assert_eq!(domain.len(), self.nvars, "domain dimension mismatch");
         match &mut self.repr {
             Repr::Packed(v) => {
-                if v.iter().all(|(_, c)| c.abs() > eps) {
+                if v.coeffs.iter().all(|c| c.abs() > eps) {
                     return None;
                 }
                 let mut acc = Interval::ZERO;
-                v.retain(|&(k, c)| {
+                let mut w = 0usize;
+                for r in 0..v.len() {
+                    let (k, c) = (v.keys[r], v.coeffs[r]);
                     if c.abs() > eps {
-                        true
+                        v.keys[w] = k;
+                        v.coeffs[w] = c;
+                        w += 1;
                     } else {
-                        acc += packed_term_range(k, c, domain);
-                        false
+                        acc += packed_term_range(k, c, domain); // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
                     }
-                });
+                }
+                v.keys.truncate(w);
+                v.coeffs.truncate(w);
                 Some(acc)
             }
             Repr::Boxed(v) => {
@@ -1119,7 +1450,7 @@ impl Polynomial {
                     if c.abs() > eps {
                         true
                     } else {
-                        acc += boxed_term_range(e, *c, domain);
+                        acc += boxed_term_range(e, *c, domain); // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
                         false
                     }
                 });
@@ -1129,62 +1460,241 @@ impl Polynomial {
     }
 }
 
-/// Interval range of one packed term over `domain` — the per-term evaluation
-/// [`Polynomial::eval_interval`] performs.
+/// Interval power product `d₀^e₀ · d₁^e₁ · …` of one packed monomial over
+/// `domain`, accumulated left-to-right over the variables that occur
+/// (`None` for the constant monomial). Pure in `(key, domain)` — the
+/// workspace memo table stores exactly these values.
 #[inline]
-fn packed_term_range(key: u64, c: f64, domain: &[Interval]) -> Interval {
-    let mut m = Interval::point(c);
+pub(crate) fn packed_mono_range(key: u64, domain: &[Interval]) -> Option<Interval> {
+    let mut mono: Option<Interval> = None;
     for (i, iv) in domain.iter().enumerate() {
         let e = key_exp(key, i);
         if e > 0 {
-            m *= iv.powi(e);
+            let p = iv.powi(e); // dwv-lint: allow(float-hygiene) -- Interval-typed powi; directed rounding lives in the interval kernel
+            mono = Some(match mono {
+                None => p,
+                Some(m) => m * p, // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+            });
         }
     }
-    m
+    mono
 }
 
-/// Interval range of one boxed term over `domain`.
+/// Interval range of one packed term over `domain` — the per-term evaluation
+/// [`Polynomial::eval_interval`] performs: `point(c) · mono(key, domain)`.
+#[inline]
+fn packed_term_range(key: u64, c: f64, domain: &[Interval]) -> Interval {
+    match packed_mono_range(key, domain) {
+        Some(m) => Interval::point(c) * m, // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        None => Interval::point(c),
+    }
+}
+
+/// Interval range of one boxed term over `domain` (same factored form as
+/// [`packed_term_range`]).
 #[inline]
 fn boxed_term_range(exps: &[u32], c: f64, domain: &[Interval]) -> Interval {
-    let mut m = Interval::point(c);
+    let mut mono: Option<Interval> = None;
     for (&e, iv) in exps.iter().zip(domain) {
         if e > 0 {
-            m *= iv.powi(e);
+            let p = iv.powi(e); // dwv-lint: allow(float-hygiene) -- Interval-typed powi; directed rounding lives in the interval kernel
+            mono = Some(match mono {
+                None => p,
+                Some(m) => m * p, // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+            });
         }
     }
-    m
-}
-
-/// Stages the raw pair products of two packed term lists into `buf` (cleared
-/// first) and sorts them — the same generation order and unstable sort the
-/// functional `Mul` uses.
-fn stage_product(a: &[(u64, f64)], b: &[(u64, f64)], buf: &mut Vec<(u64, f64)>) {
-    buf.clear();
-    buf.reserve(a.len() * b.len());
-    for &(ka, ca) in a {
-        for &(kb, cb) in b {
-            buf.push((ka + kb, ca * cb));
-        }
+    match mono {
+        Some(m) => Interval::point(c) * m, // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        None => Interval::point(c),
     }
-    buf.sort_unstable_by_key(|t| t.0);
 }
 
-/// The dedup half of `from_packed_pairs`: folds a sorted pair list into
-/// `out`, summing duplicates and dropping exact-zero sums. `out` must start
-/// empty.
-fn normalize_sorted(sorted: &[(u64, f64)], out: &mut Vec<(u64, f64)>) {
-    for &(k, c) in sorted {
-        if let Some(last) = out.last_mut() {
-            if last.0 == k {
-                last.1 += c;
-                if last.1 == 0.0 {
+/// Stages the raw pair products of two packed term lists into `stage`
+/// (cleared first) and fills `order` with the key-sorted permutation.
+///
+/// The staging loops are stride-friendly: for each term of `a`, the key row
+/// is `b.keys + ka` (elementwise `u64` add) and the coefficient row is
+/// `b.coeffs · ca` (elementwise product), both over contiguous arrays, so
+/// they autovectorize (and dispatch to the `core::arch` path under the
+/// `simd` feature). The permutation sorts by key with the staging index as
+/// tie-break — a deterministic total order, so duplicate keys are summed in
+/// generation order (the same order the functional `Mul`'s stable sort
+/// produces).
+fn stage_product(
+    a: &PackedTerms,
+    b: &PackedTerms,
+    stage: &mut PackedTerms,
+    order: &mut Vec<u32>,
+    scratch: &mut Vec<u32>,
+) {
+    stage.clear();
+    stage.reserve(a.len() * b.len()); // dwv-lint: allow(float-hygiene) -- usize length arithmetic
+    for (ka, ca) in a.iter() {
+        stage.keys.extend(b.keys.iter().map(|&kb| ka + kb)); // dwv-lint: allow(float-hygiene) -- integer packed-key arithmetic, exact
+        let at = stage.coeffs.len();
+        stage.coeffs.resize(at + b.len(), 0.0); // dwv-lint: allow(float-hygiene) -- usize length arithmetic
+        kernels::scale_into_slice(&mut stage.coeffs[at..], &b.coeffs, ca);
+    }
+    order.clear();
+    order.extend(0..stage.len() as u32);
+    sort_order_by_key(&stage.keys, order, scratch);
+}
+
+/// Degree-filtered staging for the dropping product: stages exactly the pair
+/// products with total degree ≤ `max_degree` (the kept set of a truncated
+/// product) and fills `order` with their key-sorted permutation.
+///
+/// Filtering happens *before* the sort: per `a`-term the admissible `b`-terms
+/// are those with `key_degree(kb) ≤ max_degree − key_degree(ka)` (`bdeg`
+/// holds the `b` degrees, computed once per call). Kept pairs keep their
+/// generation order, and discarded pairs carry no coefficient mass (they were
+/// skipped *after* the sort before), so the fold over the permutation sums
+/// exactly the same coefficients in exactly the same order as unfiltered
+/// staging + in-fold filtering — bit-identical output from a sort/merge over
+/// only the surviving fraction.
+fn stage_product_dropping(
+    a: &PackedTerms,
+    b: &PackedTerms,
+    max_degree: u32,
+    stage: &mut PackedTerms,
+    order: &mut Vec<u32>,
+    scratch: &mut Vec<u32>,
+    bdeg: &mut Vec<u32>,
+) {
+    stage.clear();
+    bdeg.clear();
+    bdeg.extend(b.keys.iter().map(|&k| key_degree(k)));
+    for (ka, ca) in a.iter() {
+        let da = key_degree(ka);
+        if da > max_degree {
+            continue;
+        }
+        kernels::stage_row_filtered(
+            &mut stage.keys,
+            &mut stage.coeffs,
+            ka,
+            ca,
+            &b.keys,
+            &b.coeffs,
+            bdeg,
+            max_degree - da, // dwv-lint: allow(float-hygiene) -- u32 degree arithmetic
+        );
+    }
+    order.clear();
+    order.extend(0..stage.len() as u32);
+    sort_order_by_key(&stage.keys, order, scratch);
+}
+
+/// Sorts the index permutation `order` by `keys[i]`, equal keys in ascending
+/// index order — the unique permutation `sort_unstable_by_key(|&i|
+/// (keys[i], i))` produces, computed as a stable LSD radix sort over the key
+/// bytes that are actually populated (for an order-`d` polynomial in `v`
+/// variables only `v` bytes are ever non-zero, so this is typically 2–4
+/// counting passes instead of an `O(n log n)` comparison sort with gather
+/// loads).
+fn sort_order_by_key(keys: &[u64], order: &mut Vec<u32>, scratch: &mut Vec<u32>) {
+    if keys.len() < 2 {
+        return;
+    }
+    // Small products: the comparison sort's constant factor wins, and the
+    // permutation is identical (stability == index tie-break).
+    if keys.len() <= 32 {
+        order.sort_unstable_by_key(|&i| (keys[i as usize], i));
+        return;
+    }
+    let mut active = 0u64;
+    for &k in keys {
+        active |= k;
+    }
+    scratch.clear();
+    scratch.resize(order.len(), 0);
+    let mut counts = [0u32; 256];
+    let mut shift = 0u32;
+    while shift < 64 && (active >> shift) != 0 {
+        if (active >> shift) & 0xFF != 0 {
+            counts.fill(0);
+            for &i in order.iter() {
+                counts[((keys[i as usize] >> shift) & 0xFF) as usize] += 1;
+            }
+            let mut sum = 0u32;
+            for c in &mut counts {
+                let n = *c;
+                *c = sum;
+                sum += n; // dwv-lint: allow(float-hygiene) -- u32 radix-count arithmetic
+            }
+            for &i in order.iter() {
+                let b = ((keys[i as usize] >> shift) & 0xFF) as usize;
+                scratch[counts[b] as usize] = i;
+                counts[b] += 1;
+            }
+            std::mem::swap(order, scratch);
+        }
+        shift += 8;
+    }
+}
+
+/// The dedup half of a product: folds the staged pairs into `out` following
+/// the sorted permutation, summing duplicates and dropping exact-zero sums.
+/// `out` must start empty.
+fn normalize_staged(stage: &PackedTerms, order: &[u32], out: &mut PackedTerms) {
+    out.reserve(order.len());
+    for &i in order {
+        let (k, c) = (stage.keys[i as usize], stage.coeffs[i as usize]);
+        if let Some(&last_key) = out.keys.last() {
+            if last_key == k {
+                let last = out.coeffs.len() - 1;
+                out.coeffs[last] += c; // dwv-lint: allow(float-hygiene) -- duplicate-monomial merge, the same coefficient sum the functional product performs
+                if out.coeffs[last] == 0.0 {
                     out.pop();
                 }
                 continue;
             }
         }
         if c != 0.0 {
-            out.push((k, c));
+            out.push(k, c);
+        }
+    }
+}
+
+/// Appends one term of a key-sorted mapped stream to `out`, summing into the
+/// trailing term on key collision (dropping exact-zero sums) — the same
+/// duplicate fold `normalize_staged` performs, exposed for the substitution
+/// kernel's merge passes.
+fn merge_mapped_term(out: &mut PackedTerms, k: u64, c: f64) {
+    if let Some(&last_key) = out.keys.last() {
+        if last_key == k {
+            let last = out.coeffs.len() - 1;
+            // dwv-lint: allow(float-hygiene) -- duplicate-monomial merge, the same coefficient sum the functional `+` performs
+            out.coeffs[last] += c;
+            if out.coeffs[last] == 0.0 {
+                out.pop();
+            }
+            return;
+        }
+    }
+    if c != 0.0 {
+        out.push(k, c);
+    }
+}
+
+/// The dedup half of `from_packed_pairs`: folds a sorted pair list into
+/// `out`, summing duplicates and dropping exact-zero sums. `out` must start
+/// empty.
+fn normalize_sorted(sorted: &[(u64, f64)], out: &mut PackedTerms) {
+    for &(k, c) in sorted {
+        if let Some(&last_key) = out.keys.last() {
+            if last_key == k {
+                let last = out.coeffs.len() - 1;
+                out.coeffs[last] += c; // dwv-lint: allow(float-hygiene) -- duplicate-monomial merge, the same coefficient sum the functional product performs
+                if out.coeffs[last] == 0.0 {
+                    out.pop();
+                }
+                continue;
+            }
+        }
+        if c != 0.0 {
+            out.push(k, c);
         }
     }
 }
@@ -1193,48 +1703,62 @@ fn normalize_sorted(sorted: &[(u64, f64)], out: &mut Vec<(u64, f64)>) {
 /// equal monomials and dropping exact-zero sums. `scale` streams `b`'s
 /// coefficients through a multiply as they merge — the fused form of
 /// `scale` + `add` with identical floating-point operations.
-fn merge_packed(a: &[(u64, f64)], b: &[(u64, f64)], scale: Option<f64>, out: &mut Vec<(u64, f64)>) {
+fn merge_packed(a: &PackedTerms, b: &PackedTerms, scale: Option<f64>, out: &mut PackedTerms) {
     out.clear();
-    out.reserve(a.len() + b.len());
+    out.reserve(a.len() + b.len()); // dwv-lint: allow(float-hygiene) -- usize length arithmetic
     let sb = scale.unwrap_or(1.0);
     let scaled = scale.is_some();
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
-        match a[i].0.cmp(&b[j].0) {
+        match a.keys[i].cmp(&b.keys[j]) {
             std::cmp::Ordering::Less => {
-                out.push(a[i]);
+                out.push(a.keys[i], a.coeffs[i]);
                 i += 1;
             }
             std::cmp::Ordering::Greater => {
-                let c = if scaled { b[j].1 * sb } else { b[j].1 };
-                out.push((b[j].0, c));
+                let c = if scaled {
+                    b.coeffs[j] * sb // dwv-lint: allow(float-hygiene) -- coefficient scale stream, the same elementwise product the scale kernel performs
+                } else {
+                    b.coeffs[j]
+                };
+                out.push(b.keys[j], c);
                 j += 1;
             }
             std::cmp::Ordering::Equal => {
-                let bc = if scaled { b[j].1 * sb } else { b[j].1 };
-                let c = a[i].1 + bc;
+                let bc = if scaled {
+                    b.coeffs[j] * sb // dwv-lint: allow(float-hygiene) -- coefficient scale stream, the same elementwise product the scale kernel performs
+                } else {
+                    b.coeffs[j]
+                };
+                let c = a.coeffs[i] + bc; // dwv-lint: allow(float-hygiene) -- duplicate-monomial merge, the same coefficient sum the functional `+` performs
                 if c != 0.0 {
-                    out.push((a[i].0, c));
+                    out.push(a.keys[i], c);
                 }
                 i += 1;
                 j += 1;
             }
         }
     }
-    out.extend_from_slice(&a[i..]);
+    out.keys.extend_from_slice(&a.keys[i..]);
+    out.coeffs.extend_from_slice(&a.coeffs[i..]);
+    out.keys.extend_from_slice(&b.keys[j..]);
     if scaled {
-        out.extend(b[j..].iter().map(|&(k, c)| (k, c * sb)));
+        let at = out.coeffs.len();
+        out.coeffs.resize(at + (b.len() - j), 0.0); // dwv-lint: allow(float-hygiene) -- usize length arithmetic
+        kernels::scale_into_slice(&mut out.coeffs[at..], &b.coeffs[j..], sb);
     } else {
-        out.extend_from_slice(&b[j..]);
+        out.coeffs.extend_from_slice(&b.coeffs[j..]);
     }
 }
 
 /// Iterator over a polynomial's `(exponents, coefficient)` terms.
 pub enum TermIter<'a> {
-    /// Packed-representation terms.
+    /// Packed-representation terms (parallel key/coefficient arrays).
     Packed {
-        /// Underlying term iterator.
-        inner: std::slice::Iter<'a, (u64, f64)>,
+        /// Key iterator over the structure-of-arrays storage.
+        keys: std::slice::Iter<'a, u64>,
+        /// Coefficient iterator, advanced in lockstep with `keys`.
+        coeffs: std::slice::Iter<'a, f64>,
         /// Variable count (packed keys don't store it).
         nvars: usize,
     },
@@ -1247,16 +1771,21 @@ impl<'a> Iterator for TermIter<'a> {
 
     fn next(&mut self) -> Option<Self::Item> {
         match self {
-            TermIter::Packed { inner, nvars } => inner
-                .next()
-                .map(|&(k, c)| (Exponents::from_key(k, *nvars), c)),
+            TermIter::Packed {
+                keys,
+                coeffs,
+                nvars,
+            } => match (keys.next(), coeffs.next()) {
+                (Some(&k), Some(&c)) => Some((Exponents::from_key(k, *nvars), c)),
+                _ => None,
+            },
             TermIter::Boxed(inner) => inner.next().map(|(e, c)| (Exponents::from_slice(e), *c)),
         }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         match self {
-            TermIter::Packed { inner, .. } => inner.size_hint(),
+            TermIter::Packed { keys, .. } => keys.size_hint(),
             TermIter::Boxed(inner) => inner.size_hint(),
         }
     }
@@ -1292,7 +1821,7 @@ impl Sub for Polynomial {
     type Output = Polynomial;
 
     fn sub(self, rhs: Polynomial) -> Polynomial {
-        self + (-rhs)
+        self + (-rhs) // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator; enclosure handled by the Taylor-model layer
     }
 }
 
@@ -1314,14 +1843,15 @@ impl Mul for Polynomial {
             // Per-byte overflow is impossible when the total degrees sum
             // within one byte: every per-variable exponent is bounded by the
             // total degree.
+            // dwv-lint: allow(float-hygiene) -- u32 degree-guard arithmetic
             if self.degree() + rhs.degree() <= PACK_MAX_EXP {
                 if a.is_empty() || b.is_empty() {
                     return Polynomial::zero(nvars);
                 }
-                let mut prod = Vec::with_capacity(a.len() * b.len());
-                for &(ka, ca) in a {
-                    for &(kb, cb) in b {
-                        prod.push((ka + kb, ca * cb));
+                let mut prod = Vec::with_capacity(a.len() * b.len()); // dwv-lint: allow(float-hygiene) -- usize length arithmetic
+                for (ka, ca) in a.iter() {
+                    for (kb, cb) in b.iter() {
+                        prod.push((ka + kb, ca * cb)); // dwv-lint: allow(float-hygiene) -- packed-key integer add and raw coefficient product of the functional reference product
                     }
                 }
                 return Polynomial::from_packed_pairs(nvars, prod);
@@ -1329,11 +1859,11 @@ impl Mul for Polynomial {
         }
         let a = self.to_boxed_terms();
         let b = rhs.to_boxed_terms();
-        let mut prod = Vec::with_capacity(a.len() * b.len());
+        let mut prod = Vec::with_capacity(a.len() * b.len()); // dwv-lint: allow(float-hygiene) -- usize length arithmetic
         for (ea, ca) in &a {
             for (eb, cb) in &b {
-                let exps: Vec<u32> = ea.iter().zip(eb.iter()).map(|(&x, &y)| x + y).collect();
-                prod.push((exps.into_boxed_slice(), ca * cb));
+                let exps: Vec<u32> = ea.iter().zip(eb.iter()).map(|(&x, &y)| x + y).collect(); // dwv-lint: allow(float-hygiene) -- integer exponent arithmetic, exact
+                prod.push((exps.into_boxed_slice(), ca * cb)); // dwv-lint: allow(float-hygiene) -- raw coefficient product of the functional reference product; enclosure handled by the Taylor-model layer
             }
         }
         Polynomial::from_boxed_pairs(nvars, prod)
@@ -1464,6 +1994,26 @@ mod tests {
                 assert!(enc.contains_value(p.eval(&[x, y])));
             }
         }
+    }
+
+    #[test]
+    fn eval_interval_ws_is_bit_identical_and_memoized() {
+        let p = p_xy();
+        let dom = [Interval::new(-1.0, 1.0), Interval::new(-2.0, 0.5)];
+        let direct = p.eval_interval(&dom);
+        let mut ws = PolyWorkspace::new();
+        let cold = p.eval_interval_ws(&dom, &mut ws);
+        let warm = p.eval_interval_ws(&dom, &mut ws);
+        assert_eq!(cold.lo().to_bits(), direct.lo().to_bits());
+        assert_eq!(cold.hi().to_bits(), direct.hi().to_bits());
+        assert_eq!(warm.lo().to_bits(), direct.lo().to_bits());
+        assert_eq!(warm.hi().to_bits(), direct.hi().to_bits());
+        // A different domain must not serve stale entries.
+        let dom2 = [Interval::new(0.0, 2.0), Interval::new(-1.0, 1.0)];
+        let direct2 = p.eval_interval(&dom2);
+        let cached2 = p.eval_interval_ws(&dom2, &mut ws);
+        assert_eq!(cached2.lo().to_bits(), direct2.lo().to_bits());
+        assert_eq!(cached2.hi().to_bits(), direct2.hi().to_bits());
     }
 
     #[test]

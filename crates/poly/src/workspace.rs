@@ -2,24 +2,43 @@
 //!
 //! The destination-passing operations on [`crate::Polynomial`]
 //! (`add_assign_ref`, `add_scaled_assign`, `mul_into`,
-//! `mul_truncated_into`) stage their intermediate term lists in a
-//! [`PolyWorkspace`] instead of allocating fresh `Vec`s per call. A workspace
-//! is plain scratch memory: it carries no results between calls, only
-//! capacity, so one workspace threaded through a flowpipe step or an
-//! NN-abstraction layer turns the per-term-vector allocations of the
-//! functional ops into O(1) amortized allocations per operation.
+//! `mul_truncated_into`, `eval_interval_ws`) stage their intermediate term
+//! lists in a [`PolyWorkspace`] instead of allocating fresh `Vec`s per call.
+//! A workspace is plain scratch memory plus a pure memo table: it carries no
+//! *semantic* state between calls — the monomial-range memo stores exactly
+//! the values the direct computation produces, so warm and cold calls are
+//! bit-identical — only capacity and cached pure results, turning the
+//! per-term-vector allocations and repeated interval power products of the
+//! functional ops into O(1) amortized work per operation.
+
+use crate::polynomial::{packed_mono_range, PackedTerms};
+use dwv_interval::Interval;
+
+/// Hard cap on memoized monomial ranges; the table is cleared (not grown)
+/// beyond this, bounding workspace memory under adversarial term diversity.
+const MONO_CACHE_CAP: usize = 8192;
 
 /// Scratch buffers for packed-representation polynomial kernels.
 ///
-/// Holds the unsorted pair-product buffer and the merge output buffer the
-/// in-place kernels stage their work in. Buffers grow to the high-water mark
-/// of the operations performed through them and are then reused.
+/// Holds the structure-of-arrays staging buffer of a multiplication, its
+/// key-sort permutation, the merge output buffer the in-place kernels swap
+/// into the destination, and the domain-keyed monomial-range memo serving
+/// `eval_interval_ws` / `mul_truncated_into`. Buffers grow to the high-water
+/// mark of the operations performed through them and are then reused.
 #[derive(Debug, Default)]
 pub struct PolyWorkspace {
-    /// Unsorted `(key, coefficient)` products of a multiplication.
-    pub(crate) pairs: Vec<(u64, f64)>,
+    /// Raw pair products of a multiplication (structure-of-arrays).
+    pub(crate) stage: PackedTerms,
+    /// Key-sorted permutation of `stage` (index tie-break).
+    pub(crate) order: Vec<u32>,
+    /// Radix-sort ping-pong buffer for the permutation.
+    pub(crate) order_scratch: Vec<u32>,
+    /// Per-term total degrees of the rhs, for degree-filtered staging.
+    pub(crate) bdeg: Vec<u32>,
     /// Merge / normalization output, swapped into the destination.
-    pub(crate) merge: Vec<(u64, f64)>,
+    pub(crate) merge: PackedTerms,
+    /// Domain-keyed memo of monomial interval power products.
+    pub(crate) powers: DomainPowers,
 }
 
 impl PolyWorkspace {
@@ -27,5 +46,111 @@ impl PolyWorkspace {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// Memo table for monomial interval power products over one domain.
+///
+/// `mono(key, domain)` is a pure function of the packed key and the domain's
+/// endpoint bits (see [`packed_mono_range`]); this table caches it for the
+/// most recent domain. The cached value *is* the directly computed value —
+/// the table only changes how often it is recomputed, never what it is — so
+/// every caller is bit-identical with and without the cache. Switching
+/// domains (compared by endpoint bit patterns, so `-0.0 ≠ +0.0` and any NaN
+/// mismatches conservatively) clears the table.
+#[derive(Debug, Default)]
+pub(crate) struct DomainPowers {
+    /// The domain the memo is valid for, as endpoint bit patterns.
+    dom: Vec<(u64, u64)>,
+    /// Sorted `(key, mono-range)` entries for binary search.
+    mono: Vec<(u64, Interval)>,
+}
+
+impl DomainPowers {
+    /// Points the memo at `domain`, clearing it when the domain's endpoint
+    /// bits differ from the cached one.
+    pub(crate) fn sync(&mut self, domain: &[Interval]) {
+        let same = self.dom.len() == domain.len()
+            && self
+                .dom
+                .iter()
+                .zip(domain)
+                .all(|(&(lo, hi), iv)| lo == iv.lo().to_bits() && hi == iv.hi().to_bits());
+        if !same {
+            self.dom.clear();
+            self.dom.extend(
+                domain
+                    .iter()
+                    .map(|iv| (iv.lo().to_bits(), iv.hi().to_bits())),
+            );
+            self.mono.clear();
+        }
+    }
+
+    /// The monomial power product of `key` over `domain` (`None` for the
+    /// constant monomial), served from the memo when present. `sync` must
+    /// have been called with this domain first.
+    pub(crate) fn mono(&mut self, key: u64, domain: &[Interval]) -> Option<Interval> {
+        if key == 0 {
+            return None;
+        }
+        match self.mono.binary_search_by_key(&key, |e| e.0) {
+            Ok(i) => Some(self.mono[i].1), // dwv-lint: allow(panic-freedom#index) -- index produced by binary_search on the same vec
+            Err(i) => {
+                let m = packed_mono_range(key, domain)?;
+                if self.mono.len() >= MONO_CACHE_CAP {
+                    // Degenerate diversity: drop the table rather than grow
+                    // without bound. Correctness is unaffected (pure memo).
+                    self.mono.clear();
+                    self.mono.push((key, m));
+                } else {
+                    self.mono.insert(i, (key, m));
+                }
+                Some(m)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_powers_memo_is_transparent() {
+        let dom = [Interval::new(-1.0, 1.0), Interval::new(0.0, 0.5)];
+        let mut dp = DomainPowers::default();
+        dp.sync(&dom);
+        let key = (2u64 << 56) | (1 << 48); // x0^2 · x1
+        let direct = packed_mono_range(key, &dom).unwrap();
+        let cold = dp.mono(key, &dom).unwrap();
+        let warm = dp.mono(key, &dom).unwrap();
+        assert_eq!(cold.lo().to_bits(), direct.lo().to_bits());
+        assert_eq!(cold.hi().to_bits(), direct.hi().to_bits());
+        assert_eq!(warm.lo().to_bits(), direct.lo().to_bits());
+        assert_eq!(warm.hi().to_bits(), direct.hi().to_bits());
+        // Constant monomial has no power product.
+        assert!(dp.mono(0, &dom).is_none());
+    }
+
+    #[test]
+    fn domain_powers_invalidates_on_domain_change() {
+        let dom1 = [Interval::new(-1.0, 1.0)];
+        let dom2 = [Interval::new(-2.0, 1.0)];
+        let key = 3u64 << 56; // x0^3
+        let mut dp = DomainPowers::default();
+        dp.sync(&dom1);
+        let m1 = dp.mono(key, &dom1).unwrap();
+        dp.sync(&dom2);
+        let m2 = dp.mono(key, &dom2).unwrap();
+        let d1 = packed_mono_range(key, &dom1).unwrap();
+        let d2 = packed_mono_range(key, &dom2).unwrap();
+        assert_eq!(m1.lo().to_bits(), d1.lo().to_bits());
+        assert_eq!(m2.lo().to_bits(), d2.lo().to_bits());
+        assert!(m1.lo().to_bits() != m2.lo().to_bits());
+        // Syncing back re-derives the first domain's value.
+        dp.sync(&dom1);
+        let m1b = dp.mono(key, &dom1).unwrap();
+        assert_eq!(m1b.hi().to_bits(), d1.hi().to_bits());
     }
 }

@@ -216,6 +216,46 @@ proptest! {
     }
 
     #[test]
+    fn mul_dropping_matches_truncated_kept(p in poly2(), q in poly2(), d in 0u32..5) {
+        // The degree-filtered staging path must keep the exact coefficient
+        // stream of the accounting kernel (which filters after the merge).
+        let dom = [Interval::new(-1.0, 1.0); 2];
+        let mut ws = PolyWorkspace::new();
+        let mut kept = Polynomial::zero(2);
+        p.mul_truncated_into(&q, d, &dom, &mut kept, &mut ws);
+        let mut dropped = Polynomial::zero(2);
+        p.mul_dropping_into(&q, d, &mut dropped, &mut ws);
+        prop_assert_eq!(bits(&kept), bits(&dropped));
+    }
+
+    #[test]
+    fn bits_eq_matches_term_bits(p in poly2(), q in poly2(), s in -3.0..3.0f64) {
+        prop_assert!(p.bits_eq(&p));
+        prop_assert_eq!(p.bits_eq(&q), bits(&p) == bits(&q));
+        // Scaling by anything but 1 perturbs some coefficient bit unless
+        // both sides are zero.
+        let ps = p.scale(s);
+        prop_assert_eq!(p.bits_eq(&ps), bits(&p) == bits(&ps));
+    }
+
+    #[test]
+    fn substitute_value_matches_monomial_accumulation(p in poly2(), var in 0usize..2, sel in 0u32..3, raw in -2.0..2.0f64) {
+        // Exercise the exact pipeline substitutions (0 and 1) and general
+        // values. Reference: the quadratic term-by-term accumulation the
+        // Taylor-model layer used before the single-pass packed kernel.
+        let value = match sel { 0 => 0.0, 1 => 1.0, _ => raw };
+        let mut reference = Polynomial::zero(2);
+        for (exps, c) in p.iter() {
+            let mut e = exps.to_vec();
+            let k = e[var];
+            e[var] = 0;
+            let coeff = if k == 0 || value == 1.0 { c } else { c * value.powi(k as i32) };
+            reference += Polynomial::monomial(2, e, coeff);
+        }
+        prop_assert_eq!(bits(&p.substitute_value(var, value)), bits(&reference));
+    }
+
+    #[test]
     fn range_cache_is_bit_identical_and_sound(p in poly2(), x in -1.0..1.0f64, y in -1.0..1.0f64) {
         let b = IntervalBox::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]);
         let uncached = bernstein::range_enclosure(&p, &b);

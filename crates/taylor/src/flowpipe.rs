@@ -22,10 +22,16 @@
 //! behaviour the paper observes as "NAN occurs for the DDPG controller
 //! verification with POLAR after 3 steps" (Fig. 8).
 
-use crate::model::{compose_parts_ws, TaylorModel, TmVector, TmWorkspace};
+use crate::defect::DefectTape;
+#[cfg(test)]
+use crate::model::compose_parts_ws;
+use crate::model::{
+    compose_polys_dropping_ws, TaylorModel, TmVector, TmWorkspace, DEFAULT_PRUNE_EPS,
+};
 use crate::ode::OdeRhs;
 use dwv_interval::Interval;
 use dwv_interval::IntervalBox;
+use dwv_poly::Polynomial;
 use std::fmt;
 
 /// Errors from validated integration.
@@ -196,7 +202,6 @@ impl OdeIntegrator {
         let obs = dwv_obs::enabled();
         if obs {
             dwv_obs::counter("picard.steps").inc();
-            dwv_obs::counter("picard.poly_iters").add(self.picard_iters as u64);
         }
         let k = x0.nvars();
         let ext = k + 1; // appended normalized-time variable
@@ -208,33 +213,74 @@ impl OdeIntegrator {
         let ue = u.extend_vars(ext);
 
         // --- Polynomial Picard iteration --------------------------------
-        let mut xs: Vec<TaylorModel> = x0e.components().to_vec();
+        // This phase only produces the *candidate* polynomial: every
+        // remainder it could accumulate is discarded before validation,
+        // which rebuilds a sound enclosure from the final polynomial alone.
+        // So the whole phase runs on bare polynomials through the dropping
+        // kernels — identical coefficient streams, no interval accounting
+        // in the hot loop.
+        let u_polys: Vec<&Polynomial> = ue.components().iter().map(TaylorModel::poly).collect();
+        let mut xs: Vec<Polynomial> = x0e.components().iter().map(|t| t.poly().clone()).collect();
+        let mut iters_run = 0u64;
         for _ in 0..self.picard_iters {
-            let f = self.eval_field(rhs, &xs, &ue, &dom_ext, ws);
-            xs = f
+            let args: Vec<&Polynomial> = xs.iter().chain(u_polys.iter().copied()).collect();
+            let f: Vec<Polynomial> = rhs
+                .field()
+                .iter()
+                .map(|p| compose_polys_dropping_ws(p, &args, self.order, &mut ws.poly))
+                .collect();
+            let new_xs: Vec<Polynomial> = f
                 .into_iter()
                 .enumerate()
                 .map(|(i, fi)| {
-                    let mut t = fi.antiderivative(t_var, &dom_ext);
+                    let mut t = fi.antiderivative(t_var);
                     t.scale_in_place(delta);
-                    t.add_assign_tm(x0e.component(i), ws);
-                    t.truncate_in_place(self.order, &dom_ext);
+                    t.add_assign_ref(x0e.component(i).poly(), &mut ws.poly);
+                    t.truncate_dropping(self.order);
+                    t.prune_dropping(DEFAULT_PRUNE_EPS);
                     t
                 })
                 .collect();
+            iters_run += 1;
+            // The iteration is a pure function of the iterate: once an
+            // iterate reproduces itself bit-for-bit, every later iterate is
+            // that same polynomial vector, so stopping here yields exactly
+            // the candidate the full `picard_iters` loop would.
+            let fixed = new_xs.iter().zip(&xs).all(|(a, b)| a.bits_eq(b));
+            xs = new_xs;
+            if fixed {
+                break;
+            }
+        }
+        if obs {
+            dwv_obs::counter("picard.poly_iters").add(iters_run);
         }
         debug_assert_eq!(xs.len(), n);
-        // Drop the remainders accumulated during iteration: the polynomial
-        // part is what we keep; validation below rebuilds a sound remainder.
         let polys: Vec<TaylorModel> = xs
-            .iter()
-            .map(|t| TaylorModel::new(t.poly().clone(), Interval::ZERO))
+            .into_iter()
+            .map(|p| TaylorModel::new(p, Interval::ZERO))
             .collect();
 
         // --- Remainder validation ----------------------------------------
-        // First application of the full Picard operator to the bare
-        // polynomial gives the baseline defect.
-        let defect = self.picard_defect(&polys, &x0e, &ue, rhs, delta, t_var, &dom_ext, ws);
+        // Every validation attempt applies the full Picard operator to the
+        // same candidate polynomial, varying only the trial remainders — so
+        // the polynomial work is compiled once into a defect tape and each
+        // attempt replays only the (cheap, bit-identical) remainder
+        // propagation. Replaying with zero remainders gives the baseline
+        // defect.
+        let tape = DefectTape::compile(
+            self.order,
+            self.bernstein_ranges,
+            &polys,
+            &x0e,
+            &ue,
+            rhs,
+            delta,
+            t_var,
+            &dom_ext,
+            ws,
+        );
+        let defect = tape.replay(&vec![Interval::ZERO; n]);
         let mut candidate: Vec<Interval> = defect
             .iter()
             .map(|d| {
@@ -244,12 +290,7 @@ impl OdeIntegrator {
             .collect();
 
         for attempt in 0..=self.max_inflations {
-            let trial: Vec<TaylorModel> = polys
-                .iter()
-                .zip(&candidate)
-                .map(|(p, &j)| p.with_remainder(j))
-                .collect();
-            let mapped = self.picard_defect(&trial, &x0e, &ue, rhs, delta, t_var, &dom_ext, ws);
+            let mapped = tape.replay(&candidate);
             let contained = mapped
                 .iter()
                 .zip(&candidate)
@@ -304,6 +345,11 @@ impl OdeIntegrator {
     }
 
     /// Evaluates the vector field on Taylor-model state/input enclosures.
+    ///
+    /// Reference implementation: production validation runs through the
+    /// compiled [`DefectTape`]; this (with [`OdeIntegrator::picard_defect`])
+    /// is retained as the ground truth for the tape-equivalence test.
+    #[cfg(test)]
     fn eval_field(
         &self,
         rhs: &OdeRhs,
@@ -326,6 +372,7 @@ impl OdeIntegrator {
     /// The remainder of `x0 + δ∫f(trial) − poly(trial)`: what the Picard
     /// operator maps the trial remainder to (including truncation defects in
     /// the polynomial parts).
+    #[cfg(test)]
     #[allow(clippy::too_many_arguments)]
     fn picard_defect(
         &self,
@@ -483,6 +530,36 @@ mod tests {
     }
 
     #[test]
+    fn picard_fixed_point_exit_is_bit_identical() {
+        // The early exit fires once an iterate reproduces itself bit-for-bit,
+        // so integrators differing only in their iteration budget (both large
+        // enough to reach the fixed point) must produce bitwise-equal steps.
+        let x1 = Polynomial::var(2, 0);
+        let x2 = Polynomial::var(2, 1);
+        let rhs = OdeRhs::new(
+            2,
+            0,
+            vec![x2.clone(), x2.clone() - x1.clone() * x1.clone() * x2 - x1],
+        );
+        let b = IntervalBox::from_bounds(&[(-0.51, -0.49), (0.49, 0.51)]);
+        let x0 = TmVector::from_box(&b);
+        let base = OdeIntegrator::with_order(3);
+        let lavish = OdeIntegrator {
+            picard_iters: base.picard_iters + 10,
+            ..OdeIntegrator::with_order(3)
+        };
+        let u = TmVector::new(vec![]);
+        let dom = unit_domain(2);
+        let a = base.flow_step(&x0, &u, &rhs, 0.1, &dom).expect("steps");
+        let b = lavish.flow_step(&x0, &u, &rhs, 0.1, &dom).expect("steps");
+        for (ta, tb) in a.end.components().iter().zip(b.end.components()) {
+            assert!(ta.poly().bits_eq(tb.poly()), "end polynomials diverge");
+            assert_eq!(ta.remainder().lo().to_bits(), tb.remainder().lo().to_bits());
+            assert_eq!(ta.remainder().hi().to_bits(), tb.remainder().hi().to_bits());
+        }
+    }
+
+    #[test]
     fn stiff_blowup_reports_divergence() {
         // ẋ = x² from a huge initial box and a huge step: certain blow-up.
         let x = Polynomial::var(1, 0);
@@ -508,6 +585,88 @@ mod tests {
             &unit_domain(1),
         );
         assert!(matches!(res, Err(FlowpipeError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn defect_tape_matches_reference_bitwise() {
+        use crate::defect::DefectTape;
+        // Controlled VdP with an input remainder, over extended (time) vars.
+        let x1 = Polynomial::var(3, 0);
+        let x2 = Polynomial::var(3, 1);
+        let uv = Polynomial::var(3, 2);
+        let rhs = OdeRhs::new(
+            2,
+            1,
+            vec![
+                x2.clone(),
+                x2.clone() - x1.clone() * x1.clone() * x2 - x1 + uv,
+            ],
+        );
+        let x0 = TmVector::from_box(&IntervalBox::from_bounds(&[(-0.51, -0.49), (0.49, 0.51)]));
+        let u = TmVector::new(vec![
+            TaylorModel::constant(2, 0.1).add_interval(Interval::symmetric(1e-3))
+        ]);
+        let mut dom_ext = unit_domain(2);
+        dom_ext.push(Interval::new(0.0, 1.0));
+        let x0e = x0.extend_vars(3);
+        let ue = u.extend_vars(3);
+        // Candidate polynomials rich enough to hit overflow and prune tails:
+        // a couple of Picard-shaped high-degree terms plus a sub-epsilon one.
+        let polys: Vec<TaylorModel> = x0e
+            .components()
+            .iter()
+            .enumerate()
+            .map(|(i, base)| {
+                let mut p = base.poly().clone();
+                p += Polynomial::monomial(3, vec![2, 0, 1], 0.03 + 0.01 * i as f64);
+                p += Polynomial::monomial(3, vec![0, 1, 2], -0.011);
+                p += Polynomial::monomial(3, vec![1, 1, 1], 0.004);
+                p += Polynomial::monomial(3, vec![1, 0, 0], 1e-18);
+                TaylorModel::new(p, Interval::ZERO)
+            })
+            .collect();
+        let candidates = [
+            vec![Interval::ZERO, Interval::ZERO],
+            vec![Interval::symmetric(1e-6), Interval::symmetric(2e-6)],
+            vec![Interval::new(-1e-4, 3e-5), Interval::new(0.0, 2e-6)],
+        ];
+        for bernstein in [false, true] {
+            let integ = OdeIntegrator {
+                bernstein_ranges: bernstein,
+                ..OdeIntegrator::with_order(3)
+            };
+            let mut ws = TmWorkspace::new();
+            let tape = DefectTape::compile(
+                integ.order,
+                bernstein,
+                &polys,
+                &x0e,
+                &ue,
+                &rhs,
+                0.1,
+                2,
+                &dom_ext,
+                &mut ws,
+            );
+            for cand in &candidates {
+                let trial: Vec<TaylorModel> = polys
+                    .iter()
+                    .zip(cand)
+                    .map(|(p, &j)| p.with_remainder(j))
+                    .collect();
+                let reference =
+                    integ.picard_defect(&trial, &x0e, &ue, &rhs, 0.1, 2, &dom_ext, &mut ws);
+                let got = tape.replay(cand);
+                assert_eq!(reference.len(), got.len());
+                for (r, g) in reference.iter().zip(&got) {
+                    assert_eq!(
+                        (r.lo().to_bits(), r.hi().to_bits()),
+                        (g.lo().to_bits(), g.hi().to_bits()),
+                        "tape replay diverges from reference (bernstein={bernstein}): {r} vs {g}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod arbitrary;
+mod defect;
 pub mod flowpipe;
 mod model;
 mod ode;

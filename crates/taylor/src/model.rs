@@ -236,6 +236,11 @@ impl TaylorModel {
     ///
     /// The exact product remainder is
     /// `range(p₁)·I₂ + range(p₂)·I₁ + I₁·I₂ + range(overflow terms)`.
+    /// Cross terms whose remainder factor is *exactly* `[0, 0]` are skipped:
+    /// `X · {0} = {0}` contributes nothing, and skipping avoids both the
+    /// polynomial range evaluation and the spurious outward widening an
+    /// interval multiply by zero would introduce. [`TaylorModel::mul_truncated`]
+    /// applies the identical skip, keeping the two bit-identical.
     ///
     /// # Panics
     ///
@@ -245,9 +250,15 @@ impl TaylorModel {
         let full = self.poly.clone() * rhs.poly.clone(); // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator (term merge, no float rounding)
         let (kept, overflow) = full.split_at_degree(order);
         let mut rem = overflow.eval_interval(domain);
-        rem += self.poly.eval_interval(domain) * rhs.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
-        rem += rhs.poly.eval_interval(domain) * self.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
-        rem += self.remainder * rhs.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        if rhs.remainder != Interval::ZERO {
+            rem += self.poly.eval_interval(domain) * rhs.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        }
+        if self.remainder != Interval::ZERO {
+            rem += rhs.poly.eval_interval(domain) * self.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+            if rhs.remainder != Interval::ZERO {
+                rem += self.remainder * rhs.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+            }
+        }
         TaylorModel::new(kept, rem).prune(DEFAULT_PRUNE_EPS, domain)
     }
 
@@ -271,9 +282,19 @@ impl TaylorModel {
         let mut rem =
             self.poly
                 .mul_truncated_into(&rhs.poly, order, domain, &mut kept, &mut ws.poly);
-        rem += self.poly.eval_interval(domain) * rhs.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
-        rem += rhs.poly.eval_interval(domain) * self.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
-        rem += self.remainder * rhs.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        // Identical exact-zero-remainder skip as `mul` (see there for the
+        // soundness note) — during the polynomial Picard phase, where all
+        // remainders are stripped to zero, this removes every cross-term
+        // range evaluation from the hot loop.
+        if rhs.remainder != Interval::ZERO {
+            rem += self.poly.eval_interval(domain) * rhs.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        }
+        if self.remainder != Interval::ZERO {
+            rem += rhs.poly.eval_interval(domain) * self.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+            if rhs.remainder != Interval::ZERO {
+                rem += self.remainder * rhs.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+            }
+        }
         let mut out = TaylorModel::new(kept, rem);
         out.prune_in_place(DEFAULT_PRUNE_EPS, domain);
         out
@@ -412,24 +433,11 @@ impl TaylorModel {
     /// preserved; the variable simply no longer occurs.
     #[must_use]
     pub fn substitute_value(&self, var: usize, value: f64) -> TaylorModel {
-        let mut out = Polynomial::zero(self.nvars());
-        for (exps, c) in self.poly.iter() {
-            let mut e = exps.to_vec();
-            let k = e[var];
-            e[var] = 0;
-            // `x * 1.0 == x` and `value^0 == 1.0` exactly in IEEE-754, so the
-            // verified pipeline's step-end substitution `t = 1` never touches
-            // the rounding multiply below.
-            let coeff = if k == 0 || value == 1.0 {
-                c
-            } else {
-                // dwv-lint: allow(float-hygiene) -- exact for the 0/±1 substitutions the pipeline performs; general values are test-only
-                c * value.powi(k as i32)
-            };
-            // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator (term merge, no float rounding)
-            out += Polynomial::monomial(self.nvars(), e, coeff);
-        }
-        TaylorModel::new(out, self.remainder)
+        // `x * 1.0 == x` and `value^0 == 1.0` exactly in IEEE-754, so the
+        // verified pipeline's step-end substitution `t = 1` never rounds;
+        // the polynomial kernel merges colliding terms in the same ascending
+        // key order the old term-by-term accumulation used.
+        TaylorModel::new(self.poly.substitute_value(var, value), self.remainder)
     }
 
     /// Composes the model's polynomial with Taylor-model arguments:
@@ -557,13 +565,114 @@ pub fn compose_parts_ws(
         .collect();
     let mut acc = TaylorModel::from_interval(out_vars, remainder);
     for (exps, c) in poly.iter() {
-        let mut term = TaylorModel::constant(out_vars, c);
+        let mut term: Option<TaylorModel> = None;
         for (i, &e) in exps.iter().enumerate() {
             if e > 0 {
-                term = term.mul_truncated(&pows[i][e as usize - 1], order, arg_domain, ws);
+                let pw = &pows[i][e as usize - 1];
+                term = Some(match term {
+                    // Constant × power: a scalar multiple of the power table
+                    // entry. `pw` is already truncated at `order`, so the
+                    // product has no overflow terms, and the constant model's
+                    // zero remainder makes all but one cross term vanish —
+                    // scale + prune computes exactly the surviving
+                    // operations of `constant(c).mul_truncated(pw, …)`.
+                    None => {
+                        let mut t = pw.scale(c);
+                        t.prune_in_place(DEFAULT_PRUNE_EPS, arg_domain);
+                        t
+                    }
+                    Some(t) => t.mul_truncated(pw, order, arg_domain, ws),
+                });
             }
         }
-        acc.add_assign_tm(&term, ws);
+        match term {
+            Some(t) => acc.add_assign_tm(&t, ws),
+            None => acc.add_assign_tm(&TaylorModel::constant(out_vars, c), ws),
+        }
+    }
+    acc
+}
+
+/// Polynomial-only composition with degree truncation, **discarding** every
+/// truncated or pruned tail (no interval accounting): evaluates
+/// `poly(args…)` over plain polynomials, truncating at `order`.
+///
+/// This is the candidate-generation counterpart of [`compose_parts_ws`] for
+/// callers that rebuild a sound enclosure independently of the composition —
+/// the flowpipe's polynomial Picard phase, which discards all iteration
+/// remainders and derives the step enclosure from the final polynomial alone
+/// via remainder validation. The kept coefficients are bit-identical to the
+/// polynomial parts [`compose_parts_ws`] produces for remainder-free
+/// arguments (same products, same truncation and pruning thresholds); only
+/// the interval side is omitted.
+///
+/// # Panics
+///
+/// Panics if `args.len() != poly.nvars()` or the argument polynomials
+/// disagree on their variable count.
+#[must_use]
+pub fn compose_polys_dropping_ws(
+    poly: &Polynomial,
+    args: &[&Polynomial],
+    order: u32,
+    ws: &mut PolyWorkspace,
+) -> Polynomial {
+    assert_eq!(args.len(), poly.nvars(), "argument count mismatch");
+    let out_vars = args.first().map_or(0, |a| a.nvars());
+    assert!(
+        args.iter().all(|a| a.nvars() == out_vars),
+        "argument polynomials must share a variable count"
+    );
+    let mut max_exp = vec![0u32; poly.nvars()];
+    for (exps, _) in poly.iter() {
+        for (i, &e) in exps.iter().enumerate() {
+            max_exp[i] = max_exp[i].max(e);
+        }
+    }
+    // pows[i][e-1] = args[i]^e, truncated at `order`, pruned like the
+    // Taylor-model power tables (identical coefficient streams).
+    let pows: Vec<Vec<Polynomial>> = max_exp
+        .iter()
+        .enumerate()
+        .map(|(i, &me)| {
+            let mut table = Vec::with_capacity(me as usize);
+            if me >= 1 {
+                let mut prev = args[i].clone();
+                for _ in 1..me {
+                    let mut next = Polynomial::zero(out_vars);
+                    prev.mul_dropping_into(args[i], order, &mut next, ws);
+                    next.prune_dropping(DEFAULT_PRUNE_EPS);
+                    table.push(std::mem::replace(&mut prev, next));
+                }
+                table.push(prev);
+            }
+            table
+        })
+        .collect();
+    let mut acc = Polynomial::zero(out_vars);
+    let mut term = Polynomial::zero(out_vars);
+    let mut next = Polynomial::zero(out_vars);
+    for (exps, c) in poly.iter() {
+        let mut started = false;
+        for (i, &e) in exps.iter().enumerate() {
+            if e > 0 {
+                let pw = &pows[i][e as usize - 1];
+                if started {
+                    term.mul_dropping_into(pw, order, &mut next, ws);
+                    next.prune_dropping(DEFAULT_PRUNE_EPS);
+                    std::mem::swap(&mut term, &mut next);
+                } else {
+                    term = pw.scale(c);
+                    term.prune_dropping(DEFAULT_PRUNE_EPS);
+                    started = true;
+                }
+            }
+        }
+        if started {
+            acc.add_assign_ref(&term, ws);
+        } else {
+            acc.add_assign_ref(&Polynomial::constant(out_vars, c), ws);
+        }
     }
     acc
 }

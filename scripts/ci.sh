@@ -44,6 +44,21 @@ if [[ "${1:-}" == "--all" ]]; then
   # bigger case sizes, then every committed finding/regression seed.
   run cargo run --release --offline -p dwv-check -- --seed 0xD3C0DE --budget-cases 8000 --max-size 12 --threads 4
   run cargo run --release --offline -p dwv-check -- --corpus crates/check/corpus
+  # SIMD gate: build and test the coefficient kernels with the opt-in AVX2
+  # path compiled in. The vector dispatch must reproduce the scalar
+  # reference bit-for-bit (in-module bitwise tests + the poly property
+  # suite), and a `simd`-family falsification sweep re-checks the kernel
+  # contracts against independent scalar oracles under whichever dispatch
+  # the host CPU selects.
+  run cargo build --release --offline -p dwv-poly --features simd
+  run cargo test -q --release --offline -p dwv-poly --features simd
+  run cargo run --release --offline -p dwv-check -- --family simd --seed 0xD3C0DE --budget-cases 5000
+  # Bit-identity gate: the deterministic pool's parallel == serial promise,
+  # replayed at explicit widths (2 and 4 worker threads) on top of the
+  # thread-count matrix the unit tests already cover.
+  run cargo test -q --release --offline -p dwv-core parallel
+  run cargo run --release --offline -p dwv-check -- --family simd --seed 2 --budget-cases 2000 --threads 2
+  run cargo run --release --offline -p dwv-check -- --family simd --seed 4 --budget-cases 2000 --threads 4
   # Overflow gate: the soundness-critical kernels must be free of silent
   # integer wraparound (exponent packing, tensor offsets, binomial tables).
   echo '==> RUSTFLAGS="-C overflow-checks=on" cargo test -q --offline -p dwv-interval -p dwv-taylor'
