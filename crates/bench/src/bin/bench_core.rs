@@ -24,14 +24,17 @@
 
 use dwv_core::parallel::WorkerPool;
 use dwv_core::{
-    Algorithm1, Algorithm2, GradientEstimator, LearnConfig, MetricKind, SearchStrategy,
+    Algorithm1, Algorithm2, GradientEstimator, LearnConfig, MetricKind, PortfolioMode,
+    SearchStrategy,
 };
 use dwv_dynamics::{acc, oscillator, LinearController, NnController};
 use dwv_interval::IntervalBox;
 use dwv_nn::{Activation, Network};
 use dwv_poly::bernstein::RangeCache;
 use dwv_poly::Polynomial;
-use dwv_reach::{NnAbstraction, TaylorAbstraction, TaylorReach, TaylorReachConfig};
+use dwv_reach::{
+    IntervalReach, NnAbstraction, PortfolioStats, TaylorAbstraction, TaylorReach, TaylorReachConfig,
+};
 use dwv_taylor::{unit_domain, OdeIntegrator, OdeRhs, TmVector, TmWorkspace};
 use std::hint::black_box;
 use std::time::Instant;
@@ -133,6 +136,34 @@ fn bench_acc_algorithm1_iteration() -> f64 {
     median_time(5, 3, || {
         let alg = Algorithm1::new(acc::reach_avoid_problem(), config.clone())
             .with_cache(std::sync::Arc::new(dwv_reach::ReachCache::new()));
+        alg.learn_linear_from(init.clone()).expect("affine problem")
+    })
+}
+
+fn bench_interval_reach_acc() -> f64 {
+    // One interval-tier flowpipe of the full ACC horizon — the unit cost of
+    // the portfolio's fast path, to be read against
+    // `acc_algorithm1_iteration`'s exact-tier bill.
+    let v = IntervalReach::for_problem(&acc::reach_avoid_problem());
+    let k = LinearController::new(2, 1, vec![0.5867, -2.0]);
+    median_time(9, 200, move || v.reach(&k))
+}
+
+fn bench_portfolio_algorithm1_iteration() -> f64 {
+    // The same single Algorithm-1 update as `acc_algorithm1_iteration`, but
+    // with the tiered portfolio answering the gradient probes (surrogate
+    // mode): the interval/zonotope fast path carries the exploratory
+    // queries and the exact tier is consulted only to confirm acceptance.
+    let config = LearnConfig::builder()
+        .metric(MetricKind::Geometric)
+        .estimator(GradientEstimator::Coordinate)
+        .max_updates(1)
+        .seed(7)
+        .portfolio(PortfolioMode::Surrogate { confirm_every: 5 })
+        .build();
+    let init = LinearController::new(2, 1, vec![0.2, -0.5]);
+    median_time(5, 3, || {
+        let alg = Algorithm1::new(acc::reach_avoid_problem(), config.clone());
         alg.learn_linear_from(init.clone()).expect("affine problem")
     })
 }
@@ -287,6 +318,12 @@ fn check_mode() -> i32 {
         ("sweep_parallel threads_1", "scaling", "threads_1", || {
             bench_sweep_parallel_at(1)
         }),
+        (
+            "portfolio_algorithm1_iteration",
+            "current",
+            "portfolio_algorithm1_iteration",
+            bench_portfolio_algorithm1_iteration,
+        ),
     ];
     for (label, section, key, bench) in guards {
         let Some(recorded) = recorded_value(&json, section, key) else {
@@ -303,6 +340,20 @@ fn check_mode() -> i32 {
             eprintln!("bench check: FAIL — {label} regressed more than 10% vs the recorded number");
             return 1;
         }
+    }
+    // Tier economy: the whole point of the portfolio is a smaller rigorous
+    // bill. A certified ACC run whose cheap tiers stop carrying at least
+    // 5x the rigorous tier's call count has lost the optimization.
+    let bill = portfolio_bill();
+    let (cheap, rigorous) = (bill.cheap_calls(), bill.rigorous_calls());
+    eprintln!(
+        "bench check: portfolio bill cheap {cheap}, rigorous {rigorous} \
+         (rigorous-only baseline {})",
+        bill.rigorous_only_learn_calls
+    );
+    if rigorous == 0 || cheap < 5 * rigorous {
+        eprintln!("bench check: FAIL — cheap tiers must carry >= 5x the rigorous call count");
+        return 1;
     }
     eprintln!("bench check: OK");
     0
@@ -365,6 +416,102 @@ fn cache_stats_section() -> String {
     out
 }
 
+/// The per-tier verifier bill of one full ACC design-while-verify run in
+/// surrogate mode, next to the rigorous-only baseline's call count.
+struct PortfolioBill {
+    tiers: Vec<&'static str>,
+    learn: PortfolioStats,
+    sweep: PortfolioStats,
+    rigorous_only_learn_calls: usize,
+}
+
+impl PortfolioBill {
+    /// Rigorous-tier executions across learning and the certification sweep.
+    fn rigorous_calls(&self) -> u64 {
+        self.learn.calls_by_tier.last().copied().unwrap_or(0)
+            + self.sweep.calls_by_tier.last().copied().unwrap_or(0)
+    }
+
+    /// Cheap-tier executions across learning and the certification sweep.
+    fn cheap_calls(&self) -> u64 {
+        let cheap = |s: &PortfolioStats| -> u64 { s.calls_by_tier.iter().rev().skip(1).sum() };
+        cheap(&self.learn) + cheap(&self.sweep)
+    }
+}
+
+/// Runs the ACC pipeline twice — tiered and rigorous-only — and collects
+/// the call accounting the `verifier_calls_by_tier` section and the
+/// `--check` tier-economy guard both read.
+fn portfolio_bill() -> PortfolioBill {
+    let cfg = |mode| {
+        LearnConfig::builder()
+            .metric(MetricKind::Geometric)
+            .max_updates(200)
+            .seed(7)
+            .portfolio(mode)
+            .build()
+    };
+    let tiered = dwv_core::design_while_verify_linear(
+        acc::reach_avoid_problem(),
+        cfg(PortfolioMode::Surrogate { confirm_every: 5 }),
+    )
+    .expect("affine problem");
+    let baseline =
+        dwv_core::design_while_verify_linear(acc::reach_avoid_problem(), cfg(PortfolioMode::Off))
+            .expect("affine problem");
+    let tiers = Algorithm1::new(acc::reach_avoid_problem(), cfg(PortfolioMode::Off))
+        .linear_portfolio()
+        .expect("affine problem")
+        .tier_names();
+    PortfolioBill {
+        tiers,
+        learn: tiered.learning.portfolio.unwrap_or_default(),
+        sweep: tiered.sweep_portfolio.unwrap_or_default(),
+        rigorous_only_learn_calls: baseline.learning.trace.total_verifier_calls(),
+    }
+}
+
+/// The `verifier_calls_by_tier` section: where the verifier bill of one
+/// certified ACC run actually lands, tier by tier, against the rigorous-only
+/// baseline's bill for the same seed.
+fn verifier_calls_section() -> String {
+    let bill = portfolio_bill();
+    let stats = |s: &PortfolioStats| {
+        format!(
+            "{{\"calls\": {:?}, \"escalations\": {}, \"decided_cheap\": {}}}",
+            s.calls_by_tier, s.escalations, s.decided_cheap
+        )
+    };
+    let tiers = bill
+        .tiers
+        .iter()
+        .map(|n| format!("\"{n}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let rigorous = bill.rigorous_calls();
+    let reduction = if rigorous == 0 {
+        "null".to_string()
+    } else {
+        format!(
+            "{:.2}",
+            bill.rigorous_only_learn_calls as f64 / rigorous as f64
+        )
+    };
+    let mut out = String::from("  \"verifier_calls_by_tier\": {\n");
+    out.push_str(&format!("    \"tiers\": [{tiers}],\n"));
+    out.push_str(&format!("    \"learn\": {},\n", stats(&bill.learn)));
+    out.push_str(&format!("    \"sweep\": {},\n", stats(&bill.sweep)));
+    out.push_str(&format!("    \"cheap_calls\": {},\n", bill.cheap_calls()));
+    out.push_str(&format!("    \"rigorous_calls\": {rigorous},\n"));
+    out.push_str(&format!(
+        "    \"rigorous_only_baseline_calls\": {},\n",
+        bill.rigorous_only_learn_calls
+    ));
+    out.push_str(&format!("    \"rigorous_call_reduction\": {reduction}\n"));
+    out.push_str("  }");
+    out
+}
+
 /// An untimed pass with tracing enabled: the full metrics snapshot of one
 /// ACC learning run, embedded as the `metrics` section. Runs after every
 /// timed measurement so the enabled flag never overlaps a timer.
@@ -386,6 +533,11 @@ fn main() {
         ("poly_compose_deg4", bench_poly_compose()),
         ("taylor_flow_step_vdp", bench_flow_step()),
         ("acc_algorithm1_iteration", bench_acc_algorithm1_iteration()),
+        ("interval_reach_acc", bench_interval_reach_acc()),
+        (
+            "portfolio_algorithm1_iteration",
+            bench_portfolio_algorithm1_iteration(),
+        ),
         ("nn_abstraction_acc", bench_nn_abstraction()),
         ("bernstein_range_deg4", bench_bernstein_range()),
         ("sweep_serial_oscillator", bench_sweep_serial()),
@@ -447,6 +599,8 @@ fn main() {
     };
     out.push_str(&format!("      \"speedup_4_over_1\": {rendered}\n"));
     out.push_str("    }\n  },\n");
+    out.push_str(&verifier_calls_section());
+    out.push_str(",\n");
     out.push_str(&cache_stats_section());
     out.push_str(",\n");
     out.push_str(&metrics_section());

@@ -22,6 +22,7 @@ mod geom;
 mod interval;
 mod nn;
 mod poly;
+mod portfolio;
 mod simd;
 mod taylor;
 mod verdict;
@@ -63,6 +64,7 @@ pub fn registry() -> Vec<Box<dyn Family>> {
         Box::new(nn::NnFamily),
         Box::new(verdict::VerdictFamily),
         Box::new(simd::SimdFamily),
+        Box::new(portfolio::PortfolioFamily),
     ]
 }
 

@@ -1,0 +1,254 @@
+//! Tiered verifier-portfolio differential family.
+//!
+//! Random linear feedback gains and random initial cells of the ACC
+//! benchmark are pushed through every tier of the portfolio stack
+//! (interval, zonotope, exact linear) and cross-examined three ways:
+//!
+//! 1. **Tier soundness** — every tier's step enclosures must contain the
+//!    boundary states of step-halved RK4 closed-loop simulations started
+//!    at cell corners and random interior points. A tier may refuse to
+//!    enclose (divergence is a skip), but a returned enclosure has no
+//!    excuse for excluding a real trajectory.
+//! 2. **No verdict contradiction** — the two claims a cheap tier is
+//!    entitled to make must never be contradicted by the rigorous tier:
+//!    a cheap enclosure with positive unsafe clearance implies the true
+//!    reach set (and hence the exact tier) clears the unsafe region, and a
+//!    cheap final box *contained* in the goal implies the exact final set
+//!    meets the goal. (The intersection-based `d_goal` of the learning
+//!    metric is optimistic on wide boxes, so mere cheap goal-overlap is
+//!    not a claim; neither is a cheap "violates" — both carry no
+//!    information and are not compared.)
+//! 3. **Portfolio-accepted means rigorously verified** (seed-gated) — a
+//!    short Algorithm 1 run in surrogate mode must only report reach-avoid
+//!    for controllers that a freshly-built rigorous-only verifier also
+//!    accepts, i.e. the tiered probe oracle never leaks a cheap acceptance
+//!    into the final verdict.
+
+use super::{case_rng, CaseOutcome, Family};
+use dwv_core::{Algorithm1, LearnConfig, MetricKind, PortfolioMode};
+use dwv_dynamics::{acc, simulate::Simulator, Controller, LinearController};
+use dwv_interval::arbitrary::f64_in;
+use dwv_interval::IntervalBox;
+use dwv_metrics::GeometricMetric;
+use dwv_reach::{IntervalReach, LinearReach, Verifier, ZonotopeReach};
+
+/// Tiered portfolio vs RK4 sampling and the rigorous-only verifier.
+pub struct PortfolioFamily;
+
+/// Builds the three ACC tiers in escalation order (cheapest first); the
+/// last entry is the rigorous authority. Mirrors
+/// `Algorithm1::linear_portfolio`, but as plain trait objects so each tier
+/// is queried (and blamed) individually.
+fn acc_tiers() -> Option<Vec<Box<dyn Verifier<LinearController>>>> {
+    let problem = acc::reach_avoid_problem();
+    Some(vec![
+        Box::new(IntervalReach::for_problem(&problem)),
+        Box::new(ZonotopeReach::for_problem(&problem).ok()?),
+        Box::new(LinearReach::for_problem(&problem).ok()?),
+    ])
+}
+
+/// A random sub-box of `outer`: each axis keeps a random sub-interval.
+fn sub_cell(next: &mut impl FnMut() -> u64, outer: &IntervalBox) -> IntervalBox {
+    let mids = outer.center();
+    let rads = outer.radii();
+    let bounds: Vec<(f64, f64)> = (0..outer.dim())
+        .map(|i| {
+            let a = f64_in(next(), -1.0, 1.0);
+            let b = f64_in(next(), -1.0, 1.0);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            (mids[i] + rads[i] * lo, mids[i] + rads[i] * hi)
+        })
+        .collect();
+    IntervalBox::from_bounds(&bounds)
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+impl Family for PortfolioFamily {
+    fn id(&self) -> u8 {
+        10
+    }
+
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn oracle(&self) -> &'static str {
+        "RK4 trajectory sampling + rigorous-only verifier differential"
+    }
+
+    fn check(&self, seed: u64, size: u8) -> CaseOutcome {
+        let mut rng = case_rng(self.id(), seed);
+        let mut next = || rng.next_u64();
+        let problem = acc::reach_avoid_problem();
+        let Some(tiers) = acc_tiers() else {
+            return CaseOutcome::Skip;
+        };
+
+        // Gains straddling the stable band: some verify, some diverge on
+        // the cheap tiers (escalation is the interesting path either way).
+        let gains = vec![f64_in(next(), -0.5, 1.5), f64_in(next(), -3.5, 0.5)];
+        let k = LinearController::new(2, 1, gains.clone());
+        let cell = sub_cell(&mut next, &problem.x0);
+
+        let pipes: Vec<_> = tiers
+            .iter()
+            .map(|tier| (tier.name(), tier.reach_from(&cell, &k)))
+            .collect();
+        if pipes.iter().all(|(_, r)| r.is_err()) {
+            // Refusing to enclose is sound for every tier at once too.
+            return CaseOutcome::Skip;
+        }
+
+        // --- 1. tier soundness against step-halved RK4 simulation -------
+        let coarse_sim = Simulator::with_substeps(problem.dynamics.clone(), problem.delta, 8);
+        let fine_sim = Simulator::with_substeps(problem.dynamics.clone(), problem.delta, 16);
+        let mut starts = cell.corners();
+        for _ in 0..2 {
+            let t: Vec<f64> = (0..cell.dim()).map(|_| f64_in(next(), -1.0, 1.0)).collect();
+            let mids = cell.center();
+            let rads = cell.radii();
+            starts.push((0..cell.dim()).map(|i| mids[i] + rads[i] * t[i]).collect());
+        }
+        for x0 in &starts {
+            let coarse = coarse_sim.rollout(x0, &k, problem.horizon_steps);
+            let fine = fine_sim.rollout(x0, &k, problem.horizon_steps);
+            if fine.states.iter().any(|s| s.iter().any(|v| !v.is_finite())) {
+                // A diverging rollout cannot falsify a (possibly refused)
+                // enclosure without the oracle blaming itself.
+                return CaseOutcome::Skip;
+            }
+            let sim_err = 2.0
+                * coarse
+                    .states
+                    .iter()
+                    .zip(&fine.states)
+                    .map(|(a, b)| max_abs_diff(a, b))
+                    .fold(0.0, f64::max)
+                + 1e-9;
+            for (name, pipe) in &pipes {
+                let Ok(fp) = pipe else { continue };
+                for step in fp.steps() {
+                    // Each step's end box is the instantaneous enclosure at
+                    // t1; map it onto the matching simulation boundary.
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    let idx = (step.t1 / problem.delta).round() as usize;
+                    let Some(state) = fine.states.get(idx) else {
+                        continue;
+                    };
+                    for (i, &v) in state.iter().enumerate() {
+                        let iv = step.end_box.interval(i);
+                        if !iv.inflate(sim_err + super::oracle_tol(v)).contains_value(v) {
+                            return CaseOutcome::Violation(format!(
+                                "{name} tier end box dim {i} at t={:.3} [{:e}, {:e}] excludes \
+                                 simulated state {v:e} (gains {gains:?}, x0 {x0:?}, \
+                                 sim_err {sim_err:e})",
+                                step.t1,
+                                iv.lo(),
+                                iv.hi()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- 2. cheap claims never contradicted by the authority --------
+        let metric = GeometricMetric::for_problem(&problem);
+        let Some((rig_name, rig_pipe)) = pipes.last() else {
+            return CaseOutcome::Skip;
+        };
+        if let Ok(rig_fp) = rig_pipe {
+            let rig_d = metric.evaluate(rig_fp);
+            for (name, pipe) in &pipes[..pipes.len() - 1] {
+                let Ok(fp) = pipe else { continue };
+                let d = metric.evaluate(fp);
+                // Safe-with-clearance on the wide box implies the true set
+                // (and so the exact one) is safe; the threshold keeps f64
+                // rounding from manufacturing a claim.
+                if d.d_unsafe > 1e-6 && rig_d.d_unsafe <= 0.0 {
+                    return CaseOutcome::Violation(format!(
+                        "{name} tier claims unsafe clearance {:e} but the rigorous \
+                         {rig_name} tier reports d_unsafe {:e} (gains {gains:?}, \
+                         cell {cell:?})",
+                        d.d_unsafe, rig_d.d_unsafe
+                    ));
+                }
+                // Cheap final box inside the goal implies the exact final
+                // set is inside too — it cannot be strictly apart.
+                if problem.goal_region.contains_box(&fp.final_step().end_box) && rig_d.d_goal < 0.0
+                {
+                    return CaseOutcome::Violation(format!(
+                        "{name} tier's final box sits inside the goal but the rigorous \
+                         {rig_name} tier reports d_goal {:e} (gains {gains:?}, \
+                         cell {cell:?})",
+                        rig_d.d_goal
+                    ));
+                }
+            }
+        }
+
+        // --- 3. portfolio-accepted controllers survive rigorous-only -----
+        // Sparse: a learning run is ~100x the cost of the checks above.
+        if seed.is_multiple_of(32) {
+            let budget = 20 + 5 * usize::from(size.min(8));
+            let config = LearnConfig::builder()
+                .metric(MetricKind::Geometric)
+                .max_updates(budget)
+                .seed(next())
+                .portfolio(PortfolioMode::Surrogate { confirm_every: 5 })
+                .build();
+            let outcome = match Algorithm1::new(problem.clone(), config).learn_linear() {
+                Ok(o) => o,
+                Err(_) => return CaseOutcome::Skip,
+            };
+            let stats = outcome.portfolio.clone().unwrap_or_default();
+            if stats.calls_by_tier.len() != 3 {
+                return CaseOutcome::Violation(format!(
+                    "surrogate learning must account for all 3 tiers, got {:?}",
+                    stats.calls_by_tier
+                ));
+            }
+            if outcome.verified.is_reach_avoid() {
+                if *stats.calls_by_tier.last().unwrap_or(&0) == 0 {
+                    return CaseOutcome::Violation(
+                        "accepted a controller without ever consulting the rigorous tier"
+                            .to_owned(),
+                    );
+                }
+                let rigorous_only = match LinearReach::for_problem(&problem) {
+                    Ok(v) => v,
+                    Err(_) => return CaseOutcome::Skip,
+                };
+                match rigorous_only.reach(&outcome.controller) {
+                    Ok(fp) => {
+                        let d = metric.evaluate(&fp);
+                        if !d.is_reach_avoid() {
+                            return CaseOutcome::Violation(format!(
+                                "portfolio accepted gains {:?} that the rigorous-only verifier \
+                                 rejects (d_unsafe {:e}, d_goal {:e})",
+                                outcome.controller.params(),
+                                d.d_unsafe,
+                                d.d_goal
+                            ));
+                        }
+                    }
+                    Err(e) => {
+                        return CaseOutcome::Violation(format!(
+                            "portfolio accepted gains {:?} the rigorous-only verifier cannot \
+                             even enclose ({e})",
+                            outcome.controller.params()
+                        ));
+                    }
+                }
+            }
+        }
+        CaseOutcome::Pass
+    }
+}

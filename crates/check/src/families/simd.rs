@@ -219,7 +219,7 @@ impl Family for SimdFamily {
             y * y + (s - y)
         };
         let serial: Vec<f64> = a.iter().map(work).collect();
-        let parallel = WorkerPool::new(threads).map(&a, work);
+        let parallel = WorkerPool::new(threads).force_parallel().map(&a, work);
         if bits(&parallel) != bits(&serial) {
             return CaseOutcome::Violation(format!(
                 "WorkerPool({threads}).map over {n} items diverged bitwise from serial"

@@ -24,14 +24,15 @@
 //!    1 is explicitly incomplete, and restarts are the standard remedy;
 //!    restart draws count toward the convergence-iteration (CI) budget.
 
-use crate::config::{AbstractionKind, GradientEstimator, LearnConfig, MetricKind};
+use crate::config::{AbstractionKind, GradientEstimator, LearnConfig, MetricKind, PortfolioMode};
 use crate::trace::{IterationRecord, LearningTrace};
 use crate::verdict::{judge, Verdict};
 use dwv_dynamics::{Controller, LinearController, NnController, ReachAvoidProblem};
 use dwv_metrics::{GeometricMetric, WassersteinMetric};
 use dwv_nn::{Activation, Network};
 use dwv_reach::{
-    BernsteinAbstraction, Flowpipe, LinearReach, ReachError, TaylorAbstraction, TaylorReach,
+    BernsteinAbstraction, Flowpipe, IntervalReach, LinearReach, PortfolioStats, PortfolioVerifier,
+    ReachError, TaylorAbstraction, TaylorReach, ZonotopeReach,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -77,6 +78,10 @@ pub struct LearnOutcome<C> {
     pub trace: LearningTrace,
     /// The final flowpipe, when the last verification succeeded.
     pub flowpipe: Option<Flowpipe>,
+    /// Per-tier verifier-call accounting when the run used the tiered
+    /// portfolio ([`crate::PortfolioMode::Surrogate`]); `None` in the
+    /// single-backend baseline.
+    pub portfolio: Option<PortfolioStats>,
 }
 
 /// One evaluated candidate: the raw metric pair (for the trace and the stop
@@ -187,20 +192,16 @@ impl Algorithm1 {
     /// Learns a linear controller with the exact linear verifier (the ACC
     /// experiment), starting from a random `θ`.
     ///
+    /// With [`PortfolioMode::Surrogate`] the exploratory queries run on the
+    /// interval → zonotope tiers and the exact backend is reserved for
+    /// confirmations and the final acceptance (see
+    /// [`Self::linear_portfolio`]).
+    ///
     /// # Errors
     ///
     /// [`LearnError::Unsupported`] when the dynamics are not affine.
     pub fn learn_linear(&self) -> Result<LearnOutcome<LinearController>, LearnError> {
-        let verifier = LinearReach::for_problem(&self.problem).map_err(LearnError::Unsupported)?;
-        let n = self.problem.n_state();
-        let m = self.problem.n_input();
-        Ok(self.learn_with_restarts(
-            None,
-            &|c: &LinearController| verifier.reach(c),
-            &mut |rng: &mut StdRng| {
-                LinearController::new(n, m, (0..n * m).map(|_| rng.gen_range(-2.0..2.0)).collect())
-            },
-        ))
+        self.learn_linear_impl(None)
     }
 
     /// Learns a linear controller starting from an explicit initialization.
@@ -212,16 +213,51 @@ impl Algorithm1 {
         &self,
         init: LinearController,
     ) -> Result<LearnOutcome<LinearController>, LearnError> {
-        let verifier = LinearReach::for_problem(&self.problem).map_err(LearnError::Unsupported)?;
+        self.learn_linear_impl(Some(init))
+    }
+
+    fn learn_linear_impl(
+        &self,
+        init: Option<LinearController>,
+    ) -> Result<LearnOutcome<LinearController>, LearnError> {
         let n = self.problem.n_state();
         let m = self.problem.n_input();
-        Ok(self.learn_with_restarts(
-            Some(init),
-            &|c: &LinearController| verifier.reach(c),
-            &mut |rng: &mut StdRng| {
-                LinearController::new(n, m, (0..n * m).map(|_| rng.gen_range(-2.0..2.0)).collect())
-            },
-        ))
+        let mut fresh = |rng: &mut StdRng| {
+            LinearController::new(n, m, (0..n * m).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        };
+        match self.config.portfolio {
+            PortfolioMode::Off => {
+                let verifier =
+                    LinearReach::for_problem(&self.problem).map_err(LearnError::Unsupported)?;
+                Ok(self.learn_with_restarts(
+                    init,
+                    &|c: &LinearController| verifier.reach(c),
+                    &mut fresh,
+                ))
+            }
+            PortfolioMode::Surrogate { confirm_every } => {
+                let portfolio = self.linear_portfolio()?;
+                Ok(self.learn_surrogate(init, &portfolio, confirm_every, &mut fresh))
+            }
+        }
+    }
+
+    /// Builds the tiered verifier portfolio for affine problems: interval
+    /// fast-path, zonotope escalation, exact linear recursion as the
+    /// rigorous authority.
+    ///
+    /// # Errors
+    ///
+    /// [`LearnError::Unsupported`] when the dynamics are not affine.
+    pub fn linear_portfolio(&self) -> Result<PortfolioVerifier<LinearController>, LearnError> {
+        let rigorous = LinearReach::for_problem(&self.problem).map_err(LearnError::Unsupported)?;
+        let zonotope =
+            ZonotopeReach::for_problem(&self.problem).map_err(LearnError::Unsupported)?;
+        Ok(
+            PortfolioVerifier::new(Box::new(rigorous), self.config.portfolio_slack)
+                .with_tier(Box::new(IntervalReach::for_problem(&self.problem)))
+                .with_tier(Box::new(zonotope)),
+        )
     }
 
     /// Learns a neural-network controller (hidden sizes, output scale and
@@ -249,8 +285,8 @@ impl Algorithm1 {
                 scale,
             )
         };
-        match self.config.abstraction {
-            AbstractionKind::Polar { order } => {
+        match (self.config.portfolio, self.config.abstraction) {
+            (PortfolioMode::Off, AbstractionKind::Polar { order }) => {
                 let verifier = TaylorReach::new(
                     &self.problem,
                     TaylorAbstraction::with_order(order),
@@ -258,7 +294,7 @@ impl Algorithm1 {
                 );
                 self.learn_with_restarts(init, &|c: &NnController| verifier.reach(c), &mut fresh)
             }
-            AbstractionKind::Bernstein { degree } => {
+            (PortfolioMode::Off, AbstractionKind::Bernstein { degree }) => {
                 let verifier = TaylorReach::new(
                     &self.problem,
                     BernsteinAbstraction::with_degree(degree),
@@ -266,7 +302,86 @@ impl Algorithm1 {
                 );
                 self.learn_with_restarts(init, &|c: &NnController| verifier.reach(c), &mut fresh)
             }
+            (PortfolioMode::Surrogate { confirm_every }, _) => {
+                let portfolio = self.nn_portfolio();
+                self.learn_surrogate(init, &portfolio, confirm_every, &mut fresh)
+            }
         }
+    }
+
+    /// Builds the tiered verifier portfolio for neural controllers: interval
+    /// fast-path with the Taylor-model backend (configured abstraction) as
+    /// the rigorous authority.
+    #[must_use]
+    pub fn nn_portfolio(&self) -> PortfolioVerifier<NnController> {
+        let rigorous: Box<dyn dwv_reach::Verifier<NnController>> = match self.config.abstraction {
+            AbstractionKind::Polar { order } => Box::new(TaylorReach::new(
+                &self.problem,
+                TaylorAbstraction::with_order(order),
+                self.config.verifier.clone(),
+            )),
+            AbstractionKind::Bernstein { degree } => Box::new(TaylorReach::new(
+                &self.problem,
+                BernsteinAbstraction::with_degree(degree),
+                self.config.verifier.clone(),
+            )),
+        };
+        PortfolioVerifier::new(rigorous, self.config.portfolio_slack)
+            .with_tier(Box::new(IntervalReach::for_problem(&self.problem)))
+    }
+
+    /// The surrogate-mode learning loop: exploratory queries ride the cheap
+    /// portfolio tiers, rigorous calls are reserved for confirmation and
+    /// acceptance.
+    fn learn_surrogate<C>(
+        &self,
+        init: Option<C>,
+        portfolio: &PortfolioVerifier<C>,
+        confirm_every: usize,
+        fresh: &mut dyn FnMut(&mut StdRng) -> C,
+    ) -> LearnOutcome<C>
+    where
+        C: Controller + Clone + Sync,
+    {
+        // Probe trustworthiness margin: a cheap enclosure whose unsafe
+        // clearance covers the slack is tight enough to rank candidates; a
+        // near-boundary or unsafe-overlapping cheap box may be an artifact
+        // of enclosure wideness, so the probe escalates to a tighter cheap
+        // tier (never to the rigorous one — probes rank, they don't
+        // certify).
+        let metric = GeometricMetric::for_problem(&self.problem);
+        let margin = move |fp: &Flowpipe| metric.evaluate(fp).d_unsafe;
+        let probe = |c: &C| -> Result<Flowpipe, ReachError> {
+            let _s = dwv_obs::span("verify");
+            if dwv_obs::enabled() {
+                dwv_obs::counter("alg1.verifier_calls").inc();
+            }
+            portfolio.reach_probe(c, dwv_reach::hash_params(&c.params()), &margin)
+        };
+        let rigor = |c: &C| -> Result<Flowpipe, ReachError> {
+            let _s = dwv_obs::span("verify");
+            if dwv_obs::enabled() {
+                dwv_obs::counter("alg1.verifier_calls").inc();
+            }
+            portfolio.reach_rigorous(c, dwv_reach::hash_params(&c.params()))
+        };
+        let mut outcome = self.learn_loop(init, &probe, &rigor, confirm_every.max(1), fresh);
+        let stats = portfolio.stats();
+        if dwv_obs::enabled() {
+            dwv_obs::event(
+                "portfolio.stats",
+                &[
+                    ("escalations", stats.escalations as f64),
+                    ("decided_cheap", stats.decided_cheap as f64),
+                    (
+                        "rigorous_calls",
+                        stats.calls_by_tier.last().copied().unwrap_or(0) as f64,
+                    ),
+                ],
+            );
+        }
+        outcome.portfolio = Some(stats);
+        outcome
     }
 
     /// The generic learning loop over any controller family and verifier.
@@ -284,13 +399,6 @@ impl Algorithm1 {
         C: Controller + Clone + Sync,
         V: Fn(&C) -> Result<Flowpipe, ReachError> + Sync,
     {
-        let _train = dwv_obs::span("train");
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9E37_79B9);
-        let p = self.config.perturbation;
-        let radius_init = 30.0 * p;
-        let radius_max = 80.0 * p;
-        let radius_min = 2.0 * p;
-
         // With a cache attached, repeated verifications of bit-identical
         // parameters are answered from memory; call counters still count
         // every oracle query, so traces are unaffected.
@@ -308,6 +416,46 @@ impl Algorithm1 {
                 None => verify(c),
             }
         };
+        // One oracle plays both roles: with `confirm_every == 0` every
+        // query is rigorous and no confirmation step runs, so this path is
+        // bit-identical to the pre-portfolio learner.
+        self.learn_loop(init, &verify, &verify, 0, fresh)
+    }
+
+    /// The two-oracle loop underneath [`Self::learn_with_restarts`].
+    ///
+    /// `probe` answers the high-volume exploratory queries (gradient
+    /// probes, candidate scoring); `rigor` is the rigorous authority. With
+    /// `confirm_every == 0` the oracles are assumed identical and the loop
+    /// reduces to the classic single-backend learner. With
+    /// `confirm_every >= 1`:
+    ///
+    /// * a probe-positive reach-avoid is only trusted after `rigor`
+    ///   confirms it (a cheap tier's optimism never stops learning);
+    /// * every `confirm_every` iterations a rigorous stop-check runs even
+    ///   without a probe claim (cheap tiers can be too loose to ever see
+    ///   convergence);
+    /// * the final acceptance and [`judge`] verdict always use `rigor`.
+    fn learn_loop<C, P, R>(
+        &self,
+        init: Option<C>,
+        verify: &P,
+        rigor: &R,
+        confirm_every: usize,
+        fresh: &mut dyn FnMut(&mut StdRng) -> C,
+    ) -> LearnOutcome<C>
+    where
+        C: Controller + Clone + Sync,
+        P: Fn(&C) -> Result<Flowpipe, ReachError> + Sync,
+        R: Fn(&C) -> Result<Flowpipe, ReachError> + Sync,
+    {
+        let _train = dwv_obs::span("train");
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9E37_79B9);
+        let p = self.config.perturbation;
+        let radius_init = 30.0 * p;
+        let radius_max = 80.0 * p;
+        let radius_min = 2.0 * p;
+
         let verify = &verify;
         let cache_hits_so_far = || self.cache.as_ref().map_or(0, |c| c.hits());
 
@@ -383,11 +531,53 @@ impl Algorithm1 {
                 remainder_width,
             };
             if current.reach_avoid {
-                trace.push(record);
-                iterations = i;
-                break;
+                // Surrogate mode: a cheap tier's reach-avoid claim is only
+                // a candidate — the rigorous oracle must confirm before the
+                // loop may stop. (With confirm_every == 0 the probe already
+                // was rigorous.)
+                let confirmed = if confirm_every == 0 {
+                    true
+                } else {
+                    calls += 1;
+                    let attempt = rigor(&controller);
+                    let ev = self.evaluate(&attempt);
+                    if let Ok(fp) = attempt {
+                        last_flowpipe = Some(fp);
+                    }
+                    record.verifier_calls = calls;
+                    record.elapsed = started.elapsed();
+                    ev.reach_avoid
+                };
+                if confirmed {
+                    trace.push(record);
+                    iterations = i;
+                    break;
+                }
+                // Refuted: the cheap enclosure was lucky, not the loop.
+                record.reach_avoid = false;
+            } else if confirm_every > 0 && i > 0 && i % confirm_every == 0 {
+                // Periodic rigorous stop-check: the cheap tiers may be too
+                // loose to ever report reach-avoid on a controller the
+                // rigorous tier can verify.
+                calls += 1;
+                let attempt = rigor(&controller);
+                let ev = self.evaluate(&attempt);
+                if let Ok(fp) = attempt {
+                    last_flowpipe = Some(fp);
+                }
+                if ev.reach_avoid {
+                    record.reach_avoid = true;
+                    record.unsafe_metric = ev.unsafe_metric;
+                    record.goal_metric = ev.goal_metric;
+                    record.verifier_calls = calls;
+                    record.elapsed = started.elapsed();
+                    trace.push(record);
+                    iterations = i;
+                    break;
+                }
             }
             if i == self.config.max_updates {
+                record.verifier_calls = calls;
                 trace.push(record);
                 break;
             }
@@ -456,7 +646,9 @@ impl Algorithm1 {
             trace.push(record);
         }
 
-        let final_attempt = verify(&controller);
+        // Acceptance is always rigorous: the returned verdict and
+        // certificate never rest on a cheap tier.
+        let final_attempt = rigor(&controller);
         let verified = judge(
             &self.problem,
             &controller,
@@ -487,6 +679,7 @@ impl Algorithm1 {
             iterations,
             trace,
             flowpipe: last_flowpipe,
+            portfolio: None,
         }
     }
 
@@ -758,6 +951,83 @@ mod tests {
             cache.hits() + cache.misses(),
             cached.trace.total_verifier_calls() + 1
         );
+    }
+
+    #[test]
+    fn surrogate_mode_verifies_acc_with_few_rigorous_calls() {
+        let cfg = LearnConfig::builder()
+            .metric(MetricKind::Geometric)
+            .max_updates(150)
+            .perturbation(0.01)
+            .estimator(GradientEstimator::Coordinate)
+            .seed(7)
+            .portfolio(crate::PortfolioMode::Surrogate { confirm_every: 5 })
+            .build();
+        let outcome = Algorithm1::new(acc::reach_avoid_problem(), cfg)
+            .learn_linear()
+            .expect("linear learning sets up");
+        assert!(
+            outcome.verified.is_reach_avoid(),
+            "expected reach-avoid, got {} after {} iterations",
+            outcome.verified,
+            outcome.iterations,
+        );
+        let stats = outcome.portfolio.expect("surrogate mode reports stats");
+        assert_eq!(stats.calls_by_tier.len(), 3, "interval, zonotope, exact");
+        let rigorous = stats.calls_by_tier.last().copied().unwrap_or(u64::MAX);
+        let cheap: u64 = stats.calls_by_tier[..stats.calls_by_tier.len() - 1]
+            .iter()
+            .sum();
+        assert!(
+            cheap >= 5 * rigorous,
+            "portfolio should answer ≥5x more queries cheaply: cheap={cheap} rigorous={rigorous}"
+        );
+        // Compare against the baseline's rigorous bill on the same seed.
+        let base_cfg = quick_config(MetricKind::Geometric, 7);
+        let baseline = Algorithm1::new(acc::reach_avoid_problem(), base_cfg)
+            .learn_linear()
+            .unwrap();
+        let baseline_rigorous = baseline.trace.total_verifier_calls() as u64;
+        assert!(
+            5 * rigorous <= baseline_rigorous,
+            "expected a ≥5x rigorous-call cut: portfolio={rigorous} baseline={baseline_rigorous}"
+        );
+    }
+
+    #[test]
+    fn surrogate_acceptance_is_rigorous() {
+        // Start from a controller that already verifies: surrogate mode must
+        // still confirm with the rigorous tier before accepting.
+        let good = LinearController::new(2, 1, vec![0.5867, -2.0]);
+        let cfg = LearnConfig::builder()
+            .metric(MetricKind::Geometric)
+            .max_updates(50)
+            .perturbation(0.01)
+            .estimator(GradientEstimator::Coordinate)
+            .seed(1)
+            .portfolio(crate::PortfolioMode::Surrogate { confirm_every: 5 })
+            .build();
+        let outcome = Algorithm1::new(acc::reach_avoid_problem(), cfg)
+            .learn_linear_from(good)
+            .unwrap();
+        assert!(outcome.verified.is_reach_avoid());
+        let stats = outcome.portfolio.expect("surrogate mode reports stats");
+        let rigorous = stats.calls_by_tier.last().copied().unwrap_or(0);
+        assert!(
+            rigorous >= 1,
+            "acceptance must consult the rigorous tier at least once"
+        );
+    }
+
+    #[test]
+    fn off_mode_reports_no_portfolio_stats() {
+        let outcome = Algorithm1::new(
+            acc::reach_avoid_problem(),
+            quick_config(MetricKind::Geometric, 3),
+        )
+        .learn_linear()
+        .unwrap();
+        assert!(outcome.portfolio.is_none());
     }
 
     #[test]

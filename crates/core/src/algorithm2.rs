@@ -429,7 +429,7 @@ mod tests {
                     .with_strategy(strategy);
                 let serial = alg.search(|cell| acc_verify(&p, &k, cell));
                 for threads in [1, 2, 8] {
-                    let pool = crate::parallel::WorkerPool::new(threads);
+                    let pool = crate::parallel::WorkerPool::new(threads).force_parallel();
                     let par = alg.search_parallel(|cell| acc_verify(&p, &k, cell), &pool);
                     assert_eq!(par.cells, serial.cells);
                     assert_eq!(par.unverified, serial.unverified);

@@ -53,7 +53,9 @@ mod verdict;
 
 pub use algorithm1::{Algorithm1, LearnError, LearnOutcome};
 pub use algorithm2::{Algorithm2, InitialSetSearch, SearchStrategy};
-pub use config::{AbstractionKind, GradientEstimator, LearnConfig, LearnConfigBuilder, MetricKind};
+pub use config::{
+    AbstractionKind, GradientEstimator, LearnConfig, LearnConfigBuilder, MetricKind, PortfolioMode,
+};
 pub use counterexample::{find_counterexample, Counterexample, ViolationKind};
 pub use parallel::WorkerPool;
 pub use pipeline::{design_while_verify_linear, design_while_verify_nn, PipelineOutcome};

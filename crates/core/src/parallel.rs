@@ -41,6 +41,18 @@ use std::thread;
 #[derive(Debug, Clone)]
 pub struct WorkerPool {
     threads: usize,
+    force_parallel: bool,
+}
+
+/// Batches smaller than this never leave the calling thread: per-call
+/// thread spawns cost tens of microseconds each, which dominates tiny
+/// fan-outs regardless of per-item cost.
+const MIN_PARALLEL_ITEMS: usize = 4;
+
+/// The machine's available parallelism, probed once.
+fn host_cpus() -> usize {
+    static CPUS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CPUS.get_or_init(|| thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
 }
 
 impl WorkerPool {
@@ -49,7 +61,31 @@ impl WorkerPool {
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            force_parallel: false,
         }
+    }
+
+    /// Disables the degenerate-fan-out gate: `map` spawns workers whenever
+    /// the pool has more than one thread and the batch more than one item,
+    /// even on a single-CPU host or for tiny batches.
+    ///
+    /// For tests and diagnostics of the parallel machinery itself —
+    /// production callers should let the gate keep fan-outs that cannot
+    /// win (no spare CPUs, or spawn cost exceeding the work) on the
+    /// calling thread.
+    #[must_use]
+    pub fn force_parallel(mut self) -> Self {
+        self.force_parallel = true;
+        self
+    }
+
+    /// Whether [`map`](WorkerPool::map) over a batch of `n` items would
+    /// fan out to worker threads (`false`: the batch runs serially on the
+    /// caller — same results either way, see the module docs).
+    #[must_use]
+    pub fn would_fan_out(&self, n: usize) -> bool {
+        let workers = self.threads.min(n);
+        workers > 1 && (self.force_parallel || (n >= MIN_PARALLEL_ITEMS && host_cpus() > 1))
     }
 
     /// A pool sized to the machine's available parallelism.
@@ -67,9 +103,11 @@ impl WorkerPool {
     /// Applies `f` to every item, in parallel, returning results in item
     /// order (see the module docs on determinism).
     ///
-    /// Falls back to a plain serial map when the pool has one thread or the
-    /// batch has at most one item — so a `WorkerPool::new(1)` is an exact
-    /// drop-in for serial execution.
+    /// Falls back to a plain serial map whenever fanning out cannot win:
+    /// the pool has one thread, the batch has at most one item, the host
+    /// has a single CPU, or the batch is smaller than the spawn-cost
+    /// threshold (see [`WorkerPool::would_fan_out`]). The fallback changes
+    /// timing only — results are identical either way.
     ///
     /// # Scheduling
     ///
@@ -105,10 +143,19 @@ impl WorkerPool {
             dwv_obs::counter("pool.items").add(items.len() as u64);
             dwv_obs::gauge("pool.threads").set(self.threads as f64);
         }
-        let workers = self.threads.min(items.len());
-        if workers <= 1 {
-            return items.iter().map(f).collect();
+        if !self.would_fan_out(items.len()) {
+            // The serial fallback keeps the per-item span contract: the
+            // `pool.item` histogram sees every item exactly once on every
+            // host, whether or not the batch fanned out.
+            return items
+                .iter()
+                .map(|item| {
+                    let _per_item = dwv_obs::span("pool.item");
+                    f(item)
+                })
+                .collect();
         }
+        let workers = self.threads.min(items.len());
         let n = items.len();
         let next = AtomicUsize::new(0);
         let claims = AtomicUsize::new(0);
@@ -195,7 +242,9 @@ mod tests {
 
     #[test]
     fn map_preserves_item_order() {
-        let pool = WorkerPool::new(4);
+        // force_parallel: the machinery must be exercised even on a
+        // single-CPU test host, where the gate would go serial.
+        let pool = WorkerPool::new(4).force_parallel();
         let items: Vec<usize> = (0..100).collect();
         let out = pool.map(&items, |x| x * 2);
         assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
@@ -204,7 +253,7 @@ mod tests {
     #[test]
     fn map_matches_serial_under_uneven_load() {
         // Skewed per-item cost exercises out-of-order completion.
-        let pool = WorkerPool::new(4);
+        let pool = WorkerPool::new(4).force_parallel();
         let items: Vec<u64> = (0..32).collect();
         let slow = |x: &u64| {
             if x.is_multiple_of(7) {
@@ -237,9 +286,33 @@ mod tests {
     #[test]
     fn borrows_local_data() {
         let data = vec![String::from("a"), String::from("bb")];
-        let pool = WorkerPool::new(2);
+        let pool = WorkerPool::new(2).force_parallel();
         let lens = pool.map(&data, String::len);
         assert_eq!(lens, vec![1, 2]);
+    }
+
+    #[test]
+    fn degenerate_fan_outs_stay_serial() {
+        // Tiny batches never pay thread spawns…
+        let pool = WorkerPool::new(8);
+        assert!(!pool.would_fan_out(MIN_PARALLEL_ITEMS - 1));
+        // …and a single-CPU host never fans out at all (on a multi-CPU
+        // host the same batch does).
+        if host_cpus() == 1 {
+            assert!(!pool.would_fan_out(100));
+        } else {
+            assert!(pool.would_fan_out(100));
+        }
+        // Serial fallback still computes the right thing.
+        assert_eq!(pool.map(&[1, 2, 3], |x| x * 3), vec![3, 6, 9]);
+    }
+
+    #[test]
+    fn force_parallel_overrides_the_gate() {
+        let pool = WorkerPool::new(4).force_parallel();
+        assert!(pool.would_fan_out(2));
+        assert!(!pool.would_fan_out(1), "one item can never fan out");
+        assert!(!WorkerPool::new(1).force_parallel().would_fan_out(100));
     }
 
     #[test]
@@ -262,6 +335,7 @@ mod tests {
             .collect();
         for threads in [2usize, 3, 4, 8, 16] {
             let par: Vec<u64> = WorkerPool::new(threads)
+                .force_parallel()
                 .map(&items, work)
                 .into_iter()
                 .map(f64::to_bits)
@@ -274,7 +348,7 @@ mod tests {
     fn guided_chunks_cover_all_sizes() {
         // Odd batch sizes around chunking boundaries: every item exactly once,
         // in order.
-        let pool = WorkerPool::new(3);
+        let pool = WorkerPool::new(3).force_parallel();
         for n in [2usize, 3, 5, 7, 12, 31, 64, 101] {
             let items: Vec<usize> = (0..n).collect();
             assert_eq!(pool.map(&items, |x| *x), items, "batch of {n}");
@@ -284,7 +358,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "boom")]
     fn worker_panic_propagates() {
-        let pool = WorkerPool::new(2);
+        let pool = WorkerPool::new(2).force_parallel();
         let items: Vec<usize> = (0..8).collect();
         pool.map(&items, |x| {
             assert!(*x != 5, "boom");

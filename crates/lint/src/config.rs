@@ -69,6 +69,8 @@ impl Default for ZoneConfig {
                 "crates/poly/src/workspace.rs",
                 "crates/taylor/src/model.rs",
                 "crates/taylor/src/defect.rs",
+                "crates/reach/src/interval_reach.rs",
+                "crates/reach/src/portfolio.rs",
             ]),
             // The rounding primitives themselves: one-ulp outward nudges and
             // the widened libm endpoint evaluations.
@@ -164,6 +166,8 @@ mod tests {
     fn default_zones() {
         let z = ZoneConfig::default();
         assert!(z.in_float_zone("crates/interval/src/boxes.rs"));
+        assert!(z.in_float_zone("crates/reach/src/interval_reach.rs"));
+        assert!(z.in_float_zone("crates/reach/src/portfolio.rs"));
         assert!(!z.in_float_zone("crates/interval/src/interval.rs"));
         assert!(z.in_panic_free_crate("crates/reach/src/cache.rs"));
         assert!(!z.in_panic_free_crate("crates/obs/src/trace.rs"));

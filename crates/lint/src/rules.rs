@@ -195,6 +195,23 @@ impl Ctx<'_> {
                     continue;
                 }
                 let next = toks.get(i + 1);
+                // Trait-bound `+` is type syntax, not arithmetic:
+                // `C: Enclosure + ?Sized`, `impl<C: Enclosure + Sync>`. A
+                // `?` can never follow a binary operator in expression
+                // position, and an upper-camel ident on *both* sides is a
+                // bound list (float operands are lower-case by convention,
+                // and associated consts read `Type::CONST`, never bare
+                // CamelCase on both flanks of a sum).
+                if t.text == "+" {
+                    let camel = |s: &str| s.chars().next().is_some_and(char::is_uppercase);
+                    if next.is_some_and(|t| t.text == "?")
+                        || (prev.kind == TokKind::Ident
+                            && camel(&prev.text)
+                            && next.is_some_and(|t| t.kind == TokKind::Ident && camel(&t.text)))
+                    {
+                        continue;
+                    }
+                }
                 let int_adjacent = prev.kind == TokKind::IntLit
                     || next.is_some_and(|t| t.kind == TokKind::IntLit)
                     || (prev.kind == TokKind::Ident
@@ -569,6 +586,19 @@ mod tests {
         let r = run(
             "src/zone.rs",
             "fn f(i: usize, s: usize) -> usize { let j = i + 1; idx[j * s + 1] + 2 + i as usize * s }\n",
+        );
+        assert!(
+            !rules_hit(&r).contains(&"float-hygiene"),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn trait_bounds_are_not_arithmetic() {
+        let r = run(
+            "src/zone.rs",
+            "fn f<C: Clone + ?Sized>(c: &C) {}\nimpl<C: Clone + Sync> Foo for C {}\n",
         );
         assert!(
             !rules_hit(&r).contains(&"float-hygiene"),

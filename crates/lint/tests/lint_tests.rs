@@ -52,6 +52,45 @@ fn r1_float_hygiene_fixture() {
 }
 
 #[test]
+fn r1_portfolio_zone_fixture() {
+    // The portfolio's fast-path backends joined the float zone; linted under
+    // the interval backend's path the fixture must produce exactly these
+    // findings — and none for the trait-bound `+` tokens on line 7.
+    let r = lint_fixture("r1_interval_zone.rs", "crates/reach/src/interval_reach.rs");
+    let got: Vec<(Rule, Option<&str>, u32)> = r
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.sub.as_deref(), f.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            (Rule::FloatHygiene, None, 11),             // `a * b`
+            (Rule::FloatHygiene, None, 11),             // `+ 0.5`
+            (Rule::FloatHygiene, None, 16),             // `.sqrt()`
+            (Rule::FloatHygiene, Some("rounding"), 21), // `next_up` outside the primitives
+            (Rule::PanicFreedom, Some("index"), 31),    // `v[0]` in the reach crate
+        ],
+        "{:#?}",
+        r.findings
+    );
+    // The annotated timestamp sum is audited, not silently dropped.
+    assert_eq!(r.suppressed.len(), 1);
+    assert_eq!(r.suppressed[0].rule, Rule::FloatHygiene);
+    assert_eq!(r.suppressed[0].line, 26);
+    assert!(r.suppressed[0].reason.contains("display metadata"));
+    // The same source under the portfolio's path: the escalation logic does
+    // no enclosure arithmetic itself, but the zone still applies.
+    let p = lint_fixture("r1_interval_zone.rs", "crates/reach/src/portfolio.rs");
+    assert_eq!(
+        lines_of(&p, Rule::FloatHygiene),
+        vec![11, 11, 16, 21],
+        "{:#?}",
+        p.findings
+    );
+}
+
+#[test]
 fn r2_panic_freedom_fixture() {
     let r = lint_fixture("r2_violation.rs", "crates/reach/src/fixture.rs");
     let pf: Vec<(u32, Option<&str>)> = r

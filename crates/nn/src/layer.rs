@@ -139,6 +139,51 @@ impl Layer {
         (act, pre)
     }
 
+    /// Interval forward pass: a directed-rounding enclosure of the layer's
+    /// image of the input box.
+    ///
+    /// Each output is `act(bias[o] + Σ_i w[o,i]·x_i)` computed entirely in
+    /// outward-rounded [`dwv_interval::Interval`] arithmetic, so the result
+    /// encloses the exact image of every point in the box. Activations are
+    /// monotone, so no further splitting is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    #[must_use]
+    pub fn forward_interval(&self, x: &[dwv_interval::Interval]) -> Vec<dwv_interval::Interval> {
+        self.forward_interval_parts(x).0
+    }
+
+    /// Interval forward pass returning `(activations, pre_activations)` —
+    /// the pre-activation boxes feed interval chain rules (Jacobian
+    /// enclosures need the derivative range at each neuron).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    #[must_use]
+    pub fn forward_interval_parts(
+        &self,
+        x: &[dwv_interval::Interval],
+    ) -> (Vec<dwv_interval::Interval>, Vec<dwv_interval::Interval>) {
+        assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
+        let pre: Vec<dwv_interval::Interval> = (0..self.out_dim)
+            .map(|o| {
+                let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+                row.iter().zip(x).fold(
+                    dwv_interval::Interval::point(self.bias[o]),
+                    |acc, (&w, xi)| acc + *xi * w,
+                )
+            })
+            .collect();
+        let act = pre
+            .iter()
+            .map(|&z| self.activation.apply_interval(z))
+            .collect();
+        (act, pre)
+    }
+
     /// Backward pass.
     ///
     /// Given `d_out = ∂L/∂y` (gradient at the layer output), the cached

@@ -14,8 +14,16 @@
 //!   with symbolic polynomial part and Lagrange remainders) or
 //!   [`BernsteinAbstraction`] (ReachNN-style: Bernstein polynomial fit plus
 //!   sampled-and-inflated remainder);
-//! * [`Flowpipe`] — the step-indexed reach-set enclosure both produce, which
-//!   the metrics crate measures against goal/unsafe regions.
+//! * [`IntervalReach`] — directed interval / mixed-monotone box propagation,
+//!   the cheapest sound enclosure (one field evaluation per step), used as
+//!   the fast tier of the verifier portfolio;
+//! * [`Flowpipe`] — the step-indexed reach-set enclosure all of them
+//!   produce, which the metrics crate measures against goal/unsafe regions.
+//!
+//! Every backend implements the object-safe [`Verifier`] trait (with
+//! [`CostClass`] metadata), and [`PortfolioVerifier`] stacks them into an
+//! escalating portfolio: cheap tiers answer clear-cut queries, the rigorous
+//! tier remains the sole authority on acceptance.
 //!
 //! # Example
 //!
@@ -40,16 +48,22 @@ pub mod arbitrary;
 pub mod cache;
 mod error;
 mod flowpipe;
+mod interval_reach;
 mod linear;
 mod nn_abstraction;
+mod portfolio;
 mod sweep;
 mod taylor_reach;
+mod verifier;
 mod zonotope_reach;
 
 pub use cache::{hash_cell, hash_params, ReachCache, ReachCacheStats};
 pub use error::ReachError;
 pub use flowpipe::{Flowpipe, StepEnclosure};
+pub use interval_reach::IntervalReach;
 pub use linear::LinearReach;
 pub use nn_abstraction::{BernsteinAbstraction, NnAbstraction, TaylorAbstraction};
+pub use portfolio::{PortfolioStats, PortfolioVerifier};
 pub use taylor_reach::{DependencyTracking, TaylorReach, TaylorReachConfig};
+pub use verifier::{ControlEnclosure, CostClass, Verifier};
 pub use zonotope_reach::ZonotopeReach;

@@ -130,6 +130,19 @@ impl LinearReach {
         self.ad.add(&self.bd.matmul(&k))
     }
 
+    /// Replaces the initial set (the Algorithm 2 per-cell entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch or a non-finite box.
+    #[must_use]
+    pub fn with_initial_set(mut self, x0: IntervalBox) -> Self {
+        assert_eq!(x0.dim(), self.ad.nrows(), "X0 dimension must match A");
+        assert!(x0.is_finite(), "initial box must be bounded");
+        self.x0 = x0;
+        self
+    }
+
     /// Computes the reachable sets.
     ///
     /// Step 0 is the initial set at `t = 0` (exact); step `k ≥ 1` covers
@@ -197,6 +210,28 @@ impl LinearReach {
             });
         }
         Ok(Flowpipe::new(steps))
+    }
+}
+
+impl crate::verifier::Verifier<LinearController> for LinearReach {
+    fn name(&self) -> &'static str {
+        "linear-exact"
+    }
+
+    fn cost_class(&self) -> crate::verifier::CostClass {
+        crate::verifier::CostClass::Exact
+    }
+
+    fn reach(&self, controller: &LinearController) -> Result<Flowpipe, ReachError> {
+        LinearReach::reach(self, controller)
+    }
+
+    fn reach_from(
+        &self,
+        x0: &IntervalBox,
+        controller: &LinearController,
+    ) -> Result<Flowpipe, ReachError> {
+        self.clone().with_initial_set(x0.clone()).reach(controller)
     }
 }
 

@@ -1,0 +1,618 @@
+//! The tiered verifier portfolio: cheap sound enclosures first, rigorous
+//! backends only when the cheap tiers cannot decide.
+//!
+//! A [`PortfolioVerifier`] owns an ordered list of [`Verifier`] tiers
+//! (cheapest cost class first; the final tier is the *rigorous authority*)
+//! plus one [`ReachCache`] per tier — caches are per-tier because the memo
+//! key `(controller hash, cell hash)` says nothing about which backend
+//! produced the flowpipe, and tiers produce different enclosures for the
+//! same key.
+//!
+//! Three query modes, by decreasing cheapness:
+//!
+//! - **Surrogate** ([`PortfolioVerifier::reach_surrogate`]): the learning
+//!   loop's probe oracle. Returns the first tier that encloses at all,
+//!   escalating only when a tier *fails* (diverged / unsupported). All
+//!   Algorithm 1 gradient probes run here, so consecutive probes are
+//!   compared on the same tier's geometry.
+//! - **Decisive** ([`PortfolioVerifier::reach_decisive_from`]): the
+//!   certification oracle (stop checks, Algorithm 2 cells). A cheap tier's
+//!   answer is kept only when the caller-computed verdict margin clears the
+//!   configured slack; near-boundary answers escalate to a tighter tier.
+//!   Because every tier is sound, a cheap "safe with room to spare" is
+//!   final; a cheap "violates" is *not* evidence of unsafety and always
+//!   escalates.
+//! - **Rigorous** ([`PortfolioVerifier::reach_rigorous_from`]): the last
+//!   tier only. Acceptance of a learned controller always goes through
+//!   here, so the portfolio never weakens the soundness contract.
+//!
+//! Per-tier call counts (actual backend executions — cache hits are not
+//! calls), escalations, and cheap decisions are tracked both in local
+//! atomics ([`PortfolioVerifier::stats`]) and, when observability is
+//! enabled, in the `portfolio.tier{i}.calls` / `portfolio.escalations` /
+//! `portfolio.decided_cheap` counters.
+
+use crate::cache::{hash_cell, ReachCache};
+use crate::error::ReachError;
+use crate::flowpipe::Flowpipe;
+use crate::verifier::{CostClass, Verifier};
+use dwv_interval::IntervalBox;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lifetime counters of a [`PortfolioVerifier`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PortfolioStats {
+    /// Backend executions per tier, cheapest first (the last entry is the
+    /// rigorous tier). Cache hits are not counted.
+    pub calls_by_tier: Vec<u64>,
+    /// Times a query moved from one tier to the next.
+    pub escalations: u64,
+    /// Queries answered by a tier below the rigorous one.
+    pub decided_cheap: u64,
+}
+
+/// An escalating stack of reachability backends behind one interface.
+///
+/// Built from the rigorous tier outward; cheaper tiers are added with
+/// [`PortfolioVerifier::with_tier`] and kept sorted by [`CostClass`], so
+/// queries always walk cheapest-first and end at the rigorous authority.
+///
+/// # Example
+///
+/// ```
+/// use dwv_reach::{IntervalReach, LinearReach, PortfolioVerifier, hash_params};
+/// use dwv_dynamics::{acc, LinearController};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let problem = acc::reach_avoid_problem();
+/// let portfolio = PortfolioVerifier::new(Box::new(LinearReach::for_problem(&problem)?), 0.05)
+///     .with_tier(Box::new(IntervalReach::for_problem(&problem)));
+/// let k = LinearController::new(2, 1, vec![0.5867, -2.0]);
+/// let fp = portfolio.reach_surrogate(&k, hash_params(&[0.5867, -2.0]))?;
+/// assert_eq!(fp.len(), problem.horizon_steps + 1);
+/// assert_eq!(portfolio.stats().calls_by_tier, vec![1, 0]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct PortfolioVerifier<C: ?Sized> {
+    /// Cheaper tiers, sorted by cost class (stable in insertion order).
+    cheap: Vec<Box<dyn Verifier<C>>>,
+    /// The soundness authority; every acceptance-path query ends here.
+    rigorous: Box<dyn Verifier<C>>,
+    /// One memo per tier — keys don't encode the backend, so sharing a
+    /// cache across tiers would alias different enclosures.
+    caches: Vec<ReachCache>,
+    calls: Vec<AtomicU64>,
+    escalations: AtomicU64,
+    decided_cheap: AtomicU64,
+    slack: f64,
+}
+
+impl<C: ?Sized> PortfolioVerifier<C> {
+    /// A single-tier portfolio: just the rigorous backend. `slack` is the
+    /// verdict margin below which decisive queries refuse a cheap answer.
+    #[must_use]
+    pub fn new(rigorous: Box<dyn Verifier<C>>, slack: f64) -> Self {
+        Self {
+            cheap: Vec::new(),
+            rigorous,
+            caches: vec![ReachCache::new()],
+            calls: vec![AtomicU64::new(0)],
+            escalations: AtomicU64::new(0),
+            decided_cheap: AtomicU64::new(0),
+            slack,
+        }
+    }
+
+    /// Adds a cheaper tier, keeping the cheap tiers sorted by cost class.
+    #[must_use]
+    pub fn with_tier(mut self, tier: Box<dyn Verifier<C>>) -> Self {
+        let pos = self
+            .cheap
+            .iter()
+            .position(|t| t.cost_class() > tier.cost_class())
+            .unwrap_or(self.cheap.len());
+        self.cheap.insert(pos, tier);
+        self.caches.push(ReachCache::new());
+        self.calls.push(AtomicU64::new(0));
+        self
+    }
+
+    /// Total number of tiers (cheap tiers + the rigorous authority).
+    #[must_use]
+    pub fn n_tiers(&self) -> usize {
+        self.cheap.len() + 1
+    }
+
+    /// Backend names, cheapest tier first.
+    #[must_use]
+    pub fn tier_names(&self) -> Vec<&'static str> {
+        self.iter_tiers().map(Verifier::name).collect()
+    }
+
+    /// The rigorous authority tier.
+    #[must_use]
+    pub fn rigorous(&self) -> &dyn Verifier<C> {
+        &*self.rigorous
+    }
+
+    /// The decisive-query margin threshold.
+    #[must_use]
+    pub fn slack(&self) -> f64 {
+        self.slack
+    }
+
+    /// A snapshot of the per-tier call counters.
+    #[must_use]
+    pub fn stats(&self) -> PortfolioStats {
+        PortfolioStats {
+            calls_by_tier: self
+                .calls
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            escalations: self.escalations.load(Ordering::Relaxed),
+            decided_cheap: self.decided_cheap.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cache statistics per tier, cheapest first.
+    #[must_use]
+    pub fn cache_stats(&self) -> Vec<crate::cache::ReachCacheStats> {
+        self.caches.iter().map(ReachCache::stats).collect()
+    }
+
+    /// Flushes one controller's entries from every tier cache.
+    pub fn invalidate_controller(&self, controller_hash: u64) {
+        for cache in &self.caches {
+            cache.invalidate_controller(controller_hash);
+        }
+    }
+
+    fn iter_tiers(&self) -> impl Iterator<Item = &dyn Verifier<C>> {
+        self.cheap
+            .iter()
+            .map(|b| &**b)
+            .chain(std::iter::once(&*self.rigorous))
+    }
+
+    /// Runs tier `i` through its cache; the execution counter only moves on
+    /// an actual backend run (cache hits are free and say nothing about the
+    /// verifier bill).
+    fn run_tier(
+        &self,
+        i: usize,
+        tier: &dyn Verifier<C>,
+        x0: Option<&IntervalBox>,
+        controller: &C,
+        controller_hash: u64,
+    ) -> Result<Flowpipe, ReachError> {
+        let compute = || {
+            if let Some(c) = self.calls.get(i) {
+                c.fetch_add(1, Ordering::Relaxed);
+            }
+            if dwv_obs::enabled() {
+                dwv_obs::counter(&format!("portfolio.tier{i}.calls")).inc();
+            }
+            match x0 {
+                Some(cell) => tier.reach_from(cell, controller),
+                None => tier.reach(controller),
+            }
+        };
+        match self.caches.get(i) {
+            Some(cache) => {
+                // `reach` queries key on the tier's own configured initial
+                // set; callers pass the cell explicitly when it varies.
+                let cell_hash = x0.map_or(0, hash_cell);
+                cache.get_or_compute(controller_hash, cell_hash, compute)
+            }
+            None => compute(),
+        }
+    }
+
+    fn note_escalation(&self) {
+        self.escalations.fetch_add(1, Ordering::Relaxed);
+        if dwv_obs::enabled() {
+            dwv_obs::counter("portfolio.escalations").inc();
+        }
+    }
+
+    fn note_decided_cheap(&self) {
+        self.decided_cheap.fetch_add(1, Ordering::Relaxed);
+        if dwv_obs::enabled() {
+            dwv_obs::counter("portfolio.decided_cheap").inc();
+        }
+    }
+
+    /// Surrogate query from the tiers' configured initial set: the first
+    /// tier that encloses wins; a tier is skipped only when it errors.
+    ///
+    /// # Errors
+    ///
+    /// The rigorous tier's error when every tier fails to enclose.
+    pub fn reach_surrogate(
+        &self,
+        controller: &C,
+        controller_hash: u64,
+    ) -> Result<Flowpipe, ReachError> {
+        self.walk(None, controller, controller_hash, None)
+    }
+
+    /// Surrogate query from an explicit initial cell.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PortfolioVerifier::reach_surrogate`].
+    pub fn reach_surrogate_from(
+        &self,
+        x0: &IntervalBox,
+        controller: &C,
+        controller_hash: u64,
+    ) -> Result<Flowpipe, ReachError> {
+        self.walk(Some(x0), controller, controller_hash, None)
+    }
+
+    /// Probe query: the cheapest *trustworthy* answer, without ever
+    /// billing the rigorous tier.
+    ///
+    /// Walks the cheap tiers cheapest-first. A tier's enclosure is
+    /// returned immediately when the caller's signed verdict margin clears
+    /// the slack (the enclosure is tight enough that its geometry can be
+    /// trusted for ranking); otherwise the walk escalates and the most
+    /// expensive cheap `Ok` is kept as the fallback answer. The rigorous
+    /// tier is consulted only when the portfolio has no cheap tiers at
+    /// all.
+    ///
+    /// This oracle is for the high-volume exploratory queries of
+    /// Algorithm 1, whose job is to *rank* candidates, not to certify
+    /// them: every enclosure returned is still sound, but a near-boundary
+    /// cheap verdict is never authoritative — callers must confirm any
+    /// acceptance through [`PortfolioVerifier::reach_rigorous`].
+    ///
+    /// # Errors
+    ///
+    /// The last cheap tier's error when every cheap tier fails to enclose
+    /// (a candidate whose loop diverges under every cheap geometry is
+    /// genuinely hopeless — probes don't pay the rigorous tier to learn
+    /// precisely how hopeless).
+    pub fn reach_probe(
+        &self,
+        controller: &C,
+        controller_hash: u64,
+        margin: &dyn Fn(&Flowpipe) -> f64,
+    ) -> Result<Flowpipe, ReachError> {
+        if self.cheap.is_empty() {
+            return self.reach_rigorous(controller, controller_hash);
+        }
+        let mut fallback: Option<Result<Flowpipe, ReachError>> = None;
+        for (i, tier) in self.cheap.iter().enumerate() {
+            match self.run_tier(i, &**tier, None, controller, controller_hash) {
+                Ok(fp) => {
+                    if margin(&fp) >= self.slack {
+                        self.note_decided_cheap();
+                        return Ok(fp);
+                    }
+                    self.note_escalation();
+                    fallback = Some(Ok(fp));
+                }
+                Err(e) => {
+                    self.note_escalation();
+                    if fallback.is_none() {
+                        fallback = Some(Err(e));
+                    }
+                }
+            }
+        }
+        fallback.unwrap_or_else(|| {
+            Err(ReachError::Unsupported(
+                "portfolio: no tier produced a result".into(),
+            ))
+        })
+    }
+
+    /// Decisive query: a cheap tier's enclosure is accepted only when
+    /// `margin` (the caller's signed verdict margin — positive means
+    /// "satisfies reach-avoid with this much room") clears the slack;
+    /// otherwise the query escalates, ending at the rigorous tier whose
+    /// answer is final either way.
+    ///
+    /// # Errors
+    ///
+    /// The rigorous tier's error when every tier fails to enclose.
+    pub fn reach_decisive_from(
+        &self,
+        x0: &IntervalBox,
+        controller: &C,
+        controller_hash: u64,
+        margin: &dyn Fn(&Flowpipe) -> f64,
+    ) -> Result<Flowpipe, ReachError> {
+        self.walk(Some(x0), controller, controller_hash, Some(margin))
+    }
+
+    /// Rigorous-tier query from the configured initial set (through the
+    /// rigorous tier's cache). The acceptance path of Algorithm 1.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the rigorous backend returns.
+    pub fn reach_rigorous(
+        &self,
+        controller: &C,
+        controller_hash: u64,
+    ) -> Result<Flowpipe, ReachError> {
+        let i = self.cheap.len();
+        self.run_tier(i, &*self.rigorous, None, controller, controller_hash)
+    }
+
+    /// Rigorous-tier query from an explicit initial cell.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the rigorous backend returns.
+    pub fn reach_rigorous_from(
+        &self,
+        x0: &IntervalBox,
+        controller: &C,
+        controller_hash: u64,
+    ) -> Result<Flowpipe, ReachError> {
+        let i = self.cheap.len();
+        self.run_tier(i, &*self.rigorous, Some(x0), controller, controller_hash)
+    }
+
+    fn walk(
+        &self,
+        x0: Option<&IntervalBox>,
+        controller: &C,
+        controller_hash: u64,
+        margin: Option<&dyn Fn(&Flowpipe) -> f64>,
+    ) -> Result<Flowpipe, ReachError> {
+        let n = self.n_tiers();
+        let mut last: Option<ReachError> = None;
+        for (i, tier) in self.iter_tiers().enumerate() {
+            let rigorous_tier = i + 1 == n;
+            match self.run_tier(i, tier, x0, controller, controller_hash) {
+                Ok(fp) => {
+                    if rigorous_tier {
+                        return Ok(fp);
+                    }
+                    // A cheap enclosure decides a surrogate query outright;
+                    // a decisive query also needs the verdict margin clear
+                    // of the slack (soundness allows trusting a cheap
+                    // "safe", never a cheap "violates").
+                    let decided = match margin {
+                        None => true,
+                        Some(m) => m(&fp) >= self.slack,
+                    };
+                    if decided {
+                        self.note_decided_cheap();
+                        return Ok(fp);
+                    }
+                    self.note_escalation();
+                }
+                Err(e) => {
+                    last = Some(e);
+                    if !rigorous_tier {
+                        self.note_escalation();
+                    }
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            ReachError::Unsupported("portfolio: no tier produced a result".into())
+        }))
+    }
+}
+
+impl<C: ?Sized> Verifier<C> for PortfolioVerifier<C> {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    /// The worst-case cost of a query: the rigorous authority's class.
+    fn cost_class(&self) -> CostClass {
+        self.rigorous.cost_class()
+    }
+
+    /// Surrogate semantics (cheapest sound enclosure), uncached key 0 — the
+    /// trait entry points are for heterogeneous composition, not the hot
+    /// learning loop, which passes real controller hashes.
+    fn reach(&self, controller: &C) -> Result<Flowpipe, ReachError> {
+        self.walk(None, controller, 0, None)
+    }
+
+    fn reach_from(&self, x0: &IntervalBox, controller: &C) -> Result<Flowpipe, ReachError> {
+        self.walk(Some(x0), controller, 0, None)
+    }
+}
+
+impl<C: ?Sized> std::fmt::Debug for PortfolioVerifier<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PortfolioVerifier")
+            .field("tiers", &self.tier_names())
+            .field("slack", &self.slack)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::hash_params;
+    use crate::interval_reach::IntervalReach;
+    use crate::linear::LinearReach;
+    use dwv_dynamics::{acc, LinearController};
+
+    fn acc_portfolio(slack: f64) -> PortfolioVerifier<LinearController> {
+        let problem = acc::reach_avoid_problem();
+        PortfolioVerifier::new(
+            Box::new(LinearReach::for_problem(&problem).expect("affine")),
+            slack,
+        )
+        .with_tier(Box::new(IntervalReach::for_problem(&problem)))
+    }
+
+    fn good_k() -> (LinearController, u64) {
+        let gains = vec![0.5867, -2.0];
+        (
+            LinearController::new(2, 1, gains.clone()),
+            hash_params(&gains),
+        )
+    }
+
+    #[test]
+    fn tiers_sort_cheapest_first() {
+        let p = acc_portfolio(0.05);
+        assert_eq!(p.tier_names(), vec!["interval", "linear-exact"]);
+        assert_eq!(p.n_tiers(), 2);
+        assert_eq!(p.rigorous().name(), "linear-exact");
+    }
+
+    #[test]
+    fn surrogate_decides_on_the_cheap_tier() {
+        let p = acc_portfolio(0.05);
+        let (k, h) = good_k();
+        let fp = p.reach_surrogate(&k, h).expect("encloses");
+        assert!(fp.len() > 1);
+        let s = p.stats();
+        assert_eq!(s.calls_by_tier, vec![1, 0]);
+        assert_eq!(s.decided_cheap, 1);
+        assert_eq!(s.escalations, 0);
+    }
+
+    #[test]
+    fn surrogate_escalates_on_cheap_tier_divergence() {
+        let p = acc_portfolio(0.05);
+        // Strong positive feedback: the interval tier blows up, the exact
+        // linear recursion still encloses (finitely).
+        let gains = vec![80.0, 80.0];
+        let k = LinearController::new(2, 1, gains.clone());
+        let r = p.reach_surrogate(&k, hash_params(&gains));
+        assert!(r.is_ok(), "rigorous tier should still answer: {r:?}");
+        let s = p.stats();
+        assert_eq!(s.calls_by_tier, vec![1, 1]);
+        assert_eq!(s.escalations, 1);
+        assert_eq!(s.decided_cheap, 0);
+    }
+
+    #[test]
+    fn decisive_escalates_when_margin_is_inside_slack() {
+        let p = acc_portfolio(0.5);
+        let (k, h) = good_k();
+        let x0 = acc::reach_avoid_problem().x0;
+        let r = p.reach_decisive_from(&x0, &k, h, &|_| 0.1);
+        assert!(r.is_ok());
+        let s = p.stats();
+        assert_eq!(s.calls_by_tier, vec![1, 1], "thin margin must escalate");
+        assert_eq!(s.escalations, 1);
+        assert_eq!(s.decided_cheap, 0);
+    }
+
+    #[test]
+    fn decisive_stops_cheap_when_margin_clears_slack() {
+        let p = acc_portfolio(0.5);
+        let (k, h) = good_k();
+        let x0 = acc::reach_avoid_problem().x0;
+        let r = p.reach_decisive_from(&x0, &k, h, &|_| 2.0);
+        assert!(r.is_ok());
+        assert_eq!(p.stats().calls_by_tier, vec![1, 0]);
+        assert_eq!(p.stats().decided_cheap, 1);
+    }
+
+    #[test]
+    fn probe_decides_on_the_cheap_tier_when_margin_clears() {
+        let p = acc_portfolio(0.05);
+        let (k, h) = good_k();
+        let fp = p.reach_probe(&k, h, &|_| 10.0).expect("encloses");
+        assert!(fp.len() > 1);
+        assert_eq!(p.stats().calls_by_tier, vec![1, 0]);
+        assert_eq!(p.stats().decided_cheap, 1);
+    }
+
+    #[test]
+    fn probe_never_bills_the_rigorous_tier() {
+        let problem = acc::reach_avoid_problem();
+        let p = PortfolioVerifier::new(
+            Box::new(LinearReach::for_problem(&problem).expect("affine")),
+            0.05,
+        )
+        .with_tier(Box::new(IntervalReach::for_problem(&problem)))
+        .with_tier(Box::new(
+            crate::zonotope_reach::ZonotopeReach::for_problem(&problem).expect("affine"),
+        ));
+        let (k, h) = good_k();
+        // A margin that never clears: the probe escalates through every
+        // cheap tier and settles on the tightest cheap answer — the exact
+        // tier stays untouched.
+        let fp = p
+            .reach_probe(&k, h, &|_| f64::NEG_INFINITY)
+            .expect("cheap tiers enclose");
+        assert!(fp.len() > 1);
+        assert_eq!(p.stats().calls_by_tier, vec![1, 1, 0]);
+        assert_eq!(p.stats().decided_cheap, 0);
+        assert_eq!(p.stats().escalations, 2);
+    }
+
+    #[test]
+    fn probe_on_single_tier_portfolio_uses_the_rigorous_tier() {
+        let problem = acc::reach_avoid_problem();
+        let p: PortfolioVerifier<LinearController> = PortfolioVerifier::new(
+            Box::new(LinearReach::for_problem(&problem).expect("affine")),
+            0.05,
+        );
+        let (k, h) = good_k();
+        assert!(p.reach_probe(&k, h, &|_| 0.0).is_ok());
+        assert_eq!(p.stats().calls_by_tier, vec![1]);
+    }
+
+    #[test]
+    fn per_tier_caches_do_not_alias_and_hits_are_not_calls() {
+        let p = acc_portfolio(0.05);
+        let (k, h) = good_k();
+        let a = p.reach_surrogate(&k, h).expect("encloses");
+        let b = p.reach_surrogate(&k, h).expect("encloses");
+        assert_eq!(a, b, "cached replay must be bit-identical");
+        let s = p.stats();
+        assert_eq!(s.calls_by_tier, vec![1, 0], "second query was a hit");
+        // The rigorous path computes its own enclosure even for the same
+        // key — per-tier caches must not hand back the cheap tier's pipe.
+        let rig = p.reach_rigorous(&k, h).expect("encloses");
+        assert_ne!(a, rig, "tiers produce different enclosures");
+        assert_eq!(p.stats().calls_by_tier, vec![1, 1]);
+        let cs = p.cache_stats();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].hits, 1);
+        assert_eq!(cs[1].hits, 0);
+    }
+
+    #[test]
+    fn rigorous_entry_point_skips_cheap_tiers() {
+        let p = acc_portfolio(0.05);
+        let (k, h) = good_k();
+        let x0 = acc::reach_avoid_problem().x0;
+        let fp = p.reach_rigorous_from(&x0, &k, h).expect("encloses");
+        assert!(fp.len() > 1);
+        assert_eq!(p.stats().calls_by_tier, vec![0, 1]);
+        assert_eq!(p.stats().decided_cheap, 0);
+    }
+
+    #[test]
+    fn invalidate_controller_flushes_every_tier() {
+        let p = acc_portfolio(0.05);
+        let (k, h) = good_k();
+        let _ = p.reach_surrogate(&k, h);
+        let _ = p.reach_rigorous(&k, h);
+        p.invalidate_controller(h);
+        assert!(p.cache_stats().iter().all(|s| s.entries == 0));
+    }
+
+    #[test]
+    fn trait_object_composition_works() {
+        let p = acc_portfolio(0.05);
+        let (k, _) = good_k();
+        let v: &dyn Verifier<LinearController> = &p;
+        assert_eq!(v.name(), "portfolio");
+        assert_eq!(v.cost_class(), CostClass::Exact);
+        assert!(v.reach(&k).is_ok());
+    }
+}

@@ -208,6 +208,28 @@ impl ZonotopeReach {
     }
 }
 
+impl crate::verifier::Verifier<LinearController> for ZonotopeReach {
+    fn name(&self) -> &'static str {
+        "zonotope"
+    }
+
+    fn cost_class(&self) -> crate::verifier::CostClass {
+        crate::verifier::CostClass::Zonotope
+    }
+
+    fn reach(&self, controller: &LinearController) -> Result<Flowpipe, ReachError> {
+        ZonotopeReach::reach(self, controller)
+    }
+
+    fn reach_from(
+        &self,
+        x0: &IntervalBox,
+        controller: &LinearController,
+    ) -> Result<Flowpipe, ReachError> {
+        self.clone().with_initial_set(x0.clone()).reach(controller)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

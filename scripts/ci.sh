@@ -59,6 +59,12 @@ if [[ "${1:-}" == "--all" ]]; then
   run cargo test -q --release --offline -p dwv-core parallel
   run cargo run --release --offline -p dwv-check -- --family simd --seed 2 --budget-cases 2000 --threads 2
   run cargo run --release --offline -p dwv-check -- --family simd --seed 4 --budget-cases 2000 --threads 4
+  # Portfolio gate: the tiered-verifier contract (every tier's enclosure
+  # contains sampled closed-loop trajectories; cheap unsafe-clearance and
+  # goal-containment claims are never contradicted by the rigorous tier) plus
+  # the differential: surrogate-mode Algorithm 1 acceptances must survive a
+  # fresh rigorous-only re-verification. See DESIGN.md §4f.
+  run cargo run --release --offline -p dwv-check -- --family portfolio --seed 0xD3C0DE --budget-cases 2500
   # Overflow gate: the soundness-critical kernels must be free of silent
   # integer wraparound (exponent packing, tensor offsets, binomial tables).
   echo '==> RUSTFLAGS="-C overflow-checks=on" cargo test -q --offline -p dwv-interval -p dwv-taylor'
