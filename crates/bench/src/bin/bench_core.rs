@@ -17,10 +17,12 @@
 //! serial plus scheduling overhead by design).
 //!
 //! Run with `cargo run --release -p dwv-bench --bin bench_core`.
-//! Run with `--check` to re-measure only `acc_algorithm1_iteration` and the
-//! 1-thread scaling row and fail (exit 1) if either regressed more than 10%
-//! against the committed `BENCH_core.json` — this is the CI
-//! bench-regression guard.
+//! Run with `--check` to re-measure only `acc_algorithm1_iteration`, the
+//! 1-thread scaling row and `portfolio_algorithm1_iteration` and fail
+//! (exit 1) if any regressed more than 10% against the committed
+//! `BENCH_core.json`, if the default-on flight recorder costs more than
+//! 10% on either iteration bench, or if the portfolio's tier economy
+//! collapses — this is the CI bench-regression guard.
 
 use dwv_core::parallel::WorkerPool;
 use dwv_core::{
@@ -338,6 +340,32 @@ fn check_mode() -> i32 {
         );
         if ratio > 1.10 {
             eprintln!("bench check: FAIL — {label} regressed more than 10% vs the recorded number");
+            return 1;
+        }
+    }
+    // Flight-recorder overhead: the ring is on by default in every binary,
+    // so its cost on the hot loop must stay within the same 10% envelope
+    // (tracing stays off in both arms; only the recorder toggles).
+    type FlightGuard = (&'static str, fn() -> f64);
+    let flight_guards: &[FlightGuard] = &[
+        ("acc_algorithm1_iteration", bench_acc_algorithm1_iteration),
+        (
+            "portfolio_algorithm1_iteration",
+            bench_portfolio_algorithm1_iteration,
+        ),
+    ];
+    for (label, bench) in flight_guards {
+        dwv_obs::set_flight_enabled(false);
+        let off = (0..3).map(|_| bench()).fold(f64::INFINITY, f64::min);
+        dwv_obs::set_flight_enabled(true);
+        let on = (0..3).map(|_| bench()).fold(f64::INFINITY, f64::min);
+        let ratio = on / off;
+        eprintln!(
+            "bench check: flight recorder on {label}: on {on:.4e} s, \
+             off {off:.4e} s (x{ratio:.2})"
+        );
+        if ratio > 1.10 {
+            eprintln!("bench check: FAIL — the flight recorder costs more than 10% on {label}");
             return 1;
         }
     }

@@ -11,6 +11,9 @@
 //! repro all               everything above
 //! repro quick             a fast subset (ACC rows + fig4)
 //! ```
+//!
+//! `DWV_TRACE=path` streams a JSONL span trace of the whole run, closed
+//! with a metrics snapshot, ready for `dwv-trace <path>`.
 
 use dwv_bench::tables::render_rows;
 use dwv_bench::{
@@ -21,6 +24,7 @@ use std::fs;
 use std::path::Path;
 
 fn main() {
+    let tracing = dwv_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("quick");
     let out_dir = Path::new("target/repro");
@@ -130,5 +134,12 @@ fn main() {
             );
             std::process::exit(2);
         }
+    }
+
+    if tracing {
+        // Close the JSONL stream with a metrics snapshot so dwv-trace can
+        // reconcile the per-tier verifier bill from the counters.
+        dwv_obs::emit_snapshot();
+        dwv_obs::flush();
     }
 }

@@ -7,11 +7,13 @@
 //!
 //! Checks that every line is a standalone JSON object carrying the reserved
 //! fields (`t_us`, `tid`, `kind`, `name`), that timestamps are monotone
-//! non-decreasing per thread, and that the trace contains the signals the
-//! observability layer promises for a full design-while-verify run: span
-//! timings for the `train` / `verify` / `simulate` phases, reach-cache
-//! hit/miss counters, and remainder-width metrics. Exits 1 with a
-//! diagnostic on any violation.
+//! non-decreasing per thread, that span lines carry valid `span_id` /
+//! `parent_id` fields whose links resolve same-thread with child intervals
+//! nested inside their parents (via `dwv_trace::validate_nesting`), and
+//! that the trace contains the signals the observability layer promises
+//! for a full design-while-verify run: span timings for the `train` /
+//! `verify` / `simulate` phases, reach-cache hit/miss counters, and
+//! remainder-width metrics. Exits 1 with a diagnostic on any violation.
 
 use dwv_obs::json::{parse, JsonValue};
 use std::collections::HashMap;
@@ -96,6 +98,17 @@ fn main() -> ExitCode {
 
     if lines == 0 {
         return fail("trace is empty");
+    }
+    // Strict span identity and nesting, via the analyzer crate: every span
+    // line must carry span_id / parent_id (the parser rejects lines
+    // without them), ids must be unique, parents must resolve on the same
+    // thread, and child intervals must sit inside their parents'.
+    let data = match dwv_trace::parse_trace(&text) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("span identity: {e}")),
+    };
+    if let Err(e) = dwv_trace::validate_nesting(&data.spans, dwv_trace::NESTING_SLACK_US) {
+        return fail(&format!("span nesting: {e}"));
     }
     for required in REQUIRED_SPANS {
         if !span_durations.contains_key(*required) {

@@ -25,6 +25,7 @@ mod poly;
 mod portfolio;
 mod simd;
 mod taylor;
+mod trace;
 mod verdict;
 mod wasserstein;
 
@@ -65,6 +66,7 @@ pub fn registry() -> Vec<Box<dyn Family>> {
         Box::new(verdict::VerdictFamily),
         Box::new(simd::SimdFamily),
         Box::new(portfolio::PortfolioFamily),
+        Box::new(trace::TraceFamily),
     ]
 }
 

@@ -365,7 +365,17 @@ impl Algorithm1 {
             }
             portfolio.reach_rigorous(c, dwv_reach::hash_params(&c.params()))
         };
-        let mut outcome = self.learn_loop(init, &probe, &rigor, confirm_every.max(1), fresh);
+        // Per-iteration tier bills for the trace CSV: the loop diffs this
+        // snapshot around every iteration it records.
+        let tier_stats = || portfolio.stats().calls_by_tier;
+        let mut outcome = self.learn_loop(
+            init,
+            &probe,
+            &rigor,
+            confirm_every.max(1),
+            fresh,
+            Some(&tier_stats),
+        );
         let stats = portfolio.stats();
         if dwv_obs::enabled() {
             dwv_obs::event(
@@ -419,7 +429,7 @@ impl Algorithm1 {
         // One oracle plays both roles: with `confirm_every == 0` every
         // query is rigorous and no confirmation step runs, so this path is
         // bit-identical to the pre-portfolio learner.
-        self.learn_loop(init, &verify, &verify, 0, fresh)
+        self.learn_loop(init, &verify, &verify, 0, fresh, None)
     }
 
     /// The two-oracle loop underneath [`Self::learn_with_restarts`].
@@ -436,6 +446,10 @@ impl Algorithm1 {
     ///   without a probe claim (cheap tiers can be too loose to ever see
     ///   convergence);
     /// * the final acceptance and [`judge`] verdict always use `rigor`.
+    ///
+    /// `tier_stats`, when present, reports the portfolio's cumulative
+    /// per-tier call counts; the loop diffs it around each iteration to
+    /// fill [`IterationRecord::tier_calls`].
     fn learn_loop<C, P, R>(
         &self,
         init: Option<C>,
@@ -443,6 +457,7 @@ impl Algorithm1 {
         rigor: &R,
         confirm_every: usize,
         fresh: &mut dyn FnMut(&mut StdRng) -> C,
+        tier_stats: Option<&(dyn Fn() -> Vec<u64> + Sync)>,
     ) -> LearnOutcome<C>
     where
         C: Controller + Clone + Sync,
@@ -465,6 +480,22 @@ impl Algorithm1 {
             let attempt = verify(c);
             let ev = self.evaluate(&attempt);
             (ev, attempt.ok())
+        };
+
+        // Cumulative per-tier bill at the start of the iteration being
+        // recorded; taken before initialization so the init draws bill to
+        // iteration 0 (matching `calls_this_iter`).
+        let mut tier_before = tier_stats.map(|stats| stats());
+        let mut bill_tiers = |record: &mut IterationRecord| {
+            if let (Some(stats), Some(before)) = (tier_stats, tier_before.as_mut()) {
+                let now = stats();
+                record.tier_calls = now
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| n.saturating_sub(before.get(i).copied().unwrap_or(0)))
+                    .collect();
+                *before = now;
+            }
         };
 
         // Initialize: explicit controller, or the best of three random draws.
@@ -529,6 +560,7 @@ impl Algorithm1 {
                 verifier_calls: calls,
                 cache_hits: cache_hits_so_far() - hits_before,
                 remainder_width,
+                tier_calls: Vec::new(),
             };
             if current.reach_avoid {
                 // Surrogate mode: a cheap tier's reach-avoid claim is only
@@ -549,6 +581,7 @@ impl Algorithm1 {
                     ev.reach_avoid
                 };
                 if confirmed {
+                    bill_tiers(&mut record);
                     trace.push(record);
                     iterations = i;
                     break;
@@ -571,6 +604,7 @@ impl Algorithm1 {
                     record.goal_metric = ev.goal_metric;
                     record.verifier_calls = calls;
                     record.elapsed = started.elapsed();
+                    bill_tiers(&mut record);
                     trace.push(record);
                     iterations = i;
                     break;
@@ -578,6 +612,7 @@ impl Algorithm1 {
             }
             if i == self.config.max_updates {
                 record.verifier_calls = calls;
+                bill_tiers(&mut record);
                 trace.push(record);
                 break;
             }
@@ -611,6 +646,7 @@ impl Algorithm1 {
                 radius = radius_init;
                 record.elapsed = started.elapsed();
                 record.verifier_calls = calls;
+                bill_tiers(&mut record);
                 trace.push(record);
                 continue;
             }
@@ -624,6 +660,7 @@ impl Algorithm1 {
                 radius *= 0.5;
                 record.elapsed = started.elapsed();
                 record.verifier_calls = calls;
+                bill_tiers(&mut record);
                 trace.push(record);
                 continue;
             }
@@ -643,6 +680,7 @@ impl Algorithm1 {
             record.elapsed = started.elapsed();
             record.verifier_calls = calls;
             record.cache_hits = cache_hits_so_far() - hits_before;
+            bill_tiers(&mut record);
             trace.push(record);
         }
 
@@ -772,7 +810,10 @@ impl Algorithm1 {
     /// the scalar learning objective.
     fn evaluate(&self, attempt: &Result<Flowpipe, ReachError>) -> Evaluation {
         let Ok(fp) = attempt else {
-            // Diverged flowpipe: the worst possible candidate.
+            // Diverged flowpipe: the worst possible candidate. Leave a mark
+            // in the flight recorder so a post-mortem dump shows which
+            // stretch of the run was fighting divergence.
+            dwv_obs::flight_anomaly("alg1.diverged", FAIL_PENALTY);
             return Evaluation {
                 unsafe_metric: -FAIL_PENALTY,
                 goal_metric: -FAIL_PENALTY,
@@ -982,6 +1023,24 @@ mod tests {
             cheap >= 5 * rigorous,
             "portfolio should answer ≥5x more queries cheaply: cheap={cheap} rigorous={rigorous}"
         );
+        // Per-iteration tier bills reconcile with the portfolio totals: the
+        // cheap tiers bill entirely inside the loop; the rigorous tier may
+        // add at most one acceptance call after it (zero when the final
+        // verification was a cache hit).
+        let mut by_tier = vec![0u64; stats.calls_by_tier.len()];
+        for r in outcome.trace.records() {
+            assert_eq!(r.tier_calls.len(), by_tier.len(), "it {}", r.iteration);
+            for (acc, c) in by_tier.iter_mut().zip(&r.tier_calls) {
+                *acc += c;
+            }
+        }
+        let tail = by_tier.len() - 1;
+        assert_eq!(by_tier[..tail], stats.calls_by_tier[..tail]);
+        let outside = stats.calls_by_tier[tail] - by_tier[tail];
+        assert!(
+            outside <= 1,
+            "only the final acceptance may bill outside the loop: {outside}"
+        );
         // Compare against the baseline's rigorous bill on the same seed.
         let base_cfg = quick_config(MetricKind::Geometric, 7);
         let baseline = Algorithm1::new(acc::reach_avoid_problem(), base_cfg)
@@ -1028,6 +1087,14 @@ mod tests {
         .learn_linear()
         .unwrap();
         assert!(outcome.portfolio.is_none());
+        assert!(
+            outcome
+                .trace
+                .records()
+                .iter()
+                .all(|r| r.tier_calls.is_empty()),
+            "single-backend traces carry no tier columns"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::algorithm1::{Algorithm1, LearnError, LearnOutcome};
 use crate::config::{AbstractionKind, LearnConfig, PortfolioMode};
-use crate::report::{assess, VerificationReport};
+use crate::report::{assess, ProvenanceSummary, VerificationReport};
 use dwv_dynamics::{Controller, LinearController, NnController, ReachAvoidProblem};
 use dwv_interval::IntervalBox;
 use dwv_metrics::GeometricMetric;
@@ -122,9 +122,24 @@ fn assess_with_portfolio<C: Controller + Sync>(
             f64::NEG_INFINITY
         }
     };
-    assess(problem, controller, move |cell: &IntervalBox| {
-        portfolio.reach_decisive_from(cell, controller, h, &margin)
-    })
+    // Record which tier decided every query (the whole-`X₀` verification
+    // plus each Algorithm-2 cell) so the report can attribute its verdicts.
+    // `assess` calls the oracle single-threaded, so a `RefCell` suffices.
+    let queries = std::cell::RefCell::new(Vec::new());
+    let mut report = assess(problem, controller, |cell: &IntervalBox| {
+        let (result, prov) = portfolio.reach_decisive_from_prov(cell, controller, h, &margin);
+        queries.borrow_mut().push(prov);
+        result
+    });
+    report.provenance = Some(ProvenanceSummary::from_queries(
+        portfolio
+            .tier_names()
+            .into_iter()
+            .map(str::to_string)
+            .collect(),
+        queries.into_inner(),
+    ));
+    report
 }
 
 /// Learns and certifies a neural-network controller with the Taylor-model
@@ -233,5 +248,26 @@ mod tests {
             cheap >= 5 * rigorous,
             "end-to-end rigorous bill should shrink ≥5x: cheap={cheap} rigorous={rigorous}"
         );
+        // The baseline assesses on a single backend: no provenance. The
+        // tiered sweep must attribute every query to a deciding tier.
+        assert!(baseline.report.provenance.is_none());
+        let prov = tiered
+            .report
+            .provenance
+            .as_ref()
+            .expect("portfolio sweep records provenance");
+        assert_eq!(
+            prov.tiers,
+            vec!["interval", "zonotope", "linear-exact"],
+            "tier order is portfolio order"
+        );
+        assert_eq!(prov.queries(), prov.cells.len());
+        assert!(prov.queries() >= 1, "at least the whole-X0 query");
+        assert_eq!(
+            prov.decided_by_tier.iter().sum::<u64>(),
+            prov.queries() as u64,
+            "every query is decided by exactly one tier"
+        );
+        assert!(format!("{}", tiered.report).contains("provenance"));
     }
 }

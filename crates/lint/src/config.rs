@@ -83,10 +83,12 @@ impl Default for ZoneConfig {
             kernel_module_files: v(&["crates/poly/src/kernels.rs"]),
             // The verified core: a panic mid-flowpipe would abort a whole
             // training run, so library paths must be Result-carrying.
-            panic_free_crates: v(&["interval", "poly", "taylor", "reach", "core"]),
+            panic_free_crates: v(&["interval", "poly", "taylor", "reach", "core", "trace"]),
             // Result-bearing parallel/caching code: the bit-identity contract
             // (serial vs parallel, cached vs fresh) forbids iteration-order,
-            // wall-clock, and thread-identity dependence.
+            // wall-clock, and thread-identity dependence. The trace analyzer
+            // joins the zone: its reports must be byte-identical at every
+            // worker-pool width, so its aggregation must be order-stable.
             determinism_zone_files: v(&[
                 "crates/core/src/parallel.rs",
                 "crates/reach/src/cache.rs",
@@ -94,6 +96,14 @@ impl Default for ZoneConfig {
                 "crates/reach/src/sweep.rs",
                 "crates/poly/src/bernstein.rs",
                 "crates/poly/src/tables.rs",
+                "crates/trace/src/model.rs",
+                "crates/trace/src/forest.rs",
+                "crates/trace/src/attribution.rs",
+                "crates/trace/src/critical.rs",
+                "crates/trace/src/folded.rs",
+                "crates/trace/src/bill.rs",
+                "crates/trace/src/lib.rs",
+                "crates/obs/src/recorder.rs",
             ]),
         }
     }
@@ -170,7 +180,10 @@ mod tests {
         assert!(z.in_float_zone("crates/reach/src/portfolio.rs"));
         assert!(!z.in_float_zone("crates/interval/src/interval.rs"));
         assert!(z.in_panic_free_crate("crates/reach/src/cache.rs"));
+        assert!(z.in_panic_free_crate("crates/trace/src/forest.rs"));
         assert!(!z.in_panic_free_crate("crates/obs/src/trace.rs"));
         assert!(z.in_determinism_zone("crates/core/src/parallel.rs"));
+        assert!(z.in_determinism_zone("crates/trace/src/attribution.rs"));
+        assert!(z.in_determinism_zone("crates/obs/src/recorder.rs"));
     }
 }

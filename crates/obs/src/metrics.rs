@@ -85,9 +85,38 @@ impl Gauge {
     }
 }
 
-/// A streaming summary of recorded samples: count, sum, min and max.
+/// Number of fixed log-spaced quantile buckets per histogram.
+const N_BUCKETS: usize = 64;
+
+/// Binary exponent covered by bucket 0: everything at or below
+/// `2^BUCKET_EXP_MIN` (including zero, subnormals and — by magnitude —
+/// negatives) lands there. With 64 buckets the top bucket starts at
+/// `2^(BUCKET_EXP_MIN + 63)` ≈ 8.4e6, so span durations in seconds and the
+/// workspace's remainder widths all fall in range.
+const BUCKET_EXP_MIN: i32 = -40;
+
+/// The bucket index for a finite sample: its unbiased binary exponent,
+/// clamped to the covered range. Pure bit arithmetic — no branches on the
+/// value, no floating-point comparisons.
+fn bucket_index(v: f64) -> usize {
+    let unbiased = ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+    (unbiased - BUCKET_EXP_MIN).clamp(0, N_BUCKETS as i32 - 1) as usize
+}
+
+/// The representative value reported for a bucket: the geometric midpoint
+/// `1.5·2^k` of its `[2^k, 2^(k+1))` range, giving ≤ 50% relative error —
+/// the usual contract for log-bucketed quantiles.
+fn bucket_value(idx: usize) -> f64 {
+    1.5 * 2.0f64.powi(BUCKET_EXP_MIN + idx as i32)
+}
+
+/// A streaming summary of recorded samples: count, sum, min, max and a
+/// fixed log-bucketed distribution for p50/p90/p99 quantiles.
 ///
-/// Lock-free; see the module docs for the exact determinism guarantees.
+/// Lock-free and allocation-free on the record path; see the module docs
+/// for the exact determinism guarantees. Quantiles are exact to within one
+/// power-of-two bucket (≤ 50% relative error), which is the right fidelity
+/// for SLO-style latency reporting.
 #[derive(Debug)]
 pub struct Histogram {
     count: AtomicU64,
@@ -96,6 +125,9 @@ pub struct Histogram {
     sum_bits: AtomicU64,
     min_bits: AtomicU64,
     max_bits: AtomicU64,
+    /// Per-bucket sample counts (finite samples only), keyed by binary
+    /// exponent — see [`bucket_index`].
+    buckets: [AtomicU64; N_BUCKETS],
 }
 
 impl Default for Histogram {
@@ -105,17 +137,21 @@ impl Default for Histogram {
             sum_bits: AtomicU64::new(0f64.to_bits()),
             min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
 
 impl Histogram {
     /// Records one sample. Non-finite samples are counted but excluded from
-    /// sum/min/max so one NaN cannot poison the summary.
+    /// sum/min/max/quantiles so one NaN cannot poison the summary.
     pub fn record(&self, v: f64) {
         self.count.fetch_add(1, Ordering::Relaxed);
         if !v.is_finite() {
             return;
+        }
+        if let Some(bucket) = self.buckets.get(bucket_index(v)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
         }
         let _ = self
             .sum_bits
@@ -147,11 +183,17 @@ impl Histogram {
         let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
         let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
         let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let buckets: [u64; N_BUCKETS] =
+            std::array::from_fn(|i| self.buckets.get(i).map_or(0, |b| b.load(Ordering::Relaxed)));
+        let quantile = |q: f64| quantile_from_buckets(&buckets, q);
         HistogramStats {
             count,
             sum,
             min: if min.is_finite() { min } else { 0.0 },
             max: if max.is_finite() { max } else { 0.0 },
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
         }
     }
 
@@ -162,7 +204,29 @@ impl Histogram {
             .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
         self.max_bits
             .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
     }
+}
+
+/// The representative value of the bucket containing the `ceil(q·n)`-th
+/// smallest bucketed sample (0.0 when no finite sample was recorded).
+fn quantile_from_buckets(buckets: &[u64; N_BUCKETS], q: f64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (idx, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return bucket_value(idx);
+        }
+    }
+    bucket_value(N_BUCKETS - 1)
 }
 
 /// Point-in-time histogram summary.
@@ -176,6 +240,12 @@ pub struct HistogramStats {
     pub min: f64,
     /// Largest finite sample (0.0 when none).
     pub max: f64,
+    /// Median, as the representative of its log bucket (0.0 when empty).
+    pub p50: f64,
+    /// 90th percentile, bucket-representative (0.0 when empty).
+    pub p90: f64,
+    /// 99th percentile, bucket-representative (0.0 when empty).
+    pub p99: f64,
 }
 
 impl HistogramStats {
@@ -339,13 +409,16 @@ impl MetricsSnapshot {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
                 crate::sink::json_string(name),
                 h.count,
                 crate::sink::json_number(h.sum),
                 crate::sink::json_number(h.min),
                 crate::sink::json_number(h.max),
                 crate::sink::json_number(h.mean()),
+                crate::sink::json_number(h.p50),
+                crate::sink::json_number(h.p90),
+                crate::sink::json_number(h.p99),
             ));
         }
         out.push_str("}}");
@@ -368,17 +441,19 @@ impl fmt::Display for MetricsSnapshot {
         if !live_hists.is_empty() {
             writeln!(
                 f,
-                "{:<28} {:>9} {:>12} {:>12} {:>12}",
-                "timer/histogram", "count", "mean", "min", "max"
+                "{:<28} {:>9} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                "timer/histogram", "count", "mean", "min", "max", "p50", "p99"
             )?;
             for (name, h) in live_hists {
                 writeln!(
                     f,
-                    "{name:<28} {:>9} {:>12.4e} {:>12.4e} {:>12.4e}",
+                    "{name:<28} {:>9} {:>12.4e} {:>12.4e} {:>12.4e} {:>12.4e} {:>12.4e}",
                     h.count,
                     h.mean(),
                     h.min,
-                    h.max
+                    h.max,
+                    h.p50,
+                    h.p99
                 )?;
             }
         }
@@ -488,6 +563,54 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_track_log_buckets() {
+        let h = histogram("test.metrics.quantiles");
+        // 100 samples: 89 at ~1e-3, 10 at ~1e-1, 1 at ~10.0 — p50 must sit
+        // in the small band, p90 on its boundary rank, p99 in the middle
+        // band, and everything within one log2 bucket (factor of 2).
+        for _ in 0..89 {
+            h.record(1e-3);
+        }
+        for _ in 0..10 {
+            h.record(1e-1);
+        }
+        h.record(10.0);
+        let s = h.stats();
+        let within = |got: f64, want: f64| got >= want / 2.0 && got <= want * 2.0;
+        assert!(within(s.p50, 1e-3), "p50 {} vs 1e-3", s.p50);
+        assert!(within(s.p90, 1e-1), "p90 {} vs 1e-1", s.p90);
+        assert!(within(s.p99, 1e-1), "p99 {} vs 1e-1", s.p99);
+    }
+
+    #[test]
+    fn quantiles_handle_edge_samples() {
+        let h = histogram("test.metrics.quantile_edges");
+        assert_eq!(h.stats().p50, 0.0, "empty histogram quantile is 0");
+        h.record(0.0);
+        h.record(f64::NAN); // counted, never bucketed
+        let s = h.stats();
+        assert_eq!(s.count, 2);
+        assert!(
+            s.p50 > 0.0 && s.p50 < 1e-11,
+            "zero lands in the bottom bucket: {}",
+            s.p50
+        );
+        // A sample far above the covered range clamps to the top bucket.
+        h.record(1e30);
+        assert!(h.stats().p99 > 1e6);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let values = [0.0, 1e-12, 1e-6, 1e-3, 1.0, 1e3, 1e6, 1e9];
+        let idx: Vec<usize> = values.iter().map(|&v| bucket_index(v)).collect();
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(idx, sorted, "log buckets must preserve order: {idx:?}");
+        assert!(bucket_value(1) > bucket_value(0));
+    }
+
+    #[test]
     fn snapshot_json_is_parseable() {
         counter("test.snap_json.c").inc();
         histogram("test.snap_json.h").record(0.5);
@@ -496,6 +619,16 @@ mod tests {
         let obj = v.as_object().expect("top-level object");
         assert!(obj.iter().any(|(k, _)| k == "counters"));
         assert!(obj.iter().any(|(k, _)| k == "histograms"));
+        let h = v
+            .get("histograms")
+            .and_then(|h| h.get("test.snap_json.h"))
+            .expect("recorded histogram present");
+        for q in ["p50", "p90", "p99"] {
+            assert!(
+                h.get(q).and_then(|v| v.as_number()).is_some(),
+                "snapshot histogram missing {q}"
+            );
+        }
     }
 
     #[test]

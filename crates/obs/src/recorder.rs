@@ -1,0 +1,420 @@
+//! The flight recorder: a fixed-capacity lock-free ring of recent events.
+//!
+//! Post-mortem debugging of a verification run needs the *last few thousand*
+//! observations — which span was open, which anomaly fired — far more than
+//! it needs a full trace. The flight recorder keeps exactly that: every
+//! span open/close, structured event and anomaly is also written into a
+//! fixed ring of atomic slots, cheap enough to leave on in production runs
+//! where `DWV_TRACE` is unset (the `bench_core --check` overhead guard
+//! enforces the ≤10% envelope).
+//!
+//! # Overhead contract
+//!
+//! Recording is allocation-free and lock-free: one `fetch_add` claims a
+//! slot, a handful of relaxed stores fill it, and a release store of the
+//! sequence number publishes it. Name interning takes a lock only the
+//! *first* time a given `&'static str` is seen; afterwards it is a single
+//! probe into a fixed open-addressed table of atomics. Turning the recorder
+//! off ([`set_flight_enabled`]) reduces every call site to one relaxed load.
+//!
+//! # Dumping
+//!
+//! The ring is dumped to JSONL (parseable by [`crate::json`]) by
+//! [`flight_dump_to`], and automatically to the `DWV_FLIGHT=path` file
+//! from a chained panic hook ([`install_flight_panic_hook`]) and from
+//! anomaly sites ([`flight_anomaly`]: Picard retry exhaustion, Algorithm 1
+//! divergence). A torn slot — one being overwritten while the dump reads
+//! it — is detected by its sequence number and skipped: a crash dump is
+//! best-effort by construction, never blocking and never unsound.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+
+/// Number of ring slots. Power of two so the modulo is a mask; 4096 events
+/// is plenty to cover the final iterations leading up to a crash.
+const RING_CAP: usize = 4096;
+
+/// Event kinds stored in a slot's `kind` word.
+const KIND_EVENT: u64 = 0;
+const KIND_SPAN_OPEN: u64 = 1;
+const KIND_SPAN_CLOSE: u64 = 2;
+const KIND_ANOMALY: u64 = 3;
+
+/// One ring slot. `seq` is 0 while a writer is mid-flight and `ticket + 1`
+/// once published, so readers can detect torn slots without locking.
+struct Slot {
+    seq: AtomicU64,
+    t_us: AtomicU64,
+    tid: AtomicU64,
+    kind: AtomicU64,
+    name_id: AtomicU64,
+    bits: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)] // const used only as an array initializer
+const EMPTY_SLOT: Slot = Slot {
+    seq: AtomicU64::new(0),
+    t_us: AtomicU64::new(0),
+    tid: AtomicU64::new(0),
+    kind: AtomicU64::new(0),
+    name_id: AtomicU64::new(0),
+    bits: AtomicU64::new(0),
+};
+
+static RING: [Slot; RING_CAP] = [EMPTY_SLOT; RING_CAP];
+/// Next ticket; slot index is `ticket % RING_CAP`, published seq is
+/// `ticket + 1` (so 0 always means "never written / in flight").
+static HEAD: AtomicU64 = AtomicU64::new(0);
+
+/// Default-on: the ring must be cheap enough to always run.
+static FLIGHT_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether the flight recorder is on. One relaxed atomic load.
+#[inline]
+#[must_use]
+pub fn flight_enabled() -> bool {
+    FLIGHT_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the flight recorder on or off. It is on by default; benchmarks
+/// turn it off to measure the bare computation.
+pub fn set_flight_enabled(on: bool) {
+    FLIGHT_ENABLED.store(on, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Name interning: &'static str -> small id, lock-free after first sighting.
+// ---------------------------------------------------------------------------
+
+/// Open-addressed probe table capacity (must exceed the number of distinct
+/// instrumentation names by a healthy margin; the slow path still works if
+/// it fills, it just always takes the lock).
+const INTERN_CAP: usize = 512;
+
+#[allow(clippy::declare_interior_mutable_const)] // const used only as an array initializer
+const ZERO_U64: AtomicU64 = AtomicU64::new(0);
+
+/// Keys are the `&'static str` data pointers (never 0 for a live str).
+static INTERN_KEYS: [AtomicU64; INTERN_CAP] = [ZERO_U64; INTERN_CAP];
+/// Values are `id + 1` (0 = not yet published).
+static INTERN_VALS: [AtomicU64; INTERN_CAP] = [ZERO_U64; INTERN_CAP];
+/// The id -> name table, appended under lock on first sighting only.
+static NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+fn probe_start(key: u64) -> usize {
+    // Fibonacci hashing of the pointer; the table is a power of two.
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % INTERN_CAP
+}
+
+fn intern(name: &'static str) -> u64 {
+    let key = name.as_ptr() as u64;
+    let mut i = probe_start(key);
+    for _ in 0..INTERN_CAP {
+        match INTERN_KEYS.get(i).map(|k| k.load(Ordering::Acquire)) {
+            Some(k) if k == key => {
+                if let Some(v) = INTERN_VALS.get(i) {
+                    let v = v.load(Ordering::Acquire);
+                    if v != 0 {
+                        return v - 1;
+                    }
+                }
+                break; // publisher mid-flight: fall through to the lock
+            }
+            Some(0) => break, // unseen pointer
+            Some(_) => i = (i + 1) % INTERN_CAP,
+            None => break,
+        }
+    }
+    intern_slow(name, key)
+}
+
+/// The locked slow path: resolves content-equal names (two equal literals
+/// may have distinct pointers) to one id and publishes the pointer key.
+fn intern_slow(name: &'static str, key: u64) -> u64 {
+    let id = {
+        let mut names = NAMES
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match names.iter().position(|n| *n == name) {
+            Some(p) => p as u64,
+            None => {
+                names.push(name);
+                (names.len() - 1) as u64
+            }
+        }
+    };
+    let mut i = probe_start(key);
+    for _ in 0..INTERN_CAP {
+        let (Some(k_slot), Some(v_slot)) = (INTERN_KEYS.get(i), INTERN_VALS.get(i)) else {
+            break;
+        };
+        match k_slot.compare_exchange(0, key, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => {
+                v_slot.store(id + 1, Ordering::Release);
+                break;
+            }
+            Err(k) if k == key => {
+                v_slot.store(id + 1, Ordering::Release);
+                break;
+            }
+            Err(_) => i = (i + 1) % INTERN_CAP,
+        }
+        // Table full: every future sighting pays the lock — degraded, not
+        // broken.
+    }
+    id
+}
+
+fn name_of(id: u64) -> &'static str {
+    NAMES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(id as usize)
+        .copied()
+        .unwrap_or("?")
+}
+
+// ---------------------------------------------------------------------------
+// Recording.
+// ---------------------------------------------------------------------------
+
+fn record(kind: u64, name: &'static str, value: f64) {
+    let (t_us, tid) = crate::trace::stamp();
+    let name_id = intern(name);
+    let ticket = HEAD.fetch_add(1, Ordering::Relaxed);
+    let Some(slot) = RING.get(ticket as usize % RING_CAP) else {
+        return;
+    };
+    // Invalidate, fill, publish: readers seeing seq 0 or a seq that does not
+    // match the fields' ticket skip the slot.
+    slot.seq.store(0, Ordering::Release);
+    slot.t_us.store(t_us as u64, Ordering::Relaxed);
+    slot.tid.store(tid, Ordering::Relaxed);
+    slot.kind.store(kind, Ordering::Relaxed);
+    slot.name_id.store(name_id, Ordering::Relaxed);
+    slot.bits.store(value.to_bits(), Ordering::Relaxed);
+    slot.seq.store(ticket + 1, Ordering::Release);
+}
+
+/// Records a span open (payload: the span id).
+pub(crate) fn record_span_open(name: &'static str, span_id: u64) {
+    record(KIND_SPAN_OPEN, name, span_id as f64);
+}
+
+/// Records a span close (payload: the duration in µs).
+pub(crate) fn record_span_close(name: &'static str, dur_us: f64) {
+    record(KIND_SPAN_CLOSE, name, dur_us);
+}
+
+/// Records a structured event's first field value.
+pub(crate) fn record_event(name: &'static str, value: f64) {
+    record(KIND_EVENT, name, value);
+}
+
+/// Records an anomaly into the flight ring and, when `DWV_FLIGHT` is
+/// configured, dumps the ring so the evidence survives whatever happens
+/// next. Dump volume is capped process-wide (see [`flight_dump_to`] docs);
+/// recording itself is always cheap. No-op while the recorder is off.
+///
+/// Anomaly sites in the workspace: Picard retry exhaustion / divergence in
+/// `dwv-taylor`, verifier divergence in Algorithm 1.
+pub fn flight_anomaly(name: &'static str, value: f64) {
+    if !flight_enabled() {
+        return;
+    }
+    record(KIND_ANOMALY, name, value);
+    dump_to_configured_path(name);
+}
+
+// ---------------------------------------------------------------------------
+// Dumping.
+// ---------------------------------------------------------------------------
+
+/// The `DWV_FLIGHT` dump path, read once.
+fn dump_path() -> Option<&'static str> {
+    static PATH: OnceLock<Option<String>> = OnceLock::new();
+    PATH.get_or_init(|| match std::env::var("DWV_FLIGHT") {
+        Ok(p) if !p.is_empty() => Some(p),
+        _ => None,
+    })
+    .as_deref()
+}
+
+/// Anomaly-triggered dumps are capped so a hot divergence loop cannot turn
+/// the recorder into an I/O amplifier (the panic hook is not capped).
+const MAX_ANOMALY_DUMPS: u64 = 8;
+static ANOMALY_DUMPS: AtomicU64 = AtomicU64::new(0);
+
+fn dump_to_configured_path(reason: &str) {
+    let Some(path) = dump_path() else { return };
+    if ANOMALY_DUMPS.fetch_add(1, Ordering::Relaxed) >= MAX_ANOMALY_DUMPS {
+        return;
+    }
+    dump_to_path(path, reason);
+}
+
+fn dump_to_path(path: &str, reason: &str) {
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = flight_dump_to(&mut f, reason);
+    }
+}
+
+/// Writes the ring's surviving events to `w` as JSONL, oldest first,
+/// preceded by one `{"kind":"flight_dump",…}` header line carrying the dump
+/// `reason` and the number of events that follow. Returns the event count.
+///
+/// Torn or never-written slots are skipped, so at most the ring capacity
+/// (4096) events appear, fewer under concurrent writes; each line has the
+/// reserved fields `t_us`/`tid`/`kind`/`name`
+/// plus `ev` (`span_open` | `span_close` | `event` | `anomaly`), `seq` (the
+/// global ticket, monotone across the whole run) and `v` (span id,
+/// duration in µs, or event value).
+///
+/// # Errors
+///
+/// Propagates the first write error.
+pub fn flight_dump_to<W: Write>(w: &mut W, reason: &str) -> std::io::Result<usize> {
+    let mut events: Vec<(u64, u64, u64, u64, u64, f64)> = Vec::with_capacity(RING_CAP);
+    for slot in &RING {
+        let seq1 = slot.seq.load(Ordering::Acquire);
+        if seq1 == 0 {
+            continue;
+        }
+        let t_us = slot.t_us.load(Ordering::Relaxed);
+        let tid = slot.tid.load(Ordering::Relaxed);
+        let kind = slot.kind.load(Ordering::Relaxed);
+        let name_id = slot.name_id.load(Ordering::Relaxed);
+        let bits = slot.bits.load(Ordering::Relaxed);
+        let seq2 = slot.seq.load(Ordering::Acquire);
+        if seq1 != seq2 {
+            continue; // torn: a writer raced the dump
+        }
+        events.push((seq1 - 1, t_us, tid, kind, name_id, f64::from_bits(bits)));
+    }
+    events.sort_unstable_by_key(|e| e.0);
+    let (t_us, tid) = crate::trace::stamp();
+    writeln!(
+        w,
+        "{{\"t_us\":{t_us},\"tid\":{tid},\"kind\":\"flight_dump\",\"name\":{},\"events\":{}}}",
+        crate::sink::json_string(reason),
+        events.len()
+    )?;
+    for (seq, t_us, tid, kind, name_id, v) in &events {
+        let ev = match *kind {
+            KIND_SPAN_OPEN => "span_open",
+            KIND_SPAN_CLOSE => "span_close",
+            KIND_ANOMALY => "anomaly",
+            _ => "event",
+        };
+        writeln!(
+            w,
+            "{{\"t_us\":{t_us},\"tid\":{tid},\"kind\":\"flight\",\"name\":{},\"ev\":\"{ev}\",\"seq\":{seq},\"v\":{}}}",
+            crate::sink::json_string(name_of(*name_id)),
+            crate::sink::json_number(*v)
+        )?;
+    }
+    w.flush()?;
+    Ok(events.len())
+}
+
+/// Chains a panic hook that records a final `"panic"` anomaly event and
+/// dumps the flight ring to the `DWV_FLIGHT` path (no-op without one), then
+/// defers to the previously installed hook. Idempotent; called from
+/// [`crate::init_from_env`] and [`init_flight_from_env`] — never from
+/// library code, so test harnesses keep their default hooks unless a binary
+/// opts in.
+pub fn install_flight_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if flight_enabled() {
+                record(KIND_ANOMALY, "panic", 0.0);
+                if let Some(path) = dump_path() {
+                    dump_to_path(path, "panic");
+                }
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// Honors the `DWV_FLIGHT` environment variable: when set and non-empty,
+/// its value is the flight-dump JSONL path; the panic hook is installed so
+/// a crash leaves the ring's last events behind. Returns whether a dump
+/// path is configured.
+///
+/// Like [`crate::init_from_env`], call this once near the top of a binary.
+pub fn init_flight_from_env() -> bool {
+    let configured = dump_path().is_some();
+    if configured {
+        install_flight_panic_hook();
+    }
+    configured
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_content_based() {
+        let a = intern("test.recorder.name_a");
+        let b = intern("test.recorder.name_b");
+        assert_ne!(a, b);
+        assert_eq!(intern("test.recorder.name_a"), a);
+        assert_eq!(name_of(a), "test.recorder.name_a");
+        assert_eq!(name_of(u64::MAX), "?");
+    }
+
+    #[test]
+    fn ring_records_and_dumps_in_order() {
+        set_flight_enabled(true);
+        record_event("test.recorder.first", 1.0);
+        record_span_open("test.recorder.span", 42);
+        record_span_close("test.recorder.span", 12.5);
+        flight_anomaly("test.recorder.anomaly", 3.0);
+        let mut buf: Vec<u8> = Vec::new();
+        let n = flight_dump_to(&mut buf, "test").expect("dump to memory");
+        assert!(n >= 4, "at least our 4 events survive, got {n}");
+        let text = String::from_utf8(buf).expect("dump is UTF-8");
+        let mut lines = text.lines();
+        let header = crate::json::parse(lines.next().expect("header line")).expect("header JSON");
+        assert_eq!(
+            header.get("kind").and_then(|v| v.as_str()),
+            Some("flight_dump")
+        );
+        let mut last_seq = -1i64;
+        let mut saw_anomaly = false;
+        for line in lines {
+            let v = crate::json::parse(line).expect("event line parses");
+            assert_eq!(v.get("kind").and_then(|v| v.as_str()), Some("flight"));
+            let seq = v.get("seq").and_then(|v| v.as_number()).expect("seq") as i64;
+            assert!(seq > last_seq, "dump must be ticket-ordered");
+            last_seq = seq;
+            if v.get("ev").and_then(|v| v.as_str()) == Some("anomaly") {
+                saw_anomaly = true;
+            }
+        }
+        assert!(saw_anomaly, "anomaly event survives in the dump:\n{text}");
+    }
+
+    #[test]
+    fn disabled_recorder_skips_anomalies() {
+        set_flight_enabled(false);
+        let before = HEAD.load(Ordering::Relaxed);
+        flight_anomaly("test.recorder.disabled", 0.0);
+        // Other tests may race tickets forward, but *this* call contributed
+        // nothing when the head did not move in a single-threaded run.
+        let after = HEAD.load(Ordering::Relaxed);
+        set_flight_enabled(true);
+        // Re-enabled anomaly does move the head.
+        flight_anomaly("test.recorder.enabled", 0.0);
+        assert!(HEAD.load(Ordering::Relaxed) > after.max(before));
+    }
+}

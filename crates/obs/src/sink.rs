@@ -55,12 +55,15 @@ pub fn init_jsonl_path(path: &str) -> io::Result<()> {
 }
 
 /// Honors the `DWV_TRACE` environment variable: when set and non-empty, its
-/// value is the JSONL trace path and observability is enabled. Returns
-/// whether tracing was turned on.
+/// value is the JSONL trace path and observability is enabled. Also honors
+/// `DWV_FLIGHT` (see [`crate::init_flight_from_env`]) so one call arms both
+/// the trace stream and the crash-dump path. Returns whether tracing was
+/// turned on.
 ///
 /// Call this once near the top of a binary (`examples/`, benches, CI smoke
 /// runs); a library never self-initializes.
 pub fn init_from_env() -> bool {
+    let _ = crate::recorder::init_flight_from_env();
     match std::env::var("DWV_TRACE") {
         Ok(path) if !path.is_empty() => match init_jsonl_path(&path) {
             Ok(()) => true,

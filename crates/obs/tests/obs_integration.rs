@@ -226,6 +226,57 @@ fn disabled_emits_nothing_but_metrics_still_count() {
 }
 
 #[test]
+fn panic_dump_covers_the_panicking_span() {
+    let _g = obs_lock();
+    // Silence the default hook's backtrace chatter for the forced panic,
+    // then chain the flight hook onto the silent one.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    dwv_obs::install_flight_panic_hook();
+    dwv_obs::set_flight_enabled(true);
+
+    let result = std::panic::catch_unwind(|| {
+        let _doomed = dwv_obs::span("it.flight.doomed");
+        panic!("forced for the flight recorder");
+    });
+    assert!(result.is_err(), "the probe must actually panic");
+    std::panic::set_hook(default_hook);
+
+    // No DWV_FLIGHT file in the harness; dump the ring by hand and check
+    // the same invariant the CI smoke run checks end-to-end: the panicking
+    // span's open event is in the ring, and the hook's "panic" anomaly
+    // lands after it.
+    let mut buf: Vec<u8> = Vec::new();
+    let n = dwv_obs::flight_dump_to(&mut buf, "test").expect("dump to memory");
+    assert!(n > 0, "ring must not be empty after a recorded panic");
+    let text = String::from_utf8(buf).expect("dump is UTF-8");
+    let mut open_seq = None;
+    let mut panic_seq = None;
+    for line in text.lines() {
+        let v = dwv_obs::json::parse(line).expect("every dump line is standalone JSON");
+        let (name, ev) = (
+            v.get("name").and_then(JsonValue::as_str),
+            v.get("ev").and_then(JsonValue::as_str),
+        );
+        let seq = v.get("seq").and_then(JsonValue::as_number);
+        if name == Some("it.flight.doomed") && ev == Some("span_open") {
+            open_seq = seq;
+        }
+        if name == Some("panic") && ev == Some("anomaly") {
+            panic_seq = seq;
+        }
+    }
+    let (open, pan) = (
+        open_seq.expect("dump contains the panicking span's open"),
+        panic_seq.expect("dump contains the panic anomaly"),
+    );
+    assert!(
+        open < pan,
+        "span opened (seq {open}) before the panic (seq {pan})"
+    );
+}
+
+#[test]
 fn summary_lists_recorded_instruments() {
     let _g = obs_lock();
     dwv_obs::counter("it.summary.counter").add(3);

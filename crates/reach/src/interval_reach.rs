@@ -176,7 +176,9 @@ impl IntervalReach {
                 controller.n_input(),
             )));
         }
-        let _s = dwv_obs::span("reach.interval");
+        // Same entry-span name as every other backend, so trace analytics
+        // (critical path, attribution) see one uniform `reach.run`.
+        let _s = dwv_obs::span("reach.run");
         let mut steps = Vec::with_capacity(self.steps + 1);
         steps.push(StepEnclosure {
             t0: 0.0,

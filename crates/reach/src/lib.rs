@@ -63,7 +63,7 @@ pub use flowpipe::{Flowpipe, StepEnclosure};
 pub use interval_reach::IntervalReach;
 pub use linear::LinearReach;
 pub use nn_abstraction::{BernsteinAbstraction, NnAbstraction, TaylorAbstraction};
-pub use portfolio::{PortfolioStats, PortfolioVerifier};
+pub use portfolio::{PortfolioStats, PortfolioVerifier, QueryProvenance};
 pub use taylor_reach::{DependencyTracking, TaylorReach, TaylorReachConfig};
 pub use verifier::{ControlEnclosure, CostClass, Verifier};
 pub use zonotope_reach::ZonotopeReach;

@@ -157,6 +157,7 @@ impl LinearReach {
     /// Returns [`ReachError::Diverged`] if the recursion produces non-finite
     /// coordinates (an unstable closed loop blowing past f64 range).
     pub fn reach(&self, controller: &LinearController) -> Result<Flowpipe, ReachError> {
+        let _run = dwv_obs::span("reach.run");
         let n = self.x0.dim();
         let m = self.closed_loop_matrix(controller);
         let mut vertices: Vec<Vec<f64>> = self.x0.corners();

@@ -51,6 +51,29 @@ pub struct PortfolioStats {
     pub decided_cheap: u64,
 }
 
+/// Where one portfolio answer came from: the verdict-provenance record
+/// attached to every traced query.
+///
+/// Produced by [`PortfolioVerifier::reach_decisive_from_prov`] (and the
+/// other `_prov` entry points) so certification artifacts — the pipeline's
+/// per-cell verdicts, `VerificationReport` — can say *which* tier decided,
+/// how many escalations the query cost and whether the deciding tier's
+/// answer was replayed from its cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryProvenance {
+    /// Index of the deciding tier, cheapest first (last = rigorous).
+    pub tier_index: usize,
+    /// Backend name of the deciding tier.
+    pub tier_name: &'static str,
+    /// Cost class of the deciding tier.
+    pub cost_class: CostClass,
+    /// Tier-to-tier escalations this query performed before deciding.
+    pub escalations: u32,
+    /// Whether the deciding tier's flowpipe came from its cache (a hit is
+    /// not a call; see [`PortfolioStats::calls_by_tier`]).
+    pub cache_hit: bool,
+}
+
 /// An escalating stack of reachability backends behind one interface.
 ///
 /// Built from the rigorous tier outward; cheaper tiers are added with
@@ -187,7 +210,23 @@ impl<C: ?Sized> PortfolioVerifier<C> {
         controller: &C,
         controller_hash: u64,
     ) -> Result<Flowpipe, ReachError> {
+        self.run_tier_traced(i, tier, x0, controller, controller_hash)
+            .0
+    }
+
+    /// As [`Self::run_tier`], but also reports whether the answer was a
+    /// cache hit (the backend closure never ran).
+    fn run_tier_traced(
+        &self,
+        i: usize,
+        tier: &dyn Verifier<C>,
+        x0: Option<&IntervalBox>,
+        controller: &C,
+        controller_hash: u64,
+    ) -> (Result<Flowpipe, ReachError>, bool) {
+        let ran = std::cell::Cell::new(false);
         let compute = || {
+            ran.set(true);
             if let Some(c) = self.calls.get(i) {
                 c.fetch_add(1, Ordering::Relaxed);
             }
@@ -199,7 +238,7 @@ impl<C: ?Sized> PortfolioVerifier<C> {
                 None => tier.reach(controller),
             }
         };
-        match self.caches.get(i) {
+        let result = match self.caches.get(i) {
             Some(cache) => {
                 // `reach` queries key on the tier's own configured initial
                 // set; callers pass the cell explicitly when it varies.
@@ -207,7 +246,8 @@ impl<C: ?Sized> PortfolioVerifier<C> {
                 cache.get_or_compute(controller_hash, cell_hash, compute)
             }
             None => compute(),
-        }
+        };
+        (result, !ran.get())
     }
 
     fn note_escalation(&self) {
@@ -235,7 +275,7 @@ impl<C: ?Sized> PortfolioVerifier<C> {
         controller: &C,
         controller_hash: u64,
     ) -> Result<Flowpipe, ReachError> {
-        self.walk(None, controller, controller_hash, None)
+        self.walk(None, controller, controller_hash, None).0
     }
 
     /// Surrogate query from an explicit initial cell.
@@ -249,7 +289,7 @@ impl<C: ?Sized> PortfolioVerifier<C> {
         controller: &C,
         controller_hash: u64,
     ) -> Result<Flowpipe, ReachError> {
-        self.walk(Some(x0), controller, controller_hash, None)
+        self.walk(Some(x0), controller, controller_hash, None).0
     }
 
     /// Probe query: the cheapest *trustworthy* answer, without ever
@@ -327,6 +367,24 @@ impl<C: ?Sized> PortfolioVerifier<C> {
         margin: &dyn Fn(&Flowpipe) -> f64,
     ) -> Result<Flowpipe, ReachError> {
         self.walk(Some(x0), controller, controller_hash, Some(margin))
+            .0
+    }
+
+    /// As [`Self::reach_decisive_from`], additionally returning the
+    /// [`QueryProvenance`] of the answer (also present on `Err`: it then
+    /// names the last tier that was consulted).
+    ///
+    /// # Errors
+    ///
+    /// The rigorous tier's error when every tier fails to enclose.
+    pub fn reach_decisive_from_prov(
+        &self,
+        x0: &IntervalBox,
+        controller: &C,
+        controller_hash: u64,
+        margin: &dyn Fn(&Flowpipe) -> f64,
+    ) -> (Result<Flowpipe, ReachError>, QueryProvenance) {
+        self.walk(Some(x0), controller, controller_hash, Some(margin))
     }
 
     /// Rigorous-tier query from the configured initial set (through the
@@ -365,15 +423,26 @@ impl<C: ?Sized> PortfolioVerifier<C> {
         controller: &C,
         controller_hash: u64,
         margin: Option<&dyn Fn(&Flowpipe) -> f64>,
-    ) -> Result<Flowpipe, ReachError> {
+    ) -> (Result<Flowpipe, ReachError>, QueryProvenance) {
         let n = self.n_tiers();
         let mut last: Option<ReachError> = None;
+        let mut escalations = 0u32;
+        let mut last_prov: Option<QueryProvenance> = None;
         for (i, tier) in self.iter_tiers().enumerate() {
             let rigorous_tier = i + 1 == n;
-            match self.run_tier(i, tier, x0, controller, controller_hash) {
+            let (result, cache_hit) =
+                self.run_tier_traced(i, tier, x0, controller, controller_hash);
+            let prov = QueryProvenance {
+                tier_index: i,
+                tier_name: tier.name(),
+                cost_class: tier.cost_class(),
+                escalations,
+                cache_hit,
+            };
+            match result {
                 Ok(fp) => {
                     if rigorous_tier {
-                        return Ok(fp);
+                        return (Ok(fp), prov);
                     }
                     // A cheap enclosure decides a surrogate query outright;
                     // a decisive query also needs the verdict margin clear
@@ -385,21 +454,32 @@ impl<C: ?Sized> PortfolioVerifier<C> {
                     };
                     if decided {
                         self.note_decided_cheap();
-                        return Ok(fp);
+                        return (Ok(fp), prov);
                     }
                     self.note_escalation();
+                    escalations += 1;
                 }
                 Err(e) => {
                     last = Some(e);
                     if !rigorous_tier {
                         self.note_escalation();
+                        escalations += 1;
                     }
                 }
             }
+            last_prov = Some(prov);
         }
-        Err(last.unwrap_or_else(|| {
+        let err = last.unwrap_or_else(|| {
             ReachError::Unsupported("portfolio: no tier produced a result".into())
-        }))
+        });
+        let prov = last_prov.unwrap_or(QueryProvenance {
+            tier_index: self.cheap.len(),
+            tier_name: self.rigorous.name(),
+            cost_class: self.rigorous.cost_class(),
+            escalations,
+            cache_hit: false,
+        });
+        (Err(err), prov)
     }
 }
 
@@ -417,11 +497,11 @@ impl<C: ?Sized> Verifier<C> for PortfolioVerifier<C> {
     /// trait entry points are for heterogeneous composition, not the hot
     /// learning loop, which passes real controller hashes.
     fn reach(&self, controller: &C) -> Result<Flowpipe, ReachError> {
-        self.walk(None, controller, 0, None)
+        self.walk(None, controller, 0, None).0
     }
 
     fn reach_from(&self, x0: &IntervalBox, controller: &C) -> Result<Flowpipe, ReachError> {
-        self.walk(Some(x0), controller, 0, None)
+        self.walk(Some(x0), controller, 0, None).0
     }
 }
 
@@ -604,6 +684,39 @@ mod tests {
         let _ = p.reach_rigorous(&k, h);
         p.invalidate_controller(h);
         assert!(p.cache_stats().iter().all(|s| s.entries == 0));
+    }
+
+    #[test]
+    fn provenance_names_the_deciding_tier() {
+        let p = acc_portfolio(0.5);
+        let (k, h) = good_k();
+        let x0 = acc::reach_avoid_problem().x0;
+        // Wide margin: the interval tier decides, zero escalations.
+        let (r, prov) = p.reach_decisive_from_prov(&x0, &k, h, &|_| 2.0);
+        assert!(r.is_ok());
+        assert_eq!(prov.tier_index, 0);
+        assert_eq!(prov.tier_name, "interval");
+        assert_eq!(prov.cost_class, CostClass::Interval);
+        assert_eq!(prov.escalations, 0);
+        assert!(!prov.cache_hit, "first query computes");
+        // Same query again: same decision, now a cache hit.
+        let (_, prov2) = p.reach_decisive_from_prov(&x0, &k, h, &|_| 2.0);
+        assert!(prov2.cache_hit, "replay comes from the tier cache");
+        assert_eq!(p.stats().calls_by_tier, vec![1, 0]);
+    }
+
+    #[test]
+    fn provenance_tracks_escalation_to_the_rigorous_tier() {
+        let p = acc_portfolio(0.5);
+        let (k, h) = good_k();
+        let x0 = acc::reach_avoid_problem().x0;
+        let (r, prov) = p.reach_decisive_from_prov(&x0, &k, h, &|_| 0.1);
+        assert!(r.is_ok());
+        assert_eq!(prov.tier_index, 1, "thin margin escalates to rigorous");
+        assert_eq!(prov.tier_name, "linear-exact");
+        assert_eq!(prov.cost_class, CostClass::Exact);
+        assert_eq!(prov.escalations, 1);
+        assert!(!prov.cache_hit);
     }
 
     #[test]

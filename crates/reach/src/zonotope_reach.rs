@@ -135,6 +135,7 @@ impl ZonotopeReach {
     ///
     /// [`ReachError::Diverged`] if the recursion overflows f64 range.
     pub fn reach(&self, controller: &LinearController) -> Result<Flowpipe, ReachError> {
+        let _run = dwv_obs::span("reach.run");
         let n = self.x0.dim();
         // Closed loop M = Ad + Bd Θ as a row-major Vec<Vec<f64>>.
         let mut k = Matrix::zeros(self.bd.ncols(), n);

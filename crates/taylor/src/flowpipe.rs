@@ -419,6 +419,9 @@ fn note_divergence(obs: bool, attempts: u64, last_radius: f64) {
         dwv_obs::counter("picard.retries").add(attempts.saturating_sub(1));
         dwv_obs::event("picard.diverged", &[("last_radius", last_radius)]);
     }
+    // Retry exhaustion is a flight-recorder anomaly site: the ring around
+    // this moment is what a post-mortem needs, tracing on or off.
+    dwv_obs::flight_anomaly("picard.diverged", last_radius);
 }
 
 #[cfg(test)]

@@ -1,0 +1,235 @@
+//! Cost attribution: self time vs total time per span name.
+//!
+//! *Total* time of a name sums the durations of every span carrying it;
+//! *self* time subtracts each span's same-thread children first, so a
+//! phase that spends its life inside callees attributes its cost to them.
+//! Spans adopted across threads (worker fan-outs) are **not** subtracted:
+//! they run concurrently with their logical parent, so their wall-clock
+//! time is not part of the parent's own.
+
+use crate::forest::SpanForest;
+use crate::model::SpanRecord;
+use std::collections::BTreeMap;
+
+/// Aggregated cost of one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NameCost {
+    /// The span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Sum of span durations, microseconds.
+    pub total_us: f64,
+    /// Sum of span self times (duration minus same-thread children,
+    /// clamped at zero per span), microseconds.
+    pub self_us: f64,
+}
+
+/// Per-record self time: duration minus the durations of same-thread
+/// children, clamped at zero (clock jitter can make the children sum
+/// slightly exceed the parent).
+#[must_use]
+pub fn self_times(spans: &[SpanRecord], forest: &SpanForest) -> Vec<f64> {
+    spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let kids: f64 = forest
+                .children(i)
+                .iter()
+                .filter_map(|&c| spans.get(c))
+                .map(|c| c.dur_us)
+                .sum();
+            (s.dur_us - kids).max(0.0)
+        })
+        .collect()
+}
+
+/// Attributes cost per span name, sorted by self time (descending), ties
+/// broken by name. Accumulation runs in record order, so the result is
+/// identical however the records were parsed.
+#[must_use]
+pub fn attribute(spans: &[SpanRecord], forest: &SpanForest) -> Vec<NameCost> {
+    let self_us = self_times(spans, forest);
+    let mut by_name: BTreeMap<&str, NameCost> = BTreeMap::new();
+    for (s, own) in spans.iter().zip(&self_us) {
+        let entry = by_name.entry(&s.name).or_insert_with(|| NameCost {
+            name: s.name.clone(),
+            count: 0,
+            total_us: 0.0,
+            self_us: 0.0,
+        });
+        entry.count += 1;
+        entry.total_us += s.dur_us;
+        entry.self_us += own;
+    }
+    let mut out: Vec<NameCost> = by_name.into_values().collect();
+    out.sort_by(|a, b| b.self_us.total_cmp(&a.self_us).then(a.name.cmp(&b.name)));
+    out
+}
+
+/// Renders the attribution as an aligned text table
+/// (`name count total(ms) self(ms)`).
+#[must_use]
+pub fn render_attribution(costs: &[NameCost]) -> String {
+    let width = costs.iter().map(|c| c.name.len()).max().unwrap_or(4).max(4);
+    let mut out = format!(
+        "{:<width$} {:>7} {:>12} {:>12}\n",
+        "name", "count", "total(ms)", "self(ms)"
+    );
+    for c in costs {
+        out.push_str(&format!(
+            "{:<width$} {:>7} {:>12.3} {:>12.3}\n",
+            c.name,
+            c.count,
+            c.total_us / 1e3,
+            c.self_us / 1e3,
+        ));
+    }
+    out
+}
+
+/// One row of an A/B attribution diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// The span name.
+    pub name: String,
+    /// Self time in trace A, microseconds.
+    pub self_a_us: f64,
+    /// Self time in trace B, microseconds.
+    pub self_b_us: f64,
+    /// `self_b_us - self_a_us`: positive means B got slower here.
+    pub delta_us: f64,
+}
+
+/// Diffs two attributions over the union of their names, sorted by the
+/// magnitude of the self-time movement (largest first, ties by name) —
+/// the names at the top are where a regression lives.
+#[must_use]
+pub fn diff_attribution(a: &[NameCost], b: &[NameCost]) -> Vec<DiffRow> {
+    let mut names: BTreeMap<&str, (f64, f64)> = BTreeMap::new();
+    for c in a {
+        names.entry(&c.name).or_insert((0.0, 0.0)).0 = c.self_us;
+    }
+    for c in b {
+        names.entry(&c.name).or_insert((0.0, 0.0)).1 = c.self_us;
+    }
+    let mut rows: Vec<DiffRow> = names
+        .into_iter()
+        .map(|(name, (self_a_us, self_b_us))| DiffRow {
+            name: name.to_string(),
+            self_a_us,
+            self_b_us,
+            delta_us: self_b_us - self_a_us,
+        })
+        .collect();
+    rows.sort_by(|x, y| {
+        y.delta_us
+            .abs()
+            .total_cmp(&x.delta_us.abs())
+            .then(x.name.cmp(&y.name))
+    });
+    rows
+}
+
+/// Renders a diff as an aligned table (`name self_a(ms) self_b(ms)
+/// delta(ms)`).
+#[must_use]
+pub fn render_diff(rows: &[DiffRow]) -> String {
+    let width = rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4);
+    let mut out = format!(
+        "{:<width$} {:>12} {:>12} {:>12}\n",
+        "name", "self_a(ms)", "self_b(ms)", "delta(ms)"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<width$} {:>12.3} {:>12.3} {:>+12.3}\n",
+            r.name,
+            r.self_a_us / 1e3,
+            r.self_b_us / 1e3,
+            r.delta_us / 1e3,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(span_id: u64, parent_id: u64, name: &str, start: f64, dur: f64) -> SpanRecord {
+        SpanRecord {
+            t_us: start + dur,
+            tid: 0,
+            name: name.to_string(),
+            span_id,
+            parent_id,
+            dur_us: dur,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_children_and_clamps() {
+        let spans = vec![
+            rec(2, 1, "child", 1.0, 30.0),
+            rec(3, 1, "child", 35.0, 25.0),
+            rec(1, 0, "root", 0.0, 50.0), // children sum 55 > 50 → clamp
+        ];
+        let forest = SpanForest::from_records(&spans);
+        let own = self_times(&spans, &forest);
+        assert_eq!(own, vec![30.0, 25.0, 0.0]);
+    }
+
+    #[test]
+    fn attribution_aggregates_and_sorts_by_self() {
+        let spans = vec![
+            rec(2, 1, "verify", 1.0, 30.0),
+            rec(3, 1, "verify", 35.0, 10.0),
+            rec(1, 0, "train", 0.0, 50.0),
+        ];
+        let forest = SpanForest::from_records(&spans);
+        let costs = attribute(&spans, &forest);
+        assert_eq!(costs.len(), 2);
+        assert_eq!(costs[0].name, "verify");
+        assert_eq!(costs[0].count, 2);
+        assert_eq!(costs[0].total_us, 40.0);
+        assert_eq!(costs[0].self_us, 40.0);
+        assert_eq!(costs[1].name, "train");
+        assert_eq!(costs[1].self_us, 10.0);
+        assert_eq!(costs[1].total_us, 50.0);
+        let table = render_attribution(&costs);
+        assert!(table.starts_with("name"), "{table}");
+        assert_eq!(table.lines().count(), 3);
+    }
+
+    #[test]
+    fn diff_ranks_by_movement() {
+        let a = vec![
+            NameCost {
+                name: "x".into(),
+                count: 1,
+                total_us: 10.0,
+                self_us: 10.0,
+            },
+            NameCost {
+                name: "y".into(),
+                count: 1,
+                total_us: 5.0,
+                self_us: 5.0,
+            },
+        ];
+        let b = vec![NameCost {
+            name: "x".into(),
+            count: 1,
+            total_us: 100.0,
+            self_us: 100.0,
+        }];
+        let rows = diff_attribution(&a, &b);
+        assert_eq!(rows[0].name, "x");
+        assert_eq!(rows[0].delta_us, 90.0);
+        assert_eq!(rows[1].name, "y");
+        assert_eq!(rows[1].delta_us, -5.0);
+        let table = render_diff(&rows);
+        assert!(table.contains("delta(ms)"));
+    }
+}

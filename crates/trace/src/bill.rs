@@ -1,0 +1,152 @@
+//! The verifier bill by tier, cross-checked against `BENCH_core.json`.
+//!
+//! The tiered portfolio increments one process-global counter per tier
+//! (`portfolio.tier{i}.calls`, cache hits excluded), so the last
+//! `snapshot` line of a trace carries the complete bill of the run —
+//! Algorithm 1's learning queries plus the certification sweep. The
+//! benchmark baseline records the same split under
+//! `verifier_calls_by_tier` in `BENCH_core.json`; on a deterministic run
+//! the two must agree **exactly**, and [`check_bill`] fails CI when they
+//! do not.
+
+use dwv_obs::json::JsonValue;
+use std::collections::BTreeMap;
+
+/// Extracts the per-tier verifier bill from a trace's counter totals:
+/// entry `i` is `portfolio.tier{i}.calls` (0 when the counter never
+/// fired). Empty when no tier counter is present (a non-portfolio run).
+#[must_use]
+pub fn tier_bill(counters: &BTreeMap<String, f64>) -> Vec<u64> {
+    let mut by_index: BTreeMap<usize, u64> = BTreeMap::new();
+    for (name, v) in counters {
+        let Some(rest) = name.strip_prefix("portfolio.tier") else {
+            continue;
+        };
+        let Some(idx) = rest.strip_suffix(".calls") else {
+            continue;
+        };
+        if let Ok(i) = idx.parse::<usize>() {
+            by_index.insert(i, *v as u64);
+        }
+    }
+    let Some((&max, _)) = by_index.iter().next_back() else {
+        return Vec::new();
+    };
+    (0..=max)
+        .map(|i| by_index.get(&i).copied().unwrap_or(0))
+        .collect()
+}
+
+/// Reads the expected end-to-end bill from a parsed `BENCH_core.json`:
+/// tier names plus the per-tier sum of the recorded `learn` and `sweep`
+/// calls under `verifier_calls_by_tier`.
+///
+/// # Errors
+///
+/// A description of the missing or malformed section.
+pub fn expected_bill(bench: &JsonValue) -> Result<(Vec<String>, Vec<u64>), String> {
+    let section = bench
+        .get("verifier_calls_by_tier")
+        .ok_or_else(|| "BENCH json has no verifier_calls_by_tier section".to_string())?;
+    let names: Vec<String> = match section.get("tiers") {
+        Some(JsonValue::Array(items)) => items
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect(),
+        _ => return Err("verifier_calls_by_tier.tiers is not an array".to_string()),
+    };
+    let calls = |key: &str| -> Result<Vec<u64>, String> {
+        match section.get(key).and_then(|p| p.get("calls")) {
+            Some(JsonValue::Array(items)) => Ok(items
+                .iter()
+                .filter_map(JsonValue::as_number)
+                .map(|n| n as u64)
+                .collect()),
+            _ => Err(format!(
+                "verifier_calls_by_tier.{key}.calls is not an array"
+            )),
+        }
+    };
+    let learn = calls("learn")?;
+    let sweep = calls("sweep")?;
+    let total: Vec<u64> = (0..names.len().max(learn.len()).max(sweep.len()))
+        .map(|i| learn.get(i).copied().unwrap_or(0) + sweep.get(i).copied().unwrap_or(0))
+        .collect();
+    Ok((names, total))
+}
+
+/// Compares a trace's tier bill against the expected one; both are padded
+/// with zeros to a common length, then must match exactly.
+///
+/// # Errors
+///
+/// A per-tier mismatch description.
+pub fn check_bill(actual: &[u64], expected: &[u64]) -> Result<(), String> {
+    let n = actual.len().max(expected.len());
+    for i in 0..n {
+        let a = actual.get(i).copied().unwrap_or(0);
+        let e = expected.get(i).copied().unwrap_or(0);
+        if a != e {
+            return Err(format!(
+                "tier {i}: trace bill {a} != recorded bill {e} (actual {actual:?}, expected {expected:?})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Renders the bill as one aligned line per tier, with names when known.
+#[must_use]
+pub fn render_bill(names: Option<&[String]>, bill: &[u64]) -> String {
+    let mut out = String::new();
+    for (i, calls) in bill.iter().enumerate() {
+        let label = names
+            .and_then(|n| n.get(i))
+            .map_or_else(|| format!("tier{i}"), String::clone);
+        out.push_str(&format!("{label:<14} {calls:>8} calls\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bill_reads_dense_tier_counters() {
+        let mut counters = BTreeMap::new();
+        counters.insert("portfolio.tier0.calls".to_string(), 81.0);
+        counters.insert("portfolio.tier2.calls".to_string(), 7.0);
+        counters.insert("reach.cache.hits".to_string(), 3.0);
+        assert_eq!(tier_bill(&counters), vec![81, 0, 7]);
+        assert!(tier_bill(&BTreeMap::new()).is_empty());
+    }
+
+    #[test]
+    fn expected_bill_sums_learn_and_sweep() {
+        let bench = dwv_obs::json::parse(
+            r#"{"verifier_calls_by_tier":{"tiers":["interval","zonotope","linear-exact"],
+                "learn":{"calls":[80,78,7]},"sweep":{"calls":[1,1,0]}}}"#,
+        )
+        .expect("parses");
+        let (names, total) = expected_bill(&bench).expect("well-formed");
+        assert_eq!(names, vec!["interval", "zonotope", "linear-exact"]);
+        assert_eq!(total, vec![81, 79, 7]);
+    }
+
+    #[test]
+    fn check_bill_pads_and_compares() {
+        assert!(check_bill(&[81, 79, 7], &[81, 79, 7]).is_ok());
+        assert!(check_bill(&[81, 79], &[81, 79, 0]).is_ok());
+        let err = check_bill(&[81, 79, 6], &[81, 79, 7]).expect_err("mismatch");
+        assert!(err.contains("tier 2"), "{err}");
+    }
+
+    #[test]
+    fn render_bill_prefers_names() {
+        let names = vec!["interval".to_string()];
+        let text = render_bill(Some(&names), &[81, 7]);
+        assert!(text.contains("interval"), "{text}");
+        assert!(text.contains("tier1"), "{text}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Flight-recorder dump validation.
+//!
+//! A dump is one `{"kind":"flight_dump",…}` header line followed by
+//! `{"kind":"flight",…}` event lines in ticket (`seq`) order — the tail
+//! of the in-memory ring at the moment of a panic or anomaly.
+//! [`validate_flight`] checks the framing (parseable lines, known event
+//! kinds, strictly increasing `seq` within a dump) and summarizes the
+//! **last** dump in the file: its anomalies and the spans that were
+//! still open when it was taken. A post-mortem consumer asserts, e.g.,
+//! that a `panic` anomaly exists and that the panicking span is among
+//! the still-open ones.
+
+use dwv_obs::json::{parse, JsonValue};
+
+/// One event of a flight dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEvent {
+    /// Ring ticket (global order of the event).
+    pub seq: u64,
+    /// Microseconds since the trace epoch.
+    pub t_us: f64,
+    /// Emitting thread id.
+    pub tid: u64,
+    /// Event kind: `span_open`, `span_close`, `event` or `anomaly`.
+    pub ev: String,
+    /// Instrumentation-site name.
+    pub name: String,
+    /// Payload (span id for opens, duration for closes, value otherwise).
+    pub v: f64,
+}
+
+/// Summary of the last dump in a flight-recorder file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlightSummary {
+    /// Number of dumps in the file.
+    pub dumps: usize,
+    /// The last dump's header name (the dump reason, e.g. `panic`).
+    pub reason: String,
+    /// The last dump's events, in `seq` order.
+    pub events: Vec<FlightEvent>,
+    /// `(name, seq)` of the last dump's anomalies, in `seq` order.
+    pub anomalies: Vec<(String, u64)>,
+    /// `(name, open seq)` of spans opened but not closed by the end of
+    /// the last dump, in open order.
+    pub open_spans: Vec<(String, u64)>,
+}
+
+/// Parses and validates a flight-recorder dump file.
+///
+/// # Errors
+///
+/// The first framing violation: unparseable line, unknown kind or event
+/// kind, event outside a dump, or non-increasing `seq` within a dump.
+pub fn validate_flight(text: &str) -> Result<FlightSummary, String> {
+    let mut summary = FlightSummary::default();
+    let mut in_dump = false;
+    let mut last_seq: Option<u64> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {}: invalid JSON: {e}", lineno + 1))?;
+        let kind = v
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("line {}: missing kind", lineno + 1))?;
+        match kind {
+            "flight_dump" => {
+                summary.dumps += 1;
+                summary.reason = v
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default()
+                    .to_string();
+                summary.events.clear();
+                in_dump = true;
+                last_seq = None;
+            }
+            "flight" => {
+                if !in_dump {
+                    return Err(format!("line {}: flight event outside a dump", lineno + 1));
+                }
+                let num = |key: &str| {
+                    v.get(key)
+                        .and_then(JsonValue::as_number)
+                        .ok_or_else(|| format!("line {}: missing numeric '{key}'", lineno + 1))
+                };
+                let text_field = |key: &str| {
+                    v.get(key)
+                        .and_then(JsonValue::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("line {}: missing string '{key}'", lineno + 1))
+                };
+                let ev = text_field("ev")?;
+                if !matches!(
+                    ev.as_str(),
+                    "span_open" | "span_close" | "event" | "anomaly"
+                ) {
+                    return Err(format!("line {}: unknown event kind '{ev}'", lineno + 1));
+                }
+                let seq = num("seq")? as u64;
+                if last_seq.is_some_and(|p| seq <= p) {
+                    return Err(format!("line {}: seq {seq} not increasing", lineno + 1));
+                }
+                last_seq = Some(seq);
+                summary.events.push(FlightEvent {
+                    seq,
+                    t_us: num("t_us")?,
+                    tid: num("tid")? as u64,
+                    ev,
+                    name: text_field("name")?,
+                    // `v` is null for non-finite payloads.
+                    v: v.get("v")
+                        .and_then(JsonValue::as_number)
+                        .unwrap_or(f64::NAN),
+                });
+            }
+            other => return Err(format!("line {}: unknown kind '{other}'", lineno + 1)),
+        }
+    }
+    if summary.dumps == 0 {
+        return Err("no flight_dump header in file".to_string());
+    }
+    // Summarize the last dump: anomalies and still-open spans. Closes
+    // carry only a name, so matching is by (tid, name), most recent open
+    // first — exactly how the nested RAII guards behave.
+    let mut open: Vec<(u64, String, u64)> = Vec::new();
+    for e in &summary.events {
+        match e.ev.as_str() {
+            "span_open" => open.push((e.tid, e.name.clone(), e.seq)),
+            "span_close" => {
+                if let Some(pos) = open
+                    .iter()
+                    .rposition(|(tid, name, _)| *tid == e.tid && *name == e.name)
+                {
+                    open.remove(pos);
+                }
+            }
+            "anomaly" => summary.anomalies.push((e.name.clone(), e.seq)),
+            _ => {}
+        }
+    }
+    summary.open_spans = open.into_iter().map(|(_, name, seq)| (name, seq)).collect();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(ev: &str, name: &str, seq: u64) -> String {
+        format!(
+            "{{\"t_us\":{seq},\"tid\":0,\"kind\":\"flight\",\"name\":\"{name}\",\"ev\":\"{ev}\",\"seq\":{seq},\"v\":1.0}}"
+        )
+    }
+
+    fn dump(lines: &[String]) -> String {
+        let mut out = format!(
+            "{{\"t_us\":0,\"tid\":0,\"kind\":\"flight_dump\",\"name\":\"panic\",\"events\":{}}}\n",
+            lines.len()
+        );
+        for l in lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    #[test]
+    fn summarizes_anomalies_and_open_spans() {
+        let text = dump(&[
+            line("span_open", "train", 1),
+            line("span_open", "verify", 2),
+            line("span_close", "verify", 3),
+            line("span_open", "verify", 4),
+            line("anomaly", "panic", 5),
+        ]);
+        let s = validate_flight(&text).expect("valid");
+        assert_eq!(s.dumps, 1);
+        assert_eq!(s.reason, "panic");
+        assert_eq!(s.anomalies, vec![("panic".to_string(), 5)]);
+        assert_eq!(
+            s.open_spans,
+            vec![("train".to_string(), 1), ("verify".to_string(), 4)]
+        );
+    }
+
+    #[test]
+    fn rejects_broken_framing() {
+        assert!(validate_flight("").is_err(), "empty file");
+        assert!(
+            validate_flight(&line("span_open", "x", 1)).is_err(),
+            "event outside a dump"
+        );
+        let bad_seq = dump(&[line("span_open", "x", 2), line("event", "y", 2)]);
+        let err = validate_flight(&bad_seq).expect_err("non-increasing seq");
+        assert!(err.contains("not increasing"), "{err}");
+        let bad_ev = dump(&[line("warp", "x", 1)]);
+        assert!(validate_flight(&bad_ev).is_err());
+    }
+
+    #[test]
+    fn later_dump_wins() {
+        let mut text = dump(&[line("span_open", "a", 1)]);
+        text.push_str(&dump(&[line("span_open", "b", 7)]));
+        let s = validate_flight(&text).expect("valid");
+        assert_eq!(s.dumps, 2);
+        assert_eq!(s.open_spans, vec![("b".to_string(), 7)]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Folded-stack (flamegraph) export.
+//!
+//! One `a;b;c N` line per unique stack, where the stack is the logical
+//! ancestry of a span (same-thread parents, crossing worker-pool
+//! fan-outs via [`crate::critical::adoption`]) and `N` is the summed
+//! self time in whole microseconds. The output is sorted and directly
+//! consumable by the standard `flamegraph.pl` / `inferno` tooling.
+
+use crate::attribution::self_times;
+use crate::critical::adoption;
+use crate::forest::SpanForest;
+use crate::model::SpanRecord;
+use std::collections::BTreeMap;
+
+/// Computes folded stacks: `(stack, weight)` pairs sorted by stack,
+/// weights in whole microseconds of self time. Stacks whose rounded
+/// weight is zero are kept, so every span name appears in the output.
+#[must_use]
+pub fn folded_stacks(spans: &[SpanRecord], forest: &SpanForest) -> Vec<(String, u64)> {
+    let own = self_times(spans, forest);
+    let adopter = adoption(spans, forest);
+    let up = |i: usize| -> Option<usize> {
+        forest
+            .parent(i)
+            .or_else(|| adopter.get(i).copied().flatten())
+    };
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, weight) in own.iter().enumerate() {
+        // Walk to the logical root; the depth budget guards against
+        // malformed link cycles.
+        let mut frames = Vec::new();
+        let mut at = Some(i);
+        for _ in 0..=spans.len() {
+            let Some(j) = at else { break };
+            match spans.get(j) {
+                Some(s) => frames.push(s.name.as_str()),
+                None => break,
+            }
+            at = up(j);
+        }
+        frames.reverse();
+        let stack = frames.join(";");
+        *agg.entry(stack).or_insert(0) += weight.round() as u64;
+    }
+    agg.into_iter().collect()
+}
+
+/// Renders folded stacks as flamegraph input: one `stack N` line each.
+#[must_use]
+pub fn render_folded(stacks: &[(String, u64)]) -> String {
+    let mut out = String::new();
+    for (stack, weight) in stacks {
+        out.push_str(&format!("{stack} {weight}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(span_id: u64, parent_id: u64, tid: u64, name: &str, start: f64, dur: f64) -> SpanRecord {
+        SpanRecord {
+            t_us: start + dur,
+            tid,
+            name: name.to_string(),
+            span_id,
+            parent_id,
+            dur_us: dur,
+        }
+    }
+
+    #[test]
+    fn stacks_fold_ancestry_and_merge_duplicates() {
+        let spans = vec![
+            rec(2, 1, 0, "verify", 1.0, 10.0),
+            rec(3, 1, 0, "verify", 12.0, 20.0),
+            rec(1, 0, 0, "train", 0.0, 40.0),
+        ];
+        let forest = SpanForest::from_records(&spans);
+        let stacks = folded_stacks(&spans, &forest);
+        assert_eq!(
+            stacks,
+            vec![("train".to_string(), 10), ("train;verify".to_string(), 30),]
+        );
+        let text = render_folded(&stacks);
+        assert_eq!(text, "train 10\ntrain;verify 30\n");
+        for line in text.lines() {
+            let (stack, weight) = line.rsplit_once(' ').expect("two fields");
+            assert!(!stack.is_empty());
+            assert!(weight.parse::<u64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn adopted_worker_spans_stack_under_the_fan_out() {
+        let spans = vec![
+            rec(3, 0, 1, "pool.chunk", 11.0, 18.0),
+            rec(2, 1, 0, "pool.map", 10.0, 20.0),
+            rec(1, 0, 0, "pipeline", 0.0, 40.0),
+        ];
+        let forest = SpanForest::from_records(&spans);
+        let stacks = folded_stacks(&spans, &forest);
+        let keys: Vec<&str> = stacks.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(keys.contains(&"pipeline;pool.map;pool.chunk"), "{keys:?}");
+    }
+}

@@ -1,0 +1,205 @@
+//! Span-forest reconstruction from flat close-ordered records.
+//!
+//! Spans are emitted at close, so children always precede their parents in
+//! the stream; linking therefore happens after all records are collected.
+//! [`SpanForest::from_records`] resolves `parent_id` links through one id
+//! index (O(n log n)); [`SpanForest::from_records_naive`] is the obviously
+//! correct O(n²) reference the `dwv-check` `trace` family compares it
+//! against. Both produce the same deterministic child order: by estimated
+//! open stamp, then by span id.
+
+use crate::model::SpanRecord;
+use std::collections::BTreeMap;
+
+/// A reconstructed forest over one trace's span records. Node `i`
+/// corresponds to record `i` of the slice the forest was built from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanForest {
+    /// Same-thread parent record index per node (`None` for roots and for
+    /// records whose `parent_id` does not resolve).
+    parent: Vec<Option<usize>>,
+    /// Child record indices per node, ordered by open stamp then span id.
+    children: Vec<Vec<usize>>,
+    /// Nodes without a resolved parent, in record order.
+    roots: Vec<usize>,
+}
+
+impl SpanForest {
+    /// Builds the forest by indexing span ids once.
+    ///
+    /// A `parent_id` that does not resolve (orphan) or resolves to the
+    /// record itself makes the node a root — the analyzer is lenient; the
+    /// strict check lives in [`crate::nesting::validate_nesting`]. When an
+    /// id occurs twice (malformed trace), the later record wins the index.
+    #[must_use]
+    pub fn from_records(spans: &[SpanRecord]) -> Self {
+        let mut by_id: BTreeMap<u64, usize> = BTreeMap::new();
+        for (i, s) in spans.iter().enumerate() {
+            by_id.insert(s.span_id, i);
+        }
+        let parent = spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match by_id.get(&s.parent_id) {
+                Some(&p) if s.parent_id != 0 && p != i => Some(p),
+                _ => None,
+            })
+            .collect();
+        Self::from_parents(spans, parent)
+    }
+
+    /// The O(n²) reference builder: resolves every `parent_id` by scanning
+    /// the whole record slice. Exists to cross-check
+    /// [`SpanForest::from_records`] (the two must agree on every input).
+    #[must_use]
+    pub fn from_records_naive(spans: &[SpanRecord]) -> Self {
+        let parent = spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if s.parent_id == 0 {
+                    return None;
+                }
+                // Last match wins, then self-links are rejected — exactly
+                // mirroring the index builder's tie-breaking.
+                let last = spans
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.span_id == s.parent_id)
+                    .map(|(j, _)| j)
+                    .next_back();
+                match last {
+                    Some(p) if p != i => Some(p),
+                    _ => None,
+                }
+            })
+            .collect();
+        Self::from_parents(spans, parent)
+    }
+
+    /// Finishes construction from a resolved parent vector.
+    fn from_parents(spans: &[SpanRecord], parent: Vec<Option<usize>>) -> Self {
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+        let mut roots = Vec::new();
+        for (i, p) in parent.iter().enumerate() {
+            match p {
+                Some(p) => {
+                    if let Some(slot) = children.get_mut(*p) {
+                        slot.push(i);
+                    }
+                }
+                None => roots.push(i),
+            }
+        }
+        for kids in &mut children {
+            kids.sort_by(|&a, &b| Self::child_order(spans, a, b));
+        }
+        Self {
+            parent,
+            children,
+            roots,
+        }
+    }
+
+    /// Deterministic child order: open stamp, then span id.
+    fn child_order(spans: &[SpanRecord], a: usize, b: usize) -> std::cmp::Ordering {
+        let key = |i: usize| spans.get(i).map(|s| (s.start_us(), s.span_id));
+        match (key(a), key(b)) {
+            (Some((sa, ia)), Some((sb, ib))) => sa.total_cmp(&sb).then(ia.cmp(&ib)),
+            _ => std::cmp::Ordering::Equal,
+        }
+    }
+
+    /// The same-thread parent of node `i`, if it resolved.
+    #[must_use]
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.parent.get(i).copied().flatten()
+    }
+
+    /// The children of node `i`, ordered by open stamp then span id.
+    #[must_use]
+    pub fn children(&self, i: usize) -> &[usize] {
+        self.children.get(i).map_or(&[], Vec::as_slice)
+    }
+
+    /// Nodes without a resolved parent, in record order.
+    #[must_use]
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// Number of nodes (== number of records the forest was built from).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the forest is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(span_id: u64, parent_id: u64, tid: u64, start: f64, dur: f64) -> SpanRecord {
+        SpanRecord {
+            t_us: start + dur,
+            tid,
+            name: format!("s{span_id}"),
+            span_id,
+            parent_id,
+            dur_us: dur,
+        }
+    }
+
+    #[test]
+    fn links_children_in_open_order() {
+        // Close order: leaf b, leaf a (opened earlier), root.
+        let spans = vec![
+            rec(3, 1, 0, 30.0, 10.0), // b
+            rec(2, 1, 0, 10.0, 35.0), // a (closes after b)
+            rec(1, 0, 0, 0.0, 50.0),  // root
+        ];
+        let f = SpanForest::from_records(&spans);
+        assert_eq!(f.roots(), &[2]);
+        assert_eq!(f.children(2), &[1, 0], "children sorted by open stamp");
+        assert_eq!(f.parent(0), Some(2));
+        assert_eq!(f.parent(2), None);
+    }
+
+    #[test]
+    fn orphans_become_roots() {
+        let spans = vec![rec(5, 99, 0, 0.0, 1.0)];
+        let f = SpanForest::from_records(&spans);
+        assert_eq!(f.roots(), &[0]);
+        assert_eq!(f.parent(0), None);
+    }
+
+    #[test]
+    fn naive_reference_agrees() {
+        let spans = vec![
+            rec(4, 2, 1, 12.0, 3.0),
+            rec(3, 1, 0, 30.0, 10.0),
+            rec(2, 1, 0, 10.0, 35.0),
+            rec(6, 0, 1, 11.0, 9.0),
+            rec(1, 0, 0, 0.0, 50.0),
+            rec(9, 7, 0, 1.0, 1.0), // orphan
+        ];
+        assert_eq!(
+            SpanForest::from_records(&spans),
+            SpanForest::from_records_naive(&spans)
+        );
+    }
+
+    #[test]
+    fn self_parent_is_rejected() {
+        let spans = vec![rec(1, 1, 0, 0.0, 1.0)];
+        let f = SpanForest::from_records(&spans);
+        assert_eq!(f.parent(0), None);
+        assert_eq!(f.roots(), &[0]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Parsing `DWV_TRACE` JSONL streams into typed records.
+//!
+//! The stream is the one `dwv-obs` emits: one self-contained JSON object
+//! per line with the reserved fields `t_us` / `tid` / `kind` / `name`.
+//! Only three kinds matter to the analyzer — `span` (a closed span with
+//! identity and timing), `event`, and `snapshot` (whose counter totals
+//! carry the verifier tier bill); any other kind is preserved in the line
+//! count but otherwise ignored, so the format can grow without breaking
+//! old analyzers.
+//!
+//! Parsing is embarrassingly parallel (one line at a time) and the
+//! assembly step folds results back **in input order**, so
+//! [`parse_trace_pooled`] is byte-for-byte equivalent to [`parse_trace`]
+//! at every worker-pool width.
+
+use dwv_obs::json::{parse, JsonValue};
+use std::collections::BTreeMap;
+
+/// One `kind == "span"` line: a closed span with identity and timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Close stamp, microseconds since the trace epoch (spans are emitted
+    /// at close, so stream order is close order).
+    pub t_us: f64,
+    /// Small dense id of the emitting thread.
+    pub tid: u64,
+    /// The span name given at the instrumentation site.
+    pub name: String,
+    /// Process-unique span id (never 0 in a well-formed trace).
+    pub span_id: u64,
+    /// Id of the enclosing span on the opening thread; 0 for roots.
+    pub parent_id: u64,
+    /// Wall-clock duration in microseconds.
+    pub dur_us: f64,
+}
+
+impl SpanRecord {
+    /// Estimated open stamp. The open instant and the close stamp come
+    /// from separate clock reads, so this is exact up to a few
+    /// microseconds of jitter.
+    #[must_use]
+    pub fn start_us(&self) -> f64 {
+        self.t_us - self.dur_us
+    }
+
+    /// Close stamp (alias of `t_us`, for symmetry with
+    /// [`SpanRecord::start_us`]).
+    #[must_use]
+    pub fn end_us(&self) -> f64 {
+        self.t_us
+    }
+}
+
+/// Everything the analyzer keeps from one trace stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceData {
+    /// Span records in stream order (close order).
+    pub spans: Vec<SpanRecord>,
+    /// Counter totals from the **last** `snapshot` line, by name.
+    pub counters: BTreeMap<String, f64>,
+    /// `event` line names, in stream order.
+    pub events: Vec<String>,
+    /// Non-empty lines seen (parsed or skipped by kind).
+    pub lines: usize,
+}
+
+/// One classified line.
+enum Parsed {
+    Span(SpanRecord),
+    Event(String),
+    Snapshot(BTreeMap<String, f64>),
+    Other,
+}
+
+/// Parses one JSONL line into a classified record.
+fn parse_line(line: &str) -> Result<Parsed, String> {
+    let v = parse(line)?;
+    let kind = v
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "missing string field 'kind'".to_string())?;
+    match kind {
+        "span" => {
+            let num = |key: &str| {
+                v.get(key)
+                    .and_then(JsonValue::as_number)
+                    .ok_or_else(|| format!("span without numeric field '{key}'"))
+            };
+            let name = v
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "span without string field 'name'".to_string())?;
+            Ok(Parsed::Span(SpanRecord {
+                t_us: num("t_us")?,
+                tid: num("tid")? as u64,
+                name: name.to_string(),
+                span_id: num("span_id")? as u64,
+                parent_id: num("parent_id")? as u64,
+                dur_us: num("dur_us")?,
+            }))
+        }
+        "event" => {
+            let name = v
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "event without string field 'name'".to_string())?;
+            Ok(Parsed::Event(name.to_string()))
+        }
+        "snapshot" => {
+            let counters = v
+                .get("metrics")
+                .and_then(|m| m.get("counters"))
+                .and_then(JsonValue::as_object)
+                .ok_or_else(|| "snapshot without metrics.counters".to_string())?;
+            let mut out = BTreeMap::new();
+            for (k, val) in counters {
+                if let Some(n) = val.as_number() {
+                    out.insert(k.clone(), n);
+                }
+            }
+            Ok(Parsed::Snapshot(out))
+        }
+        _ => Ok(Parsed::Other),
+    }
+}
+
+/// Folds classified lines (already in input order) into [`TraceData`].
+fn assemble(parsed: Vec<Result<Parsed, String>>) -> Result<TraceData, String> {
+    let mut data = TraceData::default();
+    for (lineno, p) in parsed.into_iter().enumerate() {
+        data.lines += 1;
+        match p.map_err(|e| format!("line {}: {e}", lineno + 1))? {
+            Parsed::Span(s) => data.spans.push(s),
+            Parsed::Event(name) => data.events.push(name),
+            Parsed::Snapshot(counters) => data.counters = counters,
+            Parsed::Other => {}
+        }
+    }
+    Ok(data)
+}
+
+/// The non-empty lines of a JSONL stream.
+fn nonempty(text: &str) -> Vec<&str> {
+    text.lines().filter(|l| !l.trim().is_empty()).collect()
+}
+
+/// Parses a whole JSONL stream serially.
+///
+/// # Errors
+///
+/// The first malformed line, with its 1-based line number (counted over
+/// non-empty lines).
+pub fn parse_trace(text: &str) -> Result<TraceData, String> {
+    assemble(nonempty(text).iter().map(|l| parse_line(l)).collect())
+}
+
+/// Parses a whole JSONL stream with per-line work fanned out on `pool`.
+///
+/// Byte-for-byte equivalent to [`parse_trace`] at any pool width: lines
+/// are classified independently and folded back in input order.
+///
+/// # Errors
+///
+/// The first malformed line, with its 1-based line number (counted over
+/// non-empty lines).
+pub fn parse_trace_pooled(text: &str, pool: &dwv_core::WorkerPool) -> Result<TraceData, String> {
+    let lines = nonempty(text);
+    assemble(pool.map(&lines, |l| parse_line(l)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"t_us\":10,\"tid\":0,\"kind\":\"span\",\"name\":\"a\",\"span_id\":2,\"parent_id\":1,\"dur_us\":4.0}\n",
+        "\n",
+        "{\"t_us\":20,\"tid\":0,\"kind\":\"event\",\"name\":\"e\",\"v\":1.0}\n",
+        "{\"t_us\":30,\"tid\":0,\"kind\":\"span\",\"name\":\"b\",\"span_id\":1,\"parent_id\":0,\"dur_us\":25.0}\n",
+        "{\"t_us\":40,\"tid\":0,\"kind\":\"snapshot\",\"name\":\"metrics\",\"metrics\":{\"counters\":{\"x\":3.0},\"gauges\":{},\"histograms\":{}}}\n",
+    );
+
+    #[test]
+    fn parses_spans_events_and_counters() {
+        let data = parse_trace(SAMPLE).expect("parses");
+        assert_eq!(data.lines, 4);
+        assert_eq!(data.spans.len(), 2);
+        assert_eq!(data.spans[0].name, "a");
+        assert_eq!(data.spans[0].start_us(), 6.0);
+        assert_eq!(data.spans[1].span_id, 1);
+        assert_eq!(data.events, vec!["e".to_string()]);
+        assert_eq!(data.counters.get("x"), Some(&3.0));
+    }
+
+    #[test]
+    fn pooled_parse_matches_serial_at_any_width() {
+        let serial = parse_trace(SAMPLE).expect("parses");
+        for threads in [1, 2, 4, 8] {
+            let pool = dwv_core::WorkerPool::new(threads).force_parallel();
+            let pooled = parse_trace_pooled(SAMPLE, &pool).expect("parses");
+            assert_eq!(pooled, serial, "width {threads}");
+        }
+    }
+
+    #[test]
+    fn bad_lines_are_reported_with_their_number() {
+        let err = parse_trace("{\"kind\":\"span\"}").expect_err("rejects");
+        assert!(err.starts_with("line 1:"), "{err}");
+        let err = parse_trace("not json").expect_err("rejects");
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn unknown_kinds_are_skipped_not_fatal() {
+        let data =
+            parse_trace("{\"t_us\":1,\"tid\":0,\"kind\":\"flight\",\"name\":\"x\"}").expect("ok");
+        assert_eq!(data.lines, 1);
+        assert!(data.spans.is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Strict span-nesting validation (the `trace_check` CI gate).
+//!
+//! The analyzer side of the crate is lenient — orphans become roots so a
+//! truncated trace still renders. This module is the strict check CI
+//! runs on full traces: span ids must be unique and non-zero, every
+//! non-zero `parent_id` must resolve to a span on the **same thread**,
+//! and a child's interval must lie inside its parent's (within a small
+//! slack: open stamps are estimated from separate clock reads).
+
+use crate::model::SpanRecord;
+use std::collections::BTreeMap;
+
+/// Default interval-containment slack in microseconds. `dwv-obs` stamps
+/// both span endpoints from one epoch clock, so its streams nest exactly;
+/// the slack only absorbs µs quantization in foreign or hand-built
+/// traces, while still catching genuinely mis-nested spans (which are
+/// off by whole spans, not microseconds).
+pub const NESTING_SLACK_US: f64 = 100.0;
+
+/// Validates span identity and nesting over a whole trace.
+///
+/// # Errors
+///
+/// The first violation, with the offending span ids:
+/// * a `span_id` of 0, or one used by two records;
+/// * a `parent_id` that resolves to no record (orphan) or to a record on
+///   a different thread;
+/// * a child interval escaping its parent's by more than `slack_us`.
+pub fn validate_nesting(spans: &[SpanRecord], slack_us: f64) -> Result<(), String> {
+    let mut by_id: BTreeMap<u64, usize> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.span_id == 0 {
+            return Err(format!("span '{}' has reserved span_id 0", s.name));
+        }
+        if let Some(first) = by_id.insert(s.span_id, i) {
+            let name = spans.get(first).map_or("?", |f| f.name.as_str());
+            return Err(format!(
+                "span_id {} used by both '{name}' and '{}'",
+                s.span_id, s.name
+            ));
+        }
+    }
+    for s in spans {
+        if s.parent_id == 0 {
+            continue;
+        }
+        let Some(p) = by_id.get(&s.parent_id).and_then(|&i| spans.get(i)) else {
+            return Err(format!(
+                "span '{}' ({}) has orphan parent_id {}",
+                s.name, s.span_id, s.parent_id
+            ));
+        };
+        if p.tid != s.tid {
+            return Err(format!(
+                "span '{}' ({}) on tid {} has parent '{}' ({}) on tid {} — parents must be same-thread",
+                s.name, s.span_id, s.tid, p.name, p.span_id, p.tid
+            ));
+        }
+        if s.start_us() < p.start_us() - slack_us || s.end_us() > p.end_us() + slack_us {
+            return Err(format!(
+                "span '{}' ({}) [{:.1}, {:.1}]µs escapes parent '{}' ({}) [{:.1}, {:.1}]µs",
+                s.name,
+                s.span_id,
+                s.start_us(),
+                s.end_us(),
+                p.name,
+                p.span_id,
+                p.start_us(),
+                p.end_us(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(span_id: u64, parent_id: u64, tid: u64, start: f64, dur: f64) -> SpanRecord {
+        SpanRecord {
+            t_us: start + dur,
+            tid,
+            name: format!("s{span_id}"),
+            span_id,
+            parent_id,
+            dur_us: dur,
+        }
+    }
+
+    #[test]
+    fn accepts_well_nested_spans() {
+        let spans = vec![
+            rec(2, 1, 0, 1.0, 10.0),
+            rec(3, 2, 0, 2.0, 5.0),
+            rec(1, 0, 0, 0.0, 20.0),
+            rec(4, 0, 1, 3.0, 4.0), // separate thread, root
+        ];
+        assert_eq!(validate_nesting(&spans, NESTING_SLACK_US), Ok(()));
+    }
+
+    #[test]
+    fn rejects_identity_violations() {
+        let zero = vec![rec(0, 0, 0, 0.0, 1.0)];
+        assert!(validate_nesting(&zero, 0.0).is_err());
+        let dup = vec![rec(1, 0, 0, 0.0, 1.0), rec(1, 0, 0, 2.0, 1.0)];
+        let err = validate_nesting(&dup, 0.0).expect_err("duplicate id");
+        assert!(err.contains("span_id 1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_orphans_and_cross_thread_parents() {
+        let orphan = vec![rec(2, 9, 0, 0.0, 1.0)];
+        let err = validate_nesting(&orphan, 0.0).expect_err("orphan");
+        assert!(err.contains("orphan"), "{err}");
+        let cross = vec![rec(1, 0, 0, 0.0, 10.0), rec(2, 1, 1, 1.0, 2.0)];
+        let err = validate_nesting(&cross, 0.0).expect_err("cross-thread");
+        assert!(err.contains("same-thread"), "{err}");
+    }
+
+    #[test]
+    fn rejects_escaping_intervals_with_slack() {
+        let spans = vec![rec(1, 0, 0, 10.0, 10.0), rec(2, 1, 0, 5.0, 30.0)];
+        let err = validate_nesting(&spans, 1.0).expect_err("escapes");
+        assert!(err.contains("escapes"), "{err}");
+        // The same layout passes under a slack that covers the overhang.
+        assert_eq!(validate_nesting(&spans, 20.0), Ok(()));
+    }
+}

@@ -1,21 +1,33 @@
 //! Profiling a full design-while-verify run: learn an ACC controller with
-//! the reach-result memo attached, assess it, and stream a JSONL trace.
+//! the tiered verifier portfolio answering the probe queries, certify it
+//! with the decisive sweep, and stream a JSONL trace.
 //!
 //! ```sh
 //! DWV_TRACE=trace.jsonl cargo run --release --example profile_acc
+//! cargo run --release -p dwv-trace -- trace.jsonl --check-bill BENCH_core.json
 //! ```
 //!
-//! With `DWV_TRACE` unset the run is identical (bit-for-bit — tracing is
-//! pure observation) but emits no trace and pays no observability cost
-//! beyond one relaxed atomic load per instrumentation point. Either way the
-//! end-of-run metrics summary prints whatever was recorded.
+//! The run is the exact configuration behind `BENCH_core.json`'s
+//! `verifier_calls_by_tier` section (geometric metric, 200 updates,
+//! seed 7, surrogate portfolio confirming every 5th iteration), so the
+//! per-tier call counters in the trace reconcile against the recorded
+//! baseline. With `DWV_TRACE` unset the run is identical (bit-for-bit —
+//! tracing is pure observation) but emits no trace.
+//!
+//! `DWV_FLIGHT=dump.jsonl` additionally arms the flight recorder's
+//! panic-hook dump, and `DWV_FORCE_PANIC=1` panics mid-run inside an open
+//! span — together they exercise the post-mortem path end to end:
+//!
+//! ```sh
+//! DWV_FLIGHT=dump.jsonl DWV_FORCE_PANIC=1 cargo run --release --example profile_acc
+//! cargo run --release -p dwv-trace -- --check-flight dump.jsonl
+//! ```
 
-use design_while_verify::core::{assess, Algorithm1, LearnConfig, MetricKind};
+use design_while_verify::core::{
+    design_while_verify_linear, LearnConfig, MetricKind, PortfolioMode,
+};
 use design_while_verify::dynamics::acc;
-use design_while_verify::interval::IntervalBox;
 use design_while_verify::obs;
-use design_while_verify::reach::{LinearReach, ReachCache};
-use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tracing = obs::init_from_env();
@@ -25,50 +37,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("tracing off (set DWV_TRACE=path to stream a JSONL trace)");
     }
 
+    // Mirrors bench_core's portfolio_bill() configuration exactly: the
+    // trace's portfolio.tier*.calls counters must reconcile against the
+    // learn + sweep calls recorded in BENCH_core.json.
     let problem = acc::reach_avoid_problem();
     let config = LearnConfig::builder()
         .metric(MetricKind::Geometric)
         .max_updates(200)
         .seed(7)
+        .portfolio(PortfolioMode::Surrogate { confirm_every: 5 })
         .build();
 
-    let cache = Arc::new(ReachCache::new());
-    let outcome = Algorithm1::new(problem.clone(), config)
-        .with_cache(Arc::clone(&cache))
-        .learn_linear()?;
-    println!(
-        "learned: {} after {} iterations ({} verifier calls, {} cache hits)",
-        outcome.verified,
-        outcome.iterations,
-        outcome.trace.total_verifier_calls(),
-        cache.hits(),
-    );
+    if std::env::var("DWV_FORCE_PANIC").is_ok_and(|v| v == "1") {
+        let _doomed = obs::span("profile.doomed");
+        panic!("DWV_FORCE_PANIC=1: exercising the flight-recorder dump path");
+    }
 
-    // Per-iteration cache hits and enclosure widths ride in the trace CSV.
-    let csv = outcome.trace.to_csv();
+    let outcome = design_while_verify_linear(problem, config)?;
+    println!(
+        "learned: {} after {} iterations ({} verifier calls)",
+        outcome.learning.verified,
+        outcome.learning.iterations,
+        outcome.learning.trace.total_verifier_calls(),
+    );
+    if let Some(stats) = &outcome.learning.portfolio {
+        println!("learn bill     : {:?} calls by tier", stats.calls_by_tier);
+    }
+    if let Some(stats) = &outcome.sweep_portfolio {
+        println!("sweep bill     : {:?} calls by tier", stats.calls_by_tier);
+    }
+
+    // Per-iteration cache hits, enclosure widths and per-tier verifier
+    // calls ride in the trace CSV.
+    let csv = outcome.learning.trace.to_csv();
     println!(
         "trace CSV: {} rows, header: {}",
         csv.lines().count() - 1,
         csv.lines().next().unwrap_or("")
     );
 
-    let (a, b, c) = problem.dynamics.linear_parts().expect("ACC is affine");
-    let controller = outcome.controller.clone();
-    let delta = problem.delta;
-    let steps = problem.horizon_steps;
-    let report = assess(&problem, &outcome.controller, move |cell: &IntervalBox| {
-        LinearReach::new(&a, &b, &c, cell.clone(), delta, steps).reach(&controller)
-    });
-    println!("{report}");
-
-    let s = cache.stats();
-    println!(
-        "reach cache    : {} hits / {} misses (hit rate {:.1}%), {} entries",
-        s.hits,
-        s.misses,
-        s.hit_rate() * 100.0,
-        s.entries,
-    );
+    println!("{}", outcome.report);
 
     if tracing {
         // Close the stream with a full metrics snapshot line.

@@ -74,13 +74,32 @@ if [[ "${1:-}" == "--all" ]]; then
   # runs tracing-off, so this also guards the disabled-path obs overhead.
   run cargo run --release --offline -p dwv-bench --bin bench_core -- --check
   # Observability smoke: a full ACC pipeline run streaming a JSONL trace,
-  # validated line-by-line (reserved fields, span timings for the
-  # train/verify/simulate phases, cache hit/miss + remainder-width metrics).
+  # validated line-by-line (reserved fields, span identity/nesting, span
+  # timings for the train/verify/simulate phases, cache hit/miss +
+  # remainder-width metrics).
   trace_file="$(mktemp -t dwv_trace.XXXXXX.jsonl)"
-  trap 'rm -f "$trace_file"' EXIT
+  folded_file="$(mktemp -t dwv_folded.XXXXXX.txt)"
+  flight_file="$(mktemp -t dwv_flight.XXXXXX.jsonl)"
+  trap 'rm -f "$trace_file" "$folded_file" "$flight_file"' EXIT
   echo "==> DWV_TRACE=$trace_file cargo run --release --offline --example profile_acc"
   DWV_TRACE="$trace_file" cargo run --release --offline --example profile_acc
   run cargo run --release --offline -p dwv-bench --bin trace_check -- "$trace_file"
+  # Trace analytics gate: the analyzer must place the verifier backend on
+  # the critical path, reconcile the trace's per-tier verifier bill exactly
+  # against BENCH_core.json's verifier_calls_by_tier (learn + sweep), and
+  # export flamegraph-compatible folded stacks.
+  run cargo run --release --offline -p dwv-trace -- "$trace_file" \
+    --require-critical reach.run --check-bill BENCH_core.json \
+    --folded "$folded_file"
+  # Flight-recorder gate: a forced mid-run panic must leave a parseable
+  # dump whose last events cover the still-open panicking span.
+  echo "==> DWV_FLIGHT=$flight_file DWV_FORCE_PANIC=1 profile_acc (panic expected)"
+  if DWV_FLIGHT="$flight_file" DWV_FORCE_PANIC=1 \
+    cargo run --release --offline --example profile_acc >/dev/null 2>&1; then
+    echo "FAIL: DWV_FORCE_PANIC=1 run exited 0 (expected a panic)"
+    exit 1
+  fi
+  run cargo run --release --offline -p dwv-trace -- --check-flight "$flight_file"
 fi
 
 echo "CI OK"

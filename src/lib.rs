@@ -23,6 +23,8 @@
 //!   histograms, `DWV_TRACE=path` JSONL streams)
 //! * [`check`] — deterministic soundness-falsification harness
 //!   (generative cases vs. brute-force oracles, shrinking, replay tokens)
+//! * [`trace`] — trace analytics over `DWV_TRACE` streams (span trees,
+//!   cost attribution, critical paths, folded stacks, verifier tier bills)
 //!
 //! # Quickstart
 //!
@@ -77,3 +79,4 @@ pub use dwv_obs as obs;
 pub use dwv_poly as poly;
 pub use dwv_reach as reach;
 pub use dwv_taylor as taylor;
+pub use dwv_trace as trace;
