@@ -18,7 +18,8 @@
 //!
 //! Run with `cargo run --release -p dwv-bench --bin bench_core`.
 //! Run with `--check` to re-measure only `acc_algorithm1_iteration`, the
-//! 1-thread scaling row and `portfolio_algorithm1_iteration` and fail
+//! 1-thread scaling row, `portfolio_algorithm1_iteration` and
+//! `lint_workspace` and fail
 //! (exit 1) if any regressed more than 10% against the committed
 //! `BENCH_core.json`, if the default-on flight recorder costs more than
 //! 10% on either iteration bench, or if the portfolio's tier economy
@@ -201,6 +202,20 @@ fn bench_bernstein_range() -> f64 {
     median_time(9, 500, move || cache.range_enclosure(&p, bx.intervals()))
 }
 
+fn bench_lint_workspace() -> f64 {
+    // One full interprocedural lint of this workspace on the default pool —
+    // the unit cost of the CI lint gate. Sources are read once outside the
+    // timer so only lex/parse/analyze/assemble is measured.
+    let root =
+        dwv_lint::walk::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")));
+    let sources = dwv_lint::read_workspace(&root).expect("read workspace sources");
+    let zones = dwv_lint::ZoneConfig::default();
+    let opts = dwv_lint::EngineOptions::default();
+    median_time(5, 1, move || {
+        dwv_lint::lint_sources(&sources, &zones, &opts)
+    })
+}
+
 fn sweep_setup() -> (
     dwv_dynamics::ReachAvoidProblem,
     TaylorReach<TaylorAbstraction>,
@@ -325,6 +340,12 @@ fn check_mode() -> i32 {
             "current",
             "portfolio_algorithm1_iteration",
             bench_portfolio_algorithm1_iteration,
+        ),
+        (
+            "lint_workspace",
+            "current",
+            "lint_workspace",
+            bench_lint_workspace,
         ),
     ];
     for (label, section, key, bench) in guards {
@@ -570,6 +591,7 @@ fn main() {
         ("bernstein_range_deg4", bench_bernstein_range()),
         ("sweep_serial_oscillator", bench_sweep_serial()),
         ("sweep_parallel_oscillator", bench_sweep_parallel()),
+        ("lint_workspace", bench_lint_workspace()),
     ];
     let scaling = bench_sweep_scaling();
 

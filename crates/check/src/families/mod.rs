@@ -20,6 +20,7 @@
 mod flow;
 mod geom;
 mod interval;
+mod lintcheck;
 mod nn;
 mod poly;
 mod portfolio;
@@ -67,6 +68,7 @@ pub fn registry() -> Vec<Box<dyn Family>> {
         Box::new(simd::SimdFamily),
         Box::new(portfolio::PortfolioFamily),
         Box::new(trace::TraceFamily),
+        Box::new(lintcheck::LintcheckFamily),
     ]
 }
 

@@ -78,13 +78,20 @@ impl ConvexPolygon {
         assert_eq!(b.dim(), 2, "polygon requires a 2-D box");
         assert!(b.is_finite(), "polygon requires a finite box");
         let (x, y) = (b.interval(0), b.interval(1));
-        Self::from_points(vec![
-            Vec2::new(x.lo(), y.lo()),
-            Vec2::new(x.hi(), y.lo()),
-            Vec2::new(x.hi(), y.hi()),
-            Vec2::new(x.lo(), y.hi()),
-        ])
-        .expect("finite box with positive widths is non-degenerate")
+        assert!(
+            x.width() > 0.0 && y.width() > 0.0,
+            "polygon requires positive widths"
+        );
+        // The CCW rectangle needs no hull pass: with positive widths the
+        // four corners are distinct and already in hull order.
+        Self {
+            verts: vec![
+                Vec2::new(x.lo(), y.lo()),
+                Vec2::new(x.hi(), y.lo()),
+                Vec2::new(x.hi(), y.hi()),
+                Vec2::new(x.lo(), y.hi()),
+            ],
+        }
     }
 
     /// The CCW-ordered vertices.

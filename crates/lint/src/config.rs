@@ -51,6 +51,23 @@ pub struct ZoneConfig {
     pub panic_free_crates: Vec<String>,
     /// Files whose results must be deterministic (R3).
     pub determinism_zone_files: Vec<String>,
+    /// Files every function of which is in the R6 no-alloc zone.
+    pub no_alloc_files: Vec<String>,
+    /// Function names in the R6 no-alloc zone wherever they are defined
+    /// (the workspace-arena kernels and the arena flow step).
+    pub no_alloc_fns: Vec<String>,
+    /// Function-name suffixes placing a function in the R6 no-alloc zone
+    /// when its file is listed in `no_alloc_suffix_files`.
+    pub no_alloc_fn_suffixes: Vec<String>,
+    /// Files whose `_into`/`_in_place`-style kernels join the R6 zone.
+    pub no_alloc_suffix_files: Vec<String>,
+    /// Type names whose arithmetic operators are sound overloads (interval
+    /// and enclosure types): an operand of one of these types discharges
+    /// the R1 raw-float-operator obligation.
+    pub enclosure_types: Vec<String>,
+    /// Crates whose public functions the panic-reachability pass must prove
+    /// transitively panic-free.
+    pub proof_crates: Vec<String>,
 }
 
 impl Default for ZoneConfig {
@@ -105,6 +122,24 @@ impl Default for ZoneConfig {
                 "crates/trace/src/lib.rs",
                 "crates/obs/src/recorder.rs",
             ]),
+            // The zero-copy hot core (PR 2/6): the coefficient kernels, the
+            // workspace-arena in-place polynomial kernels, and the arena
+            // flow step must never allocate on the steady-state path.
+            no_alloc_files: v(&["crates/poly/src/kernels.rs"]),
+            no_alloc_fns: v(&["flow_step_ws"]),
+            no_alloc_fn_suffixes: v(&["_into", "_in_place"]),
+            no_alloc_suffix_files: v(&[
+                "crates/poly/src/polynomial.rs",
+                "crates/taylor/src/model.rs",
+            ]),
+            enclosure_types: v(&[
+                "Interval",
+                "IntervalBox",
+                "Polynomial",
+                "TaylorModel",
+                "Zonotope",
+            ]),
+            proof_crates: v(&["interval", "poly", "taylor", "reach"]),
         }
     }
 }
@@ -144,6 +179,34 @@ impl ZoneConfig {
     #[must_use]
     pub fn in_determinism_zone(&self, rel_path: &str) -> bool {
         self.determinism_zone_files.iter().any(|f| f == rel_path)
+    }
+
+    /// Whether function `fn_name` defined in `rel_path` is in the R6
+    /// no-alloc zone.
+    #[must_use]
+    pub fn in_no_alloc_zone(&self, rel_path: &str, fn_name: &str) -> bool {
+        self.no_alloc_files.iter().any(|f| f == rel_path)
+            || self.no_alloc_fns.iter().any(|f| f == fn_name)
+            || (self.no_alloc_suffix_files.iter().any(|f| f == rel_path)
+                && self
+                    .no_alloc_fn_suffixes
+                    .iter()
+                    .any(|s| fn_name.ends_with(s.as_str())))
+    }
+
+    /// Whether `name` is a registered enclosure type (whose operators are
+    /// sound overloads, not raw float arithmetic).
+    #[must_use]
+    pub fn is_enclosure_type(&self, name: &str) -> bool {
+        self.enclosure_types.iter().any(|t| t == name)
+    }
+
+    /// Whether `rel_path` belongs to a crate under the public-API
+    /// panic-reachability proof.
+    #[must_use]
+    pub fn in_proof_crate(&self, rel_path: &str) -> bool {
+        let (_, krate) = classify(rel_path);
+        self.proof_crates.contains(&krate)
     }
 }
 

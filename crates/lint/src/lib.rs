@@ -23,29 +23,27 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod config;
+pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod structure;
 pub mod walk;
 
 pub use config::{classify, FileClass, ZoneConfig};
+pub use engine::{lint_sources, read_workspace, why_workspace, EngineOptions};
 pub use report::{Finding, Report, Rule, Suppression};
 pub use rules::lint_source;
 
-use std::fs;
 use std::io;
 use std::path::Path;
 
 /// Lints every source file in the workspace rooted at `root` with the
-/// default zone configuration.
+/// default zone configuration, through the full interprocedural engine
+/// (parallel phases at the machine's default width).
 pub fn lint_workspace(root: &Path) -> io::Result<Report> {
-    let zones = ZoneConfig::default();
-    let mut report = Report::default();
-    for rel in walk::collect_rs_files(root)? {
-        let src = fs::read_to_string(root.join(&rel))?;
-        lint_source(&rel, &src, &zones, &mut report);
-    }
-    Ok(report)
+    engine::lint_workspace(root, &EngineOptions::default())
 }

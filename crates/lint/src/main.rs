@@ -2,12 +2,20 @@
 //!
 //! ```text
 //! dwv-lint --workspace [--deny all|<rule>[,<rule>]*] [--json] [--quiet]
+//!          [--threads N | --serial] [--cache] [--why <fn>]
 //! dwv-lint <file.rs>... [--deny ...] [--json]
 //! ```
 //!
+//! Workspace runs go through the interprocedural engine (parallel lex /
+//! parse / per-file analysis, serial call-graph passes); explicit file
+//! arguments are linted standalone with per-file rules only. `--why <fn>`
+//! prints the panic-reachability status and call chain of every workspace
+//! function with that name instead of a report.
+//!
 //! The exit code is a bitmask over the denied rules that fired:
 //! float-hygiene=1, panic-freedom=2, determinism=4, unsafe-audit=8,
-//! doc-coverage=16; malformed annotations (32) always fail.
+//! doc-coverage=16, no-alloc=64; malformed or unused annotations (32)
+//! always fail.
 
 #![forbid(unsafe_code)]
 
@@ -16,7 +24,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dwv_lint::{lint_source, walk, Report, Rule, ZoneConfig};
+use dwv_lint::{lint_source, walk, EngineOptions, Report, Rule, ZoneConfig};
 
 struct Options {
     workspace: bool,
@@ -24,6 +32,10 @@ struct Options {
     denied: Vec<Rule>,
     json: bool,
     quiet: bool,
+    threads: Option<usize>,
+    serial: bool,
+    cache: bool,
+    why: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -33,6 +45,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         denied: Rule::all().to_vec(),
         json: false,
         quiet: false,
+        threads: None,
+        serial: false,
+        cache: false,
+        why: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -40,6 +56,28 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--workspace" => opts.workspace = true,
             "--json" => opts.json = true,
             "--quiet" | "-q" => opts.quiet = true,
+            "--serial" => opts.serial = true,
+            "--cache" => opts.cache = true,
+            "--threads" => {
+                i += 1;
+                let spec = args
+                    .get(i)
+                    .ok_or_else(|| "--threads requires a count".to_string())?;
+                let n: usize = spec
+                    .parse()
+                    .map_err(|_| format!("invalid thread count `{spec}`"))?;
+                if n == 0 {
+                    return Err("--threads requires a positive count".to_string());
+                }
+                opts.threads = Some(n);
+            }
+            "--why" => {
+                i += 1;
+                let name = args
+                    .get(i)
+                    .ok_or_else(|| "--why requires a function name".to_string())?;
+                opts.why = Some(name.clone());
+            }
             "--deny" => {
                 i += 1;
                 let spec = args
@@ -60,7 +98,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: dwv-lint (--workspace | <file.rs>...) [--deny all|<rules>] \
-                     [--json] [--quiet]"
+                     [--json] [--quiet] [--threads N | --serial] [--cache] [--why <fn>]"
                         .to_string(),
                 );
             }
@@ -69,8 +107,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
         i += 1;
     }
-    if !opts.workspace && opts.paths.is_empty() {
-        return Err("nothing to lint: pass --workspace or one or more files".to_string());
+    if opts.serial && opts.threads.is_some() {
+        return Err("--serial and --threads are mutually exclusive".to_string());
+    }
+    if !opts.workspace && opts.paths.is_empty() && opts.why.is_none() {
+        return Err("nothing to lint: pass --workspace, --why <fn>, or files".to_string());
     }
     Ok(opts)
 }
@@ -81,7 +122,15 @@ fn run(opts: &Options) -> Result<Report, String> {
     let zones = ZoneConfig::default();
     let mut report = Report::default();
     if opts.workspace {
-        report = dwv_lint::lint_workspace(&root).map_err(|e| format!("workspace walk: {e}"))?;
+        let engine_opts = EngineOptions {
+            threads: opts.threads,
+            serial: opts.serial,
+            cache_dir: opts
+                .cache
+                .then(|| root.join("target").join("dwv-lint-cache")),
+        };
+        report = dwv_lint::engine::lint_workspace(&root, &engine_opts)
+            .map_err(|e| format!("workspace walk: {e}"))?;
     }
     for path in &opts.paths {
         let abs = if path.is_absolute() {
@@ -111,6 +160,28 @@ fn main() -> ExitCode {
             return ExitCode::from(64);
         }
     };
+    if let Some(name) = &opts.why {
+        let cwd = match env::current_dir() {
+            Ok(cwd) => cwd,
+            Err(e) => {
+                eprintln!("dwv-lint: cannot read cwd: {e}");
+                return ExitCode::from(65);
+            }
+        };
+        let root = walk::find_workspace_root(&cwd);
+        return match dwv_lint::why_workspace(&root, name) {
+            Ok(lines) => {
+                for line in lines {
+                    println!("{line}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("dwv-lint: {e}");
+                ExitCode::from(65)
+            }
+        };
+    }
     let report = match run(&opts) {
         Ok(report) => report,
         Err(msg) => {
@@ -124,6 +195,6 @@ fn main() -> ExitCode {
         print!("{}", report.to_text(&opts.denied));
     }
     let code = report.exit_code(&opts.denied);
-    // Exit codes are a u8; the bitmask tops out at 63 so this cannot clip.
+    // Exit codes are a u8; the bitmask tops out at 127 so this cannot clip.
     ExitCode::from(u8::try_from(code).unwrap_or(u8::MAX))
 }

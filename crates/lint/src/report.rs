@@ -18,6 +18,8 @@ pub enum Rule {
     UnsafeAudit,
     /// R5 — undocumented public items.
     DocCoverage,
+    /// R6 — allocation in a designated no-alloc kernel zone.
+    NoAlloc,
     /// Malformed `dwv-lint:` annotations.
     Annotation,
 }
@@ -32,6 +34,7 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::UnsafeAudit => "unsafe-audit",
             Rule::DocCoverage => "doc-coverage",
+            Rule::NoAlloc => "no-alloc",
             Rule::Annotation => "annotation",
         }
     }
@@ -46,6 +49,7 @@ impl Rule {
             Rule::UnsafeAudit => 8,
             Rule::DocCoverage => 16,
             Rule::Annotation => 32,
+            Rule::NoAlloc => 64,
         }
     }
 
@@ -58,6 +62,7 @@ impl Rule {
             Rule::Determinism,
             Rule::UnsafeAudit,
             Rule::DocCoverage,
+            Rule::NoAlloc,
         ]
     }
 
@@ -96,6 +101,26 @@ pub struct Suppression {
     pub reason: String,
 }
 
+/// The suppression-debt / proof-obligation audit attached to a workspace
+/// run by the interprocedural engine.
+#[derive(Debug, Default, Clone)]
+pub struct Audit {
+    /// Suppression count recorded when the interprocedural engine landed
+    /// (the debt-paydown baseline the report is measured against).
+    pub suppression_baseline: usize,
+    /// Current suppressions per rule id.
+    pub suppressed_by_rule: BTreeMap<String, usize>,
+    /// Public functions of the proof crates shown transitively panic-free.
+    pub pub_fns_proved: usize,
+    /// Public functions of the proof crates carrying a reasoned
+    /// `panic-freedom#reach` audit annotation instead of a proof.
+    pub pub_fns_audited: usize,
+    /// Per-crate counts of *soft* panic exposure outside the proof zone
+    /// (indexing / non-literal division in non-zone library code). These
+    /// are informational proof obligations, not findings.
+    pub soft_seeds: BTreeMap<String, usize>,
+}
+
 /// Aggregated results of a lint run.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -108,6 +133,8 @@ pub struct Report {
     pub unsafe_census: BTreeMap<String, usize>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Proof/suppression audit (workspace engine runs only).
+    pub audit: Option<Audit>,
 }
 
 impl Report {
@@ -157,6 +184,26 @@ impl Report {
                 if *n > 0 {
                     let _ = writeln!(out, "  unsafe census: {krate}: {n}");
                 }
+            }
+        }
+        if let Some(a) = &self.audit {
+            let _ = writeln!(
+                out,
+                "audit: suppressions {} (baseline {}, {:+})",
+                self.suppressed.len(),
+                a.suppression_baseline,
+                self.suppressed.len() as i64 - a.suppression_baseline as i64,
+            );
+            for (rule, n) in &a.suppressed_by_rule {
+                let _ = writeln!(out, "  suppressed[{rule}]: {n}");
+            }
+            let _ = writeln!(
+                out,
+                "  panic-reachability: {} pub fn(s) proved, {} audited",
+                a.pub_fns_proved, a.pub_fns_audited
+            );
+            for (krate, n) in &a.soft_seeds {
+                let _ = writeln!(out, "  soft panic exposure: {krate}: {n}");
             }
         }
         let code = self.exit_code(denied);
@@ -215,7 +262,35 @@ impl Report {
             }
             let _ = write!(out, "\n    {}: {}", json_str(krate), n);
         }
-        out.push_str("\n  }\n}\n");
+        out.push_str("\n  }");
+        if let Some(a) = &self.audit {
+            out.push_str(",\n  \"audit\": {\n");
+            let _ = writeln!(
+                out,
+                "    \"suppression_baseline\": {},",
+                a.suppression_baseline
+            );
+            let _ = writeln!(out, "    \"suppressions\": {},", self.suppressed.len());
+            out.push_str("    \"suppressed_by_rule\": {");
+            for (i, (rule, n)) in a.suppressed_by_rule.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\n      {}: {}", json_str(rule), n);
+            }
+            out.push_str("\n    },\n");
+            let _ = writeln!(out, "    \"pub_fns_proved\": {},", a.pub_fns_proved);
+            let _ = writeln!(out, "    \"pub_fns_audited\": {},", a.pub_fns_audited);
+            out.push_str("    \"soft_seeds\": {");
+            for (i, (krate, n)) in a.soft_seeds.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\n      {}: {}", json_str(krate), n);
+            }
+            out.push_str("\n    }\n  }");
+        }
+        out.push_str("\n}\n");
         out
     }
 }

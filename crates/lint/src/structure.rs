@@ -49,6 +49,7 @@ pub const RULE_IDS: &[&str] = &[
     "determinism",
     "unsafe-audit",
     "doc-coverage",
+    "no-alloc",
 ];
 
 /// Analyzes `lexed`, producing per-token flags and parsed annotations.

@@ -1,0 +1,31 @@
+//! No-alloc zone fixture: steady-state allocations are findings; the
+//! amortized-reuse idiom and reasoned annotations discharge the rest.
+
+/// Hot kernel: allocates five different ways.
+pub fn axpy_fresh(n: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    let tmp = vec![0.0f64; n];
+    out.push(1.0);
+    let copy = tmp.clone();
+    copy.iter().copied().collect()
+}
+
+/// Amortized kernel: retained capacity via the workspace idiom — clean.
+pub fn axpy_amortized(ws: &mut Vec<f64>, xs: &[f64]) {
+    ws.clear();
+    ws.reserve(xs.len());
+    for x in xs {
+        ws.push(*x);
+    }
+}
+
+/// Suffix-zone kernel: in the zone only under the `_into` suffix map.
+pub fn scale_into(dst: &mut Vec<f64>, s: f64) {
+    dst.push(s);
+}
+
+/// Cold-start fallback: the reasoned allow lands in the audit trail.
+pub fn cold_start() -> Vec<f64> {
+    // dwv-lint: allow(no-alloc) -- cold-start construction off the steady-state path
+    Vec::new()
+}

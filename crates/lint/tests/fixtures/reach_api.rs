@@ -1,0 +1,23 @@
+//! Public surface for the panic-reachability fixture: one public fn
+//! reaches the seeded helper through an intermediate hop, one is proved,
+//! and one leans on an audited callee.
+
+/// Reaches the seeded helper through one hop.
+pub fn enclose(v: &[f64]) -> f64 {
+    step(v)
+}
+
+/// Intermediate hop between the public surface and the seed.
+fn step(v: &[f64]) -> f64 {
+    risky_first(v)
+}
+
+/// Proved transitively panic-free.
+pub fn width_of(x: f64) -> f64 {
+    midpoint_of(x)
+}
+
+/// An audited callee does not taint its caller.
+pub fn first_or_default(v: &[f64]) -> f64 {
+    audited_first(v)
+}

@@ -1,0 +1,18 @@
+//! Helpers for the panic-reachability fixture.
+
+/// Seeded: the bare `unwrap` is a panic-frontier seed.
+fn risky_first(v: &[f64]) -> f64 {
+    v.first().copied().unwrap()
+}
+
+/// Proved: no seed, no panicking callee.
+fn midpoint_of(x: f64) -> f64 {
+    x
+}
+
+/// Audited: the fn-level annotation cuts it from the panic frontier.
+// dwv-lint: allow(panic-freedom#reach) -- caller contract guarantees a non-empty slice
+fn audited_first(v: &[f64]) -> f64 {
+    // dwv-lint: allow(panic-freedom) -- non-empty by the audited contract above
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,16 @@
+//! Raw-float helpers for the cross-function taint fixture.
+
+/// Producer: raw arithmetic and a raw `f64` return — tainted at the source.
+pub fn lerp_raw(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Forwarder: returns the tainted value unrounded — the taint propagates.
+pub fn lerp_mid(a: f64, b: f64) -> f64 {
+    lerp_raw(a, b, 0.5)
+}
+
+/// Rounded consumer: returns an integer — the taint stops here.
+pub fn lerp_bucket(a: f64, b: f64) -> usize {
+    lerp_mid(a, b) as usize
+}

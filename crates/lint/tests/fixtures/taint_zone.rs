@@ -1,0 +1,22 @@
+//! Float-zone consumers for the cross-function taint fixture.
+
+/// Zone fn consuming the raw helper directly: a taint finding.
+pub fn eval_cell(a: f64, b: f64) -> f64 {
+    lerp_raw(a, b, 0.5)
+}
+
+/// Zone fn consuming the forwarder: the propagated taint still lands.
+pub fn eval_mid(a: f64, b: f64) -> f64 {
+    lerp_mid(a, b)
+}
+
+/// Audited sink: the annotation routes the value to the audit trail.
+pub fn eval_audited(a: f64, b: f64) -> f64 {
+    // dwv-lint: allow(float-hygiene#taint) -- display-only interpolation; never feeds an enclosure
+    lerp_raw(a, b, 0.5)
+}
+
+/// An integer consumer is fine: the bucket index is exact.
+pub fn eval_bucket(a: f64, b: f64) -> usize {
+    lerp_bucket(a, b)
+}

@@ -1,0 +1,34 @@
+//! Trait-bound `+` tokens must never be judged float arithmetic: the
+//! parser's type-position map — not a token-skip hack — excludes them.
+
+use core::ops::{Add, Mul};
+
+/// Inline bounds with nested generics.
+pub fn sum_pairs<T: Add<Output = T> + Mul<Output = T> + Copy + Default>(xs: &[(T, T)]) -> T {
+    let mut acc = T::default();
+    for (a, b) in xs {
+        acc = combine(acc, *a, *b);
+    }
+    acc
+}
+
+/// `where` clauses carry the same `+` tokens.
+pub fn fold_with<T, F>(xs: &[T], f: F) -> Option<T>
+where
+    T: Copy + PartialOrd,
+    F: Fn(T, T) -> T + Copy,
+{
+    let mut it = xs.iter().copied();
+    let first = it.next()?;
+    Some(it.fold(first, f))
+}
+
+/// An `impl Trait + Copy` bound in argument position.
+pub fn apply_twice(x: f64, f: impl Fn(f64) -> f64 + Copy) -> f64 {
+    f(f(x))
+}
+
+fn combine<T: Add<Output = T> + Mul<Output = T>>(a: T, x: T, y: T) -> T {
+    let _ = (x, y);
+    a
+}

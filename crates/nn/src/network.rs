@@ -77,13 +77,13 @@ impl Network {
     /// The input dimension.
     #[must_use]
     pub fn in_dim(&self) -> usize {
-        self.layers[0].in_dim()
+        self.layers.first().map_or(0, Layer::in_dim)
     }
 
     /// The output dimension.
     #[must_use]
     pub fn out_dim(&self) -> usize {
-        self.layers.last().expect("non-empty").out_dim()
+        self.layers.last().map_or(0, Layer::out_dim)
     }
 
     /// Total number of trainable parameters.

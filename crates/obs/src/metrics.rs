@@ -275,7 +275,10 @@ impl<T: Default + 'static> Family<T> {
     }
 
     fn get(&self, name: &str) -> &'static T {
-        let mut map = self.map.lock().expect("obs registry poisoned");
+        let mut map = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(v) = map.get(name) {
             return v;
         }
@@ -285,14 +288,22 @@ impl<T: Default + 'static> Family<T> {
     }
 
     fn sorted(&self) -> Vec<(String, &'static T)> {
-        let map = self.map.lock().expect("obs registry poisoned");
+        let map = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut v: Vec<(String, &'static T)> = map.iter().map(|(k, &t)| (k.clone(), t)).collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v
     }
 
     fn for_each(&self, f: impl Fn(&T)) {
-        for (_, t) in self.map.lock().expect("obs registry poisoned").iter() {
+        for (_, t) in self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+        {
             f(t);
         }
     }

@@ -37,7 +37,9 @@ pub fn set_enabled(on: bool) {
 
 /// Installs a JSONL sink and enables observability.
 pub fn init_jsonl_writer(w: Box<dyn Write + Send>) {
-    *SINK.lock().expect("obs sink poisoned") = Some(w);
+    *SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(w);
     set_enabled(true);
 }
 
@@ -80,7 +82,11 @@ pub fn init_from_env() -> bool {
 /// this matters only for exotic buffered writers installed via
 /// [`init_jsonl_writer`].
 pub fn flush() {
-    if let Some(w) = SINK.lock().expect("obs sink poisoned").as_mut() {
+    if let Some(w) = SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .as_mut()
+    {
         let _ = w.flush();
     }
 }
@@ -89,7 +95,9 @@ pub fn flush() {
 /// their totals (use [`crate::reset`] to zero them).
 pub fn shutdown() {
     set_enabled(false);
-    let mut guard = SINK.lock().expect("obs sink poisoned");
+    let mut guard = SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(w) = guard.as_mut() {
         let _ = w.flush();
     }
@@ -99,7 +107,9 @@ pub fn shutdown() {
 /// Writes one pre-rendered JSONL line (the caller supplies everything after
 /// the common fields). No-op when no sink is installed.
 pub(crate) fn emit_line(line: &str) {
-    let mut guard = SINK.lock().expect("obs sink poisoned");
+    let mut guard = SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(w) = guard.as_mut() {
         let _ = writeln!(w, "{line}");
         let _ = w.flush();

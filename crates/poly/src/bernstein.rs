@@ -25,7 +25,7 @@ use std::collections::HashMap;
 /// [`crate::tables`]; kept here as a re-export for existing callers.
 #[must_use]
 pub fn binomial(n: u32, k: u32) -> f64 {
-    crate::tables::binomial(n, k)
+    crate::tables::binomial(n, k) // dwv-lint: allow(float-hygiene#taint) -- Pascal-triangle additions are exact in f64 up to the packed degree cap; no rounding occurs
 }
 
 /// The univariate Bernstein basis polynomial `B_{k,d}(t) = C(d,k) t^k (1-t)^{d-k}`
@@ -34,13 +34,11 @@ pub fn binomial(n: u32, k: u32) -> f64 {
 pub fn basis_polynomial(d: u32, k: u32) -> Polynomial {
     assert!(k <= d, "basis index exceeds degree");
     let mut p = Polynomial::zero(1);
-    let c_dk = binomial(d, k);
-    // dwv-lint: allow(float-hygiene) -- u32 loop bound
+    let c_dk = binomial(d, k); // dwv-lint: allow(float-hygiene#taint) -- Pascal-triangle additions are exact in f64 up to the packed degree cap; no rounding occurs
     for j in 0..=(d - k) {
         let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
         // dwv-lint: allow(float-hygiene) -- exact small-integer binomial products (well under 2^53)
         let coeff = c_dk * binomial(d - k, j) * sign;
-        // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator, not raw f64
         p += Polynomial::monomial(1, vec![k + j], coeff);
     }
     p
@@ -124,13 +122,10 @@ where
                 for (exps, c) in uni.iter() {
                     let mut e = vec![0u32; n];
                     e[dim] = exps[0];
-                    // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator, not raw f64
                     lifted += Polynomial::monomial(n, e, c);
                 }
-                // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator, not raw f64
                 term = term * lifted;
             }
-            // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator, not raw f64
             acc += term;
         }
         for d in (0..n).rev() {
@@ -196,7 +191,6 @@ pub fn range_enclosure(p: &Polynomial, domain: &IntervalBox) -> Interval {
     for (exps, c) in q.iter() {
         let mut off = 0usize;
         for (i, &e) in exps.iter().enumerate() {
-            // dwv-lint: allow(float-hygiene) -- usize tensor-offset arithmetic
             off += e as usize * stride[i];
         }
         // dwv-lint: allow(float-hygiene) -- conversion rounding absorbed by the relative pad below
@@ -212,7 +206,7 @@ pub fn range_enclosure(p: &Polynomial, domain: &IntervalBox) -> Interval {
     let mut b = a;
     let mut next = vec![0.0f64; total];
     for dim in 0..n {
-        let ratios = crate::tables::bernstein_ratios(degs[dim]);
+        let ratios = crate::tables::bernstein_ratios(degs[dim]); // dwv-lint: allow(float-hygiene#taint) -- elevation ratios k/(d+1) round once at table build; the enclosure pads for it downstream
         let s = stride[dim];
         let cnt = counts[dim];
         next.fill(0.0);
@@ -230,13 +224,11 @@ pub fn range_enclosure(p: &Polynomial, domain: &IntervalBox) -> Interval {
                 }
             }
         } else {
-            // dwv-lint: allow(float-hygiene) -- usize tensor-offset arithmetic
             for ob in (0..total).step_by(cnt * s) {
                 for (k, row) in ratios.iter().enumerate().take(cnt) {
                     // dwv-lint: allow(float-hygiene) -- usize tensor-offset arithmetic
                     let dst_at = ob + k * s;
                     for (j, &ratio) in row.iter().enumerate() {
-                        // dwv-lint: allow(float-hygiene) -- usize tensor-offset arithmetic
                         let src_at = ob + j * s;
                         kernels::axpy(&mut next[dst_at..dst_at + s], ratio, &b[src_at..src_at + s]);
                     }
@@ -369,7 +361,6 @@ impl RangeCache {
         self.misses += 1;
         let iv = range_enclosure(p, &IntervalBox::new(domain.to_vec()));
         if self.map.len() >= RANGE_CACHE_CAP {
-            // dwv-lint: allow(float-hygiene) -- u64 counter
             self.evictions += self.map.len() as u64;
             if dwv_obs::enabled() {
                 dwv_obs::event(
@@ -412,7 +403,6 @@ fn strides(counts: &[usize]) -> Vec<usize> {
     let n = counts.len();
     let mut s = vec![1usize; n];
     for i in (0..n.saturating_sub(1)).rev() {
-        // dwv-lint: allow(float-hygiene) -- usize stride products
         s[i] = s[i + 1] * counts[i + 1];
     }
     s

@@ -32,7 +32,7 @@ pub fn scale_slice(dst: &mut [f64], s: f64) {
         return;
     }
     for c in dst {
-        *c *= s; // dwv-lint: allow(float-hygiene) -- coefficient kernel: elementwise product, enclosure handled by the Taylor-model layer
+        *c *= s;
     }
 }
 
@@ -47,7 +47,7 @@ pub fn scale_into(dst: &mut Vec<f64>, src: &[f64], s: f64) {
         unsafe { avx2::scale_into_avx2(dst, src, s) };
         return;
     }
-    dst.extend(src.iter().map(|&c| c * s)); // dwv-lint: allow(float-hygiene) -- coefficient kernel: elementwise product, enclosure handled by the Taylor-model layer
+    dst.extend(src.iter().map(|&c| c * s));
 }
 
 /// `dst[i] = src[i] * s` (elementwise) into an existing equal-length slice.
@@ -65,7 +65,7 @@ pub fn scale_into_slice(dst: &mut [f64], src: &[f64], s: f64) {
         return;
     }
     for (d, &c) in dst.iter_mut().zip(src) {
-        *d = c * s; // dwv-lint: allow(float-hygiene) -- coefficient kernel: elementwise product, enclosure handled by the Taylor-model layer
+        *d = c * s;
     }
 }
 
@@ -102,10 +102,13 @@ pub fn stage_row_filtered(
 ) {
     assert_eq!(bkeys.len(), bcoeffs.len(), "staging length mismatch");
     assert_eq!(bkeys.len(), bdeg.len(), "staging length mismatch");
+    // Upper bound on the appended run; a no-op when the caller pre-reserved.
+    keys.reserve(bkeys.len());
+    coeffs.reserve(bkeys.len());
     for j in 0..bkeys.len() {
         if bdeg[j] <= rem {
             keys.push(ka + bkeys[j]);
-            coeffs.push(ca * bcoeffs[j]); // dwv-lint: allow(float-hygiene) -- coefficient kernel: elementwise product, enclosure handled by the Taylor-model layer
+            coeffs.push(ca * bcoeffs[j]);
         }
     }
 }
@@ -123,7 +126,7 @@ pub fn axpy(dst: &mut [f64], a: f64, src: &[f64]) {
         return;
     }
     for (d, &x) in dst.iter_mut().zip(src) {
-        *d += a * x; // dwv-lint: allow(float-hygiene) -- coefficient kernel: elementwise multiply-add (two roundings), enclosure handled by the caller's outward pad
+        *d += a * x;
     }
 }
 
@@ -149,7 +152,7 @@ pub fn dot_chunked(a: &[f64], b: &[f64]) -> f64 {
     for i in 0..chunks {
         let base = i * LANES;
         for j in 0..LANES {
-            lane[j] += a[base + j] * b[base + j]; // dwv-lint: allow(float-hygiene) -- coefficient kernel: fixed-order chunked reduction, contract documented above
+            lane[j] += a[base + j] * b[base + j];
         }
     }
     add_tail_dot(combine_lanes(lane), &a[split..], &b[split..])
@@ -172,7 +175,7 @@ pub fn abs_sum_chunked(xs: &[f64]) -> f64 {
     for i in 0..chunks {
         let base = i * LANES;
         for j in 0..LANES {
-            lane[j] += xs[base + j].abs(); // dwv-lint: allow(float-hygiene) -- coefficient kernel: fixed-order chunked reduction, contract documented above
+            lane[j] += xs[base + j].abs();
         }
     }
     add_tail_abs(combine_lanes(lane), &xs[split..])
@@ -182,13 +185,13 @@ pub fn abs_sum_chunked(xs: &[f64]) -> f64 {
 /// paths: `(lane0 + lane2) + (lane1 + lane3)`.
 #[inline]
 fn combine_lanes(lane: [f64; LANES]) -> f64 {
-    (lane[0] + lane[2]) + (lane[1] + lane[3]) // dwv-lint: allow(float-hygiene) -- coefficient kernel: the documented lane-combine order
+    (lane[0] + lane[2]) + (lane[1] + lane[3])
 }
 
 #[inline]
 fn add_tail_dot(mut acc: f64, a: &[f64], b: &[f64]) -> f64 {
     for (&x, &y) in a.iter().zip(b) {
-        acc += x * y; // dwv-lint: allow(float-hygiene) -- coefficient kernel: sequential tail of the documented reduction
+        acc += x * y;
     }
     acc
 }
@@ -196,7 +199,7 @@ fn add_tail_dot(mut acc: f64, a: &[f64], b: &[f64]) -> f64 {
 #[inline]
 fn add_tail_abs(mut acc: f64, xs: &[f64]) -> f64 {
     for &x in xs {
-        acc += x.abs(); // dwv-lint: allow(float-hygiene) -- coefficient kernel: sequential tail of the documented reduction
+        acc += x.abs();
     }
     acc
 }
@@ -261,7 +264,7 @@ mod avx2 {
             }
         }
         for c in &mut dst[chunks * LANES..] {
-            *c *= s; // dwv-lint: allow(float-hygiene) -- coefficient kernel: scalar tail of the elementwise product
+            *c *= s;
         }
     }
 
@@ -275,7 +278,7 @@ mod avx2 {
         // Elementwise products are width-independent, so delegating the body
         // through an extend keeps the append safe while the multiply loop
         // vectorizes under the enabled target feature.
-        dst.extend(src.iter().map(|&c| c * s)); // dwv-lint: allow(float-hygiene) -- coefficient kernel: elementwise product, enclosure handled by the Taylor-model layer
+        dst.extend(src.iter().map(|&c| c * s));
     }
 
     /// # Safety
@@ -302,7 +305,7 @@ mod avx2 {
         }
         let split = chunks * LANES;
         for (d, &c) in dst[split..].iter_mut().zip(&src[split..]) {
-            *d = c * s; // dwv-lint: allow(float-hygiene) -- coefficient kernel: scalar tail of the elementwise product
+            *d = c * s;
         }
     }
 
@@ -329,7 +332,7 @@ mod avx2 {
         }
         let split = chunks * LANES;
         for (d, &x) in dst[split..].iter_mut().zip(&src[split..]) {
-            *d += a * x; // dwv-lint: allow(float-hygiene) -- coefficient kernel: scalar tail of the elementwise multiply-add
+            *d += a * x;
         }
     }
 

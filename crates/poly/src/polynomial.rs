@@ -74,7 +74,7 @@ fn key_exp(key: u64, i: usize) -> u32 {
 fn key_degree(mut key: u64) -> u32 {
     let mut s = 0u32;
     while key != 0 {
-        s += (key & 0xFF) as u32; // dwv-lint: allow(float-hygiene) -- u32 exponent-byte sum, exact
+        s += (key & 0xFF) as u32;
         key >>= 8;
     }
     s
@@ -560,7 +560,7 @@ impl Polynomial {
                 ws.powers.sync(domain);
                 v.iter()
                     .map(|(k, c)| match ws.powers.mono(k, domain) {
-                        Some(m) => Interval::point(c) * m, // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+                        Some(m) => Interval::point(c) * m,
                         None => Interval::point(c),
                     })
                     .sum()
@@ -635,7 +635,7 @@ impl Polynomial {
                 let step = 1u64 << key_shift(i);
                 let mut out = PackedTerms::with_capacity(v.len());
                 for (k, c) in v.iter() {
-                    let nk = k + step; // dwv-lint: allow(float-hygiene) -- integer packed-key arithmetic, exact
+                    let nk = k + step;
                     out.push(nk, c / f64::from(key_exp(nk, i))); // dwv-lint: allow(float-hygiene) -- antiderivative coefficient quotient; enclosure handled by the Taylor-model layer
                 }
                 Polynomial {
@@ -787,7 +787,7 @@ impl Polynomial {
                 let mut table = Vec::with_capacity(m as usize + 1);
                 table.push(Polynomial::constant(out_vars, 1.0));
                 for e in 1..=m as usize {
-                    table.push(table[e - 1].clone() * s.clone()); // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator; enclosure handled by the Taylor-model layer
+                    table.push(table[e - 1].clone() * s.clone());
                 }
                 table
             })
@@ -797,10 +797,10 @@ impl Polynomial {
             let mut term = Polynomial::constant(out_vars, c);
             for (i, &e) in exps.iter().enumerate() {
                 if e > 0 {
-                    term = term * pows[i][e as usize].clone(); // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator; enclosure handled by the Taylor-model layer
+                    term = term * pows[i][e as usize].clone();
                 }
             }
-            out += term; // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator; enclosure handled by the Taylor-model layer
+            out += term;
         }
         out
     }
@@ -818,7 +818,6 @@ impl Polynomial {
         assert_eq!(b.len(), self.nvars, "scale length mismatch");
         let subs: Vec<Polynomial> = (0..self.nvars)
             .map(|i| {
-                // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator; enclosure handled by the Taylor-model layer
                 Polynomial::constant(self.nvars, a[i]) + Polynomial::var(self.nvars, i).scale(b[i])
             })
             .collect();
@@ -958,7 +957,7 @@ impl Polynomial {
                     repr: b_repr,
                 }
                 .to_boxed_terms();
-                let mut out = Vec::with_capacity(a.len() + b.len()); // dwv-lint: allow(float-hygiene) -- usize length arithmetic
+                let mut out = Vec::with_capacity(a.len() + b.len());
                 let (mut i, mut j) = (0, 0);
                 while i < a.len() && j < b.len() {
                     match a[i].0.cmp(&b[j].0) {
@@ -1073,7 +1072,7 @@ impl Polynomial {
             Repr::Packed(v) => kernels::scale_slice(&mut v.coeffs, s),
             Repr::Boxed(v) => {
                 for t in v {
-                    t.1 *= s;
+                    t.1 *= s; // dwv-lint: allow(float-hygiene) -- coefficient scale, the same elementwise product the scale kernel performs
                 }
             }
         }
@@ -1087,7 +1086,6 @@ impl Polynomial {
     pub fn mul_into(&self, rhs: &Polynomial, out: &mut Polynomial, ws: &mut PolyWorkspace) {
         assert_eq!(self.nvars, rhs.nvars, "variable count mismatch");
         if let (Repr::Packed(a), Repr::Packed(b)) = (&self.repr, &rhs.repr) {
-            // dwv-lint: allow(float-hygiene) -- u32 degree-guard arithmetic
             if self.degree() + rhs.degree() <= PACK_MAX_EXP {
                 let dst = out.packed_storage(self.nvars);
                 if a.is_empty() || b.is_empty() {
@@ -1098,7 +1096,15 @@ impl Polynomial {
                 return;
             }
         }
-        *out = self.clone() * rhs.clone(); // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator; enclosure handled by the Taylor-model layer
+        *out = self.mul_fallback(rhs);
+    }
+
+    /// Boxed-representation product fallback — the cold path the fused
+    /// `*_into` kernels take when exponents overflow the packed key. Lives
+    /// outside the no-alloc kernel zone: the functional product allocates
+    /// freely.
+    fn mul_fallback(&self, rhs: &Polynomial) -> Polynomial {
+        self.clone() * rhs.clone()
     }
 
     /// Fused multiply + truncate: `out` receives the product's terms of total
@@ -1124,7 +1130,6 @@ impl Polynomial {
         assert_eq!(self.nvars, rhs.nvars, "variable count mismatch");
         assert_eq!(domain.len(), self.nvars, "domain dimension mismatch");
         if let (Repr::Packed(a), Repr::Packed(b)) = (&self.repr, &rhs.repr) {
-            // dwv-lint: allow(float-hygiene) -- u32 degree-guard arithmetic
             if self.degree() + rhs.degree() <= PACK_MAX_EXP {
                 if a.is_empty() || b.is_empty() {
                     out.packed_storage(self.nvars);
@@ -1136,13 +1141,13 @@ impl Polynomial {
                 ws.powers.sync(domain);
                 let mut overflow = Interval::ZERO;
                 let dst = out.packed_storage(self.nvars);
+                dst.reserve(ws.merge.len());
                 for (k, c) in ws.merge.iter() {
                     if key_degree(k) <= max_degree {
                         dst.push(k, c);
                     } else {
-                        // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
                         overflow += match ws.powers.mono(k, domain) {
-                            Some(m) => Interval::point(c) * m, // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+                            Some(m) => Interval::point(c) * m,
                             None => Interval::point(c),
                         };
                     }
@@ -1150,7 +1155,7 @@ impl Polynomial {
                 return overflow;
             }
         }
-        let full = self.clone() * rhs.clone(); // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator; enclosure handled by the Taylor-model layer
+        let full = self.mul_fallback(rhs);
         let (kept, over) = full.split_at_degree(max_degree);
         *out = kept;
         over.eval_interval(domain)
@@ -1184,7 +1189,6 @@ impl Polynomial {
     ) {
         assert_eq!(self.nvars, rhs.nvars, "variable count mismatch");
         if let (Repr::Packed(a), Repr::Packed(b)) = (&self.repr, &rhs.repr) {
-            // dwv-lint: allow(float-hygiene) -- u32 degree-guard arithmetic
             if self.degree() + rhs.degree() <= PACK_MAX_EXP {
                 let dst = out.packed_storage(self.nvars);
                 if a.is_empty() || b.is_empty() {
@@ -1219,7 +1223,7 @@ impl Polynomial {
                 return;
             }
         }
-        let full = self.clone() * rhs.clone(); // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator; enclosure handled by the Taylor-model layer
+        let full = self.mul_fallback(rhs);
         *out = full.split_at_degree(max_degree).0;
     }
 
@@ -1318,7 +1322,6 @@ impl Polynomial {
                     // dwv-lint: allow(float-hygiene) -- exact for the 0/±1 substitutions the pipeline performs; general values are test-only
                     c * value.powi(k as i32)
                 };
-                // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator (term merge, no float rounding)
                 out += Polynomial::monomial(self.nvars, e, coeff);
             }
             return out;
@@ -1386,7 +1389,7 @@ impl Polynomial {
                         v.coeffs[w] = c;
                         w += 1;
                     } else {
-                        acc += packed_term_range(k, c, domain); // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+                        acc += packed_term_range(k, c, domain);
                     }
                 }
                 v.keys.truncate(w);
@@ -1402,7 +1405,7 @@ impl Polynomial {
                     if e.iter().sum::<u32>() <= max_degree {
                         true
                     } else {
-                        acc += boxed_term_range(e, *c, domain); // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+                        acc += boxed_term_range(e, *c, domain);
                         false
                     }
                 });
@@ -1434,7 +1437,7 @@ impl Polynomial {
                         v.coeffs[w] = c;
                         w += 1;
                     } else {
-                        acc += packed_term_range(k, c, domain); // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+                        acc += packed_term_range(k, c, domain);
                     }
                 }
                 v.keys.truncate(w);
@@ -1450,7 +1453,7 @@ impl Polynomial {
                     if c.abs() > eps {
                         true
                     } else {
-                        acc += boxed_term_range(e, *c, domain); // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+                        acc += boxed_term_range(e, *c, domain);
                         false
                     }
                 });
@@ -1470,10 +1473,10 @@ pub(crate) fn packed_mono_range(key: u64, domain: &[Interval]) -> Option<Interva
     for (i, iv) in domain.iter().enumerate() {
         let e = key_exp(key, i);
         if e > 0 {
-            let p = iv.powi(e); // dwv-lint: allow(float-hygiene) -- Interval-typed powi; directed rounding lives in the interval kernel
+            let p = iv.powi(e);
             mono = Some(match mono {
                 None => p,
-                Some(m) => m * p, // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+                Some(m) => m * p,
             });
         }
     }
@@ -1485,7 +1488,7 @@ pub(crate) fn packed_mono_range(key: u64, domain: &[Interval]) -> Option<Interva
 #[inline]
 fn packed_term_range(key: u64, c: f64, domain: &[Interval]) -> Interval {
     match packed_mono_range(key, domain) {
-        Some(m) => Interval::point(c) * m, // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        Some(m) => Interval::point(c) * m,
         None => Interval::point(c),
     }
 }
@@ -1497,15 +1500,15 @@ fn boxed_term_range(exps: &[u32], c: f64, domain: &[Interval]) -> Interval {
     let mut mono: Option<Interval> = None;
     for (&e, iv) in exps.iter().zip(domain) {
         if e > 0 {
-            let p = iv.powi(e); // dwv-lint: allow(float-hygiene) -- Interval-typed powi; directed rounding lives in the interval kernel
+            let p = iv.powi(e);
             mono = Some(match mono {
                 None => p,
-                Some(m) => m * p, // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+                Some(m) => m * p,
             });
         }
     }
     match mono {
-        Some(m) => Interval::point(c) * m, // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        Some(m) => Interval::point(c) * m,
         None => Interval::point(c),
     }
 }
@@ -1529,11 +1532,11 @@ fn stage_product(
     scratch: &mut Vec<u32>,
 ) {
     stage.clear();
-    stage.reserve(a.len() * b.len()); // dwv-lint: allow(float-hygiene) -- usize length arithmetic
+    stage.reserve(a.len() * b.len());
     for (ka, ca) in a.iter() {
-        stage.keys.extend(b.keys.iter().map(|&kb| ka + kb)); // dwv-lint: allow(float-hygiene) -- integer packed-key arithmetic, exact
+        stage.keys.extend(b.keys.iter().map(|&kb| ka + kb));
         let at = stage.coeffs.len();
-        stage.coeffs.resize(at + b.len(), 0.0); // dwv-lint: allow(float-hygiene) -- usize length arithmetic
+        stage.coeffs.resize(at + b.len(), 0.0);
         kernels::scale_into_slice(&mut stage.coeffs[at..], &b.coeffs, ca);
     }
     order.clear();
@@ -1578,7 +1581,7 @@ fn stage_product_dropping(
             &b.keys,
             &b.coeffs,
             bdeg,
-            max_degree - da, // dwv-lint: allow(float-hygiene) -- u32 degree arithmetic
+            max_degree - da,
         );
     }
     order.clear();
@@ -1621,7 +1624,7 @@ fn sort_order_by_key(keys: &[u64], order: &mut Vec<u32>, scratch: &mut Vec<u32>)
             for c in &mut counts {
                 let n = *c;
                 *c = sum;
-                sum += n; // dwv-lint: allow(float-hygiene) -- u32 radix-count arithmetic
+                sum += n;
             }
             for &i in order.iter() {
                 let b = ((keys[i as usize] >> shift) & 0xFF) as usize;
@@ -1705,7 +1708,7 @@ fn normalize_sorted(sorted: &[(u64, f64)], out: &mut PackedTerms) {
 /// `scale` + `add` with identical floating-point operations.
 fn merge_packed(a: &PackedTerms, b: &PackedTerms, scale: Option<f64>, out: &mut PackedTerms) {
     out.clear();
-    out.reserve(a.len() + b.len()); // dwv-lint: allow(float-hygiene) -- usize length arithmetic
+    out.reserve(a.len() + b.len());
     let sb = scale.unwrap_or(1.0);
     let scaled = scale.is_some();
     let (mut i, mut j) = (0, 0);
@@ -1744,7 +1747,7 @@ fn merge_packed(a: &PackedTerms, b: &PackedTerms, scale: Option<f64>, out: &mut 
     out.keys.extend_from_slice(&b.keys[j..]);
     if scaled {
         let at = out.coeffs.len();
-        out.coeffs.resize(at + (b.len() - j), 0.0); // dwv-lint: allow(float-hygiene) -- usize length arithmetic
+        out.coeffs.resize(at + (b.len() - j), 0.0);
         kernels::scale_into_slice(&mut out.coeffs[at..], &b.coeffs[j..], sb);
     } else {
         out.coeffs.extend_from_slice(&b.coeffs[j..]);
@@ -1821,7 +1824,7 @@ impl Sub for Polynomial {
     type Output = Polynomial;
 
     fn sub(self, rhs: Polynomial) -> Polynomial {
-        self + (-rhs) // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator; enclosure handled by the Taylor-model layer
+        self + (-rhs)
     }
 }
 
@@ -1843,12 +1846,11 @@ impl Mul for Polynomial {
             // Per-byte overflow is impossible when the total degrees sum
             // within one byte: every per-variable exponent is bounded by the
             // total degree.
-            // dwv-lint: allow(float-hygiene) -- u32 degree-guard arithmetic
             if self.degree() + rhs.degree() <= PACK_MAX_EXP {
                 if a.is_empty() || b.is_empty() {
                     return Polynomial::zero(nvars);
                 }
-                let mut prod = Vec::with_capacity(a.len() * b.len()); // dwv-lint: allow(float-hygiene) -- usize length arithmetic
+                let mut prod = Vec::with_capacity(a.len() * b.len());
                 for (ka, ca) in a.iter() {
                     for (kb, cb) in b.iter() {
                         prod.push((ka + kb, ca * cb)); // dwv-lint: allow(float-hygiene) -- packed-key integer add and raw coefficient product of the functional reference product
@@ -1859,7 +1861,7 @@ impl Mul for Polynomial {
         }
         let a = self.to_boxed_terms();
         let b = rhs.to_boxed_terms();
-        let mut prod = Vec::with_capacity(a.len() * b.len()); // dwv-lint: allow(float-hygiene) -- usize length arithmetic
+        let mut prod = Vec::with_capacity(a.len() * b.len());
         for (ea, ca) in &a {
             for (eb, cb) in &b {
                 let exps: Vec<u32> = ea.iter().zip(eb.iter()).map(|(&x, &y)| x + y).collect(); // dwv-lint: allow(float-hygiene) -- integer exponent arithmetic, exact

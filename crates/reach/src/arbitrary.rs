@@ -44,6 +44,7 @@ pub fn dissipative_rhs(
                 terms.push((exps, f64_in(next(), -0.5, 0.5)));
             }
             if quadratic {
+                assert!(n_state > 0, "quadratic term requires a state variable");
                 let j = (next() as usize) % n_state;
                 let l = (next() as usize) % n_state;
                 let exps: Vec<u32> = (0..nvars)

@@ -86,7 +86,7 @@ impl IntervalReach {
             .map(|iv| Interval::point(iv.width()).sqr())
             .sum::<Interval>()
             .sqrt(); // dwv-lint: allow(float-hygiene) -- Interval::sqrt of the directed diagonal enclosure, not f64
-        let max_width = (diag * 8.0 + Interval::point(1.0)).hi(); // dwv-lint: allow(float-hygiene) -- Interval operator arithmetic (outward-rounded)
+        let max_width = (diag * 8.0 + Interval::point(1.0)).hi();
         Self::new(
             rhs,
             problem.x0.clone(),
@@ -100,7 +100,7 @@ impl IntervalReach {
     #[must_use]
     pub fn new(rhs: OdeRhs, x0: IntervalBox, delta: f64, steps: usize, max_width: f64) -> Self {
         let n = rhs.n_state();
-        let nvars = n + rhs.n_input(); // dwv-lint: allow(float-hygiene) -- usize dimension math
+        let nvars = n + rhs.n_input();
         let jac: Vec<Vec<Polynomial>> = rhs
             .field()
             .iter()
@@ -244,7 +244,7 @@ impl IntervalReach {
             .intervals()
             .iter()
             .zip(&f_x)
-            .map(|(xi, fi)| (*xi + dt * *fi).inflate(widen_pad(fi))) // dwv-lint: allow(float-hygiene) -- Interval operator arithmetic (outward-rounded)
+            .map(|(xi, fi)| (*xi + dt * *fi).inflate(widen_pad(fi)))
             .collect();
         let mut validated: Option<(Vec<Interval>, Vec<Interval>)> = None;
         for _ in 0..MAX_APRIORI_ITERS {
@@ -260,7 +260,7 @@ impl IntervalReach {
                 .intervals()
                 .iter()
                 .zip(&f_b)
-                .map(|(xi, fi)| *xi + dt * *fi) // dwv-lint: allow(float-hygiene) -- Interval operator arithmetic (outward-rounded)
+                .map(|(xi, fi)| *xi + dt * *fi)
                 .collect();
             if cand.iter().zip(&b).all(|(c, bi)| bi.contains(c)) {
                 // `B` validates, and the recomputed sweep `X + [0,δ]·F(B,U)`
@@ -287,11 +287,11 @@ impl IntervalReach {
         // shared box term `rem = (δ²/2)·g(B, U)`.
         let mut bu: Vec<Interval> = b;
         bu.extend_from_slice(u);
-        let half_d2 = d * d * 0.5; // dwv-lint: allow(float-hygiene) -- Interval operator arithmetic (outward-rounded)
+        let half_d2 = d * d * 0.5;
         let rem: Vec<Interval> = self
             .second
             .iter()
-            .map(|g| half_d2 * g.eval_interval(&bu)) // dwv-lint: allow(float-hygiene) -- Interval operator arithmetic (outward-rounded)
+            .map(|g| half_d2 * g.eval_interval(&bu))
             .collect();
 
         // (a) Decoupled Taylor end: `X + δ·F(X, U) + rem` with the
@@ -301,7 +301,7 @@ impl IntervalReach {
             .intervals()
             .iter()
             .zip(f_x.iter().zip(&rem))
-            .map(|(xi, (fi, r))| *xi + d * *fi + *r) // dwv-lint: allow(float-hygiene) -- Interval operator arithmetic (outward-rounded)
+            .map(|(xi, (fi, r))| *xi + d * *fi + *r)
             .collect();
 
         // (b) Mean-value end: `φ(c) + J_φ(X)·(X − c) + rem` with the
@@ -331,7 +331,7 @@ impl IntervalReach {
             .intervals()
             .iter()
             .zip(&c)
-            .map(|(xi, ci)| *xi - *ci) // dwv-lint: allow(float-hygiene) -- Interval operator arithmetic (outward-rounded)
+            .map(|(xi, ci)| *xi - *ci)
             .collect();
         let n = x.dim();
         let mv_end: Vec<Interval> = (0..n)
@@ -350,7 +350,7 @@ impl IntervalReach {
                         .map_or(Interval::ENTIRE, |p| p.eval_interval(&xu));
                     let dfu = j_k.iter().enumerate().fold(Interval::ZERO, |a, (l, jrow)| {
                         let dful = jac_row
-                            .and_then(|row| row.get(n + l)) // dwv-lint: allow(float-hygiene) -- usize index math into the joint (x, u) variable row
+                            .and_then(|row| row.get(n + l))
                             .map_or(Interval::ENTIRE, |p| p.eval_interval(&xu));
                         let dkl = jrow.get(kk).copied().unwrap_or(Interval::ENTIRE);
                         a + dful * dkl // dwv-lint: allow(float-hygiene) -- Interval operator arithmetic (outward-rounded)
@@ -399,7 +399,7 @@ impl IntervalReach {
 /// few percent of the candidate's width (heuristic only — soundness comes
 /// from the containment recheck).
 fn widen_pad(c: &Interval) -> f64 {
-    (Interval::point(c.width()) * 0.04 + Interval::point(1e-12)).hi() // dwv-lint: allow(float-hygiene) -- Interval operator arithmetic (outward-rounded)
+    (Interval::point(c.width()) * 0.04 + Interval::point(1e-12)).hi()
 }
 
 /// Range of one polynomial component over `z`: two corner evaluations when

@@ -105,7 +105,7 @@ impl DefectTape {
     ) -> Self {
         let n = rhs.n_state();
         let m = rhs.n_input();
-        let nargs = n + m; // dwv-lint: allow(float-hygiene) -- usize dimension arithmetic
+        let nargs = n + m;
         assert!(
             dom_ext[t_var].lo() >= 0.0, // dwv-lint: allow(panic-freedom#index) -- t_var constructed by the caller as an index into dom_ext
             "antiderivative requires a zero-based time domain"
@@ -269,7 +269,7 @@ impl DefectTape {
                 TapeOp::Scale { dst, src, c, prune } => {
                     let mut rem = slots[src as usize] * Interval::point(c); // dwv-lint: allow(float-hygiene, panic-freedom#index) -- Interval-typed operator on tape-invariant slot indices; directed rounding lives in the interval kernel
                     if let Some(p) = prune {
-                        rem += p; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+                        rem += p;
                     }
                     slots[dst as usize] = rem; // dwv-lint: allow(panic-freedom#index) -- slot indices are tape invariants
                 }
@@ -287,16 +287,16 @@ impl DefectTape {
                     let mut rem = overflow;
                     // Identical exact-zero skips as `TaylorModel::mul_truncated`.
                     if ir != Interval::ZERO {
-                        rem += range_l * ir; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+                        rem += range_l * ir;
                     }
                     if il != Interval::ZERO {
-                        rem += range_r * il; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+                        rem += range_r * il;
                         if ir != Interval::ZERO {
-                            rem += il * ir; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+                            rem += il * ir;
                         }
                     }
                     if let Some(p) = prune {
-                        rem += p; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+                        rem += p;
                     }
                     slots[dst as usize] = rem; // dwv-lint: allow(panic-freedom#index) -- slot indices are tape invariants
                 }

@@ -206,7 +206,12 @@ impl OdeIntegrator {
         let k = x0.nvars();
         let ext = k + 1; // appended normalized-time variable
         let t_var = k;
-        let mut dom_ext = domain.to_vec();
+        // The extended domain lives in the workspace buffer; it is taken
+        // out for the duration of the step so it can be passed alongside
+        // `ws`, and restored (capacity intact) at every exit.
+        let mut dom_ext = std::mem::take(&mut ws.dom_ext);
+        dom_ext.clear();
+        dom_ext.extend_from_slice(domain);
         dom_ext.push(Interval::new(0.0, 1.0));
 
         let x0e = x0.extend_vars(ext);
@@ -219,35 +224,42 @@ impl OdeIntegrator {
         // So the whole phase runs on bare polynomials through the dropping
         // kernels — identical coefficient streams, no interval accounting
         // in the hot loop.
-        let u_polys: Vec<&Polynomial> = ue.components().iter().map(TaylorModel::poly).collect();
-        let mut xs: Vec<Polynomial> = x0e.components().iter().map(|t| t.poly().clone()).collect();
+        let u_polys: Vec<&Polynomial> = ue.components().iter().map(TaylorModel::poly).collect(); // dwv-lint: allow(no-alloc) -- per-step vector of borrows into the extended inputs; a workspace buffer cannot hold them across steps
+        ws.flow_xs.truncate(n);
+        ws.flow_xs.resize_with(n, || Polynomial::zero(ext));
+        ws.flow_tmp.truncate(n);
+        ws.flow_tmp.resize_with(n, || Polynomial::zero(ext));
+        for (dst, src) in ws.flow_xs.iter_mut().zip(x0e.components()) {
+            dst.clone_from(src.poly());
+        }
         let mut iters_run = 0u64;
         for _ in 0..self.picard_iters {
-            let args: Vec<&Polynomial> = xs.iter().chain(u_polys.iter().copied()).collect();
-            let f: Vec<Polynomial> = rhs
-                .field()
-                .iter()
-                .map(|p| compose_polys_dropping_ws(p, &args, self.order, &mut ws.poly))
-                .collect();
-            let new_xs: Vec<Polynomial> = f
-                .into_iter()
-                .enumerate()
-                .map(|(i, fi)| {
-                    let mut t = fi.antiderivative(t_var);
-                    t.scale_in_place(delta);
-                    t.add_assign_ref(x0e.component(i).poly(), &mut ws.poly);
-                    t.truncate_dropping(self.order);
-                    t.prune_dropping(DEFAULT_PRUNE_EPS);
-                    t
-                })
-                .collect();
+            let args: Vec<&Polynomial> = ws.flow_xs.iter().chain(u_polys.iter().copied()).collect(); // dwv-lint: allow(no-alloc) -- per-iteration argument borrows into the current iterate; self-referential workspace storage is not expressible
+            for ((dst, p), x0c) in ws
+                .flow_tmp
+                .iter_mut()
+                .zip(rhs.field())
+                .zip(x0e.components())
+            {
+                let mut t = compose_polys_dropping_ws(p, &args, self.order, &mut ws.poly)
+                    .antiderivative(t_var);
+                t.scale_in_place(delta);
+                t.add_assign_ref(x0c.poly(), &mut ws.poly);
+                t.truncate_dropping(self.order);
+                t.prune_dropping(DEFAULT_PRUNE_EPS);
+                *dst = t;
+            }
             iters_run += 1;
             // The iteration is a pure function of the iterate: once an
             // iterate reproduces itself bit-for-bit, every later iterate is
             // that same polynomial vector, so stopping here yields exactly
             // the candidate the full `picard_iters` loop would.
-            let fixed = new_xs.iter().zip(&xs).all(|(a, b)| a.bits_eq(b));
-            xs = new_xs;
+            let fixed = ws
+                .flow_tmp
+                .iter()
+                .zip(&ws.flow_xs)
+                .all(|(a, b)| a.bits_eq(b));
+            std::mem::swap(&mut ws.flow_xs, &mut ws.flow_tmp);
             if fixed {
                 break;
             }
@@ -255,11 +267,12 @@ impl OdeIntegrator {
         if obs {
             dwv_obs::counter("picard.poly_iters").add(iters_run);
         }
-        debug_assert_eq!(xs.len(), n);
-        let polys: Vec<TaylorModel> = xs
-            .into_iter()
+        debug_assert_eq!(ws.flow_xs.len(), n);
+        let polys: Vec<TaylorModel> = ws
+            .flow_xs
+            .drain(..)
             .map(|p| TaylorModel::new(p, Interval::ZERO))
-            .collect();
+            .collect(); // dwv-lint: allow(no-alloc) -- the models own their polynomials (moved, not copied) for the tape and the returned flow
 
         // --- Remainder validation ----------------------------------------
         // Every validation attempt applies the full Picard operator to the
@@ -280,20 +293,21 @@ impl OdeIntegrator {
             &dom_ext,
             ws,
         );
-        let defect = tape.replay(&vec![Interval::ZERO; n]);
-        let mut candidate: Vec<Interval> = defect
-            .iter()
-            .map(|d| {
-                let r = d.mag().max(self.initial_radius);
-                Interval::symmetric(r * 1.1 + self.initial_radius)
-            })
-            .collect();
+        ws.zero_rems.clear();
+        ws.zero_rems.resize(n, Interval::ZERO);
+        let defect = tape.replay(&ws.zero_rems);
+        ws.cand.clear();
+        for d in &defect {
+            let r = d.mag().max(self.initial_radius);
+            ws.cand
+                .push(Interval::symmetric(r * 1.1 + self.initial_radius));
+        }
 
         for attempt in 0..=self.max_inflations {
-            let mapped = tape.replay(&candidate);
+            let mapped = tape.replay(&ws.cand);
             let contained = mapped
                 .iter()
-                .zip(&candidate)
+                .zip(&ws.cand)
                 .all(|(got, want)| want.contains(got));
             if contained {
                 if obs {
@@ -304,7 +318,7 @@ impl OdeIntegrator {
                     .iter()
                     .zip(&mapped)
                     .map(|(p, &j)| p.with_remainder(j))
-                    .collect();
+                    .collect(); // dwv-lint: allow(no-alloc) -- the validated models escape into the returned flow
                 let flow = TmVector::new(validated);
                 let step_box = if self.bernstein_ranges {
                     flow.range_box_bernstein_cached(&dom_ext, &mut ws.bern)
@@ -313,7 +327,8 @@ impl OdeIntegrator {
                 };
                 let end = flow.substitute_value(t_var, 1.0);
                 let end =
-                    TmVector::new(end.components().iter().map(|t| t.shrink_vars(k)).collect());
+                    TmVector::new(end.components().iter().map(|t| t.shrink_vars(k)).collect()); // dwv-lint: allow(no-alloc) -- the step-end models escape into the returned flow
+                ws.dom_ext = dom_ext;
                 return Ok(StepFlow { end, step_box });
             }
             if attempt == self.max_inflations {
@@ -324,23 +339,25 @@ impl OdeIntegrator {
             // basin can be narrow (e.g. cubic terms), and overshooting it
             // reports spurious divergence. The image sequence converges to
             // just above the true fixed point whenever one exists.
-            candidate = mapped
-                .iter()
-                .zip(&candidate)
-                .map(|(&got, &cur)| {
-                    let merged = got.hull(&cur);
-                    Interval::symmetric(merged.mag() * self.inflation_factor + self.initial_radius)
-                })
-                .collect();
+            ws.cand_next.clear();
+            for (got, cur) in mapped.iter().zip(&ws.cand) {
+                let merged = got.hull(cur);
+                ws.cand_next.push(Interval::symmetric(
+                    merged.mag() * self.inflation_factor + self.initial_radius,
+                ));
+            }
+            std::mem::swap(&mut ws.cand, &mut ws.cand_next);
             // Detect hopeless blow-up early.
-            if candidate.iter().any(|c| !c.is_finite() || c.mag() > 1e9) {
-                let last_radius = candidate.iter().map(Interval::mag).fold(0.0, f64::max);
+            if ws.cand.iter().any(|c| !c.is_finite() || c.mag() > 1e9) {
+                let last_radius = ws.cand.iter().map(Interval::mag).fold(0.0, f64::max);
                 note_divergence(obs, attempt as u64 + 1, last_radius);
+                ws.dom_ext = dom_ext;
                 return Err(FlowpipeError::Diverged { last_radius });
             }
         }
-        let last_radius = candidate.iter().map(Interval::mag).fold(0.0, f64::max);
+        let last_radius = ws.cand.iter().map(Interval::mag).fold(0.0, f64::max);
         note_divergence(obs, self.max_inflations as u64 + 1, last_radius);
+        ws.dom_ext = dom_ext;
         Err(FlowpipeError::Diverged { last_radius })
     }
 
@@ -398,7 +415,7 @@ impl OdeIntegrator {
                 // repeats across validation attempts and its Bernstein
                 // enclosure is a cache hit from the second attempt on.
                 let (mut diff, mapped_rem) = mapped.into_parts();
-                diff.add_scaled_assign(trial[i].poly(), -1.0, &mut ws.poly); // dwv-lint: allow(panic-freedom#index) -- i enumerates the trial vector components
+                diff.add_scaled_assign(trial[i].poly(), -1.0, &mut ws.poly);
                 let diff_range = if self.bernstein_ranges && !diff.is_zero() {
                     ws.bern.range_enclosure(&diff, dom_ext)
                 } else {

@@ -26,6 +26,19 @@ pub struct TmWorkspace {
     pub poly: PolyWorkspace,
     /// Bernstein range-enclosure memo.
     pub bern: RangeCache,
+    /// Extended-domain staging (`k` shared variables + normalized time),
+    /// rebuilt by each flowpipe step into retained capacity.
+    pub dom_ext: Vec<Interval>,
+    /// Zero-remainder vector for the baseline defect replay.
+    pub zero_rems: Vec<Interval>,
+    /// Trial remainder candidate (double-buffered with [`Self::cand_next`]).
+    pub cand: Vec<Interval>,
+    /// Staging for the next inflation candidate.
+    pub cand_next: Vec<Interval>,
+    /// Picard iterate polynomials (double-buffered with [`Self::flow_tmp`]).
+    pub flow_xs: Vec<Polynomial>,
+    /// Staging for the next Picard iterate.
+    pub flow_tmp: Vec<Polynomial>,
 }
 
 impl TmWorkspace {
@@ -160,7 +173,7 @@ impl TaylorModel {
     /// polynomial part plus the remainder).
     #[must_use]
     pub fn range(&self, domain: &[Interval]) -> Interval {
-        self.poly.eval_interval(domain) + self.remainder // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        self.poly.eval_interval(domain) + self.remainder
     }
 
     /// Range enclosure using the Bernstein form of the polynomial part —
@@ -169,7 +182,7 @@ impl TaylorModel {
     #[must_use]
     pub fn range_bernstein(&self, domain: &[Interval]) -> Interval {
         let b = IntervalBox::new(domain.to_vec());
-        dwv_poly::bernstein::range_enclosure(&self.poly, &b) + self.remainder // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        dwv_poly::bernstein::range_enclosure(&self.poly, &b) + self.remainder
     }
 
     /// [`TaylorModel::range_bernstein`] served through a [`RangeCache`] —
@@ -177,7 +190,7 @@ impl TaylorModel {
     /// pair answered from the memo instead of re-contracting the tensor.
     #[must_use]
     pub fn range_bernstein_cached(&self, domain: &[Interval], cache: &mut RangeCache) -> Interval {
-        cache.range_enclosure(&self.poly, domain) + self.remainder // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        cache.range_enclosure(&self.poly, domain) + self.remainder
     }
 
     /// Sum of two models (remainders add).
@@ -189,7 +202,7 @@ impl TaylorModel {
     pub fn add(&self, rhs: &TaylorModel) -> TaylorModel {
         TaylorModel::new(
             self.poly.clone() + rhs.poly.clone(), // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator (term merge, no float rounding)
-            self.remainder + rhs.remainder, // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+            self.remainder + rhs.remainder,
         )
     }
 
@@ -198,7 +211,7 @@ impl TaylorModel {
     pub fn sub(&self, rhs: &TaylorModel) -> TaylorModel {
         TaylorModel::new(
             self.poly.clone() - rhs.poly.clone(), // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator (term merge, no float rounding)
-            self.remainder - rhs.remainder, // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+            self.remainder - rhs.remainder,
         )
     }
 
@@ -213,7 +226,7 @@ impl TaylorModel {
     pub fn scale(&self, s: f64) -> TaylorModel {
         TaylorModel::new(
             self.poly.clone().scale(s),
-            self.remainder * Interval::point(s), // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+            self.remainder * Interval::point(s),
         )
     }
 
@@ -221,7 +234,7 @@ impl TaylorModel {
     #[must_use]
     pub fn add_constant(&self, c: f64) -> TaylorModel {
         TaylorModel::new(
-            self.poly.clone() + Polynomial::constant(self.nvars(), c), // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator (term merge, no float rounding)
+            self.poly.clone() + Polynomial::constant(self.nvars(), c),
             self.remainder,
         )
     }
@@ -229,7 +242,7 @@ impl TaylorModel {
     /// Adds an interval (widens the remainder).
     #[must_use]
     pub fn add_interval(&self, iv: Interval) -> TaylorModel {
-        self.with_remainder(self.remainder + iv) // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        self.with_remainder(self.remainder + iv)
     }
 
     /// Product with truncation at total degree `order` over `domain`.
@@ -251,12 +264,12 @@ impl TaylorModel {
         let (kept, overflow) = full.split_at_degree(order);
         let mut rem = overflow.eval_interval(domain);
         if rhs.remainder != Interval::ZERO {
-            rem += self.poly.eval_interval(domain) * rhs.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+            rem += self.poly.eval_interval(domain) * rhs.remainder;
         }
         if self.remainder != Interval::ZERO {
-            rem += rhs.poly.eval_interval(domain) * self.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+            rem += rhs.poly.eval_interval(domain) * self.remainder;
             if rhs.remainder != Interval::ZERO {
-                rem += self.remainder * rhs.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+                rem += self.remainder * rhs.remainder;
             }
         }
         TaylorModel::new(kept, rem).prune(DEFAULT_PRUNE_EPS, domain)
@@ -287,12 +300,12 @@ impl TaylorModel {
         // remainders are stripped to zero, this removes every cross-term
         // range evaluation from the hot loop.
         if rhs.remainder != Interval::ZERO {
-            rem += self.poly.eval_interval(domain) * rhs.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+            rem += self.poly.eval_interval(domain) * rhs.remainder;
         }
         if self.remainder != Interval::ZERO {
-            rem += rhs.poly.eval_interval(domain) * self.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+            rem += rhs.poly.eval_interval(domain) * self.remainder;
             if rhs.remainder != Interval::ZERO {
-                rem += self.remainder * rhs.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+                rem += self.remainder * rhs.remainder;
             }
         }
         let mut out = TaylorModel::new(kept, rem);
@@ -307,7 +320,7 @@ impl TaylorModel {
     /// Panics on variable-count mismatch.
     pub fn add_assign_tm(&mut self, rhs: &TaylorModel, ws: &mut TmWorkspace) {
         self.poly.add_assign_ref(&rhs.poly, &mut ws.poly);
-        self.remainder += rhs.remainder; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        self.remainder += rhs.remainder;
     }
 
     /// In-place fused `self += s·rhs`, bit-identical to
@@ -318,19 +331,19 @@ impl TaylorModel {
     /// Panics on variable-count mismatch.
     pub fn add_scaled_assign(&mut self, rhs: &TaylorModel, s: f64, ws: &mut TmWorkspace) {
         self.poly.add_scaled_assign(&rhs.poly, s, &mut ws.poly);
-        self.remainder += rhs.remainder * Interval::point(s); // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        self.remainder += rhs.remainder * Interval::point(s);
     }
 
     /// In-place scalar multiple, bit-identical to [`TaylorModel::scale`].
     pub fn scale_in_place(&mut self, s: f64) {
         self.poly.scale_in_place(s);
-        self.remainder *= Interval::point(s); // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        self.remainder *= Interval::point(s);
     }
 
     /// In-place truncation, bit-identical to [`TaylorModel::truncate`].
     pub fn truncate_in_place(&mut self, order: u32, domain: &[Interval]) {
         if let Some(overflow) = self.poly.truncate_in_place(order, domain) {
-            self.remainder += overflow; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+            self.remainder += overflow;
         }
         self.prune_in_place(DEFAULT_PRUNE_EPS, domain);
     }
@@ -341,7 +354,7 @@ impl TaylorModel {
             return;
         }
         if let Some(dropped) = self.poly.prune_in_place(eps, domain) {
-            self.remainder += dropped; // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+            self.remainder += dropped;
         }
     }
 
@@ -353,7 +366,7 @@ impl TaylorModel {
         if overflow.is_zero() {
             return self.prune(DEFAULT_PRUNE_EPS, domain);
         }
-        TaylorModel::new(kept, self.remainder + overflow.eval_interval(domain)) // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        TaylorModel::new(kept, self.remainder + overflow.eval_interval(domain))
             .prune(DEFAULT_PRUNE_EPS, domain)
     }
 
@@ -371,7 +384,7 @@ impl TaylorModel {
         if dropped.is_zero() {
             return self.clone();
         }
-        TaylorModel::new(kept, self.remainder + dropped.eval_interval(domain)) // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        TaylorModel::new(kept, self.remainder + dropped.eval_interval(domain))
     }
 
     /// Integer power with truncation.
@@ -424,7 +437,7 @@ impl TaylorModel {
         );
         TaylorModel::new(
             self.poly.antiderivative(var),
-            self.remainder * Interval::new(0.0, domain[var].hi()), // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+            self.remainder * Interval::new(0.0, domain[var].hi()),
         )
     }
 
@@ -501,7 +514,7 @@ impl TaylorModel {
     /// `p(x) + I`.
     #[must_use]
     pub fn eval(&self, x: &[f64]) -> Interval {
-        Interval::point(self.poly.eval(x)) + self.remainder // dwv-lint: allow(float-hygiene) -- Interval-typed operator; directed rounding lives in the interval kernel
+        Interval::point(self.poly.eval(x)) + self.remainder
     }
 }
 
@@ -723,7 +736,7 @@ impl TmVector {
             .map(|i| {
                 let iv = b.interval(i);
                 TaylorModel::new(
-                    Polynomial::constant(n, iv.mid()) + Polynomial::var(n, i).scale(iv.rad()), // dwv-lint: allow(float-hygiene) -- Polynomial-typed operator (term merge, no float rounding)
+                    Polynomial::constant(n, iv.mid()) + Polynomial::var(n, i).scale(iv.rad()),
                     Interval::ZERO,
                 )
             })

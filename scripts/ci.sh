@@ -29,6 +29,22 @@ run cargo build --release --offline
 # `// dwv-lint: allow(...) -- <reason>` annotation; unannotated findings fail
 # the build via a per-rule exit-code bitmask.
 run cargo run --release --offline -p dwv-lint -- --workspace --deny all
+# Engine determinism gate: the parallel phases must reproduce the serial
+# report byte-for-byte at every pool width the engine ships with.
+lint_serial="$(mktemp -t dwv_lint_serial.XXXXXX.json)"
+lint_parallel="$(mktemp -t dwv_lint_parallel.XXXXXX.json)"
+echo "==> dwv-lint serial vs parallel report diff (widths 2/4/8)"
+cargo run --release --offline -q -p dwv-lint -- --workspace --json --serial > "$lint_serial"
+for width in 2 4 8; do
+  cargo run --release --offline -q -p dwv-lint -- --workspace --json --threads "$width" > "$lint_parallel"
+  if ! cmp -s "$lint_serial" "$lint_parallel"; then
+    echo "FAIL: dwv-lint report at --threads $width differs from --serial"
+    diff "$lint_serial" "$lint_parallel" | head -20
+    rm -f "$lint_serial" "$lint_parallel"
+    exit 1
+  fi
+done
+rm -f "$lint_serial" "$lint_parallel"
 # Falsification gate: deterministic generative sweep pitting every enclosure
 # layer (interval, Bernstein, Taylor-model, flowpipe, geometry, OT, NN range,
 # safety verdict) against an independent brute-force oracle. The seed is
@@ -59,6 +75,10 @@ if [[ "${1:-}" == "--all" ]]; then
   run cargo test -q --release --offline -p dwv-core parallel
   run cargo run --release --offline -p dwv-check -- --family simd --seed 2 --budget-cases 2000 --threads 2
   run cargo run --release --offline -p dwv-check -- --family simd --seed 4 --budget-cases 2000 --threads 4
+  # Lint-engine differential gate: random miniature workspaces through the
+  # interprocedural engine against the generator's ground-truth spans, with
+  # input-order and pool-width bit-identity oracles (see families/lintcheck).
+  run cargo run --release --offline -p dwv-check -- --family lintcheck --seed 0xD3C0DE --budget-cases 400
   # Portfolio gate: the tiered-verifier contract (every tier's enclosure
   # contains sampled closed-loop trajectories; cheap unsafe-clearance and
   # goal-containment claims are never contradicted by the rigorous tier) plus
