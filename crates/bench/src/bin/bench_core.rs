@@ -18,8 +18,8 @@
 //!
 //! Run with `cargo run --release -p dwv-bench --bin bench_core`.
 //! Run with `--check` to re-measure only `acc_algorithm1_iteration`, the
-//! 1-thread scaling row, `portfolio_algorithm1_iteration` and
-//! `lint_workspace` and fail
+//! 1-thread scaling row, `portfolio_algorithm1_iteration`,
+//! `lint_workspace` and `serve_roundtrip_acc` and fail
 //! (exit 1) if any regressed more than 10% against the committed
 //! `BENCH_core.json`, if the default-on flight recorder costs more than
 //! 10% on either iteration bench, or if the portfolio's tier economy
@@ -216,6 +216,36 @@ fn bench_lint_workspace() -> f64 {
     })
 }
 
+fn bench_serve_roundtrip() -> f64 {
+    // One full wire roundtrip of an ACC verify job against a loopback
+    // dwv-serve server: submit, stream to the terminal event, reassemble.
+    // The server and connection are set up once outside the timer, so the
+    // number is the per-job serving cost (framing + admission + worker
+    // dispatch + event streaming) on top of the verification itself —
+    // read it against `interval_reach_acc` to see the protocol tax.
+    use dwv_serve::{Client, JobKind, JobSpec, ProblemId, ServeConfig, Server};
+    let server = Server::start(ServeConfig::default()).expect("loopback server");
+    let mut client = Client::connect(server.addr()).expect("connect to loopback server");
+    let spec = JobSpec {
+        problem: ProblemId::Acc,
+        kind: JobKind::VerifyLinear {
+            gains: vec![0.5867, -2.0],
+            grid: 1,
+            samples: 10,
+        },
+    };
+    let mut job_id = 0u64;
+    let t = median_time(5, 5, move || {
+        job_id += 1;
+        client
+            .submit(1, job_id, 0, spec.clone())
+            .expect("submit verify job");
+        client.stream_result(1, job_id).expect("stream verify job")
+    });
+    server.shutdown();
+    t
+}
+
 fn sweep_setup() -> (
     dwv_dynamics::ReachAvoidProblem,
     TaylorReach<TaylorAbstraction>,
@@ -346,6 +376,12 @@ fn check_mode() -> i32 {
             "current",
             "lint_workspace",
             bench_lint_workspace,
+        ),
+        (
+            "serve_roundtrip_acc",
+            "current",
+            "serve_roundtrip_acc",
+            bench_serve_roundtrip,
         ),
     ];
     for (label, section, key, bench) in guards {
@@ -592,6 +628,7 @@ fn main() {
         ("sweep_serial_oscillator", bench_sweep_serial()),
         ("sweep_parallel_oscillator", bench_sweep_parallel()),
         ("lint_workspace", bench_lint_workspace()),
+        ("serve_roundtrip_acc", bench_serve_roundtrip()),
     ];
     let scaling = bench_sweep_scaling();
 

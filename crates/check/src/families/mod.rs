@@ -24,6 +24,7 @@ mod lintcheck;
 mod nn;
 mod poly;
 mod portfolio;
+mod serve;
 mod simd;
 mod taylor;
 mod trace;
@@ -69,6 +70,7 @@ pub fn registry() -> Vec<Box<dyn Family>> {
         Box::new(portfolio::PortfolioFamily),
         Box::new(trace::TraceFamily),
         Box::new(lintcheck::LintcheckFamily),
+        Box::new(serve::ServeFamily),
     ]
 }
 

@@ -57,7 +57,7 @@ pub use config::{
     AbstractionKind, GradientEstimator, LearnConfig, LearnConfigBuilder, MetricKind, PortfolioMode,
 };
 pub use counterexample::{find_counterexample, Counterexample, ViolationKind};
-pub use parallel::WorkerPool;
+pub use parallel::{CancelToken, WorkerPool};
 pub use pipeline::{design_while_verify_linear, design_while_verify_nn, PipelineOutcome};
 pub use report::{assess, CellProvenance, ProvenanceSummary, VerificationReport};
 pub use trace::{IterationRecord, LearningTrace};

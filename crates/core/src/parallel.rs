@@ -19,8 +19,43 @@
 //! output: the map is bit-identical to serial at any thread count. Callers
 //! must still ensure `f` itself is a pure function of its argument.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread;
+
+/// A cooperative cancellation flag shared between a job's owner and the
+/// workers running it.
+///
+/// Cloning is cheap (an [`Arc`] bump) and every clone observes the same
+/// flag: the serving layer hands one token to a running job, keeps a clone,
+/// and flips it on client cancel, deadline expiry, or forced drain. Workers
+/// poll the flag at chunk-claim boundaries (see
+/// [`WorkerPool::map_cancellable`]) — cancellation is a request to stop
+/// *soon*, not a preemption.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never un-done.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested on this token (or any clone
+    /// of it).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
 
 /// A fixed-width scoped worker pool.
 ///
@@ -228,6 +263,127 @@ impl WorkerPool {
         debug_assert_eq!(merged.len(), n);
         merged
     }
+
+    /// [`map`](WorkerPool::map) with cooperative cancellation.
+    ///
+    /// Returns `Some(results)` — bit-identical to the plain `map`, hence to
+    /// the serial map, at any thread count — if and only if every item
+    /// completed before `token` was cancelled. Returns `None` as soon as a
+    /// cancellation request is observed with work still outstanding; partial
+    /// results are discarded, never exposed.
+    ///
+    /// Workers poll the token at chunk-claim boundaries (serial fallback:
+    /// per item), so a cancel takes effect after at most one in-flight chunk
+    /// finishes — cancellation latency is bounded by the largest guided
+    /// chunk, roughly `n / (2·workers)` items. A token cancelled *after* the
+    /// last item completes still yields `Some`: completion wins the race.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` (the first panicking worker's payload).
+    pub fn map_cancellable<T, R, F>(&self, items: &[T], f: F, token: &CancelToken) -> Option<Vec<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let _s = dwv_obs::span("pool.map_cancellable");
+        let obs = dwv_obs::enabled();
+        if obs {
+            dwv_obs::counter("pool.batches").inc();
+            dwv_obs::counter("pool.items").add(items.len() as u64);
+            dwv_obs::gauge("pool.threads").set(self.threads as f64);
+        }
+        if !self.would_fan_out(items.len()) {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                if token.is_cancelled() {
+                    if obs {
+                        dwv_obs::counter("pool.cancelled").inc();
+                    }
+                    return None;
+                }
+                let _per_item = dwv_obs::span("pool.item");
+                out.push(f(item));
+            }
+            return Some(out);
+        }
+        let workers = self.threads.min(items.len());
+        let n = items.len();
+        let next = AtomicUsize::new(0);
+        let mut chunks: Vec<(usize, Vec<R>)> = Vec::new();
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out: Vec<(usize, Vec<R>)> = Vec::new();
+                        loop {
+                            // Poll at the claim boundary: stop taking new
+                            // chunks once cancellation is requested.
+                            if token.is_cancelled() {
+                                break;
+                            }
+                            let (start, take) = {
+                                let mut cur = next.load(Ordering::Relaxed);
+                                loop {
+                                    if cur >= n {
+                                        break (n, 0);
+                                    }
+                                    let take = ((n - cur) / (2 * workers)).max(1);
+                                    match next.compare_exchange_weak(
+                                        cur,
+                                        cur + take,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    ) {
+                                        Ok(_) => break (cur, take),
+                                        Err(seen) => cur = seen,
+                                    }
+                                }
+                            };
+                            if take == 0 {
+                                break;
+                            }
+                            let timed = dwv_obs::span("pool.chunk");
+                            let chunk = &items[start..start + take]; // dwv-lint: allow(panic-freedom#index) -- the CAS claim bounds start + take ≤ items.len()
+                            let part: Vec<R> = chunk
+                                .iter()
+                                .map(|item| {
+                                    let per_item = dwv_obs::span("pool.item");
+                                    let r = f(item);
+                                    drop(per_item);
+                                    r
+                                })
+                                .collect();
+                            drop(timed);
+                            out.push((start, part));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => chunks.extend(part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        let done: usize = chunks.iter().map(|(_, part)| part.len()).sum();
+        if done < n {
+            if obs {
+                dwv_obs::counter("pool.cancelled").inc();
+            }
+            return None;
+        }
+        // Same fixed reduction order as `map`: ascending chunk start.
+        chunks.sort_unstable_by_key(|(start, _)| *start);
+        let mut merged = Vec::with_capacity(n);
+        for (_, part) in chunks {
+            merged.extend(part);
+        }
+        Some(merged)
+    }
 }
 
 impl Default for WorkerPool {
@@ -353,6 +509,79 @@ mod tests {
             let items: Vec<usize> = (0..n).collect();
             assert_eq!(pool.map(&items, |x| *x), items, "batch of {n}");
         }
+    }
+
+    #[test]
+    fn map_cancellable_matches_map_when_uncancelled() {
+        let token = CancelToken::new();
+        let items: Vec<f64> = (0..97).map(|i| f64::from(i) * 0.31 - 15.0).collect();
+        let work = |x: &f64| (x * 1.000_3).sin().mul_add(2.0, *x);
+        let serial: Vec<u64> = WorkerPool::new(1)
+            .map(&items, work)
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            let got = WorkerPool::new(threads)
+                .force_parallel()
+                .map_cancellable(&items, work, &token)
+                .expect("uncancelled map must complete");
+            let bits: Vec<u64> = got.into_iter().map(f64::to_bits).collect();
+            assert_eq!(bits, serial, "{threads}-thread cancellable map diverged");
+        }
+    }
+
+    #[test]
+    fn cancelled_before_start_yields_none() {
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(token.is_cancelled());
+        let items: Vec<usize> = (0..64).collect();
+        // Both the serial fallback and the fan-out path must refuse.
+        assert!(WorkerPool::new(1)
+            .map_cancellable(&items, |x| *x, &token)
+            .is_none());
+        assert!(WorkerPool::new(4)
+            .force_parallel()
+            .map_cancellable(&items, |x| *x, &token)
+            .is_none());
+    }
+
+    #[test]
+    fn cancel_mid_flight_discards_partial_results() {
+        use std::sync::atomic::AtomicUsize;
+        let token = CancelToken::new();
+        let seen = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..512).collect();
+        let tok = token.clone();
+        let out = WorkerPool::new(4).force_parallel().map_cancellable(
+            &items,
+            |x| {
+                // A clone of the token cancels the whole batch from inside.
+                if seen.fetch_add(1, Ordering::Relaxed) == 8 {
+                    tok.cancel();
+                }
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                *x
+            },
+            &token,
+        );
+        assert!(out.is_none(), "cancelled batch must not expose results");
+        assert!(
+            seen.load(Ordering::Relaxed) < items.len(),
+            "workers must stop claiming chunks after cancellation"
+        );
+    }
+
+    #[test]
+    fn cancel_after_completion_still_returns_some() {
+        let token = CancelToken::new();
+        let items: Vec<usize> = (0..16).collect();
+        let out = WorkerPool::new(2)
+            .force_parallel()
+            .map_cancellable(&items, |x| x * 2, &token);
+        token.cancel();
+        assert_eq!(out, Some(items.iter().map(|x| x * 2).collect()));
     }
 
     #[test]

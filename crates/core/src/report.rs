@@ -138,6 +138,82 @@ impl VerificationReport {
     pub fn is_certified(&self) -> bool {
         self.verdict.is_reach_avoid() && self.initial_set.as_ref().is_some_and(|s| !s.is_empty())
     }
+
+    /// Serializes the report as canonical `section,key,value` CSV.
+    ///
+    /// This is the byte-exactness contract used by the serving layer and the
+    /// `serve` falsification family: two assessments of the same problem and
+    /// controller on the same build must produce *identical bytes*, whether
+    /// they ran in-process, over TCP, or at different worker-pool widths.
+    /// Floats are rendered with Rust's shortest-round-trip formatting (bit
+    /// faithful), and cell bounds are emitted exactly. The [`Self::metrics`]
+    /// snapshot is deliberately excluded: it carries wall-clock timings,
+    /// which are honest observability but not part of the verdict.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn push_box(out: &mut String, section: &str, key: &str, cell: &IntervalBox) {
+            let bounds: Vec<String> = cell
+                .intervals()
+                .iter()
+                .map(|iv| format!("{:?}:{:?}", iv.lo(), iv.hi()))
+                .collect();
+            out.push_str(&format!("{section},{key},{}\n", bounds.join(";")));
+        }
+        let mut out = String::from("section,key,value\n");
+        out.push_str(&format!("report,verdict,{}\n", self.verdict));
+        out.push_str(&format!("report,certified,{}\n", self.is_certified()));
+        match &self.initial_set {
+            Some(s) => {
+                out.push_str(&format!("initial_set,cells,{}\n", s.cells.len()));
+                out.push_str(&format!("initial_set,coverage,{:?}\n", s.coverage));
+                out.push_str(&format!(
+                    "initial_set,verifier_calls,{}\n",
+                    s.verifier_calls
+                ));
+                out.push_str(&format!("initial_set,unverified,{}\n", s.unverified.len()));
+                for (i, cell) in s.cells.iter().enumerate() {
+                    push_box(&mut out, "initial_set", &format!("cell{i}"), cell);
+                }
+            }
+            None => out.push_str("initial_set,cells,none\n"),
+        }
+        out.push_str(&format!("rates,safe_rate,{:?}\n", self.rates.safe_rate));
+        out.push_str(&format!("rates,goal_rate,{:?}\n", self.rates.goal_rate));
+        out.push_str(&format!(
+            "rates,reach_avoid_rate,{:?}\n",
+            self.rates.reach_avoid_rate
+        ));
+        out.push_str(&format!("rates,n_samples,{}\n", self.rates.n_samples));
+        match &self.counterexample {
+            Some(c) => {
+                let vec_csv = |v: &[f64]| {
+                    v.iter()
+                        .map(|x| format!("{x:?}"))
+                        .collect::<Vec<_>>()
+                        .join(";")
+                };
+                out.push_str(&format!("counterexample,kind,{}\n", c.kind));
+                out.push_str(&format!("counterexample,time,{:?}\n", c.time));
+                out.push_str(&format!("counterexample,x0,{}\n", vec_csv(&c.x0)));
+                out.push_str(&format!("counterexample,state,{}\n", vec_csv(&c.state)));
+            }
+            None => out.push_str("counterexample,kind,none\n"),
+        }
+        if let Some(p) = &self.provenance {
+            for c in &p.cells {
+                out.push_str(&format!(
+                    "provenance,q{},{}:{}:{:?}:{}:{}\n",
+                    c.query,
+                    c.provenance.tier_index,
+                    c.provenance.tier_name,
+                    c.provenance.cost_class,
+                    c.provenance.escalations,
+                    c.provenance.cache_hit,
+                ));
+            }
+        }
+        out
+    }
 }
 
 impl fmt::Display for VerificationReport {
@@ -290,6 +366,27 @@ mod tests {
         assert!(text.contains("2 queries"), "{text}");
         assert!(text.contains("interval 1;"), "{text}");
         assert!(text.contains("1 escalations, 1 cache hits"), "{text}");
+    }
+
+    #[test]
+    fn csv_is_deterministic_and_excludes_metrics() {
+        let p = acc::reach_avoid_problem();
+        let k = LinearController::new(2, 1, vec![0.5867, -2.0]);
+        let a = assess(&p, &k, acc_oracle(&p, &k)).to_csv();
+        let b = assess(&p, &k, acc_oracle(&p, &k)).to_csv();
+        assert_eq!(a, b, "same assessment must serialize to identical bytes");
+        assert!(a.starts_with("section,key,value\n"));
+        assert!(a.contains("report,verdict,"));
+        assert!(a.contains("rates,n_samples,500"));
+        assert!(
+            !a.contains("cost breakdown") && !a.to_lowercase().contains("duration"),
+            "timings must stay out of the canonical CSV: {a}"
+        );
+        // A failing controller's counterexample serializes too.
+        let zeros = LinearController::zeros(2, 1);
+        let c = assess(&p, &zeros, acc_oracle(&p, &zeros)).to_csv();
+        assert!(c.contains("counterexample,kind,"), "{c}");
+        assert!(c.contains("counterexample,x0,"), "{c}");
     }
 
     #[test]

@@ -641,6 +641,7 @@ mod tests {
             float_primitive_files: vec![],
             kernel_module_files: vec![],
             panic_free_crates: vec![],
+            panic_free_files: vec![],
             determinism_zone_files: vec![],
             no_alloc_files: vec![],
             no_alloc_fns: vec![],

@@ -49,6 +49,10 @@ pub struct ZoneConfig {
     pub kernel_module_files: Vec<String>,
     /// Crates whose library code must be panic-free (R2).
     pub panic_free_crates: Vec<String>,
+    /// Individual files under the R2 panic-freedom contract even though
+    /// their crate as a whole is not (e.g. the serve wire-protocol parser,
+    /// which decodes attacker-controlled bytes).
+    pub panic_free_files: Vec<String>,
     /// Files whose results must be deterministic (R3).
     pub determinism_zone_files: Vec<String>,
     /// Files every function of which is in the R6 no-alloc zone.
@@ -101,6 +105,9 @@ impl Default for ZoneConfig {
             // The verified core: a panic mid-flowpipe would abort a whole
             // training run, so library paths must be Result-carrying.
             panic_free_crates: v(&["interval", "poly", "taylor", "reach", "core", "trace"]),
+            // Hostile-input parsers outside the verified crates: the serve
+            // frame codec must reject truncated/garbage bytes, never panic.
+            panic_free_files: v(&["crates/serve/src/proto.rs"]),
             // Result-bearing parallel/caching code: the bit-identity contract
             // (serial vs parallel, cached vs fresh) forbids iteration-order,
             // wall-clock, and thread-identity dependence. The trace analyzer
@@ -167,12 +174,14 @@ impl ZoneConfig {
         self.kernel_module_files.iter().any(|f| f == rel_path)
     }
 
-    /// Whether `rel_path` belongs to a crate with the R2 panic-freedom
-    /// contract.
+    /// Whether `rel_path` carries the R2 panic-freedom contract: its crate
+    /// is listed in `panic_free_crates`, or the file itself is singled out
+    /// in `panic_free_files`.
     #[must_use]
     pub fn in_panic_free_crate(&self, rel_path: &str) -> bool {
         let (_, krate) = classify(rel_path);
         self.panic_free_crates.contains(&krate)
+            || self.panic_free_files.iter().any(|f| f == rel_path)
     }
 
     /// Whether `rel_path` is in the R3 determinism zone.
@@ -245,6 +254,10 @@ mod tests {
         assert!(z.in_panic_free_crate("crates/reach/src/cache.rs"));
         assert!(z.in_panic_free_crate("crates/trace/src/forest.rs"));
         assert!(!z.in_panic_free_crate("crates/obs/src/trace.rs"));
+        // File-granular R2: the serve codec is in the zone, the rest of
+        // the serve crate is not.
+        assert!(z.in_panic_free_crate("crates/serve/src/proto.rs"));
+        assert!(!z.in_panic_free_crate("crates/serve/src/server.rs"));
         assert!(z.in_determinism_zone("crates/core/src/parallel.rs"));
         assert!(z.in_determinism_zone("crates/trace/src/attribution.rs"));
         assert!(z.in_determinism_zone("crates/obs/src/recorder.rs"));

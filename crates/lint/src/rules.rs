@@ -2171,6 +2171,38 @@ mod tests {
     }
 
     #[test]
+    fn panic_free_files_zone_is_file_granular() {
+        // A crate outside `panic_free_crates` gets R2 only for files listed
+        // in `panic_free_files` — the serve wire-codec configuration.
+        let zones = ZoneConfig {
+            panic_free_crates: vec![],
+            panic_free_files: vec!["crates/serve/src/proto.rs".to_string()],
+            ..zones_for("crates/serve/src/proto.rs")
+        };
+        let src = "pub fn f(v: &[f64]) -> f64 { v.first().unwrap() + v[1] }\n";
+        let mut in_zone = Report::default();
+        lint_source("crates/serve/src/proto.rs", src, &zones, &mut in_zone);
+        assert!(
+            in_zone
+                .findings
+                .iter()
+                .any(|f| f.rule == Rule::PanicFreedom),
+            "listed file must carry R2: {:?}",
+            in_zone.findings
+        );
+        let mut out_of_zone = Report::default();
+        lint_source("crates/serve/src/server.rs", src, &zones, &mut out_of_zone);
+        assert!(
+            !out_of_zone
+                .findings
+                .iter()
+                .any(|f| f.rule == Rule::PanicFreedom),
+            "unlisted sibling must not: {:?}",
+            out_of_zone.findings
+        );
+    }
+
+    #[test]
     fn determinism_zone_flags_hash_and_time() {
         let src = "use std::collections::HashMap;\nfn f() { let t = Instant::now(); }\n";
         let r = run("src/zone.rs", src);

@@ -22,10 +22,15 @@ use crate::flowpipe::Flowpipe;
 use dwv_interval::IntervalBox;
 use std::collections::HashMap; // dwv-lint: allow(determinism) -- content-keyed memo; retain/clear results are order-independent and iteration order is never otherwise observed
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Domain separator folded in before a nonzero tenant id, so the tenant-0
+/// hash chain (the historical single-tenant [`hash_params`] chain) can only
+/// collide with a tenant-qualified chain through a full FNV collision.
+const TENANT_DOMAIN: u64 = 0x7e6a_9d1c_5b38_24f0;
 
 #[inline]
 fn fnv1a_u64(state: u64, word: u64) -> u64 {
@@ -44,7 +49,26 @@ fn fnv1a_u64(state: u64, word: u64) -> u64 {
 /// differ.
 #[must_use]
 pub fn hash_params(params: &[f64]) -> u64 {
-    let mut h = fnv1a_u64(FNV_OFFSET, params.len() as u64);
+    hash_params_tenant(0, params)
+}
+
+/// [`hash_params`] qualified by a tenant id, for multi-tenant cache sharding.
+///
+/// Two tenants submitting bit-identical controller weights must never share
+/// a cache line (a served verdict for one tenant must not be observable as a
+/// warm hit by another), so the tenant id is folded into the hash state
+/// *before* the parameters. Tenant `0` is the batch/single-tenant identity:
+/// `hash_params_tenant(0, p) == hash_params(p)` for every `p`, keeping every
+/// pre-existing single-tenant cache key stable. Nonzero tenants start from a
+/// domain-separated state (see `TENANT_DOMAIN`).
+#[must_use]
+pub fn hash_params_tenant(tenant: u64, params: &[f64]) -> u64 {
+    let state = if tenant == 0 {
+        FNV_OFFSET
+    } else {
+        fnv1a_u64(fnv1a_u64(FNV_OFFSET, TENANT_DOMAIN), tenant)
+    };
+    let mut h = fnv1a_u64(state, params.len() as u64);
     for &p in params {
         h = fnv1a_u64(h, p.to_bits());
     }
@@ -232,6 +256,81 @@ impl ReachCache {
     }
 }
 
+/// A family of [`ReachCache`]s, one shard per tenant id.
+///
+/// The serving layer keeps one of these per verifier tier: each tenant's
+/// jobs memoize into their own shard, so one tenant's warm entries are never
+/// observable (not even as timing) by another, and a per-tenant flush
+/// ([`ShardedReachCache::drop_tenant`]) cannot evict a neighbour's work.
+/// Keys inside a shard should still be tenant-qualified via
+/// [`hash_params_tenant`] — sharding bounds blast radius, the hash rules out
+/// cross-service hits even if two shards are ever merged or misrouted.
+#[derive(Debug, Default)]
+pub struct ShardedReachCache {
+    // dwv-lint: allow(determinism) -- tenant-keyed shard directory; lookups are by key and iteration order is only used for order-independent stats sums
+    shards: Mutex<HashMap<u64, Arc<ReachCache>>>,
+}
+
+impl ShardedReachCache {
+    /// An empty shard family.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shard for `tenant`, created on first use.
+    ///
+    /// The returned handle stays valid (and shared) across calls: two
+    /// workers asking for the same tenant get the same underlying cache.
+    #[must_use]
+    pub fn shard(&self, tenant: u64) -> Arc<ReachCache> {
+        Arc::clone(
+            self.shards
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .entry(tenant)
+                .or_default(),
+        )
+    }
+
+    /// Drops one tenant's entire shard (counters and all), freeing its
+    /// memory. Handles already obtained via [`ShardedReachCache::shard`]
+    /// keep working but are detached from the family.
+    pub fn drop_tenant(&self, tenant: u64) {
+        self.shards
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(&tenant);
+    }
+
+    /// The number of tenants with a live shard.
+    #[must_use]
+    pub fn tenants(&self) -> usize {
+        self.shards
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Lifetime counters summed across every live shard.
+    #[must_use]
+    pub fn stats(&self) -> ReachCacheStats {
+        let shards = self
+            .shards
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut total = ReachCacheStats::default();
+        for cache in shards.values() {
+            let s = cache.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.entries += s.entries;
+        }
+        total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +435,67 @@ mod tests {
         assert_ne!(hash_params(&[1.0, 2.0]), hash_params(&[2.0, 1.0]));
         assert_eq!(hash_params(&[1.5, -2.5]), hash_params(&[1.5, -2.5]));
         assert_ne!(hash_params(&[]), hash_params(&[0.0]));
+    }
+
+    #[test]
+    fn tenant_zero_is_the_legacy_hash() {
+        for params in [&[][..], &[0.5867, -2.0][..], &[f64::NAN][..]] {
+            assert_eq!(hash_params_tenant(0, params), hash_params(params));
+        }
+    }
+
+    #[test]
+    fn tenants_sharing_identical_weights_get_distinct_keys() {
+        // The regression this guards: a single-tenant keyed cache would
+        // serve tenant B a hit computed for tenant A whenever both submit
+        // bit-identical weights. Tenant-qualified hashing must keep the
+        // keys apart (and distinct nonzero tenants apart from each other).
+        let weights = [0.5867, -2.0];
+        let a = hash_params_tenant(1, &weights);
+        let b = hash_params_tenant(2, &weights);
+        let batch = hash_params(&weights);
+        assert_ne!(a, b);
+        assert_ne!(a, batch);
+        assert_ne!(b, batch);
+        // And the cache actually computes twice when the keys differ.
+        let cache = ReachCache::new();
+        let mut computed = 0usize;
+        for key in [a, b] {
+            let _ = cache.get_or_compute(key, 7, || {
+                computed += 1;
+                Ok(tiny_flowpipe(1.0))
+            });
+        }
+        assert_eq!(computed, 2, "tenants must not share cache lines");
+    }
+
+    #[test]
+    fn sharded_cache_isolates_tenants() {
+        let family = ShardedReachCache::new();
+        let weights = [1.25, -0.75];
+        let a = family.shard(1);
+        let b = family.shard(2);
+        let key_a = hash_params_tenant(1, &weights);
+        let key_b = hash_params_tenant(2, &weights);
+        let _ = a.get_or_compute(key_a, 3, || Ok(tiny_flowpipe(1.0)));
+        // Tenant B misses even though tenant A already verified these
+        // exact weights: separate shard *and* separate key.
+        let mut computed = false;
+        let _ = b.get_or_compute(key_b, 3, || {
+            computed = true;
+            Ok(tiny_flowpipe(1.0))
+        });
+        assert!(computed, "tenant B must not see tenant A's entry");
+        assert_eq!(family.tenants(), 2);
+        assert_eq!(family.stats().misses, 2);
+        assert_eq!(family.stats().entries, 2);
+        // Same tenant handle is shared, not re-created.
+        let a2 = family.shard(1);
+        let _ = a2.get_or_compute(key_a, 3, || unreachable!("must hit"));
+        assert_eq!(family.stats().hits, 1);
+        family.drop_tenant(1);
+        assert_eq!(family.tenants(), 1);
+        assert_eq!(family.stats().entries, 1);
     }
 
     #[test]

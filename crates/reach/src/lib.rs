@@ -57,7 +57,9 @@ mod taylor_reach;
 mod verifier;
 mod zonotope_reach;
 
-pub use cache::{hash_cell, hash_params, ReachCache, ReachCacheStats};
+pub use cache::{
+    hash_cell, hash_params, hash_params_tenant, ReachCache, ReachCacheStats, ShardedReachCache,
+};
 pub use error::ReachError;
 pub use flowpipe::{Flowpipe, StepEnclosure};
 pub use interval_reach::IntervalReach;

@@ -1,0 +1,203 @@
+//! Bounded admission queue with batch-aware dequeue.
+//!
+//! The backpressure contract of the server lives here: the queue holds at
+//! most `capacity` jobs, [`AdmissionQueue::try_push`] fails *immediately*
+//! when full (the connection layer turns that into a
+//! `Rejected{Overloaded, retry_after}` frame), and nothing in the server
+//! ever buffers submissions anywhere else. Memory for pending work is
+//! bounded by construction, not by hope.
+//!
+//! [`AdmissionQueue::pop_batch`] dequeues up to `max_batch` jobs sharing a
+//! batch key (tenant, problem, kind) in FIFO-of-first-match order: the
+//! oldest job decides the batch, and compatible jobs behind it join.
+//! Workers then run a batch back-to-back on the same warm per-tenant cache
+//! shard — that is what "batching compatible verifier calls" buys.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Identifies one job: `(tenant, job_id)`.
+pub type JobKey = (u64, u64);
+
+/// Groups batch-compatible jobs: `(tenant, problem_tag, kind_tag)`.
+pub type BatchKey = (u64, u8, u8);
+
+/// The queue is at capacity; the submission must be rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: VecDeque<(JobKey, BatchKey)>,
+}
+
+/// A bounded FIFO of admitted-but-unstarted jobs.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    /// A queue admitting at most `capacity` jobs (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues a job, returning the new depth — or [`QueueFull`] without
+    /// blocking, without buffering.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when the queue already holds `capacity` jobs.
+    pub fn try_push(&self, key: JobKey, batch: BatchKey) -> Result<usize, QueueFull> {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if inner.entries.len() >= self.capacity {
+            return Err(QueueFull);
+        }
+        inner.entries.push_back((key, batch));
+        let depth = inner.entries.len();
+        drop(inner);
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeues up to `max_batch` jobs sharing the oldest entry's batch
+    /// key. Blocks up to `timeout` for the queue to become non-empty;
+    /// returns an empty vec on timeout (callers re-check shutdown flags and
+    /// loop).
+    #[must_use]
+    pub fn pop_batch(&self, max_batch: usize, timeout: Duration) -> Vec<JobKey> {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if inner.entries.is_empty() {
+            let (guard, _timed_out) = self
+                .cv
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            inner = guard;
+        }
+        let Some(&(_, lead_batch)) = inner.entries.front() else {
+            return Vec::new();
+        };
+        let max = max_batch.max(1);
+        let mut picked = Vec::with_capacity(max);
+        let mut kept = VecDeque::with_capacity(inner.entries.len());
+        for (key, batch) in inner.entries.drain(..) {
+            if picked.len() < max && batch == lead_batch {
+                picked.push(key);
+            } else {
+                kept.push_back((key, batch));
+            }
+        }
+        inner.entries = kept;
+        picked
+    }
+
+    /// Removes a specific pending job (used by cancel and deadline expiry).
+    /// Returns whether it was still queued.
+    pub fn remove(&self, key: JobKey) -> bool {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let before = inner.entries.len();
+        inner.entries.retain(|(k, _)| *k != key);
+        before != inner.entries.len()
+    }
+
+    /// Jobs currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entries
+            .len()
+    }
+
+    /// Whether no jobs are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Wakes every blocked [`AdmissionQueue::pop_batch`] (shutdown path).
+    pub fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_millis(1);
+
+    #[test]
+    fn rejects_when_full_instead_of_buffering() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.try_push((1, 1), (1, 0, 0)), Ok(1));
+        assert_eq!(q.try_push((1, 2), (1, 0, 0)), Ok(2));
+        assert_eq!(q.try_push((1, 3), (1, 0, 0)), Err(QueueFull));
+        assert_eq!(q.len(), 2, "a rejected push must not grow the queue");
+    }
+
+    #[test]
+    fn batches_group_by_key_in_fifo_order() {
+        let q = AdmissionQueue::new(16);
+        // Tenant 1 ACC verifies interleaved with tenant 2 work.
+        let _ = q.try_push((1, 10), (1, 0, 0));
+        let _ = q.try_push((2, 20), (2, 0, 0));
+        let _ = q.try_push((1, 11), (1, 0, 0));
+        let _ = q.try_push((1, 12), (1, 0, 1));
+        let batch = q.pop_batch(8, T);
+        assert_eq!(batch, vec![(1, 10), (1, 11)], "same-key jobs batch");
+        assert_eq!(q.pop_batch(8, T), vec![(2, 20)]);
+        assert_eq!(q.pop_batch(8, T), vec![(1, 12)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn batch_size_is_capped() {
+        let q = AdmissionQueue::new(16);
+        for i in 0..6 {
+            let _ = q.try_push((1, i), (1, 0, 0));
+        }
+        assert_eq!(q.pop_batch(4, T).len(), 4);
+        assert_eq!(q.pop_batch(4, T).len(), 2);
+    }
+
+    #[test]
+    fn remove_unqueues_pending_jobs() {
+        let q = AdmissionQueue::new(4);
+        let _ = q.try_push((1, 1), (1, 0, 0));
+        assert!(q.remove((1, 1)));
+        assert!(!q.remove((1, 1)), "second remove finds nothing");
+        assert!(q.pop_batch(4, T).is_empty());
+    }
+
+    #[test]
+    fn pop_times_out_empty() {
+        let q = AdmissionQueue::new(4);
+        assert!(q.pop_batch(4, Duration::from_millis(5)).is_empty());
+    }
+}

@@ -85,6 +85,47 @@ if [[ "${1:-}" == "--all" ]]; then
   # the differential: surrogate-mode Algorithm 1 acceptances must survive a
   # fresh rigorous-only re-verification. See DESIGN.md §4f.
   run cargo run --release --offline -p dwv-check -- --family portfolio --seed 0xD3C0DE --budget-cases 2500
+  # Serving gate: the verification-as-a-service layer. Crate tests (frame
+  # codec fuzz/property suite + server integration), the golden
+  # serve-vs-batch parity suite over real TCP (ACC/Van-der-Pol/3D repro
+  # configs, byte-for-byte), then a deep differential sweep of the serve
+  # check family (loopback server vs in-process run_job at a different
+  # pool width, randomized interleavings; see DESIGN.md §4h).
+  run cargo test -q --release --offline -p dwv-serve
+  run cargo test -q --release --offline --test serve_batch_parity
+  run cargo run --release --offline -p dwv-check -- --family serve --seed 0x5EED --budget-cases 1500 --threads 4
+  # Binary lifecycle: start a real server on an ephemeral port, run the
+  # smoke client against it, ask it to drain, and require a clean exit
+  # that reports the drain (force-cancel path included in the contract).
+  serve_addr_file="$(mktemp -t dwv_serve_addr.XXXXXX)"
+  serve_log="$(mktemp -t dwv_serve_log.XXXXXX)"
+  echo "==> dwv-serve lifecycle: start, smoke, drain, clean exit"
+  cargo run --release --offline -q -p dwv-serve -- \
+    --addr 127.0.0.1:0 --addr-file "$serve_addr_file" > "$serve_log" &
+  serve_pid=$!
+  for _ in $(seq 1 50); do
+    [[ -s "$serve_addr_file" ]] && break
+    sleep 0.1
+  done
+  if [[ ! -s "$serve_addr_file" ]]; then
+    echo "FAIL: dwv-serve never wrote its address file"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+  fi
+  serve_addr="$(cat "$serve_addr_file")"
+  run cargo run --release --offline -q -p dwv-serve -- --smoke "$serve_addr"
+  run cargo run --release --offline -q -p dwv-serve -- --drain "$serve_addr"
+  if ! wait "$serve_pid"; then
+    echo "FAIL: dwv-serve did not exit cleanly after drain"
+    cat "$serve_log"
+    exit 1
+  fi
+  if ! grep -q '^drained' "$serve_log"; then
+    echo "FAIL: dwv-serve exited without reporting the drain"
+    cat "$serve_log"
+    exit 1
+  fi
+  rm -f "$serve_addr_file" "$serve_log"
   # Overflow gate: the soundness-critical kernels must be free of silent
   # integer wraparound (exponent packing, tensor offsets, binomial tables).
   echo '==> RUSTFLAGS="-C overflow-checks=on" cargo test -q --offline -p dwv-interval -p dwv-taylor'
